@@ -1,0 +1,188 @@
+//! Leak analysis of recovered timing vectors.
+
+/// Result of running one attack on one core variant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttackOutcome {
+    /// Per-guess recovery timings (256 entries, the Fig 4 / Fig 8 series).
+    pub timings: Vec<u64>,
+    /// The guess the attacker would pick: fastest recovery time.
+    pub recovered: Option<u8>,
+    /// The actual secret the program tried to exfiltrate.
+    pub secret: u8,
+    /// Median timing over all guesses (the miss baseline).
+    pub median: u64,
+    /// `median - timings[recovered]`: the signal the attacker sees.
+    pub separation: u64,
+    /// `true` if the secret is recoverable: the fastest guess *is* the
+    /// secret and it is separated from the crowd by the channel margin.
+    pub leaked: bool,
+}
+
+/// Classify a timing vector.
+///
+/// `margin` is the minimum hit/miss separation (in cycles) the covert
+/// channel produces; `polluted` lists guesses the attack is known to
+/// perturb for reasons other than the secret (excluded from the argmin).
+///
+/// # Panics
+///
+/// Panics if `timings` does not have 256 entries.
+pub fn analyze(timings: &[u64], secret: u8, margin: u64, polluted: &[u8]) -> AttackOutcome {
+    assert_eq!(timings.len(), 256, "one timing per byte value");
+    let mut best: Option<(u8, u64)> = None;
+    for (g, &t) in timings.iter().enumerate() {
+        if polluted.contains(&(g as u8)) {
+            continue;
+        }
+        if best.map(|(_, bt)| t < bt).unwrap_or(true) {
+            best = Some((g as u8, t));
+        }
+    }
+    let mut sorted: Vec<u64> = timings
+        .iter()
+        .enumerate()
+        .filter(|(g, _)| !polluted.contains(&(*g as u8)))
+        .map(|(_, &t)| t)
+        .collect();
+    sorted.sort_unstable();
+    let median = sorted[sorted.len() / 2];
+    let (recovered, rec_t) = match best {
+        Some((g, t)) => (Some(g), t),
+        None => (None, 0),
+    };
+    let separation = median.saturating_sub(rec_t);
+    let leaked = recovered == Some(secret) && separation >= margin;
+    AttackOutcome {
+        timings: timings.to_vec(),
+        recovered,
+        secret,
+        median,
+        separation,
+        leaked,
+    }
+}
+
+/// Classify a *bit-wise* timing vector (NetSpectre/SMoTher-style channels:
+/// one measurement per secret bit). `fast_is_one` gives the channel's
+/// polarity: the FPU power channel is fast when the bit is set (the unit
+/// was woken), the port-contention channel is *slow* when the bit is set
+/// (the divider is still draining).
+///
+/// # Panics
+///
+/// Panics if `timings` does not have 8 entries.
+pub fn analyze_bits(timings: &[u64], secret: u8, margin: u64, fast_is_one: bool) -> AttackOutcome {
+    assert_eq!(timings.len(), 8, "one timing per bit");
+    let min = *timings.iter().min().expect("nonempty");
+    let max = *timings.iter().max().expect("nonempty");
+    let spread = max - min;
+    let threshold = min + spread / 2;
+    let mut byte = 0u8;
+    for (bit, &t) in timings.iter().enumerate() {
+        if (t <= threshold) == fast_is_one {
+            byte |= 1 << bit;
+        }
+    }
+    let signal = spread >= margin;
+    AttackOutcome {
+        timings: timings.to_vec(),
+        recovered: signal.then_some(byte),
+        secret,
+        median: max,
+        separation: spread,
+        leaked: signal && byte == secret,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat(v: u64) -> Vec<u64> {
+        vec![v; 256]
+    }
+
+    #[test]
+    fn bitwise_recovers_mixed_byte() {
+        // secret 0b00101010: bits 1,3,5 fast.
+        let t = [30u64, 8, 30, 8, 30, 8, 30, 30];
+        let o = analyze_bits(&t, 0b0010_1010, 8, true);
+        assert!(o.leaked);
+        assert_eq!(o.recovered, Some(0b0010_1010));
+        // Inverted polarity (slow = 1) recovers the complement pattern.
+        let o = analyze_bits(&t, 0b1101_0101, 8, false);
+        assert!(o.leaked);
+        assert_eq!(o.recovered, Some(0b1101_0101));
+    }
+
+    #[test]
+    fn bitwise_flat_is_not_a_leak() {
+        let o = analyze_bits(&[20; 8], 0b0010_1010, 8, true);
+        assert!(!o.leaked);
+        assert_eq!(o.recovered, None);
+    }
+
+    #[test]
+    fn bitwise_wrong_byte_is_not_a_leak() {
+        let t = [30u64, 8, 30, 30, 30, 8, 30, 30];
+        let o = analyze_bits(&t, 0b0010_1010, 8, true);
+        assert!(!o.leaked);
+        assert_eq!(o.recovered, Some(0b0010_0010));
+    }
+
+    #[test]
+    #[should_panic(expected = "one timing per bit")]
+    fn bitwise_wrong_length_panics() {
+        analyze_bits(&[1, 2], 0, 8, true);
+    }
+
+    #[test]
+    fn clean_signal_is_a_leak() {
+        let mut t = flat(150);
+        t[42] = 8;
+        let o = analyze(&t, 42, 40, &[]);
+        assert!(o.leaked);
+        assert_eq!(o.recovered, Some(42));
+        assert!(o.separation >= 140);
+    }
+
+    #[test]
+    fn wrong_byte_fastest_is_not_a_leak() {
+        let mut t = flat(150);
+        t[7] = 8;
+        let o = analyze(&t, 42, 40, &[]);
+        assert!(!o.leaked);
+        assert_eq!(o.recovered, Some(7));
+    }
+
+    #[test]
+    fn flat_timings_are_not_a_leak() {
+        let o = analyze(&flat(150), 42, 40, &[]);
+        assert!(!o.leaked, "no separation, even if argmin accidentally matches");
+    }
+
+    #[test]
+    fn small_separation_below_margin_is_not_a_leak() {
+        let mut t = flat(150);
+        t[42] = 140;
+        let o = analyze(&t, 42, 40, &[]);
+        assert!(!o.leaked);
+        assert_eq!(o.separation, 10);
+    }
+
+    #[test]
+    fn polluted_guesses_are_ignored() {
+        let mut t = flat(150);
+        t[0] = 4; // attack artifact
+        t[42] = 8; // real signal
+        let o = analyze(&t, 42, 40, &[0]);
+        assert!(o.leaked);
+        assert_eq!(o.recovered, Some(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "one timing per byte")]
+    fn wrong_length_panics() {
+        analyze(&[1, 2, 3], 0, 10, &[]);
+    }
+}

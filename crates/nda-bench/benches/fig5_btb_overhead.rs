@@ -1,0 +1,95 @@
+//! Fig 5: the BTB covert channel's signal — the cost of an indirect-branch
+//! misprediction. A correctly-predicted indirect call (BTB hit with the
+//! right target) retires quickly; a mispredicted one pays the
+//! squash-and-refetch penalty the paper measures at ~16 cycles on gem5.
+
+use nda_core::{OooCore, SimConfig};
+use nda_isa::{Asm, Program, Reg};
+
+const RESULTS: u64 = 0x30_0000;
+const TABLE: u64 = 0x60_0000;
+
+/// Timed pair: a predicted and a mispredicted indirect call through the
+/// same site.
+fn program() -> Program {
+    let mut asm = Asm::new();
+    let ra = nda_isa::reg::RA;
+    let main = asm.new_label();
+    let jtt = asm.new_label();
+    asm.jmp(main);
+
+    // Two distinct targets.
+    let t0 = asm.here_label();
+    asm.ret();
+    let t1 = asm.here_label();
+    asm.ret();
+
+    // jumpToTarget(idx in X5), single indirect site, software stack in X19.
+    asm.bind(jtt);
+    asm.st8(ra, Reg::X19, 0);
+    asm.subi(Reg::X19, Reg::X19, 8);
+    asm.shli(Reg::X6, Reg::X5, 3);
+    asm.li(Reg::X18, TABLE);
+    asm.add(Reg::X6, Reg::X6, Reg::X18);
+    asm.ld8(Reg::X7, Reg::X6, 0);
+    asm.call_ind(Reg::X7);
+    asm.addi(Reg::X19, Reg::X19, 8);
+    asm.ld8(ra, Reg::X19, 0);
+    asm.ret();
+
+    asm.bind(main);
+    asm.li(Reg::X19, 0xE0_0000);
+    asm.li(Reg::X18, TABLE);
+    asm.li_label(Reg::X28, t0);
+    asm.st8(Reg::X28, Reg::X18, 0);
+    asm.li_label(Reg::X28, t1);
+    asm.st8(Reg::X28, Reg::X18, 8);
+    // Warm everything, leave BTB -> t0.
+    for idx in [1u64, 0, 0, 0] {
+        asm.li(Reg::X5, idx);
+        asm.call(jtt);
+    }
+    asm.fence();
+    // Correct prediction: BTB holds t0, call t0.
+    asm.rdcycle(Reg::X14);
+    asm.li(Reg::X5, 0);
+    asm.call(jtt);
+    asm.rdcycle(Reg::X15);
+    asm.sub(Reg::X16, Reg::X15, Reg::X14);
+    asm.li(Reg::X17, RESULTS);
+    asm.st8(Reg::X16, Reg::X17, 0);
+    asm.fence();
+    // Restore BTB -> t0, then mispredict with t1.
+    asm.li(Reg::X5, 0);
+    asm.call(jtt);
+    asm.fence();
+    asm.rdcycle(Reg::X14);
+    asm.li(Reg::X5, 1);
+    asm.call(jtt);
+    asm.rdcycle(Reg::X15);
+    asm.sub(Reg::X16, Reg::X15, Reg::X14);
+    asm.li(Reg::X17, RESULTS);
+    asm.st8(Reg::X16, Reg::X17, 8);
+    asm.halt();
+    asm.assemble().expect("fig5 program assembles")
+}
+
+fn main() {
+    let p = program();
+    let mut c = OooCore::new(SimConfig::ooo(), &p);
+    c.run(10_000_000).expect("halts");
+    let correct = c.mem.read(RESULTS, 8);
+    let wrong = c.mem.read(RESULTS + 8, 8);
+    let overhead = wrong.saturating_sub(correct);
+
+    println!("Fig 5: BTB misprediction overhead");
+    println!("=================================");
+    println!("correct prediction   : {correct} cycles");
+    println!("misprediction        : {wrong} cycles");
+    println!("overhead (1)+(2)     : {overhead} cycles   (paper: ~16 cycles on gem5)");
+
+    assert!(
+        (8..=32).contains(&overhead),
+        "BTB mispredict penalty {overhead} out of the paper's ballpark"
+    );
+}

@@ -1,0 +1,98 @@
+//! Fig 9a-d: aggregated pipeline statistics over the workload suite for
+//! the six NDA policies and the two baselines.
+//!
+//! * 9a — cycle breakdown: commit / memory stalls / backend stalls /
+//!   frontend stalls, normalised to the OoO baseline's total cycles.
+//! * 9b — memory-level parallelism (geomean; Chou et al. definition).
+//! * 9c — instruction-level parallelism (geomean; <= 1.0 on in-order).
+//! * 9d — mean dispatch-to-issue latency (NDA adds 4-39 cycles in the
+//!   paper; overall CPI impact stays modest).
+
+use nda_bench::{bar, sweep, SweepConfig};
+use nda_core::Variant;
+use nda_stats::geomean;
+use nda_workloads::all;
+
+fn main() {
+    let cfg = SweepConfig::from_env();
+    let variants = Variant::nda_sweep().to_vec();
+    println!(
+        "Fig 9a-d: pipeline statistics ({} samples x {} iterations per cell)\n",
+        cfg.samples, cfg.iters
+    );
+    let results = sweep(all(), &variants, cfg);
+    let nw = results.workloads.len();
+
+    // ---- 9a: cycle breakdown --------------------------------------------
+    println!("Fig 9a: cycle breakdown (fraction of each variant's cycles; bars vs OoO total)");
+    println!(
+        "{:<20}{:>9}{:>9}{:>9}{:>9}{:>11}",
+        "variant", "commit", "memory", "backend", "frontend", "rel.cycles"
+    );
+    let base_cycles: f64 = (0..nw)
+        .map(|w| results.cell(w, 0).mean_of(|r| r.stats.cycles as f64))
+        .sum();
+    for (v, variant) in variants.iter().enumerate() {
+        let mut parts = [0.0f64; 4];
+        let mut total = 0.0;
+        for w in 0..nw {
+            let c = results.cell(w, v);
+            parts[0] += c.mean_of(|r| r.stats.commit_cycles as f64);
+            parts[1] += c.mean_of(|r| r.stats.memory_stall_cycles as f64);
+            parts[2] += c.mean_of(|r| r.stats.backend_stall_cycles as f64);
+            parts[3] += c.mean_of(|r| r.stats.frontend_stall_cycles as f64);
+            total += c.mean_of(|r| r.stats.cycles as f64);
+        }
+        let rel = total / base_cycles;
+        println!(
+            "{:<20}{:>9.3}{:>9.3}{:>9.3}{:>9.3}{:>10.2}x  |{}",
+            variant.name(),
+            parts[0] / total,
+            parts[1] / total,
+            parts[2] / total,
+            parts[3] / total,
+            rel,
+            bar(rel, 4.0, 40)
+        );
+    }
+
+    // ---- 9b: MLP ---------------------------------------------------------
+    println!("\nFig 9b: memory-level parallelism (geomean over workloads with off-chip misses)");
+    for (v, variant) in variants.iter().enumerate() {
+        let vals: Vec<f64> = (0..nw)
+            .filter_map(|w| {
+                let m = results.cell(w, v).mean_of(|r| r.mem_stats.mlp.unwrap_or(0.0));
+                (m > 0.0).then_some(m)
+            })
+            .collect();
+        let g = geomean(&vals);
+        println!("{:<20}{:>8.3}  |{}", variant.name(), g, bar(g, 4.0, 40));
+    }
+
+    // ---- 9c: ILP ---------------------------------------------------------
+    println!("\nFig 9c: instruction-level parallelism (geomean)");
+    let mut ilps = Vec::new();
+    for (v, variant) in variants.iter().enumerate() {
+        let vals: Vec<f64> =
+            (0..nw).map(|w| results.cell(w, v).mean_of(|r| r.stats.ilp())).collect();
+        let g = geomean(&vals);
+        ilps.push((variant, g));
+        println!("{:<20}{:>8.3}  |{}", variant.name(), g, bar(g, 4.0, 40));
+    }
+
+    // ---- 9d: dispatch-to-issue latency ------------------------------------
+    println!("\nFig 9d: mean dispatch-to-issue latency (cycles)");
+    for (v, variant) in variants.iter().enumerate() {
+        let vals: Vec<f64> =
+            (0..nw).map(|w| results.cell(w, v).mean_of(|r| r.stats.avg_dispatch_to_issue())).collect();
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        println!("{:<20}{:>8.2}  |{}", variant.name(), mean, bar(mean, 50.0, 40));
+    }
+
+    // Shape checks.
+    let inorder_ilp = ilps.iter().find(|(v, _)| **v == Variant::InOrder).unwrap().1;
+    assert!(inorder_ilp <= 1.0 + 1e-9, "in-order ILP cannot exceed 1.0 (Fig 9c)");
+    let ooo_ilp = ilps.iter().find(|(v, _)| **v == Variant::Ooo).unwrap().1;
+    assert!(ooo_ilp > inorder_ilp, "OoO must exceed in-order ILP");
+    println!("\nshape check passed: in-order ILP <= 1.0 < OoO ILP");
+}

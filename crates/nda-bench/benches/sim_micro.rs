@@ -1,0 +1,31 @@
+//! Criterion micro-benchmarks of the simulator itself: cycles-per-second
+//! throughput of each core model on a small fixed kernel. These are not
+//! paper experiments — they track the reproduction's own performance so
+//! regressions in the cycle loop show up.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nda_core::{run_variant, Variant};
+use nda_workloads::{by_name, WorkloadParams};
+
+fn bench_variants(c: &mut Criterion) {
+    let wl = by_name("gcc").expect("kernel exists");
+    let prog = (wl.build)(&WorkloadParams { seed: 1, iters: 20 });
+    let mut group = c.benchmark_group("simulate_gcc_kernel");
+    group.sample_size(10);
+    for v in [Variant::Ooo, Variant::FullProtection, Variant::InOrder, Variant::InvisiSpecFuture] {
+        group.bench_with_input(BenchmarkId::from_parameter(v.name()), &v, |b, &v| {
+            b.iter(|| run_variant(v, &prog, 100_000_000).expect("halts"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_program_build(c: &mut Criterion) {
+    c.bench_function("build_mcf_kernel", |b| {
+        let wl = by_name("mcf").unwrap();
+        b.iter(|| (wl.build)(&WorkloadParams { seed: 3, iters: 10 }));
+    });
+}
+
+criterion_group!(benches, bench_variants, bench_program_build);
+criterion_main!(benches);

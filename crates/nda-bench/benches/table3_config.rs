@@ -1,0 +1,57 @@
+//! Table 3: the gem5 simulation configuration, reproduced by our
+//! simulator's defaults. Prints the configuration and self-checks it
+//! against the paper's numbers.
+
+use nda_core::CoreConfig;
+use nda_mem::MemHierConfig;
+
+fn main() {
+    let core = CoreConfig::haswell_like();
+    let mem = MemHierConfig::haswell_like();
+
+    println!("Table 3: simulation configuration (paper values in brackets)");
+    println!("=============================================================");
+    println!("Architecture        x86-64-like SpecRISC at 2.0 GHz");
+    println!(
+        "Core (OoO)          {}-issue, no SMT, {} LQ entries, {} SQ entries [8 / 32 / 32]",
+        core.issue_width, core.lq_entries, core.sq_entries
+    );
+    println!(
+        "                    {} ROB entries, {} BTB entries, 16 RAS entries [192 / 4096 / 16]",
+        core.rob_entries, core.btb.entries
+    );
+    println!("Core (in-order)     blocking TimingSimpleCPU analogue");
+    println!(
+        "L1-I/L1-D cache     {} KiB, {} B line, {}-way SA, {}-cycle RT, 1 port [32K/64/8/4]",
+        mem.l1i.size_bytes / 1024,
+        mem.l1i.line_bytes,
+        mem.l1i.ways,
+        mem.l1i.latency
+    );
+    println!(
+        "L2 cache            {} MiB, {} B line, {}-way SA, {}-cycle RT [2M/64/16/40]",
+        mem.l2.size_bytes / (1024 * 1024),
+        mem.l2.line_bytes,
+        mem.l2.ways,
+        mem.l2.latency
+    );
+    println!(
+        "DRAM                {} cycles response latency (50 ns at 2 GHz) [50 ns]",
+        mem.dram_latency
+    );
+
+    // Self-check: the defaults must match the paper.
+    assert_eq!(core.issue_width, 8);
+    assert_eq!(core.rob_entries, 192);
+    assert_eq!(core.lq_entries, 32);
+    assert_eq!(core.sq_entries, 32);
+    assert_eq!(core.btb.entries, 4096);
+    assert_eq!(mem.l1d.size_bytes, 32 * 1024);
+    assert_eq!(mem.l1d.ways, 8);
+    assert_eq!(mem.l1d.latency, 4);
+    assert_eq!(mem.l2.size_bytes, 2 * 1024 * 1024);
+    assert_eq!(mem.l2.ways, 16);
+    assert_eq!(mem.l2.latency, 40);
+    assert_eq!(mem.dram_latency, 100);
+    println!("\nself-check: all parameters match Table 3");
+}

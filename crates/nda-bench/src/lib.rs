@@ -1,0 +1,20 @@
+//! # Benchmark harness for the NDA reproduction
+//!
+//! Shared machinery behind the `benches/` targets that regenerate every
+//! table and figure of the paper (see DESIGN.md §5 for the index):
+//!
+//! * [`mod@sweep`] — run workloads × variants × seeded samples and aggregate
+//!   CPI and the Fig 9 statistics with 95 % confidence intervals.
+//! * [`render`] — plain-text table/series renderers shared by the bench
+//!   targets so `cargo bench` output is directly comparable to the paper.
+//!
+//! Environment knobs (all optional):
+//! * `NDA_SAMPLES` — seeded samples per (workload, variant) cell
+//!   (default 3).
+//! * `NDA_ITERS` — workload outer iterations (default 400).
+
+pub mod render;
+pub mod sweep;
+
+pub use render::{bar, fmt_ci, header_rule};
+pub use sweep::{sweep, CellStats, SweepConfig, SweepResults};

@@ -1,0 +1,47 @@
+//! Plain-text renderers shared by the bench targets.
+
+use nda_stats::Sample;
+
+/// `mean ± ci` with two decimals.
+pub fn fmt_ci(s: &Sample) -> String {
+    format!("{:.3} ± {:.3}", s.mean, s.ci95)
+}
+
+/// A horizontal bar scaled so `full` maps to `width` characters — the
+/// text-mode analogue of the paper's bar charts.
+pub fn bar(value: f64, full: f64, width: usize) -> String {
+    let n = ((value / full) * width as f64).round().clamp(0.0, 4.0 * width as f64) as usize;
+    "#".repeat(n)
+}
+
+/// A dashed rule as wide as `header`, printed beneath it.
+pub fn header_rule(header: &str) -> String {
+    "-".repeat(header.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_scales() {
+        assert_eq!(bar(1.0, 1.0, 10).len(), 10);
+        assert_eq!(bar(0.5, 1.0, 10).len(), 5);
+        assert_eq!(bar(0.0, 1.0, 10).len(), 0);
+        // Values beyond `full` keep growing but are capped.
+        assert!(bar(100.0, 1.0, 10).len() <= 40);
+    }
+
+    #[test]
+    fn fmt_ci_shows_both_terms() {
+        let s = Sample::from_values(&[1.0, 2.0, 3.0]);
+        let out = fmt_ci(&s);
+        assert!(out.contains('±'));
+        assert!(out.starts_with("2.000"));
+    }
+
+    #[test]
+    fn rule_matches_header() {
+        assert_eq!(header_rule("abc").len(), 3);
+    }
+}

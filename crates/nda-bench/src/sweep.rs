@@ -1,0 +1,131 @@
+//! The workload × variant × sample sweep behind Fig 7 and Fig 9.
+
+use nda_core::{run_variant, RunResult, Variant};
+use nda_stats::Sample;
+use nda_workloads::{Workload, WorkloadParams};
+
+/// Cycle budget per sample (generous: the in-order core is slow).
+pub const SWEEP_MAX_CYCLES: u64 = 2_000_000_000;
+
+/// Sweep sizing.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepConfig {
+    /// Seeded samples per cell (SMARTS-style independent measurements).
+    pub samples: u64,
+    /// Workload outer iterations per sample.
+    pub iters: u64,
+}
+
+impl SweepConfig {
+    /// Read `NDA_SAMPLES` / `NDA_ITERS` from the environment, with
+    /// defaults suited to `cargo bench` (3 samples, 400 iterations).
+    pub fn from_env() -> SweepConfig {
+        let get = |k: &str, d: u64| {
+            std::env::var(k).ok().and_then(|v| v.parse().ok()).unwrap_or(d)
+        };
+        SweepConfig { samples: get("NDA_SAMPLES", 3), iters: get("NDA_ITERS", 400) }
+    }
+}
+
+/// Aggregated statistics for one (workload, variant) cell.
+#[derive(Debug, Clone)]
+pub struct CellStats {
+    /// Mean CPI with 95 % CI across samples.
+    pub cpi: Sample,
+    /// Raw per-sample results (for the Fig 9 derived statistics).
+    pub runs: Vec<RunResult>,
+}
+
+impl CellStats {
+    /// Mean of a derived per-run statistic.
+    pub fn mean_of(&self, f: impl Fn(&RunResult) -> f64) -> f64 {
+        let vals: Vec<f64> = self.runs.iter().map(f).collect();
+        vals.iter().sum::<f64>() / vals.len().max(1) as f64
+    }
+}
+
+/// Results of a full sweep, indexed `[workload][variant]`.
+#[derive(Debug, Clone)]
+pub struct SweepResults {
+    /// Workload names, sweep order.
+    pub workloads: Vec<&'static str>,
+    /// Variants, sweep order.
+    pub variants: Vec<Variant>,
+    /// `cells[w][v]`.
+    pub cells: Vec<Vec<CellStats>>,
+}
+
+impl SweepResults {
+    /// The cell for (workload index, variant index).
+    pub fn cell(&self, w: usize, v: usize) -> &CellStats {
+        &self.cells[w][v]
+    }
+
+    /// Mean CPI of `variant` on workload `w`, normalised to the first
+    /// variant (the insecure OoO baseline in every bench).
+    pub fn normalized_cpi(&self, w: usize, v: usize) -> f64 {
+        self.cells[w][v].cpi.mean / self.cells[w][0].cpi.mean
+    }
+
+    /// Geometric-mean normalised CPI of variant `v` across workloads.
+    pub fn geomean_normalized(&self, v: usize) -> f64 {
+        let vals: Vec<f64> = (0..self.workloads.len()).map(|w| self.normalized_cpi(w, v)).collect();
+        nda_stats::geomean(&vals)
+    }
+
+    /// Average overhead (percent) of variant `v` vs the baseline.
+    pub fn overhead_pct(&self, v: usize) -> f64 {
+        (self.geomean_normalized(v) - 1.0) * 100.0
+    }
+}
+
+/// Run the sweep.
+///
+/// # Panics
+///
+/// Panics if any sample fails to halt — workloads are self-terminating,
+/// so a failure is a simulator bug.
+pub fn sweep(workloads: &[Workload], variants: &[Variant], cfg: SweepConfig) -> SweepResults {
+    let mut cells = Vec::with_capacity(workloads.len());
+    for w in workloads {
+        let mut row = Vec::with_capacity(variants.len());
+        for &v in variants {
+            let mut runs = Vec::new();
+            for s in 0..cfg.samples {
+                let params = WorkloadParams { seed: 1000 + s, iters: cfg.iters };
+                let prog = (w.build)(&params);
+                let r = run_variant(v, &prog, SWEEP_MAX_CYCLES)
+                    .unwrap_or_else(|e| panic!("{}/{v}/sample{s}: {e}", w.name));
+                runs.push(r);
+            }
+            let cpis: Vec<f64> = runs.iter().map(|r| r.cpi()).collect();
+            row.push(CellStats { cpi: Sample::from_values(&cpis), runs });
+        }
+        cells.push(row);
+    }
+    SweepResults {
+        workloads: workloads.iter().map(|w| w.name).collect(),
+        variants: variants.to_vec(),
+        cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_sweep_has_sane_shape() {
+        let wl = &nda_workloads::all()[..2];
+        let variants = [Variant::Ooo, Variant::InOrder];
+        let r = sweep(wl, &variants, SweepConfig { samples: 2, iters: 6 });
+        assert_eq!(r.cells.len(), 2);
+        assert_eq!(r.cells[0].len(), 2);
+        // In-order is slower than OoO on every workload.
+        for w in 0..2 {
+            assert!(r.normalized_cpi(w, 1) > 1.0, "{}", r.workloads[w]);
+        }
+        assert!(r.overhead_pct(1) > 0.0);
+        assert!((r.normalized_cpi(0, 0) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,316 @@
+//! Simulator configuration (paper Table 3) and the ten evaluated variants.
+
+use crate::policy::{IsVariant, NdaPolicy};
+use nda_mem::MemHierConfig;
+use nda_predict::{BtbConfig, GshareConfig, PredictorKind};
+use std::fmt;
+
+/// Core micro-architecture parameters.
+///
+/// Defaults reproduce the paper's Table 3: x86-64-like at 2 GHz, 8-issue,
+/// no SMT, 32-entry load queue, 32-entry store queue, 192-entry ROB,
+/// 4096-entry BTB, 16-entry RAS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Instructions fetched per cycle.
+    pub fetch_width: usize,
+    /// Instructions renamed/dispatched per cycle.
+    pub dispatch_width: usize,
+    /// Instructions entering execution per cycle (Table 3: 8-issue).
+    pub issue_width: usize,
+    /// Instructions retired per cycle.
+    pub commit_width: usize,
+    /// Reorder-buffer entries (Table 3: 192).
+    pub rob_entries: usize,
+    /// Issue-queue entries.
+    pub iq_entries: usize,
+    /// Load-queue entries (Table 3: 32).
+    pub lq_entries: usize,
+    /// Store-queue entries (Table 3: 32).
+    pub sq_entries: usize,
+    /// Physical registers.
+    pub num_pregs: usize,
+    /// Front-end depth: cycles from fetch to dispatch. Together with
+    /// issue/execute this makes a branch misprediction cost ~16 cycles,
+    /// matching the paper's measured BTB-miss resolution.
+    pub fetch_to_dispatch: u64,
+    /// Fetch-buffer capacity in micro-ops.
+    pub fetch_buffer: usize,
+    /// ALU issue bandwidth per cycle.
+    pub alu_units: usize,
+    /// Load-pipe issue bandwidth per cycle.
+    pub load_ports: usize,
+    /// Store-pipe issue bandwidth per cycle.
+    pub store_ports: usize,
+    /// Branch-unit issue bandwidth per cycle.
+    pub branch_units: usize,
+    /// Tag-broadcast ports per cycle (the paper adds none over baseline;
+    /// deferred NDA broadcasts compete for the same ports).
+    pub broadcast_ports: usize,
+    /// Extra cycles between an instruction becoming safe and its deferred
+    /// broadcast (the Fig 9e sensitivity knob).
+    pub broadcast_extra_delay: u64,
+    /// Store-to-load forwarding latency in cycles.
+    pub store_forward_latency: u64,
+    /// Model the Meltdown-class implementation flaw: a faulting load
+    /// forwards real data to wrong-path dependents before the fault fires.
+    pub meltdown_flaw: bool,
+    /// Allow loads to speculatively bypass older stores with unresolved
+    /// addresses (Spectre v4 surface). Disabling this is the SSBD-style
+    /// mitigation NDA's Bypass Restriction improves upon.
+    pub speculative_store_bypass: bool,
+    /// Model FPU/multiplier power gating: after
+    /// [`CoreConfig::fpu_power_down_after`] idle cycles the multiply unit
+    /// powers down and the next multiply pays
+    /// [`CoreConfig::fpu_wake_penalty`] extra cycles. This is the
+    /// NetSpectre covert channel (paper §1, §3) — off by default so the
+    /// performance studies match Table 3; the NetSpectre PoC turns it on.
+    pub fpu_power_model: bool,
+    /// Idle cycles before the multiply unit powers down.
+    pub fpu_power_down_after: u64,
+    /// Extra latency of a multiply issued to a powered-down unit.
+    pub fpu_wake_penalty: u64,
+    /// Delay-on-miss (Sakalis et al., paper §7): a speculative load that
+    /// would miss the L1 is held until all older branches resolve. Blocks
+    /// d-cache-miss covert channels only.
+    pub delay_on_miss: bool,
+    /// Model the divider as non-pipelined: a division occupies the unit
+    /// for its full latency and younger divisions wait. This is the
+    /// execution-port contention surface of SMoTherSpectre (paper §1, §3,
+    /// Table 1). On by default — real dividers are not pipelined.
+    pub nonpipelined_divider: bool,
+    /// Branch target buffer geometry/update policy.
+    pub btb: BtbConfig,
+    /// Direction predictor geometry.
+    pub gshare: GshareConfig,
+    /// Direction predictor flavour (the predictor-quality ablation swaps
+    /// this; NDA's control-steering cost tracks misprediction rate).
+    pub predictor_kind: PredictorKind,
+}
+
+impl CoreConfig {
+    /// The Table 3 configuration.
+    pub fn haswell_like() -> CoreConfig {
+        CoreConfig {
+            fetch_width: 8,
+            dispatch_width: 8,
+            issue_width: 8,
+            commit_width: 8,
+            rob_entries: 192,
+            iq_entries: 60,
+            lq_entries: 32,
+            sq_entries: 32,
+            num_pregs: 256,
+            fetch_to_dispatch: 5,
+            fetch_buffer: 24,
+            alu_units: 4,
+            load_ports: 2,
+            store_ports: 1,
+            branch_units: 2,
+            broadcast_ports: 8,
+            broadcast_extra_delay: 0,
+            store_forward_latency: 4,
+            meltdown_flaw: true,
+            speculative_store_bypass: true,
+            fpu_power_model: false,
+            fpu_power_down_after: 256,
+            fpu_wake_penalty: 20,
+            delay_on_miss: false,
+            nonpipelined_divider: true,
+            btb: BtbConfig::default(),
+            gshare: GshareConfig::default(),
+            predictor_kind: PredictorKind::Gshare,
+        }
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> CoreConfig {
+        CoreConfig::haswell_like()
+    }
+}
+
+/// Which timing model executes the program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CoreModel {
+    /// The out-of-order core (optionally NDA- or InvisiSpec-constrained).
+    OutOfOrder,
+    /// The blocking in-order baseline.
+    InOrder,
+}
+
+/// A complete simulation configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Core parameters.
+    pub core: CoreConfig,
+    /// Memory hierarchy parameters.
+    pub mem: MemHierConfig,
+    /// NDA policy (ignored by the in-order model).
+    pub policy: NdaPolicy,
+    /// InvisiSpec mode (mutually exclusive with a restrictive NDA policy).
+    pub invisispec: Option<IsVariant>,
+    /// Timing model.
+    pub model: CoreModel,
+}
+
+impl SimConfig {
+    /// Baseline insecure out-of-order configuration.
+    pub fn ooo() -> SimConfig {
+        SimConfig {
+            core: CoreConfig::haswell_like(),
+            mem: MemHierConfig::haswell_like(),
+            policy: NdaPolicy::ooo(),
+            invisispec: None,
+            model: CoreModel::OutOfOrder,
+        }
+    }
+
+    /// The configuration for one of the ten evaluated [`Variant`]s.
+    pub fn for_variant(v: Variant) -> SimConfig {
+        let mut cfg = SimConfig::ooo();
+        match v {
+            Variant::Ooo => {}
+            Variant::Permissive => cfg.policy = NdaPolicy::permissive(),
+            Variant::PermissiveBr => cfg.policy = NdaPolicy::permissive_br(),
+            Variant::Strict => cfg.policy = NdaPolicy::strict(),
+            Variant::StrictBr => cfg.policy = NdaPolicy::strict_br(),
+            Variant::RestrictedLoads => cfg.policy = NdaPolicy::restricted_loads(),
+            Variant::FullProtection => cfg.policy = NdaPolicy::full_protection(),
+            Variant::InOrder => cfg.model = CoreModel::InOrder,
+            Variant::InvisiSpecSpectre => cfg.invisispec = Some(IsVariant::Spectre),
+            Variant::InvisiSpecFuture => cfg.invisispec = Some(IsVariant::Future),
+            Variant::DelayOnMiss => cfg.core.delay_on_miss = true,
+        }
+        cfg
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig::ooo()
+    }
+}
+
+/// The ten configurations evaluated in Fig 7, in the paper's order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Variant {
+    Ooo,
+    Permissive,
+    PermissiveBr,
+    Strict,
+    StrictBr,
+    RestrictedLoads,
+    FullProtection,
+    InOrder,
+    InvisiSpecSpectre,
+    InvisiSpecFuture,
+    /// Delay-on-miss (Sakalis et al.): related-work comparison point that
+    /// holds speculative L1-missing loads.
+    DelayOnMiss,
+}
+
+impl Variant {
+    /// Every variant: the paper's Fig 7 legend order, plus the
+    /// delay-on-miss related-work baseline.
+    pub fn all() -> [Variant; 11] {
+        [
+            Variant::Ooo,
+            Variant::Permissive,
+            Variant::PermissiveBr,
+            Variant::Strict,
+            Variant::StrictBr,
+            Variant::RestrictedLoads,
+            Variant::FullProtection,
+            Variant::InOrder,
+            Variant::InvisiSpecSpectre,
+            Variant::InvisiSpecFuture,
+            Variant::DelayOnMiss,
+        ]
+    }
+
+    /// The six NDA policies plus the two baselines (no InvisiSpec).
+    pub fn nda_sweep() -> [Variant; 8] {
+        [
+            Variant::Ooo,
+            Variant::Permissive,
+            Variant::PermissiveBr,
+            Variant::Strict,
+            Variant::StrictBr,
+            Variant::RestrictedLoads,
+            Variant::FullProtection,
+            Variant::InOrder,
+        ]
+    }
+
+    /// Display name matching the Fig 7 legend.
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::Ooo => "OoO",
+            Variant::Permissive => "Permissive",
+            Variant::PermissiveBr => "Permissive+BR",
+            Variant::Strict => "Strict",
+            Variant::StrictBr => "Strict+BR",
+            Variant::RestrictedLoads => "Restricted Loads",
+            Variant::FullProtection => "Full Protection",
+            Variant::InOrder => "In-Order",
+            Variant::InvisiSpecSpectre => "InvisiSpec-Spectre",
+            Variant::InvisiSpecFuture => "InvisiSpec-Future",
+            Variant::DelayOnMiss => "Delay-On-Miss",
+        }
+    }
+}
+
+impl fmt::Display for Variant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Propagation;
+
+    #[test]
+    fn table3_parameters() {
+        let c = CoreConfig::haswell_like();
+        assert_eq!(c.issue_width, 8);
+        assert_eq!(c.rob_entries, 192);
+        assert_eq!(c.lq_entries, 32);
+        assert_eq!(c.sq_entries, 32);
+        assert_eq!(c.btb.entries, 4096);
+    }
+
+    #[test]
+    fn variants_map_to_policies() {
+        assert_eq!(SimConfig::for_variant(Variant::Strict).policy.propagation, Propagation::Strict);
+        assert_eq!(SimConfig::for_variant(Variant::InOrder).model, CoreModel::InOrder);
+        assert_eq!(
+            SimConfig::for_variant(Variant::InvisiSpecFuture).invisispec,
+            Some(IsVariant::Future)
+        );
+        assert!(SimConfig::for_variant(Variant::FullProtection).policy.load_restriction);
+    }
+
+    #[test]
+    fn all_lists_eleven_unique() {
+        let all = Variant::all();
+        assert_eq!(all.len(), 11);
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_nonempty() {
+        let mut seen = std::collections::HashSet::new();
+        for v in Variant::all() {
+            assert!(!v.name().is_empty());
+            assert!(seen.insert(v.name()));
+        }
+    }
+}

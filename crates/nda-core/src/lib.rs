@@ -1,0 +1,45 @@
+//! # CPU timing models with NDA: the heart of the reproduction
+//!
+//! This crate implements the paper's experimental platform from scratch:
+//!
+//! * [`OooCore`] — a cycle-level out-of-order core in the style of gem5's
+//!   O3 (8-wide, 192-entry ROB, 32+32 LSQ, physical-register renaming, true
+//!   wrong-path execution), parameterised by an [`NdaPolicy`] implementing
+//!   the six data-propagation policies of Table 2, plus the two
+//!   [`InvisiSpec`](IsVariant) comparison models.
+//! * [`InOrderCore`] — the blocking in-order baseline (gem5
+//!   `TimingSimpleCPU` analogue), the only other model that defeats all
+//!   known speculative-execution attacks.
+//! * [`Variant`] — the ten evaluated configurations of Fig 7, and
+//!   [`run_variant`] to execute a program on any of them.
+//!
+//! ```
+//! use nda_core::{run_variant, Variant};
+//! use nda_isa::{Asm, Reg};
+//!
+//! let mut asm = Asm::new();
+//! asm.li(Reg::X2, 21);
+//! asm.add(Reg::X3, Reg::X2, Reg::X2);
+//! asm.halt();
+//! let prog = asm.assemble()?;
+//! let insecure = run_variant(Variant::Ooo, &prog, 100_000)?;
+//! let protected = run_variant(Variant::FullProtection, &prog, 100_000)?;
+//! // NDA changes timing, never architecture:
+//! assert_eq!(insecure.regs[3], 42);
+//! assert_eq!(protected.regs[3], 42);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod config;
+pub mod inorder;
+pub mod ooo;
+pub mod policy;
+pub mod run;
+pub mod trace;
+
+pub use config::{CoreConfig, SimConfig, Variant};
+pub use inorder::InOrderCore;
+pub use ooo::core::{OooCore, RobCellState, RobView};
+pub use policy::{IsVariant, NdaPolicy, Propagation};
+pub use run::{run_variant, run_with_config, RunResult, SimError};
+pub use trace::{render_pipeline, TraceEvent, TraceStage};

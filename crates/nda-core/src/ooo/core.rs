@@ -1,0 +1,1476 @@
+//! The out-of-order core's cycle loop.
+//!
+//! Stage order within a cycle (reverse pipeline order, so state written by
+//! a younger stage is seen by older stages only next cycle):
+//!
+//! 1. **commit** — retire completed head entries; deliver faults; apply
+//!    stores to architectural memory; train predictors.
+//! 2. **writeback** — finish executions due this cycle; resolve branches
+//!    (squash + redirect on mispredict); resolve store addresses (replay
+//!    squash on memory-order violation); update the BTB speculatively.
+//! 3. **safety walk** — recompute every entry's NDA `safe` bit (§5).
+//! 4. **broadcast** — port-limited tag broadcast; completing instructions
+//!    have priority, newly-safe deferred broadcasts take leftover ports.
+//! 5. **issue** — wake-up/select: only *visible* operands can be read.
+//! 6. **dispatch/rename** — consume the fetch queue into the ROB.
+//! 7. **fetch** — predict and follow (possibly wrong) paths.
+
+use crate::config::SimConfig;
+use crate::policy::{IsVariant, Propagation};
+use crate::run::{RunResult, SimError};
+use super::frontend::{FrontEnd, FrontEndConfig};
+use super::rename::{FreeList, PhysRegFile, PReg, RenameTable};
+use super::rob::{Rob, RobEntry};
+use nda_isa::inst::{Src2, UopClass};
+use nda_isa::{Fault, Inst, MsrFile, PrivilegeMap, Program, SparseMem};
+use nda_mem::MemHier;
+use nda_predict::{Btb, DirPredictor};
+use nda_stats::{CycleClass, SimStats};
+
+/// The out-of-order core. Construct with [`OooCore::new`], drive with
+/// [`OooCore::run`] (or [`OooCore::step_cycle`] for tracing).
+#[derive(Debug, Clone)]
+pub struct OooCore {
+    cfg: SimConfig,
+    program: Program,
+
+    /// Architectural memory (committed state + data the wrong path may
+    /// read).
+    pub mem: SparseMem,
+    /// Model-specific registers.
+    pub msrs: MsrFile,
+    priv_map: PrivilegeMap,
+    /// The cache/DRAM timing model.
+    pub hier: MemHier,
+
+    prf: PhysRegFile,
+    free: FreeList,
+    rename: RenameTable,
+    rob: Rob,
+    /// Dispatched-but-unissued sequence numbers, ascending.
+    iq: Vec<u64>,
+    /// In-flight load sequence numbers, ascending.
+    lq: Vec<u64>,
+    /// In-flight store sequence numbers, ascending.
+    sq: Vec<u64>,
+    fe: FrontEnd,
+
+    cycle: u64,
+    next_seq: u64,
+    halted: bool,
+    pending_error: Option<SimError>,
+    /// Oldest pending `Fence` (younger micro-ops may not issue past it).
+    fence_border: Option<u64>,
+    /// Inside a Listing-4 no-speculation window (`SpecOff` committed, no
+    /// `SpecOn` yet): dispatch admits one instruction at a time.
+    spec_window: bool,
+    /// `SpecOff` micro-ops in flight: like an x86 serialising instruction,
+    /// dispatch stalls behind one until it commits (or squashes) — the
+    /// window must engage before anything younger enters the back end.
+    specoff_pending: u32,
+    /// Cycle the multiply/divide unit last finished work (`None` = powered
+    /// down). Only consulted when the FPU power model is on.
+    fpu_busy_until: Option<u64>,
+    /// The (non-pipelined) divider is occupied until this cycle — the
+    /// port-contention covert channel of SMoTherSpectre.
+    div_busy_until: u64,
+    /// Pipeline event log (None unless tracing is enabled).
+    tracer: Option<Vec<crate::trace::TraceEvent>>,
+    /// Cycle at the last `reset_stats` (stats.cycles is relative to it).
+    stats_base_cycle: u64,
+    /// Statistics for the run.
+    pub stats: SimStats,
+}
+
+impl OooCore {
+    /// Build a core with the program's data segment and MSR file loaded.
+    pub fn new(cfg: SimConfig, program: &Program) -> OooCore {
+        let mut mem = SparseMem::new();
+        for init in &program.data {
+            mem.write_bytes(init.addr, &init.bytes);
+        }
+        let fe_cfg = FrontEndConfig {
+            fetch_width: cfg.core.fetch_width,
+            fetch_to_dispatch: cfg.core.fetch_to_dispatch,
+            fetch_buffer: cfg.core.fetch_buffer,
+        };
+        OooCore {
+            mem,
+            msrs: MsrFile::from_program(program),
+            priv_map: PrivilegeMap,
+            hier: MemHier::new(cfg.mem),
+            prf: PhysRegFile::new(cfg.core.num_pregs),
+            free: FreeList::new(cfg.core.num_pregs),
+            rename: RenameTable::new(),
+            rob: Rob::new(cfg.core.rob_entries),
+            iq: Vec::new(),
+            lq: Vec::new(),
+            sq: Vec::new(),
+            fe: FrontEnd::new(
+                fe_cfg,
+                DirPredictor::new(cfg.core.predictor_kind, cfg.core.gshare),
+                Btb::new(cfg.core.btb),
+                program.entry,
+            ),
+            cycle: 0,
+            next_seq: 0,
+            halted: false,
+            pending_error: None,
+            fence_border: None,
+            spec_window: false,
+            specoff_pending: 0,
+            fpu_busy_until: None,
+            div_busy_until: 0,
+            tracer: None,
+            stats_base_cycle: 0,
+            stats: SimStats::new(),
+            program: program.clone(),
+            cfg,
+        }
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// `true` once `Halt` has committed.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Free physical registers (for the conservation invariants in tests:
+    /// with an empty ROB every non-architectural register must be free).
+    pub fn free_pregs(&self) -> usize {
+        self.free.available()
+    }
+
+    /// In-flight ROB entries.
+    pub fn rob_occupancy(&self) -> usize {
+        self.rob.len()
+    }
+
+    /// Reset the statistics counters mid-run (SMARTS-style sampling:
+    /// warm up, reset, measure). Architectural and micro-architectural
+    /// state (caches, predictors, ROB) is untouched.
+    ///
+    /// Note: `stats.cycles` restarts from zero while [`OooCore::cycle`]
+    /// keeps counting, so CPI over the measurement window is
+    /// `stats.cycles / stats.committed_insts` as usual.
+    pub fn reset_stats(&mut self) {
+        self.stats = SimStats::new();
+        self.stats_base_cycle = self.cycle;
+    }
+
+    /// Start logging pipeline events (see [`crate::trace`]).
+    pub fn enable_trace(&mut self) {
+        self.tracer = Some(Vec::new());
+    }
+
+    /// The logged pipeline events (empty unless tracing is enabled).
+    pub fn trace_events(&self) -> &[crate::trace::TraceEvent] {
+        self.tracer.as_deref().unwrap_or(&[])
+    }
+
+    #[inline]
+    fn trace_event(&mut self, seq: u64, pc: usize, inst: Inst, stage: crate::trace::TraceStage) {
+        if let Some(t) = &mut self.tracer {
+            t.push(crate::trace::TraceEvent {
+                cycle: self.cycle,
+                seq,
+                pc,
+                disasm: inst.to_string(),
+                stage,
+            });
+        }
+    }
+
+    /// Committed architectural value of register `r`.
+    pub fn reg(&self, r: nda_isa::Reg) -> u64 {
+        self.prf.value(self.committed_preg(r))
+    }
+
+    /// All 32 committed architectural register values.
+    pub fn regs(&self) -> [u64; 32] {
+        let mut out = [0u64; 32];
+        for r in nda_isa::Reg::all() {
+            out[r.index()] = self.reg(r);
+        }
+        out
+    }
+
+    /// The physical register holding the *committed* value of `r`: walk the
+    /// ROB youngest-first to skip in-flight renames.
+    fn committed_preg(&self, r: nda_isa::Reg) -> PReg {
+        // The speculative map minus every in-flight rename of r: the oldest
+        // in-flight entry renaming r stores the committed mapping.
+        let mut committed = self.rename.lookup(r);
+        for e in self.rob.iter() {
+            if e.arch_rd == Some(r) {
+                committed = e.old_prd.expect("renamed entry has old mapping");
+                break;
+            }
+        }
+        committed
+    }
+
+    /// Run until `Halt` commits or `max_cycles` elapse.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::CycleLimit`] if the budget is exhausted,
+    /// [`SimError::UnhandledFault`] if a fault commits with no handler.
+    pub fn run(&mut self, max_cycles: u64) -> Result<RunResult, SimError> {
+        while !self.halted {
+            if self.cycle >= max_cycles {
+                return Err(SimError::CycleLimit { cycles: self.cycle });
+            }
+            self.step_cycle();
+            if let Some(err) = self.pending_error.take() {
+                return Err(err);
+            }
+        }
+        Ok(self.result())
+    }
+
+    /// Snapshot the current run result.
+    pub fn result(&self) -> RunResult {
+        RunResult {
+            stats: self.stats,
+            mem_stats: self.hier.stats(),
+            regs: self.regs(),
+            halted: self.halted,
+        }
+    }
+
+    /// Advance one cycle.
+    pub fn step_cycle(&mut self) {
+        let committed = self.commit();
+        if self.halted || self.pending_error.is_some() {
+            self.classify_cycle(committed);
+            self.cycle += 1;
+            self.stats.cycles = self.cycle - self.stats_base_cycle;
+            return;
+        }
+        self.writeback();
+        self.update_safety();
+        self.broadcast();
+        self.expose_invisispec();
+        self.issue();
+        self.dispatch();
+        self.fe.fetch_cycle(self.cycle, &self.program, &mut self.hier);
+        self.classify_cycle(committed);
+        self.cycle += 1;
+        self.stats.cycles = self.cycle - self.stats_base_cycle;
+    }
+
+    // ------------------------------------------------------------------
+    // Stage 1: commit
+    // ------------------------------------------------------------------
+
+    fn commit(&mut self) -> u64 {
+        let mut committed = 0;
+        while committed < self.cfg.core.commit_width as u64 {
+            let Some(head) = self.rob.head() else { break };
+            if !head.completed {
+                break;
+            }
+            // InvisiSpec: a speculative load may not retire before its
+            // exposure/validation finishes.
+            if head.is_probe {
+                match head.exposure_done {
+                    Some(d) if d <= self.cycle => {}
+                    _ => break,
+                }
+            }
+            if let Some(fault) = head.fault {
+                self.deliver_fault(fault);
+                break;
+            }
+            // Stores perform their architectural write and cache fill at
+            // commit; an exhausted MSHR file stalls retirement.
+            if head.inst.is_store() {
+                let addr = head.mem_addr.expect("completed store has address");
+                if self.hier.access_data(addr, self.cycle).is_none() {
+                    break;
+                }
+                let data = head.store_data.expect("completed store has data");
+                self.mem.write(addr, data, head.mem_size);
+            }
+            let e = self.rob.pop_head().expect("head exists");
+            // Tag broadcast at retirement is always permitted: the head of
+            // the ROB is non-speculative by definition (paper §4.3).
+            if let Some(prd) = e.prd {
+                if !e.broadcasted {
+                    self.prf.broadcast(prd);
+                    self.stats.broadcasts += 1;
+                    if e.complete_cycle < self.cycle {
+                        self.stats.deferred_broadcasts += 1;
+                    }
+                    self.trace_event(e.seq, e.pc, e.inst, crate::trace::TraceStage::Broadcast);
+                }
+            }
+            self.trace_event(e.seq, e.pc, e.inst, crate::trace::TraceStage::Commit);
+            if let Some(old) = e.old_prd {
+                self.free.release(old);
+            }
+            match e.inst.class() {
+                UopClass::Load | UopClass::LoadLike => {
+                    self.stats.committed_loads += 1;
+                    debug_assert_eq!(self.lq.first(), Some(&e.seq));
+                    self.lq.remove(0);
+                }
+                UopClass::Store => {
+                    self.stats.committed_stores += 1;
+                    debug_assert_eq!(self.sq.first(), Some(&e.seq));
+                    self.sq.remove(0);
+                }
+                UopClass::Branch => {
+                    self.stats.committed_branches += 1;
+                    self.train_predictors(&e);
+                }
+                _ => {}
+            }
+            self.stats.committed_insts += 1;
+            committed += 1;
+            match e.inst {
+                Inst::SpecOff => {
+                    self.spec_window = true;
+                    self.specoff_pending -= 1;
+                }
+                Inst::SpecOn => self.spec_window = false,
+                Inst::Halt => {
+                    self.halted = true;
+                }
+                _ => {}
+            }
+            if self.halted {
+                break;
+            }
+        }
+        committed
+    }
+
+    fn train_predictors(&mut self, e: &RobEntry) {
+        let addr = self.program.inst_addr(e.pc);
+        match e.inst {
+            Inst::Branch { .. } => {
+                self.fe.dir.train(addr, e.ghr_before, e.actual_taken, e.pred_taken);
+            }
+            Inst::JmpInd { .. } | Inst::CallInd { .. } if !self.cfg.core.btb.speculative_update => {
+                self.fe.btb.update(addr, e.actual_next);
+            }
+            _ => {}
+        }
+    }
+
+    fn deliver_fault(&mut self, fault: Fault) {
+        self.stats.faults += 1;
+        self.squash_from(0);
+        match self.program.fault_handler {
+            Some(h) => self.fe.redirect(self.cycle, h),
+            None => self.pending_error = Some(SimError::UnhandledFault(fault)),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Stage 2: writeback / resolution
+    // ------------------------------------------------------------------
+
+    fn writeback(&mut self) {
+        let now = self.cycle;
+        // Collect completions first to avoid borrowing fights; each entry
+        // completes exactly once.
+        let mut done: Vec<u64> = Vec::new();
+        for e in self.rob.iter() {
+            if !e.completed && e.done_cycle.map(|d| d <= now) == Some(true) {
+                done.push(e.seq);
+            }
+        }
+        for seq in done {
+            // A younger squash within this loop may have removed the entry.
+            let Some(e) = self.rob.get_mut(seq) else { continue };
+            e.completed = true;
+            e.complete_cycle = now;
+            let (tpc, tinst) = (e.pc, e.inst);
+            self.trace_event(seq, tpc, tinst, crate::trace::TraceStage::Complete);
+            let Some(e) = self.rob.get_mut(seq) else { continue };
+            if let Some(prd) = e.prd {
+                let v = e.result;
+                self.prf.write(prd, v);
+            } else {
+                // Nothing to broadcast: the bcast bit is trivially done.
+                e.broadcasted = true;
+            }
+            let inst = e.inst;
+            if inst.is_branch() {
+                e.branch_resolved = true;
+                let mispredicted = e.actual_next != e.pred_next;
+                e.mispredicted = mispredicted;
+                let (ghr_before, actual_taken, actual_next, ras_after) =
+                    (e.ghr_before, e.actual_taken, e.actual_next, e.ras_after);
+                // Speculative BTB update: happens at execution, wrong-path
+                // included, and is not reverted on squash — the covert
+                // channel of paper §3.
+                if matches!(inst, Inst::JmpInd { .. } | Inst::CallInd { .. })
+                    && self.cfg.core.btb.speculative_update
+                {
+                    let addr = self.program.inst_addr(self.rob.get(seq).expect("entry").pc);
+                    self.fe.btb.update(addr, actual_next);
+                }
+                if mispredicted {
+                    self.stats.branch_mispredicts += 1;
+                    if matches!(inst, Inst::Branch { .. }) {
+                        self.fe.dir.recover(ghr_before, actual_taken);
+                    }
+                    if let Some(snap) = ras_after {
+                        self.fe.ras.restore(snap);
+                    }
+                    self.squash_from(seq + 1);
+                    self.fe.redirect(now, actual_next);
+                }
+            } else if inst.is_store() {
+                // Address now resolved: check younger executed loads for
+                // memory-order violations (speculative store bypass gone
+                // wrong -> replay).
+                self.check_order_violation(seq);
+            }
+        }
+    }
+
+    /// On store resolution: any younger load that already executed with an
+    /// overlapping address, and whose data did not come from this store or
+    /// a younger one, read stale data and must replay.
+    fn check_order_violation(&mut self, store_seq: u64) {
+        let (st_addr, st_size) = {
+            let st = self.rob.get(store_seq).expect("store exists");
+            (st.mem_addr.expect("resolved"), st.mem_size)
+        };
+        let mut victim: Option<(u64, usize)> = None;
+        for &lseq in &self.lq {
+            if lseq <= store_seq {
+                continue;
+            }
+            let Some(l) = self.rob.get(lseq) else { continue };
+            let Some(l_addr) = l.mem_addr else { continue };
+            if !overlaps(st_addr, st_size, l_addr, l.mem_size) {
+                continue;
+            }
+            let stale = match l.forwarded_from {
+                None => true,
+                Some(src) => src < store_seq,
+            };
+            if stale {
+                victim = Some((lseq, l.pc));
+                break; // oldest violating load
+            }
+        }
+        if let Some((lseq, lpc)) = victim {
+            self.stats.mem_order_violations += 1;
+            self.squash_from(lseq);
+            self.fe.redirect(self.cycle, lpc);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Stage 3: the NDA safety walk (paper §5, Table 2)
+    // ------------------------------------------------------------------
+
+    fn update_safety(&mut self) {
+        let policy = self.cfg.policy;
+        let now = self.cycle;
+        let mut older_unresolved_branch = false;
+        let mut older_unresolved_store = false;
+        let mut fence_border = None;
+        let mut is_head = true;
+        for e in self.rob.iter_mut() {
+            let mut safe = match policy.propagation {
+                Propagation::Off => true,
+                Propagation::Permissive => {
+                    !e.inst.is_load_like() || !older_unresolved_branch
+                }
+                Propagation::Strict => !older_unresolved_branch,
+            };
+            if policy.bypass_restriction && e.inst.is_load_like() && older_unresolved_store {
+                safe = false;
+            }
+            if policy.load_restriction && e.inst.is_load_like() && !is_head {
+                safe = false;
+            }
+            e.safe = safe;
+            if safe {
+                if e.safe_since.is_none() {
+                    e.safe_since = Some(now);
+                }
+            } else {
+                e.safe_since = None;
+            }
+            if e.is_unresolved_branch() {
+                older_unresolved_branch = true;
+            }
+            if e.inst.is_store() && !e.completed {
+                older_unresolved_store = true;
+            }
+            if matches!(e.inst, Inst::Fence) && !e.completed && fence_border.is_none() {
+                fence_border = Some(e.seq);
+            }
+            is_head = false;
+        }
+        self.fence_border = fence_border;
+    }
+
+    // ------------------------------------------------------------------
+    // Stage 4: tag broadcast (paper Fig 2 step 4)
+    // ------------------------------------------------------------------
+
+    fn broadcast(&mut self) {
+        let now = self.cycle;
+        let extra = self.cfg.core.broadcast_extra_delay;
+        let mut ports = self.cfg.core.broadcast_ports;
+        // Pass 1: instructions completing this cycle have priority (the
+        // paper gives completions priority to avoid pipeline stalls).
+        let mut deferred = 0u64;
+        let mut done = 0u64;
+        let mut traced: Vec<(u64, usize, Inst)> = Vec::new();
+        for e in self.rob.iter_mut() {
+            if ports == 0 {
+                break;
+            }
+            if e.completed && e.complete_cycle == now && !e.broadcasted && e.safe {
+                if let Some(prd) = e.prd {
+                    self.prf.broadcast(prd);
+                    e.broadcasted = true;
+                    ports -= 1;
+                    done += 1;
+                    traced.push((e.seq, e.pc, e.inst));
+                }
+            }
+        }
+        // Pass 2: older completed-but-deferred entries that are now safe
+        // arbitrate for the leftover ports, oldest first.
+        for e in self.rob.iter_mut() {
+            if ports == 0 {
+                break;
+            }
+            let eligible = e.completed
+                && !e.broadcasted
+                && e.safe
+                && e.safe_since.map(|s| s + extra <= now) == Some(true)
+                && e.complete_cycle < now;
+            if eligible {
+                if let Some(prd) = e.prd {
+                    self.prf.broadcast(prd);
+                    e.broadcasted = true;
+                    ports -= 1;
+                    done += 1;
+                    deferred += 1;
+                    traced.push((e.seq, e.pc, e.inst));
+                }
+            }
+        }
+        self.stats.broadcasts += done;
+        self.stats.deferred_broadcasts += deferred;
+        if self.tracer.is_some() {
+            for (seq, pc, inst) in traced {
+                self.trace_event(seq, pc, inst, crate::trace::TraceStage::Broadcast);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // InvisiSpec exposure (between broadcast and issue)
+    // ------------------------------------------------------------------
+
+    fn expose_invisispec(&mut self) {
+        let Some(variant) = self.cfg.invisispec else { return };
+        let now = self.cycle;
+        // Determine each probe-load's safe point.
+        let mut older_unresolved_branch = false;
+        let mut is_head = true;
+        let mut to_expose: Vec<u64> = Vec::new();
+        for e in self.rob.iter() {
+            let at_safe_point = match variant {
+                IsVariant::Spectre => !older_unresolved_branch,
+                IsVariant::Future => is_head,
+            };
+            if e.is_probe && e.completed && e.exposure_done.is_none() && at_safe_point {
+                to_expose.push(e.seq);
+            }
+            if e.is_unresolved_branch() {
+                older_unresolved_branch = true;
+            }
+            is_head = false;
+        }
+        for seq in to_expose {
+            let (addr, needs_validation) = {
+                let e = self.rob.get(seq).expect("probe entry");
+                (e.mem_addr.expect("probe has address"), e.bypassed_unresolved)
+            };
+            if needs_validation {
+                // The load speculated past an unresolved store address:
+                // InvisiSpec *validates* with a full re-access before the
+                // load may retire.
+                if let Some(acc) = self.hier.access_data(addr, now) {
+                    if let Some(e) = self.rob.get_mut(seq) {
+                        e.exposure_done = Some(now + acc.latency);
+                    }
+                }
+                // MSHR-full: retry next cycle.
+            } else {
+                // Plain exposure: the line moves from the load's
+                // speculative buffer into the cache; only an L1 fill is
+                // paid.
+                self.hier.install_data_line(addr);
+                let lat = self.cfg.mem.l1d.latency;
+                if let Some(e) = self.rob.get_mut(seq) {
+                    e.exposure_done = Some(now + lat);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Stage 5: issue (wake-up / select)
+    // ------------------------------------------------------------------
+
+    fn operand(&self, e: &RobEntry, slot: usize) -> u64 {
+        match e.src_pregs[slot] {
+            Some(p) => self.prf.value(p),
+            None => 0,
+        }
+    }
+
+    fn srcs_visible(&self, e: &RobEntry) -> bool {
+        e.src_pregs
+            .iter()
+            .flatten()
+            .all(|&p| self.prf.is_visible(p))
+    }
+
+    fn issue(&mut self) {
+        let now = self.cycle;
+        let mut total = self.cfg.core.issue_width;
+        let mut alu = self.cfg.core.alu_units;
+        let mut load_ports = self.cfg.core.load_ports;
+        let mut store_ports = self.cfg.core.store_ports;
+        let mut branch_units = self.cfg.core.branch_units;
+        let mut issued: Vec<u64> = Vec::new();
+        let head_seq = self.rob.head().map(|e| e.seq);
+
+        let iq_snapshot = self.iq.clone();
+        for seq in iq_snapshot {
+            if total == 0 {
+                break;
+            }
+            let Some(e) = self.rob.get(seq) else { continue };
+            debug_assert!(!e.issued);
+            // A pending fence serializes: nothing younger may issue.
+            if self.fence_border.map(|f| seq > f) == Some(true) {
+                continue;
+            }
+            // Serializing micro-ops issue only from the head of the ROB.
+            if matches!(e.inst, Inst::RdCycle { .. } | Inst::Fence | Inst::SpecOff | Inst::SpecOn)
+                && head_seq != Some(seq)
+            {
+                continue;
+            }
+            if !self.srcs_visible(e) {
+                continue;
+            }
+            let class = e.inst.class();
+            let port = match class {
+                UopClass::Load | UopClass::LoadLike => &mut load_ports,
+                UopClass::Store => &mut store_ports,
+                UopClass::Branch => &mut branch_units,
+                _ => &mut alu,
+            };
+            if *port == 0 {
+                continue;
+            }
+            if self.try_issue(seq) {
+                *port -= 1;
+                total -= 1;
+                if self.tracer.is_some() {
+                    if let Some(e) = self.rob.get(seq) {
+                        let (pc, inst) = (e.pc, e.inst);
+                        self.trace_event(seq, pc, inst, crate::trace::TraceStage::Issue);
+                    }
+                }
+                issued.push(seq);
+            }
+        }
+        if !issued.is_empty() {
+            self.stats.issue_active_cycles += 1;
+            self.stats.issued_insts += issued.len() as u64;
+            for seq in &issued {
+                if let Some(e) = self.rob.get(*seq) {
+                    self.stats.dispatch_to_issue_total += now - e.dispatch_cycle;
+                }
+            }
+            self.iq.retain(|s| !issued.contains(s));
+        }
+    }
+
+    /// Attempt to begin execution of `seq`; returns `false` if a structural
+    /// condition (LSQ wait, MSHR full) forces a retry next cycle.
+    fn try_issue(&mut self, seq: u64) -> bool {
+        let now = self.cycle;
+        let e = self.rob.get(seq).expect("iq entry exists");
+        let inst = e.inst;
+        let a = self.operand(e, 0);
+        let b = self.operand(e, 1);
+        let pc = e.pc;
+
+        let (result, done, extras) = match inst {
+            Inst::Li { imm, .. } => (imm, now + 1, IssueExtras::default()),
+            Inst::Alu { op, src2, .. } => {
+                let rhs = match src2 {
+                    Src2::Reg(_) => b,
+                    Src2::Imm(i) => i,
+                };
+                let is_div = matches!(op, nda_isa::AluOp::Div | nda_isa::AluOp::Rem);
+                // Structural hazard: the divider is busy (it is not
+                // pipelined). Retry next cycle. Crucially the occupancy is
+                // NOT released by a squash — an in-flight division drains —
+                // which is exactly SMoTherSpectre's covert channel.
+                if is_div && self.cfg.core.nonpipelined_divider && now < self.div_busy_until {
+                    return false;
+                }
+                let mut latency = op.latency();
+                if self.cfg.core.fpu_power_model
+                    && matches!(op, nda_isa::AluOp::Mul | nda_isa::AluOp::Div | nda_isa::AluOp::Rem)
+                {
+                    // NetSpectre's channel: a multiply on a powered-down
+                    // unit pays the wake-up penalty; *any* multiply —
+                    // wrong-path included — keeps the unit awake.
+                    let awake = self
+                        .fpu_busy_until
+                        .map(|t| now.saturating_sub(t) <= self.cfg.core.fpu_power_down_after)
+                        .unwrap_or(false);
+                    if !awake {
+                        latency += self.cfg.core.fpu_wake_penalty;
+                    }
+                    self.fpu_busy_until = Some(now + latency);
+                }
+                if is_div && self.cfg.core.nonpipelined_divider {
+                    self.div_busy_until = now + latency;
+                }
+                (op.apply(a, rhs), now + latency, IssueExtras::default())
+            }
+            Inst::Nop | Inst::Halt => (0, now + 1, IssueExtras::default()),
+            Inst::Fence | Inst::SpecOff | Inst::SpecOn => (0, now + 1, IssueExtras::default()),
+            Inst::RdCycle { .. } => (now, now + 1, IssueExtras::default()),
+            Inst::ClFlush { off, .. } => {
+                let addr = a.wrapping_add(off as u64);
+                self.hier.flush_line(addr);
+                (0, now + 1, IssueExtras::default())
+            }
+            Inst::RdMsr { idx, .. } => {
+                let permitted = self.msrs.user_may_read(idx);
+                let value = if permitted || self.cfg.core.meltdown_flaw {
+                    self.msrs.read(idx)
+                } else {
+                    0
+                };
+                let fault = (!permitted).then_some(Fault::PrivilegedMsr { idx });
+                (
+                    value,
+                    now + 2,
+                    IssueExtras { fault, ..IssueExtras::default() },
+                )
+            }
+            Inst::Branch { cond, target, .. } => {
+                let taken = cond.eval(a, b);
+                let next = if taken { target } else { pc + 1 };
+                (
+                    0,
+                    now + 1,
+                    IssueExtras { actual: Some((taken, next)), ..IssueExtras::default() },
+                )
+            }
+            Inst::JmpInd { .. } => (
+                0,
+                now + 1,
+                IssueExtras { actual: Some((true, a as usize)), ..IssueExtras::default() },
+            ),
+            Inst::CallInd { .. } => (
+                (pc + 1) as u64,
+                now + 1,
+                IssueExtras { actual: Some((true, a as usize)), ..IssueExtras::default() },
+            ),
+            Inst::Ret => (
+                0,
+                now + 1,
+                IssueExtras { actual: Some((true, a as usize)), ..IssueExtras::default() },
+            ),
+            // Handled at dispatch (resolved immediately).
+            Inst::Jmp { .. } | Inst::Call { .. } => unreachable!("direct jumps complete at dispatch"),
+            Inst::Store { off, size, .. } => {
+                let addr = a.wrapping_add(off as u64);
+                let fault = self
+                    .priv_map
+                    .is_privileged(addr)
+                    .then_some(Fault::PrivilegedAccess { addr });
+                (
+                    0,
+                    now + 1,
+                    IssueExtras {
+                        mem: Some((addr, size.bytes())),
+                        store_data: Some(b),
+                        fault,
+                        ..IssueExtras::default()
+                    },
+                )
+            }
+            Inst::Load { off, size, .. } => {
+                let addr = a.wrapping_add(off as u64);
+                match self.issue_load(seq, addr, size.bytes()) {
+                    Some(r) => r,
+                    None => return false,
+                }
+            }
+        };
+
+        let e = self.rob.get_mut(seq).expect("entry");
+        e.issued = true;
+        e.issue_cycle = now;
+        e.done_cycle = Some(done);
+        e.result = result;
+        if let Some((taken, next)) = extras.actual {
+            e.actual_taken = taken;
+            e.actual_next = next;
+        }
+        if let Some((addr, size)) = extras.mem {
+            e.mem_addr = Some(addr);
+            e.mem_size = size;
+        }
+        if let Some(d) = extras.store_data {
+            e.store_data = Some(d);
+        }
+        if extras.fault.is_some() {
+            e.fault = extras.fault;
+        }
+        if let Some(f) = extras.forwarded_from {
+            e.forwarded_from = Some(f);
+        }
+        if extras.bypassed {
+            e.bypassed_unresolved = true;
+            self.stats.store_bypasses += 1;
+        }
+        if extras.is_probe {
+            e.is_probe = true;
+        }
+        true
+    }
+
+    /// Load issue: privilege check, store-queue search (forward / wait /
+    /// bypass), then cache access (or InvisiSpec probe). `None` = retry.
+    fn issue_load(
+        &mut self,
+        seq: u64,
+        addr: u64,
+        size: u64,
+    ) -> Option<(u64, u64, IssueExtras)> {
+        let now = self.cycle;
+        let mut extras = IssueExtras { mem: Some((addr, size)), ..IssueExtras::default() };
+
+        // Privilege: the fault is recorded, but under the modelled Meltdown
+        // flaw the data still flows to dependents until commit squashes.
+        if self.priv_map.is_privileged(addr) {
+            extras.fault = Some(Fault::PrivilegedAccess { addr });
+            if !self.cfg.core.meltdown_flaw {
+                // A fixed implementation zeroes the forwarded data.
+                let acc = self.hier.access_data(addr, now + 1)?;
+                return Some((0, now + 1 + acc.latency, extras));
+            }
+        }
+
+        // Store-queue search, youngest older store first.
+        let mut forwarded: Option<(u64, u64)> = None; // (store seq, value)
+        for &sseq in self.sq.iter().rev() {
+            if sseq >= seq {
+                continue;
+            }
+            let st = self.rob.get(sseq).expect("sq entry");
+            if !st.completed {
+                // Unresolved address: bypass speculatively or wait.
+                if self.cfg.core.speculative_store_bypass {
+                    extras.bypassed = true;
+                    continue;
+                }
+                return None;
+            }
+            let st_addr = st.mem_addr.expect("completed store");
+            if !overlaps(st_addr, st.mem_size, addr, size) {
+                continue;
+            }
+            if st_addr <= addr && addr + size <= st_addr + st.mem_size {
+                // Full coverage: forward.
+                let shift = (addr - st_addr) * 8;
+                let data = st.store_data.expect("completed store");
+                let val = extract_bytes(data >> shift, size);
+                forwarded = Some((sseq, val));
+                break;
+            }
+            // Partial overlap: wait until the store commits to memory.
+            return None;
+        }
+
+        if let Some((sseq, val)) = forwarded {
+            extras.forwarded_from = Some(sseq);
+            return Some((val, now + self.cfg.core.store_forward_latency, extras));
+        }
+
+        // Delay-on-miss (Sakalis et al.): a speculative load that would
+        // miss the L1 is simply not issued until older branches resolve.
+        if self.cfg.core.delay_on_miss
+            && self.has_older_unresolved_branch(seq)
+            && self.hier.probe_data(addr, now).level != nda_mem::Level::L1
+        {
+            return None;
+        }
+
+        // Memory access. InvisiSpec turns speculative loads into invisible
+        // probes; everything else fills the caches (wrong path included).
+        let value = self.mem.read(addr, size);
+        let value = if extras.fault.is_some() && !self.cfg.core.meltdown_flaw { 0 } else { value };
+        let speculative_probe = match self.cfg.invisispec {
+            None => false,
+            Some(IsVariant::Spectre) => self.has_older_unresolved_branch(seq),
+            Some(IsVariant::Future) => self.rob.head().map(|h| h.seq) != Some(seq),
+        };
+        let latency = if speculative_probe {
+            extras.is_probe = true;
+            self.hier.probe_data(addr, now + 1).latency
+        } else {
+            self.hier.access_data(addr, now + 1)?.latency
+        };
+        Some((value, now + 1 + latency, extras))
+    }
+
+    fn has_older_unresolved_branch(&self, seq: u64) -> bool {
+        self.rob
+            .iter()
+            .take_while(|e| e.seq < seq)
+            .any(|e| e.is_unresolved_branch())
+    }
+
+    // ------------------------------------------------------------------
+    // Stage 6: dispatch / rename
+    // ------------------------------------------------------------------
+
+    fn dispatch(&mut self) {
+        let now = self.cycle;
+        for _ in 0..self.cfg.core.dispatch_width {
+            let Some(uop) = self.fe.peek_ready(now) else { break };
+            if self.rob.is_full() || self.iq.len() >= self.cfg.core.iq_entries {
+                break;
+            }
+            // Listing-4 window: speculation and OoO are disabled — admit
+            // one instruction at a time so nothing wrong-path can dispatch
+            // (a branch resolves before its successor enters the ROB).
+            // An in-flight SpecOff serialises dispatch the same way so the
+            // window engages before anything younger enters the back end.
+            if (self.spec_window || self.specoff_pending > 0) && !self.rob.is_empty() {
+                break;
+            }
+            let class = uop.inst.class();
+            let needs_lq = matches!(class, UopClass::Load | UopClass::LoadLike);
+            if needs_lq && self.lq.len() >= self.cfg.core.lq_entries {
+                break;
+            }
+            if class == UopClass::Store && self.sq.len() >= self.cfg.core.sq_entries {
+                break;
+            }
+            if uop.inst.dest().is_some() && self.free.available() == 0 {
+                break;
+            }
+            let uop = self.fe.pop_ready(now).expect("peeked");
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let mut e = RobEntry::new(seq, uop.pc, uop.inst, now);
+            e.pred_next = uop.pred_next;
+            e.pred_taken = uop.pred_taken;
+            e.ghr_before = uop.ghr_before;
+            e.ras_after = uop.ras_after;
+
+            // Rename sources, then destination.
+            let ops = uop.inst.operands();
+            for (slot, r) in ops.iter().enumerate() {
+                if let Some(r) = r {
+                    e.src_pregs[slot] = Some(self.rename.lookup(*r));
+                }
+            }
+            if let Some(rd) = uop.inst.dest() {
+                let prd = self.free.alloc().expect("checked available");
+                self.prf.reset(prd);
+                e.arch_rd = Some(rd);
+                e.prd = Some(prd);
+                e.old_prd = Some(self.rename.rename(rd, prd));
+            }
+
+            let mut enqueue = true;
+            match uop.inst {
+                // Direct control flow resolves at dispatch: the target is
+                // in the instruction word, so it creates no unsafe border
+                // and never mispredicts.
+                Inst::Jmp { target } => {
+                    e.branch_resolved = true;
+                    e.actual_taken = true;
+                    e.actual_next = target;
+                    e.completed = true;
+                    e.complete_cycle = now;
+                    e.broadcasted = true;
+                    enqueue = false;
+                }
+                Inst::Call { target } => {
+                    e.branch_resolved = true;
+                    e.actual_taken = true;
+                    e.actual_next = target;
+                    e.completed = true;
+                    e.complete_cycle = now;
+                    e.result = (uop.pc + 1) as u64;
+                    self.prf.write(e.prd.expect("call writes ra"), e.result);
+                    enqueue = false;
+                }
+                Inst::Nop | Inst::Halt => {
+                    e.completed = true;
+                    e.complete_cycle = now;
+                    e.broadcasted = true;
+                    enqueue = false;
+                }
+                Inst::SpecOff => self.specoff_pending += 1,
+                _ => {}
+            }
+            if needs_lq {
+                self.lq.push(seq);
+            }
+            if class == UopClass::Store {
+                self.sq.push(seq);
+            }
+            if enqueue {
+                self.iq.push(seq);
+            }
+            self.trace_event(seq, e.pc, e.inst, crate::trace::TraceStage::Dispatch);
+            if e.completed {
+                self.trace_event(seq, e.pc, e.inst, crate::trace::TraceStage::Complete);
+            }
+            self.rob.push(e);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Squash
+    // ------------------------------------------------------------------
+
+    /// Remove every entry with `seq >= min_seq`, unwinding rename state
+    /// tail-first and discarding never-broadcast values (paper §5.1:
+    /// "discarding values in physical registers that never became safe").
+    fn squash_from(&mut self, min_seq: u64) {
+        let mut any = false;
+        while let Some(e) = self.rob.pop_tail_from(min_seq) {
+            any = true;
+            if e.issued {
+                self.stats.wrong_path_executed += 1;
+            }
+            if matches!(e.inst, Inst::SpecOff) {
+                self.specoff_pending -= 1;
+            }
+            self.trace_event(e.seq, e.pc, e.inst, crate::trace::TraceStage::Squash);
+            if let (Some(rd), Some(prd), Some(old)) = (e.arch_rd, e.prd, e.old_prd) {
+                debug_assert_eq!(self.rename.lookup(rd), prd, "LIFO unwind invariant");
+                self.rename.restore(rd, old);
+                self.free.release(prd);
+            }
+        }
+        if any {
+            self.iq.retain(|&s| s < min_seq);
+            self.lq.retain(|&s| s < min_seq);
+            self.sq.retain(|&s| s < min_seq);
+            // Sequence numbers name ROB slots; after a squash the next
+            // dispatch reuses the numbering so the ROB stays contiguous.
+            self.next_seq = min_seq;
+            self.stats.squashes += 1;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Cycle classification (Fig 9a)
+    // ------------------------------------------------------------------
+
+    fn classify_cycle(&mut self, committed: u64) {
+        let class = if committed > 0 {
+            CycleClass::Commit
+        } else if let Some(head) = self.rob.head() {
+            let memish = head.inst.is_load_like() || head.inst.is_store();
+            let retirable = head.completed
+                && !(head.is_probe && head.exposure_done.map(|d| d <= self.cycle) != Some(true));
+            if memish && !retirable {
+                CycleClass::MemoryStall
+            } else {
+                CycleClass::BackendStall
+            }
+        } else {
+            CycleClass::FrontendStall
+        };
+        self.stats.record_cycle(class);
+    }
+}
+
+/// One ROB entry's externally-visible state, for the Fig 6 trace renderer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RobView {
+    /// Instruction index.
+    pub pc: usize,
+    /// Disassembly.
+    pub disasm: String,
+    /// Fig 6 cell state.
+    pub state: RobCellState,
+    /// `true` for a branch whose outcome is still unknown.
+    pub unresolved_branch: bool,
+}
+
+/// The Fig 6 colour coding of an ROB entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RobCellState {
+    /// Sources not ready: cannot issue yet.
+    NotReady,
+    /// Issued and executing.
+    Executing,
+    /// Completed but NDA is deferring the broadcast (unsafe).
+    CompletedUnsafe,
+    /// Completed and broadcast (safe).
+    CompletedBroadcast,
+}
+
+impl OooCore {
+    /// Snapshot the ROB in Fig 6 form (oldest first).
+    pub fn rob_view(&self) -> Vec<RobView> {
+        self.rob
+            .iter()
+            .map(|e| {
+                let state = if e.completed {
+                    if e.broadcasted {
+                        RobCellState::CompletedBroadcast
+                    } else {
+                        RobCellState::CompletedUnsafe
+                    }
+                } else if e.issued {
+                    RobCellState::Executing
+                } else {
+                    RobCellState::NotReady
+                };
+                RobView {
+                    pc: e.pc,
+                    disasm: e.inst.to_string(),
+                    state,
+                    unresolved_branch: e.is_unresolved_branch(),
+                }
+            })
+            .collect()
+    }
+}
+
+/// Per-issue side data threaded from `try_issue` helpers.
+#[derive(Debug, Default, Clone, Copy)]
+struct IssueExtras {
+    actual: Option<(bool, usize)>,
+    mem: Option<(u64, u64)>,
+    store_data: Option<u64>,
+    fault: Option<Fault>,
+    forwarded_from: Option<u64>,
+    bypassed: bool,
+    is_probe: bool,
+}
+
+fn overlaps(a_addr: u64, a_size: u64, b_addr: u64, b_size: u64) -> bool {
+    a_addr < b_addr.wrapping_add(b_size) && b_addr < a_addr.wrapping_add(a_size)
+}
+
+fn extract_bytes(v: u64, size: u64) -> u64 {
+    if size >= 8 {
+        v
+    } else {
+        v & ((1u64 << (8 * size)) - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{SimConfig, Variant};
+    use nda_isa::{Asm, Reg};
+
+    fn run_ooo(asm: &Asm) -> OooCore {
+        run_cfg(asm, SimConfig::ooo())
+    }
+
+    fn run_cfg(asm: &Asm, cfg: SimConfig) -> OooCore {
+        let p = asm.assemble().unwrap();
+        let mut c = OooCore::new(cfg, &p);
+        c.run(1_000_000).unwrap();
+        c
+    }
+
+    #[test]
+    fn arithmetic_commits() {
+        let mut asm = Asm::new();
+        asm.li(Reg::X2, 20).li(Reg::X3, 22).add(Reg::X4, Reg::X2, Reg::X3).halt();
+        let c = run_ooo(&asm);
+        assert_eq!(c.reg(Reg::X4), 42);
+        assert_eq!(c.stats.committed_insts, 4);
+        assert!(c.halted());
+    }
+
+    #[test]
+    fn loop_matches_interp() {
+        let mut asm = Asm::new();
+        let done = asm.new_label();
+        asm.li(Reg::X2, 25).li(Reg::X3, 0);
+        let top = asm.here_label();
+        asm.beq(Reg::X2, Reg::X0, done);
+        asm.addi(Reg::X3, Reg::X3, 7);
+        asm.subi(Reg::X2, Reg::X2, 1);
+        asm.jmp(top);
+        asm.bind(done);
+        asm.halt();
+        let c = run_ooo(&asm);
+        assert_eq!(c.reg(Reg::X3), 175);
+    }
+
+    #[test]
+    fn store_load_roundtrip_with_forwarding() {
+        let mut asm = Asm::new();
+        asm.li(Reg::X2, 0x1_0000);
+        asm.li(Reg::X3, 0xDEAD);
+        asm.st8(Reg::X3, Reg::X2, 8);
+        asm.ld8(Reg::X4, Reg::X2, 8); // forwards from the store queue
+        asm.halt();
+        let c = run_ooo(&asm);
+        assert_eq!(c.reg(Reg::X4), 0xDEAD);
+        assert_eq!(c.mem.read(0x1_0008, 8), 0xDEAD);
+    }
+
+    #[test]
+    fn call_ret_roundtrip() {
+        let mut asm = Asm::new();
+        let f = asm.new_label();
+        asm.call(f);
+        asm.li(Reg::X6, 9);
+        asm.halt();
+        asm.bind(f);
+        asm.li(Reg::X5, 7);
+        asm.ret();
+        let c = run_ooo(&asm);
+        assert_eq!(c.reg(Reg::X5), 7);
+        assert_eq!(c.reg(Reg::X6), 9);
+    }
+
+    #[test]
+    fn mispredicted_branch_squashes_wrong_path() {
+        // A data-dependent branch the predictor cannot know: initial
+        // prediction is not-taken, but it is taken.
+        let mut asm = Asm::new();
+        let skip = asm.new_label();
+        asm.li(Reg::X2, 1);
+        asm.bne(Reg::X2, Reg::X0, skip); // taken; predicted not-taken (cold)
+        asm.li(Reg::X3, 0xBAD);
+        asm.bind(skip);
+        asm.halt();
+        let c = run_ooo(&asm);
+        assert_eq!(c.reg(Reg::X3), 0, "wrong-path write must be squashed");
+        assert!(c.stats.branch_mispredicts >= 1);
+        assert!(c.stats.squashes >= 1);
+    }
+
+    #[test]
+    fn all_policies_preserve_architecture() {
+        let mut asm = Asm::new();
+        let done = asm.new_label();
+        asm.li(Reg::X2, 12).li(Reg::X3, 0).li(Reg::X8, 0x2_0000);
+        let top = asm.here_label();
+        asm.beq(Reg::X2, Reg::X0, done);
+        asm.add(Reg::X3, Reg::X3, Reg::X2);
+        asm.st8(Reg::X3, Reg::X8, 0);
+        asm.ld8(Reg::X4, Reg::X8, 0);
+        asm.subi(Reg::X2, Reg::X2, 1);
+        asm.jmp(top);
+        asm.bind(done);
+        asm.halt();
+        let mut cycles = Vec::new();
+        for v in [
+            Variant::Ooo,
+            Variant::Permissive,
+            Variant::PermissiveBr,
+            Variant::Strict,
+            Variant::StrictBr,
+            Variant::RestrictedLoads,
+            Variant::FullProtection,
+            Variant::InvisiSpecSpectre,
+            Variant::InvisiSpecFuture,
+        ] {
+            let c = run_cfg(&asm, SimConfig::for_variant(v));
+            assert_eq!(c.reg(Reg::X3), 78, "{v}: wrong sum");
+            assert_eq!(c.reg(Reg::X4), 78, "{v}: wrong load");
+            cycles.push((v, c.cycle()));
+        }
+        // NDA restricts scheduling: no protected variant can be faster
+        // than insecure OoO.
+        let base = cycles[0].1;
+        for (v, cyc) in &cycles[1..] {
+            assert!(*cyc >= base, "{v} faster than OoO ({cyc} < {base})");
+        }
+    }
+
+    #[test]
+    fn load_restriction_delays_young_loads_behind_slow_head() {
+        // A slow (cold-miss) load occupies the ROB head; a young fast load
+        // feeds a dependent ALU chain. Baseline OoO overlaps the chain with
+        // the miss; load restriction forces the fast load to wait for the
+        // head, serialising the chain after the miss.
+        let mut asm = Asm::new();
+        asm.data_u64s(0xB000, &[7]);
+        // Warm the fast load's line.
+        asm.li(Reg::X8, 0xB000);
+        asm.ld8(Reg::X9, Reg::X8, 0);
+        asm.fence(); // make warm-up timing identical across policies
+        asm.li(Reg::X2, 0xA000); // never touched: cold
+        asm.ld8(Reg::X4, Reg::X2, 0); // slow, independent
+        asm.ld8(Reg::X5, Reg::X8, 0); // fast, but young
+        for _ in 0..40 {
+            asm.addi(Reg::X5, Reg::X5, 1); // dependent chain on the fast load
+        }
+        asm.halt();
+        let base = run_cfg(&asm, SimConfig::for_variant(Variant::Ooo));
+        let full = run_cfg(&asm, SimConfig::for_variant(Variant::RestrictedLoads));
+        assert_eq!(base.reg(Reg::X5), full.reg(Reg::X5));
+        assert_eq!(base.reg(Reg::X5), 47);
+        assert!(
+            full.cycle() > base.cycle() + 20,
+            "load restriction must serialise the chain after the miss ({} vs {})",
+            full.cycle(),
+            base.cycle()
+        );
+        assert!(full.stats.deferred_broadcasts > 0);
+    }
+
+    #[test]
+    fn fault_without_handler_is_error() {
+        let mut asm = Asm::new();
+        asm.li(Reg::X2, nda_isa::KERNEL_BASE);
+        asm.ld8(Reg::X3, Reg::X2, 0);
+        asm.halt();
+        let p = asm.assemble().unwrap();
+        let mut c = OooCore::new(SimConfig::ooo(), &p);
+        let err = c.run(100_000).unwrap_err();
+        assert!(matches!(err, SimError::UnhandledFault(_)));
+    }
+
+    #[test]
+    fn fault_with_handler_recovers_architecturally() {
+        let mut asm = Asm::new();
+        let h = asm.new_label();
+        asm.fault_handler(h);
+        asm.li(Reg::X2, nda_isa::KERNEL_BASE);
+        asm.ld8(Reg::X3, Reg::X2, 0);
+        asm.li(Reg::X4, 0xBAD); // skipped via handler
+        asm.halt();
+        asm.bind(h);
+        asm.li(Reg::X5, 1);
+        asm.halt();
+        let c = run_ooo(&asm);
+        assert_eq!(c.stats.faults, 1);
+        assert_eq!(c.reg(Reg::X5), 1);
+        assert_eq!(c.reg(Reg::X3), 0, "faulting load must not commit its value");
+    }
+
+    #[test]
+    fn rdcycle_is_monotonic_and_serializing() {
+        let mut asm = Asm::new();
+        asm.rdcycle(Reg::X2);
+        asm.rdcycle(Reg::X3);
+        asm.halt();
+        let c = run_ooo(&asm);
+        assert!(c.reg(Reg::X3) > c.reg(Reg::X2));
+    }
+
+    #[test]
+    fn ssb_stale_then_replay_gets_correct_value() {
+        // A store whose address depends on a slow load; a younger load to
+        // the same address bypasses it speculatively, reads stale data and
+        // must be replayed when the store resolves.
+        let mut asm = Asm::new();
+        asm.data_u64s(0x4000, &[0x5000]); // pointer to the store target
+        asm.data_u64s(0x5000, &[111]); // stale value
+        asm.li(Reg::X2, 0x4000);
+        asm.clflush(Reg::X2, 0); // make the pointer load slow
+        asm.ld8(Reg::X3, Reg::X2, 0); // slow: X3 = 0x5000
+        asm.li(Reg::X4, 222);
+        asm.st8(Reg::X4, Reg::X3, 0); // store addr unresolved for a while
+        asm.li(Reg::X5, 0x5000);
+        asm.ld8(Reg::X6, Reg::X5, 0); // bypasses; must end up 222
+        asm.halt();
+        let c = run_ooo(&asm);
+        assert_eq!(c.reg(Reg::X6), 222, "replay must repair the stale read");
+        assert!(c.stats.mem_order_violations >= 1, "bypass must have mis-speculated");
+        assert!(c.stats.store_bypasses >= 1);
+    }
+
+    #[test]
+    fn indirect_call_through_table() {
+        let mut asm = Asm::new();
+        let f = asm.new_label();
+        asm.li(Reg::X2, 0x6000);
+        asm.ld8(Reg::X3, Reg::X2, 0);
+        asm.call_ind(Reg::X3);
+        asm.halt();
+        asm.bind(f);
+        asm.li(Reg::X7, 0x77);
+        asm.ret();
+        let mut p = asm.assemble().unwrap();
+        let target = 4u64; // index of "li x7"
+        p.data.push(nda_isa::DataInit { addr: 0x6000, bytes: target.to_le_bytes().to_vec() });
+        let mut c = OooCore::new(SimConfig::ooo(), &p);
+        c.run(1_000_000).unwrap();
+        assert_eq!(c.reg(Reg::X7), 0x77);
+    }
+
+    #[test]
+    fn fence_serializes_issue() {
+        let mut asm = Asm::new();
+        asm.li(Reg::X2, 5);
+        asm.fence();
+        asm.addi(Reg::X3, Reg::X2, 1);
+        asm.halt();
+        let c = run_ooo(&asm);
+        assert_eq!(c.reg(Reg::X3), 6);
+    }
+
+    #[test]
+    fn wrong_path_loads_fill_caches_on_insecure_ooo() {
+        // The residue that makes Spectre work: a wrong-path load allocates
+        // a line that survives the squash.
+        let mut asm = Asm::new();
+        let skip = asm.new_label();
+        asm.li(Reg::X2, 1);
+        asm.li(Reg::X9, 0x9_0000);
+        asm.clflush(Reg::X9, 0);
+        asm.bne(Reg::X2, Reg::X0, skip); // taken, predicted not-taken (cold)
+        asm.ld8(Reg::X4, Reg::X9, 0); // wrong path
+        asm.bind(skip);
+        // Let plenty of cycles pass so the wrong-path fill completes.
+        for _ in 0..64 {
+            asm.nop();
+        }
+        asm.halt();
+        let mut c = run_ooo(&asm);
+        assert_eq!(c.reg(Reg::X4), 0, "wrong-path load must not commit");
+        assert!(c.stats.wrong_path_executed > 0, "wrong path must actually execute");
+        let now = c.cycle();
+        assert_eq!(
+            c.hier.probe_data(0x9_0000, now).level,
+            nda_mem::Level::L1,
+            "wrong-path cache fill must survive the squash (the covert channel)"
+        );
+    }
+}

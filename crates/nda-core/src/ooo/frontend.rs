@@ -1,0 +1,322 @@
+//! The front end: fetch, predict, and the fetch→dispatch pipe.
+//!
+//! Fetch follows predictions blindly — including down wrong paths. The
+//! queue models the front-end pipeline depth: a micro-op fetched at cycle
+//! `t` becomes eligible for dispatch at `t + fetch_to_dispatch`, which is
+//! what makes a misprediction cost ~16 cycles end to end (the penalty the
+//! paper measures for its BTB covert channel, Fig 5).
+
+use nda_isa::{Inst, Program};
+use nda_mem::{Level, MemHier};
+use nda_predict::{Btb, DirPredictor, Ras, RasSnapshot};
+use std::collections::VecDeque;
+
+/// A fetched, predicted micro-op waiting to dispatch.
+#[derive(Debug, Clone)]
+pub struct FetchedUop {
+    /// Instruction index.
+    pub pc: usize,
+    /// The decoded micro-op.
+    pub inst: Inst,
+    /// Predicted next PC (where fetch went after this).
+    pub pred_next: usize,
+    /// Cycle at which dispatch may consume this micro-op.
+    pub ready_cycle: u64,
+    /// Predicted direction (conditional branches only).
+    pub pred_taken: bool,
+    /// GHR snapshot just before predicting this branch.
+    pub ghr_before: u64,
+    /// RAS snapshot just after this branch's own push/pop.
+    pub ras_after: Option<RasSnapshot>,
+}
+
+/// Fetch parameters (subset of the core config the front end needs).
+#[derive(Debug, Clone, Copy)]
+pub struct FrontEndConfig {
+    /// Micro-ops fetched per cycle.
+    pub fetch_width: usize,
+    /// Fetch→dispatch latency in cycles.
+    pub fetch_to_dispatch: u64,
+    /// Queue capacity.
+    pub fetch_buffer: usize,
+}
+
+/// The fetch unit. See the [module documentation](self).
+#[derive(Debug, Clone)]
+pub struct FrontEnd {
+    cfg: FrontEndConfig,
+    /// Next PC to fetch.
+    pub fetch_pc: usize,
+    queue: VecDeque<FetchedUop>,
+    stall_until: u64,
+    /// The i-cache line most recently fetched from (avoids re-charging).
+    last_line: Option<u64>,
+    /// Direction predictor.
+    pub dir: DirPredictor,
+    /// Branch target buffer.
+    pub btb: Btb,
+    /// Return address stack.
+    pub ras: Ras,
+}
+
+impl FrontEnd {
+    /// A front end starting at `entry`.
+    pub fn new(cfg: FrontEndConfig, dir: DirPredictor, btb: Btb, entry: usize) -> FrontEnd {
+        FrontEnd {
+            cfg,
+            fetch_pc: entry,
+            queue: VecDeque::with_capacity(cfg.fetch_buffer),
+            stall_until: 0,
+            last_line: None,
+            dir,
+            btb,
+            ras: Ras::new(),
+        }
+    }
+
+    /// Number of queued micro-ops.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Squash recovery: discard everything fetched, restart at `pc` next
+    /// cycle.
+    pub fn redirect(&mut self, now: u64, pc: usize) {
+        self.queue.clear();
+        self.fetch_pc = pc;
+        self.stall_until = now + 1;
+        self.last_line = None;
+    }
+
+    /// Pop the next micro-op if its pipeline delay has elapsed.
+    pub fn pop_ready(&mut self, now: u64) -> Option<FetchedUop> {
+        if self.queue.front().map(|u| u.ready_cycle <= now) == Some(true) {
+            self.queue.pop_front()
+        } else {
+            None
+        }
+    }
+
+    /// Peek without consuming (dispatch resource checks).
+    pub fn peek_ready(&self, now: u64) -> Option<&FetchedUop> {
+        self.queue.front().filter(|u| u.ready_cycle <= now)
+    }
+
+    /// Run one fetch cycle: predict and enqueue up to `fetch_width`
+    /// micro-ops, stopping at a predicted-taken branch, a full buffer, an
+    /// i-cache miss, or the end of the text segment.
+    pub fn fetch_cycle(&mut self, now: u64, program: &Program, hier: &mut MemHier) {
+        if now < self.stall_until {
+            return;
+        }
+        for _ in 0..self.cfg.fetch_width {
+            if self.queue.len() >= self.cfg.fetch_buffer {
+                break;
+            }
+            let pc = self.fetch_pc;
+            let Some(inst) = program.fetch(pc) else {
+                // Ran off the text segment (wrong path, or a program bug a
+                // squash will redirect us out of).
+                break;
+            };
+            // I-cache: charge per line transition; a miss stalls fetch.
+            let addr = program.inst_addr(pc);
+            let line = addr / 64;
+            if self.last_line != Some(line) {
+                let acc = hier.access_inst(addr);
+                if acc.level != Level::L1 {
+                    self.stall_until = now + acc.latency;
+                    return;
+                }
+                self.last_line = Some(line);
+            }
+
+            let mut uop = FetchedUop {
+                pc,
+                inst,
+                pred_next: pc + 1,
+                ready_cycle: now + self.cfg.fetch_to_dispatch,
+                pred_taken: false,
+                ghr_before: 0,
+                ras_after: None,
+            };
+            let mut redirect_target: Option<usize> = None;
+            match inst {
+                Inst::Branch { target, .. } => {
+                    uop.ghr_before = self.dir.ghr();
+                    uop.pred_taken = self.dir.predict(addr);
+                    if uop.pred_taken {
+                        uop.pred_next = target;
+                        redirect_target = Some(target);
+                    }
+                    uop.ras_after = Some(self.ras.snapshot());
+                }
+                Inst::Jmp { target } => {
+                    uop.pred_next = target;
+                    redirect_target = Some(target);
+                    uop.ras_after = Some(self.ras.snapshot());
+                }
+                Inst::Call { target } => {
+                    self.ras.push(pc + 1);
+                    uop.pred_next = target;
+                    redirect_target = Some(target);
+                    uop.ras_after = Some(self.ras.snapshot());
+                }
+                Inst::JmpInd { .. } => {
+                    if let Some(t) = self.btb.lookup(addr) {
+                        uop.pred_next = t;
+                        redirect_target = Some(t);
+                    }
+                    uop.ras_after = Some(self.ras.snapshot());
+                }
+                Inst::CallInd { .. } => {
+                    self.ras.push(pc + 1);
+                    if let Some(t) = self.btb.lookup(addr) {
+                        uop.pred_next = t;
+                        redirect_target = Some(t);
+                    }
+                    uop.ras_after = Some(self.ras.snapshot());
+                }
+                Inst::Ret => {
+                    if let Some(t) = self.ras.pop() {
+                        uop.pred_next = t;
+                        redirect_target = Some(t);
+                    }
+                    uop.ras_after = Some(self.ras.snapshot());
+                }
+                _ => {}
+            }
+            let taken_redirect = redirect_target.is_some() && uop.pred_next != pc + 1;
+            self.queue.push_back(uop);
+            if let Some(t) = redirect_target {
+                self.fetch_pc = t;
+                if taken_redirect {
+                    // One taken-branch redirect per cycle.
+                    break;
+                }
+            } else {
+                self.fetch_pc = pc + 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nda_isa::{Asm, Reg};
+    use nda_mem::MemHierConfig;
+    use nda_predict::{BtbConfig, Gshare, GshareConfig, PredictorKind};
+
+    fn fe(entry: usize) -> FrontEnd {
+        let _ = PredictorKind::Gshare;
+        FrontEnd::new(
+            FrontEndConfig { fetch_width: 4, fetch_to_dispatch: 3, fetch_buffer: 16 },
+            DirPredictor::Gshare(Gshare::new(GshareConfig::default())),
+            Btb::new(BtbConfig::default()),
+            entry,
+        )
+    }
+
+    fn warm_hier() -> MemHier {
+        MemHier::new(MemHierConfig::haswell_like())
+    }
+
+    #[test]
+    fn straight_line_fetch_respects_pipeline_delay() {
+        let mut asm = Asm::new();
+        for _ in 0..8 {
+            asm.nop();
+        }
+        asm.halt();
+        let p = asm.assemble().unwrap();
+        let mut f = fe(0);
+        let mut h = warm_hier();
+        // Cycle 0: icache cold -> stall, nothing fetched.
+        f.fetch_cycle(0, &p, &mut h);
+        assert_eq!(f.queued(), 0);
+        // After the miss resolves, fetch proceeds.
+        let resume = 4 + 40 + 100;
+        f.fetch_cycle(resume, &p, &mut h);
+        assert_eq!(f.queued(), 4);
+        assert!(f.pop_ready(resume).is_none(), "pipeline delay not yet elapsed");
+        assert!(f.pop_ready(resume + 3).is_some());
+    }
+
+    #[test]
+    fn taken_jmp_redirects_within_cycle() {
+        let mut asm = Asm::new();
+        let l = asm.new_label();
+        asm.jmp(l); // 0
+        asm.nop(); // 1 (skipped)
+        asm.bind(l);
+        asm.halt(); // 2
+        let p = asm.assemble().unwrap();
+        let mut f = fe(0);
+        let mut h = warm_hier();
+        f.fetch_cycle(0, &p, &mut h); // cold miss
+        f.fetch_cycle(200, &p, &mut h);
+        // Only the jmp was fetched this cycle; next fetch starts at 2.
+        assert_eq!(f.queued(), 1);
+        assert_eq!(f.fetch_pc, 2);
+        let u = f.pop_ready(203).unwrap();
+        assert_eq!(u.pred_next, 2);
+    }
+
+    #[test]
+    fn call_ret_pair_predicts_via_ras() {
+        let mut asm = Asm::new();
+        let func = asm.new_label();
+        asm.call(func); // 0 -> 2
+        asm.halt(); // 1
+        asm.bind(func);
+        asm.ret(); // 2 -> predicted 1
+        let p = asm.assemble().unwrap();
+        let mut f = fe(0);
+        let mut h = warm_hier();
+        f.fetch_cycle(0, &p, &mut h);
+        f.fetch_cycle(200, &p, &mut h); // fetches call, redirects to 2
+        f.fetch_cycle(201, &p, &mut h); // fetches ret, predicts 1 via RAS
+        let call = f.pop_ready(205).unwrap();
+        assert_eq!(call.pred_next, 2);
+        let ret = f.pop_ready(206).unwrap();
+        assert!(matches!(ret.inst, Inst::Ret));
+        assert_eq!(ret.pred_next, 1, "RAS predicted the return");
+    }
+
+    #[test]
+    fn indirect_without_btb_predicts_fallthrough() {
+        let mut asm = Asm::new();
+        asm.jmp_ind(Reg::X2); // 0
+        asm.nop(); // 1
+        asm.halt();
+        let p = asm.assemble().unwrap();
+        let mut f = fe(0);
+        let mut h = warm_hier();
+        f.fetch_cycle(0, &p, &mut h);
+        f.fetch_cycle(200, &p, &mut h);
+        let u = f.pop_ready(210).unwrap();
+        assert_eq!(u.pred_next, 1, "BTB miss predicts fall-through");
+    }
+
+    #[test]
+    fn redirect_clears_queue() {
+        let mut asm = Asm::new();
+        for _ in 0..6 {
+            asm.nop();
+        }
+        asm.halt();
+        let p = asm.assemble().unwrap();
+        let mut f = fe(0);
+        let mut h = warm_hier();
+        f.fetch_cycle(0, &p, &mut h);
+        f.fetch_cycle(200, &p, &mut h);
+        assert!(f.queued() > 0);
+        f.redirect(201, 5);
+        assert_eq!(f.queued(), 0);
+        assert_eq!(f.fetch_pc, 5);
+        // Stalled the redirect cycle itself.
+        f.fetch_cycle(201, &p, &mut h);
+        assert_eq!(f.queued(), 0);
+    }
+}

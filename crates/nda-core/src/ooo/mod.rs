@@ -1,0 +1,14 @@
+//! The out-of-order core.
+//!
+//! Module layout mirrors the pipeline:
+//!
+//! * [`rename`] — physical register file, free list, map table.
+//! * [`rob`] — reorder buffer entries and the NDA safety bits.
+//! * [`frontend`] — fetch, predict, and the fetch→dispatch pipe.
+//! * [`core`] — the cycle loop: commit, writeback, safety update,
+//!   broadcast, issue, dispatch, fetch.
+
+pub mod core;
+pub mod frontend;
+pub mod rename;
+pub mod rob;

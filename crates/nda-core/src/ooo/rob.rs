@@ -1,0 +1,304 @@
+//! Reorder buffer.
+//!
+//! Each [`RobEntry`] carries the paper's three NDA bookkeeping bits —
+//! `unsafe` (here inverted as [`RobEntry::safe`]), `exec`
+//! ([`RobEntry::completed`]) and `bcast` ([`RobEntry::broadcasted`]) —
+//! plus everything squash recovery needs (old rename mappings, predictor
+//! snapshots) and everything the LSQ needs (addresses, forwarding sources).
+
+use super::rename::PReg;
+use nda_isa::{Fault, Inst, Reg};
+use nda_predict::RasSnapshot;
+use std::collections::VecDeque;
+
+/// One in-flight micro-op.
+#[derive(Debug, Clone)]
+pub struct RobEntry {
+    /// Global sequence number (monotonic across squashes).
+    pub seq: u64,
+    /// Instruction index in the program text.
+    pub pc: usize,
+    /// The decoded micro-op.
+    pub inst: Inst,
+
+    /// Architectural destination, if any.
+    pub arch_rd: Option<Reg>,
+    /// Allocated physical destination.
+    pub prd: Option<PReg>,
+    /// Previous mapping of `arch_rd` (freed at commit, restored on squash).
+    pub old_prd: Option<PReg>,
+    /// Positional source physical registers (see `Inst::operands`).
+    pub src_pregs: [Option<PReg>; 2],
+
+    /// Cycle the entry entered the ROB.
+    pub dispatch_cycle: u64,
+    /// `true` once issued to a functional unit.
+    pub issued: bool,
+    /// Cycle of issue (meaningful once `issued`).
+    pub issue_cycle: u64,
+    /// Cycle execution will complete (set at issue).
+    pub done_cycle: Option<u64>,
+    /// The paper's `exec` bit: execution finished, result written back.
+    pub completed: bool,
+    /// Cycle at which `completed` was set.
+    pub complete_cycle: u64,
+    /// The paper's `bcast` bit: destination tag broadcast, dependents woken.
+    pub broadcasted: bool,
+    /// Result value (written to the PRF at completion).
+    pub result: u64,
+
+    /// Inverted `unsafe` bit: may this entry broadcast under the active
+    /// policy? Recomputed every cycle by the safety walk.
+    pub safe: bool,
+    /// First cycle the entry was observed safe (for the Fig 9e extra-delay
+    /// knob).
+    pub safe_since: Option<u64>,
+
+    /// Branch bookkeeping: resolved at execution.
+    pub branch_resolved: bool,
+    /// Next PC predicted at fetch.
+    pub pred_next: usize,
+    /// Next PC computed at execution.
+    pub actual_next: usize,
+    /// Predicted direction (conditional branches).
+    pub pred_taken: bool,
+    /// Actual direction (conditional branches).
+    pub actual_taken: bool,
+    /// GHR snapshot taken just before this branch predicted.
+    pub ghr_before: u64,
+    /// RAS snapshot taken just after this branch's own push/pop at fetch.
+    pub ras_after: Option<RasSnapshot>,
+    /// Set at resolution if `pred_next != actual_next`.
+    pub mispredicted: bool,
+
+    /// Effective address (loads/stores/flushes), set at execution.
+    pub mem_addr: Option<u64>,
+    /// Access width in bytes.
+    pub mem_size: u64,
+    /// Store data value, set at execution.
+    pub store_data: Option<u64>,
+    /// Sequence number of the store this load forwarded from.
+    pub forwarded_from: Option<u64>,
+    /// Load executed past >= 1 older store with unresolved address
+    /// (speculative store bypass happened; Bypass Restriction keys on it).
+    pub bypassed_unresolved: bool,
+    /// Architectural fault to deliver when this entry reaches commit.
+    pub fault: Option<Fault>,
+
+    /// InvisiSpec: load executed as an invisible probe (no cache fill).
+    pub is_probe: bool,
+    /// InvisiSpec: exposure/validation completes at this cycle.
+    pub exposure_done: Option<u64>,
+}
+
+impl RobEntry {
+    /// A freshly-dispatched entry.
+    pub fn new(seq: u64, pc: usize, inst: Inst, cycle: u64) -> RobEntry {
+        RobEntry {
+            seq,
+            pc,
+            inst,
+            arch_rd: None,
+            prd: None,
+            old_prd: None,
+            src_pregs: [None, None],
+            dispatch_cycle: cycle,
+            issued: false,
+            issue_cycle: 0,
+            done_cycle: None,
+            completed: false,
+            complete_cycle: 0,
+            broadcasted: false,
+            result: 0,
+            safe: false,
+            safe_since: None,
+            branch_resolved: false,
+            pred_next: pc + 1,
+            actual_next: pc + 1,
+            pred_taken: false,
+            actual_taken: false,
+            ghr_before: 0,
+            ras_after: None,
+            mispredicted: false,
+            mem_addr: None,
+            mem_size: 0,
+            store_data: None,
+            forwarded_from: None,
+            bypassed_unresolved: false,
+            fault: None,
+            is_probe: false,
+            exposure_done: None,
+        }
+    }
+
+    /// `true` for an in-flight branch whose outcome is still unknown — the
+    /// strict/permissive unsafe border (paper §5.1).
+    pub fn is_unresolved_branch(&self) -> bool {
+        self.inst.is_branch() && !self.branch_resolved
+    }
+
+    /// `true` for an in-flight store whose address is still unknown — the
+    /// Bypass Restriction border (paper §5.2).
+    pub fn is_unresolved_store(&self) -> bool {
+        self.inst.is_store() && self.mem_addr.is_none()
+    }
+}
+
+/// The reorder buffer: a bounded FIFO of [`RobEntry`]s addressed by
+/// sequence number.
+#[derive(Debug, Clone, Default)]
+pub struct Rob {
+    entries: VecDeque<RobEntry>,
+    capacity: usize,
+}
+
+impl Rob {
+    /// An empty ROB with `capacity` entries.
+    pub fn new(capacity: usize) -> Rob {
+        Rob { entries: VecDeque::with_capacity(capacity), capacity }
+    }
+
+    /// Entries in flight.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no entries are in flight.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `true` when dispatch must stall.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Append a dispatched entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if full or if `seq` is not contiguous.
+    pub fn push(&mut self, e: RobEntry) {
+        assert!(!self.is_full(), "rob overflow");
+        if let Some(back) = self.entries.back() {
+            assert_eq!(back.seq + 1, e.seq, "non-contiguous rob sequence");
+        }
+        self.entries.push_back(e);
+    }
+
+    /// The oldest entry.
+    pub fn head(&self) -> Option<&RobEntry> {
+        self.entries.front()
+    }
+
+    /// Entry by sequence number.
+    pub fn get(&self, seq: u64) -> Option<&RobEntry> {
+        let front = self.entries.front()?.seq;
+        self.entries.get(seq.checked_sub(front)? as usize)
+    }
+
+    /// Mutable entry by sequence number.
+    pub fn get_mut(&mut self, seq: u64) -> Option<&mut RobEntry> {
+        let front = self.entries.front()?.seq;
+        self.entries.get_mut(seq.checked_sub(front)? as usize)
+    }
+
+    /// Pop the oldest entry (commit).
+    pub fn pop_head(&mut self) -> Option<RobEntry> {
+        self.entries.pop_front()
+    }
+
+    /// Pop the youngest entry if `seq >= min_squash` (squash unwinding,
+    /// tail first so rename recovery is LIFO).
+    pub fn pop_tail_from(&mut self, min_squash: u64) -> Option<RobEntry> {
+        if self.entries.back().map(|e| e.seq >= min_squash) == Some(true) {
+            self.entries.pop_back()
+        } else {
+            None
+        }
+    }
+
+    /// Iterate oldest → youngest.
+    pub fn iter(&self) -> impl Iterator<Item = &RobEntry> {
+        self.entries.iter()
+    }
+
+    /// Iterate mutably oldest → youngest.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut RobEntry> {
+        self.entries.iter_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nda_isa::Inst;
+
+    fn entry(seq: u64) -> RobEntry {
+        RobEntry::new(seq, seq as usize, Inst::Nop, 0)
+    }
+
+    #[test]
+    fn push_get_pop() {
+        let mut r = Rob::new(4);
+        r.push(entry(10));
+        r.push(entry(11));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.get(11).unwrap().seq, 11);
+        assert!(r.get(9).is_none());
+        assert!(r.get(12).is_none());
+        assert_eq!(r.pop_head().unwrap().seq, 10);
+        assert_eq!(r.get(11).unwrap().seq, 11);
+    }
+
+    #[test]
+    fn squash_unwinds_tail_first() {
+        let mut r = Rob::new(8);
+        for s in 0..5 {
+            r.push(entry(s));
+        }
+        let mut squashed = Vec::new();
+        while let Some(e) = r.pop_tail_from(3) {
+            squashed.push(e.seq);
+        }
+        assert_eq!(squashed, vec![4, 3]);
+        assert_eq!(r.len(), 3);
+        // Squash-from-zero empties the ROB (fault delivery).
+        while r.pop_tail_from(0).is_some() {}
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "rob overflow")]
+    fn overflow_panics() {
+        let mut r = Rob::new(1);
+        r.push(entry(0));
+        r.push(entry(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-contiguous")]
+    fn non_contiguous_seq_panics() {
+        let mut r = Rob::new(4);
+        r.push(entry(0));
+        r.push(entry(2));
+    }
+
+    #[test]
+    fn unresolved_markers() {
+        let mut e = RobEntry::new(0, 0, Inst::Jmp { target: 0 }, 0);
+        assert!(e.is_unresolved_branch());
+        e.branch_resolved = true;
+        assert!(!e.is_unresolved_branch());
+
+        let mut s = RobEntry::new(
+            1,
+            1,
+            Inst::Store { src: Reg::X2, base: Reg::X3, off: 0, size: nda_isa::MemSize::B8 },
+            0,
+        );
+        assert!(s.is_unresolved_store());
+        s.mem_addr = Some(0x100);
+        assert!(!s.is_unresolved_store());
+    }
+}

@@ -1,0 +1,142 @@
+//! NDA data-propagation policies (paper §5, Table 2).
+
+use std::fmt;
+
+/// Which micro-ops become *unsafe* when dispatched after an unresolved
+/// branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Propagation {
+    /// Baseline out-of-order: nothing is restricted.
+    Off,
+    /// Permissive propagation (§5.2): only loads and load-like micro-ops
+    /// younger than an unresolved branch are unsafe. Arithmetic and control
+    /// micro-ops are unconditionally safe at dispatch — only loads can
+    /// introduce *new* secrets into the pipeline.
+    Permissive,
+    /// Strict propagation (§5.1): every micro-op younger than an unresolved
+    /// branch is unsafe, which additionally hinders transmitting secrets
+    /// already resident in general-purpose registers.
+    Strict,
+}
+
+/// The InvisiSpec comparison models (§6.1, rows 7-8 of Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IsVariant {
+    /// InvisiSpec-Spectre: a speculative load may expose (fill the cache and
+    /// validate) once all older branches have resolved.
+    Spectre,
+    /// InvisiSpec-Future: a speculative load exposes only at the head of
+    /// the ROB, covering chosen-code attacks too.
+    Future,
+}
+
+/// A complete NDA policy: the Table 2 rows are presets of this struct.
+///
+/// * `propagation` — the branch-border rule (strict/permissive/off).
+/// * `bypass_restriction` — §5.2's Bypass Restriction: a load is unsafe
+///   while any older store's address is unresolved (defeats Spectre v4 /
+///   speculative store bypass without disabling the bypass itself).
+/// * `load_restriction` — §5.3: a load may wake dependents only when it is
+///   the eldest unretired instruction (defeats Meltdown-class chosen-code
+///   attacks and MDS).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NdaPolicy {
+    /// Branch-border propagation rule.
+    pub propagation: Propagation,
+    /// Mark loads unsafe while an older store address is unresolved.
+    pub bypass_restriction: bool,
+    /// Loads wake dependents only at the head of the ROB.
+    pub load_restriction: bool,
+}
+
+impl NdaPolicy {
+    /// Row 0 (baseline): unconstrained, insecure out-of-order execution.
+    pub fn ooo() -> NdaPolicy {
+        NdaPolicy { propagation: Propagation::Off, bypass_restriction: false, load_restriction: false }
+    }
+
+    /// Table 2 row 1: permissive propagation.
+    pub fn permissive() -> NdaPolicy {
+        NdaPolicy { propagation: Propagation::Permissive, ..NdaPolicy::ooo() }
+    }
+
+    /// Table 2 row 2: permissive propagation + bypass restriction.
+    pub fn permissive_br() -> NdaPolicy {
+        NdaPolicy { bypass_restriction: true, ..NdaPolicy::permissive() }
+    }
+
+    /// Table 2 row 3: strict propagation.
+    pub fn strict() -> NdaPolicy {
+        NdaPolicy { propagation: Propagation::Strict, ..NdaPolicy::ooo() }
+    }
+
+    /// Table 2 row 4: strict propagation + bypass restriction.
+    pub fn strict_br() -> NdaPolicy {
+        NdaPolicy { bypass_restriction: true, ..NdaPolicy::strict() }
+    }
+
+    /// Table 2 row 5: load restriction only.
+    pub fn restricted_loads() -> NdaPolicy {
+        NdaPolicy { load_restriction: true, ..NdaPolicy::ooo() }
+    }
+
+    /// Table 2 row 6: full protection = strict + BR + load restriction.
+    pub fn full_protection() -> NdaPolicy {
+        NdaPolicy { load_restriction: true, ..NdaPolicy::strict_br() }
+    }
+
+    /// `true` if this policy restricts anything at all.
+    pub fn is_restrictive(&self) -> bool {
+        self.propagation != Propagation::Off || self.bypass_restriction || self.load_restriction
+    }
+}
+
+impl Default for NdaPolicy {
+    fn default() -> NdaPolicy {
+        NdaPolicy::ooo()
+    }
+}
+
+impl fmt::Display for NdaPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let base = match self.propagation {
+            Propagation::Off => "off",
+            Propagation::Permissive => "permissive",
+            Propagation::Strict => "strict",
+        };
+        write!(f, "{base}")?;
+        if self.bypass_restriction {
+            write!(f, "+br")?;
+        }
+        if self.load_restriction {
+            write!(f, "+loadrestrict")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_table2() {
+        assert_eq!(NdaPolicy::ooo().propagation, Propagation::Off);
+        assert!(!NdaPolicy::ooo().is_restrictive());
+        assert_eq!(NdaPolicy::permissive().propagation, Propagation::Permissive);
+        assert!(!NdaPolicy::permissive().bypass_restriction);
+        assert!(NdaPolicy::permissive_br().bypass_restriction);
+        assert_eq!(NdaPolicy::strict_br().propagation, Propagation::Strict);
+        assert!(NdaPolicy::restricted_loads().load_restriction);
+        assert_eq!(NdaPolicy::restricted_loads().propagation, Propagation::Off);
+        let full = NdaPolicy::full_protection();
+        assert!(full.load_restriction && full.bypass_restriction);
+        assert_eq!(full.propagation, Propagation::Strict);
+    }
+
+    #[test]
+    fn display_is_descriptive() {
+        assert_eq!(NdaPolicy::ooo().to_string(), "off");
+        assert_eq!(NdaPolicy::full_protection().to_string(), "strict+br+loadrestrict");
+    }
+}

@@ -1,0 +1,197 @@
+//! Top-level entry points: run a program on any evaluated variant.
+
+use crate::config::{CoreModel, SimConfig, Variant};
+use crate::inorder::InOrderCore;
+use crate::ooo::core::OooCore;
+use nda_isa::{Fault, Program};
+use nda_mem::MemStats;
+use nda_stats::SimStats;
+use std::error::Error;
+use std::fmt;
+
+/// Abnormal simulation termination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimError {
+    /// The cycle budget was exhausted before `Halt` committed.
+    CycleLimit {
+        /// Cycles simulated when the budget ran out.
+        cycles: u64,
+    },
+    /// A fault committed and the program has no fault handler.
+    UnhandledFault(Fault),
+    /// The architectural PC left the text segment.
+    PcOutOfRange {
+        /// The out-of-range PC.
+        pc: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::CycleLimit { cycles } => {
+                write!(f, "cycle budget exhausted after {cycles} cycles")
+            }
+            SimError::UnhandledFault(fault) => write!(f, "unhandled fault: {fault}"),
+            SimError::PcOutOfRange { pc } => write!(f, "pc {pc} out of range"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// The outcome of a completed simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct RunResult {
+    /// Core counters (cycles, CPI, stalls, ILP, broadcasts, ...).
+    pub stats: SimStats,
+    /// Memory-hierarchy counters (hits, misses, MLP).
+    pub mem_stats: MemStats,
+    /// Final architectural register values.
+    pub regs: [u64; 32],
+    /// `true` if `Halt` committed.
+    pub halted: bool,
+}
+
+impl RunResult {
+    /// Convenience: cycles per committed instruction.
+    pub fn cpi(&self) -> f64 {
+        self.stats.cpi()
+    }
+}
+
+/// Run `program` under an explicit [`SimConfig`].
+///
+/// # Errors
+///
+/// See [`SimError`].
+pub fn run_with_config(
+    cfg: SimConfig,
+    program: &Program,
+    max_cycles: u64,
+) -> Result<RunResult, SimError> {
+    match cfg.model {
+        CoreModel::OutOfOrder => OooCore::new(cfg, program).run(max_cycles),
+        CoreModel::InOrder => InOrderCore::new(cfg, program).run(max_cycles),
+    }
+}
+
+/// SMARTS-style sampled measurement (paper §6.1 / Wunderlich et al.):
+/// within ONE run, alternate functional warming and measurement windows,
+/// returning the per-window CPIs. The caller aggregates them with
+/// `nda_stats::Sample` for a confidence interval.
+///
+/// `warmup_insts` instructions are executed (detailed, warming caches and
+/// predictors) before each `measure_insts`-instruction window is scored.
+/// Sampling stops at `max_windows` or when the program halts.
+///
+/// # Errors
+///
+/// See [`SimError`]. A program that halts before the first window
+/// completes yields however many windows finished (possibly none).
+pub fn run_smarts(
+    cfg: SimConfig,
+    program: &Program,
+    warmup_insts: u64,
+    measure_insts: u64,
+    max_windows: usize,
+) -> Result<Vec<f64>, SimError> {
+    let mut core = match cfg.model {
+        CoreModel::OutOfOrder => crate::OooCore::new(cfg, program),
+        CoreModel::InOrder => {
+            // The blocking core has no sampling need (no warm-up-sensitive
+            // speculation state); fall back to whole-run CPI.
+            let mut c = crate::InOrderCore::new(cfg, program);
+            let r = c.run(u64::MAX / 2)?;
+            return Ok(vec![r.cpi()]);
+        }
+    };
+    let mut windows = Vec::new();
+    let budget_per_phase: u64 = 200_000_000;
+    'outer: while windows.len() < max_windows && !core.halted() {
+        // Warm.
+        core.reset_stats();
+        let warm_deadline = core.cycle() + budget_per_phase;
+        while core.stats.committed_insts < warmup_insts {
+            if core.halted() {
+                break 'outer;
+            }
+            if core.cycle() >= warm_deadline {
+                return Err(SimError::CycleLimit { cycles: core.cycle() });
+            }
+            core.step_cycle();
+        }
+        // Measure.
+        core.reset_stats();
+        let measure_deadline = core.cycle() + budget_per_phase;
+        while core.stats.committed_insts < measure_insts {
+            if core.halted() {
+                break 'outer;
+            }
+            if core.cycle() >= measure_deadline {
+                return Err(SimError::CycleLimit { cycles: core.cycle() });
+            }
+            core.step_cycle();
+        }
+        windows.push(core.stats.cpi());
+    }
+    Ok(windows)
+}
+
+/// Run `program` on one of the ten evaluated variants (Fig 7).
+///
+/// # Errors
+///
+/// See [`SimError`].
+///
+/// ```
+/// use nda_core::{run_variant, Variant};
+/// use nda_isa::{Asm, Reg};
+///
+/// let mut asm = Asm::new();
+/// asm.li(Reg::X2, 7);
+/// asm.halt();
+/// let prog = asm.assemble()?;
+/// let r = run_variant(Variant::InOrder, &prog, 100_000)?;
+/// assert_eq!(r.regs[2], 7);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn run_variant(v: Variant, program: &Program, max_cycles: u64) -> Result<RunResult, SimError> {
+    run_with_config(SimConfig::for_variant(v), program, max_cycles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nda_isa::{Asm, Reg};
+
+    #[test]
+    fn every_variant_runs_the_same_program() {
+        let mut asm = Asm::new();
+        asm.li(Reg::X2, 6).li(Reg::X3, 7).alu(nda_isa::AluOp::Mul, Reg::X4, Reg::X2, Reg::X3);
+        asm.halt();
+        let p = asm.assemble().unwrap();
+        for v in Variant::all() {
+            let r = run_variant(v, &p, 1_000_000).unwrap_or_else(|e| panic!("{v}: {e}"));
+            assert_eq!(r.regs[4], 42, "{v}");
+            assert!(r.halted);
+            assert_eq!(r.stats.committed_insts, 4, "{v}");
+        }
+    }
+
+    #[test]
+    fn cycle_limit_reported() {
+        let mut asm = Asm::new();
+        let top = asm.here_label();
+        asm.jmp(top);
+        let p = asm.assemble().unwrap();
+        let err = run_variant(Variant::Ooo, &p, 500).unwrap_err();
+        assert!(matches!(err, SimError::CycleLimit { .. }));
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        assert!(!SimError::CycleLimit { cycles: 5 }.to_string().is_empty());
+        assert!(!SimError::PcOutOfRange { pc: 3 }.to_string().is_empty());
+    }
+}

@@ -1,0 +1,216 @@
+//! Per-cycle pipeline tracing (gem5 "O3 pipeview" style).
+//!
+//! Enable with [`crate::OooCore::enable_trace`]; every dispatched micro-op
+//! then logs its dispatch / issue / complete / broadcast / commit / squash
+//! cycles. [`render_pipeline`] draws the classic timeline:
+//!
+//! ```text
+//! seq    pc  disasm                 |D..I...C.B..R      |
+//! ```
+//!
+//! `D` dispatch, `I` issue, `C` complete (writeback), `B` tag broadcast,
+//! `R` retire (commit), `x` squash. The gap between `C` and `B` is NDA's
+//! deferred broadcast made visible.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A pipeline lifecycle point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceStage {
+    /// Entered the ROB.
+    Dispatch,
+    /// Began execution.
+    Issue,
+    /// Finished execution (writeback).
+    Complete,
+    /// Woke dependents (tag broadcast).
+    Broadcast,
+    /// Retired.
+    Commit,
+    /// Squashed (wrong path, replay or fault).
+    Squash,
+}
+
+impl TraceStage {
+    /// One-character marker used by the renderer.
+    pub fn marker(self) -> char {
+        match self {
+            TraceStage::Dispatch => 'D',
+            TraceStage::Issue => 'I',
+            TraceStage::Complete => 'C',
+            TraceStage::Broadcast => 'B',
+            TraceStage::Commit => 'R',
+            TraceStage::Squash => 'x',
+        }
+    }
+}
+
+/// One logged event.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Cycle the event occurred.
+    pub cycle: u64,
+    /// Dynamic instance id: (sequence number, dispatch cycle) pairs are
+    /// unique even though sequence numbers are reused after squashes.
+    pub seq: u64,
+    /// Instruction index.
+    pub pc: usize,
+    /// Disassembly.
+    pub disasm: String,
+    /// Lifecycle point.
+    pub stage: TraceStage,
+}
+
+/// Render events as one row per dynamic micro-op instance.
+///
+/// `window` optionally restricts the rendered cycle range; `max_rows`
+/// bounds the output.
+pub fn render_pipeline(
+    events: &[TraceEvent],
+    window: Option<(u64, u64)>,
+    max_rows: usize,
+) -> String {
+    // Group by dynamic instance: (seq, dispatch cycle). Events arrive in
+    // time order, so a new Dispatch for a seq starts a new instance.
+    #[derive(Default, Clone)]
+    struct Row {
+        pc: usize,
+        disasm: String,
+        points: Vec<(u64, char)>,
+        first: u64,
+        last: u64,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    let mut open: BTreeMap<u64, usize> = BTreeMap::new(); // seq -> row idx
+    for e in events {
+        if let Some((lo, hi)) = window {
+            if e.cycle < lo || e.cycle > hi {
+                continue;
+            }
+        }
+        let idx = match e.stage {
+            TraceStage::Dispatch => {
+                let idx = rows.len();
+                rows.push(Row {
+                    pc: e.pc,
+                    disasm: e.disasm.clone(),
+                    points: Vec::new(),
+                    first: e.cycle,
+                    last: e.cycle,
+                });
+                open.insert(e.seq, idx);
+                idx
+            }
+            _ => match open.get(&e.seq) {
+                Some(&i) => i,
+                None => continue, // dispatched outside the window
+            },
+        };
+        let row = &mut rows[idx];
+        row.points.push((e.cycle, e.stage.marker()));
+        row.last = row.last.max(e.cycle);
+        if matches!(e.stage, TraceStage::Commit | TraceStage::Squash) {
+            open.remove(&e.seq);
+        }
+    }
+    if rows.is_empty() {
+        return "(no events in window)\n".to_string();
+    }
+    let t0 = rows.iter().map(|r| r.first).min().unwrap_or(0);
+    let t1 = rows.iter().map(|r| r.last).max().unwrap_or(0);
+    let span = (t1 - t0 + 1).min(2000) as usize;
+    let mut out = String::new();
+    let _ = writeln!(out, "cycles {t0}..{t1} ({} micro-op instances)", rows.len());
+    for r in rows.iter().take(max_rows) {
+        let mut lane = vec!['.'; span];
+        for &(c, m) in &r.points {
+            let off = (c - t0) as usize;
+            if off < span {
+                // Later markers overwrite earlier ones in the same cycle
+                // except never overwrite a squash.
+                if lane[off] != 'x' {
+                    lane[off] = m;
+                }
+            }
+        }
+        let lane: String = lane.into_iter().collect();
+        let _ = writeln!(out, "@{:>4} {:28} |{}|", r.pc, truncate(&r.disasm, 28), lane);
+    }
+    if rows.len() > max_rows {
+        let _ = writeln!(out, "... {} more rows", rows.len() - max_rows);
+    }
+    out
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        format!("{}…", &s[..n.saturating_sub(1)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64, seq: u64, pc: usize, stage: TraceStage) -> TraceEvent {
+        TraceEvent { cycle, seq, pc, disasm: format!("i{pc}"), stage }
+    }
+
+    #[test]
+    fn renders_lifecycle_markers() {
+        let events = vec![
+            ev(10, 0, 5, TraceStage::Dispatch),
+            ev(11, 0, 5, TraceStage::Issue),
+            ev(13, 0, 5, TraceStage::Complete),
+            ev(15, 0, 5, TraceStage::Broadcast),
+            ev(16, 0, 5, TraceStage::Commit),
+        ];
+        let s = render_pipeline(&events, None, 10);
+        assert!(s.contains("D"), "{s}");
+        let lane = s.lines().nth(1).unwrap();
+        assert!(lane.contains("DI.C.BR"), "{lane}");
+    }
+
+    #[test]
+    fn squash_marks_x() {
+        let events = vec![
+            ev(1, 3, 9, TraceStage::Dispatch),
+            ev(2, 3, 9, TraceStage::Issue),
+            ev(4, 3, 9, TraceStage::Squash),
+        ];
+        let s = render_pipeline(&events, None, 10);
+        assert!(s.contains('x'), "{s}");
+    }
+
+    #[test]
+    fn seq_reuse_makes_separate_rows() {
+        let events = vec![
+            ev(1, 7, 1, TraceStage::Dispatch),
+            ev(2, 7, 1, TraceStage::Squash),
+            ev(5, 7, 2, TraceStage::Dispatch),
+            ev(6, 7, 2, TraceStage::Commit),
+        ];
+        let s = render_pipeline(&events, None, 10);
+        assert!(s.contains("2 micro-op instances"), "{s}");
+    }
+
+    #[test]
+    fn window_filters() {
+        let events = vec![
+            ev(1, 0, 1, TraceStage::Dispatch),
+            ev(100, 1, 2, TraceStage::Dispatch),
+            ev(101, 1, 2, TraceStage::Commit),
+        ];
+        let s = render_pipeline(&events, Some((90, 200)), 10);
+        assert!(s.contains("1 micro-op instances"), "{s}");
+    }
+
+    #[test]
+    fn empty_window_reports() {
+        let s = render_pipeline(&[], None, 10);
+        assert!(s.contains("no events"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Behavioural tests of the blocking in-order baseline: it must be
+//! boring in exactly the ways that make it secure.
+
+use nda_core::config::SimConfig;
+use nda_core::{InOrderCore, Variant};
+use nda_isa::{Asm, Reg};
+
+fn run(asm: &Asm) -> InOrderCore {
+    let p = asm.assemble().unwrap();
+    let mut c = InOrderCore::new(SimConfig::for_variant(Variant::InOrder), &p);
+    c.run(100_000_000).unwrap();
+    c
+}
+
+#[test]
+fn no_overlap_between_misses() {
+    // Two independent cold misses: an OoO core overlaps them (MLP 2), the
+    // blocking core pays them back to back (MLP exactly 1).
+    let mut asm = Asm::new();
+    asm.li(Reg::X2, 0x10_0000);
+    asm.ld8(Reg::X3, Reg::X2, 0);
+    asm.ld8(Reg::X4, Reg::X2, 4096);
+    asm.halt();
+    let c = run(&asm);
+    let mlp = c.hier.stats().mlp.expect("two misses recorded");
+    assert!((mlp - 1.0).abs() < 1e-9, "blocking core cannot overlap misses (MLP {mlp})");
+    assert!(c.cycle() > 280, "two full serial misses ({} cycles)", c.cycle());
+}
+
+#[test]
+fn clflush_makes_the_next_access_slow_again() {
+    let mut asm = Asm::new();
+    asm.li(Reg::X2, 0x20_000);
+    asm.ld8(Reg::X3, Reg::X2, 0); // cold
+    asm.rdcycle(Reg::X10);
+    asm.ld8(Reg::X4, Reg::X2, 0); // warm
+    asm.rdcycle(Reg::X11);
+    asm.clflush(Reg::X2, 0);
+    asm.ld8(Reg::X5, Reg::X2, 0); // cold again
+    asm.rdcycle(Reg::X12);
+    asm.halt();
+    let c = run(&asm);
+    let warm = c.reg(Reg::X11) - c.reg(Reg::X10);
+    let flushed = c.reg(Reg::X12) - c.reg(Reg::X11);
+    assert!(flushed > warm + 90, "flush must restore the miss (warm {warm}, flushed {flushed})");
+}
+
+#[test]
+fn spec_window_is_free_without_speculation() {
+    // SpecOff/SpecOn are no-ops on a core that never speculates.
+    let build = |windowed: bool| {
+        let mut asm = Asm::new();
+        if windowed {
+            asm.spec_off();
+        }
+        asm.li(Reg::X2, 30);
+        let done = asm.new_label();
+        let top = asm.here_label();
+        asm.beq(Reg::X2, Reg::X0, done);
+        asm.subi(Reg::X2, Reg::X2, 1);
+        asm.jmp(top);
+        asm.bind(done);
+        if windowed {
+            asm.spec_on();
+        }
+        asm.halt();
+        asm
+    };
+    let plain = run(&build(false));
+    let windowed = run(&build(true));
+    // Two extra single-cycle instructions, nothing more.
+    assert!(windowed.cycle() <= plain.cycle() + 4);
+}
+
+#[test]
+fn every_cycle_is_accounted() {
+    let mut asm = Asm::new();
+    asm.li(Reg::X2, 0x30_000);
+    asm.ld8(Reg::X3, Reg::X2, 0);
+    asm.mul(Reg::X4, Reg::X3, Reg::X3);
+    asm.st8(Reg::X4, Reg::X2, 8);
+    asm.halt();
+    let c = run(&asm);
+    let s = c.stats;
+    assert_eq!(
+        s.commit_cycles + s.memory_stall_cycles + s.backend_stall_cycles
+            + s.frontend_stall_cycles,
+        s.cycles,
+        "the in-order cycle classification must also be exhaustive"
+    );
+    // The load is a full cold miss; the store lands in the just-filled
+    // line, so one miss plus a hit dominate the run.
+    assert!(s.memory_stall_cycles > 120, "the cold miss dominates");
+}
+
+#[test]
+fn mispredict_counter_stays_zero() {
+    // There is no predictor to be wrong: the counter must stay zero even
+    // on wildly data-dependent control flow.
+    let mut asm = Asm::new();
+    asm.data_u64s(0x9000, &[1, 0, 1, 1, 0, 0, 1, 0]);
+    let done = asm.new_label();
+    asm.li(Reg::X2, 64);
+    asm.li(Reg::X8, 0x9000);
+    let top = asm.here_label();
+    asm.beq(Reg::X2, Reg::X0, done);
+    asm.andi(Reg::X3, Reg::X2, 7);
+    asm.shli(Reg::X3, Reg::X3, 3);
+    asm.add(Reg::X3, Reg::X3, Reg::X8);
+    asm.ld8(Reg::X4, Reg::X3, 0);
+    let skip = asm.new_label();
+    asm.beq(Reg::X4, Reg::X0, skip);
+    asm.addi(Reg::X5, Reg::X5, 1);
+    asm.bind(skip);
+    asm.subi(Reg::X2, Reg::X2, 1);
+    asm.jmp(top);
+    asm.bind(done);
+    asm.halt();
+    let c = run(&asm);
+    assert_eq!(c.stats.branch_mispredicts, 0);
+    assert_eq!(c.stats.squashes, 0);
+    assert_eq!(c.stats.wrong_path_executed, 0);
+}

@@ -1,0 +1,496 @@
+//! A small label-based assembler for SpecRISC.
+//!
+//! [`Asm`] is a non-consuming builder: emit instructions in order, create
+//! [`Label`]s for forward/backward control flow, and call
+//! [`Asm::assemble`] to resolve every reference into a [`Program`].
+//!
+//! ```
+//! use nda_isa::{Asm, Reg};
+//!
+//! let mut asm = Asm::new();
+//! let done = asm.new_label();
+//! asm.li(Reg::X2, 3);
+//! let top = asm.here_label();
+//! asm.beq(Reg::X2, Reg::X0, done);
+//! asm.subi(Reg::X2, Reg::X2, 1);
+//! asm.jmp(top);
+//! asm.bind(done);
+//! asm.halt();
+//! let prog = asm.assemble()?;
+//! assert!(prog.len() > 0);
+//! # Ok::<(), nda_isa::AsmError>(())
+//! ```
+
+use crate::inst::{AluOp, BranchCond, Inst, MemSize, Src2};
+use crate::program::{DataInit, Program};
+use crate::reg::Reg;
+use crate::TEXT_BASE;
+use std::error::Error;
+use std::fmt;
+
+/// A control-flow label. Created by [`Asm::new_label`], positioned by
+/// [`Asm::bind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Errors produced by [`Asm::assemble`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was referenced but never [`Asm::bind`]-ed.
+    UnboundLabel(Label),
+    /// A label was bound twice.
+    Rebound(Label),
+    /// The program has no instructions.
+    EmptyProgram,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnboundLabel(l) => write!(f, "label {l:?} referenced but never bound"),
+            AsmError::Rebound(l) => write!(f, "label {l:?} bound twice"),
+            AsmError::EmptyProgram => write!(f, "program contains no instructions"),
+        }
+    }
+}
+
+impl Error for AsmError {}
+
+/// The assembler/builder. See the [module documentation](self) for an
+/// example.
+#[derive(Debug, Clone, Default)]
+pub struct Asm {
+    insts: Vec<Inst>,
+    /// (instruction index, label) pairs whose `target` field is patched at
+    /// assembly time.
+    fixups: Vec<(usize, Label)>,
+    labels: Vec<Option<usize>>,
+    data: Vec<DataInit>,
+    fault_handler: Option<Label>,
+    msr_values: Vec<(u16, u64)>,
+    msr_user_ok: Vec<u16>,
+    text_base: u64,
+}
+
+impl Asm {
+    /// A fresh assembler with the default text base.
+    pub fn new() -> Asm {
+        Asm { text_base: TEXT_BASE, ..Asm::default() }
+    }
+
+    /// Index of the *next* instruction to be emitted.
+    pub fn here(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Create an unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Create a label already bound to the current position.
+    pub fn here_label(&mut self) -> Label {
+        let l = self.new_label();
+        self.labels[l.0] = Some(self.here());
+        l
+    }
+
+    /// Bind `label` to the current position.
+    ///
+    /// Binding the same label twice is reported by [`Asm::assemble`].
+    pub fn bind(&mut self, label: Label) -> &mut Asm {
+        match self.labels[label.0] {
+            // Rebinding is recorded as a sentinel and reported at assemble
+            // time so builder chains stay infallible.
+            Some(_) => self.labels[label.0] = Some(usize::MAX),
+            None => self.labels[label.0] = Some(self.here()),
+        }
+        self
+    }
+
+    /// Emit a raw instruction.
+    pub fn push(&mut self, inst: Inst) -> &mut Asm {
+        self.insts.push(inst);
+        self
+    }
+
+    fn push_target(&mut self, inst: Inst, label: Label) -> &mut Asm {
+        self.fixups.push((self.insts.len(), label));
+        self.insts.push(inst);
+        self
+    }
+
+    // ---- data & environment -------------------------------------------
+
+    /// Initialize `bytes` at `addr` in the data segment.
+    pub fn data(&mut self, addr: u64, bytes: &[u8]) -> &mut Asm {
+        self.data.push(DataInit { addr, bytes: bytes.to_vec() });
+        self
+    }
+
+    /// Initialize little-endian `u64` words starting at `addr`.
+    pub fn data_u64s(&mut self, addr: u64, words: &[u64]) -> &mut Asm {
+        let mut bytes = Vec::with_capacity(words.len() * 8);
+        for w in words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        self.data(addr, &bytes)
+    }
+
+    /// Set the fault-handler entry point.
+    pub fn fault_handler(&mut self, label: Label) -> &mut Asm {
+        self.fault_handler = Some(label);
+        self
+    }
+
+    /// Set an initial MSR value.
+    pub fn msr(&mut self, idx: u16, val: u64) -> &mut Asm {
+        self.msr_values.push((idx, val));
+        self
+    }
+
+    /// Allow user-mode reads of MSR `idx`.
+    pub fn msr_user_ok(&mut self, idx: u16) -> &mut Asm {
+        self.msr_user_ok.push(idx);
+        self
+    }
+
+    // ---- instructions ---------------------------------------------------
+
+    /// `rd = imm`.
+    pub fn li(&mut self, rd: Reg, imm: u64) -> &mut Asm {
+        self.push(Inst::Li { rd, imm })
+    }
+
+    /// `rd = rs` (encoded as `add rd, rs, 0`).
+    pub fn mov(&mut self, rd: Reg, rs: Reg) -> &mut Asm {
+        self.alui(AluOp::Add, rd, rs, 0)
+    }
+
+    /// Register-register ALU operation.
+    pub fn alu(&mut self, op: AluOp, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.push(Inst::Alu { op, rd, rs1, src2: Src2::Reg(rs2) })
+    }
+
+    /// Register-immediate ALU operation.
+    pub fn alui(&mut self, op: AluOp, rd: Reg, rs1: Reg, imm: u64) -> &mut Asm {
+        self.push(Inst::Alu { op, rd, rs1, src2: Src2::Imm(imm) })
+    }
+
+    /// `rd = rs1 + rs2`.
+    pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.alu(AluOp::Add, rd, rs1, rs2)
+    }
+
+    /// `rd = rs1 + imm`.
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: u64) -> &mut Asm {
+        self.alui(AluOp::Add, rd, rs1, imm)
+    }
+
+    /// `rd = rs1 - rs2`.
+    pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.alu(AluOp::Sub, rd, rs1, rs2)
+    }
+
+    /// `rd = rs1 - imm`.
+    pub fn subi(&mut self, rd: Reg, rs1: Reg, imm: u64) -> &mut Asm {
+        self.alui(AluOp::Sub, rd, rs1, imm)
+    }
+
+    /// `rd = rs1 & imm`.
+    pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: u64) -> &mut Asm {
+        self.alui(AluOp::And, rd, rs1, imm)
+    }
+
+    /// `rd = rs1 << imm`.
+    pub fn shli(&mut self, rd: Reg, rs1: Reg, imm: u64) -> &mut Asm {
+        self.alui(AluOp::Shl, rd, rs1, imm)
+    }
+
+    /// `rd = rs1 * rs2`.
+    pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.alu(AluOp::Mul, rd, rs1, rs2)
+    }
+
+    /// Load of `size` bytes: `rd = mem[base + off]`, zero-extended.
+    pub fn load(&mut self, rd: Reg, base: Reg, off: i64, size: MemSize) -> &mut Asm {
+        self.push(Inst::Load { rd, base, off, size })
+    }
+
+    /// `rd = mem8[base + off]`.
+    pub fn ld8(&mut self, rd: Reg, base: Reg, off: i64) -> &mut Asm {
+        self.load(rd, base, off, MemSize::B8)
+    }
+
+    /// `rd = mem1[base + off]` (one byte, zero-extended).
+    pub fn ld1(&mut self, rd: Reg, base: Reg, off: i64) -> &mut Asm {
+        self.load(rd, base, off, MemSize::B1)
+    }
+
+    /// Store of `size` bytes: `mem[base + off] = src`.
+    pub fn store(&mut self, src: Reg, base: Reg, off: i64, size: MemSize) -> &mut Asm {
+        self.push(Inst::Store { src, base, off, size })
+    }
+
+    /// `mem8[base + off] = src`.
+    pub fn st8(&mut self, src: Reg, base: Reg, off: i64) -> &mut Asm {
+        self.store(src, base, off, MemSize::B8)
+    }
+
+    /// `mem1[base + off] = src`.
+    pub fn st1(&mut self, src: Reg, base: Reg, off: i64) -> &mut Asm {
+        self.store(src, base, off, MemSize::B1)
+    }
+
+    /// Conditional branch to `label`.
+    pub fn branch(&mut self, cond: BranchCond, rs1: Reg, rs2: Reg, label: Label) -> &mut Asm {
+        self.push_target(Inst::Branch { cond, rs1, rs2, target: usize::MAX }, label)
+    }
+
+    /// Branch if `rs1 == rs2`.
+    pub fn beq(&mut self, rs1: Reg, rs2: Reg, label: Label) -> &mut Asm {
+        self.branch(BranchCond::Eq, rs1, rs2, label)
+    }
+
+    /// Branch if `rs1 != rs2`.
+    pub fn bne(&mut self, rs1: Reg, rs2: Reg, label: Label) -> &mut Asm {
+        self.branch(BranchCond::Ne, rs1, rs2, label)
+    }
+
+    /// Branch if `rs1 < rs2` (signed).
+    pub fn blt(&mut self, rs1: Reg, rs2: Reg, label: Label) -> &mut Asm {
+        self.branch(BranchCond::Lt, rs1, rs2, label)
+    }
+
+    /// Branch if `rs1 >= rs2` (signed).
+    pub fn bge(&mut self, rs1: Reg, rs2: Reg, label: Label) -> &mut Asm {
+        self.branch(BranchCond::Ge, rs1, rs2, label)
+    }
+
+    /// Branch if `rs1 < rs2` (unsigned).
+    pub fn bltu(&mut self, rs1: Reg, rs2: Reg, label: Label) -> &mut Asm {
+        self.branch(BranchCond::Ltu, rs1, rs2, label)
+    }
+
+    /// Branch if `rs1 >= rs2` (unsigned).
+    pub fn bgeu(&mut self, rs1: Reg, rs2: Reg, label: Label) -> &mut Asm {
+        self.branch(BranchCond::Geu, rs1, rs2, label)
+    }
+
+    /// Unconditional jump to `label`.
+    pub fn jmp(&mut self, label: Label) -> &mut Asm {
+        self.push_target(Inst::Jmp { target: usize::MAX }, label)
+    }
+
+    /// Indirect jump to the instruction index in `base`.
+    pub fn jmp_ind(&mut self, base: Reg) -> &mut Asm {
+        self.push(Inst::JmpInd { base })
+    }
+
+    /// Direct call to `label` (link register updated).
+    pub fn call(&mut self, label: Label) -> &mut Asm {
+        self.push_target(Inst::Call { target: usize::MAX }, label)
+    }
+
+    /// Indirect call through `base` (link register updated).
+    pub fn call_ind(&mut self, base: Reg) -> &mut Asm {
+        self.push(Inst::CallInd { base })
+    }
+
+    /// Return through the link register.
+    pub fn ret(&mut self) -> &mut Asm {
+        self.push(Inst::Ret)
+    }
+
+    /// `rd = cycle counter` (serializing).
+    pub fn rdcycle(&mut self, rd: Reg) -> &mut Asm {
+        self.push(Inst::RdCycle { rd })
+    }
+
+    /// `rd = msr[idx]` (load-like).
+    pub fn rdmsr(&mut self, rd: Reg, idx: u16) -> &mut Asm {
+        self.push(Inst::RdMsr { rd, idx })
+    }
+
+    /// Flush the cache line containing `base + off`.
+    pub fn clflush(&mut self, base: Reg, off: i64) -> &mut Asm {
+        self.push(Inst::ClFlush { base, off })
+    }
+
+    /// Full speculation barrier.
+    pub fn fence(&mut self) -> &mut Asm {
+        self.push(Inst::Fence)
+    }
+
+    /// Enter the Listing-4 no-speculation window (`stop_speculative_exec`).
+    pub fn spec_off(&mut self) -> &mut Asm {
+        self.push(Inst::SpecOff)
+    }
+
+    /// Leave the no-speculation window (`resume_speculative_exec`).
+    pub fn spec_on(&mut self) -> &mut Asm {
+        self.push(Inst::SpecOn)
+    }
+
+    /// No-op.
+    pub fn nop(&mut self) -> &mut Asm {
+        self.push(Inst::Nop)
+    }
+
+    /// Stop the program.
+    pub fn halt(&mut self) -> &mut Asm {
+        self.push(Inst::Halt)
+    }
+
+    /// Load the *instruction index* a label resolves to into `rd`.
+    ///
+    /// Emits an `li` patched at assembly time; this is how programs build
+    /// function-pointer tables for indirect calls (paper Listing 3).
+    pub fn li_label(&mut self, rd: Reg, label: Label) -> &mut Asm {
+        self.fixups.push((self.insts.len(), label));
+        self.insts.push(Inst::Li { rd, imm: u64::MAX });
+        self
+    }
+
+    /// Position a label is bound to, or `None` if unbound.
+    pub fn label_position(&self, label: Label) -> Option<usize> {
+        match self.labels.get(label.0).copied().flatten() {
+            Some(usize::MAX) | None => None,
+            pos => pos,
+        }
+    }
+
+    /// Resolve labels and produce the [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// [`AsmError::UnboundLabel`] if any referenced label was never bound,
+    /// [`AsmError::Rebound`] if a label was bound twice, and
+    /// [`AsmError::EmptyProgram`] for an empty text segment.
+    pub fn assemble(&self) -> Result<Program, AsmError> {
+        if self.insts.is_empty() {
+            return Err(AsmError::EmptyProgram);
+        }
+        for (i, bound) in self.labels.iter().enumerate() {
+            if *bound == Some(usize::MAX) {
+                return Err(AsmError::Rebound(Label(i)));
+            }
+        }
+        let resolve = |l: Label| -> Result<usize, AsmError> {
+            match self.labels[l.0] {
+                Some(pos) if pos != usize::MAX => Ok(pos),
+                _ => Err(AsmError::UnboundLabel(l)),
+            }
+        };
+        let mut insts = self.insts.clone();
+        for &(idx, label) in &self.fixups {
+            let pos = resolve(label)?;
+            match &mut insts[idx] {
+                Inst::Branch { target, .. }
+                | Inst::Jmp { target }
+                | Inst::Call { target } => *target = pos,
+                Inst::Li { imm, .. } => *imm = pos as u64,
+                other => unreachable!("fixup on non-target instruction {other:?}"),
+            }
+        }
+        let fault_handler = match self.fault_handler {
+            Some(l) => Some(resolve(l)?),
+            None => None,
+        };
+        Ok(Program {
+            insts,
+            entry: 0,
+            data: self.data.clone(),
+            fault_handler,
+            msr_values: self.msr_values.clone(),
+            msr_user_ok: self.msr_user_ok.clone(),
+            text_base: self.text_base,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut asm = Asm::new();
+        let fwd = asm.new_label();
+        let back = asm.here_label();
+        asm.jmp(fwd);
+        asm.jmp(back);
+        asm.bind(fwd);
+        asm.halt();
+        let p = asm.assemble().unwrap();
+        assert_eq!(p.insts[0], Inst::Jmp { target: 2 });
+        assert_eq!(p.insts[1], Inst::Jmp { target: 0 });
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut asm = Asm::new();
+        let l = asm.new_label();
+        asm.jmp(l);
+        assert!(matches!(asm.assemble(), Err(AsmError::UnboundLabel(_))));
+    }
+
+    #[test]
+    fn rebound_label_is_an_error() {
+        let mut asm = Asm::new();
+        let l = asm.new_label();
+        asm.nop();
+        asm.bind(l);
+        asm.nop();
+        asm.bind(l);
+        asm.halt();
+        assert!(matches!(asm.assemble(), Err(AsmError::Rebound(_))));
+    }
+
+    #[test]
+    fn empty_program_is_an_error() {
+        let asm = Asm::new();
+        assert_eq!(asm.assemble(), Err(AsmError::EmptyProgram));
+    }
+
+    #[test]
+    fn li_label_materializes_instruction_index() {
+        let mut asm = Asm::new();
+        let f = asm.new_label();
+        asm.li_label(Reg::X2, f);
+        asm.halt();
+        asm.bind(f);
+        asm.ret();
+        let p = asm.assemble().unwrap();
+        assert_eq!(p.insts[0], Inst::Li { rd: Reg::X2, imm: 2 });
+    }
+
+    #[test]
+    fn data_u64s_little_endian() {
+        let mut asm = Asm::new();
+        asm.data_u64s(0x100, &[0x0102]);
+        asm.halt();
+        let p = asm.assemble().unwrap();
+        assert_eq!(p.data[0].bytes[0], 0x02);
+        assert_eq!(p.data[0].bytes.len(), 8);
+    }
+
+    #[test]
+    fn fault_handler_resolves() {
+        let mut asm = Asm::new();
+        let h = asm.new_label();
+        asm.fault_handler(h);
+        asm.nop();
+        asm.bind(h);
+        asm.halt();
+        let p = asm.assemble().unwrap();
+        assert_eq!(p.fault_handler, Some(1));
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        assert!(!AsmError::EmptyProgram.to_string().is_empty());
+        assert!(!AsmError::UnboundLabel(Label(3)).to_string().is_empty());
+    }
+}

@@ -1,0 +1,486 @@
+//! The SpecRISC instruction set.
+//!
+//! Each instruction corresponds to exactly one micro-op of the simulated
+//! out-of-order core, so NDA's per-micro-op safety classification (paper §5)
+//! maps 1:1 onto [`Inst`] variants via [`Inst::class`].
+
+use crate::reg::Reg;
+use std::fmt;
+
+/// Arithmetic/logic operations for [`Inst::Alu`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum AluOp {
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+    /// Logical shift left (shift amount masked to 6 bits).
+    Shl,
+    /// Logical shift right.
+    Shr,
+    /// Arithmetic shift right.
+    Sar,
+    Mul,
+    /// Unsigned division; division by zero yields `u64::MAX` (RISC-V style).
+    Div,
+    /// Unsigned remainder; remainder by zero yields the dividend.
+    Rem,
+    /// Set-if-less-than, signed: `rd = (rs1 as i64) < (src2 as i64)`.
+    Slt,
+    /// Set-if-less-than, unsigned.
+    Sltu,
+}
+
+impl AluOp {
+    /// Execution latency in cycles on the out-of-order core's FUs
+    /// (64-bit integer division on Haswell-class parts takes tens of
+    /// cycles and is not pipelined).
+    pub fn latency(self) -> u64 {
+        match self {
+            AluOp::Mul => 3,
+            AluOp::Div | AluOp::Rem => 24,
+            _ => 1,
+        }
+    }
+
+    /// Apply the operation architecturally.
+    pub fn apply(self, a: u64, b: u64) -> u64 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Shl => a.wrapping_shl((b & 63) as u32),
+            AluOp::Shr => a.wrapping_shr((b & 63) as u32),
+            AluOp::Sar => ((a as i64).wrapping_shr((b & 63) as u32)) as u64,
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Div => a.checked_div(b).unwrap_or(u64::MAX),
+            AluOp::Rem => {
+                if b == 0 {
+                    a
+                } else {
+                    a % b
+                }
+            }
+            AluOp::Slt => ((a as i64) < (b as i64)) as u64,
+            AluOp::Sltu => (a < b) as u64,
+        }
+    }
+}
+
+/// Comparison condition for [`Inst::Branch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum BranchCond {
+    Eq,
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed greater-or-equal.
+    Ge,
+    /// Unsigned less-than.
+    Ltu,
+    /// Unsigned greater-or-equal.
+    Geu,
+}
+
+impl BranchCond {
+    /// Evaluate the condition architecturally.
+    pub fn eval(self, a: u64, b: u64) -> bool {
+        match self {
+            BranchCond::Eq => a == b,
+            BranchCond::Ne => a != b,
+            BranchCond::Lt => (a as i64) < (b as i64),
+            BranchCond::Ge => (a as i64) >= (b as i64),
+            BranchCond::Ltu => a < b,
+            BranchCond::Geu => a >= b,
+        }
+    }
+}
+
+/// Access width of a load or store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum MemSize {
+    B1,
+    B2,
+    B4,
+    B8,
+}
+
+impl MemSize {
+    /// Width in bytes (1, 2, 4 or 8).
+    pub fn bytes(self) -> u64 {
+        match self {
+            MemSize::B1 => 1,
+            MemSize::B2 => 2,
+            MemSize::B4 => 4,
+            MemSize::B8 => 8,
+        }
+    }
+}
+
+/// The second operand of an ALU instruction: a register or an immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Src2 {
+    /// Read the value of a register.
+    Reg(Reg),
+    /// Use a 64-bit immediate.
+    Imm(u64),
+}
+
+/// NDA's micro-op classification (paper §5, Table 2).
+///
+/// `LoadLike` covers special-register reads (`RdMsr`) which the paper treats
+/// "like loads" for both permissive propagation and load restriction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum UopClass {
+    Arith,
+    Load,
+    LoadLike,
+    Store,
+    Branch,
+    /// Fully serializing (`RdCycle`, `Fence`, `Halt`): never executes
+    /// speculatively.
+    Serializing,
+}
+
+/// One SpecRISC instruction (== one micro-op).
+///
+/// Branch/jump targets are *instruction indices* into the program text, not
+/// byte addresses; the i-cache address of index `i` is
+/// `text_base + 4 * i` (see [`crate::INST_BYTES`]). Indirect targets
+/// ([`Inst::JmpInd`], [`Inst::CallInd`], [`Inst::Ret`]) read an instruction
+/// index from a register, which is what lets the paper's Listing-3 BTB
+/// covert channel store "function pointers" in memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Inst {
+    /// `rd = imm`.
+    Li { rd: Reg, imm: u64 },
+    /// `rd = op(rs1, src2)`.
+    Alu { op: AluOp, rd: Reg, rs1: Reg, src2: Src2 },
+    /// `rd = zero_extend(mem[rs_base + off])`.
+    Load { rd: Reg, base: Reg, off: i64, size: MemSize },
+    /// `mem[rs_base + off] = truncate(rs_src)`.
+    Store { src: Reg, base: Reg, off: i64, size: MemSize },
+    /// Conditional direct branch to instruction index `target`.
+    Branch { cond: BranchCond, rs1: Reg, rs2: Reg, target: usize },
+    /// Unconditional direct jump.
+    Jmp { target: usize },
+    /// Indirect jump to the instruction index in `base`.
+    JmpInd { base: Reg },
+    /// Direct call: `ra = pc + 1`, jump to `target`.
+    Call { target: usize },
+    /// Indirect call through `base`: `ra = pc + 1`, jump to `regs[base]`.
+    CallInd { base: Reg },
+    /// Return: jump to `regs[ra]`, predicted via the RAS.
+    Ret,
+    /// `rd = current cycle`. Serializing, modelling `rdtscp`.
+    RdCycle { rd: Reg },
+    /// `rd = msr[idx]`: special-register read, treated like a load by NDA
+    /// (models the AVX/MSR secrets of LazyFP and Meltdown v3a). Faults if
+    /// `idx` is not in the program's permitted-MSR set.
+    RdMsr { rd: Reg, idx: u16 },
+    /// Evict the line containing `regs[base] + off` from every cache level.
+    ClFlush { base: Reg, off: i64 },
+    /// Full speculation barrier (the `lfence` contrast of paper §3.2).
+    Fence,
+    /// Enter the no-speculation window of the paper's §8 / Listing 4
+    /// (`stop_speculative_exec()`): until [`Inst::SpecOn`] commits, the
+    /// out-of-order core executes one instruction at a time with no
+    /// wrong-path dispatch. Takes effect at commit, so a wrong-path
+    /// `SpecOff` does nothing — the paper notes this defense is only
+    /// sound *in addition to* NDA.
+    SpecOff,
+    /// Leave the no-speculation window (`resume_speculative_exec()`).
+    SpecOn,
+    /// No operation.
+    Nop,
+    /// Stop the program.
+    Halt,
+}
+
+impl Inst {
+    /// NDA's classification of this micro-op.
+    pub fn class(self) -> UopClass {
+        match self {
+            Inst::Li { .. } | Inst::Alu { .. } | Inst::Nop | Inst::ClFlush { .. } => UopClass::Arith,
+            Inst::Load { .. } => UopClass::Load,
+            Inst::RdMsr { .. } => UopClass::LoadLike,
+            Inst::Store { .. } => UopClass::Store,
+            Inst::Branch { .. }
+            | Inst::Jmp { .. }
+            | Inst::JmpInd { .. }
+            | Inst::Call { .. }
+            | Inst::CallInd { .. }
+            | Inst::Ret => UopClass::Branch,
+            Inst::RdCycle { .. } | Inst::Fence | Inst::SpecOff | Inst::SpecOn | Inst::Halt => {
+                UopClass::Serializing
+            }
+        }
+    }
+
+    /// `true` for loads *and* load-like special-register reads — the set the
+    /// paper's permissive propagation and load restriction act on.
+    pub fn is_load_like(self) -> bool {
+        matches!(self.class(), UopClass::Load | UopClass::LoadLike)
+    }
+
+    /// `true` for any control-flow micro-op (all `jmp`/`call`/`ret`
+    /// variants), the steering points of paper §4.1.
+    pub fn is_branch(self) -> bool {
+        self.class() == UopClass::Branch
+    }
+
+    /// `true` for stores (whose unresolved addresses gate Bypass
+    /// Restriction, paper §5.2).
+    pub fn is_store(self) -> bool {
+        self.class() == UopClass::Store
+    }
+
+    /// `true` if control flow after this instruction is *not* simply
+    /// `pc + 1` (taken branches resolve dynamically).
+    pub fn is_control(self) -> bool {
+        self.is_branch() || matches!(self, Inst::Halt)
+    }
+
+    /// Destination architectural register, if any. `Call`/`CallInd` write
+    /// the link register.
+    pub fn dest(self) -> Option<Reg> {
+        let rd = match self {
+            Inst::Li { rd, .. }
+            | Inst::Alu { rd, .. }
+            | Inst::Load { rd, .. }
+            | Inst::RdCycle { rd }
+            | Inst::RdMsr { rd, .. } => rd,
+            Inst::Call { .. } | Inst::CallInd { .. } => crate::reg::RA,
+            _ => return None,
+        };
+        if rd.is_zero() {
+            None
+        } else {
+            Some(rd)
+        }
+    }
+
+    /// Positional source operands for rename/execute: slot 0 is the first
+    /// register operand (base/rs1), slot 1 the second (data/rs2). `x0` maps
+    /// to `None` (it reads as the constant zero and needs no rename).
+    pub fn operands(self) -> [Option<Reg>; 2] {
+        let f = |r: Reg| if r.is_zero() { None } else { Some(r) };
+        match self {
+            Inst::Alu { rs1, src2, .. } => {
+                let second = match src2 {
+                    Src2::Reg(r) => f(r),
+                    Src2::Imm(_) => None,
+                };
+                [f(rs1), second]
+            }
+            Inst::Load { base, .. } => [f(base), None],
+            Inst::Store { src, base, .. } => [f(base), f(src)],
+            Inst::Branch { rs1, rs2, .. } => [f(rs1), f(rs2)],
+            Inst::JmpInd { base } | Inst::CallInd { base } => [f(base), None],
+            Inst::Ret => [f(crate::reg::RA), None],
+            Inst::ClFlush { base, .. } => [f(base), None],
+            _ => [None, None],
+        }
+    }
+
+    /// Source architectural registers (at most three), excluding `x0`.
+    pub fn srcs(self) -> SrcIter {
+        let mut out = [None; 3];
+        let mut n = 0;
+        let mut push = |r: Reg| {
+            if !r.is_zero() {
+                out[n] = Some(r);
+                n += 1;
+            }
+        };
+        match self {
+            Inst::Alu { rs1, src2, .. } => {
+                push(rs1);
+                if let Src2::Reg(r) = src2 {
+                    push(r);
+                }
+            }
+            Inst::Load { base, .. } => push(base),
+            Inst::Store { src, base, .. } => {
+                push(base);
+                push(src);
+            }
+            Inst::Branch { rs1, rs2, .. } => {
+                push(rs1);
+                push(rs2);
+            }
+            Inst::JmpInd { base } | Inst::CallInd { base } => push(base),
+            Inst::Ret => push(crate::reg::RA),
+            Inst::ClFlush { base, .. } => push(base),
+            _ => {}
+        }
+        SrcIter { regs: out, pos: 0 }
+    }
+
+    /// Execution latency on a functional unit, excluding any memory time.
+    pub fn exec_latency(self) -> u64 {
+        match self {
+            Inst::Alu { op, .. } => op.latency(),
+            // Address generation for memory ops; cache time is added by the
+            // memory system.
+            _ => 1,
+        }
+    }
+}
+
+/// Iterator over an instruction's source registers.
+///
+/// Produced by [`Inst::srcs`].
+#[derive(Debug, Clone)]
+pub struct SrcIter {
+    regs: [Option<Reg>; 3],
+    pos: usize,
+}
+
+impl Iterator for SrcIter {
+    type Item = Reg;
+
+    fn next(&mut self) -> Option<Reg> {
+        while self.pos < 3 {
+            let r = self.regs[self.pos];
+            self.pos += 1;
+            if r.is_some() {
+                return r;
+            }
+        }
+        None
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Inst::Li { rd, imm } => write!(f, "li {rd}, {imm:#x}"),
+            Inst::Alu { op, rd, rs1, src2 } => match src2 {
+                Src2::Reg(r) => write!(f, "{op:?} {rd}, {rs1}, {r}").map(|_| ()),
+                Src2::Imm(i) => write!(f, "{op:?} {rd}, {rs1}, {i:#x}"),
+            },
+            Inst::Load { rd, base, off, size } => {
+                write!(f, "ld{} {rd}, {off}({base})", size.bytes())
+            }
+            Inst::Store { src, base, off, size } => {
+                write!(f, "st{} {src}, {off}({base})", size.bytes())
+            }
+            Inst::Branch { cond, rs1, rs2, target } => {
+                write!(f, "b{:?} {rs1}, {rs2}, @{target}", cond)
+            }
+            Inst::Jmp { target } => write!(f, "jmp @{target}"),
+            Inst::JmpInd { base } => write!(f, "jmpind {base}"),
+            Inst::Call { target } => write!(f, "call @{target}"),
+            Inst::CallInd { base } => write!(f, "callind {base}"),
+            Inst::Ret => write!(f, "ret"),
+            Inst::RdCycle { rd } => write!(f, "rdcycle {rd}"),
+            Inst::RdMsr { rd, idx } => write!(f, "rdmsr {rd}, {idx}"),
+            Inst::ClFlush { base, off } => write!(f, "clflush {off}({base})"),
+            Inst::Fence => write!(f, "fence"),
+            Inst::SpecOff => write!(f, "specoff"),
+            Inst::SpecOn => write!(f, "specon"),
+            Inst::Nop => write!(f, "nop"),
+            Inst::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::RA;
+
+    #[test]
+    fn classification_matches_paper_table() {
+        assert_eq!(Inst::Load { rd: Reg::X2, base: Reg::X3, off: 0, size: MemSize::B8 }.class(), UopClass::Load);
+        assert_eq!(Inst::RdMsr { rd: Reg::X2, idx: 0 }.class(), UopClass::LoadLike);
+        assert!(Inst::RdMsr { rd: Reg::X2, idx: 0 }.is_load_like());
+        assert_eq!(Inst::Store { src: Reg::X2, base: Reg::X3, off: 0, size: MemSize::B8 }.class(), UopClass::Store);
+        assert_eq!(Inst::Ret.class(), UopClass::Branch);
+        assert_eq!(Inst::Fence.class(), UopClass::Serializing);
+        assert_eq!(Inst::ClFlush { base: Reg::X2, off: 0 }.class(), UopClass::Arith);
+    }
+
+    #[test]
+    fn dest_of_call_is_link_register() {
+        assert_eq!(Inst::Call { target: 0 }.dest(), Some(RA));
+        assert_eq!(Inst::CallInd { base: Reg::X5 }.dest(), Some(RA));
+        assert_eq!(Inst::Ret.dest(), None);
+    }
+
+    #[test]
+    fn dest_to_x0_is_discarded() {
+        assert_eq!(Inst::Li { rd: Reg::X0, imm: 7 }.dest(), None);
+    }
+
+    #[test]
+    fn srcs_skip_x0() {
+        let i = Inst::Alu { op: AluOp::Add, rd: Reg::X2, rs1: Reg::X0, src2: Src2::Reg(Reg::X3) };
+        let s: Vec<Reg> = i.srcs().collect();
+        assert_eq!(s, vec![Reg::X3]);
+    }
+
+    #[test]
+    fn store_reads_base_and_data() {
+        let i = Inst::Store { src: Reg::X4, base: Reg::X5, off: 8, size: MemSize::B4 };
+        let s: Vec<Reg> = i.srcs().collect();
+        assert_eq!(s, vec![Reg::X5, Reg::X4]);
+    }
+
+    #[test]
+    fn ret_reads_link_register() {
+        let s: Vec<Reg> = Inst::Ret.srcs().collect();
+        assert_eq!(s, vec![RA]);
+    }
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(AluOp::Add.apply(u64::MAX, 1), 0);
+        assert_eq!(AluOp::Sub.apply(1, 2), u64::MAX);
+        assert_eq!(AluOp::Shl.apply(1, 9), 512);
+        assert_eq!(AluOp::Shl.apply(1, 64), 1, "shift amount is masked");
+        assert_eq!(AluOp::Sar.apply(u64::MAX, 5), u64::MAX);
+        assert_eq!(AluOp::Div.apply(7, 0), u64::MAX);
+        assert_eq!(AluOp::Rem.apply(7, 0), 7);
+        assert_eq!(AluOp::Slt.apply(u64::MAX, 0), 1, "-1 < 0 signed");
+        assert_eq!(AluOp::Sltu.apply(u64::MAX, 0), 0);
+    }
+
+    #[test]
+    fn branch_conditions() {
+        assert!(BranchCond::Lt.eval(u64::MAX, 0));
+        assert!(!BranchCond::Ltu.eval(u64::MAX, 0));
+        assert!(BranchCond::Geu.eval(5, 5));
+        assert!(BranchCond::Ne.eval(1, 2));
+    }
+
+    #[test]
+    fn latencies() {
+        assert_eq!(AluOp::Add.latency(), 1);
+        assert_eq!(AluOp::Mul.latency(), 3);
+        assert_eq!(AluOp::Div.latency(), 24);
+    }
+
+    #[test]
+    fn display_is_nonempty_for_all() {
+        let insts = [
+            Inst::Nop,
+            Inst::Halt,
+            Inst::Fence,
+            Inst::Ret,
+            Inst::Li { rd: Reg::X2, imm: 1 },
+            Inst::Jmp { target: 3 },
+        ];
+        for i in insts {
+            assert!(!i.to_string().is_empty());
+        }
+    }
+}

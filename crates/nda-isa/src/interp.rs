@@ -1,0 +1,435 @@
+//! Architectural reference interpreter.
+//!
+//! [`Interp`] executes a [`Program`] with *no* micro-architecture at all —
+//! no speculation, no caches, no pipelines. It defines the architectural
+//! contract every timing model must match: the differential test suites run
+//! random programs on this interpreter and on each core model and require
+//! identical final registers, memory and retired-instruction counts. NDA
+//! may change *when* things happen, never *what* happens.
+
+use crate::inst::{Inst, Src2};
+use crate::mem::{MsrFile, PrivilegeMap, SparseMem};
+use crate::program::Program;
+use crate::reg::{Reg, NUM_REGS, RA};
+use std::error::Error;
+use std::fmt;
+
+/// An architectural fault (permission violation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fault {
+    /// Load or store touched the kernel address range in user mode.
+    PrivilegedAccess {
+        /// The offending address.
+        addr: u64,
+    },
+    /// `RdMsr` of a register not in the user-permitted set.
+    PrivilegedMsr {
+        /// The offending MSR number.
+        idx: u16,
+    },
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::PrivilegedAccess { addr } => write!(f, "privileged access to {addr:#x}"),
+            Fault::PrivilegedMsr { idx } => write!(f, "privileged read of msr {idx}"),
+        }
+    }
+}
+
+/// Errors terminating interpretation abnormally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// The PC left the text segment.
+    PcOutOfRange {
+        /// The out-of-range PC.
+        pc: usize,
+    },
+    /// A fault committed and the program has no fault handler.
+    UnhandledFault(Fault),
+    /// The step budget was exhausted before `Halt`.
+    StepLimit,
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::PcOutOfRange { pc } => write!(f, "pc {pc} out of range"),
+            InterpError::UnhandledFault(fault) => write!(f, "unhandled fault: {fault}"),
+            InterpError::StepLimit => write!(f, "step limit exhausted before halt"),
+        }
+    }
+}
+
+impl Error for InterpError {}
+
+/// Summary of a completed [`Interp::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExitInfo {
+    /// `true` if the program executed `Halt`.
+    pub halted: bool,
+    /// Architecturally retired instructions (faulting instructions do not
+    /// retire; the transfer to the handler is not counted).
+    pub retired: u64,
+    /// Number of faults delivered to the fault handler.
+    pub faults: u64,
+}
+
+/// The reference interpreter. See the [module documentation](self).
+#[derive(Debug, Clone)]
+pub struct Interp {
+    program: Program,
+    regs: [u64; NUM_REGS],
+    pc: usize,
+    /// Architectural memory; shared semantics with the timing cores.
+    pub mem: SparseMem,
+    /// The MSR file.
+    pub msrs: MsrFile,
+    priv_map: PrivilegeMap,
+    retired: u64,
+    faults: u64,
+    halted: bool,
+}
+
+impl Interp {
+    /// Create an interpreter with the program's data segment and MSR file
+    /// loaded.
+    pub fn new(program: &Program) -> Interp {
+        let mut mem = SparseMem::new();
+        for init in &program.data {
+            mem.write_bytes(init.addr, &init.bytes);
+        }
+        Interp {
+            msrs: MsrFile::from_program(program),
+            mem,
+            program: program.clone(),
+            regs: [0; NUM_REGS],
+            pc: program.entry,
+            priv_map: PrivilegeMap,
+            retired: 0,
+            faults: 0,
+            halted: false,
+        }
+    }
+
+    /// Current value of an architectural register.
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.regs[r.index()]
+    }
+
+    /// Set an architectural register (writes to `x0` are discarded).
+    pub fn set_reg(&mut self, r: Reg, v: u64) {
+        if !r.is_zero() {
+            self.regs[r.index()] = v;
+        }
+    }
+
+    /// The full architectural register file.
+    pub fn regs(&self) -> &[u64; NUM_REGS] {
+        &self.regs
+    }
+
+    /// Current program counter (instruction index).
+    pub fn pc(&self) -> usize {
+        self.pc
+    }
+
+    /// Retired-instruction count so far.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// `true` once `Halt` has executed.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    fn deliver_fault(&mut self, fault: Fault) -> Result<(), InterpError> {
+        self.faults += 1;
+        match self.program.fault_handler {
+            Some(h) => {
+                self.pc = h;
+                Ok(())
+            }
+            None => Err(InterpError::UnhandledFault(fault)),
+        }
+    }
+
+    /// Execute a single instruction.
+    ///
+    /// # Errors
+    ///
+    /// See [`InterpError`]. A fault with a registered handler is *not* an
+    /// error; control transfers to the handler.
+    pub fn step(&mut self) -> Result<(), InterpError> {
+        if self.halted {
+            return Ok(());
+        }
+        let inst = self
+            .program
+            .fetch(self.pc)
+            .ok_or(InterpError::PcOutOfRange { pc: self.pc })?;
+        let mut next = self.pc + 1;
+        match inst {
+            Inst::Li { rd, imm } => self.set_reg(rd, imm),
+            Inst::Alu { op, rd, rs1, src2 } => {
+                let a = self.reg(rs1);
+                let b = match src2 {
+                    Src2::Reg(r) => self.reg(r),
+                    Src2::Imm(i) => i,
+                };
+                self.set_reg(rd, op.apply(a, b));
+            }
+            Inst::Load { rd, base, off, size } => {
+                let addr = self.reg(base).wrapping_add(off as u64);
+                if self.priv_map.is_privileged(addr) {
+                    return self.deliver_fault(Fault::PrivilegedAccess { addr });
+                }
+                let v = self.mem.read(addr, size.bytes());
+                self.set_reg(rd, v);
+            }
+            Inst::Store { src, base, off, size } => {
+                let addr = self.reg(base).wrapping_add(off as u64);
+                if self.priv_map.is_privileged(addr) {
+                    return self.deliver_fault(Fault::PrivilegedAccess { addr });
+                }
+                let v = self.reg(src);
+                self.mem.write(addr, v, size.bytes());
+            }
+            Inst::Branch { cond, rs1, rs2, target } => {
+                if cond.eval(self.reg(rs1), self.reg(rs2)) {
+                    next = target;
+                }
+            }
+            Inst::Jmp { target } => next = target,
+            Inst::JmpInd { base } => next = self.reg(base) as usize,
+            Inst::Call { target } => {
+                self.set_reg(RA, (self.pc + 1) as u64);
+                next = target;
+            }
+            Inst::CallInd { base } => {
+                let t = self.reg(base) as usize;
+                self.set_reg(RA, (self.pc + 1) as u64);
+                next = t;
+            }
+            Inst::Ret => next = self.reg(RA) as usize,
+            Inst::RdCycle { rd } => {
+                // The reference machine has no clock; expose retired count
+                // so the value is deterministic. Timing models return real
+                // cycles — differential tests therefore exclude RdCycle.
+                let v = self.retired;
+                self.set_reg(rd, v);
+            }
+            Inst::RdMsr { rd, idx } => {
+                if !self.msrs.user_may_read(idx) {
+                    return self.deliver_fault(Fault::PrivilegedMsr { idx });
+                }
+                let v = self.msrs.read(idx);
+                self.set_reg(rd, v);
+            }
+            Inst::ClFlush { .. } | Inst::Fence | Inst::SpecOff | Inst::SpecOn | Inst::Nop => {}
+            Inst::Halt => {
+                self.halted = true;
+                self.retired += 1;
+                return Ok(());
+            }
+        }
+        self.retired += 1;
+        self.pc = next;
+        Ok(())
+    }
+
+    /// Run until `Halt` or until `max_steps` instructions have executed.
+    ///
+    /// # Errors
+    ///
+    /// [`InterpError::StepLimit`] if the budget runs out, plus any
+    /// [`Interp::step`] error.
+    pub fn run(&mut self, max_steps: u64) -> Result<ExitInfo, InterpError> {
+        for _ in 0..max_steps {
+            if self.halted {
+                break;
+            }
+            self.step()?;
+        }
+        if !self.halted {
+            return Err(InterpError::StepLimit);
+        }
+        Ok(ExitInfo { halted: true, retired: self.retired, faults: self.faults })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::inst::MemSize;
+    use crate::mem::KERNEL_BASE;
+
+    fn run(asm: &Asm) -> Interp {
+        let p = asm.assemble().unwrap();
+        let mut i = Interp::new(&p);
+        i.run(100_000).unwrap();
+        i
+    }
+
+    #[test]
+    fn arithmetic_and_halt() {
+        let mut asm = Asm::new();
+        asm.li(Reg::X2, 20).li(Reg::X3, 22).add(Reg::X4, Reg::X2, Reg::X3).halt();
+        let i = run(&asm);
+        assert_eq!(i.reg(Reg::X4), 42);
+        assert_eq!(i.retired(), 4);
+    }
+
+    #[test]
+    fn x0_stays_zero() {
+        let mut asm = Asm::new();
+        asm.li(Reg::X0, 99).halt();
+        let i = run(&asm);
+        assert_eq!(i.reg(Reg::X0), 0);
+    }
+
+    #[test]
+    fn loop_with_counter() {
+        let mut asm = Asm::new();
+        let done = asm.new_label();
+        asm.li(Reg::X2, 10).li(Reg::X3, 0);
+        let top = asm.here_label();
+        asm.beq(Reg::X2, Reg::X0, done);
+        asm.addi(Reg::X3, Reg::X3, 3);
+        asm.subi(Reg::X2, Reg::X2, 1);
+        asm.jmp(top);
+        asm.bind(done);
+        asm.halt();
+        let i = run(&asm);
+        assert_eq!(i.reg(Reg::X3), 30);
+    }
+
+    #[test]
+    fn memory_roundtrip_via_program() {
+        let mut asm = Asm::new();
+        asm.li(Reg::X2, 0x1_0000);
+        asm.li(Reg::X3, 0xAB);
+        asm.st1(Reg::X3, Reg::X2, 5);
+        asm.ld1(Reg::X4, Reg::X2, 5);
+        asm.halt();
+        let i = run(&asm);
+        assert_eq!(i.reg(Reg::X4), 0xAB);
+    }
+
+    #[test]
+    fn data_segment_visible() {
+        let mut asm = Asm::new();
+        asm.data_u64s(0x2000, &[0xfeed]);
+        asm.li(Reg::X2, 0x2000).ld8(Reg::X3, Reg::X2, 0).halt();
+        let i = run(&asm);
+        assert_eq!(i.reg(Reg::X3), 0xfeed);
+    }
+
+    #[test]
+    fn call_and_ret() {
+        let mut asm = Asm::new();
+        let f = asm.new_label();
+        asm.call(f);
+        asm.halt();
+        asm.bind(f);
+        asm.li(Reg::X5, 7);
+        asm.ret();
+        let i = run(&asm);
+        assert_eq!(i.reg(Reg::X5), 7);
+        assert!(i.halted());
+    }
+
+    #[test]
+    fn indirect_call_through_table() {
+        let mut asm = Asm::new();
+        let f = asm.new_label();
+        let table = 0x3000u64;
+        asm.li(Reg::X2, table);
+        asm.ld8(Reg::X3, Reg::X2, 0);
+        asm.call_ind(Reg::X3);
+        asm.halt();
+        asm.bind(f);
+        asm.li(Reg::X6, 0x77);
+        asm.ret();
+        let mut p = asm.assemble().unwrap();
+        // Store the function's instruction index in the table.
+        let target = 4u64; // index of li x6 (after: li, ld8, callind, halt)
+        p.data.push(crate::DataInit { addr: table, bytes: target.to_le_bytes().to_vec() });
+        let mut i = Interp::new(&p);
+        i.run(1000).unwrap();
+        assert_eq!(i.reg(Reg::X6), 0x77);
+    }
+
+    #[test]
+    fn privileged_load_without_handler_errors() {
+        let mut asm = Asm::new();
+        asm.li(Reg::X2, KERNEL_BASE);
+        asm.load(Reg::X3, Reg::X2, 0, MemSize::B8);
+        asm.halt();
+        let p = asm.assemble().unwrap();
+        let mut i = Interp::new(&p);
+        let err = i.run(100).unwrap_err();
+        assert!(matches!(err, InterpError::UnhandledFault(Fault::PrivilegedAccess { .. })));
+    }
+
+    #[test]
+    fn privileged_load_with_handler_recovers() {
+        let mut asm = Asm::new();
+        let h = asm.new_label();
+        asm.fault_handler(h);
+        asm.li(Reg::X2, KERNEL_BASE);
+        asm.load(Reg::X3, Reg::X2, 0, MemSize::B8);
+        asm.halt(); // skipped: fault jumps to handler
+        asm.bind(h);
+        asm.li(Reg::X4, 1);
+        asm.halt();
+        let p = asm.assemble().unwrap();
+        let mut i = Interp::new(&p);
+        let exit = i.run(100).unwrap();
+        assert_eq!(exit.faults, 1);
+        assert_eq!(i.reg(Reg::X4), 1);
+        assert_eq!(i.reg(Reg::X3), 0, "faulting load must not write its destination");
+    }
+
+    #[test]
+    fn privileged_msr_faults_permitted_msr_reads() {
+        let mut asm = Asm::new();
+        let h = asm.new_label();
+        asm.fault_handler(h);
+        asm.msr(1, 0x42).msr(2, 0x43).msr_user_ok(2);
+        asm.rdmsr(Reg::X5, 2);
+        asm.rdmsr(Reg::X6, 1); // faults
+        asm.halt();
+        asm.bind(h);
+        asm.halt();
+        let p = asm.assemble().unwrap();
+        let mut i = Interp::new(&p);
+        let exit = i.run(100).unwrap();
+        assert_eq!(i.reg(Reg::X5), 0x43);
+        assert_eq!(i.reg(Reg::X6), 0);
+        assert_eq!(exit.faults, 1);
+    }
+
+    #[test]
+    fn step_limit_reported() {
+        let mut asm = Asm::new();
+        let top = asm.here_label();
+        asm.jmp(top);
+        let p = asm.assemble().unwrap();
+        let mut i = Interp::new(&p);
+        assert_eq!(i.run(10).unwrap_err(), InterpError::StepLimit);
+    }
+
+    #[test]
+    fn pc_out_of_range_reported() {
+        let mut asm = Asm::new();
+        asm.nop();
+        let p = asm.assemble().unwrap();
+        let mut i = Interp::new(&p);
+        let err = i.run(10).unwrap_err();
+        assert_eq!(err, InterpError::PcOutOfRange { pc: 1 });
+    }
+}

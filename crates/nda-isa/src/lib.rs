@@ -1,0 +1,56 @@
+//! # SpecRISC — the micro-op ISA of the NDA reproduction
+//!
+//! NDA ("Non-speculative Data Access", MICRO-52 2019) operates at the
+//! micro-op level of an out-of-order core: it classifies micro-ops into
+//! loads / load-like special-register reads, stores, branches and plain
+//! arithmetic, and restricts when each may *broadcast* its result to
+//! dependents. This crate defines a small load/store ISA with exactly those
+//! classes, plus everything required to write the paper's attack listings
+//! (1–3) and the SPEC-like workloads:
+//!
+//! * [`Inst`] — the instruction set (one instruction == one micro-op),
+//! * [`Asm`] — a label-based assembler/builder producing [`Program`]s,
+//! * [`SparseMem`] — the 64-bit architectural memory (page-sparse),
+//! * [`Interp`] — an architectural reference interpreter used as the
+//!   differential-correctness oracle for every timing model,
+//! * [`genprog`] — a deterministic structured random-program generator used
+//!   by the property-based test suites.
+//!
+//! ```
+//! use nda_isa::{Asm, Reg, Interp};
+//!
+//! let mut asm = Asm::new();
+//! asm.li(Reg::X2, 20);
+//! asm.li(Reg::X3, 22);
+//! asm.add(Reg::X4, Reg::X2, Reg::X3);
+//! asm.halt();
+//! let prog = asm.assemble().expect("assembles");
+//! let mut interp = Interp::new(&prog);
+//! let exit = interp.run(1_000).expect("runs");
+//! assert!(exit.halted);
+//! assert_eq!(interp.reg(Reg::X4), 42);
+//! ```
+
+pub mod asm;
+pub mod encode;
+pub mod genprog;
+pub mod inst;
+pub mod interp;
+pub mod mem;
+pub mod program;
+pub mod reg;
+
+pub use asm::{Asm, AsmError, Label};
+pub use encode::{decode_program, encode_program, DecodeError};
+pub use inst::{AluOp, BranchCond, Inst, MemSize};
+pub use interp::{ExitInfo, Fault, Interp, InterpError};
+pub use mem::{MsrFile, PrivilegeMap, SparseMem, KERNEL_BASE};
+pub use program::{DataInit, Program};
+pub use reg::Reg;
+
+/// Byte size of one encoded instruction; instruction index `i` lives at
+/// i-cache address `text_base + 4 * i`.
+pub const INST_BYTES: u64 = 4;
+
+/// Default base address of the text segment in the simulated address space.
+pub const TEXT_BASE: u64 = 0x0040_0000;

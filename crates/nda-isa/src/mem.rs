@@ -1,0 +1,214 @@
+//! Architectural memory: a sparse 64-bit paged store, the privilege map and
+//! the MSR file.
+//!
+//! This is *state*, not timing — cache/DRAM timing lives in `nda-mem`. Both
+//! the reference interpreter and the timing cores read and write through
+//! [`SparseMem`], so wrong-path loads in the out-of-order core observe the
+//! same bytes the architectural path would.
+
+use std::collections::HashMap;
+
+/// Start of the privileged (kernel) address range: loads and stores at or
+/// above this address fault in user mode, exactly the Meltdown setting.
+pub const KERNEL_BASE: u64 = 0xffff_8000_0000_0000;
+
+const PAGE_SHIFT: u64 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
+
+/// Sparse byte-addressable memory backed by 4 KiB pages.
+///
+/// Reads of untouched memory return zero, which keeps wrong-path execution
+/// total (a mis-steered load can never crash the simulator).
+#[derive(Debug, Clone, Default)]
+pub struct SparseMem {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl SparseMem {
+    /// New, empty memory.
+    pub fn new() -> SparseMem {
+        SparseMem::default()
+    }
+
+    /// Read one byte.
+    #[inline]
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(p) => p[(addr & PAGE_MASK) as usize],
+            None => 0,
+        }
+    }
+
+    /// Write one byte (allocating the page on demand).
+    #[inline]
+    pub fn write_u8(&mut self, addr: u64, val: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+        page[(addr & PAGE_MASK) as usize] = val;
+    }
+
+    /// Read `size` bytes (1, 2, 4 or 8) little-endian, zero-extended.
+    pub fn read(&self, addr: u64, size: u64) -> u64 {
+        debug_assert!(matches!(size, 1 | 2 | 4 | 8));
+        let mut v: u64 = 0;
+        for i in 0..size {
+            v |= (self.read_u8(addr.wrapping_add(i)) as u64) << (8 * i);
+        }
+        v
+    }
+
+    /// Write the low `size` bytes of `val` (1, 2, 4 or 8) little-endian.
+    pub fn write(&mut self, addr: u64, val: u64, size: u64) {
+        debug_assert!(matches!(size, 1 | 2 | 4 | 8));
+        for i in 0..size {
+            self.write_u8(addr.wrapping_add(i), (val >> (8 * i)) as u8);
+        }
+    }
+
+    /// Copy a byte slice into memory starting at `addr`.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u64), *b);
+        }
+    }
+
+    /// Number of resident pages (for tests and capacity sanity checks).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+/// Privilege classification of addresses.
+///
+/// The reproduction models a single user/kernel split at [`KERNEL_BASE`]
+/// (the Linux direct-map convention that Meltdown attacked).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrivilegeMap;
+
+impl PrivilegeMap {
+    /// `true` if `addr` requires kernel privilege.
+    #[inline]
+    pub fn is_privileged(self, addr: u64) -> bool {
+        addr >= KERNEL_BASE
+    }
+}
+
+/// The model-specific-register file.
+///
+/// `RdMsr` of a register not in the user-permitted set faults — but, like a
+/// Meltdown-style load, the *value* may still propagate speculatively when
+/// the simulated implementation flaw is enabled (LazyFP / Meltdown v3a).
+#[derive(Debug, Clone, Default)]
+pub struct MsrFile {
+    values: HashMap<u16, u64>,
+    user_ok: HashMap<u16, bool>,
+}
+
+impl MsrFile {
+    /// Empty MSR file: every register reads as zero and is privileged.
+    pub fn new() -> MsrFile {
+        MsrFile::default()
+    }
+
+    /// Build from a program's initializers.
+    pub fn from_program(p: &crate::Program) -> MsrFile {
+        let mut f = MsrFile::new();
+        for &(idx, v) in &p.msr_values {
+            f.set(idx, v);
+        }
+        for &idx in &p.msr_user_ok {
+            f.permit_user(idx);
+        }
+        f
+    }
+
+    /// Set an MSR's value.
+    pub fn set(&mut self, idx: u16, val: u64) {
+        self.values.insert(idx, val);
+    }
+
+    /// Read an MSR's value (zero if never set).
+    pub fn read(&self, idx: u16) -> u64 {
+        self.values.get(&idx).copied().unwrap_or(0)
+    }
+
+    /// Allow unprivileged reads of `idx`.
+    pub fn permit_user(&mut self, idx: u16) {
+        self.user_ok.insert(idx, true);
+    }
+
+    /// `true` if user code may read `idx` without faulting.
+    pub fn user_may_read(&self, idx: u16) -> bool {
+        self.user_ok.get(&idx).copied().unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untouched_memory_reads_zero() {
+        let m = SparseMem::new();
+        assert_eq!(m.read(0xdead_beef, 8), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn read_write_roundtrip_all_sizes() {
+        let mut m = SparseMem::new();
+        for &size in &[1u64, 2, 4, 8] {
+            let val = 0x1122_3344_5566_7788u64;
+            m.write(0x1000, val, size);
+            let mask = if size == 8 { u64::MAX } else { (1u64 << (8 * size)) - 1 };
+            assert_eq!(m.read(0x1000, size), val & mask, "size {size}");
+        }
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = SparseMem::new();
+        m.write(0x2000, 0x0102_0304, 4);
+        assert_eq!(m.read_u8(0x2000), 0x04);
+        assert_eq!(m.read_u8(0x2003), 0x01);
+    }
+
+    #[test]
+    fn writes_cross_page_boundaries() {
+        let mut m = SparseMem::new();
+        let addr = (1 << PAGE_SHIFT) - 2; // straddles first page boundary
+        m.write(addr, 0xAABB_CCDD_EEFF_1122, 8);
+        assert_eq!(m.read(addr, 8), 0xAABB_CCDD_EEFF_1122);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn write_bytes_copies_slice() {
+        let mut m = SparseMem::new();
+        m.write_bytes(0x3000, &[1, 2, 3]);
+        assert_eq!(m.read(0x3000, 4), 0x0003_0201);
+    }
+
+    #[test]
+    fn kernel_range_is_privileged() {
+        let p = PrivilegeMap;
+        assert!(p.is_privileged(KERNEL_BASE));
+        assert!(p.is_privileged(u64::MAX));
+        assert!(!p.is_privileged(KERNEL_BASE - 1));
+        assert!(!p.is_privileged(0x40_0000));
+    }
+
+    #[test]
+    fn msr_permissions() {
+        let mut f = MsrFile::new();
+        f.set(7, 0x5151);
+        assert_eq!(f.read(7), 0x5151);
+        assert_eq!(f.read(8), 0);
+        assert!(!f.user_may_read(7));
+        f.permit_user(7);
+        assert!(f.user_may_read(7));
+    }
+}

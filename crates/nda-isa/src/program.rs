@@ -1,0 +1,106 @@
+//! Executable program container.
+
+use crate::inst::Inst;
+use crate::TEXT_BASE;
+
+/// One data-segment initializer: `bytes` copied to `addr` before execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataInit {
+    /// Destination address in the simulated address space.
+    pub addr: u64,
+    /// Bytes to place there.
+    pub bytes: Vec<u8>,
+}
+
+/// A complete SpecRISC program: text, entry point, data initializers, MSR
+/// file contents and the fault-handler vector.
+///
+/// Produced by [`Asm::assemble`](crate::Asm::assemble); consumed by the
+/// reference interpreter and by every timing model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// The instructions; the PC is an index into this vector.
+    pub insts: Vec<Inst>,
+    /// Instruction index where execution starts.
+    pub entry: usize,
+    /// Data-segment initializers applied before execution.
+    pub data: Vec<DataInit>,
+    /// Where control transfers when a fault (privileged access) commits.
+    /// `None` means a committed fault terminates the program.
+    pub fault_handler: Option<usize>,
+    /// Initial model-specific-register values, indexed by MSR number.
+    pub msr_values: Vec<(u16, u64)>,
+    /// MSR numbers user code may read without faulting.
+    pub msr_user_ok: Vec<u16>,
+    /// Base address of the text segment (for i-cache addressing).
+    pub text_base: u64,
+}
+
+impl Program {
+    /// An empty program (single `Halt`), mostly useful in tests.
+    pub fn empty() -> Program {
+        Program {
+            insts: vec![Inst::Halt],
+            entry: 0,
+            data: Vec::new(),
+            fault_handler: None,
+            msr_values: Vec::new(),
+            msr_user_ok: Vec::new(),
+            text_base: TEXT_BASE,
+        }
+    }
+
+    /// Number of instructions in the text segment.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// `true` if the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Fetch the instruction at `pc`, or `None` past the end of text.
+    #[inline]
+    pub fn fetch(&self, pc: usize) -> Option<Inst> {
+        self.insts.get(pc).copied()
+    }
+
+    /// I-cache byte address of the instruction at index `pc`.
+    #[inline]
+    pub fn inst_addr(&self, pc: usize) -> u64 {
+        self.text_base + crate::INST_BYTES * pc as u64
+    }
+}
+
+impl Default for Program {
+    fn default() -> Program {
+        Program::empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_program_halts_at_entry() {
+        let p = Program::empty();
+        assert_eq!(p.fetch(p.entry), Some(Inst::Halt));
+        assert_eq!(p.len(), 1);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn inst_addr_is_stride_four() {
+        let p = Program::empty();
+        assert_eq!(p.inst_addr(0), TEXT_BASE);
+        assert_eq!(p.inst_addr(3), TEXT_BASE + 12);
+    }
+
+    #[test]
+    fn fetch_out_of_range_is_none() {
+        let p = Program::empty();
+        assert_eq!(p.fetch(99), None);
+    }
+}

@@ -1,0 +1,108 @@
+//! Architectural register names.
+
+use std::fmt;
+
+/// One of the 32 architectural general-purpose registers.
+///
+/// `X0` is hard-wired to zero (writes are discarded); `X1` doubles as the
+/// link register `ra` written by [`Inst::Call`](crate::Inst::Call) and read
+/// by [`Inst::Ret`](crate::Inst::Ret).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+#[allow(missing_docs)]
+pub enum Reg {
+    X0 = 0, X1, X2, X3, X4, X5, X6, X7,
+    X8, X9, X10, X11, X12, X13, X14, X15,
+    X16, X17, X18, X19, X20, X21, X22, X23,
+    X24, X25, X26, X27, X28, X29, X30, X31,
+}
+
+/// Number of architectural general-purpose registers.
+pub const NUM_REGS: usize = 32;
+
+/// The link register written by `Call`/`CallInd` and consumed by `Ret`.
+pub const RA: Reg = Reg::X1;
+
+impl Reg {
+    /// Register index in `0..32`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The register with the given index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 32`.
+    #[inline]
+    pub fn from_index(idx: usize) -> Reg {
+        assert!(idx < NUM_REGS, "register index {idx} out of range");
+        // SAFETY-free: exhaustive match avoids any transmute.
+        ALL_REGS[idx]
+    }
+
+    /// `true` for the hard-wired zero register.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self == Reg::X0
+    }
+
+    /// Iterator over every architectural register, `X0..=X31`.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        ALL_REGS.iter().copied()
+    }
+}
+
+/// Table of every register, indexable by register number.
+pub const ALL_REGS: [Reg; NUM_REGS] = [
+    Reg::X0, Reg::X1, Reg::X2, Reg::X3, Reg::X4, Reg::X5, Reg::X6, Reg::X7,
+    Reg::X8, Reg::X9, Reg::X10, Reg::X11, Reg::X12, Reg::X13, Reg::X14, Reg::X15,
+    Reg::X16, Reg::X17, Reg::X18, Reg::X19, Reg::X20, Reg::X21, Reg::X22, Reg::X23,
+    Reg::X24, Reg::X25, Reg::X26, Reg::X27, Reg::X28, Reg::X29, Reg::X30, Reg::X31,
+];
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for i in 0..NUM_REGS {
+            assert_eq!(Reg::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn display_matches_index() {
+        assert_eq!(Reg::X0.to_string(), "x0");
+        assert_eq!(Reg::X31.to_string(), "x31");
+    }
+
+    #[test]
+    fn zero_register_identified() {
+        assert!(Reg::X0.is_zero());
+        assert!(!Reg::X1.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_index_out_of_range_panics() {
+        let _ = Reg::from_index(32);
+    }
+
+    #[test]
+    fn all_yields_each_register_once() {
+        let v: Vec<Reg> = Reg::all().collect();
+        assert_eq!(v.len(), NUM_REGS);
+        for (i, r) in v.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+    }
+}

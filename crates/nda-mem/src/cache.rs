@@ -1,0 +1,269 @@
+//! Set-associative tag store with true-LRU replacement.
+
+/// Geometry and latency of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u64,
+    /// Associativity.
+    pub ways: usize,
+    /// Round-trip hit latency in cycles.
+    pub latency: u64,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> usize {
+        (self.size_bytes / (self.line_bytes * self.ways as u64)) as usize
+    }
+}
+
+/// Hit/miss counters for one cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio in `[0, 1]`; zero when there were no accesses.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses() as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    /// Monotonic use stamp for true-LRU.
+    last_use: u64,
+}
+
+/// A set-associative, true-LRU tag store.
+///
+/// The store tracks presence and recency only; data bytes never enter it.
+/// Speculative (wrong-path) fills are permitted and are *not* reverted on
+/// squash — that is precisely the micro-architectural residue speculative
+/// execution attacks exploit (paper §2).
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl SetAssocCache {
+    /// Build an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero ways or non-power-of-two
+    /// line size).
+    pub fn new(cfg: CacheConfig) -> SetAssocCache {
+        assert!(cfg.ways > 0, "cache must have at least one way");
+        assert!(cfg.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(cfg.sets() > 0, "cache must have at least one set");
+        SetAssocCache {
+            sets: vec![vec![Line::default(); cfg.ways]; cfg.sets()],
+            cfg,
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    /// Accumulated hit/miss statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    #[inline]
+    fn split(&self, addr: u64) -> (usize, u64) {
+        let line = addr / self.cfg.line_bytes;
+        let set = (line % self.sets.len() as u64) as usize;
+        (set, line)
+    }
+
+    /// `true` if the line containing `addr` is present. No state change.
+    pub fn contains(&self, addr: u64) -> bool {
+        let (set, tag) = self.split(addr);
+        self.sets[set].iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Normal access: returns `true` on hit. Updates LRU and allocates the
+    /// line on miss (evicting true-LRU). Counts in [`CacheStats`].
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.tick += 1;
+        let (set, tag) = self.split(addr);
+        let set = &mut self.sets[set];
+        if let Some(l) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+            l.last_use = self.tick;
+            self.stats.hits += 1;
+            return true;
+        }
+        self.stats.misses += 1;
+        let victim = set
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.last_use } else { 0 })
+            .expect("ways > 0");
+        *victim = Line { tag, valid: true, last_use: self.tick };
+        false
+    }
+
+    /// Install the line containing `addr` (a fill arriving from the next
+    /// level): allocates and refreshes LRU but does **not** count as an
+    /// access in [`CacheStats`] — the originating miss was already counted.
+    pub fn install(&mut self, addr: u64) {
+        self.tick += 1;
+        let (set, tag) = self.split(addr);
+        let set = &mut self.sets[set];
+        if let Some(l) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+            l.last_use = self.tick;
+            return;
+        }
+        let victim = set
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.last_use } else { 0 })
+            .expect("ways > 0");
+        *victim = Line { tag, valid: true, last_use: self.tick };
+    }
+
+    /// Count a miss that was serviced without calling [`Self::access`]
+    /// (the hierarchy counts misses at request time but installs lines at
+    /// fill time).
+    pub fn count_miss(&mut self) {
+        self.stats.misses += 1;
+    }
+
+    /// InvisiSpec-style probe: reports hit/miss *without* allocating or
+    /// touching LRU state, and without counting in [`CacheStats`].
+    pub fn probe(&self, addr: u64) -> bool {
+        self.contains(addr)
+    }
+
+    /// Invalidate the line containing `addr` (used by `clflush`).
+    pub fn invalidate(&mut self, addr: u64) {
+        let (set, tag) = self.split(addr);
+        for l in &mut self.sets[set] {
+            if l.valid && l.tag == tag {
+                l.valid = false;
+            }
+        }
+    }
+
+    /// Drop every line (used between sampling intervals).
+    pub fn invalidate_all(&mut self) {
+        for set in &mut self.sets {
+            for l in set.iter_mut() {
+                l.valid = false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SetAssocCache {
+        // 2 sets x 2 ways x 64B lines = 256 B.
+        SetAssocCache::new(CacheConfig { size_bytes: 256, line_bytes: 64, ways: 2, latency: 4 })
+    }
+
+    #[test]
+    fn geometry() {
+        let c = tiny();
+        assert_eq!(c.config().sets(), 2);
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(0x0));
+        assert!(c.access(0x0));
+        assert!(c.access(0x3f), "same line");
+        assert!(!c.access(0x40), "next line maps to other set");
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Set 0 lines: addresses with line index even (2 sets): 0x000, 0x080, 0x100.
+        c.access(0x000);
+        c.access(0x080);
+        c.access(0x000); // 0x080 is now LRU
+        c.access(0x100); // evicts 0x080
+        assert!(c.contains(0x000));
+        assert!(!c.contains(0x080));
+        assert!(c.contains(0x100));
+    }
+
+    #[test]
+    fn probe_does_not_perturb() {
+        let mut c = tiny();
+        c.access(0x000);
+        c.access(0x080);
+        // Probing 0x000 must NOT refresh its LRU position.
+        assert!(c.probe(0x000));
+        let stats_before = c.stats();
+        assert!(!c.probe(0x100));
+        assert_eq!(c.stats(), stats_before, "probe must not count");
+        c.access(0x100); // evicts 0x000 (still LRU despite the probe)
+        assert!(!c.contains(0x000));
+        assert!(c.contains(0x080));
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = tiny();
+        c.access(0x0);
+        c.invalidate(0x20); // same line
+        assert!(!c.contains(0x0));
+    }
+
+    #[test]
+    fn invalidate_all_clears() {
+        let mut c = tiny();
+        c.access(0x0);
+        c.access(0x40);
+        c.invalidate_all();
+        assert!(!c.contains(0x0));
+        assert!(!c.contains(0x40));
+    }
+
+    #[test]
+    fn miss_ratio() {
+        let mut c = tiny();
+        c.access(0x0);
+        c.access(0x0);
+        assert!((c.stats().miss_ratio() - 0.5).abs() < 1e-9);
+        assert_eq!(CacheStats::default().miss_ratio(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one way")]
+    fn zero_ways_panics() {
+        SetAssocCache::new(CacheConfig { size_bytes: 256, line_bytes: 64, ways: 0, latency: 1 });
+    }
+}

@@ -1,0 +1,393 @@
+//! The two-level cache hierarchy plus DRAM.
+
+use crate::cache::{CacheConfig, CacheStats, SetAssocCache};
+use crate::mlp::MlpTracker;
+use crate::mshr::MshrFile;
+
+/// Which level serviced an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// First-level cache hit.
+    L1,
+    /// Second-level cache hit.
+    L2,
+    /// Off-chip (DRAM) access.
+    Mem,
+}
+
+/// Result of a data-side access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataAccess {
+    /// Round-trip latency in cycles from the access cycle.
+    pub latency: u64,
+    /// The level that provided the line.
+    pub level: Level,
+}
+
+/// Hierarchy configuration (paper Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemHierConfig {
+    /// Instruction L1.
+    pub l1i: CacheConfig,
+    /// Data L1.
+    pub l1d: CacheConfig,
+    /// Unified L2.
+    pub l2: CacheConfig,
+    /// DRAM response latency in cycles (50 ns at 2 GHz = 100).
+    pub dram_latency: u64,
+    /// Number of data-side MSHRs (bounds MLP).
+    pub mshrs: usize,
+    /// Next-line prefetch on data-side off-chip misses. Off by default
+    /// (Table 3 has no prefetcher); the ablation benches turn it on.
+    /// Prefetches are issued speculatively and — like every predictive
+    /// structure the paper lists in §2 — are *not* reverted on squash.
+    pub next_line_prefetch: bool,
+}
+
+impl MemHierConfig {
+    /// The configuration of the paper's Table 3 at 2 GHz: 32 KiB 8-way L1s
+    /// with 4-cycle round trip, 2 MiB 16-way L2 with 40-cycle round trip,
+    /// 50 ns DRAM, 16 MSHRs.
+    pub fn haswell_like() -> MemHierConfig {
+        MemHierConfig {
+            l1i: CacheConfig { size_bytes: 32 * 1024, line_bytes: 64, ways: 8, latency: 4 },
+            l1d: CacheConfig { size_bytes: 32 * 1024, line_bytes: 64, ways: 8, latency: 4 },
+            l2: CacheConfig { size_bytes: 2 * 1024 * 1024, line_bytes: 64, ways: 16, latency: 40 },
+            dram_latency: 100,
+            mshrs: 16,
+            next_line_prefetch: false,
+        }
+    }
+
+    /// A tiny hierarchy for unit tests (exaggerated conflict behaviour).
+    pub fn tiny() -> MemHierConfig {
+        MemHierConfig {
+            l1i: CacheConfig { size_bytes: 512, line_bytes: 64, ways: 2, latency: 4 },
+            l1d: CacheConfig { size_bytes: 512, line_bytes: 64, ways: 2, latency: 4 },
+            l2: CacheConfig { size_bytes: 2048, line_bytes: 64, ways: 2, latency: 40 },
+            dram_latency: 100,
+            mshrs: 4,
+            next_line_prefetch: false,
+        }
+    }
+}
+
+/// Aggregate hierarchy statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MemStats {
+    /// L1I hit/miss counts.
+    pub l1i: CacheStats,
+    /// L1D hit/miss counts.
+    pub l1d: CacheStats,
+    /// L2 hit/miss counts.
+    pub l2: CacheStats,
+    /// Off-chip accesses performed.
+    pub dram_accesses: u64,
+    /// Prefetches issued (0 unless the prefetcher is enabled).
+    pub prefetches: u64,
+    /// MLP while >= 1 off-chip miss outstanding (Fig 9b definition).
+    pub mlp: Option<f64>,
+}
+
+/// The cache hierarchy + DRAM timing model. See the crate docs for the
+/// separation between timing (here) and architectural bytes
+/// (`nda_isa::SparseMem`).
+#[derive(Debug, Clone)]
+pub struct MemHier {
+    cfg: MemHierConfig,
+    l1i: SetAssocCache,
+    l1d: SetAssocCache,
+    l2: SetAssocCache,
+    mshr: MshrFile,
+    mlp: MlpTracker,
+    dram_accesses: u64,
+    prefetches: u64,
+    /// Off-chip fills that have been requested but not yet arrived:
+    /// `(line-base address, completion cycle)`. Applied lazily.
+    pending_fills: Vec<(u64, u64)>,
+}
+
+impl MemHier {
+    /// Build an empty (cold) hierarchy.
+    pub fn new(cfg: MemHierConfig) -> MemHier {
+        MemHier {
+            l1i: SetAssocCache::new(cfg.l1i),
+            l1d: SetAssocCache::new(cfg.l1d),
+            l2: SetAssocCache::new(cfg.l2),
+            mshr: MshrFile::new(cfg.mshrs),
+            mlp: MlpTracker::new(),
+            dram_accesses: 0,
+            prefetches: 0,
+            pending_fills: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// The configuration this hierarchy was built with.
+    pub fn config(&self) -> MemHierConfig {
+        self.cfg
+    }
+
+    /// Install fills that completed at or before `now`.
+    fn apply_fills(&mut self, now: u64) {
+        let mut i = 0;
+        while i < self.pending_fills.len() {
+            let (addr, done) = self.pending_fills[i];
+            if done <= now {
+                self.l2.install(addr);
+                self.l1d.install(addr);
+                self.pending_fills.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Data-side access at cycle `now` (loads at execute, stores at
+    /// commit). Fills caches on miss (at fill time) and updates LRU —
+    /// including on the wrong path, which is the paper's d-cache covert
+    /// channel.
+    ///
+    /// Returns `None` when every MSHR is busy and the access must retry.
+    pub fn access_data(&mut self, addr: u64, now: u64) -> Option<DataAccess> {
+        self.apply_fills(now);
+        if self.l1d.probe(addr) {
+            self.l1d.access(addr);
+            return Some(DataAccess { latency: self.cfg.l1d.latency, level: Level::L1 });
+        }
+        if self.l2.probe(addr) {
+            self.l1d.count_miss();
+            self.l2.access(addr); // LRU update
+            self.l1d.install(addr); // L1 fill
+            return Some(DataAccess {
+                latency: self.cfg.l1d.latency + self.cfg.l2.latency,
+                level: Level::L2,
+            });
+        }
+        // Off-chip: needs an MSHR. Reserve it *before* touching tag state so
+        // a refused access leaves no residue.
+        let line_addr = addr & !(self.cfg.l1d.line_bytes - 1);
+        let line = addr / self.cfg.l1d.line_bytes;
+        let full_latency = self.cfg.l1d.latency + self.cfg.l2.latency + self.cfg.dram_latency;
+        let (done, merged) = self.mshr.allocate(line, now, now + full_latency)?;
+        if !merged {
+            self.dram_accesses += 1;
+            self.mlp.record(now, done);
+            self.l1d.count_miss();
+            self.l2.count_miss();
+            self.pending_fills.push((line_addr, done));
+            // Next-line prefetch: fire-and-forget, only if a spare MSHR is
+            // available and the line is absent.
+            if self.cfg.next_line_prefetch {
+                let next = line_addr + self.cfg.l1d.line_bytes;
+                if !self.l1d.probe(next) && !self.l2.probe(next) {
+                    if let Some((pdone, pmerged)) =
+                        self.mshr.allocate(next / self.cfg.l1d.line_bytes, now, now + full_latency)
+                    {
+                        if !pmerged {
+                            self.prefetches += 1;
+                            self.dram_accesses += 1;
+                            self.pending_fills.push((next, pdone));
+                        }
+                    }
+                }
+            }
+        }
+        Some(DataAccess { latency: done - now, level: Level::Mem })
+    }
+
+    /// Instruction fetch of the line containing `addr` at cycle `now`.
+    /// Returns the latency; the front end stalls for it. Instruction misses
+    /// do not consume data MSHRs.
+    pub fn access_inst(&mut self, addr: u64) -> DataAccess {
+        if self.l1i.access(addr) {
+            return DataAccess { latency: self.cfg.l1i.latency, level: Level::L1 };
+        }
+        if self.l2.access(addr) {
+            return DataAccess {
+                latency: self.cfg.l1i.latency + self.cfg.l2.latency,
+                level: Level::L2,
+            };
+        }
+        self.dram_accesses += 1;
+        DataAccess {
+            latency: self.cfg.l1i.latency + self.cfg.l2.latency + self.cfg.dram_latency,
+            level: Level::Mem,
+        }
+    }
+
+    /// InvisiSpec probe: the latency and level the access *would* see,
+    /// with **no** fill, LRU update or stat count (pending fills that have
+    /// completed by `now` are installed first — that is bookkeeping, not an
+    /// observable side effect of the probe).
+    pub fn probe_data(&mut self, addr: u64, now: u64) -> DataAccess {
+        self.apply_fills(now);
+        if self.l1d.probe(addr) {
+            DataAccess { latency: self.cfg.l1d.latency, level: Level::L1 }
+        } else if self.l2.probe(addr) {
+            DataAccess { latency: self.cfg.l1d.latency + self.cfg.l2.latency, level: Level::L2 }
+        } else {
+            DataAccess {
+                latency: self.cfg.l1d.latency + self.cfg.l2.latency + self.cfg.dram_latency,
+                level: Level::Mem,
+            }
+        }
+    }
+
+    /// InvisiSpec exposure: install the line containing `addr` from the
+    /// load's speculative buffer into L1D and L2 — no miss is re-paid and
+    /// no stats are counted (the original probe observed the latency).
+    pub fn install_data_line(&mut self, addr: u64) {
+        self.l2.install(addr);
+        self.l1d.install(addr);
+    }
+
+    /// `clflush`: evict the line containing `addr` from every level and
+    /// cancel any pending fill of it.
+    pub fn flush_line(&mut self, addr: u64) {
+        self.l1i.invalidate(addr);
+        self.l1d.invalidate(addr);
+        self.l2.invalidate(addr);
+        let line_addr = addr & !(self.cfg.l1d.line_bytes - 1);
+        self.pending_fills.retain(|&(a, _)| a != line_addr);
+    }
+
+    /// `true` if the data side holds the line (either level).
+    pub fn data_line_present(&self, addr: u64) -> bool {
+        self.l1d.probe(addr) || self.l2.probe(addr)
+    }
+
+    /// Snapshot of the aggregate statistics.
+    pub fn stats(&self) -> MemStats {
+        MemStats {
+            l1i: self.l1i.stats(),
+            l1d: self.l1d.stats(),
+            l2: self.l2.stats(),
+            dram_accesses: self.dram_accesses,
+            prefetches: self.prefetches,
+            mlp: self.mlp.mlp(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_miss_then_warm_hits() {
+        let mut h = MemHier::new(MemHierConfig::haswell_like());
+        let a = h.access_data(0x1000, 0).unwrap();
+        assert_eq!(a.level, Level::Mem);
+        assert_eq!(a.latency, 4 + 40 + 100);
+        let b = h.access_data(0x1000, 200).unwrap();
+        assert_eq!(b.level, Level::L1);
+        assert_eq!(b.latency, 4);
+    }
+
+    #[test]
+    fn l2_hit_after_l1_eviction() {
+        let mut h = MemHier::new(MemHierConfig::tiny());
+        // l1d: 4 sets x 2 ways. Fill set 0 with 3 lines (stride = 4*64).
+        let stride = 4 * 64;
+        h.access_data(0, 0).unwrap();
+        h.access_data(stride, 300).unwrap();
+        h.access_data(2 * stride, 600).unwrap(); // evicts line 0 from L1
+        let a = h.access_data(0, 900).unwrap();
+        assert_eq!(a.level, Level::L2);
+        assert_eq!(a.latency, 44);
+    }
+
+    #[test]
+    fn flush_forces_offchip() {
+        let mut h = MemHier::new(MemHierConfig::haswell_like());
+        h.access_data(0x2000, 0).unwrap();
+        h.flush_line(0x2000);
+        let a = h.access_data(0x2000, 500).unwrap();
+        assert_eq!(a.level, Level::Mem);
+    }
+
+    #[test]
+    fn mshr_exhaustion_refuses_without_residue() {
+        let mut h = MemHier::new(MemHierConfig::tiny()); // 4 MSHRs
+        for i in 0..4 {
+            assert!(h.access_data(0x10_000 + i * 64, 0).is_some());
+        }
+        let refused_addr = 0x20_000;
+        assert!(h.access_data(refused_addr, 1).is_none());
+        assert!(!h.data_line_present(refused_addr), "refused access left residue");
+        // After the fills complete, the access goes through.
+        assert!(h.access_data(refused_addr, 1000).is_some());
+    }
+
+    #[test]
+    fn merged_miss_sees_remaining_latency() {
+        let mut h = MemHier::new(MemHierConfig::haswell_like());
+        let first = h.access_data(0x3000, 0).unwrap();
+        assert_eq!(first.latency, 144);
+        let merged = h.access_data(0x3020, 44).unwrap(); // same line, later
+        assert_eq!(merged.latency, 100, "merge completes with the in-flight fill");
+    }
+
+    #[test]
+    fn mlp_counts_overlapping_offchip_misses() {
+        let mut h = MemHier::new(MemHierConfig::haswell_like());
+        h.access_data(0x100_000, 0).unwrap();
+        h.access_data(0x200_000, 0).unwrap();
+        let s = h.stats();
+        assert_eq!(s.dram_accesses, 2);
+        assert!((s.mlp.unwrap() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inst_side_uses_l1i_and_l2() {
+        let mut h = MemHier::new(MemHierConfig::haswell_like());
+        let a = h.access_inst(0x40_0000);
+        assert_eq!(a.level, Level::Mem);
+        let b = h.access_inst(0x40_0000);
+        assert_eq!(b.level, Level::L1);
+        assert_eq!(h.stats().l1i.hits, 1);
+    }
+
+    #[test]
+    fn next_line_prefetch_pulls_in_the_neighbour() {
+        let mut cfg = MemHierConfig::haswell_like();
+        cfg.next_line_prefetch = true;
+        let mut h = MemHier::new(cfg);
+        h.access_data(0x8000, 0).unwrap();
+        assert_eq!(h.stats().prefetches, 1);
+        // After the fill window both the demanded and the next line hit.
+        assert_eq!(h.access_data(0x8000, 200).unwrap().level, Level::L1);
+        assert_eq!(h.access_data(0x8040, 200).unwrap().level, Level::L1, "prefetched");
+        // Two lines further was not prefetched.
+        assert_eq!(h.access_data(0x8080, 400).unwrap().level, Level::Mem);
+    }
+
+    #[test]
+    fn prefetcher_disabled_by_default() {
+        let mut h = MemHier::new(MemHierConfig::haswell_like());
+        h.access_data(0x8000, 0).unwrap();
+        assert_eq!(h.stats().prefetches, 0);
+        assert_eq!(h.access_data(0x8040, 200).unwrap().level, Level::Mem);
+    }
+
+    #[test]
+    fn probe_leaves_no_trace() {
+        let mut h = MemHier::new(MemHierConfig::haswell_like());
+        let p = h.probe_data(0x5000, 0);
+        assert_eq!(p.level, Level::Mem);
+        assert!(!h.data_line_present(0x5000));
+        assert_eq!(h.stats().l1d.accesses(), 0);
+        h.access_data(0x5000, 0).unwrap();
+        assert_eq!(h.probe_data(0x5000, 200).level, Level::L1);
+    }
+
+    #[test]
+    fn line_installs_at_fill_time_not_request_time() {
+        let mut h = MemHier::new(MemHierConfig::haswell_like());
+        h.access_data(0x6000, 0).unwrap();
+        assert!(!h.data_line_present(0x6000), "fill has not arrived yet");
+        assert_eq!(h.probe_data(0x6000, 10).level, Level::Mem);
+        assert_eq!(h.probe_data(0x6000, 144).level, Level::L1);
+    }
+}

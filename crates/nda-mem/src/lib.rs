@@ -1,0 +1,30 @@
+//! # Memory-system timing models for the NDA reproduction
+//!
+//! Timing-only models of the cache hierarchy of the paper's Table 3:
+//! 32 KiB 8-way L1I and L1D (4-cycle round trip), a 2 MiB 16-way L2
+//! (40-cycle round trip) and 50 ns DRAM, with an MSHR file bounding
+//! outstanding misses and feeding the MLP statistic of Fig 9b.
+//!
+//! These structures track *tags and time*, never data — architectural bytes
+//! live in `nda_isa::SparseMem`. Keeping timing and state separate is what
+//! lets wrong-path execution perturb the caches (the covert channel) while
+//! the architectural state stays precise.
+//!
+//! ```
+//! use nda_mem::{MemHier, MemHierConfig};
+//!
+//! let mut hier = MemHier::new(MemHierConfig::haswell_like());
+//! let cold = hier.access_data(0x1000, 0).expect("mshr free");
+//! let warm = hier.access_data(0x1000, cold.latency).expect("mshr free");
+//! assert!(cold.latency > warm.latency);
+//! ```
+
+pub mod cache;
+pub mod hier;
+pub mod mlp;
+pub mod mshr;
+
+pub use cache::{CacheConfig, CacheStats, SetAssocCache};
+pub use hier::{DataAccess, Level, MemHier, MemHierConfig, MemStats};
+pub use mlp::MlpTracker;
+pub use mshr::MshrFile;

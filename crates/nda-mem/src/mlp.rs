@@ -1,0 +1,125 @@
+//! Memory-level-parallelism accounting.
+//!
+//! The paper follows Chou et al. and reports MLP as *the average number of
+//! outstanding off-chip misses when at least one is outstanding* (Fig 9b).
+//! [`MlpTracker`] computes exactly that from the (start, end) interval of
+//! each off-chip miss, using a single forward sweep — accesses are recorded
+//! in non-decreasing start order, which the cycle-driven cores guarantee.
+
+/// Streaming MLP aggregator. See the [module documentation](self).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MlpTracker {
+    /// Sum over misses of their duration (cycle-weighted outstanding count).
+    miss_cycles: u64,
+    /// Cycles during which >= 1 miss was outstanding (union of intervals).
+    busy_cycles: u64,
+    /// End of the union interval currently being extended.
+    frontier: u64,
+    /// Number of misses recorded.
+    misses: u64,
+}
+
+impl MlpTracker {
+    /// A tracker with no recorded misses.
+    pub fn new() -> MlpTracker {
+        MlpTracker::default()
+    }
+
+    /// Record one off-chip miss outstanding over `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `end < start` or if `start` precedes an
+    /// earlier recorded start (the sweep requires sorted starts).
+    pub fn record(&mut self, start: u64, end: u64) {
+        debug_assert!(end >= start, "interval must not be negative");
+        if end == start {
+            return;
+        }
+        self.misses += 1;
+        self.miss_cycles += end - start;
+        if start >= self.frontier {
+            self.busy_cycles += end - start;
+            self.frontier = end;
+        } else if end > self.frontier {
+            self.busy_cycles += end - self.frontier;
+            self.frontier = end;
+        }
+    }
+
+    /// Number of misses recorded.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Cycles with at least one outstanding miss.
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy_cycles
+    }
+
+    /// Average outstanding misses while >= 1 outstanding; `None` if no miss
+    /// was ever recorded.
+    pub fn mlp(&self) -> Option<f64> {
+        if self.busy_cycles == 0 {
+            None
+        } else {
+            Some(self.miss_cycles as f64 / self.busy_cycles as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_misses_is_none() {
+        assert_eq!(MlpTracker::new().mlp(), None);
+    }
+
+    #[test]
+    fn serial_misses_have_mlp_one() {
+        let mut t = MlpTracker::new();
+        t.record(0, 100);
+        t.record(100, 200);
+        t.record(300, 400);
+        assert_eq!(t.mlp(), Some(1.0));
+        assert_eq!(t.misses(), 3);
+        assert_eq!(t.busy_cycles(), 300);
+    }
+
+    #[test]
+    fn fully_overlapped_misses_sum() {
+        let mut t = MlpTracker::new();
+        t.record(0, 100);
+        t.record(0, 100);
+        t.record(0, 100);
+        assert_eq!(t.mlp(), Some(3.0));
+    }
+
+    #[test]
+    fn partial_overlap() {
+        let mut t = MlpTracker::new();
+        t.record(0, 100);
+        t.record(50, 150);
+        // 200 miss-cycles over a 150-cycle union.
+        assert!((t.mlp().unwrap() - 200.0 / 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn contained_interval_extends_nothing() {
+        let mut t = MlpTracker::new();
+        t.record(0, 100);
+        t.record(20, 60);
+        assert_eq!(t.busy_cycles(), 100);
+        assert!((t.mlp().unwrap() - 140.0 / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_length_interval_ignored() {
+        let mut t = MlpTracker::new();
+        t.record(5, 5);
+        assert_eq!(t.misses(), 0);
+        assert_eq!(t.mlp(), None);
+    }
+}

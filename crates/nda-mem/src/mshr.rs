@@ -1,0 +1,135 @@
+//! Miss-status holding registers.
+//!
+//! The MSHR file bounds the number of concurrently outstanding off-chip
+//! misses (the source of memory-level parallelism) and merges accesses to a
+//! line that is already in flight.
+
+use std::collections::HashMap;
+
+/// A bounded file of outstanding line fills.
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    capacity: usize,
+    /// line index -> cycle at which the fill completes.
+    in_flight: HashMap<u64, u64>,
+    /// Peak simultaneous occupancy ever observed.
+    peak: usize,
+    /// Total allocations (merges excluded).
+    allocations: u64,
+    /// Accesses merged into an existing entry.
+    merges: u64,
+}
+
+impl MshrFile {
+    /// A file with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> MshrFile {
+        assert!(capacity > 0, "mshr file needs at least one entry");
+        MshrFile {
+            capacity,
+            in_flight: HashMap::new(),
+            peak: 0,
+            allocations: 0,
+            merges: 0,
+        }
+    }
+
+    /// Retire entries whose fill completed at or before `now`.
+    pub fn drain(&mut self, now: u64) {
+        self.in_flight.retain(|_, done| *done > now);
+    }
+
+    /// Entries outstanding after draining to `now`.
+    pub fn outstanding(&mut self, now: u64) -> usize {
+        self.drain(now);
+        self.in_flight.len()
+    }
+
+    /// Try to track a miss of `line` completing at `done`.
+    ///
+    /// Returns `(completion_cycle, merged)`: a merge with an in-flight
+    /// entry returns that entry's completion and `true`, a fresh allocation
+    /// returns `done` and `false`, and `None` means the file is full (the
+    /// caller retries later).
+    pub fn allocate(&mut self, line: u64, now: u64, done: u64) -> Option<(u64, bool)> {
+        self.drain(now);
+        if let Some(&existing) = self.in_flight.get(&line) {
+            self.merges += 1;
+            return Some((existing, true));
+        }
+        if self.in_flight.len() >= self.capacity {
+            return None;
+        }
+        self.in_flight.insert(line, done);
+        self.allocations += 1;
+        self.peak = self.peak.max(self.in_flight.len());
+        Some((done, false))
+    }
+
+    /// Peak simultaneous occupancy.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Fresh allocations performed.
+    pub fn allocations(&self) -> u64 {
+        self.allocations
+    }
+
+    /// Accesses merged into in-flight entries.
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_and_drain() {
+        let mut m = MshrFile::new(2);
+        assert_eq!(m.allocate(1, 0, 100), Some((100, false)));
+        assert_eq!(m.allocate(2, 0, 120), Some((120, false)));
+        assert_eq!(m.allocate(3, 0, 130), None, "full");
+        assert_eq!(m.outstanding(100), 1, "first entry retired at 100");
+        assert_eq!(m.allocate(3, 100, 200), Some((200, false)));
+    }
+
+    #[test]
+    fn merge_returns_existing_completion() {
+        let mut m = MshrFile::new(1);
+        assert_eq!(m.allocate(7, 0, 140), Some((140, false)));
+        // Same line while in flight: merged, not refused, even though full.
+        assert_eq!(m.allocate(7, 50, 190), Some((140, true)));
+        assert_eq!(m.merges(), 1);
+        assert_eq!(m.allocations(), 1);
+    }
+
+    #[test]
+    fn same_cycle_same_line_is_a_merge() {
+        let mut m = MshrFile::new(4);
+        assert_eq!(m.allocate(9, 0, 144), Some((144, false)));
+        assert_eq!(m.allocate(9, 0, 144), Some((144, true)));
+    }
+
+    #[test]
+    fn peak_tracks_maximum() {
+        let mut m = MshrFile::new(4);
+        m.allocate(1, 0, 10);
+        m.allocate(2, 0, 10);
+        m.allocate(3, 0, 10);
+        m.outstanding(11);
+        m.allocate(4, 12, 20);
+        assert_eq!(m.peak(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_panics() {
+        MshrFile::new(0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property test: the set-associative tag store must agree with a naive
+//! reference model (per-set vectors with explicit LRU ordering) on
+//! arbitrary access/invalidate sequences.
+
+use nda_mem::{CacheConfig, SetAssocCache};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// The obviously-correct model: one MRU-ordered list per set.
+struct ModelCache {
+    sets: Vec<VecDeque<u64>>, // front = MRU
+    ways: usize,
+    line: u64,
+}
+
+impl ModelCache {
+    fn new(cfg: CacheConfig) -> ModelCache {
+        ModelCache {
+            sets: vec![VecDeque::new(); cfg.sets()],
+            ways: cfg.ways,
+            line: cfg.line_bytes,
+        }
+    }
+
+    fn split(&self, addr: u64) -> (usize, u64) {
+        let line = addr / self.line;
+        ((line % self.sets.len() as u64) as usize, line)
+    }
+
+    fn access(&mut self, addr: u64) -> bool {
+        let (s, tag) = self.split(addr);
+        let set = &mut self.sets[s];
+        if let Some(i) = set.iter().position(|&t| t == tag) {
+            set.remove(i);
+            set.push_front(tag);
+            true
+        } else {
+            set.push_front(tag);
+            if set.len() > self.ways {
+                set.pop_back();
+            }
+            false
+        }
+    }
+
+    fn contains(&self, addr: u64) -> bool {
+        let (s, tag) = self.split(addr);
+        self.sets[s].contains(&tag)
+    }
+
+    fn invalidate(&mut self, addr: u64) {
+        let (s, tag) = self.split(addr);
+        self.sets[s].retain(|&t| t != tag);
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Access(u64),
+    Install(u64),
+    Invalidate(u64),
+    Probe(u64),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    // A small address universe forces set conflicts and evictions.
+    let addr = (0u64..4096).prop_map(|a| a * 32);
+    prop_oneof![
+        4 => addr.clone().prop_map(Op::Access),
+        2 => addr.clone().prop_map(Op::Install),
+        1 => addr.clone().prop_map(Op::Invalidate),
+        2 => addr.prop_map(Op::Probe),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn tag_store_matches_reference_model(ops in proptest::collection::vec(arb_op(), 1..400)) {
+        let cfg = CacheConfig { size_bytes: 2048, line_bytes: 64, ways: 4, latency: 1 };
+        let mut dut = SetAssocCache::new(cfg);
+        let mut model = ModelCache::new(cfg);
+        for (i, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Access(a) => {
+                    let hit = dut.access(a);
+                    let want = model.access(a);
+                    prop_assert_eq!(hit, want, "op {}: access({:#x}) hit mismatch", i, a);
+                }
+                Op::Install(a) => {
+                    dut.install(a);
+                    model.access(a); // install == allocate + LRU touch
+                }
+                Op::Invalidate(a) => {
+                    dut.invalidate(a);
+                    model.invalidate(a);
+                }
+                Op::Probe(a) => {
+                    prop_assert_eq!(dut.probe(a), model.contains(a),
+                        "op {}: probe({:#x}) mismatch", i, a);
+                }
+            }
+        }
+        // Final full-state agreement over the whole universe.
+        for a in (0u64..4096).map(|a| a * 32) {
+            prop_assert_eq!(dut.contains(a), model.contains(a), "final state at {:#x}", a);
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # Branch prediction structures for the NDA reproduction
+//!
+//! The front end of the out-of-order core predicts through three
+//! structures, all of which the paper's threat model treats as attacker
+//! influencable:
+//!
+//! * [`Gshare`] — a global-history XOR direction predictor with speculative
+//!   history update and squash recovery. Mis-training it is the steering
+//!   primitive of Spectre v1 (paper Listing 1).
+//! * [`Btb`] — the branch target buffer. It is updated *speculatively* and
+//!   the update is **not** reverted on squash, which is exactly what makes
+//!   it a covert channel (paper §3, Fig 5, Listing 3). The update point is
+//!   configurable so the ablation benches can show the channel closing.
+//! * [`Ras`] — the return address stack, the steering surface of
+//!   ret2spec-style attacks.
+
+pub mod btb;
+pub mod gshare;
+pub mod ras;
+pub mod tournament;
+
+pub use btb::{Btb, BtbConfig};
+pub use gshare::{Gshare, GshareConfig};
+pub use ras::{Ras, RasSnapshot};
+pub use tournament::{Bimodal, DirPredictor, PredictorKind, Tournament};

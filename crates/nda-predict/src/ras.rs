@@ -1,0 +1,127 @@
+//! Return address stack.
+
+/// Number of RAS entries (paper Table 3: 16).
+pub const RAS_ENTRIES: usize = 16;
+
+/// Copyable snapshot of the [`Ras`], stored per in-flight branch for
+/// squash recovery (ret2spec-style corruption would otherwise persist).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RasSnapshot {
+    stack: [usize; RAS_ENTRIES],
+    top: usize,
+    depth: usize,
+}
+
+/// A fixed-depth circular return-address stack.
+///
+/// `call` pushes the fall-through PC at fetch; `ret` pops the prediction.
+/// Overflow wraps (oldest entries are silently overwritten), underflow
+/// predicts nothing — both behaviours mirror hardware.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ras {
+    stack: [usize; RAS_ENTRIES],
+    /// Index one past the most recent push (mod RAS_ENTRIES).
+    top: usize,
+    /// Live entries, saturating at RAS_ENTRIES.
+    depth: usize,
+}
+
+impl Ras {
+    /// An empty stack.
+    pub fn new() -> Ras {
+        Ras { stack: [0; RAS_ENTRIES], top: 0, depth: 0 }
+    }
+
+    /// Push a predicted return address (on fetching a `call`).
+    pub fn push(&mut self, ret_addr: usize) {
+        self.stack[self.top] = ret_addr;
+        self.top = (self.top + 1) % RAS_ENTRIES;
+        self.depth = (self.depth + 1).min(RAS_ENTRIES);
+    }
+
+    /// Pop the predicted return address (on fetching a `ret`), or `None`
+    /// if the stack is empty.
+    pub fn pop(&mut self) -> Option<usize> {
+        if self.depth == 0 {
+            return None;
+        }
+        self.top = (self.top + RAS_ENTRIES - 1) % RAS_ENTRIES;
+        self.depth -= 1;
+        Some(self.stack[self.top])
+    }
+
+    /// Number of live entries.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Snapshot for squash recovery.
+    pub fn snapshot(&self) -> RasSnapshot {
+        RasSnapshot { stack: self.stack, top: self.top, depth: self.depth }
+    }
+
+    /// Restore a snapshot taken before the squashed region was fetched.
+    pub fn restore(&mut self, snap: RasSnapshot) {
+        self.stack = snap.stack;
+        self.top = snap.top;
+        self.depth = snap.depth;
+    }
+}
+
+impl Default for Ras {
+    fn default() -> Ras {
+        Ras::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut r = Ras::new();
+        r.push(10);
+        r.push(20);
+        assert_eq!(r.pop(), Some(20));
+        assert_eq!(r.pop(), Some(10));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn overflow_wraps_keeping_newest() {
+        let mut r = Ras::new();
+        for i in 0..RAS_ENTRIES + 4 {
+            r.push(i);
+        }
+        assert_eq!(r.depth(), RAS_ENTRIES);
+        // The newest RAS_ENTRIES survive.
+        for i in (4..RAS_ENTRIES + 4).rev() {
+            assert_eq!(r.pop(), Some(i));
+        }
+        // Older entries were overwritten; pops past depth return None.
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn snapshot_restores_across_speculative_pops() {
+        let mut r = Ras::new();
+        r.push(1);
+        r.push(2);
+        let snap = r.snapshot();
+        // Wrong-path: pops and pushes corrupt the stack.
+        r.pop();
+        r.push(99);
+        r.push(98);
+        r.restore(snap);
+        assert_eq!(r.pop(), Some(2));
+        assert_eq!(r.pop(), Some(1));
+    }
+
+    #[test]
+    fn empty_pop_is_none_and_depth_zero() {
+        let mut r = Ras::new();
+        assert_eq!(r.pop(), None);
+        assert_eq!(r.depth(), 0);
+    }
+}

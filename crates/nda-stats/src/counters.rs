@@ -1,0 +1,203 @@
+//! Per-run simulation counters.
+
+/// Classification of one simulated cycle, following the paper's Fig 9a
+/// definitions exactly:
+///
+/// * `Commit` — at least one instruction retired this cycle.
+/// * `MemoryStall` — the ROB head is an incomplete memory operation.
+/// * `BackendStall` — the ROB head is a non-memory operation not yet ready
+///   to retire.
+/// * `FrontendStall` — the ROB is empty (or the cycle was spent squashing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum CycleClass {
+    Commit,
+    MemoryStall,
+    BackendStall,
+    FrontendStall,
+}
+
+/// Counter block filled by every core model.
+///
+/// All fields are plain counters so models can update them directly; the
+/// derived metrics ([`SimStats::cpi`], [`SimStats::ilp`],
+/// [`SimStats::avg_dispatch_to_issue`]) live here so every report computes
+/// them identically.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SimStats {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Architecturally committed instructions.
+    pub committed_insts: u64,
+    /// Committed loads (including load-like `RdMsr`).
+    pub committed_loads: u64,
+    /// Committed stores.
+    pub committed_stores: u64,
+    /// Committed branches.
+    pub committed_branches: u64,
+    /// Branch direction/target mispredictions that caused a squash.
+    pub branch_mispredicts: u64,
+    /// Memory-order violations (store bypass gone wrong) that caused a
+    /// replay squash.
+    pub mem_order_violations: u64,
+    /// Total squash events of any kind.
+    pub squashes: u64,
+    /// Faults delivered to the architectural fault handler.
+    pub faults: u64,
+    /// Wrong-path instructions that executed before being squashed.
+    pub wrong_path_executed: u64,
+
+    /// Fig 9a: cycles in which >= 1 instruction retired.
+    pub commit_cycles: u64,
+    /// Fig 9a: head-of-ROB incomplete memory operation.
+    pub memory_stall_cycles: u64,
+    /// Fig 9a: head-of-ROB non-memory, not ready to retire.
+    pub backend_stall_cycles: u64,
+    /// Fig 9a: empty ROB / squash recovery.
+    pub frontend_stall_cycles: u64,
+
+    /// Fig 9d numerator: sum over issued instructions of
+    /// (issue cycle - dispatch cycle).
+    pub dispatch_to_issue_total: u64,
+    /// Fig 9d denominator: instructions that issued.
+    pub issued_insts: u64,
+    /// Fig 9c: cycles in which >= 1 instruction issued.
+    pub issue_active_cycles: u64,
+
+    /// Completed instructions whose tag broadcast NDA deferred.
+    pub deferred_broadcasts: u64,
+    /// Tag broadcasts performed.
+    pub broadcasts: u64,
+    /// Loads that bypassed at least one unresolved-address store.
+    pub store_bypasses: u64,
+}
+
+impl SimStats {
+    /// Fresh, all-zero counters.
+    pub fn new() -> SimStats {
+        SimStats::default()
+    }
+
+    /// Record one cycle of the Fig 9a classification.
+    pub fn record_cycle(&mut self, class: CycleClass) {
+        match class {
+            CycleClass::Commit => self.commit_cycles += 1,
+            CycleClass::MemoryStall => self.memory_stall_cycles += 1,
+            CycleClass::BackendStall => self.backend_stall_cycles += 1,
+            CycleClass::FrontendStall => self.frontend_stall_cycles += 1,
+        }
+    }
+
+    /// Cycles per committed instruction; `f64::INFINITY` before anything
+    /// commits.
+    pub fn cpi(&self) -> f64 {
+        if self.committed_insts == 0 {
+            f64::INFINITY
+        } else {
+            self.cycles as f64 / self.committed_insts as f64
+        }
+    }
+
+    /// Committed instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed_insts as f64 / self.cycles as f64
+        }
+    }
+
+    /// Issue-based ILP: average instructions entering execution per cycle
+    /// over cycles in which at least one issued (<= 1.0 by construction on
+    /// the single-issue in-order core — the Fig 9c property).
+    pub fn ilp(&self) -> f64 {
+        if self.issue_active_cycles == 0 {
+            0.0
+        } else {
+            self.issued_insts as f64 / self.issue_active_cycles as f64
+        }
+    }
+
+    /// Fig 9d: mean dispatch→issue latency in cycles.
+    pub fn avg_dispatch_to_issue(&self) -> f64 {
+        if self.issued_insts == 0 {
+            0.0
+        } else {
+            self.dispatch_to_issue_total as f64 / self.issued_insts as f64
+        }
+    }
+
+    /// Branch misprediction rate per committed branch.
+    pub fn branch_mpki(&self) -> f64 {
+        if self.committed_insts == 0 {
+            0.0
+        } else {
+            1000.0 * self.branch_mispredicts as f64 / self.committed_insts as f64
+        }
+    }
+
+    /// The four Fig 9a classes as fractions of total cycles, in the order
+    /// (commit, memory, backend, frontend).
+    pub fn cycle_breakdown(&self) -> (f64, f64, f64, f64) {
+        let t = self.cycles.max(1) as f64;
+        (
+            self.commit_cycles as f64 / t,
+            self.memory_stall_cycles as f64 / t,
+            self.backend_stall_cycles as f64 / t,
+            self.frontend_stall_cycles as f64 / t,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpi_and_ipc() {
+        let s = SimStats { cycles: 100, committed_insts: 50, ..SimStats::new() };
+        assert_eq!(s.cpi(), 2.0);
+        assert_eq!(s.ipc(), 0.5);
+    }
+
+    #[test]
+    fn cpi_of_empty_run_is_infinite() {
+        assert!(SimStats::new().cpi().is_infinite());
+        assert_eq!(SimStats::new().ipc(), 0.0);
+    }
+
+    #[test]
+    fn ilp_counts_only_active_cycles() {
+        let s = SimStats { issued_insts: 30, issue_active_cycles: 10, ..SimStats::new() };
+        assert_eq!(s.ilp(), 3.0);
+        assert_eq!(SimStats::new().ilp(), 0.0);
+    }
+
+    #[test]
+    fn dispatch_to_issue_mean() {
+        let s = SimStats { dispatch_to_issue_total: 90, issued_insts: 30, ..SimStats::new() };
+        assert_eq!(s.avg_dispatch_to_issue(), 3.0);
+    }
+
+    #[test]
+    fn record_cycle_classifies() {
+        let mut s = SimStats::new();
+        s.record_cycle(CycleClass::Commit);
+        s.record_cycle(CycleClass::MemoryStall);
+        s.record_cycle(CycleClass::MemoryStall);
+        s.record_cycle(CycleClass::BackendStall);
+        s.record_cycle(CycleClass::FrontendStall);
+        s.cycles = 5;
+        let (c, m, b, f) = s.cycle_breakdown();
+        assert!((c - 0.2).abs() < 1e-9);
+        assert!((m - 0.4).abs() < 1e-9);
+        assert!((b - 0.2).abs() < 1e-9);
+        assert!((f - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_of_zero_cycles_is_finite() {
+        let (c, m, b, f) = SimStats::new().cycle_breakdown();
+        assert_eq!((c, m, b, f), (0.0, 0.0, 0.0, 0.0));
+    }
+}

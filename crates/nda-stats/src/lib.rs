@@ -1,0 +1,16 @@
+//! # Statistics for the NDA reproduction
+//!
+//! * [`SimStats`] — the per-run counter block every core model fills:
+//!   cycles, commits, the four-way cycle classification of Fig 9a,
+//!   dispatch→issue latency (Fig 9d), issue-based ILP (Fig 9c) and the
+//!   broadcast-deferral counters unique to NDA.
+//! * [`sampling`] — SMARTS-style aggregation: the paper reports 95 %
+//!   confidence intervals over sampled execution; we run each workload as
+//!   several independently-seeded samples and aggregate with a
+//!   t-distribution interval.
+
+pub mod counters;
+pub mod sampling;
+
+pub use counters::{CycleClass, SimStats};
+pub use sampling::{geomean, Sample};

@@ -1,0 +1,121 @@
+//! SMARTS-style sample aggregation.
+//!
+//! The paper obtains statistically-confident CPI from sampled simulation
+//! (SMARTS, Wunderlich et al.) and plots 95 % confidence intervals in
+//! Fig 7. We run each workload as several independently-seeded samples and
+//! aggregate them here with a Student-t interval.
+
+/// Mean and 95 % confidence half-interval of a set of sample measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Sample mean.
+    pub mean: f64,
+    /// Half-width of the 95 % confidence interval (`mean ± ci95`).
+    pub ci95: f64,
+    /// Number of samples aggregated.
+    pub n: usize,
+}
+
+/// Two-sided 97.5 % Student-t quantiles for df = 1..=30; beyond 30 the
+/// normal quantile 1.96 is used.
+const T_975: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+impl Sample {
+    /// Aggregate raw measurements.
+    ///
+    /// A single measurement yields a zero-width interval (there is no
+    /// variance estimate); an empty slice yields a NaN mean.
+    pub fn from_values(values: &[f64]) -> Sample {
+        let n = values.len();
+        if n == 0 {
+            return Sample { mean: f64::NAN, ci95: 0.0, n: 0 };
+        }
+        let mean = values.iter().sum::<f64>() / n as f64;
+        if n == 1 {
+            return Sample { mean, ci95: 0.0, n };
+        }
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n as f64 - 1.0);
+        let se = (var / n as f64).sqrt();
+        let df = n - 1;
+        let t = if df <= 30 { T_975[df - 1] } else { 1.96 };
+        Sample { mean, ci95: t * se, n }
+    }
+
+    /// `true` if `other`'s mean lies outside this interval (a coarse
+    /// "significantly different" check used by the leak detectors).
+    pub fn excludes(&self, value: f64) -> bool {
+        (value - self.mean).abs() > self.ci95
+    }
+}
+
+/// Geometric mean; empty input yields NaN.
+///
+/// The paper reports MLP/ILP as geometric means across benchmarks
+/// (Fig 9b-c).
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_samples_have_zero_interval() {
+        let s = Sample::from_values(&[2.0, 2.0, 2.0, 2.0]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.ci95, 0.0);
+        assert_eq!(s.n, 4);
+    }
+
+    #[test]
+    fn known_interval() {
+        // Values 1..5: mean 3, sd sqrt(2.5), se sqrt(0.5), t(4 df)=2.776.
+        let s = Sample::from_values(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        let expected = 2.776 * (2.5f64 / 5.0).sqrt();
+        assert!((s.ci95 - expected).abs() < 1e-9, "{} vs {expected}", s.ci95);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Sample::from_values(&[7.0]);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.ci95, 0.0);
+    }
+
+    #[test]
+    fn empty_is_nan() {
+        assert!(Sample::from_values(&[]).mean.is_nan());
+    }
+
+    #[test]
+    fn excludes_checks_interval() {
+        let s = Sample::from_values(&[10.0, 10.2, 9.8, 10.1, 9.9]);
+        assert!(s.excludes(12.0));
+        assert!(!s.excludes(10.05));
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[8.0]) - 8.0).abs() < 1e-12);
+        assert!(geomean(&[]).is_nan());
+    }
+
+    #[test]
+    fn large_n_uses_normal_quantile() {
+        let vals: Vec<f64> = (0..100).map(|i| (i % 7) as f64).collect();
+        let s = Sample::from_values(&vals);
+        assert!(s.ci95 > 0.0);
+        assert_eq!(s.n, 100);
+    }
+}

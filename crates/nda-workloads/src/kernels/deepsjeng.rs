@@ -1,0 +1,59 @@
+//! `deepsjeng`-like: deep recursion with a software stack.
+//!
+//! A recursive search skeleton: each call pushes the link register, mixes
+//! bits, recurses, pops and returns — sixteen frames deep, saturating the
+//! 16-entry RAS exactly the way game-tree search does.
+
+use super::util::{self, ACC, CTR};
+use crate::WorkloadParams;
+use nda_isa::{AluOp, Asm, Program, Reg};
+use nda_isa::reg::RA;
+
+/// Recursion depth per outer iteration (matches the RAS capacity).
+const DEPTH: u64 = 16;
+/// Software stack pointer register.
+const SP: Reg = Reg::X19;
+/// Stack region (grows down from here).
+const STACK_TOP: u64 = 0x00E0_0000;
+
+/// Build the kernel.
+pub fn build(p: &WorkloadParams) -> Program {
+    let mut asm = Asm::new();
+    util::prologue(&mut asm, p.iters * 4, 0);
+    asm.data_u64s(crate::DATA_BASE, &util::random_words(p.seed, 0x646a, 16));
+    asm.li(SP, STACK_TOP);
+    asm.li(Reg::X9, p.seed | 1);
+
+    let over = asm.new_label();
+    let f = asm.new_label();
+    asm.jmp(over);
+
+    // fn f(depth in X2): bit-mix, recurse, unwind.
+    asm.bind(f);
+    let leaf = asm.new_label();
+    asm.beq(Reg::X2, Reg::X0, leaf);
+    asm.st8(RA, SP, 0);
+    asm.subi(SP, SP, 8);
+    asm.subi(Reg::X2, Reg::X2, 1);
+    asm.alu(AluOp::Xor, ACC, ACC, Reg::X2);
+    asm.alui(AluOp::Shl, Reg::X8, Reg::X9, 1);
+    asm.alu(AluOp::Xor, Reg::X9, Reg::X9, Reg::X8);
+    asm.add(ACC, ACC, Reg::X9);
+    asm.call(f);
+    asm.addi(SP, SP, 8);
+    asm.ld8(RA, SP, 0);
+    asm.addi(ACC, ACC, 1);
+    asm.ret();
+    asm.bind(leaf);
+    asm.ret();
+
+    asm.bind(over);
+    let top = asm.here_label();
+    asm.li(Reg::X2, DEPTH);
+    asm.call(f);
+    asm.subi(CTR, CTR, 1);
+    asm.bne(CTR, Reg::X0, top);
+
+    util::epilogue(&mut asm);
+    asm.assemble().expect("deepsjeng kernel assembles")
+}

@@ -1,0 +1,55 @@
+//! `exchange2`-like: tight nested loops over an L1-resident grid.
+//!
+//! A 9x9 integer grid scanned by doubly-nested counted loops with highly
+//! predictable branches and cache-resident data — the workload class where
+//! even strict NDA costs little because branches resolve quickly.
+
+use super::util::{self, ACC, BASE, CTR};
+use crate::WorkloadParams;
+use nda_isa::{AluOp, Asm, Program, Reg};
+
+/// Build the kernel.
+pub fn build(p: &WorkloadParams) -> Program {
+    let mut asm = Asm::new();
+    util::prologue(&mut asm, p.iters * 4, 0);
+    let grid: Vec<u64> = util::random_words(p.seed, 0x6578, 81).iter().map(|w| w % 9 + 1).collect();
+    asm.data_u64s(crate::DATA_BASE, &grid);
+
+    let top = asm.here_label();
+    asm.li(Reg::X2, 9); // i counter
+    let iloop = asm.here_label();
+    asm.li(Reg::X3, 9); // j counter
+    let jloop = asm.here_label();
+    // idx = ((9 - i) * 9 + (9 - j)); cell = grid[idx]
+    asm.li(Reg::X4, 9);
+    asm.sub(Reg::X4, Reg::X4, Reg::X2);
+    asm.alui(AluOp::Mul, Reg::X4, Reg::X4, 9);
+    asm.li(Reg::X5, 9);
+    asm.sub(Reg::X5, Reg::X5, Reg::X3);
+    asm.add(Reg::X4, Reg::X4, Reg::X5);
+    asm.shli(Reg::X4, Reg::X4, 3);
+    asm.add(Reg::X4, Reg::X4, BASE);
+    asm.ld8(Reg::X6, Reg::X4, 0);
+    // Mostly-predictable comparison: cells are 1..=9, threshold 5.
+    let small = asm.new_label();
+    let next = asm.new_label();
+    asm.li(Reg::X7, 5);
+    asm.bltu(Reg::X6, Reg::X7, small);
+    asm.add(ACC, ACC, Reg::X6);
+    asm.jmp(next);
+    asm.bind(small);
+    asm.alu(AluOp::Xor, ACC, ACC, Reg::X6);
+    asm.bind(next);
+    // Rotate the cell (store keeps the SQ busy but L1-resident).
+    asm.addi(Reg::X6, Reg::X6, 1);
+    asm.st8(Reg::X6, Reg::X4, 0);
+    asm.subi(Reg::X3, Reg::X3, 1);
+    asm.bne(Reg::X3, Reg::X0, jloop);
+    asm.subi(Reg::X2, Reg::X2, 1);
+    asm.bne(Reg::X2, Reg::X0, iloop);
+    asm.subi(CTR, CTR, 1);
+    asm.bne(CTR, Reg::X0, top);
+
+    util::epilogue(&mut asm);
+    asm.assemble().expect("exchange2 kernel assembles")
+}

@@ -1,0 +1,76 @@
+//! `gcc`-like: branchy integer code with hash-table updates.
+//!
+//! A multiplicative hash feeds data-dependent (unpredictable) branches and
+//! random read-modify-write traffic into a 64 KiB table — the misprediction
+//! squashes and short unsafe windows typical of compiler workloads.
+
+use super::util::{self, ACC, BASE, CTR};
+use crate::WorkloadParams;
+use nda_isa::{AluOp, Asm, Program, Reg};
+
+/// Table words (64 KiB).
+const TABLE_WORDS: usize = 1 << 13;
+
+/// Build the kernel.
+pub fn build(p: &WorkloadParams) -> Program {
+    let mut asm = Asm::new();
+    util::prologue(&mut asm, p.iters * 8, 0);
+    asm.data_u64s(crate::DATA_BASE, &util::random_words(p.seed, 0x676_363, TABLE_WORDS));
+
+    asm.li(Reg::X2, p.seed | 1); // hash state
+    asm.li(Reg::X9, 0x9E37_79B9_7F4A_7C15); // mix constant
+
+    let top = asm.here_label();
+    let odd = asm.new_label();
+    let join = asm.new_label();
+    let deep = asm.new_label();
+    let join2 = asm.new_label();
+
+    asm.alu(AluOp::Mul, Reg::X2, Reg::X2, Reg::X9);
+    asm.alui(AluOp::Shr, Reg::X3, Reg::X2, 17);
+    asm.alu(AluOp::Xor, Reg::X2, Reg::X2, Reg::X3);
+
+    // Data-dependent branch: essentially a coin flip per iteration.
+    asm.andi(Reg::X4, Reg::X2, 1);
+    asm.bne(Reg::X4, Reg::X0, odd);
+    asm.alui(AluOp::Shr, Reg::X5, Reg::X2, 7);
+    asm.add(ACC, ACC, Reg::X5);
+    asm.jmp(join);
+    asm.bind(odd);
+    asm.alu(AluOp::Xor, ACC, ACC, Reg::X2);
+    // A second, nested unpredictable branch.
+    asm.andi(Reg::X4, Reg::X2, 2);
+    asm.bne(Reg::X4, Reg::X0, deep);
+    asm.addi(ACC, ACC, 3);
+    asm.jmp(join2);
+    asm.bind(deep);
+    asm.alui(AluOp::Sub, ACC, ACC, 1);
+    asm.bind(join2);
+    asm.bind(join);
+
+    // Random read-modify-write into the table, with a branch on the
+    // *loaded* value (symbol-table hit/miss checks in real gcc): the
+    // branch is unresolved until the table access completes.
+    asm.alui(AluOp::Shr, Reg::X6, Reg::X2, 13);
+    asm.shli(Reg::X6, Reg::X6, 3);
+    asm.andi(Reg::X6, Reg::X6, (TABLE_WORDS as u64 * 8) - 8);
+    asm.add(Reg::X6, Reg::X6, BASE);
+    asm.ld8(Reg::X7, Reg::X6, 0);
+    let found = asm.new_label();
+    let rmw_done = asm.new_label();
+    asm.andi(Reg::X8, Reg::X7, 1);
+    asm.bne(Reg::X8, Reg::X0, found);
+    asm.addi(Reg::X7, Reg::X7, 1);
+    asm.jmp(rmw_done);
+    asm.bind(found);
+    asm.addi(Reg::X7, Reg::X7, 2);
+    asm.add(ACC, ACC, Reg::X7);
+    asm.bind(rmw_done);
+    asm.st8(Reg::X7, Reg::X6, 0);
+
+    asm.subi(CTR, CTR, 1);
+    asm.bne(CTR, Reg::X0, top);
+
+    util::epilogue(&mut asm);
+    asm.assemble().expect("gcc kernel assembles")
+}

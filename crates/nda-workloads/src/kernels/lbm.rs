@@ -1,0 +1,51 @@
+//! `lbm`-like: streaming reads and writes over large arrays.
+//!
+//! Sequential loads from one array, a short arithmetic kernel, sequential
+//! stores to a second array — high spatial locality, long store streams.
+//! Bypass Restriction's unresolved-store borders are exercised heavily
+//! here.
+
+use super::util::{self, ACC, BASE, BASE2, CTR};
+use crate::WorkloadParams;
+use nda_isa::{AluOp, Asm, Program, Reg};
+
+/// Words per array (256 KiB each).
+const WORDS: usize = 1 << 15;
+const MASK: u64 = (WORDS as u64 * 8) - 1;
+
+/// Build the kernel.
+pub fn build(p: &WorkloadParams) -> Program {
+    let mut asm = Asm::new();
+    util::prologue(&mut asm, p.iters, WORDS as u64 * 8);
+    asm.data_u64s(crate::DATA_BASE, &util::random_words(p.seed, 0x6c_626d, WORDS));
+
+    asm.li(Reg::X2, 0); // byte offset
+
+    let top = asm.here_label();
+    // Unrolled 8-element stream step: b[i] = 3*a[i] + a[i+8] ^ acc.
+    for k in 0..8i64 {
+        asm.add(Reg::X28, BASE, Reg::X2);
+        asm.ld8(Reg::X3, Reg::X28, k * 8);
+        asm.ld8(Reg::X4, Reg::X28, k * 8 + 64);
+        asm.alui(AluOp::Mul, Reg::X5, Reg::X3, 3);
+        asm.add(Reg::X5, Reg::X5, Reg::X4);
+        asm.add(Reg::X29, BASE2, Reg::X2);
+        asm.st8(Reg::X5, Reg::X29, k * 8);
+        asm.alu(AluOp::Xor, ACC, ACC, Reg::X5);
+    }
+    // One boundary check per block on streamed (loaded) data, as lbm's
+    // obstacle-cell test does: unresolved until the block's first load
+    // completes.
+    let no_adjust = asm.new_label();
+    asm.andi(Reg::X6, Reg::X3, 3);
+    asm.bne(Reg::X6, Reg::X0, no_adjust);
+    asm.addi(ACC, ACC, 1);
+    asm.bind(no_adjust);
+    asm.addi(Reg::X2, Reg::X2, 64);
+    asm.andi(Reg::X2, Reg::X2, MASK & !63);
+    asm.subi(CTR, CTR, 1);
+    asm.bne(CTR, Reg::X0, top);
+
+    util::epilogue(&mut asm);
+    asm.assemble().expect("lbm kernel assembles")
+}

@@ -1,0 +1,56 @@
+//! `mcf`-like: pointer chasing over a DRAM-sized working set.
+//!
+//! Four independent chains chase a random permutation cycle laid out at
+//! cache-line stride over a 4 MiB region — twice the L2 — so the chains
+//! generate concurrent off-chip misses (the paper's MLP discussion,
+//! Fig 9b). Dependent loads dominate, making this the workload class where
+//! NDA's load restriction hurts most.
+
+use super::util::{self, ACC, BASE, CTR};
+use crate::WorkloadParams;
+use nda_isa::{Asm, Program, Reg};
+
+/// Number of line-sized node slots (4 MiB footprint).
+const NODES: usize = 1 << 16;
+
+/// Build the kernel.
+pub fn build(p: &WorkloadParams) -> Program {
+    let mut asm = Asm::new();
+    util::prologue(&mut asm, p.iters, 0);
+
+    // Node i stores its successor index at byte offset i*64.
+    let next = util::permutation_cycle(p.seed, 0x6d_6366, NODES);
+    let mut bytes = vec![0u8; NODES * 64];
+    for (i, n) in next.iter().enumerate() {
+        bytes[i * 64..i * 64 + 8].copy_from_slice(&n.to_le_bytes());
+    }
+    asm.data(crate::DATA_BASE, &bytes);
+
+    // Four chase registers start at well-separated points of the cycle.
+    let chasers = [Reg::X2, Reg::X3, Reg::X4, Reg::X5];
+    for (k, r) in chasers.iter().enumerate() {
+        asm.li(*r, (k * (NODES / 4)) as u64);
+    }
+
+    let top = asm.here_label();
+    for r in chasers {
+        asm.shli(Reg::X28, r, 6);
+        asm.add(Reg::X28, Reg::X28, BASE);
+        asm.ld8(r, Reg::X28, 0);
+        asm.add(ACC, ACC, r);
+    }
+    // Data-dependent branch on a chased (off-chip) value: real mcf checks
+    // arc costs after every pointer step. The branch stays unresolved for
+    // the whole miss latency — exactly the long unsafe window NDA's
+    // propagation policies restrict.
+    let even = asm.new_label();
+    asm.andi(Reg::X28, chasers[0], 1);
+    asm.beq(Reg::X28, Reg::X0, even);
+    asm.alui(nda_isa::AluOp::Xor, ACC, ACC, 0x55);
+    asm.bind(even);
+    asm.subi(CTR, CTR, 1);
+    asm.bne(CTR, Reg::X0, top);
+
+    util::epilogue(&mut asm);
+    asm.assemble().expect("mcf kernel assembles")
+}

@@ -1,0 +1,18 @@
+//! The ten kernel generators.
+//!
+//! Shared register conventions (see [`util`]): `x20` data base, `x21`
+//! secondary base, `x22` checksum address, `x23` outer-loop counter,
+//! `x2..x15` scratch. Every kernel stores its accumulator to
+//! [`crate::CHECKSUM_ADDR`] and halts.
+
+pub mod deepsjeng;
+pub mod exchange2;
+pub mod gcc;
+pub mod lbm;
+pub mod mcf;
+pub mod omnetpp;
+pub mod perlbench;
+pub mod util;
+pub mod x264;
+pub mod xalancbmk;
+pub mod xz;

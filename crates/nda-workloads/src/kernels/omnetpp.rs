@@ -1,0 +1,53 @@
+//! `omnetpp`-like: event-set scanning with unpredictable comparisons.
+//!
+//! Each iteration scans an eight-slot window of a large event array for its
+//! minimum (data-dependent, poorly-predictable branches), consumes it, and
+//! advances by a data-dependent stride — the discrete-event-simulation mix
+//! of scattered loads and squash-heavy control flow.
+
+use super::util::{self, ACC, BASE, CTR};
+use crate::WorkloadParams;
+use nda_isa::{AluOp, Asm, Program, Reg};
+
+/// Event-array words.
+const EVENTS: u64 = 4096;
+
+/// Build the kernel.
+pub fn build(p: &WorkloadParams) -> Program {
+    let mut asm = Asm::new();
+    util::prologue(&mut asm, p.iters * 4, 0);
+    asm.data_u64s(crate::DATA_BASE, &util::random_words(p.seed, 0x6f6d6e, EVENTS as usize));
+
+    asm.li(Reg::X2, 0); // window base (byte offset)
+    asm.li(Reg::X9, 0x2545_F491_4F6C_DD1D); // mix constant
+
+    let top = asm.here_label();
+    // Find the min of 8 slots with real compare-and-branch.
+    asm.li(Reg::X3, u64::MAX); // current min
+    asm.li(Reg::X8, 0); // min slot address
+    for k in 0..8i64 {
+        let skip = asm.new_label();
+        asm.add(Reg::X28, BASE, Reg::X2);
+        asm.ld8(Reg::X4, Reg::X28, k * 8);
+        asm.bgeu(Reg::X4, Reg::X3, skip);
+        asm.mov(Reg::X3, Reg::X4);
+        asm.addi(Reg::X8, Reg::X28, k as u64 * 8);
+        asm.bind(skip);
+    }
+    asm.add(ACC, ACC, Reg::X3);
+    // Replace the consumed minimum with a remixed value.
+    asm.alu(AluOp::Mul, Reg::X5, Reg::X3, Reg::X9);
+    asm.alui(AluOp::Shr, Reg::X6, Reg::X5, 7);
+    asm.alu(AluOp::Xor, Reg::X5, Reg::X5, Reg::X6);
+    asm.st8(Reg::X5, Reg::X8, 0);
+    // Advance by a data-dependent stride.
+    asm.andi(Reg::X7, Reg::X3, 0x3f8);
+    asm.add(Reg::X2, Reg::X2, Reg::X7);
+    asm.andi(Reg::X2, Reg::X2, (EVENTS * 8) - 64 - 8);
+    asm.andi(Reg::X2, Reg::X2, !7u64);
+    asm.subi(CTR, CTR, 1);
+    asm.bne(CTR, Reg::X0, top);
+
+    util::epilogue(&mut asm);
+    asm.assemble().expect("omnetpp kernel assembles")
+}

@@ -1,0 +1,78 @@
+//! `perlbench`-like: a bytecode interpreter with indirect dispatch.
+//!
+//! The canonical BTB workload: a dispatch loop indirect-calls one of eight
+//! handlers selected by a random opcode stream, so the single dispatch site
+//! keeps overwriting its BTB entry (exactly the conflict behaviour the
+//! paper's Listing-3 covert channel relies on).
+
+use super::util::{self, ACC, BASE, BASE2, CTR};
+use crate::WorkloadParams;
+use nda_isa::{AluOp, Asm, Program, Reg};
+
+/// Opcode-stream length (power of two).
+const CODE_LEN: u64 = 1024;
+/// Number of distinct handlers.
+const HANDLERS: usize = 8;
+
+/// Build the kernel.
+pub fn build(p: &WorkloadParams) -> Program {
+    let mut asm = Asm::new();
+    util::prologue(&mut asm, p.iters * 8, CODE_LEN);
+    // Opcode stream: one byte per op, 0..8.
+    let code: Vec<u8> =
+        util::random_bytes(p.seed, 0x7065726c, CODE_LEN as usize).iter().map(|b| b % 8).collect();
+    asm.data(crate::DATA_BASE, &code);
+
+    // Handler function-pointer table lives at BASE2; it is filled at
+    // startup from label fixups (programs cannot know instruction indices
+    // at data-generation time).
+    let handlers: Vec<_> = (0..HANDLERS).map(|_| asm.new_label()).collect();
+    let start = asm.new_label();
+    for (k, h) in handlers.iter().enumerate() {
+        asm.li_label(Reg::X28, *h);
+        asm.st8(Reg::X28, BASE2, (k * 8) as i64);
+    }
+    asm.li(Reg::X2, 0); // instruction pointer
+    asm.jmp(start);
+
+    // Eight small handlers with distinct bodies.
+    for (k, h) in handlers.iter().enumerate() {
+        asm.bind(*h);
+        match k % 4 {
+            0 => {
+                asm.addi(ACC, ACC, (k + 1) as u64);
+            }
+            1 => {
+                asm.alui(AluOp::Xor, ACC, ACC, 0x5a5a ^ k as u64);
+            }
+            2 => {
+                asm.alui(AluOp::Mul, Reg::X9, ACC, 3);
+                asm.alui(AluOp::Shr, Reg::X9, Reg::X9, 2);
+                asm.add(ACC, ACC, Reg::X9);
+            }
+            _ => {
+                asm.alui(AluOp::Shl, Reg::X9, ACC, 1);
+                asm.alu(AluOp::Xor, ACC, ACC, Reg::X9);
+                asm.alui(AluOp::Shr, ACC, ACC, 1);
+            }
+        }
+        asm.ret();
+    }
+
+    // Dispatch loop.
+    asm.bind(start);
+    let top = asm.here_label();
+    asm.add(Reg::X3, BASE, Reg::X2);
+    asm.ld1(Reg::X4, Reg::X3, 0); // opcode
+    asm.shli(Reg::X5, Reg::X4, 3);
+    asm.add(Reg::X5, Reg::X5, BASE2);
+    asm.ld8(Reg::X6, Reg::X5, 0); // handler address
+    asm.call_ind(Reg::X6);
+    asm.addi(Reg::X2, Reg::X2, 1);
+    asm.andi(Reg::X2, Reg::X2, CODE_LEN - 1);
+    asm.subi(CTR, CTR, 1);
+    asm.bne(CTR, Reg::X0, top);
+
+    util::epilogue(&mut asm);
+    asm.assemble().expect("perlbench kernel assembles")
+}

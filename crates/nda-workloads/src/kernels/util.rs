@@ -1,0 +1,96 @@
+//! Shared helpers for the kernel generators.
+
+use crate::{CHECKSUM_ADDR, DATA_BASE};
+use nda_isa::{Asm, Reg};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Data-region base register.
+pub const BASE: Reg = Reg::X20;
+/// Secondary data-region base register.
+pub const BASE2: Reg = Reg::X21;
+/// Checksum-address register.
+pub const CHK: Reg = Reg::X22;
+/// Outer-loop counter register.
+pub const CTR: Reg = Reg::X23;
+/// Accumulator register stored to the checksum slot at exit.
+pub const ACC: Reg = Reg::X10;
+
+/// Seeded RNG for data generation.
+pub fn rng(seed: u64, salt: u64) -> StdRng {
+    StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt)
+}
+
+/// Random u64 words for a data segment.
+pub fn random_words(seed: u64, salt: u64, n: usize) -> Vec<u64> {
+    let mut r = rng(seed, salt);
+    (0..n).map(|_| r.gen()).collect()
+}
+
+/// Random bytes for a data segment.
+pub fn random_bytes(seed: u64, salt: u64, n: usize) -> Vec<u8> {
+    let mut r = rng(seed, salt);
+    let mut v = vec![0u8; n];
+    r.fill(&mut v[..]);
+    v
+}
+
+/// Emit the common prologue: base registers, checksum pointer, outer
+/// counter, zeroed accumulator.
+pub fn prologue(asm: &mut Asm, iters: u64, second_base_off: u64) {
+    asm.li(BASE, DATA_BASE);
+    asm.li(BASE2, DATA_BASE + second_base_off);
+    asm.li(CHK, CHECKSUM_ADDR);
+    asm.li(CTR, iters);
+    asm.li(ACC, 1); // nonzero so an untouched accumulator is still visible
+}
+
+/// Emit the common epilogue: store the accumulator and halt.
+pub fn epilogue(asm: &mut Asm) {
+    asm.st8(ACC, CHK, 0);
+    asm.halt();
+}
+
+/// A random permutation cycle over `n` slots: `perm[i]` is the successor of
+/// slot `i`, and following it visits every slot (one big cycle — the
+/// pointer-chasing pattern that defeats prefetching).
+pub fn permutation_cycle(seed: u64, salt: u64, n: usize) -> Vec<u64> {
+    let mut r = rng(seed, salt);
+    let mut order: Vec<usize> = (0..n).collect();
+    // Fisher-Yates.
+    for i in (1..n).rev() {
+        let j = r.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    let mut next = vec![0u64; n];
+    for k in 0..n {
+        next[order[k]] = order[(k + 1) % n] as u64;
+    }
+    next
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutation_is_a_single_cycle() {
+        let n = 64;
+        let next = permutation_cycle(5, 1, n);
+        let mut seen = vec![false; n];
+        let mut at = 0usize;
+        for _ in 0..n {
+            assert!(!seen[at], "revisited before covering all");
+            seen[at] = true;
+            at = next[at] as usize;
+        }
+        assert_eq!(at, 0, "returns to start after n steps");
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        assert_eq!(random_words(1, 2, 8), random_words(1, 2, 8));
+        assert_ne!(random_words(1, 2, 8), random_words(2, 2, 8));
+    }
+}

@@ -1,0 +1,43 @@
+//! `x264`-like: branch-free SAD (sum of absolute differences) loops.
+//!
+//! Media kernels stream byte data through short, perfectly-predictable
+//! loops with branch-free absolute values — the best case for every NDA
+//! policy because almost nothing is ever unsafe for long.
+
+use super::util::{self, ACC, BASE, BASE2, CTR};
+use crate::WorkloadParams;
+use nda_isa::{AluOp, Asm, Program, Reg};
+
+/// Bytes per frame buffer.
+const FRAME: usize = 4096;
+
+/// Build the kernel.
+pub fn build(p: &WorkloadParams) -> Program {
+    let mut asm = Asm::new();
+    util::prologue(&mut asm, p.iters * 8, FRAME as u64);
+    asm.data(crate::DATA_BASE, &util::random_bytes(p.seed, 0x78323634, FRAME));
+    asm.data(crate::DATA_BASE + FRAME as u64, &util::random_bytes(p.seed, 0x78323635, FRAME));
+
+    asm.li(Reg::X2, 0); // block offset
+
+    let top = asm.here_label();
+    // 8-byte SAD block, branch-free abs: m = d >> 63; |d| = (d ^ m) - m.
+    for k in 0..8i64 {
+        asm.add(Reg::X28, BASE, Reg::X2);
+        asm.ld1(Reg::X3, Reg::X28, k);
+        asm.add(Reg::X29, BASE2, Reg::X2);
+        asm.ld1(Reg::X4, Reg::X29, k);
+        asm.sub(Reg::X5, Reg::X3, Reg::X4);
+        asm.alui(AluOp::Sar, Reg::X6, Reg::X5, 63);
+        asm.alu(AluOp::Xor, Reg::X5, Reg::X5, Reg::X6);
+        asm.sub(Reg::X5, Reg::X5, Reg::X6);
+        asm.add(ACC, ACC, Reg::X5);
+    }
+    asm.addi(Reg::X2, Reg::X2, 8);
+    asm.andi(Reg::X2, Reg::X2, (FRAME as u64) - 8);
+    asm.subi(CTR, CTR, 1);
+    asm.bne(CTR, Reg::X0, top);
+
+    util::epilogue(&mut asm);
+    asm.assemble().expect("x264 kernel assembles")
+}

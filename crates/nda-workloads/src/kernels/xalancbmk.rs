@@ -1,0 +1,62 @@
+//! `xalancbmk`-like: tree walking with data-dependent descent.
+//!
+//! Each outer iteration walks twelve levels of a randomized binary tree;
+//! the direction at every level depends on the loaded key, so every step
+//! is a load feeding a branch — the access-then-steer pattern NDA's
+//! permissive propagation targets.
+
+use super::util::{self, ACC, BASE, BASE2, CTR};
+use crate::WorkloadParams;
+use nda_isa::{Asm, Program, Reg};
+
+/// Tree nodes.
+const NODES: usize = 1 << 12;
+/// Levels walked per outer iteration.
+const DEPTH: u64 = 12;
+
+/// Build the kernel.
+pub fn build(p: &WorkloadParams) -> Program {
+    let mut asm = Asm::new();
+    util::prologue(&mut asm, p.iters * 4, NODES as u64 * 8);
+    // Keys at BASE (one word per node); children at BASE2 (two words per
+    // node: left at 2i, right at 2i+1), both random but in-range.
+    asm.data_u64s(crate::DATA_BASE, &util::random_words(p.seed, 0x78616c, NODES));
+    let kids: Vec<u64> = util::random_words(p.seed, 0x6b6964, 2 * NODES)
+        .into_iter()
+        .map(|w| w % NODES as u64)
+        .collect();
+    asm.data_u64s(crate::DATA_BASE + NODES as u64 * 8, &kids);
+
+    let top = asm.here_label();
+    asm.li(Reg::X2, 0); // current node
+    asm.li(Reg::X7, DEPTH);
+    let walk = asm.here_label();
+    // key = keys[node]
+    asm.shli(Reg::X3, Reg::X2, 3);
+    asm.add(Reg::X3, Reg::X3, BASE);
+    asm.ld8(Reg::X4, Reg::X3, 0);
+    asm.add(ACC, ACC, Reg::X4);
+    // Descend left or right via a *branch* on the loaded key — the
+    // canonical tree-walk control flow. The branch is data-dependent
+    // (essentially random) and stays unresolved until the key load
+    // completes, putting the child load in the unsafe window.
+    let right = asm.new_label();
+    let cont = asm.new_label();
+    asm.andi(Reg::X5, Reg::X4, 1);
+    asm.shli(Reg::X6, Reg::X2, 4);
+    asm.add(Reg::X6, Reg::X6, BASE2);
+    asm.bne(Reg::X5, Reg::X0, right);
+    asm.ld8(Reg::X2, Reg::X6, 0); // left child
+    asm.jmp(cont);
+    asm.bind(right);
+    asm.ld8(Reg::X2, Reg::X6, 8); // right child
+    asm.bind(cont);
+    asm.subi(Reg::X7, Reg::X7, 1);
+    asm.bne(Reg::X7, Reg::X0, walk);
+
+    asm.subi(CTR, CTR, 1);
+    asm.bne(CTR, Reg::X0, top);
+
+    util::epilogue(&mut asm);
+    asm.assemble().expect("xalancbmk kernel assembles")
+}

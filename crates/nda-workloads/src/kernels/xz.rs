@@ -1,0 +1,53 @@
+//! `xz`-like: data-dependent match scanning.
+//!
+//! A compressor's match finder: compare the byte stream at position `i`
+//! with the stream at `i + dist`, extending the match while bytes agree.
+//! The loop trip count is data-dependent, so the exit branch is
+//! fundamentally unpredictable — long wrong paths, heavy squashing.
+
+use super::util::{self, ACC, BASE, CTR};
+use crate::WorkloadParams;
+use nda_isa::{Asm, Program, Reg};
+
+/// Stream bytes (power of two; scanning stays in the first half).
+const STREAM: usize = 8192;
+/// Fixed match distance.
+const DIST: i64 = 256;
+/// Maximum match length probed.
+const MAX_LEN: u64 = 16;
+
+/// Build the kernel.
+pub fn build(p: &WorkloadParams) -> Program {
+    let mut asm = Asm::new();
+    util::prologue(&mut asm, p.iters * 8, 0);
+    // Only four distinct byte values -> frequent short matches.
+    let stream: Vec<u8> =
+        util::random_bytes(p.seed, 0x787a, STREAM).iter().map(|b| b & 3).collect();
+    asm.data(crate::DATA_BASE, &stream);
+
+    asm.li(Reg::X2, 0); // position i
+
+    let top = asm.here_label();
+    let done = asm.new_label();
+    asm.li(Reg::X3, 0); // match length
+    asm.add(Reg::X28, BASE, Reg::X2);
+    let scan = asm.here_label();
+    asm.add(Reg::X29, Reg::X28, Reg::X3);
+    asm.ld1(Reg::X4, Reg::X29, 0);
+    asm.ld1(Reg::X5, Reg::X29, DIST);
+    asm.bne(Reg::X4, Reg::X5, done); // data-dependent exit
+    asm.addi(Reg::X3, Reg::X3, 1);
+    asm.li(Reg::X6, MAX_LEN);
+    asm.bltu(Reg::X3, Reg::X6, scan);
+    asm.bind(done);
+    asm.add(ACC, ACC, Reg::X3);
+    // Advance past the match.
+    asm.addi(Reg::X2, Reg::X2, 1);
+    asm.add(Reg::X2, Reg::X2, Reg::X3);
+    asm.andi(Reg::X2, Reg::X2, (STREAM as u64 / 2) - 1);
+    asm.subi(CTR, CTR, 1);
+    asm.bne(CTR, Reg::X0, top);
+
+    util::epilogue(&mut asm);
+    asm.assemble().expect("xz kernel assembles")
+}

@@ -1,0 +1,133 @@
+//! Per-kernel structural and behavioural properties: each kernel must
+//! actually exhibit the micro-architectural behaviour it claims to model
+//! (that is what makes the SPEC substitution defensible — see DESIGN.md
+//! §4).
+
+use nda_core::{run_variant, Variant};
+use nda_isa::{Inst, Interp};
+use nda_workloads::{by_name, WorkloadParams};
+
+const MAX: u64 = 2_000_000_000;
+
+fn run(name: &str, iters: u64) -> nda_core::RunResult {
+    let w = by_name(name).unwrap();
+    let prog = (w.build)(&WorkloadParams { seed: 2, iters });
+    run_variant(Variant::Ooo, &prog, MAX).unwrap()
+}
+
+#[test]
+fn mcf_is_dram_bound_with_mlp() {
+    let r = run("mcf", 60);
+    assert!(
+        r.mem_stats.dram_accesses > 100,
+        "pointer chasing must go off-chip ({} DRAM accesses)",
+        r.mem_stats.dram_accesses
+    );
+    let mlp = r.mem_stats.mlp.expect("off-chip misses recorded");
+    assert!(mlp > 1.5, "four chains must overlap misses (MLP {mlp:.2})");
+    assert!(r.cpi() > 3.0, "mcf must be memory-bound (CPI {:.2})", r.cpi());
+}
+
+#[test]
+fn lbm_is_store_heavy_and_streaming() {
+    let r = run("lbm", 60);
+    assert!(
+        r.stats.committed_stores * 2 >= r.stats.committed_loads,
+        "streaming kernel writes a lot ({} stores vs {} loads)",
+        r.stats.committed_stores,
+        r.stats.committed_loads
+    );
+}
+
+#[test]
+fn gcc_mispredicts_heavily() {
+    let r = run("gcc", 60);
+    let per_branch = r.stats.branch_mispredicts as f64 / r.stats.committed_branches as f64;
+    assert!(
+        per_branch > 0.10,
+        "data-dependent branches must mispredict (rate {per_branch:.3})"
+    );
+}
+
+#[test]
+fn x264_branches_are_predictable() {
+    let r = run("x264", 60);
+    let per_branch = r.stats.branch_mispredicts as f64 / r.stats.committed_branches as f64;
+    assert!(
+        per_branch < 0.05,
+        "SAD loops must predict well (rate {per_branch:.3})"
+    );
+}
+
+#[test]
+fn perlbench_exercises_indirect_calls() {
+    let w = by_name("perlbench").unwrap();
+    let prog = (w.build)(&WorkloadParams { seed: 2, iters: 30 });
+    let indirect = prog.insts.iter().filter(|i| matches!(i, Inst::CallInd { .. })).count();
+    assert!(indirect >= 1, "dispatch loop must use an indirect call");
+    let r = run_variant(Variant::Ooo, &prog, MAX).unwrap();
+    // Random opcodes from one site: the BTB must miss often.
+    assert!(
+        r.stats.branch_mispredicts > 50,
+        "indirect dispatch must stress the BTB ({} mispredicts)",
+        r.stats.branch_mispredicts
+    );
+}
+
+#[test]
+fn deepsjeng_uses_calls_and_returns() {
+    let w = by_name("deepsjeng").unwrap();
+    let prog = (w.build)(&WorkloadParams { seed: 2, iters: 30 });
+    assert!(prog.insts.iter().any(|i| matches!(i, Inst::Call { .. })));
+    assert!(prog.insts.iter().filter(|i| matches!(i, Inst::Ret)).count() >= 2);
+    let r = run_variant(Variant::Ooo, &prog, MAX).unwrap();
+    assert!(r.stats.committed_branches > 500, "recursion means many calls/rets");
+}
+
+#[test]
+fn exchange2_is_cache_resident() {
+    let r = run("exchange2", 60);
+    assert!(
+        r.mem_stats.l1d.miss_ratio() < 0.02,
+        "the 9x9 grid must stay in L1 (miss ratio {:.4})",
+        r.mem_stats.l1d.miss_ratio()
+    );
+}
+
+#[test]
+fn xz_trip_counts_are_data_dependent() {
+    // Two seeds must give different retired-instruction counts for the
+    // same iteration count — the scan length depends on the data.
+    let w = by_name("xz").unwrap();
+    let a = (w.build)(&WorkloadParams { seed: 1, iters: 40 });
+    let b = (w.build)(&WorkloadParams { seed: 9, iters: 40 });
+    let mut ia = Interp::new(&a);
+    let mut ib = Interp::new(&b);
+    let ra = ia.run(MAX).unwrap().retired;
+    let rb = ib.run(MAX).unwrap().retired;
+    assert_ne!(ra, rb, "match lengths must vary with data");
+}
+
+#[test]
+fn omnetpp_scatters_memory_accesses() {
+    let r = run("omnetpp", 80);
+    // The event array is 32 KiB; the scan pattern hops around it, so
+    // accesses spread beyond a couple of lines but stay mostly cached.
+    assert!(r.stats.committed_loads > 1000);
+    let per_branch = r.stats.branch_mispredicts as f64 / r.stats.committed_branches as f64;
+    assert!(per_branch > 0.05, "min-scan comparisons mispredict (rate {per_branch:.3})");
+}
+
+#[test]
+fn xalancbmk_serialises_on_loads() {
+    // The tree walk is a load->branch->load chain: little instruction-level
+    // parallelism compared with the independent SAD stream of x264.
+    let tree = run("xalancbmk", 60);
+    let sad = run("x264", 60);
+    assert!(
+        tree.stats.ilp() < sad.stats.ilp(),
+        "tree walk ILP ({:.2}) must trail SAD ILP ({:.2})",
+        tree.stats.ilp(),
+        sad.stats.ilp()
+    );
+}

@@ -1,0 +1,55 @@
+//! The paper's §8 / Listing 4 software defense:
+//! `stop_speculative_exec()` / `resume_speculative_exec()` around the
+//! window where a secret lives in a general-purpose register.
+//!
+//! The attack is Spectre v2 against a GPR secret — the class that slips
+//! past permissive propagation and load restriction (the transmit gadget
+//! is pure arithmetic on an already-visible register). The hardened
+//! victim disables speculation inside its secret window; the
+//! BTB-injected gadget can then never execute, on *any* core.
+//!
+//! ```sh
+//! cargo run --release --example listing4_defense
+//! ```
+
+use nda::attacks::{analyze, spectre_v2_gpr, AttackKind, RESULTS_BASE};
+use nda::core::config::SimConfig;
+use nda::core::{OooCore, Variant};
+
+fn run(program: &nda::Program, v: Variant) -> (bool, u64) {
+    let mut c = OooCore::new(SimConfig::for_variant(v), program);
+    c.run(nda::attacks::ATTACK_MAX_CYCLES).expect("halts");
+    let t: Vec<u64> = (0..256).map(|g| c.mem.read(RESULTS_BASE + 8 * g, 8)).collect();
+    let o = analyze(&t, 0x42, AttackKind::SpectreV2Gpr.margin(), &[200]);
+    (o.leaked, c.cycle())
+}
+
+fn main() {
+    let plain = spectre_v2_gpr::program(0x42);
+    let hardened = spectre_v2_gpr::hardened_program(0x42);
+
+    println!("Spectre v2 against a GPR-resident secret (paper §4.2),");
+    println!("with and without the Listing-4 no-speculation window:\n");
+    println!("{:<22}{:>16}{:>18}{:>14}", "variant", "plain victim", "hardened victim", "window cost");
+    for v in [Variant::Ooo, Variant::Permissive, Variant::RestrictedLoads, Variant::Strict] {
+        let (leak_p, cyc_p) = run(&plain, v);
+        let (leak_h, cyc_h) = run(&hardened, v);
+        println!(
+            "{:<22}{:>16}{:>18}{:>13.1}%",
+            v.name(),
+            if leak_p { "LEAKED" } else { "safe" },
+            if leak_h { "LEAKED" } else { "safe" },
+            (cyc_h as f64 / cyc_p as f64 - 1.0) * 100.0
+        );
+    }
+
+    println!("\nWhat this shows (paper §8):");
+    println!(" * permissive propagation and load restriction do not protect GPR");
+    println!("   secrets — the gadget is arithmetic, not a load;");
+    println!(" * strict propagation blocks it in hardware;");
+    println!(" * alternatively the *victim* can wrap its secret window in");
+    println!("   SpecOff/SpecOn (Listing 4) and be safe even on an insecure core;");
+    println!(" * the paper notes the instruction only helps architectural code —");
+    println!("   a wrong-path SpecOff never commits, so the defense must be");
+    println!("   combined with NDA to stop attackers steering *around* it.");
+}

@@ -1,0 +1,53 @@
+//! Meltdown (chosen-code) end to end: read a kernel-space byte from user
+//! code on flawed hardware, and watch NDA's load restriction stop it at
+//! the source.
+//!
+//! ```sh
+//! cargo run --release --example meltdown_demo
+//! ```
+
+use nda::attacks::{run_attack, AttackKind};
+use nda::core::config::SimConfig;
+use nda::core::{NdaPolicy, OooCore};
+use nda::Variant;
+
+fn main() {
+    let secret = 0x37u8;
+    println!("Meltdown: user code reading kernel memory via wrong-path forwarding");
+    println!("kernel secret byte: {secret:#04x}\n");
+
+    println!("{:<22}{:>10}{:>16}", "variant", "leaked?", "recovered");
+    for v in [
+        Variant::Ooo,
+        Variant::Permissive,
+        Variant::StrictBr,
+        Variant::RestrictedLoads,
+        Variant::FullProtection,
+        Variant::InvisiSpecFuture,
+        Variant::InOrder,
+    ] {
+        let o = run_attack(AttackKind::Meltdown, v, secret);
+        let rec = o.recovered.map(|b| format!("{b:#04x}")).unwrap_or_else(|| "-".into());
+        println!("{:<22}{:>10}{:>16}", v.name(), o.leaked, rec);
+    }
+
+    // The ablation: fix the hardware flaw instead.
+    let mut fixed = SimConfig::ooo();
+    fixed.core.meltdown_flaw = false;
+    let program = AttackKind::Meltdown.program(secret);
+    let mut c = OooCore::new(fixed, &program);
+    c.run(nda::attacks::ATTACK_MAX_CYCLES).expect("halts");
+    let timings: Vec<u64> =
+        (0..256).map(|g| c.mem.read(nda::attacks::RESULTS_BASE + 8 * g, 8)).collect();
+    let o = nda::attacks::analyze(&timings, secret, AttackKind::Meltdown.margin(), &[]);
+    println!("{:<22}{:>10}{:>16}", "OoO, flaw fixed", o.leaked, "-");
+
+    println!("\nNote the contrast the paper draws:");
+    println!(" * permissive/strict propagation do NOT stop Meltdown — there is no");
+    println!("   mispredicted branch to gate on (it is a chosen-code attack);");
+    println!(" * load restriction does: a load wakes dependents only if it is about");
+    println!("   to retire, and a faulting load never retires;");
+    println!(" * fixing the specific flaw also works — until the next flaw (MDS,");
+    println!("   Foreshadow, ...); load restriction is the blanket defense.");
+    let _ = NdaPolicy::restricted_loads();
+}

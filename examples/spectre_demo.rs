@@ -1,0 +1,44 @@
+//! Spectre v1 end to end: leak a secret byte through the d-cache on the
+//! insecure out-of-order core, then watch every NDA policy close the leak.
+//!
+//! ```sh
+//! cargo run --release --example spectre_demo
+//! ```
+
+use nda::attacks::{run_attack, AttackKind};
+use nda::Variant;
+
+fn main() {
+    let secret = 0xA5u8;
+    println!("Spectre v1 (bounds-check bypass, cache covert channel)");
+    println!("secret byte planted in victim memory: {secret:#04x}\n");
+
+    println!(
+        "{:<22}{:>10}{:>16}{:>12}{:>10}",
+        "variant", "leaked?", "recovered", "separation", "verdict"
+    );
+    for v in Variant::all() {
+        let o = run_attack(AttackKind::SpectreV1Cache, v, secret);
+        let rec = o
+            .recovered
+            .map(|b| format!("{b:#04x}"))
+            .unwrap_or_else(|| "-".to_string());
+        let verdict = if o.leaked { "LEAKED" } else { "safe" };
+        println!(
+            "{:<22}{:>10}{:>16}{:>11}c{:>10}",
+            v.name(),
+            o.leaked,
+            rec,
+            o.separation,
+            verdict
+        );
+    }
+
+    println!("\nHow to read this:");
+    println!(" * OoO: the wrong path loads the secret and touches probe[secret*512];");
+    println!("   the recover loop sees one fast (cached) probe slot -> full byte leak.");
+    println!(" * NDA policies: the secret-carrying load never wakes its dependents,");
+    println!("   so the probe access never happens -- the timing is flat.");
+    println!(" * InvisiSpec: speculative loads don't fill the cache -> also safe here");
+    println!("   (but see the btb_channel example for the channel it cannot close).");
+}

@@ -1,0 +1,317 @@
+//! `nda-sim` — command-line driver for the NDA reproduction.
+//!
+//! ```text
+//! nda-sim variants                         list core configurations
+//! nda-sim workloads                        list synthetic kernels
+//! nda-sim attacks                          list attack PoCs
+//! nda-sim run <workload> [options]         run a kernel, print a report
+//! nda-sim attack <attack> [options]        run an attack, print the verdict
+//! nda-sim matrix [--secret B]              full attack x variant matrix
+//! nda-sim sweep [options]                  normalised-CPI sweep (mini Fig 7)
+//! nda-sim save <workload> <file> [options] encode a kernel to a binary file
+//! nda-sim exec <file> [options]            run an encoded program file
+//! nda-sim trace <attack> [options]         pipeline-trace an attack window
+//!
+//! options:
+//!   --variant <name>    core configuration (default OoO; see `variants`)
+//!   --iters <n>         workload iterations (default 200)
+//!   --seed <n>          workload seed (default 1)
+//!   --secret <byte>     attack secret byte (default 42)
+//!   --samples <n>       sweep samples per cell (default 2)
+//! ```
+
+use nda::attacks::{run_attack, AttackKind};
+use nda::core::{run_variant, Variant};
+use nda::workloads::{all, by_name, WorkloadParams};
+use std::process::ExitCode;
+
+const MAX_CYCLES: u64 = 2_000_000_000;
+
+fn parse_variant(name: &str) -> Option<Variant> {
+    Variant::all().into_iter().find(|v| {
+        v.name().eq_ignore_ascii_case(name)
+            || v.name().replace([' ', '-'], "").eq_ignore_ascii_case(&name.replace(['-', '_'], ""))
+    })
+}
+
+fn parse_attack(name: &str) -> Option<AttackKind> {
+    let squash = |s: &str| s.to_ascii_lowercase().replace([' ', '-', '_', '(', ')'], "");
+    AttackKind::all().into_iter().find(|k| squash(k.name()).contains(&squash(name)))
+}
+
+struct Opts {
+    variant: Variant,
+    iters: u64,
+    seed: u64,
+    secret: u8,
+    samples: u64,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut o = Opts { variant: Variant::Ooo, iters: 200, seed: 1, secret: 42, samples: 2 };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |flag: &str| {
+            it.next().map(String::as_str).ok_or(format!("{flag} needs a value")).map(String::from)
+        };
+        match a.as_str() {
+            "--variant" => {
+                let v = val("--variant")?;
+                o.variant = parse_variant(&v).ok_or(format!("unknown variant {v:?}"))?;
+            }
+            "--iters" => o.iters = val("--iters")?.parse().map_err(|e| format!("--iters: {e}"))?,
+            "--seed" => o.seed = val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--secret" => {
+                o.secret = val("--secret")?.parse().map_err(|e| format!("--secret: {e}"))?
+            }
+            "--samples" => {
+                o.samples = val("--samples")?.parse().map_err(|e| format!("--samples: {e}"))?
+            }
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    Ok(o)
+}
+
+fn cmd_variants() {
+    println!("{:<22}description", "name");
+    for v in Variant::all() {
+        let desc = match v {
+            Variant::Ooo => "insecure out-of-order baseline (Table 3)",
+            Variant::Permissive => "NDA permissive propagation (Table 2 row 1)",
+            Variant::PermissiveBr => "permissive + bypass restriction (row 2)",
+            Variant::Strict => "NDA strict propagation (row 3)",
+            Variant::StrictBr => "strict + bypass restriction (row 4)",
+            Variant::RestrictedLoads => "NDA load restriction (row 5)",
+            Variant::FullProtection => "strict + BR + load restriction (row 6)",
+            Variant::InOrder => "blocking in-order baseline",
+            Variant::InvisiSpecSpectre => "InvisiSpec, control-speculation model",
+            Variant::InvisiSpecFuture => "InvisiSpec, futuristic model",
+            Variant::DelayOnMiss => "delay-on-miss (related work)",
+        };
+        println!("{:<22}{desc}", v.name());
+    }
+}
+
+fn cmd_workloads() {
+    println!("{:<14}behaviour", "name");
+    for w in all() {
+        println!("{:<14}{}", w.name, w.behaviour);
+    }
+}
+
+fn cmd_attacks() {
+    println!("{:<20}{:<18}channel", "name", "class");
+    for k in AttackKind::all() {
+        let class = if k.is_chosen_code() { "chosen-code" } else { "control-steering" };
+        let channel = match k {
+            AttackKind::SpectreV1Btb => "BTB",
+            AttackKind::NetspectreFpu => "FPU power state",
+            AttackKind::Smother => "execution ports",
+            _ => "d-cache",
+        };
+        println!("{:<20}{:<18}{channel}", k.name(), class);
+    }
+}
+
+fn cmd_run(name: &str, o: &Opts) -> Result<(), String> {
+    let w = by_name(name).ok_or(format!("unknown workload {name:?} (see `workloads`)"))?;
+    let prog = (w.build)(&WorkloadParams { seed: o.seed, iters: o.iters });
+    let r = run_variant(o.variant, &prog, MAX_CYCLES).map_err(|e| e.to_string())?;
+    let s = r.stats;
+    println!("workload {} on {} (seed {}, {} iters)", w.name, o.variant.name(), o.seed, o.iters);
+    println!("  cycles               {:>12}", s.cycles);
+    println!("  instructions         {:>12}", s.committed_insts);
+    println!("  CPI                  {:>12.3}", s.cpi());
+    println!("  loads/stores/branches{:>12} / {} / {}", s.committed_loads, s.committed_stores, s.committed_branches);
+    println!("  branch mispredicts   {:>12}", s.branch_mispredicts);
+    println!("  squashes             {:>12}", s.squashes);
+    println!("  wrong-path executed  {:>12}", s.wrong_path_executed);
+    println!("  deferred broadcasts  {:>12}", s.deferred_broadcasts);
+    println!("  dispatch->issue      {:>12.2}", s.avg_dispatch_to_issue());
+    println!("  ILP                  {:>12.3}", s.ilp());
+    let (c, m, b, f) = s.cycle_breakdown();
+    println!("  cycle mix            commit {c:.2} / mem {m:.2} / backend {b:.2} / frontend {f:.2}");
+    println!(
+        "  L1D {}h/{}m  L2 {}h/{}m  DRAM {}  MLP {}",
+        r.mem_stats.l1d.hits,
+        r.mem_stats.l1d.misses,
+        r.mem_stats.l2.hits,
+        r.mem_stats.l2.misses,
+        r.mem_stats.dram_accesses,
+        r.mem_stats.mlp.map(|m| format!("{m:.2}")).unwrap_or_else(|| "-".into()),
+    );
+    Ok(())
+}
+
+fn cmd_attack(name: &str, o: &Opts) -> Result<(), String> {
+    let k = parse_attack(name).ok_or(format!("unknown attack {name:?} (see `attacks`)"))?;
+    let out = run_attack(k, o.variant, o.secret);
+    println!("{} on {} (secret {:#04x})", k.name(), o.variant.name(), o.secret);
+    println!("  leaked     {}", out.leaked);
+    println!("  recovered  {:?}", out.recovered.map(|b| format!("{b:#04x}")));
+    println!("  separation {} cycles", out.separation);
+    println!("  expected   {}", if k.expected_blocked(o.variant) { "blocked" } else { "leak" });
+    Ok(())
+}
+
+fn cmd_matrix(o: &Opts) {
+    print!("{:<20}", "variant");
+    for k in AttackKind::all() {
+        print!("{:>20}", k.name());
+    }
+    println!();
+    for v in Variant::all() {
+        print!("{:<20}", v.name());
+        for k in AttackKind::all() {
+            let out = run_attack(k, v, o.secret);
+            print!("{:>20}", if out.leaked { "LEAK" } else { "blocked" });
+        }
+        println!();
+    }
+}
+
+fn cmd_sweep(o: &Opts) {
+    println!("normalised CPI, {} samples x {} iters per cell", o.samples, o.iters);
+    print!("{:<12}", "workload");
+    for v in Variant::all() {
+        print!("{:>20}", v.name());
+    }
+    println!();
+    for w in all() {
+        print!("{:<12}", w.name);
+        let mut base = None;
+        for v in Variant::all() {
+            let mut cpis = 0.0;
+            for s in 0..o.samples {
+                let prog = (w.build)(&WorkloadParams { seed: o.seed + s, iters: o.iters });
+                let r = run_variant(v, &prog, MAX_CYCLES).expect("halts");
+                cpis += r.cpi();
+            }
+            let mean = cpis / o.samples as f64;
+            let b = *base.get_or_insert(mean);
+            print!("{:>20.3}", mean / b);
+        }
+        println!();
+    }
+}
+
+fn cmd_save(name: &str, path: &str, o: &Opts) -> Result<(), String> {
+    let w = by_name(name).ok_or(format!("unknown workload {name:?}"))?;
+    let prog = (w.build)(&WorkloadParams { seed: o.seed, iters: o.iters });
+    let bytes = nda::isa::encode_program(&prog);
+    std::fs::write(path, &bytes).map_err(|e| format!("write {path}: {e}"))?;
+    println!("wrote {} instructions ({} bytes) to {path}", prog.insts.len(), bytes.len());
+    Ok(())
+}
+
+fn cmd_exec(path: &str, o: &Opts) -> Result<(), String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
+    let prog = nda::isa::decode_program(&bytes).map_err(|e| format!("decode {path}: {e}"))?;
+    let r = nda::core::run_variant(o.variant, &prog, MAX_CYCLES).map_err(|e| e.to_string())?;
+    println!(
+        "{path} on {}: {} cycles, {} instructions, CPI {:.3}",
+        o.variant.name(),
+        r.stats.cycles,
+        r.stats.committed_insts,
+        r.cpi()
+    );
+    Ok(())
+}
+
+fn cmd_trace(name: &str, o: &Opts) -> Result<(), String> {
+    use nda::core::{render_pipeline, OooCore};
+    let k = parse_attack(name).ok_or(format!("unknown attack {name:?}"))?;
+    let mut cfg = nda::core::config::SimConfig::for_variant(o.variant);
+    k.tweak_config(&mut cfg);
+    let program = k.program(o.secret);
+    let mut core = OooCore::new(cfg, &program);
+    core.enable_trace();
+    // Run until the first squash (the first speculation window collapsing),
+    // then a little further so the recovery is visible.
+    let mut first_squash = None;
+    for _ in 0..500_000 {
+        core.step_cycle();
+        if core.halted() {
+            break;
+        }
+        if first_squash.is_none() && core.stats.squashes > 0 {
+            first_squash = Some(core.cycle());
+        }
+        if let Some(t) = first_squash {
+            if core.cycle() > t + 60 {
+                break;
+            }
+        }
+    }
+    let Some(t) = first_squash else {
+        return Err("no squash observed (nothing to trace)".into());
+    };
+    println!(
+        "{} on {}: first speculation window (squash at cycle {t})",
+        k.name(),
+        o.variant.name()
+    );
+    println!("D dispatch, I issue, C complete, B broadcast, R retire, x squash
+");
+    print!(
+        "{}",
+        render_pipeline(core.trace_events(), Some((t.saturating_sub(60), t + 40)), 48)
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().map(String::as_str) else {
+        eprintln!(
+            "usage: nda-sim <variants|workloads|attacks|run|attack|matrix|sweep|save|exec|trace> [options]"
+        );
+        eprintln!("(see the module docs at the top of src/bin/nda-sim.rs)");
+        return ExitCode::FAILURE;
+    };
+    let result: Result<(), String> = match cmd {
+        "variants" => {
+            cmd_variants();
+            Ok(())
+        }
+        "workloads" => {
+            cmd_workloads();
+            Ok(())
+        }
+        "attacks" => {
+            cmd_attacks();
+            Ok(())
+        }
+        "run" => match args.get(1) {
+            Some(name) => parse_opts(&args[2..]).and_then(|o| cmd_run(name, &o)),
+            None => Err("run needs a workload name".into()),
+        },
+        "attack" => match args.get(1) {
+            Some(name) => parse_opts(&args[2..]).and_then(|o| cmd_attack(name, &o)),
+            None => Err("attack needs an attack name".into()),
+        },
+        "save" => match (args.get(1), args.get(2)) {
+            (Some(name), Some(path)) => parse_opts(&args[3..]).and_then(|o| cmd_save(name, path, &o)),
+            _ => Err("save needs a workload name and a file path".into()),
+        },
+        "exec" => match args.get(1) {
+            Some(path) => parse_opts(&args[2..]).and_then(|o| cmd_exec(path, &o)),
+            None => Err("exec needs a file path".into()),
+        },
+        "trace" => match args.get(1) {
+            Some(name) => parse_opts(&args[2..]).and_then(|o| cmd_trace(name, &o)),
+            None => Err("trace needs an attack name".into()),
+        },
+        "matrix" => parse_opts(&args[1..]).map(|o| cmd_matrix(&o)),
+        "sweep" => parse_opts(&args[1..]).map(|o| cmd_sweep(&o)),
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # nda — a reproduction of *NDA: Preventing Speculative Execution
+//! Attacks at Their Source* (MICRO-52, 2019)
+//!
+//! This umbrella crate re-exports the whole workspace:
+//!
+//! * [`isa`] — the SpecRISC micro-op ISA, assembler and reference
+//!   interpreter (`nda-isa`).
+//! * [`mem`] — cache-hierarchy and DRAM timing models (`nda-mem`).
+//! * [`predict`] — gshare / BTB / RAS predictors (`nda-predict`).
+//! * [`core`] — the out-of-order and in-order CPU models with the six NDA
+//!   policies and the InvisiSpec baselines (`nda-core`).
+//! * [`stats`] — counters and SMARTS-style sampling (`nda-stats`).
+//! * [`workloads`] — the synthetic SPEC CPU 2017-like kernels
+//!   (`nda-workloads`).
+//! * [`attacks`] — Spectre v1 (cache and BTB channels), SSB, Meltdown and
+//!   LazyFP proof-of-concepts with leak detectors (`nda-attacks`).
+//!
+//! The most common entry points are re-exported at the crate root:
+//!
+//! ```
+//! use nda::{run_variant, Variant, Asm, Reg};
+//!
+//! let mut asm = Asm::new();
+//! asm.li(Reg::X2, 2).li(Reg::X3, 40).add(Reg::X4, Reg::X2, Reg::X3).halt();
+//! let prog = asm.assemble()?;
+//! for v in Variant::all() {
+//!     let r = run_variant(v, &prog, 1_000_000)?;
+//!     assert_eq!(r.regs[4], 42); // timing differs, architecture never does
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use nda_attacks as attacks;
+pub use nda_core as core;
+pub use nda_isa as isa;
+pub use nda_mem as mem;
+pub use nda_predict as predict;
+pub use nda_stats as stats;
+pub use nda_workloads as workloads;
+
+pub use nda_core::{run_variant, run_with_config, RunResult, SimConfig, SimError, Variant};
+pub use nda_isa::{Asm, Inst, Interp, Program, Reg};
