@@ -158,7 +158,10 @@ mod tests {
     #[test]
     fn flat_timings_are_not_a_leak() {
         let o = analyze(&flat(150), 42, 40, &[]);
-        assert!(!o.leaked, "no separation, even if argmin accidentally matches");
+        assert!(
+            !o.leaked,
+            "no separation, even if argmin accidentally matches"
+        );
     }
 
     #[test]

@@ -58,8 +58,17 @@ mod tests {
     fn regions_do_not_overlap_probe_array() {
         // The probe array spans [PROBE_BASE, PROBE_BASE + 256*512).
         let probe_end = PROBE_BASE + 256 * PROBE_STRIDE;
-        for &a in &[RESULTS_BASE, ARRAY_BASE, ARRAY_SIZE_ADDR, SECRET_ADDR, TARGET_TABLE] {
-            assert!(a < PROBE_BASE || a >= probe_end, "{a:#x} inside probe array");
+        for &a in &[
+            RESULTS_BASE,
+            ARRAY_BASE,
+            ARRAY_SIZE_ADDR,
+            SECRET_ADDR,
+            TARGET_TABLE,
+        ] {
+            assert!(
+                a < PROBE_BASE || a >= probe_end,
+                "{a:#x} inside probe array"
+            );
         }
     }
 

@@ -34,7 +34,7 @@ pub fn program(secret: u8) -> Program {
     asm.ld8(Reg::X11, Reg::X10, 0);
     // Phase 1: privileged special-register read.
     asm.rdmsr(Reg::X6, SECRET_MSR); // faults at commit; value forwards now
-    // Phase 2: transmit.
+                                    // Phase 2: transmit.
     asm.shli(Reg::X6, Reg::X6, 9);
     asm.li(Reg::X7, PROBE_BASE);
     asm.add(Reg::X7, Reg::X7, Reg::X6);

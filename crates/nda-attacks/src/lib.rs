@@ -33,8 +33,8 @@
 //! ```
 
 pub mod detect;
-pub mod lazyfp;
 pub mod layout;
+pub mod lazyfp;
 pub mod meltdown;
 pub mod netspectre_fpu;
 pub mod ret2spec;
@@ -199,13 +199,19 @@ impl AttackKind {
             // needed for SSB; GPR secrets need *strict* (permissive marks
             // only loads unsafe, and a GPR transmit is pure arithmetic);
             // only load restriction stops chosen-code attacks.
-            Permissive => matches!(self, SpectreV1Cache | SpectreV1Btb | NetspectreFpu | Smother),
+            Permissive => matches!(
+                self,
+                SpectreV1Cache | SpectreV1Btb | NetspectreFpu | Smother
+            ),
             Strict => matches!(
                 self,
                 SpectreV1Cache | SpectreV1Btb | NetspectreFpu | Smother | SpectreV2Gpr | Ret2spec
             ),
             PermissiveBr => {
-                matches!(self, SpectreV1Cache | SpectreV1Btb | NetspectreFpu | Smother | Ssb)
+                matches!(
+                    self,
+                    SpectreV1Cache | SpectreV1Btb | NetspectreFpu | Smother | Ssb
+                )
             }
             StrictBr => matches!(
                 self,
@@ -230,7 +236,10 @@ impl AttackKind {
                 matches!(self, SpectreV1Cache | SpectreV2Gpr | Ret2spec)
             }
             InvisiSpecFuture => {
-                matches!(self, SpectreV1Cache | Ssb | Meltdown | LazyFp | SpectreV2Gpr | Ret2spec)
+                matches!(
+                    self,
+                    SpectreV1Cache | Ssb | Meltdown | LazyFp | SpectreV2Gpr | Ret2spec
+                )
             }
             // Delay-on-miss holds speculative L1-missing loads: blocks
             // cache-miss transmits under control speculation, nothing else.
@@ -264,13 +273,19 @@ pub fn run_attack(kind: AttackKind, v: Variant, secret: u8) -> AttackOutcome {
     let timings: Vec<u64> = match cfg.model {
         CoreModel::OutOfOrder => {
             let mut c = OooCore::new(cfg, &program);
-            c.run(ATTACK_MAX_CYCLES).unwrap_or_else(|e| panic!("{kind} on {v}: {e}"));
-            (0..slots).map(|g| c.mem.read(layout::RESULTS_BASE + 8 * g, 8)).collect()
+            c.run(ATTACK_MAX_CYCLES)
+                .unwrap_or_else(|e| panic!("{kind} on {v}: {e}"));
+            (0..slots)
+                .map(|g| c.mem.read(layout::RESULTS_BASE + 8 * g, 8))
+                .collect()
         }
         CoreModel::InOrder => {
             let mut c = InOrderCore::new(cfg, &program);
-            c.run(ATTACK_MAX_CYCLES).unwrap_or_else(|e| panic!("{kind} on {v}: {e}"));
-            (0..slots).map(|g| c.mem.read(layout::RESULTS_BASE + 8 * g, 8)).collect()
+            c.run(ATTACK_MAX_CYCLES)
+                .unwrap_or_else(|e| panic!("{kind} on {v}: {e}"));
+            (0..slots)
+                .map(|g| c.mem.read(layout::RESULTS_BASE + 8 * g, 8))
+                .collect()
         }
     };
     if bitwise {

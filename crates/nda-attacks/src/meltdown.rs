@@ -39,7 +39,7 @@ pub fn program(secret: u8) -> Program {
     // Phase 1: the illegal access (Listing 2 line 2).
     asm.li(Reg::X3, KERNEL_SECRET_ADDR);
     asm.ld1(Reg::X6, Reg::X3, 0); // faults at commit; data forwards now
-    // Phase 2: transmit before the fault fires (Listing 2 line 6).
+                                  // Phase 2: transmit before the fault fires (Listing 2 line 6).
     asm.shli(Reg::X6, Reg::X6, 9);
     asm.li(Reg::X7, PROBE_BASE);
     asm.add(Reg::X7, Reg::X7, Reg::X6);
@@ -56,7 +56,10 @@ pub fn program(secret: u8) -> Program {
     asm.halt();
 
     let mut p = asm.assemble().expect("meltdown assembles");
-    p.data.push(nda_isa::DataInit { addr: KERNEL_SECRET_ADDR, bytes: vec![secret] });
+    p.data.push(nda_isa::DataInit {
+        addr: KERNEL_SECRET_ADDR,
+        bytes: vec![secret],
+    });
     p
 }
 

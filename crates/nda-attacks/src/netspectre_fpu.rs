@@ -123,8 +123,14 @@ pub fn program(secret: u8) -> Program {
         addr: ARRAY_SIZE_ADDR,
         bytes: ARRAY_LEN.to_le_bytes().to_vec(),
     });
-    p.data.push(nda_isa::DataInit { addr: ARRAY_BASE, bytes: vec![0u8; ARRAY_LEN as usize] });
-    p.data.push(nda_isa::DataInit { addr: SECRET_ADDR, bytes: vec![secret] });
+    p.data.push(nda_isa::DataInit {
+        addr: ARRAY_BASE,
+        bytes: vec![0u8; ARRAY_LEN as usize],
+    });
+    p.data.push(nda_isa::DataInit {
+        addr: SECRET_ADDR,
+        bytes: vec![secret],
+    });
     let _ = util::GUESS; // shared layout only; no cache recover loop here
     p
 }
@@ -143,7 +149,10 @@ mod tests {
         assert_eq!(exit.faults, 0);
         // Eight per-bit timing slots were written.
         for b in 0..8u64 {
-            assert!(i.mem.read(RESULTS_BASE + 8 * b, 8) > 0, "bit {b} never measured");
+            assert!(
+                i.mem.read(RESULTS_BASE + 8 * b, 8) > 0,
+                "bit {b} never measured"
+            );
         }
     }
 

@@ -54,7 +54,7 @@ pub fn program(secret: u8) -> Program {
     asm.li(Reg::X9, PROBE_BASE);
     asm.add(Reg::X8, Reg::X8, Reg::X9);
     asm.ld1(Reg::X10, Reg::X8, 0); // transmit
-    // ---- end gadget (never commits) ----
+                                   // ---- end gadget (never commits) ----
     asm.bind(cleanup);
     asm.li(Reg::X15, 0); // scrub
     asm.addi(Reg::X19, Reg::X19, 8);

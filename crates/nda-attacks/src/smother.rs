@@ -117,8 +117,14 @@ pub fn program(secret: u8) -> Program {
         addr: ARRAY_SIZE_ADDR,
         bytes: ARRAY_LEN.to_le_bytes().to_vec(),
     });
-    p.data.push(nda_isa::DataInit { addr: ARRAY_BASE, bytes: vec![0u8; ARRAY_LEN as usize] });
-    p.data.push(nda_isa::DataInit { addr: SECRET_ADDR, bytes: vec![secret] });
+    p.data.push(nda_isa::DataInit {
+        addr: ARRAY_BASE,
+        bytes: vec![0u8; ARRAY_LEN as usize],
+    });
+    p.data.push(nda_isa::DataInit {
+        addr: SECRET_ADDR,
+        bytes: vec![secret],
+    });
     p
 }
 
@@ -135,7 +141,10 @@ mod tests {
         assert!(exit.halted);
         assert_eq!(exit.faults, 0);
         for b in 0..8u64 {
-            assert!(i.mem.read(RESULTS_BASE + 8 * b, 8) > 0, "bit {b} never measured");
+            assert!(
+                i.mem.read(RESULTS_BASE + 8 * b, 8) > 0,
+                "bit {b} never measured"
+            );
         }
     }
 

@@ -70,7 +70,7 @@ pub fn program(secret: u8) -> Program {
     // --- main ----------------------------------------------------------
     asm.bind(main);
     asm.li(Reg::X19, 0x00E0_0000); // software stack pointer
-    // Build the target table from label fixups.
+                                   // Build the target table from label fixups.
     for (k, t) in targets.iter().enumerate() {
         asm.li_label(Reg::X28, *t);
         asm.li(Reg::X18, TARGET_TABLE);
@@ -132,8 +132,14 @@ pub fn program(secret: u8) -> Program {
         addr: ARRAY_SIZE_ADDR,
         bytes: ARRAY_LEN.to_le_bytes().to_vec(),
     });
-    p.data.push(nda_isa::DataInit { addr: ARRAY_BASE, bytes: vec![200u8; ARRAY_LEN as usize] });
-    p.data.push(nda_isa::DataInit { addr: SECRET_ADDR, bytes: vec![secret] });
+    p.data.push(nda_isa::DataInit {
+        addr: ARRAY_BASE,
+        bytes: vec![200u8; ARRAY_LEN as usize],
+    });
+    p.data.push(nda_isa::DataInit {
+        addr: SECRET_ADDR,
+        bytes: vec![secret],
+    });
     p
 }
 

@@ -76,8 +76,14 @@ pub fn program(secret: u8) -> Program {
     });
     // In-bounds array contents: a constant decoy value distinct from any
     // secret the tests use.
-    p.data.push(nda_isa::DataInit { addr: ARRAY_BASE, bytes: vec![200u8; ARRAY_LEN as usize] });
-    p.data.push(nda_isa::DataInit { addr: SECRET_ADDR, bytes: vec![secret] });
+    p.data.push(nda_isa::DataInit {
+        addr: ARRAY_BASE,
+        bytes: vec![200u8; ARRAY_LEN as usize],
+    });
+    p.data.push(nda_isa::DataInit {
+        addr: SECRET_ADDR,
+        bytes: vec![secret],
+    });
     p
 }
 
@@ -96,6 +102,10 @@ mod tests {
         // Architecturally the malicious calls take the out-of-bounds exit;
         // nothing derived from the secret reaches registers. X6 holds the
         // last in-bounds (decoy) preprocessed value or the warmup residue.
-        assert_ne!(i.reg(Reg::X6), (42u64) << 9, "secret must not leak architecturally");
+        assert_ne!(
+            i.reg(Reg::X6),
+            (42u64) << 9,
+            "secret must not leak architecturally"
+        );
     }
 }

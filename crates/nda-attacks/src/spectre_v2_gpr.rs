@@ -91,7 +91,7 @@ fn build(secret: u8, hardened: bool) -> Program {
     // --- main -----------------------------------------------------------
     asm.bind(main);
     asm.li(Reg::X19, 0x00E0_0000); // software stack
-    // handler table: [0] = A (benign), [1] = B (gadget).
+                                   // handler table: [0] = A (benign), [1] = B (gadget).
     asm.li(Reg::X18, TARGET_TABLE);
     asm.li_label(Reg::X28, handler_a);
     asm.st8(Reg::X28, Reg::X18, 0);

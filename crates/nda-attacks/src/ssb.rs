@@ -46,7 +46,10 @@ pub fn program(secret: u8) -> Program {
         addr: SSB_PTR_ADDR,
         bytes: SSB_DATA_ADDR.to_le_bytes().to_vec(),
     });
-    p.data.push(nda_isa::DataInit { addr: SSB_DATA_ADDR, bytes: vec![secret] });
+    p.data.push(nda_isa::DataInit {
+        addr: SSB_DATA_ADDR,
+        bytes: vec![secret],
+    });
     p
 }
 

@@ -25,7 +25,9 @@ fn run_attack_with(cfg: SimConfig, kind: AttackKind, secret: u8) -> bool {
     let program = kind.program(secret);
     let mut c = OooCore::new(cfg, &program);
     c.run(nda_attacks::ATTACK_MAX_CYCLES).expect("attack halts");
-    let timings: Vec<u64> = (0..256).map(|g| c.mem.read(RESULTS_BASE + 8 * g, 8)).collect();
+    let timings: Vec<u64> = (0..256)
+        .map(|g| c.mem.read(RESULTS_BASE + 8 * g, 8))
+        .collect();
     analyze(&timings, secret, kind.margin(), kind.polluted_guesses()).leaked
 }
 
@@ -48,9 +50,14 @@ fn main() {
     // ---- 2: SSBD vs Bypass Restriction ----------------------------------
     println!("Ablation 2: SSBD-style bypass disable vs NDA Bypass Restriction");
     let wl = by_name("lbm").expect("streaming workload exists");
-    let params = WorkloadParams { seed: 7, iters: sweep_cfg.iters };
+    let params = WorkloadParams {
+        seed: 7,
+        iters: sweep_cfg.iters,
+    };
     let prog = (wl.build)(&params);
-    let base = run_with_config(SimConfig::ooo(), &prog, 2_000_000_000).unwrap().cpi();
+    let base = run_with_config(SimConfig::ooo(), &prog, 2_000_000_000)
+        .unwrap()
+        .cpi();
     let mut ssbd = SimConfig::ooo();
     ssbd.core.speculative_store_bypass = false;
     let ssbd_cpi = run_with_config(ssbd, &prog, 2_000_000_000).unwrap().cpi();
@@ -58,15 +65,27 @@ fn main() {
     br.policy = NdaPolicy::permissive_br();
     let br_cpi = run_with_config(br, &prog, 2_000_000_000).unwrap().cpi();
     println!("  insecure OoO             : CPI {base:.3}");
-    println!("  SSBD (bypass disabled)   : CPI {ssbd_cpi:.3} ({:+.1}%)", (ssbd_cpi / base - 1.0) * 100.0);
-    println!("  NDA permissive+BR        : CPI {br_cpi:.3} ({:+.1}%)", (br_cpi / base - 1.0) * 100.0);
+    println!(
+        "  SSBD (bypass disabled)   : CPI {ssbd_cpi:.3} ({:+.1}%)",
+        (ssbd_cpi / base - 1.0) * 100.0
+    );
+    println!(
+        "  NDA permissive+BR        : CPI {br_cpi:.3} ({:+.1}%)",
+        (br_cpi / base - 1.0) * 100.0
+    );
     // Both block SSB:
     let mut ssbd_atk = SimConfig::ooo();
     ssbd_atk.core.speculative_store_bypass = false;
-    assert!(!run_attack_with(ssbd_atk, AttackKind::Ssb, secret), "SSBD must block SSB");
+    assert!(
+        !run_attack_with(ssbd_atk, AttackKind::Ssb, secret),
+        "SSBD must block SSB"
+    );
     let mut br_atk = SimConfig::ooo();
     br_atk.policy = NdaPolicy::permissive_br();
-    assert!(!run_attack_with(br_atk, AttackKind::Ssb, secret), "BR must block SSB");
+    assert!(
+        !run_attack_with(br_atk, AttackKind::Ssb, secret),
+        "BR must block SSB"
+    );
     println!("  both block the SSB attack; BR additionally blocks every other");
     println!("  control-steering channel at its quoted cost.\n");
 
@@ -88,7 +107,10 @@ fn main() {
     // ---- 4: prefetching under NDA ----------------------------------------
     println!("Ablation 4: a next-line prefetcher (one of the §2 predictive structures)");
     let wl = by_name("lbm").expect("streaming workload exists");
-    let prog = (wl.build)(&WorkloadParams { seed: 9, iters: sweep_cfg.iters });
+    let prog = (wl.build)(&WorkloadParams {
+        seed: 9,
+        iters: sweep_cfg.iters,
+    });
     let mut pf_off = SimConfig::ooo();
     pf_off.policy = NdaPolicy::permissive();
     let mut pf_on = pf_off;
@@ -129,8 +151,15 @@ fn main() {
     );
     for wname in ["exchange2", "xz"] {
         let wl = by_name(wname).expect("workload exists");
-        let prog = (wl.build)(&WorkloadParams { seed: 5, iters: sweep_cfg.iters });
-        for kind in [PredictorKind::Bimodal, PredictorKind::Gshare, PredictorKind::Tournament] {
+        let prog = (wl.build)(&WorkloadParams {
+            seed: 5,
+            iters: sweep_cfg.iters,
+        });
+        for kind in [
+            PredictorKind::Bimodal,
+            PredictorKind::Gshare,
+            PredictorKind::Tournament,
+        ] {
             let mut base = SimConfig::ooo();
             base.core.predictor_kind = kind;
             let mut strict = base;

@@ -22,10 +22,17 @@ fn main() {
 
     let d_cache = cache.median.saturating_sub(cache.timings[secret as usize]);
     let d_btb = btb.median.saturating_sub(btb.timings[secret as usize]);
-    println!("\ncache channel: recovered={:?} leaked={} delta={} cycles (paper: ~140)",
-        cache.recovered, cache.leaked, d_cache);
-    println!("btb   channel: recovered={:?} leaked={} delta={} cycles (paper: ~16)",
-        btb.recovered, btb.leaked, d_btb);
+    println!(
+        "\ncache channel: recovered={:?} leaked={} delta={} cycles (paper: ~140)",
+        cache.recovered, cache.leaked, d_cache
+    );
+    println!(
+        "btb   channel: recovered={:?} leaked={} delta={} cycles (paper: ~16)",
+        btb.recovered, btb.leaked, d_btb
+    );
 
-    assert!(cache.leaked && btb.leaked, "Fig 4 requires both channels to leak on insecure OoO");
+    assert!(
+        cache.leaked && btb.leaked,
+        "Fig 4 requires both channels to leak on insecure OoO"
+    );
 }

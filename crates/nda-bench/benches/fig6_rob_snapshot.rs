@@ -36,8 +36,14 @@ fn listing1_like() -> Program {
     asm.call(victim);
     asm.halt();
     let mut p = asm.assemble().unwrap();
-    p.data.push(nda_isa::DataInit { addr: 0x51_0000, bytes: 16u64.to_le_bytes().to_vec() });
-    p.data.push(nda_isa::DataInit { addr: 0x50_0000, bytes: vec![7u8; 16] });
+    p.data.push(nda_isa::DataInit {
+        addr: 0x51_0000,
+        bytes: 16u64.to_le_bytes().to_vec(),
+    });
+    p.data.push(nda_isa::DataInit {
+        addr: 0x50_0000,
+        bytes: vec![7u8; 16],
+    });
     p
 }
 
@@ -58,7 +64,10 @@ fn main() {
         ("(a) strict propagation", NdaPolicy::strict()),
         ("(b) permissive propagation", NdaPolicy::permissive()),
         ("(c) load restriction", NdaPolicy::restricted_loads()),
-        ("(d) strict + load restriction", NdaPolicy::full_protection()),
+        (
+            "(d) strict + load restriction",
+            NdaPolicy::full_protection(),
+        ),
     ];
     let mut transmit_issued_under = Vec::new();
     for (name, policy) in policies {
@@ -84,8 +93,18 @@ fn main() {
         println!("{name}  [policy: {policy}]  (cycle {})", core.cycle());
         let mut transmit_issued = false;
         for v in core.rob_view() {
-            let marker = if v.unresolved_branch { "  <-- unresolved branch" } else { "" };
-            println!("  @{:>3}  {:28} {}{}", v.pc, v.disasm, cell(v.state), marker);
+            let marker = if v.unresolved_branch {
+                "  <-- unresolved branch"
+            } else {
+                ""
+            };
+            println!(
+                "  @{:>3}  {:28} {}{}",
+                v.pc,
+                v.disasm,
+                cell(v.state),
+                marker
+            );
             if v.disasm.starts_with("ld1") && v.pc == 10 {
                 transmit_issued = v.state != RobCellState::NotReady;
             }
@@ -98,6 +117,9 @@ fn main() {
     // visible.
     for (name, issued) in transmit_issued_under {
         println!("transmit load issued under {name}: {issued}");
-        assert!(!issued, "{name}: transmit must be blocked while the branch is unresolved");
+        assert!(
+            !issued,
+            "{name}: transmit must be blocked while the branch is unresolved"
+        );
     }
 }

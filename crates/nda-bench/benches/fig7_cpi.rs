@@ -60,9 +60,18 @@ fn main() {
     // Shape checks mirroring the paper's ordering claims.
     let idx = |v: Variant| variants.iter().position(|x| *x == v).unwrap();
     let g = |v: Variant| results.geomean_normalized(idx(v));
-    assert!(g(Variant::Permissive) < g(Variant::Strict), "permissive must beat strict");
-    assert!(g(Variant::Strict) < g(Variant::FullProtection), "strict must beat full protection");
-    assert!(g(Variant::FullProtection) < g(Variant::InOrder), "NDA must beat in-order");
+    assert!(
+        g(Variant::Permissive) < g(Variant::Strict),
+        "permissive must beat strict"
+    );
+    assert!(
+        g(Variant::Strict) < g(Variant::FullProtection),
+        "strict must beat full protection"
+    );
+    assert!(
+        g(Variant::FullProtection) < g(Variant::InOrder),
+        "NDA must beat in-order"
+    );
     assert!(g(Variant::InvisiSpecSpectre) < g(Variant::InvisiSpecFuture));
     println!("shape check passed: OoO < permissive < strict < full protection < in-order");
 }

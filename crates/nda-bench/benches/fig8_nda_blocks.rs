@@ -17,13 +17,21 @@ fn main() {
         println!("{g},{},{}", cache.timings[g], btb.timings[g]);
     }
 
-    println!("\ncache channel: leaked={} (recovered={:?}, separation={})",
-        cache.leaked, cache.recovered, cache.separation);
-    println!("btb   channel: leaked={} (recovered={:?}, separation={})",
-        btb.leaked, btb.recovered, btb.separation);
-    println!("secret-slot timing vs median: cache {} vs {}, btb {} vs {}",
-        cache.timings[secret as usize], cache.median,
-        btb.timings[secret as usize], btb.median);
+    println!(
+        "\ncache channel: leaked={} (recovered={:?}, separation={})",
+        cache.leaked, cache.recovered, cache.separation
+    );
+    println!(
+        "btb   channel: leaked={} (recovered={:?}, separation={})",
+        btb.leaked, btb.recovered, btb.separation
+    );
+    println!(
+        "secret-slot timing vs median: cache {} vs {}, btb {} vs {}",
+        cache.timings[secret as usize], cache.median, btb.timings[secret as usize], btb.median
+    );
 
-    assert!(!cache.leaked && !btb.leaked, "Fig 8 requires NDA to conceal the secret");
+    assert!(
+        !cache.leaked && !btb.leaked,
+        "Fig 8 requires NDA to conceal the secret"
+    );
 }

@@ -61,7 +61,9 @@ fn main() {
     for (v, variant) in variants.iter().enumerate() {
         let vals: Vec<f64> = (0..nw)
             .filter_map(|w| {
-                let m = results.cell(w, v).mean_of(|r| r.mem_stats.mlp.unwrap_or(0.0));
+                let m = results
+                    .cell(w, v)
+                    .mean_of(|r| r.mem_stats.mlp.unwrap_or(0.0));
                 (m > 0.0).then_some(m)
             })
             .collect();
@@ -73,8 +75,9 @@ fn main() {
     println!("\nFig 9c: instruction-level parallelism (geomean)");
     let mut ilps = Vec::new();
     for (v, variant) in variants.iter().enumerate() {
-        let vals: Vec<f64> =
-            (0..nw).map(|w| results.cell(w, v).mean_of(|r| r.stats.ilp())).collect();
+        let vals: Vec<f64> = (0..nw)
+            .map(|w| results.cell(w, v).mean_of(|r| r.stats.ilp()))
+            .collect();
         let g = geomean(&vals);
         ilps.push((variant, g));
         println!("{:<20}{:>8.3}  |{}", variant.name(), g, bar(g, 4.0, 40));
@@ -83,15 +86,32 @@ fn main() {
     // ---- 9d: dispatch-to-issue latency ------------------------------------
     println!("\nFig 9d: mean dispatch-to-issue latency (cycles)");
     for (v, variant) in variants.iter().enumerate() {
-        let vals: Vec<f64> =
-            (0..nw).map(|w| results.cell(w, v).mean_of(|r| r.stats.avg_dispatch_to_issue())).collect();
+        let vals: Vec<f64> = (0..nw)
+            .map(|w| {
+                results
+                    .cell(w, v)
+                    .mean_of(|r| r.stats.avg_dispatch_to_issue())
+            })
+            .collect();
         let mean = vals.iter().sum::<f64>() / vals.len() as f64;
-        println!("{:<20}{:>8.2}  |{}", variant.name(), mean, bar(mean, 50.0, 40));
+        println!(
+            "{:<20}{:>8.2}  |{}",
+            variant.name(),
+            mean,
+            bar(mean, 50.0, 40)
+        );
     }
 
     // Shape checks.
-    let inorder_ilp = ilps.iter().find(|(v, _)| **v == Variant::InOrder).unwrap().1;
-    assert!(inorder_ilp <= 1.0 + 1e-9, "in-order ILP cannot exceed 1.0 (Fig 9c)");
+    let inorder_ilp = ilps
+        .iter()
+        .find(|(v, _)| **v == Variant::InOrder)
+        .unwrap()
+        .1;
+    assert!(
+        inorder_ilp <= 1.0 + 1e-9,
+        "in-order ILP cannot exceed 1.0 (Fig 9c)"
+    );
     let ooo_ilp = ilps.iter().find(|(v, _)| **v == Variant::Ooo).unwrap().1;
     assert!(ooo_ilp > inorder_ilp, "OoO must exceed in-order ILP");
     println!("\nshape check passed: in-order ILP <= 1.0 < OoO ILP");

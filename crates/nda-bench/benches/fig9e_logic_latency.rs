@@ -18,14 +18,20 @@ fn main() {
     // Baseline normalisation: insecure OoO.
     let base = sweep(all(), &[Variant::Ooo], cfg);
 
-    println!("{:<28}{:>14}{:>16}", "configuration", "norm. CPI", "vs same-cycle");
+    println!(
+        "{:<28}{:>14}{:>16}",
+        "configuration", "norm. CPI", "vs same-cycle"
+    );
     let mut same_cycle_geo = 0.0;
     for delay in [0u64, 1, 2] {
         let mut ratios = Vec::new();
         for (w, workload) in all().iter().enumerate() {
             let mut cpis = Vec::new();
             for s in 0..cfg.samples {
-                let params = WorkloadParams { seed: 1000 + s, iters: cfg.iters };
+                let params = WorkloadParams {
+                    seed: 1000 + s,
+                    iters: cfg.iters,
+                };
                 let prog = (workload.build)(&params);
                 let mut sim = SimConfig::ooo();
                 sim.policy = NdaPolicy::permissive();
@@ -51,7 +57,10 @@ fn main() {
         if delay == 1 {
             // The paper reports < 3.6% CPI impact for a one-cycle delay;
             // allow generous headroom for the synthetic workloads.
-            assert!(vs_same < 10.0, "one-cycle delay impact implausibly large ({vs_same:.2}%)");
+            assert!(
+                vs_same < 10.0,
+                "one-cycle delay impact implausibly large ({vs_same:.2}%)"
+            );
         }
     }
     println!("\n(paper: a one-cycle delay reduces CPI by less than 3.6%)");

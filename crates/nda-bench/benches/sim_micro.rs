@@ -12,7 +12,12 @@ fn bench_variants(c: &mut Criterion) {
     let prog = (wl.build)(&WorkloadParams { seed: 1, iters: 20 });
     let mut group = c.benchmark_group("simulate_gcc_kernel");
     group.sample_size(10);
-    for v in [Variant::Ooo, Variant::FullProtection, Variant::InOrder, Variant::InvisiSpecFuture] {
+    for v in [
+        Variant::Ooo,
+        Variant::FullProtection,
+        Variant::InOrder,
+        Variant::InvisiSpecFuture,
+    ] {
         group.bench_with_input(BenchmarkId::from_parameter(v.name()), &v, |b, &v| {
             b.iter(|| run_variant(v, &prog, 100_000_000).expect("halts"));
         });

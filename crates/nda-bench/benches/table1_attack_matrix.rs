@@ -42,6 +42,9 @@ fn main() {
     }
 
     println!("\nlegend: LEAK = secret byte recovered; blocked = indistinguishable");
-    println!("every cell matches the paper's Tables 1-2: {}", mismatches == 0);
+    println!(
+        "every cell matches the paper's Tables 1-2: {}",
+        mismatches == 0
+    );
     assert_eq!(mismatches, 0, "matrix deviates from the paper");
 }

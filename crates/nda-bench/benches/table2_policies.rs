@@ -35,7 +35,10 @@ fn main() {
     let variants = Variant::all().to_vec();
     let results = sweep(all(), &variants, cfg);
 
-    println!("{:<4}{:<22}{:>12}   defeats (verified by table1/test suite)", "row", "mechanism", "overhead");
+    println!(
+        "{:<4}{:<22}{:>12}   defeats (verified by table1/test suite)",
+        "row", "mechanism", "overhead"
+    );
     let rows: [(usize, Variant); 10] = [
         (0, Variant::Ooo),
         (1, Variant::Permissive),
@@ -58,7 +61,10 @@ fn main() {
             protection_summary(v)
         );
     }
-    let inorder_idx = variants.iter().position(|x| *x == Variant::InOrder).unwrap();
+    let inorder_idx = variants
+        .iter()
+        .position(|x| *x == Variant::InOrder)
+        .unwrap();
     println!(
         "\nin-order baseline: {:.1}% overhead ({}x OoO)",
         results.overhead_pct(inorder_idx),
@@ -66,9 +72,7 @@ fn main() {
     );
 
     // Ordering checks (the Table 2 monotonicity).
-    let g = |v: Variant| {
-        results.geomean_normalized(variants.iter().position(|x| *x == v).unwrap())
-    };
+    let g = |v: Variant| results.geomean_normalized(variants.iter().position(|x| *x == v).unwrap());
     assert!(g(Variant::Permissive) <= g(Variant::PermissiveBr));
     assert!(g(Variant::PermissiveBr) <= g(Variant::StrictBr));
     assert!(g(Variant::Strict) <= g(Variant::StrictBr));

@@ -10,7 +10,9 @@ pub fn fmt_ci(s: &Sample) -> String {
 /// A horizontal bar scaled so `full` maps to `width` characters — the
 /// text-mode analogue of the paper's bar charts.
 pub fn bar(value: f64, full: f64, width: usize) -> String {
-    let n = ((value / full) * width as f64).round().clamp(0.0, 4.0 * width as f64) as usize;
+    let n = ((value / full) * width as f64)
+        .round()
+        .clamp(0.0, 4.0 * width as f64) as usize;
     "#".repeat(n)
 }
 

@@ -21,9 +21,15 @@ impl SweepConfig {
     /// defaults suited to `cargo bench` (3 samples, 400 iterations).
     pub fn from_env() -> SweepConfig {
         let get = |k: &str, d: u64| {
-            std::env::var(k).ok().and_then(|v| v.parse().ok()).unwrap_or(d)
+            std::env::var(k)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(d)
         };
-        SweepConfig { samples: get("NDA_SAMPLES", 3), iters: get("NDA_ITERS", 400) }
+        SweepConfig {
+            samples: get("NDA_SAMPLES", 3),
+            iters: get("NDA_ITERS", 400),
+        }
     }
 }
 
@@ -69,7 +75,9 @@ impl SweepResults {
 
     /// Geometric-mean normalised CPI of variant `v` across workloads.
     pub fn geomean_normalized(&self, v: usize) -> f64 {
-        let vals: Vec<f64> = (0..self.workloads.len()).map(|w| self.normalized_cpi(w, v)).collect();
+        let vals: Vec<f64> = (0..self.workloads.len())
+            .map(|w| self.normalized_cpi(w, v))
+            .collect();
         nda_stats::geomean(&vals)
     }
 
@@ -92,14 +100,20 @@ pub fn sweep(workloads: &[Workload], variants: &[Variant], cfg: SweepConfig) -> 
         for &v in variants {
             let mut runs = Vec::new();
             for s in 0..cfg.samples {
-                let params = WorkloadParams { seed: 1000 + s, iters: cfg.iters };
+                let params = WorkloadParams {
+                    seed: 1000 + s,
+                    iters: cfg.iters,
+                };
                 let prog = (w.build)(&params);
                 let r = run_variant(v, &prog, SWEEP_MAX_CYCLES)
                     .unwrap_or_else(|e| panic!("{}/{v}/sample{s}: {e}", w.name));
                 runs.push(r);
             }
             let cpis: Vec<f64> = runs.iter().map(|r| r.cpi()).collect();
-            row.push(CellStats { cpi: Sample::from_values(&cpis), runs });
+            row.push(CellStats {
+                cpi: Sample::from_values(&cpis),
+                runs,
+            });
         }
         cells.push(row);
     }
@@ -118,7 +132,14 @@ mod tests {
     fn tiny_sweep_has_sane_shape() {
         let wl = &nda_workloads::all()[..2];
         let variants = [Variant::Ooo, Variant::InOrder];
-        let r = sweep(wl, &variants, SweepConfig { samples: 2, iters: 6 });
+        let r = sweep(
+            wl,
+            &variants,
+            SweepConfig {
+                samples: 2,
+                iters: 6,
+            },
+        );
         assert_eq!(r.cells.len(), 2);
         assert_eq!(r.cells[0].len(), 2);
         // In-order is slower than OoO on every workload.

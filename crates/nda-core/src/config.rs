@@ -152,6 +152,18 @@ pub struct SimConfig {
     pub invisispec: Option<IsVariant>,
     /// Timing model.
     pub model: CoreModel,
+    /// Validate micro-architectural conservation laws (physical-register
+    /// partition, ROB/LSQ ordering, NDA safety monotonicity, commit-stream
+    /// equivalence against a shadow interpreter) at the end of every cycle.
+    /// A failure ends the run with [`SimError`](crate::SimError)`
+    /// ::InvariantViolation` instead of silently corrupting results. Off by
+    /// default: it adds a per-cycle full-pipeline walk.
+    pub check_invariants: bool,
+    /// Forward-progress watchdog: if no instruction commits for this many
+    /// cycles, abort with [`SimError`](crate::SimError)`::Stalled` and a
+    /// pipeline snapshot naming the stuck ROB head. `None` disables the
+    /// watchdog. Out-of-order model only.
+    pub watchdog_window: Option<u64>,
 }
 
 impl SimConfig {
@@ -163,6 +175,8 @@ impl SimConfig {
             policy: NdaPolicy::ooo(),
             invisispec: None,
             model: CoreModel::OutOfOrder,
+            check_invariants: false,
+            watchdog_window: Some(50_000),
         }
     }
 
@@ -285,13 +299,23 @@ mod tests {
 
     #[test]
     fn variants_map_to_policies() {
-        assert_eq!(SimConfig::for_variant(Variant::Strict).policy.propagation, Propagation::Strict);
-        assert_eq!(SimConfig::for_variant(Variant::InOrder).model, CoreModel::InOrder);
+        assert_eq!(
+            SimConfig::for_variant(Variant::Strict).policy.propagation,
+            Propagation::Strict
+        );
+        assert_eq!(
+            SimConfig::for_variant(Variant::InOrder).model,
+            CoreModel::InOrder
+        );
         assert_eq!(
             SimConfig::for_variant(Variant::InvisiSpecFuture).invisispec,
             Some(IsVariant::Future)
         );
-        assert!(SimConfig::for_variant(Variant::FullProtection).policy.load_restriction);
+        assert!(
+            SimConfig::for_variant(Variant::FullProtection)
+                .policy
+                .load_restriction
+        );
     }
 
     #[test]

@@ -144,7 +144,10 @@ impl InOrderCore {
                 };
                 exec_cycles = op.latency();
                 if self.cfg.core.fpu_power_model
-                    && matches!(op, nda_isa::AluOp::Mul | nda_isa::AluOp::Div | nda_isa::AluOp::Rem)
+                    && matches!(
+                        op,
+                        nda_isa::AluOp::Mul | nda_isa::AluOp::Div | nda_isa::AluOp::Rem
+                    )
                 {
                     let awake = self
                         .fpu_busy_until
@@ -157,7 +160,12 @@ impl InOrderCore {
                 }
                 self.set_reg(rd, op.apply(a, b));
             }
-            Inst::Load { rd, base, off, size } => {
+            Inst::Load {
+                rd,
+                base,
+                off,
+                size,
+            } => {
                 let addr = self.reg(base).wrapping_add(off as u64);
                 if self.priv_map.is_privileged(addr) {
                     self.cycle += 1;
@@ -168,7 +176,12 @@ impl InOrderCore {
                 exec_cycles += self.blocking_access(addr);
                 self.set_reg(rd, v);
             }
-            Inst::Store { src, base, off, size } => {
+            Inst::Store {
+                src,
+                base,
+                off,
+                size,
+            } => {
                 let addr = self.reg(base).wrapping_add(off as u64);
                 if self.priv_map.is_privileged(addr) {
                     self.cycle += 1;
@@ -179,7 +192,12 @@ impl InOrderCore {
                 self.mem.write(addr, v, size.bytes());
                 exec_cycles += self.blocking_access(addr);
             }
-            Inst::Branch { cond, rs1, rs2, target } => {
+            Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
                 if cond.eval(self.reg(rs1), self.reg(rs2)) {
                     next = target;
                 }
@@ -249,7 +267,10 @@ impl InOrderCore {
     pub fn run(&mut self, max_cycles: u64) -> Result<RunResult, SimError> {
         while !self.halted {
             if self.cycle >= max_cycles {
-                return Err(SimError::CycleLimit { cycles: self.cycle });
+                return Err(SimError::CycleLimit {
+                    cycles: self.cycle,
+                    snapshot: None,
+                });
             }
             self.step()?;
         }
@@ -313,7 +334,11 @@ mod tests {
         asm.ld8(Reg::X3, Reg::X2, 0); // cold miss: 144 cycles
         asm.halt();
         let c = run(&asm);
-        assert!(c.cycle() > 144, "blocking load must pay the full miss ({})", c.cycle());
+        assert!(
+            c.cycle() > 144,
+            "blocking load must pay the full miss ({})",
+            c.cycle()
+        );
     }
 
     #[test]

@@ -35,11 +35,17 @@ pub mod inorder;
 pub mod ooo;
 pub mod policy;
 pub mod run;
+pub mod snapshot;
 pub mod trace;
 
 pub use config::{CoreConfig, SimConfig, Variant};
 pub use inorder::InOrderCore;
 pub use ooo::core::{OooCore, RobCellState, RobView};
+pub use ooo::invariants::{InvariantKind, InvariantViolation};
 pub use policy::{IsVariant, NdaPolicy, Propagation};
-pub use run::{run_variant, run_with_config, RunResult, SimError};
+pub use run::{
+    run_smarts, run_smarts_with, run_variant, run_with_config, RunResult, SimError,
+    SmartsInterrupted, SmartsParams,
+};
+pub use snapshot::{HeadInfo, HeadWait, PipelineSnapshot};
 pub use trace::{render_pipeline, TraceEvent, TraceStage};

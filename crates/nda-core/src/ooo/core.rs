@@ -15,14 +15,16 @@
 //! 6. **dispatch/rename** — consume the fetch queue into the ROB.
 //! 7. **fetch** — predict and follow (possibly wrong) paths.
 
+use super::frontend::{FrontEnd, FrontEndConfig};
+use super::invariants::{InvariantKind, InvariantViolation};
+use super::rename::{FreeList, PReg, PhysRegFile, RenameTable};
+use super::rob::{Rob, RobEntry};
 use crate::config::SimConfig;
 use crate::policy::{IsVariant, Propagation};
 use crate::run::{RunResult, SimError};
-use super::frontend::{FrontEnd, FrontEndConfig};
-use super::rename::{FreeList, PhysRegFile, PReg, RenameTable};
-use super::rob::{Rob, RobEntry};
+use crate::snapshot::{HeadInfo, HeadWait, PipelineSnapshot};
 use nda_isa::inst::{Src2, UopClass};
-use nda_isa::{Fault, Inst, MsrFile, PrivilegeMap, Program, SparseMem};
+use nda_isa::{Fault, Inst, Interp, MsrFile, PrivilegeMap, Program, SparseMem};
 use nda_mem::MemHier;
 use nda_predict::{Btb, DirPredictor};
 use nda_stats::{CycleClass, SimStats};
@@ -31,8 +33,8 @@ use nda_stats::{CycleClass, SimStats};
 /// [`OooCore::run`] (or [`OooCore::step_cycle`] for tracing).
 #[derive(Debug, Clone)]
 pub struct OooCore {
-    cfg: SimConfig,
-    program: Program,
+    pub(crate) cfg: SimConfig,
+    pub(crate) program: Program,
 
     /// Architectural memory (committed state + data the wrong path may
     /// read).
@@ -43,22 +45,30 @@ pub struct OooCore {
     /// The cache/DRAM timing model.
     pub hier: MemHier,
 
-    prf: PhysRegFile,
-    free: FreeList,
-    rename: RenameTable,
-    rob: Rob,
+    pub(crate) prf: PhysRegFile,
+    pub(crate) free: FreeList,
+    pub(crate) rename: RenameTable,
+    pub(crate) rob: Rob,
     /// Dispatched-but-unissued sequence numbers, ascending.
-    iq: Vec<u64>,
+    pub(crate) iq: Vec<u64>,
     /// In-flight load sequence numbers, ascending.
-    lq: Vec<u64>,
+    pub(crate) lq: Vec<u64>,
     /// In-flight store sequence numbers, ascending.
-    sq: Vec<u64>,
-    fe: FrontEnd,
+    pub(crate) sq: Vec<u64>,
+    pub(crate) fe: FrontEnd,
 
     cycle: u64,
     next_seq: u64,
     halted: bool,
     pending_error: Option<SimError>,
+    /// Cycle of the most recent successful commit (forward-progress
+    /// watchdog).
+    last_commit_cycle: u64,
+    /// Shadow reference interpreter, stepped in lockstep with retirement
+    /// when `check_invariants` is on: any wrong-path instruction reaching
+    /// commit, or a committed result diverging from architecture, is caught
+    /// at the exact retiring instruction.
+    oracle: Option<Box<Interp>>,
     /// Oldest pending `Fence` (younger micro-ops may not issue past it).
     fence_border: Option<u64>,
     /// Inside a Listing-4 no-speculation window (`SpecOff` committed, no
@@ -116,6 +126,8 @@ impl OooCore {
             next_seq: 0,
             halted: false,
             pending_error: None,
+            last_commit_cycle: 0,
+            oracle: cfg.check_invariants.then(|| Box::new(Interp::new(program))),
             fence_border: None,
             spec_window: false,
             specoff_pending: 0,
@@ -201,7 +213,7 @@ impl OooCore {
 
     /// The physical register holding the *committed* value of `r`: walk the
     /// ROB youngest-first to skip in-flight renames.
-    fn committed_preg(&self, r: nda_isa::Reg) -> PReg {
+    pub(crate) fn committed_preg(&self, r: nda_isa::Reg) -> PReg {
         // The speculative map minus every in-flight rename of r: the oldest
         // in-flight entry renaming r stores the committed mapping.
         let mut committed = self.rename.lookup(r);
@@ -219,18 +231,133 @@ impl OooCore {
     /// # Errors
     ///
     /// [`SimError::CycleLimit`] if the budget is exhausted,
-    /// [`SimError::UnhandledFault`] if a fault commits with no handler.
+    /// [`SimError::UnhandledFault`] if a fault commits with no handler,
+    /// [`SimError::Stalled`] if the forward-progress watchdog fires,
+    /// [`SimError::InvariantViolation`] if the invariant checker is enabled
+    /// and a conservation law breaks.
     pub fn run(&mut self, max_cycles: u64) -> Result<RunResult, SimError> {
+        self.run_hooked(max_cycles, |_| {})
+    }
+
+    /// [`OooCore::run`] with a hook called before every cycle — the
+    /// fault-injection point of the differential harness (`nda-verify`):
+    /// the hook may squash, corrupt predictors or perturb memory latency,
+    /// and the run must still retire the architecturally correct stream.
+    ///
+    /// # Errors
+    ///
+    /// See [`OooCore::run`].
+    pub fn run_hooked(
+        &mut self,
+        max_cycles: u64,
+        mut hook: impl FnMut(&mut OooCore),
+    ) -> Result<RunResult, SimError> {
         while !self.halted {
             if self.cycle >= max_cycles {
-                return Err(SimError::CycleLimit { cycles: self.cycle });
+                return Err(self.cycle_limit_error());
             }
+            hook(self);
             self.step_cycle();
             if let Some(err) = self.pending_error.take() {
                 return Err(err);
             }
+            if self.cfg.check_invariants {
+                if let Err(v) = super::invariants::check(self) {
+                    return Err(SimError::InvariantViolation(v));
+                }
+            }
+            if let Some(window) = self.cfg.watchdog_window {
+                if !self.halted && self.cycle.saturating_sub(self.last_commit_cycle) >= window {
+                    return Err(SimError::Stalled {
+                        cycles: self.cycle,
+                        window,
+                        snapshot: Box::new(self.snapshot()),
+                    });
+                }
+            }
         }
         Ok(self.result())
+    }
+
+    /// A [`SimError::CycleLimit`] carrying the current pipeline snapshot.
+    pub(crate) fn cycle_limit_error(&mut self) -> SimError {
+        SimError::CycleLimit {
+            cycles: self.cycle,
+            snapshot: Some(Box::new(self.snapshot())),
+        }
+    }
+
+    /// Capture the diagnostic pipeline state (attached to watchdog, cycle
+    /// limit and invariant errors). Needs `&mut self` only to drain retired
+    /// MSHR entries before counting the outstanding ones.
+    pub fn snapshot(&mut self) -> PipelineSnapshot {
+        let now = self.cycle;
+        let head = self.rob.head().map(|e| {
+            let wait = if !e.completed {
+                if e.issued {
+                    HeadWait::Executing
+                } else {
+                    HeadWait::WaitingToIssue
+                }
+            } else if e.fault.is_some() {
+                HeadWait::FaultPending
+            } else if e.is_probe && e.exposure_done.map(|d| d <= now) != Some(true) {
+                HeadWait::AwaitingExposure
+            } else if e.inst.is_store() {
+                HeadWait::AwaitingStoreCommit
+            } else {
+                HeadWait::ReadyToRetire
+            };
+            HeadInfo {
+                seq: e.seq,
+                pc: e.pc,
+                disasm: e.inst.to_string(),
+                wait,
+            }
+        });
+        let iq_ready = self
+            .iq
+            .iter()
+            .filter(|&&s| self.rob.get(s).map(|e| self.srcs_visible(e)) == Some(true))
+            .count();
+        PipelineSnapshot {
+            cycle: now,
+            last_commit_cycle: self.last_commit_cycle,
+            rob_occupancy: self.rob.len(),
+            rob_capacity: self.cfg.core.rob_entries,
+            head,
+            iq_ready,
+            iq_waiting: self.iq.len() - iq_ready,
+            lq_occupancy: self.lq.len(),
+            sq_occupancy: self.sq.len(),
+            free_pregs: self.free.available(),
+            fetch_queued: self.fe.queued(),
+            mshrs_outstanding: self.hier.mshr_outstanding(now),
+            stats: self.stats,
+        }
+    }
+
+    /// Test-only sabotage hook: silently steal one physical register from
+    /// the free list, as a buggy commit path that forgot to release
+    /// `old_prd` would. The invariant checker must flag the broken
+    /// conservation law on the very next cycle; without it the symptom is a
+    /// slow free-list drain and an eventual dispatch wedge.
+    pub fn debug_inject_free_list_leak(&mut self) -> Option<PReg> {
+        self.free.alloc()
+    }
+
+    /// Record an invariant failure discovered outside the end-of-cycle walk
+    /// (the commit-time oracle); the run loop surfaces it after this cycle.
+    fn fail_invariant(&mut self, kind: InvariantKind, detail: String) {
+        if self.pending_error.is_none() {
+            let v = InvariantViolation {
+                cycle: self.cycle,
+                kind,
+                detail,
+                snapshot: self.snapshot(),
+            };
+            self.pending_error = Some(SimError::InvariantViolation(Box::new(v)));
+        }
     }
 
     /// Snapshot the current run result.
@@ -258,7 +385,8 @@ impl OooCore {
         self.expose_invisispec();
         self.issue();
         self.dispatch();
-        self.fe.fetch_cycle(self.cycle, &self.program, &mut self.hier);
+        self.fe
+            .fetch_cycle(self.cycle, &self.program, &mut self.hier);
         self.classify_cycle(committed);
         self.cycle += 1;
         self.stats.cycles = self.cycle - self.stats_base_cycle;
@@ -284,6 +412,8 @@ impl OooCore {
                 }
             }
             if let Some(fault) = head.fault {
+                let head_pc = head.pc;
+                self.oracle_fault(head_pc);
                 self.deliver_fault(fault);
                 break;
             }
@@ -298,6 +428,7 @@ impl OooCore {
                 self.mem.write(addr, data, head.mem_size);
             }
             let e = self.rob.pop_head().expect("head exists");
+            self.oracle_retire(&e);
             // Tag broadcast at retirement is always permitted: the head of
             // the ROB is non-speculative by definition (paper §4.3).
             if let Some(prd) = e.prd {
@@ -348,14 +479,80 @@ impl OooCore {
                 break;
             }
         }
+        if committed > 0 {
+            self.last_commit_cycle = self.cycle;
+        }
         committed
+    }
+
+    /// Step the shadow interpreter alongside a retiring instruction and
+    /// compare program counter and destination value. `RdCycle` results are
+    /// timing-dependent by design and are not compared (nor are any values
+    /// derived from them — enable the checker only on RdCycle-free
+    /// programs, which is what `genprog` emits).
+    fn oracle_retire(&mut self, e: &RobEntry) {
+        let Some(oracle) = self.oracle.as_mut() else {
+            return;
+        };
+        let want_pc = oracle.pc();
+        if want_pc != e.pc {
+            self.fail_invariant(
+                InvariantKind::CommitDivergence,
+                format!(
+                    "retiring seq {} pc {} `{}` but the reference pc is {want_pc} \
+                     (wrong-path instruction reached commit)",
+                    e.seq, e.pc, e.inst
+                ),
+            );
+            return;
+        }
+        let _ = oracle.step();
+        if matches!(e.inst, Inst::RdCycle { .. }) {
+            return;
+        }
+        if let Some(rd) = e.arch_rd {
+            if !rd.is_zero() {
+                let want = self.oracle.as_ref().expect("oracle present").reg(rd);
+                if want != e.result {
+                    self.fail_invariant(
+                        InvariantKind::CommitDivergence,
+                        format!(
+                            "seq {} pc {} `{}` committed {:#x} into {rd:?} but the \
+                             reference value is {want:#x}",
+                            e.seq, e.pc, e.inst, e.result
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Mirror a fault delivery in the shadow interpreter: the faulting
+    /// instruction does not retire; the interpreter transfers to the
+    /// handler internally (or errors, when there is none — the core ends
+    /// the run with `UnhandledFault` either way).
+    fn oracle_fault(&mut self, head_pc: usize) {
+        let Some(oracle) = self.oracle.as_mut() else {
+            return;
+        };
+        let want_pc = oracle.pc();
+        if want_pc != head_pc {
+            self.fail_invariant(
+                InvariantKind::CommitDivergence,
+                format!("delivering a fault at pc {head_pc} but the reference pc is {want_pc}"),
+            );
+            return;
+        }
+        let _ = oracle.step();
     }
 
     fn train_predictors(&mut self, e: &RobEntry) {
         let addr = self.program.inst_addr(e.pc);
         match e.inst {
             Inst::Branch { .. } => {
-                self.fe.dir.train(addr, e.ghr_before, e.actual_taken, e.pred_taken);
+                self.fe
+                    .dir
+                    .train(addr, e.ghr_before, e.actual_taken, e.pred_taken);
             }
             Inst::JmpInd { .. } | Inst::CallInd { .. } if !self.cfg.core.btb.speculative_update => {
                 self.fe.btb.update(addr, e.actual_next);
@@ -369,7 +566,11 @@ impl OooCore {
         self.squash_from(0);
         match self.program.fault_handler {
             Some(h) => self.fe.redirect(self.cycle, h),
-            None => self.pending_error = Some(SimError::UnhandledFault(fault)),
+            None => {
+                if self.pending_error.is_none() {
+                    self.pending_error = Some(SimError::UnhandledFault(fault));
+                }
+            }
         }
     }
 
@@ -389,12 +590,16 @@ impl OooCore {
         }
         for seq in done {
             // A younger squash within this loop may have removed the entry.
-            let Some(e) = self.rob.get_mut(seq) else { continue };
+            let Some(e) = self.rob.get_mut(seq) else {
+                continue;
+            };
             e.completed = true;
             e.complete_cycle = now;
             let (tpc, tinst) = (e.pc, e.inst);
             self.trace_event(seq, tpc, tinst, crate::trace::TraceStage::Complete);
-            let Some(e) = self.rob.get_mut(seq) else { continue };
+            let Some(e) = self.rob.get_mut(seq) else {
+                continue;
+            };
             if let Some(prd) = e.prd {
                 let v = e.result;
                 self.prf.write(prd, v);
@@ -451,7 +656,9 @@ impl OooCore {
             if lseq <= store_seq {
                 continue;
             }
-            let Some(l) = self.rob.get(lseq) else { continue };
+            let Some(l) = self.rob.get(lseq) else {
+                continue;
+            };
             let Some(l_addr) = l.mem_addr else { continue };
             if !overlaps(st_addr, st_size, l_addr, l.mem_size) {
                 continue;
@@ -486,9 +693,7 @@ impl OooCore {
         for e in self.rob.iter_mut() {
             let mut safe = match policy.propagation {
                 Propagation::Off => true,
-                Propagation::Permissive => {
-                    !e.inst.is_load_like() || !older_unresolved_branch
-                }
+                Propagation::Permissive => !e.inst.is_load_like() || !older_unresolved_branch,
                 Propagation::Strict => !older_unresolved_branch,
             };
             if policy.bypass_restriction && e.inst.is_load_like() && older_unresolved_store {
@@ -582,7 +787,9 @@ impl OooCore {
     // ------------------------------------------------------------------
 
     fn expose_invisispec(&mut self) {
-        let Some(variant) = self.cfg.invisispec else { return };
+        let Some(variant) = self.cfg.invisispec else {
+            return;
+        };
         let now = self.cycle;
         // Determine each probe-load's safe point.
         let mut older_unresolved_branch = false;
@@ -604,7 +811,10 @@ impl OooCore {
         for seq in to_expose {
             let (addr, needs_validation) = {
                 let e = self.rob.get(seq).expect("probe entry");
-                (e.mem_addr.expect("probe has address"), e.bypassed_unresolved)
+                (
+                    e.mem_addr.expect("probe has address"),
+                    e.bypassed_unresolved,
+                )
             };
             if needs_validation {
                 // The load speculated past an unresolved store address:
@@ -669,8 +879,10 @@ impl OooCore {
                 continue;
             }
             // Serializing micro-ops issue only from the head of the ROB.
-            if matches!(e.inst, Inst::RdCycle { .. } | Inst::Fence | Inst::SpecOff | Inst::SpecOn)
-                && head_seq != Some(seq)
+            if matches!(
+                e.inst,
+                Inst::RdCycle { .. } | Inst::Fence | Inst::SpecOff | Inst::SpecOn
+            ) && head_seq != Some(seq)
             {
                 continue;
             }
@@ -738,7 +950,10 @@ impl OooCore {
                 }
                 let mut latency = op.latency();
                 if self.cfg.core.fpu_power_model
-                    && matches!(op, nda_isa::AluOp::Mul | nda_isa::AluOp::Div | nda_isa::AluOp::Rem)
+                    && matches!(
+                        op,
+                        nda_isa::AluOp::Mul | nda_isa::AluOp::Div | nda_isa::AluOp::Rem
+                    )
                 {
                     // NetSpectre's channel: a multiply on a powered-down
                     // unit pays the wake-up penalty; *any* multiply —
@@ -776,7 +991,10 @@ impl OooCore {
                 (
                     value,
                     now + 2,
-                    IssueExtras { fault, ..IssueExtras::default() },
+                    IssueExtras {
+                        fault,
+                        ..IssueExtras::default()
+                    },
                 )
             }
             Inst::Branch { cond, target, .. } => {
@@ -785,26 +1003,40 @@ impl OooCore {
                 (
                     0,
                     now + 1,
-                    IssueExtras { actual: Some((taken, next)), ..IssueExtras::default() },
+                    IssueExtras {
+                        actual: Some((taken, next)),
+                        ..IssueExtras::default()
+                    },
                 )
             }
             Inst::JmpInd { .. } => (
                 0,
                 now + 1,
-                IssueExtras { actual: Some((true, a as usize)), ..IssueExtras::default() },
+                IssueExtras {
+                    actual: Some((true, a as usize)),
+                    ..IssueExtras::default()
+                },
             ),
             Inst::CallInd { .. } => (
                 (pc + 1) as u64,
                 now + 1,
-                IssueExtras { actual: Some((true, a as usize)), ..IssueExtras::default() },
+                IssueExtras {
+                    actual: Some((true, a as usize)),
+                    ..IssueExtras::default()
+                },
             ),
             Inst::Ret => (
                 0,
                 now + 1,
-                IssueExtras { actual: Some((true, a as usize)), ..IssueExtras::default() },
+                IssueExtras {
+                    actual: Some((true, a as usize)),
+                    ..IssueExtras::default()
+                },
             ),
             // Handled at dispatch (resolved immediately).
-            Inst::Jmp { .. } | Inst::Call { .. } => unreachable!("direct jumps complete at dispatch"),
+            Inst::Jmp { .. } | Inst::Call { .. } => {
+                unreachable!("direct jumps complete at dispatch")
+            }
             Inst::Store { off, size, .. } => {
                 let addr = a.wrapping_add(off as u64);
                 let fault = self
@@ -865,14 +1097,12 @@ impl OooCore {
 
     /// Load issue: privilege check, store-queue search (forward / wait /
     /// bypass), then cache access (or InvisiSpec probe). `None` = retry.
-    fn issue_load(
-        &mut self,
-        seq: u64,
-        addr: u64,
-        size: u64,
-    ) -> Option<(u64, u64, IssueExtras)> {
+    fn issue_load(&mut self, seq: u64, addr: u64, size: u64) -> Option<(u64, u64, IssueExtras)> {
         let now = self.cycle;
-        let mut extras = IssueExtras { mem: Some((addr, size)), ..IssueExtras::default() };
+        let mut extras = IssueExtras {
+            mem: Some((addr, size)),
+            ..IssueExtras::default()
+        };
 
         // Privilege: the fault is recorded, but under the modelled Meltdown
         // flaw the data still flows to dependents until commit squashes.
@@ -933,7 +1163,11 @@ impl OooCore {
         // Memory access. InvisiSpec turns speculative loads into invisible
         // probes; everything else fills the caches (wrong path included).
         let value = self.mem.read(addr, size);
-        let value = if extras.fault.is_some() && !self.cfg.core.meltdown_flaw { 0 } else { value };
+        let value = if extras.fault.is_some() && !self.cfg.core.meltdown_flaw {
+            0
+        } else {
+            value
+        };
         let speculative_probe = match self.cfg.invisispec {
             None => false,
             Some(IsVariant::Spectre) => self.has_older_unresolved_branch(seq),
@@ -962,7 +1196,9 @@ impl OooCore {
     fn dispatch(&mut self) {
         let now = self.cycle;
         for _ in 0..self.cfg.core.dispatch_width {
-            let Some(uop) = self.fe.peek_ready(now) else { break };
+            let Some(uop) = self.fe.peek_ready(now) else {
+                break;
+            };
             if self.rob.is_full() || self.iq.len() >= self.cfg.core.iq_entries {
                 break;
             }
@@ -1066,7 +1302,7 @@ impl OooCore {
     /// Remove every entry with `seq >= min_seq`, unwinding rename state
     /// tail-first and discarding never-broadcast values (paper §5.1:
     /// "discarding values in physical registers that never became safe").
-    fn squash_from(&mut self, min_seq: u64) {
+    pub(crate) fn squash_from(&mut self, min_seq: u64) {
         let mut any = false;
         while let Some(e) = self.rob.pop_tail_from(min_seq) {
             any = true;
@@ -1215,7 +1451,10 @@ mod tests {
     #[test]
     fn arithmetic_commits() {
         let mut asm = Asm::new();
-        asm.li(Reg::X2, 20).li(Reg::X3, 22).add(Reg::X4, Reg::X2, Reg::X3).halt();
+        asm.li(Reg::X2, 20)
+            .li(Reg::X3, 22)
+            .add(Reg::X4, Reg::X2, Reg::X3)
+            .halt();
         let c = run_ooo(&asm);
         assert_eq!(c.reg(Reg::X4), 42);
         assert_eq!(c.stats.committed_insts, 4);
@@ -1412,7 +1651,10 @@ mod tests {
         asm.halt();
         let c = run_ooo(&asm);
         assert_eq!(c.reg(Reg::X6), 222, "replay must repair the stale read");
-        assert!(c.stats.mem_order_violations >= 1, "bypass must have mis-speculated");
+        assert!(
+            c.stats.mem_order_violations >= 1,
+            "bypass must have mis-speculated"
+        );
         assert!(c.stats.store_bypasses >= 1);
     }
 
@@ -1429,7 +1671,10 @@ mod tests {
         asm.ret();
         let mut p = asm.assemble().unwrap();
         let target = 4u64; // index of "li x7"
-        p.data.push(nda_isa::DataInit { addr: 0x6000, bytes: target.to_le_bytes().to_vec() });
+        p.data.push(nda_isa::DataInit {
+            addr: 0x6000,
+            bytes: target.to_le_bytes().to_vec(),
+        });
         let mut c = OooCore::new(SimConfig::ooo(), &p);
         c.run(1_000_000).unwrap();
         assert_eq!(c.reg(Reg::X7), 0x77);
@@ -1465,7 +1710,10 @@ mod tests {
         asm.halt();
         let mut c = run_ooo(&asm);
         assert_eq!(c.reg(Reg::X4), 0, "wrong-path load must not commit");
-        assert!(c.stats.wrong_path_executed > 0, "wrong path must actually execute");
+        assert!(
+            c.stats.wrong_path_executed > 0,
+            "wrong path must actually execute"
+        );
         let now = c.cycle();
         assert_eq!(
             c.hier.probe_data(0x9_0000, now).level,

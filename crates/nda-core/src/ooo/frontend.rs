@@ -211,7 +211,11 @@ mod tests {
     fn fe(entry: usize) -> FrontEnd {
         let _ = PredictorKind::Gshare;
         FrontEnd::new(
-            FrontEndConfig { fetch_width: 4, fetch_to_dispatch: 3, fetch_buffer: 16 },
+            FrontEndConfig {
+                fetch_width: 4,
+                fetch_to_dispatch: 3,
+                fetch_buffer: 16,
+            },
             DirPredictor::Gshare(Gshare::new(GshareConfig::default())),
             Btb::new(BtbConfig::default()),
             entry,
@@ -239,7 +243,10 @@ mod tests {
         let resume = 4 + 40 + 100;
         f.fetch_cycle(resume, &p, &mut h);
         assert_eq!(f.queued(), 4);
-        assert!(f.pop_ready(resume).is_none(), "pipeline delay not yet elapsed");
+        assert!(
+            f.pop_ready(resume).is_none(),
+            "pipeline delay not yet elapsed"
+        );
         assert!(f.pop_ready(resume + 3).is_some());
     }
 

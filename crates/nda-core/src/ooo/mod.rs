@@ -7,8 +7,12 @@
 //! * [`frontend`] — fetch, predict, and the fetch→dispatch pipe.
 //! * [`core`] — the cycle loop: commit, writeback, safety update,
 //!   broadcast, issue, dispatch, fetch.
+//! * [`invariants`] — end-of-cycle conservation-law checker.
+//! * [`inject`] — fault-injection hooks for the differential harness.
 
 pub mod core;
 pub mod frontend;
+pub mod inject;
+pub mod invariants;
 pub mod rename;
 pub mod rob;

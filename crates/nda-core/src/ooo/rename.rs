@@ -25,8 +25,15 @@ impl PhysRegFile {
     /// `n` physical registers; the first [`NUM_REGS`] hold the initial
     /// architectural values (zero) and start ready+visible.
     pub fn new(n: usize) -> PhysRegFile {
-        assert!(n > NUM_REGS, "need more physical than architectural registers");
-        let mut f = PhysRegFile { vals: vec![0; n], ready: vec![false; n], visible: vec![false; n] };
+        assert!(
+            n > NUM_REGS,
+            "need more physical than architectural registers"
+        );
+        let mut f = PhysRegFile {
+            vals: vec![0; n],
+            ready: vec![false; n],
+            visible: vec![false; n],
+        };
         for i in 0..NUM_REGS {
             f.ready[i] = true;
             f.visible[i] = true;
@@ -101,7 +108,10 @@ pub struct FreeList {
 impl FreeList {
     /// All registers in `NUM_REGS..n` start free.
     pub fn new(n: usize) -> FreeList {
-        FreeList { free: (NUM_REGS as PReg..n as PReg).collect(), capacity: n - NUM_REGS }
+        FreeList {
+            free: (NUM_REGS as PReg..n as PReg).collect(),
+            capacity: n - NUM_REGS,
+        }
     }
 
     /// Pop a free register, if any.
@@ -116,10 +126,7 @@ impl FreeList {
     /// Debug-panics on double-free (the free list can never exceed its
     /// capacity — the conservation invariant the property tests check).
     pub fn release(&mut self, p: PReg) {
-        debug_assert!(
-            !self.free.contains(&p),
-            "double free of p{p}"
-        );
+        debug_assert!(!self.free.contains(&p), "double free of p{p}");
         self.free.push_back(p);
         debug_assert!(self.free.len() <= self.capacity, "free list overflow");
     }
@@ -127,6 +134,11 @@ impl FreeList {
     /// Registers currently free.
     pub fn available(&self) -> usize {
         self.free.len()
+    }
+
+    /// Iterate over the free registers (front-to-back, allocation order).
+    pub fn iter(&self) -> impl Iterator<Item = PReg> + '_ {
+        self.free.iter().copied()
     }
 
     /// Total registers managed (free + in flight).
@@ -181,11 +193,17 @@ mod tests {
     #[test]
     fn prf_ready_visible_lifecycle() {
         let mut f = PhysRegFile::new(64);
-        assert!(f.is_ready(3) && f.is_visible(3), "initial arch regs are visible");
+        assert!(
+            f.is_ready(3) && f.is_visible(3),
+            "initial arch regs are visible"
+        );
         assert!(!f.is_ready(40));
         f.write(40, 7);
         assert!(f.is_ready(40));
-        assert!(!f.is_visible(40), "write-back must not imply visibility (the NDA gap)");
+        assert!(
+            !f.is_visible(40),
+            "write-back must not imply visibility (the NDA gap)"
+        );
         f.broadcast(40);
         assert!(f.is_visible(40));
         assert_eq!(f.value(40), 7);

@@ -155,7 +155,10 @@ pub struct Rob {
 impl Rob {
     /// An empty ROB with `capacity` entries.
     pub fn new(capacity: usize) -> Rob {
-        Rob { entries: VecDeque::with_capacity(capacity), capacity }
+        Rob {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+        }
     }
 
     /// Entries in flight.
@@ -294,7 +297,12 @@ mod tests {
         let mut s = RobEntry::new(
             1,
             1,
-            Inst::Store { src: Reg::X2, base: Reg::X3, off: 0, size: nda_isa::MemSize::B8 },
+            Inst::Store {
+                src: Reg::X2,
+                base: Reg::X3,
+                off: 0,
+                size: nda_isa::MemSize::B8,
+            },
             0,
         );
         assert!(s.is_unresolved_store());

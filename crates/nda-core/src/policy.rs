@@ -52,37 +52,59 @@ pub struct NdaPolicy {
 impl NdaPolicy {
     /// Row 0 (baseline): unconstrained, insecure out-of-order execution.
     pub fn ooo() -> NdaPolicy {
-        NdaPolicy { propagation: Propagation::Off, bypass_restriction: false, load_restriction: false }
+        NdaPolicy {
+            propagation: Propagation::Off,
+            bypass_restriction: false,
+            load_restriction: false,
+        }
     }
 
     /// Table 2 row 1: permissive propagation.
     pub fn permissive() -> NdaPolicy {
-        NdaPolicy { propagation: Propagation::Permissive, ..NdaPolicy::ooo() }
+        NdaPolicy {
+            propagation: Propagation::Permissive,
+            ..NdaPolicy::ooo()
+        }
     }
 
     /// Table 2 row 2: permissive propagation + bypass restriction.
     pub fn permissive_br() -> NdaPolicy {
-        NdaPolicy { bypass_restriction: true, ..NdaPolicy::permissive() }
+        NdaPolicy {
+            bypass_restriction: true,
+            ..NdaPolicy::permissive()
+        }
     }
 
     /// Table 2 row 3: strict propagation.
     pub fn strict() -> NdaPolicy {
-        NdaPolicy { propagation: Propagation::Strict, ..NdaPolicy::ooo() }
+        NdaPolicy {
+            propagation: Propagation::Strict,
+            ..NdaPolicy::ooo()
+        }
     }
 
     /// Table 2 row 4: strict propagation + bypass restriction.
     pub fn strict_br() -> NdaPolicy {
-        NdaPolicy { bypass_restriction: true, ..NdaPolicy::strict() }
+        NdaPolicy {
+            bypass_restriction: true,
+            ..NdaPolicy::strict()
+        }
     }
 
     /// Table 2 row 5: load restriction only.
     pub fn restricted_loads() -> NdaPolicy {
-        NdaPolicy { load_restriction: true, ..NdaPolicy::ooo() }
+        NdaPolicy {
+            load_restriction: true,
+            ..NdaPolicy::ooo()
+        }
     }
 
     /// Table 2 row 6: full protection = strict + BR + load restriction.
     pub fn full_protection() -> NdaPolicy {
-        NdaPolicy { load_restriction: true, ..NdaPolicy::strict_br() }
+        NdaPolicy {
+            load_restriction: true,
+            ..NdaPolicy::strict_br()
+        }
     }
 
     /// `true` if this policy restricts anything at all.
@@ -137,6 +159,9 @@ mod tests {
     #[test]
     fn display_is_descriptive() {
         assert_eq!(NdaPolicy::ooo().to_string(), "off");
-        assert_eq!(NdaPolicy::full_protection().to_string(), "strict+br+loadrestrict");
+        assert_eq!(
+            NdaPolicy::full_protection().to_string(),
+            "strict+br+loadrestrict"
+        );
     }
 }

@@ -3,6 +3,8 @@
 use crate::config::{CoreModel, SimConfig, Variant};
 use crate::inorder::InOrderCore;
 use crate::ooo::core::OooCore;
+use crate::ooo::invariants::InvariantViolation;
+use crate::snapshot::PipelineSnapshot;
 use nda_isa::{Fault, Program};
 use nda_mem::MemStats;
 use nda_stats::SimStats;
@@ -10,13 +12,36 @@ use std::error::Error;
 use std::fmt;
 
 /// Abnormal simulation termination.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Non-exhaustive: robustness checks may grow new failure modes, so callers
+/// must keep a wildcard arm.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
 pub enum SimError {
     /// The cycle budget was exhausted before `Halt` committed.
     CycleLimit {
         /// Cycles simulated when the budget ran out.
         cycles: u64,
+        /// Pipeline state at the limit (out-of-order core only).
+        snapshot: Option<Box<PipelineSnapshot>>,
     },
+    /// The forward-progress watchdog fired: no instruction committed for a
+    /// whole [`watchdog_window`](crate::SimConfig::watchdog_window) even
+    /// though the cycle budget had room left. Distinguishes a wedged
+    /// pipeline (this) from a program that is merely slow or looping
+    /// ([`SimError::CycleLimit`]).
+    Stalled {
+        /// Cycles simulated when the watchdog fired.
+        cycles: u64,
+        /// The configured no-commit window that elapsed.
+        window: u64,
+        /// What the pipeline looked like, including the stuck ROB head.
+        snapshot: Box<PipelineSnapshot>,
+    },
+    /// The cycle-level invariant checker
+    /// ([`check_invariants`](crate::SimConfig::check_invariants)) found a
+    /// broken micro-architectural conservation law.
+    InvariantViolation(Box<InvariantViolation>),
     /// A fault committed and the program has no fault handler.
     UnhandledFault(Fault),
     /// The architectural PC left the text segment.
@@ -29,9 +54,24 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::CycleLimit { cycles } => {
-                write!(f, "cycle budget exhausted after {cycles} cycles")
+            SimError::CycleLimit { cycles, snapshot } => {
+                write!(f, "cycle budget exhausted after {cycles} cycles")?;
+                if let Some(s) = snapshot {
+                    write!(f, "\n{s}")?;
+                }
+                Ok(())
             }
+            SimError::Stalled {
+                cycles,
+                window,
+                snapshot,
+            } => {
+                write!(
+                    f,
+                    "pipeline stalled: no commit for {window} cycles (at cycle {cycles})\n{snapshot}"
+                )
+            }
+            SimError::InvariantViolation(v) => write!(f, "invariant violation: {v}"),
             SimError::UnhandledFault(fault) => write!(f, "unhandled fault: {fault}"),
             SimError::PcOutOfRange { pc } => write!(f, "pc {pc} out of range"),
         }
@@ -76,19 +116,132 @@ pub fn run_with_config(
     }
 }
 
+/// Tuning knobs for [`run_smarts_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmartsParams {
+    /// Instructions executed (detailed, warming caches and predictors)
+    /// before each measurement window.
+    pub warmup_insts: u64,
+    /// Instructions scored per measurement window.
+    pub measure_insts: u64,
+    /// Stop after this many windows (or when the program halts).
+    pub max_windows: usize,
+    /// Cycle budget for any single warm or measure phase; a phase that
+    /// exceeds it aborts the run with [`SimError::CycleLimit`].
+    pub budget_per_phase: u64,
+}
+
+impl SmartsParams {
+    /// Default per-phase cycle budget (the historical hard-coded value).
+    pub const DEFAULT_BUDGET_PER_PHASE: u64 = 200_000_000;
+
+    /// Parameters with the default per-phase budget.
+    pub fn new(warmup_insts: u64, measure_insts: u64, max_windows: usize) -> SmartsParams {
+        SmartsParams {
+            warmup_insts,
+            measure_insts,
+            max_windows,
+            budget_per_phase: SmartsParams::DEFAULT_BUDGET_PER_PHASE,
+        }
+    }
+}
+
+/// A SMARTS run that died mid-sampling: the error plus every window that
+/// completed before it, so a long measurement is not a total loss.
+#[derive(Debug, Clone)]
+pub struct SmartsInterrupted {
+    /// Per-window CPIs completed before the failure.
+    pub completed_windows: Vec<f64>,
+    /// What stopped the run.
+    pub error: SimError,
+}
+
+impl fmt::Display for SmartsInterrupted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SMARTS sampling interrupted after {} complete window(s): {}",
+            self.completed_windows.len(),
+            self.error
+        )
+    }
+}
+
+impl Error for SmartsInterrupted {}
+
 /// SMARTS-style sampled measurement (paper §6.1 / Wunderlich et al.):
 /// within ONE run, alternate functional warming and measurement windows,
 /// returning the per-window CPIs. The caller aggregates them with
 /// `nda_stats::Sample` for a confidence interval.
 ///
-/// `warmup_insts` instructions are executed (detailed, warming caches and
-/// predictors) before each `measure_insts`-instruction window is scored.
-/// Sampling stops at `max_windows` or when the program halts.
+/// # Errors
+///
+/// On failure the windows that did complete are returned alongside the
+/// [`SimError`] in [`SmartsInterrupted`]. A program that halts before the
+/// first window completes yields `Ok` with however many windows finished
+/// (possibly none).
+pub fn run_smarts_with(
+    cfg: SimConfig,
+    program: &Program,
+    params: SmartsParams,
+) -> Result<Vec<f64>, SmartsInterrupted> {
+    let mut core = match cfg.model {
+        CoreModel::OutOfOrder => crate::OooCore::new(cfg, program),
+        CoreModel::InOrder => {
+            // The blocking core has no sampling need (no warm-up-sensitive
+            // speculation state); fall back to whole-run CPI.
+            let mut c = crate::InOrderCore::new(cfg, program);
+            let r = c.run(u64::MAX / 2).map_err(|error| SmartsInterrupted {
+                completed_windows: Vec::new(),
+                error,
+            })?;
+            return Ok(vec![r.cpi()]);
+        }
+    };
+    let mut windows = Vec::new();
+    'outer: while windows.len() < params.max_windows && !core.halted() {
+        // Warm.
+        core.reset_stats();
+        let warm_deadline = core.cycle() + params.budget_per_phase;
+        while core.stats.committed_insts < params.warmup_insts {
+            if core.halted() {
+                break 'outer;
+            }
+            if core.cycle() >= warm_deadline {
+                return Err(SmartsInterrupted {
+                    completed_windows: windows,
+                    error: core.cycle_limit_error(),
+                });
+            }
+            core.step_cycle();
+        }
+        // Measure.
+        core.reset_stats();
+        let measure_deadline = core.cycle() + params.budget_per_phase;
+        while core.stats.committed_insts < params.measure_insts {
+            if core.halted() {
+                break 'outer;
+            }
+            if core.cycle() >= measure_deadline {
+                return Err(SmartsInterrupted {
+                    completed_windows: windows,
+                    error: core.cycle_limit_error(),
+                });
+            }
+            core.step_cycle();
+        }
+        windows.push(core.stats.cpi());
+    }
+    Ok(windows)
+}
+
+/// [`run_smarts_with`] with the default per-phase cycle budget, discarding
+/// partial windows on failure. Kept for callers that only need the
+/// happy-path window list.
 ///
 /// # Errors
 ///
-/// See [`SimError`]. A program that halts before the first window
-/// completes yields however many windows finished (possibly none).
+/// See [`SimError`].
 pub fn run_smarts(
     cfg: SimConfig,
     program: &Program,
@@ -96,46 +249,12 @@ pub fn run_smarts(
     measure_insts: u64,
     max_windows: usize,
 ) -> Result<Vec<f64>, SimError> {
-    let mut core = match cfg.model {
-        CoreModel::OutOfOrder => crate::OooCore::new(cfg, program),
-        CoreModel::InOrder => {
-            // The blocking core has no sampling need (no warm-up-sensitive
-            // speculation state); fall back to whole-run CPI.
-            let mut c = crate::InOrderCore::new(cfg, program);
-            let r = c.run(u64::MAX / 2)?;
-            return Ok(vec![r.cpi()]);
-        }
-    };
-    let mut windows = Vec::new();
-    let budget_per_phase: u64 = 200_000_000;
-    'outer: while windows.len() < max_windows && !core.halted() {
-        // Warm.
-        core.reset_stats();
-        let warm_deadline = core.cycle() + budget_per_phase;
-        while core.stats.committed_insts < warmup_insts {
-            if core.halted() {
-                break 'outer;
-            }
-            if core.cycle() >= warm_deadline {
-                return Err(SimError::CycleLimit { cycles: core.cycle() });
-            }
-            core.step_cycle();
-        }
-        // Measure.
-        core.reset_stats();
-        let measure_deadline = core.cycle() + budget_per_phase;
-        while core.stats.committed_insts < measure_insts {
-            if core.halted() {
-                break 'outer;
-            }
-            if core.cycle() >= measure_deadline {
-                return Err(SimError::CycleLimit { cycles: core.cycle() });
-            }
-            core.step_cycle();
-        }
-        windows.push(core.stats.cpi());
-    }
-    Ok(windows)
+    run_smarts_with(
+        cfg,
+        program,
+        SmartsParams::new(warmup_insts, measure_insts, max_windows),
+    )
+    .map_err(|i| i.error)
 }
 
 /// Run `program` on one of the ten evaluated variants (Fig 7).
@@ -168,7 +287,9 @@ mod tests {
     #[test]
     fn every_variant_runs_the_same_program() {
         let mut asm = Asm::new();
-        asm.li(Reg::X2, 6).li(Reg::X3, 7).alu(nda_isa::AluOp::Mul, Reg::X4, Reg::X2, Reg::X3);
+        asm.li(Reg::X2, 6)
+            .li(Reg::X3, 7)
+            .alu(nda_isa::AluOp::Mul, Reg::X4, Reg::X2, Reg::X3);
         asm.halt();
         let p = asm.assemble().unwrap();
         for v in Variant::all() {
@@ -180,18 +301,47 @@ mod tests {
     }
 
     #[test]
-    fn cycle_limit_reported() {
+    fn cycle_limit_reported_with_snapshot() {
         let mut asm = Asm::new();
         let top = asm.here_label();
         asm.jmp(top);
         let p = asm.assemble().unwrap();
         let err = run_variant(Variant::Ooo, &p, 500).unwrap_err();
-        assert!(matches!(err, SimError::CycleLimit { .. }));
+        match err {
+            SimError::CycleLimit { cycles, snapshot } => {
+                assert!(cycles >= 500);
+                let snap = snapshot.expect("ooo core attaches a snapshot");
+                assert_eq!(snap.cycle, cycles);
+            }
+            other => panic!("expected CycleLimit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn smarts_interrupted_keeps_partial_windows() {
+        // An infinite loop: the first warm phase blows its (tiny) budget.
+        let mut asm = Asm::new();
+        let top = asm.here_label();
+        asm.jmp(top);
+        let p = asm.assemble().unwrap();
+        let params = SmartsParams {
+            budget_per_phase: 300,
+            ..SmartsParams::new(1_000, 1_000, 4)
+        };
+        let err = run_smarts_with(SimConfig::ooo(), &p, params).unwrap_err();
+        assert!(err.completed_windows.is_empty());
+        assert!(matches!(err.error, SimError::CycleLimit { .. }));
+        assert!(err.to_string().contains("0 complete window(s)"));
     }
 
     #[test]
     fn error_display_nonempty() {
-        assert!(!SimError::CycleLimit { cycles: 5 }.to_string().is_empty());
+        assert!(!SimError::CycleLimit {
+            cycles: 5,
+            snapshot: None
+        }
+        .to_string()
+        .is_empty());
         assert!(!SimError::PcOutOfRange { pc: 3 }.to_string().is_empty());
     }
 }

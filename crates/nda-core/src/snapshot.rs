@@ -1,0 +1,194 @@
+//! Pipeline diagnostics attached to abnormal terminations.
+//!
+//! When the forward-progress watchdog trips (no commit for a whole window),
+//! when the cycle budget runs out, or when the invariant checker finds a
+//! broken conservation law, the simulator captures a [`PipelineSnapshot`]:
+//! what the head of the ROB is waiting on, how full every queue is, and the
+//! Fig 9a stall-reason histogram. The goal is that a hung run is debuggable
+//! from the error message alone, without rerunning under a tracer.
+
+use nda_stats::SimStats;
+use std::fmt;
+
+/// Why the oldest in-flight instruction has not retired yet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeadWait {
+    /// Dispatched but not issued: an operand is not yet visible, a fence or
+    /// serialising micro-op is in the way, or a structural port is busy.
+    WaitingToIssue,
+    /// Issued; execution has not completed (e.g. an outstanding miss).
+    Executing,
+    /// Completed InvisiSpec probe awaiting its exposure/validation access.
+    AwaitingExposure,
+    /// Completed store stalled on its commit-time cache access (MSHRs
+    /// exhausted).
+    AwaitingStoreCommit,
+    /// Completed with a recorded architectural fault; fault delivery is the
+    /// next commit action.
+    FaultPending,
+    /// Ready to retire: if the pipeline is stalled in this state, commit
+    /// itself is blocked (this should never persist).
+    ReadyToRetire,
+}
+
+impl fmt::Display for HeadWait {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            HeadWait::WaitingToIssue => "waiting to issue",
+            HeadWait::Executing => "executing",
+            HeadWait::AwaitingExposure => "awaiting InvisiSpec exposure",
+            HeadWait::AwaitingStoreCommit => "awaiting store commit (MSHRs)",
+            HeadWait::FaultPending => "fault delivery pending",
+            HeadWait::ReadyToRetire => "ready to retire",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The instruction at the head of the ROB and what it is waiting on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeadInfo {
+    /// Global sequence number.
+    pub seq: u64,
+    /// Instruction index in the program text.
+    pub pc: usize,
+    /// Disassembly of the instruction.
+    pub disasm: String,
+    /// What retirement is blocked on.
+    pub wait: HeadWait,
+}
+
+/// A point-in-time diagnostic view of the out-of-order pipeline.
+///
+/// Built by `OooCore::snapshot` and carried by
+/// [`SimError::Stalled`](crate::SimError::Stalled),
+/// [`SimError::CycleLimit`](crate::SimError::CycleLimit) and every
+/// [`InvariantViolation`](crate::ooo::invariants::InvariantViolation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineSnapshot {
+    /// Cycle at which the snapshot was taken.
+    pub cycle: u64,
+    /// Cycle of the most recent successful commit (0 if none yet).
+    pub last_commit_cycle: u64,
+    /// In-flight ROB entries.
+    pub rob_occupancy: usize,
+    /// Configured ROB capacity.
+    pub rob_capacity: usize,
+    /// The oldest in-flight instruction, if any.
+    pub head: Option<HeadInfo>,
+    /// Issue-queue entries whose sources are all visible (ready to issue).
+    pub iq_ready: usize,
+    /// Issue-queue entries still waiting on an operand.
+    pub iq_waiting: usize,
+    /// Load-queue occupancy.
+    pub lq_occupancy: usize,
+    /// Store-queue occupancy.
+    pub sq_occupancy: usize,
+    /// Free physical registers.
+    pub free_pregs: usize,
+    /// Micro-ops buffered in the fetch→dispatch pipe.
+    pub fetch_queued: usize,
+    /// Data-side MSHRs still outstanding.
+    pub mshrs_outstanding: usize,
+    /// Counter block at snapshot time (includes the Fig 9a stall-reason
+    /// histogram).
+    pub stats: SimStats,
+}
+
+impl fmt::Display for PipelineSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "pipeline @ cycle {} (last commit @ {}):",
+            self.cycle, self.last_commit_cycle
+        )?;
+        match &self.head {
+            Some(h) => writeln!(
+                f,
+                "  rob head: seq {} pc {} `{}` — {}",
+                h.seq, h.pc, h.disasm, h.wait
+            )?,
+            None => writeln!(f, "  rob head: <empty>")?,
+        }
+        writeln!(
+            f,
+            "  rob {}/{}, iq {} ready + {} waiting, lq {}, sq {}, free pregs {}, \
+             fetch queue {}, mshrs outstanding {}",
+            self.rob_occupancy,
+            self.rob_capacity,
+            self.iq_ready,
+            self.iq_waiting,
+            self.lq_occupancy,
+            self.sq_occupancy,
+            self.free_pregs,
+            self.fetch_queued,
+            self.mshrs_outstanding,
+        )?;
+        write!(f, "  cycle histogram:")?;
+        for (name, count) in self.stats.stall_histogram() {
+            write!(f, " {name}={count}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PipelineSnapshot {
+        PipelineSnapshot {
+            cycle: 1234,
+            last_commit_cycle: 1000,
+            rob_occupancy: 3,
+            rob_capacity: 192,
+            head: Some(HeadInfo {
+                seq: 41,
+                pc: 7,
+                disasm: "ld8 x4, [x2+0]".into(),
+                wait: HeadWait::Executing,
+            }),
+            iq_ready: 1,
+            iq_waiting: 2,
+            lq_occupancy: 1,
+            sq_occupancy: 0,
+            free_pregs: 220,
+            fetch_queued: 4,
+            mshrs_outstanding: 1,
+            stats: SimStats::new(),
+        }
+    }
+
+    #[test]
+    fn display_names_the_head_and_its_wait_reason() {
+        let text = sample().to_string();
+        assert!(text.contains("seq 41"));
+        assert!(text.contains("pc 7"));
+        assert!(text.contains("executing"));
+        assert!(text.contains("mshrs outstanding 1"));
+        assert!(text.contains("frontend-stall="));
+    }
+
+    #[test]
+    fn display_handles_empty_rob() {
+        let mut s = sample();
+        s.head = None;
+        assert!(s.to_string().contains("<empty>"));
+    }
+
+    #[test]
+    fn wait_reasons_have_distinct_names() {
+        let all = [
+            HeadWait::WaitingToIssue,
+            HeadWait::Executing,
+            HeadWait::AwaitingExposure,
+            HeadWait::AwaitingStoreCommit,
+            HeadWait::FaultPending,
+            HeadWait::ReadyToRetire,
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for w in all {
+            assert!(seen.insert(w.to_string()));
+        }
+    }
+}

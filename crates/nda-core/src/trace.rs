@@ -135,7 +135,13 @@ pub fn render_pipeline(
             }
         }
         let lane: String = lane.into_iter().collect();
-        let _ = writeln!(out, "@{:>4} {:28} |{}|", r.pc, truncate(&r.disasm, 28), lane);
+        let _ = writeln!(
+            out,
+            "@{:>4} {:28} |{}|",
+            r.pc,
+            truncate(&r.disasm, 28),
+            lane
+        );
     }
     if rows.len() > max_rows {
         let _ = writeln!(out, "... {} more rows", rows.len() - max_rows);
@@ -156,7 +162,13 @@ mod tests {
     use super::*;
 
     fn ev(cycle: u64, seq: u64, pc: usize, stage: TraceStage) -> TraceEvent {
-        TraceEvent { cycle, seq, pc, disasm: format!("i{pc}"), stage }
+        TraceEvent {
+            cycle,
+            seq,
+            pc,
+            disasm: format!("i{pc}"),
+            stage,
+        }
     }
 
     #[test]

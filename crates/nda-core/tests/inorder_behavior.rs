@@ -23,8 +23,15 @@ fn no_overlap_between_misses() {
     asm.halt();
     let c = run(&asm);
     let mlp = c.hier.stats().mlp.expect("two misses recorded");
-    assert!((mlp - 1.0).abs() < 1e-9, "blocking core cannot overlap misses (MLP {mlp})");
-    assert!(c.cycle() > 280, "two full serial misses ({} cycles)", c.cycle());
+    assert!(
+        (mlp - 1.0).abs() < 1e-9,
+        "blocking core cannot overlap misses (MLP {mlp})"
+    );
+    assert!(
+        c.cycle() > 280,
+        "two full serial misses ({} cycles)",
+        c.cycle()
+    );
 }
 
 #[test]
@@ -42,7 +49,10 @@ fn clflush_makes_the_next_access_slow_again() {
     let c = run(&asm);
     let warm = c.reg(Reg::X11) - c.reg(Reg::X10);
     let flushed = c.reg(Reg::X12) - c.reg(Reg::X11);
-    assert!(flushed > warm + 90, "flush must restore the miss (warm {warm}, flushed {flushed})");
+    assert!(
+        flushed > warm + 90,
+        "flush must restore the miss (warm {warm}, flushed {flushed})"
+    );
 }
 
 #[test]
@@ -83,8 +93,7 @@ fn every_cycle_is_accounted() {
     let c = run(&asm);
     let s = c.stats;
     assert_eq!(
-        s.commit_cycles + s.memory_stall_cycles + s.backend_stall_cycles
-            + s.frontend_stall_cycles,
+        s.commit_cycles + s.memory_stall_cycles + s.backend_stall_cycles + s.frontend_stall_cycles,
         s.cycles,
         "the in-order cycle classification must also be exhaustive"
     );

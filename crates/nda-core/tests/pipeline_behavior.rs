@@ -53,7 +53,11 @@ fn free_list_fully_recovered_after_squash_heavy_run() {
     assert!(c.stats.squashes > 0, "test needs squashes to be meaningful");
     assert_eq!(c.rob_occupancy(), 0);
     let cfg = SimConfig::ooo();
-    assert_eq!(c.free_pregs(), cfg.core.num_pregs - 32, "physical register leak");
+    assert_eq!(
+        c.free_pregs(),
+        cfg.core.num_pregs - 32,
+        "physical register leak"
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -161,7 +165,10 @@ fn narrow_issue_width_still_correct() {
     let fast = run_ooo(&asm);
     assert_eq!(slow.reg(Reg::X5), fast.reg(Reg::X5));
     assert_eq!(slow.reg(Reg::X10), 300);
-    assert!(slow.cycle() > fast.cycle(), "1-wide must be slower than 8-wide");
+    assert!(
+        slow.cycle() > fast.cycle(),
+        "1-wide must be slower than 8-wide"
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -208,7 +215,10 @@ fn spec_window_suppresses_wrong_path_execution() {
     asm.spec_on();
     asm.halt();
     let c = run_ooo(&asm);
-    assert_eq!(c.stats.wrong_path_executed, 0, "no wrong path may execute inside the window");
+    assert_eq!(
+        c.stats.wrong_path_executed, 0,
+        "no wrong path may execute inside the window"
+    );
 
     // Control: the same code without the window does execute a wrong path.
     let mut asm2 = Asm::new();
@@ -505,7 +515,10 @@ fn smarts_windows_measure_steady_state() {
     asm.halt();
     let p = asm.assemble().unwrap();
     let windows = run_smarts(SimConfig::ooo(), &p, 1_000, 1_000, 6).unwrap();
-    assert!(windows.len() >= 4, "enough instructions for several windows");
+    assert!(
+        windows.len() >= 4,
+        "enough instructions for several windows"
+    );
     let mean = windows.iter().sum::<f64>() / windows.len() as f64;
     for w in &windows {
         assert!(

@@ -1,0 +1,202 @@
+//! Squash-recovery edge cases, run with the cycle-level invariant checker
+//! armed. Each program is engineered to put the recovery machinery in an
+//! awkward corner — a fault squashed on the wrong path, RAS over/underflow,
+//! back-to-back mispredicts — and must still retire the exact architectural
+//! state the reference interpreter computes.
+
+use nda_core::{run_with_config, SimConfig, Variant};
+use nda_isa::{Asm, Interp, Program, Reg, KERNEL_BASE};
+
+/// The out-of-order variants worth hammering: baseline, the strongest NDA
+/// policy, both InvisiSpec schemes and delay-on-miss (the recovery paths
+/// diverge most across these).
+const OOO_VARIANTS: [Variant; 5] = [
+    Variant::Ooo,
+    Variant::FullProtection,
+    Variant::InvisiSpecSpectre,
+    Variant::InvisiSpecFuture,
+    Variant::DelayOnMiss,
+];
+
+fn reference_regs(p: &Program) -> [u64; 32] {
+    let mut i = Interp::new(p);
+    for _ in 0..1_000_000 {
+        if i.halted() {
+            break;
+        }
+        i.step().unwrap();
+    }
+    assert!(i.halted(), "reference interpreter must finish");
+    let mut out = [0u64; 32];
+    for r in Reg::all() {
+        out[r.index()] = i.reg(r);
+    }
+    out
+}
+
+/// Run `p` on every OoO variant with invariants checked every cycle and
+/// assert bit-exact architectural registers against the interpreter.
+fn assert_matches_reference(p: &Program) {
+    let want = reference_regs(p);
+    for v in OOO_VARIANTS {
+        let mut cfg = SimConfig::for_variant(v);
+        cfg.check_invariants = true;
+        let r = run_with_config(cfg, p, 10_000_000).unwrap_or_else(|e| panic!("{v:?} failed: {e}"));
+        assert!(r.halted, "{v:?} did not halt");
+        assert_eq!(r.regs, want, "{v:?} diverged from the reference");
+    }
+}
+
+/// A privileged load sits on the *wrong* path of a cold-predicted branch.
+/// The load executes speculatively and records a fault, but the branch
+/// resolves taken and squashes it before it reaches the ROB head — so the
+/// fault must evaporate (there is no handler; delivery would abort the run).
+#[test]
+fn wrong_path_fault_is_squashed_not_delivered() {
+    let mut asm = Asm::new();
+    let safe = asm.new_label();
+    asm.li(Reg::X2, 1).li(Reg::X4, KERNEL_BASE);
+    asm.bne(Reg::X2, Reg::X0, safe); // always taken; cold predictor says not-taken
+    asm.ld8(Reg::X5, Reg::X4, 0); // wrong path: would fault if it ever committed
+    asm.bind(safe);
+    asm.li(Reg::X6, 99).halt();
+    let p = asm.assemble().unwrap();
+    assert_matches_reference(&p);
+}
+
+/// A fault reaches the ROB head while younger speculative work — including
+/// a branch — is still in flight. Fault delivery must squash all of it and
+/// redirect to the handler with no stale speculative register state.
+#[test]
+fn fault_at_rob_head_squashes_younger_inflight_work() {
+    let mut asm = Asm::new();
+    let h = asm.new_label();
+    let skip = asm.new_label();
+    asm.fault_handler(h);
+    asm.li(Reg::X2, KERNEL_BASE);
+    asm.ld8(Reg::X3, Reg::X2, 0); // faults at commit
+    asm.li(Reg::X4, 1); // younger wrong-future work, must be squashed
+    asm.li(Reg::X5, 2);
+    asm.bne(Reg::X4, Reg::X0, skip);
+    asm.li(Reg::X6, 3);
+    asm.bind(skip);
+    asm.halt();
+    asm.bind(h);
+    asm.li(Reg::X7, 55).halt();
+    let p = asm.assemble().unwrap();
+    let want = reference_regs(&p);
+    assert_eq!(want[7], 55, "reference must take the handler");
+    assert_eq!(want[4], 0, "post-fault code must never commit");
+    assert_matches_reference(&p);
+}
+
+/// Recursion 24 deep overflows the 16-entry circular RAS; the unwind's
+/// first eight returns predict correctly, the rest mispredict and must be
+/// repaired by squash without corrupting the architectural unwinding.
+#[test]
+fn ras_overflow_on_deep_recursion() {
+    let mut asm = Asm::new();
+    let f = asm.new_label();
+    let base = asm.new_label();
+    asm.li(Reg::X2, 24).li(Reg::X10, 0x10_0000); // x10: software stack for x1
+    asm.call(f);
+    asm.li(Reg::X7, 123).halt();
+    asm.bind(f);
+    asm.subi(Reg::X2, Reg::X2, 1);
+    asm.beq(Reg::X2, Reg::X0, base);
+    asm.st8(Reg::X1, Reg::X10, 0); // spill the link register around the
+    asm.addi(Reg::X10, Reg::X10, 8); // recursive call
+    asm.call(f);
+    asm.subi(Reg::X10, Reg::X10, 8);
+    asm.ld8(Reg::X1, Reg::X10, 0);
+    asm.bind(base);
+    asm.ret();
+    let p = asm.assemble().unwrap();
+    let want = reference_regs(&p);
+    assert_eq!(want[7], 123);
+    assert_eq!(want[2], 0);
+    assert_matches_reference(&p);
+}
+
+/// A `ret` on the wrong path of a mispredicted branch pops an *empty* RAS
+/// (and reads a zero link register). Both the predictor and the executed
+/// target are garbage; the branch's squash must erase all of it.
+#[test]
+fn wrong_path_ret_underflows_empty_ras() {
+    let mut asm = Asm::new();
+    let over = asm.new_label();
+    asm.li(Reg::X2, 1);
+    asm.bne(Reg::X2, Reg::X0, over); // taken; cold predictor falls through
+    asm.ret(); // wrong path: RAS empty, x1 = 0
+    asm.bind(over);
+    asm.li(Reg::X3, 7).halt();
+    let p = asm.assemble().unwrap();
+    assert_matches_reference(&p);
+}
+
+/// Two independent cold-predicted taken branches back to back: both can be
+/// in flight (and even resolve in the same writeback sweep); the older
+/// squash must cleanly supersede the younger one's.
+#[test]
+fn back_to_back_mispredicted_branches() {
+    let mut asm = Asm::new();
+    let l1 = asm.new_label();
+    let l2 = asm.new_label();
+    asm.li(Reg::X2, 1).li(Reg::X3, 1);
+    asm.bne(Reg::X2, Reg::X0, l1); // mispredict #1
+    asm.li(Reg::X5, 41); // wrong path
+    asm.bind(l1);
+    asm.bne(Reg::X3, Reg::X0, l2); // mispredict #2, fetched on #1's wrong path too
+    asm.li(Reg::X6, 43); // wrong path
+    asm.bind(l2);
+    asm.li(Reg::X4, 9).halt();
+    let p = asm.assemble().unwrap();
+    let want = reference_regs(&p);
+    assert_eq!(want[4], 9);
+    assert_eq!(want[5], 0);
+    assert_eq!(want[6], 0);
+    assert_matches_reference(&p);
+
+    // The baseline machine really does mispredict both.
+    let mut cfg = SimConfig::ooo();
+    cfg.check_invariants = true;
+    let r = run_with_config(cfg, &p, 1_000_000).unwrap();
+    assert!(
+        r.stats.branch_mispredicts >= 2,
+        "expected both cold branches to mispredict, saw {}",
+        r.stats.branch_mispredicts
+    );
+}
+
+/// A tight squash storm: deep recursion *and* a wrong-path privileged load
+/// inside the recursive frame. Stresses rename-map restoration across
+/// nested squashes with the invariant checker watching every cycle.
+#[test]
+fn nested_recovery_with_wrong_path_fault_in_loop() {
+    let mut asm = Asm::new();
+    let f = asm.new_label();
+    let base = asm.new_label();
+    let safe = asm.new_label();
+    asm.li(Reg::X2, 12)
+        .li(Reg::X8, KERNEL_BASE)
+        .li(Reg::X10, 0x10_0000);
+    asm.call(f);
+    asm.li(Reg::X7, 77).halt();
+    asm.bind(f);
+    asm.subi(Reg::X2, Reg::X2, 1);
+    asm.beq(Reg::X2, Reg::X0, base);
+    asm.bne(Reg::X2, Reg::X0, safe); // always taken inside the recursion
+    asm.ld8(Reg::X9, Reg::X8, 0); // wrong path: privileged, never commits
+    asm.bind(safe);
+    asm.st8(Reg::X1, Reg::X10, 0);
+    asm.addi(Reg::X10, Reg::X10, 8);
+    asm.call(f);
+    asm.subi(Reg::X10, Reg::X10, 8);
+    asm.ld8(Reg::X1, Reg::X10, 0);
+    asm.bind(base);
+    asm.ret();
+    let p = asm.assemble().unwrap();
+    let want = reference_regs(&p);
+    assert_eq!(want[7], 77);
+    assert_matches_reference(&p);
+}

@@ -75,7 +75,10 @@ pub struct Asm {
 impl Asm {
     /// A fresh assembler with the default text base.
     pub fn new() -> Asm {
-        Asm { text_base: TEXT_BASE, ..Asm::default() }
+        Asm {
+            text_base: TEXT_BASE,
+            ..Asm::default()
+        }
     }
 
     /// Index of the *next* instruction to be emitted.
@@ -125,7 +128,10 @@ impl Asm {
 
     /// Initialize `bytes` at `addr` in the data segment.
     pub fn data(&mut self, addr: u64, bytes: &[u8]) -> &mut Asm {
-        self.data.push(DataInit { addr, bytes: bytes.to_vec() });
+        self.data.push(DataInit {
+            addr,
+            bytes: bytes.to_vec(),
+        });
         self
     }
 
@@ -170,12 +176,22 @@ impl Asm {
 
     /// Register-register ALU operation.
     pub fn alu(&mut self, op: AluOp, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
-        self.push(Inst::Alu { op, rd, rs1, src2: Src2::Reg(rs2) })
+        self.push(Inst::Alu {
+            op,
+            rd,
+            rs1,
+            src2: Src2::Reg(rs2),
+        })
     }
 
     /// Register-immediate ALU operation.
     pub fn alui(&mut self, op: AluOp, rd: Reg, rs1: Reg, imm: u64) -> &mut Asm {
-        self.push(Inst::Alu { op, rd, rs1, src2: Src2::Imm(imm) })
+        self.push(Inst::Alu {
+            op,
+            rd,
+            rs1,
+            src2: Src2::Imm(imm),
+        })
     }
 
     /// `rd = rs1 + rs2`.
@@ -215,7 +231,12 @@ impl Asm {
 
     /// Load of `size` bytes: `rd = mem[base + off]`, zero-extended.
     pub fn load(&mut self, rd: Reg, base: Reg, off: i64, size: MemSize) -> &mut Asm {
-        self.push(Inst::Load { rd, base, off, size })
+        self.push(Inst::Load {
+            rd,
+            base,
+            off,
+            size,
+        })
     }
 
     /// `rd = mem8[base + off]`.
@@ -230,7 +251,12 @@ impl Asm {
 
     /// Store of `size` bytes: `mem[base + off] = src`.
     pub fn store(&mut self, src: Reg, base: Reg, off: i64, size: MemSize) -> &mut Asm {
-        self.push(Inst::Store { src, base, off, size })
+        self.push(Inst::Store {
+            src,
+            base,
+            off,
+            size,
+        })
     }
 
     /// `mem8[base + off] = src`.
@@ -245,7 +271,15 @@ impl Asm {
 
     /// Conditional branch to `label`.
     pub fn branch(&mut self, cond: BranchCond, rs1: Reg, rs2: Reg, label: Label) -> &mut Asm {
-        self.push_target(Inst::Branch { cond, rs1, rs2, target: usize::MAX }, label)
+        self.push_target(
+            Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                target: usize::MAX,
+            },
+            label,
+        )
     }
 
     /// Branch if `rs1 == rs2`.
@@ -387,9 +421,9 @@ impl Asm {
         for &(idx, label) in &self.fixups {
             let pos = resolve(label)?;
             match &mut insts[idx] {
-                Inst::Branch { target, .. }
-                | Inst::Jmp { target }
-                | Inst::Call { target } => *target = pos,
+                Inst::Branch { target, .. } | Inst::Jmp { target } | Inst::Call { target } => {
+                    *target = pos
+                }
                 Inst::Li { imm, .. } => *imm = pos as u64,
                 other => unreachable!("fixup on non-target instruction {other:?}"),
             }
@@ -463,7 +497,13 @@ mod tests {
         asm.bind(f);
         asm.ret();
         let p = asm.assemble().unwrap();
-        assert_eq!(p.insts[0], Inst::Li { rd: Reg::X2, imm: 2 });
+        assert_eq!(
+            p.insts[0],
+            Inst::Li {
+                rd: Reg::X2,
+                imm: 2
+            }
+        );
     }
 
     #[test]

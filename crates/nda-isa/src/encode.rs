@@ -234,21 +234,36 @@ pub fn encode(inst: Inst, out: &mut Vec<u8>) {
                 put_varint(out, imm);
             }
         },
-        Inst::Load { rd, base, off, size } => {
+        Inst::Load {
+            rd,
+            base,
+            off,
+            size,
+        } => {
             out.push(OP_LOAD);
             out.push(size_code(size));
             put_reg(out, rd);
             put_reg(out, base);
             put_svarint(out, off);
         }
-        Inst::Store { src, base, off, size } => {
+        Inst::Store {
+            src,
+            base,
+            off,
+            size,
+        } => {
             out.push(OP_STORE);
             out.push(size_code(size));
             put_reg(out, src);
             put_reg(out, base);
             put_svarint(out, off);
         }
-        Inst::Branch { cond, rs1, rs2, target } => {
+        Inst::Branch {
+            cond,
+            rs1,
+            rs2,
+            target,
+        } => {
             out.push(OP_BRANCH);
             out.push(cond_code(cond));
             put_reg(out, rs1);
@@ -308,7 +323,10 @@ pub fn decode(buf: &[u8], pos: &mut usize) -> Result<Inst, DecodeError> {
         Ok(b)
     };
     Ok(match op {
-        OP_LI => Inst::Li { rd: get_reg(buf, pos)?, imm: get_varint(buf, pos)? },
+        OP_LI => Inst::Li {
+            rd: get_reg(buf, pos)?,
+            imm: get_varint(buf, pos)?,
+        },
         OP_ALU_RR => {
             let o = alu_from(sub(pos)?)?;
             Inst::Alu {
@@ -354,16 +372,30 @@ pub fn decode(buf: &[u8], pos: &mut usize) -> Result<Inst, DecodeError> {
                 target: get_varint(buf, pos)? as usize,
             }
         }
-        OP_JMP => Inst::Jmp { target: get_varint(buf, pos)? as usize },
-        OP_JMP_IND => Inst::JmpInd { base: get_reg(buf, pos)? },
-        OP_CALL => Inst::Call { target: get_varint(buf, pos)? as usize },
-        OP_CALL_IND => Inst::CallInd { base: get_reg(buf, pos)? },
+        OP_JMP => Inst::Jmp {
+            target: get_varint(buf, pos)? as usize,
+        },
+        OP_JMP_IND => Inst::JmpInd {
+            base: get_reg(buf, pos)?,
+        },
+        OP_CALL => Inst::Call {
+            target: get_varint(buf, pos)? as usize,
+        },
+        OP_CALL_IND => Inst::CallInd {
+            base: get_reg(buf, pos)?,
+        },
         OP_RET => Inst::Ret,
-        OP_RDCYCLE => Inst::RdCycle { rd: get_reg(buf, pos)? },
-        OP_RDMSR => {
-            Inst::RdMsr { rd: get_reg(buf, pos)?, idx: get_varint(buf, pos)? as u16 }
-        }
-        OP_CLFLUSH => Inst::ClFlush { base: get_reg(buf, pos)?, off: get_svarint(buf, pos)? },
+        OP_RDCYCLE => Inst::RdCycle {
+            rd: get_reg(buf, pos)?,
+        },
+        OP_RDMSR => Inst::RdMsr {
+            rd: get_reg(buf, pos)?,
+            idx: get_varint(buf, pos)? as u16,
+        },
+        OP_CLFLUSH => Inst::ClFlush {
+            base: get_reg(buf, pos)?,
+            off: get_svarint(buf, pos)?,
+        },
         OP_FENCE => Inst::Fence,
         OP_NOP => Inst::Nop,
         OP_HALT => Inst::Halt,
@@ -437,7 +469,10 @@ pub fn decode_program(buf: &[u8]) -> Result<Program, DecodeError> {
     for _ in 0..nd {
         let addr = get_varint(buf, &mut pos)?;
         let len = get_varint(buf, &mut pos)? as usize;
-        let bytes = buf.get(pos..pos + len).ok_or(DecodeError::Truncated)?.to_vec();
+        let bytes = buf
+            .get(pos..pos + len)
+            .ok_or(DecodeError::Truncated)?
+            .to_vec();
         pos += len;
         data.push(DataInit { addr, bytes });
     }
@@ -453,7 +488,15 @@ pub fn decode_program(buf: &[u8]) -> Result<Program, DecodeError> {
     for _ in 0..no {
         msr_user_ok.push(get_varint(buf, &mut pos)? as u16);
     }
-    Ok(Program { insts, entry, data, fault_handler, msr_values, msr_user_ok, text_base })
+    Ok(Program {
+        insts,
+        entry,
+        data,
+        fault_handler,
+        msr_values,
+        msr_user_ok,
+        text_base,
+    })
 }
 
 #[cfg(test)]
@@ -486,20 +529,54 @@ mod tests {
     fn every_opcode_roundtrips() {
         use crate::Reg::*;
         let insts = vec![
-            Inst::Li { rd: X2, imm: u64::MAX },
-            Inst::Alu { op: AluOp::Mul, rd: X3, rs1: X4, src2: Src2::Reg(X5) },
-            Inst::Alu { op: AluOp::Sar, rd: X3, rs1: X4, src2: Src2::Imm(63) },
-            Inst::Load { rd: X6, base: X7, off: -8, size: MemSize::B2 },
-            Inst::Store { src: X8, base: X9, off: 1 << 40, size: MemSize::B8 },
-            Inst::Branch { cond: BranchCond::Ltu, rs1: X10, rs2: X11, target: 12345 },
+            Inst::Li {
+                rd: X2,
+                imm: u64::MAX,
+            },
+            Inst::Alu {
+                op: AluOp::Mul,
+                rd: X3,
+                rs1: X4,
+                src2: Src2::Reg(X5),
+            },
+            Inst::Alu {
+                op: AluOp::Sar,
+                rd: X3,
+                rs1: X4,
+                src2: Src2::Imm(63),
+            },
+            Inst::Load {
+                rd: X6,
+                base: X7,
+                off: -8,
+                size: MemSize::B2,
+            },
+            Inst::Store {
+                src: X8,
+                base: X9,
+                off: 1 << 40,
+                size: MemSize::B8,
+            },
+            Inst::Branch {
+                cond: BranchCond::Ltu,
+                rs1: X10,
+                rs2: X11,
+                target: 12345,
+            },
             Inst::Jmp { target: 7 },
             Inst::JmpInd { base: X12 },
             Inst::Call { target: 0 },
             Inst::CallInd { base: X13 },
             Inst::Ret,
             Inst::RdCycle { rd: X14 },
-            Inst::RdMsr { rd: X15, idx: u16::MAX },
-            Inst::ClFlush { base: X16, off: -4096 },
+            Inst::RdMsr {
+                rd: X15,
+                idx: u16::MAX,
+            },
+            Inst::ClFlush {
+                base: X16,
+                off: -4096,
+            },
             Inst::Fence,
             Inst::Nop,
             Inst::Halt,
@@ -553,7 +630,10 @@ mod tests {
     fn bad_register_rejected() {
         // OP_RDCYCLE then register 200.
         let mut pos = 0;
-        assert_eq!(decode(&[OP_RDCYCLE, 200], &mut pos), Err(DecodeError::BadRegister(200)));
+        assert_eq!(
+            decode(&[OP_RDCYCLE, 200], &mut pos),
+            Err(DecodeError::BadRegister(200))
+        );
     }
 
     #[test]

@@ -39,13 +39,28 @@ pub struct GenConfig {
 
 impl Default for GenConfig {
     fn default() -> GenConfig {
-        GenConfig { target_len: 400, max_depth: 3, indirect: true, fences: true, msrs: true }
+        GenConfig {
+            target_len: 400,
+            max_depth: 3,
+            indirect: true,
+            fences: true,
+            msrs: true,
+        }
     }
 }
 
 /// Registers the generator mutates freely.
 const WORK_REGS: [Reg; 10] = [
-    Reg::X2, Reg::X3, Reg::X4, Reg::X5, Reg::X6, Reg::X7, Reg::X8, Reg::X9, Reg::X10, Reg::X11,
+    Reg::X2,
+    Reg::X3,
+    Reg::X4,
+    Reg::X5,
+    Reg::X6,
+    Reg::X7,
+    Reg::X8,
+    Reg::X9,
+    Reg::X10,
+    Reg::X11,
 ];
 /// Holds `SCRATCH_BASE`.
 const BASE_REG: Reg = Reg::X20;
@@ -217,7 +232,11 @@ impl Gen {
     }
 
     fn new(seed: u64, cfg: GenConfig) -> Gen {
-        Gen { rng: StdRng::seed_from_u64(seed), cfg, pending_tables: Vec::new() }
+        Gen {
+            rng: StdRng::seed_from_u64(seed),
+            cfg,
+            pending_tables: Vec::new(),
+        }
     }
 }
 
@@ -286,7 +305,10 @@ pub fn generate(seed: u64, cfg: GenConfig) -> Program {
         for idx in table {
             bytes.extend_from_slice(&(idx as u64).to_le_bytes());
         }
-        program.data.push(crate::program::DataInit { addr: table_addr, bytes });
+        program.data.push(crate::program::DataInit {
+            addr: table_addr,
+            bytes,
+        });
         table_addr += 32;
     }
 
@@ -294,14 +316,22 @@ pub fn generate(seed: u64, cfg: GenConfig) -> Program {
     let mut init = vec![0u8; SCRATCH_SIZE as usize];
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_da7a);
     rng.fill(&mut init[..]);
-    program.data.push(crate::program::DataInit { addr: SCRATCH_BASE, bytes: init });
+    program.data.push(crate::program::DataInit {
+        addr: SCRATCH_BASE,
+        bytes: init,
+    });
     program
 }
 
 fn resolve_tables(g: &Gen, asm: &Asm) -> Vec<Vec<usize>> {
     g.pending_tables
         .iter()
-        .map(|labels| labels.iter().map(|l| asm.label_position(*l).expect("bound")).collect())
+        .map(|labels| {
+            labels
+                .iter()
+                .map(|l| asm.label_position(*l).expect("bound"))
+                .collect()
+        })
         .collect()
 }
 
@@ -347,10 +377,16 @@ mod tests {
 
     #[test]
     fn no_indirect_when_disabled() {
-        let cfg = GenConfig { indirect: false, ..GenConfig::default() };
+        let cfg = GenConfig {
+            indirect: false,
+            ..GenConfig::default()
+        };
         for seed in 0..4 {
             let p = generate(seed, cfg);
-            assert!(!p.insts.iter().any(|i| matches!(i, crate::Inst::JmpInd { .. })));
+            assert!(!p
+                .insts
+                .iter()
+                .any(|i| matches!(i, crate::Inst::JmpInd { .. })));
         }
     }
 
@@ -360,7 +396,10 @@ mod tests {
             let p = generate(seed, GenConfig::default());
             for i in &p.insts {
                 if let crate::Inst::RdMsr { idx, .. } = i {
-                    assert!(p.msr_user_ok.contains(idx), "seed {seed}: rdmsr {idx} would fault");
+                    assert!(
+                        p.msr_user_ok.contains(idx),
+                        "seed {seed}: rdmsr {idx} would fault"
+                    );
                 }
             }
         }
@@ -368,10 +407,16 @@ mod tests {
 
     #[test]
     fn no_msrs_when_disabled() {
-        let cfg = GenConfig { msrs: false, ..GenConfig::default() };
+        let cfg = GenConfig {
+            msrs: false,
+            ..GenConfig::default()
+        };
         for seed in 0..4 {
             let p = generate(seed, cfg);
-            assert!(!p.insts.iter().any(|i| matches!(i, crate::Inst::RdMsr { .. })));
+            assert!(!p
+                .insts
+                .iter()
+                .any(|i| matches!(i, crate::Inst::RdMsr { .. })));
             assert!(p.msr_values.is_empty());
         }
     }

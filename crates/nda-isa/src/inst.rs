@@ -162,13 +162,33 @@ pub enum Inst {
     /// `rd = imm`.
     Li { rd: Reg, imm: u64 },
     /// `rd = op(rs1, src2)`.
-    Alu { op: AluOp, rd: Reg, rs1: Reg, src2: Src2 },
+    Alu {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        src2: Src2,
+    },
     /// `rd = zero_extend(mem[rs_base + off])`.
-    Load { rd: Reg, base: Reg, off: i64, size: MemSize },
+    Load {
+        rd: Reg,
+        base: Reg,
+        off: i64,
+        size: MemSize,
+    },
     /// `mem[rs_base + off] = truncate(rs_src)`.
-    Store { src: Reg, base: Reg, off: i64, size: MemSize },
+    Store {
+        src: Reg,
+        base: Reg,
+        off: i64,
+        size: MemSize,
+    },
     /// Conditional direct branch to instruction index `target`.
-    Branch { cond: BranchCond, rs1: Reg, rs2: Reg, target: usize },
+    Branch {
+        cond: BranchCond,
+        rs1: Reg,
+        rs2: Reg,
+        target: usize,
+    },
     /// Unconditional direct jump.
     Jmp { target: usize },
     /// Indirect jump to the instruction index in `base`.
@@ -208,7 +228,9 @@ impl Inst {
     /// NDA's classification of this micro-op.
     pub fn class(self) -> UopClass {
         match self {
-            Inst::Li { .. } | Inst::Alu { .. } | Inst::Nop | Inst::ClFlush { .. } => UopClass::Arith,
+            Inst::Li { .. } | Inst::Alu { .. } | Inst::Nop | Inst::ClFlush { .. } => {
+                UopClass::Arith
+            }
             Inst::Load { .. } => UopClass::Load,
             Inst::RdMsr { .. } => UopClass::LoadLike,
             Inst::Store { .. } => UopClass::Store,
@@ -367,13 +389,28 @@ impl fmt::Display for Inst {
                 Src2::Reg(r) => write!(f, "{op:?} {rd}, {rs1}, {r}").map(|_| ()),
                 Src2::Imm(i) => write!(f, "{op:?} {rd}, {rs1}, {i:#x}"),
             },
-            Inst::Load { rd, base, off, size } => {
+            Inst::Load {
+                rd,
+                base,
+                off,
+                size,
+            } => {
                 write!(f, "ld{} {rd}, {off}({base})", size.bytes())
             }
-            Inst::Store { src, base, off, size } => {
+            Inst::Store {
+                src,
+                base,
+                off,
+                size,
+            } => {
                 write!(f, "st{} {src}, {off}({base})", size.bytes())
             }
-            Inst::Branch { cond, rs1, rs2, target } => {
+            Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
                 write!(f, "b{:?} {rs1}, {rs2}, @{target}", cond)
             }
             Inst::Jmp { target } => write!(f, "jmp @{target}"),
@@ -400,13 +437,49 @@ mod tests {
 
     #[test]
     fn classification_matches_paper_table() {
-        assert_eq!(Inst::Load { rd: Reg::X2, base: Reg::X3, off: 0, size: MemSize::B8 }.class(), UopClass::Load);
-        assert_eq!(Inst::RdMsr { rd: Reg::X2, idx: 0 }.class(), UopClass::LoadLike);
-        assert!(Inst::RdMsr { rd: Reg::X2, idx: 0 }.is_load_like());
-        assert_eq!(Inst::Store { src: Reg::X2, base: Reg::X3, off: 0, size: MemSize::B8 }.class(), UopClass::Store);
+        assert_eq!(
+            Inst::Load {
+                rd: Reg::X2,
+                base: Reg::X3,
+                off: 0,
+                size: MemSize::B8
+            }
+            .class(),
+            UopClass::Load
+        );
+        assert_eq!(
+            Inst::RdMsr {
+                rd: Reg::X2,
+                idx: 0
+            }
+            .class(),
+            UopClass::LoadLike
+        );
+        assert!(Inst::RdMsr {
+            rd: Reg::X2,
+            idx: 0
+        }
+        .is_load_like());
+        assert_eq!(
+            Inst::Store {
+                src: Reg::X2,
+                base: Reg::X3,
+                off: 0,
+                size: MemSize::B8
+            }
+            .class(),
+            UopClass::Store
+        );
         assert_eq!(Inst::Ret.class(), UopClass::Branch);
         assert_eq!(Inst::Fence.class(), UopClass::Serializing);
-        assert_eq!(Inst::ClFlush { base: Reg::X2, off: 0 }.class(), UopClass::Arith);
+        assert_eq!(
+            Inst::ClFlush {
+                base: Reg::X2,
+                off: 0
+            }
+            .class(),
+            UopClass::Arith
+        );
     }
 
     #[test]
@@ -418,19 +491,36 @@ mod tests {
 
     #[test]
     fn dest_to_x0_is_discarded() {
-        assert_eq!(Inst::Li { rd: Reg::X0, imm: 7 }.dest(), None);
+        assert_eq!(
+            Inst::Li {
+                rd: Reg::X0,
+                imm: 7
+            }
+            .dest(),
+            None
+        );
     }
 
     #[test]
     fn srcs_skip_x0() {
-        let i = Inst::Alu { op: AluOp::Add, rd: Reg::X2, rs1: Reg::X0, src2: Src2::Reg(Reg::X3) };
+        let i = Inst::Alu {
+            op: AluOp::Add,
+            rd: Reg::X2,
+            rs1: Reg::X0,
+            src2: Src2::Reg(Reg::X3),
+        };
         let s: Vec<Reg> = i.srcs().collect();
         assert_eq!(s, vec![Reg::X3]);
     }
 
     #[test]
     fn store_reads_base_and_data() {
-        let i = Inst::Store { src: Reg::X4, base: Reg::X5, off: 8, size: MemSize::B4 };
+        let i = Inst::Store {
+            src: Reg::X4,
+            base: Reg::X5,
+            off: 8,
+            size: MemSize::B4,
+        };
         let s: Vec<Reg> = i.srcs().collect();
         assert_eq!(s, vec![Reg::X5, Reg::X4]);
     }
@@ -476,7 +566,10 @@ mod tests {
             Inst::Halt,
             Inst::Fence,
             Inst::Ret,
-            Inst::Li { rd: Reg::X2, imm: 1 },
+            Inst::Li {
+                rd: Reg::X2,
+                imm: 1,
+            },
             Inst::Jmp { target: 3 },
         ];
         for i in insts {

@@ -181,7 +181,12 @@ impl Interp {
                 };
                 self.set_reg(rd, op.apply(a, b));
             }
-            Inst::Load { rd, base, off, size } => {
+            Inst::Load {
+                rd,
+                base,
+                off,
+                size,
+            } => {
                 let addr = self.reg(base).wrapping_add(off as u64);
                 if self.priv_map.is_privileged(addr) {
                     return self.deliver_fault(Fault::PrivilegedAccess { addr });
@@ -189,7 +194,12 @@ impl Interp {
                 let v = self.mem.read(addr, size.bytes());
                 self.set_reg(rd, v);
             }
-            Inst::Store { src, base, off, size } => {
+            Inst::Store {
+                src,
+                base,
+                off,
+                size,
+            } => {
                 let addr = self.reg(base).wrapping_add(off as u64);
                 if self.priv_map.is_privileged(addr) {
                     return self.deliver_fault(Fault::PrivilegedAccess { addr });
@@ -197,7 +207,12 @@ impl Interp {
                 let v = self.reg(src);
                 self.mem.write(addr, v, size.bytes());
             }
-            Inst::Branch { cond, rs1, rs2, target } => {
+            Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
                 if cond.eval(self.reg(rs1), self.reg(rs2)) {
                     next = target;
                 }
@@ -256,7 +271,11 @@ impl Interp {
         if !self.halted {
             return Err(InterpError::StepLimit);
         }
-        Ok(ExitInfo { halted: true, retired: self.retired, faults: self.faults })
+        Ok(ExitInfo {
+            halted: true,
+            retired: self.retired,
+            faults: self.faults,
+        })
     }
 }
 
@@ -277,7 +296,10 @@ mod tests {
     #[test]
     fn arithmetic_and_halt() {
         let mut asm = Asm::new();
-        asm.li(Reg::X2, 20).li(Reg::X3, 22).add(Reg::X4, Reg::X2, Reg::X3).halt();
+        asm.li(Reg::X2, 20)
+            .li(Reg::X3, 22)
+            .add(Reg::X4, Reg::X2, Reg::X3)
+            .halt();
         let i = run(&asm);
         assert_eq!(i.reg(Reg::X4), 42);
         assert_eq!(i.retired(), 4);
@@ -357,7 +379,10 @@ mod tests {
         let mut p = asm.assemble().unwrap();
         // Store the function's instruction index in the table.
         let target = 4u64; // index of li x6 (after: li, ld8, callind, halt)
-        p.data.push(crate::DataInit { addr: table, bytes: target.to_le_bytes().to_vec() });
+        p.data.push(crate::DataInit {
+            addr: table,
+            bytes: target.to_le_bytes().to_vec(),
+        });
         let mut i = Interp::new(&p);
         i.run(1000).unwrap();
         assert_eq!(i.reg(Reg::X6), 0x77);
@@ -372,7 +397,10 @@ mod tests {
         let p = asm.assemble().unwrap();
         let mut i = Interp::new(&p);
         let err = i.run(100).unwrap_err();
-        assert!(matches!(err, InterpError::UnhandledFault(Fault::PrivilegedAccess { .. })));
+        assert!(matches!(
+            err,
+            InterpError::UnhandledFault(Fault::PrivilegedAccess { .. })
+        ));
     }
 
     #[test]
@@ -391,7 +419,11 @@ mod tests {
         let exit = i.run(100).unwrap();
         assert_eq!(exit.faults, 1);
         assert_eq!(i.reg(Reg::X4), 1);
-        assert_eq!(i.reg(Reg::X3), 0, "faulting load must not write its destination");
+        assert_eq!(
+            i.reg(Reg::X3),
+            0,
+            "faulting load must not write its destination"
+        );
     }
 
     #[test]

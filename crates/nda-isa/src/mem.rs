@@ -163,7 +163,11 @@ mod tests {
         for &size in &[1u64, 2, 4, 8] {
             let val = 0x1122_3344_5566_7788u64;
             m.write(0x1000, val, size);
-            let mask = if size == 8 { u64::MAX } else { (1u64 << (8 * size)) - 1 };
+            let mask = if size == 8 {
+                u64::MAX
+            } else {
+                (1u64 << (8 * size)) - 1
+            };
             assert_eq!(m.read(0x1000, size), val & mask, "size {size}");
         }
     }

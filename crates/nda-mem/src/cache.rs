@@ -76,7 +76,10 @@ impl SetAssocCache {
     /// line size).
     pub fn new(cfg: CacheConfig) -> SetAssocCache {
         assert!(cfg.ways > 0, "cache must have at least one way");
-        assert!(cfg.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            cfg.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(cfg.sets() > 0, "cache must have at least one set");
         SetAssocCache {
             sets: vec![vec![Line::default(); cfg.ways]; cfg.sets()],
@@ -125,7 +128,11 @@ impl SetAssocCache {
             .iter_mut()
             .min_by_key(|l| if l.valid { l.last_use } else { 0 })
             .expect("ways > 0");
-        *victim = Line { tag, valid: true, last_use: self.tick };
+        *victim = Line {
+            tag,
+            valid: true,
+            last_use: self.tick,
+        };
         false
     }
 
@@ -144,7 +151,11 @@ impl SetAssocCache {
             .iter_mut()
             .min_by_key(|l| if l.valid { l.last_use } else { 0 })
             .expect("ways > 0");
-        *victim = Line { tag, valid: true, last_use: self.tick };
+        *victim = Line {
+            tag,
+            valid: true,
+            last_use: self.tick,
+        };
     }
 
     /// Count a miss that was serviced without calling [`Self::access`]
@@ -186,7 +197,12 @@ mod tests {
 
     fn tiny() -> SetAssocCache {
         // 2 sets x 2 ways x 64B lines = 256 B.
-        SetAssocCache::new(CacheConfig { size_bytes: 256, line_bytes: 64, ways: 2, latency: 4 })
+        SetAssocCache::new(CacheConfig {
+            size_bytes: 256,
+            line_bytes: 64,
+            ways: 2,
+            latency: 4,
+        })
     }
 
     #[test]
@@ -264,6 +280,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one way")]
     fn zero_ways_panics() {
-        SetAssocCache::new(CacheConfig { size_bytes: 256, line_bytes: 64, ways: 0, latency: 1 });
+        SetAssocCache::new(CacheConfig {
+            size_bytes: 256,
+            line_bytes: 64,
+            ways: 0,
+            latency: 1,
+        });
     }
 }

@@ -50,9 +50,24 @@ impl MemHierConfig {
     /// 50 ns DRAM, 16 MSHRs.
     pub fn haswell_like() -> MemHierConfig {
         MemHierConfig {
-            l1i: CacheConfig { size_bytes: 32 * 1024, line_bytes: 64, ways: 8, latency: 4 },
-            l1d: CacheConfig { size_bytes: 32 * 1024, line_bytes: 64, ways: 8, latency: 4 },
-            l2: CacheConfig { size_bytes: 2 * 1024 * 1024, line_bytes: 64, ways: 16, latency: 40 },
+            l1i: CacheConfig {
+                size_bytes: 32 * 1024,
+                line_bytes: 64,
+                ways: 8,
+                latency: 4,
+            },
+            l1d: CacheConfig {
+                size_bytes: 32 * 1024,
+                line_bytes: 64,
+                ways: 8,
+                latency: 4,
+            },
+            l2: CacheConfig {
+                size_bytes: 2 * 1024 * 1024,
+                line_bytes: 64,
+                ways: 16,
+                latency: 40,
+            },
             dram_latency: 100,
             mshrs: 16,
             next_line_prefetch: false,
@@ -62,9 +77,24 @@ impl MemHierConfig {
     /// A tiny hierarchy for unit tests (exaggerated conflict behaviour).
     pub fn tiny() -> MemHierConfig {
         MemHierConfig {
-            l1i: CacheConfig { size_bytes: 512, line_bytes: 64, ways: 2, latency: 4 },
-            l1d: CacheConfig { size_bytes: 512, line_bytes: 64, ways: 2, latency: 4 },
-            l2: CacheConfig { size_bytes: 2048, line_bytes: 64, ways: 2, latency: 40 },
+            l1i: CacheConfig {
+                size_bytes: 512,
+                line_bytes: 64,
+                ways: 2,
+                latency: 4,
+            },
+            l1d: CacheConfig {
+                size_bytes: 512,
+                line_bytes: 64,
+                ways: 2,
+                latency: 4,
+            },
+            l2: CacheConfig {
+                size_bytes: 2048,
+                line_bytes: 64,
+                ways: 2,
+                latency: 40,
+            },
             dram_latency: 100,
             mshrs: 4,
             next_line_prefetch: false,
@@ -105,6 +135,9 @@ pub struct MemHier {
     /// Off-chip fills that have been requested but not yet arrived:
     /// `(line-base address, completion cycle)`. Applied lazily.
     pending_fills: Vec<(u64, u64)>,
+    /// Extra cycles added to every data-side access (fault-injection knob:
+    /// models transient contention/queuing without touching cache state).
+    extra_latency: u64,
 }
 
 impl MemHier {
@@ -119,6 +152,7 @@ impl MemHier {
             dram_accesses: 0,
             prefetches: 0,
             pending_fills: Vec::new(),
+            extra_latency: 0,
             cfg,
         }
     }
@@ -126,6 +160,20 @@ impl MemHier {
     /// The configuration this hierarchy was built with.
     pub fn config(&self) -> MemHierConfig {
         self.cfg
+    }
+
+    /// Add `extra` cycles to every subsequent data-side access (0 restores
+    /// nominal timing). A timing-only perturbation: architectural results
+    /// must be unaffected, which is exactly what the fault-injection
+    /// harness asserts.
+    pub fn set_extra_latency(&mut self, extra: u64) {
+        self.extra_latency = extra;
+    }
+
+    /// Data-side MSHR entries still in flight at `now` (retired entries are
+    /// drained first).
+    pub fn mshr_outstanding(&mut self, now: u64) -> usize {
+        self.mshr.outstanding(now)
     }
 
     /// Install fills that completed at or before `now`.
@@ -153,14 +201,17 @@ impl MemHier {
         self.apply_fills(now);
         if self.l1d.probe(addr) {
             self.l1d.access(addr);
-            return Some(DataAccess { latency: self.cfg.l1d.latency, level: Level::L1 });
+            return Some(DataAccess {
+                latency: self.cfg.l1d.latency + self.extra_latency,
+                level: Level::L1,
+            });
         }
         if self.l2.probe(addr) {
             self.l1d.count_miss();
             self.l2.access(addr); // LRU update
             self.l1d.install(addr); // L1 fill
             return Some(DataAccess {
-                latency: self.cfg.l1d.latency + self.cfg.l2.latency,
+                latency: self.cfg.l1d.latency + self.cfg.l2.latency + self.extra_latency,
                 level: Level::L2,
             });
         }
@@ -168,7 +219,8 @@ impl MemHier {
         // a refused access leaves no residue.
         let line_addr = addr & !(self.cfg.l1d.line_bytes - 1);
         let line = addr / self.cfg.l1d.line_bytes;
-        let full_latency = self.cfg.l1d.latency + self.cfg.l2.latency + self.cfg.dram_latency;
+        let full_latency =
+            self.cfg.l1d.latency + self.cfg.l2.latency + self.cfg.dram_latency + self.extra_latency;
         let (done, merged) = self.mshr.allocate(line, now, now + full_latency)?;
         if !merged {
             self.dram_accesses += 1;
@@ -182,7 +234,8 @@ impl MemHier {
                 let next = line_addr + self.cfg.l1d.line_bytes;
                 if !self.l1d.probe(next) && !self.l2.probe(next) {
                     if let Some((pdone, pmerged)) =
-                        self.mshr.allocate(next / self.cfg.l1d.line_bytes, now, now + full_latency)
+                        self.mshr
+                            .allocate(next / self.cfg.l1d.line_bytes, now, now + full_latency)
                     {
                         if !pmerged {
                             self.prefetches += 1;
@@ -193,7 +246,10 @@ impl MemHier {
                 }
             }
         }
-        Some(DataAccess { latency: done - now, level: Level::Mem })
+        Some(DataAccess {
+            latency: done - now,
+            level: Level::Mem,
+        })
     }
 
     /// Instruction fetch of the line containing `addr` at cycle `now`.
@@ -201,7 +257,10 @@ impl MemHier {
     /// do not consume data MSHRs.
     pub fn access_inst(&mut self, addr: u64) -> DataAccess {
         if self.l1i.access(addr) {
-            return DataAccess { latency: self.cfg.l1i.latency, level: Level::L1 };
+            return DataAccess {
+                latency: self.cfg.l1i.latency,
+                level: Level::L1,
+            };
         }
         if self.l2.access(addr) {
             return DataAccess {
@@ -223,9 +282,15 @@ impl MemHier {
     pub fn probe_data(&mut self, addr: u64, now: u64) -> DataAccess {
         self.apply_fills(now);
         if self.l1d.probe(addr) {
-            DataAccess { latency: self.cfg.l1d.latency, level: Level::L1 }
+            DataAccess {
+                latency: self.cfg.l1d.latency,
+                level: Level::L1,
+            }
         } else if self.l2.probe(addr) {
-            DataAccess { latency: self.cfg.l1d.latency + self.cfg.l2.latency, level: Level::L2 }
+            DataAccess {
+                latency: self.cfg.l1d.latency + self.cfg.l2.latency,
+                level: Level::L2,
+            }
         } else {
             DataAccess {
                 latency: self.cfg.l1d.latency + self.cfg.l2.latency + self.cfg.dram_latency,
@@ -315,7 +380,10 @@ mod tests {
         }
         let refused_addr = 0x20_000;
         assert!(h.access_data(refused_addr, 1).is_none());
-        assert!(!h.data_line_present(refused_addr), "refused access left residue");
+        assert!(
+            !h.data_line_present(refused_addr),
+            "refused access left residue"
+        );
         // After the fills complete, the access goes through.
         assert!(h.access_data(refused_addr, 1000).is_some());
     }
@@ -326,7 +394,10 @@ mod tests {
         let first = h.access_data(0x3000, 0).unwrap();
         assert_eq!(first.latency, 144);
         let merged = h.access_data(0x3020, 44).unwrap(); // same line, later
-        assert_eq!(merged.latency, 100, "merge completes with the in-flight fill");
+        assert_eq!(
+            merged.latency, 100,
+            "merge completes with the in-flight fill"
+        );
     }
 
     #[test]
@@ -358,7 +429,11 @@ mod tests {
         assert_eq!(h.stats().prefetches, 1);
         // After the fill window both the demanded and the next line hit.
         assert_eq!(h.access_data(0x8000, 200).unwrap().level, Level::L1);
-        assert_eq!(h.access_data(0x8040, 200).unwrap().level, Level::L1, "prefetched");
+        assert_eq!(
+            h.access_data(0x8040, 200).unwrap().level,
+            Level::L1,
+            "prefetched"
+        );
         // Two lines further was not prefetched.
         assert_eq!(h.access_data(0x8080, 400).unwrap().level, Level::Mem);
     }

@@ -25,7 +25,10 @@ pub struct BtbConfig {
 
 impl Default for BtbConfig {
     fn default() -> BtbConfig {
-        BtbConfig { entries: 4096, speculative_update: true }
+        BtbConfig {
+            entries: 4096,
+            speculative_update: true,
+        }
     }
 }
 
@@ -52,9 +55,19 @@ impl Btb {
     ///
     /// Panics if `entries` is not a power of two.
     pub fn new(cfg: BtbConfig) -> Btb {
-        assert!(cfg.entries.is_power_of_two(), "btb entries must be a power of two");
+        assert!(
+            cfg.entries.is_power_of_two(),
+            "btb entries must be a power of two"
+        );
         Btb {
-            entries: vec![Entry { tag: 0, target: 0, valid: false }; cfg.entries],
+            entries: vec![
+                Entry {
+                    tag: 0,
+                    target: 0,
+                    valid: false
+                };
+                cfg.entries
+            ],
             cfg,
             lookups: 0,
             hits: 0,
@@ -95,7 +108,11 @@ impl Btb {
     /// Install/overwrite the mapping `pc -> target`.
     pub fn update(&mut self, pc: u64, target: usize) {
         let (idx, tag) = self.split(pc);
-        self.entries[idx] = Entry { tag, target, valid: true };
+        self.entries[idx] = Entry {
+            tag,
+            target,
+            valid: true,
+        };
     }
 
     /// `(lookups, hits)` counters.
@@ -135,7 +152,10 @@ mod tests {
 
     #[test]
     fn tag_prevents_aliased_hit() {
-        let mut b = Btb::new(BtbConfig { entries: 16, speculative_update: true });
+        let mut b = Btb::new(BtbConfig {
+            entries: 16,
+            speculative_update: true,
+        });
         b.update(0x5, 7);
         // 0x5 + 16 maps to the same index but a different tag.
         assert_eq!(b.lookup(0x5 + 16), None);
@@ -154,6 +174,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn non_pow2_panics() {
-        Btb::new(BtbConfig { entries: 5, speculative_update: true });
+        Btb::new(BtbConfig {
+            entries: 5,
+            speculative_update: true,
+        });
     }
 }

@@ -11,7 +11,10 @@ pub struct GshareConfig {
 
 impl Default for GshareConfig {
     fn default() -> GshareConfig {
-        GshareConfig { entries: 4096, history_bits: 12 }
+        GshareConfig {
+            entries: 4096,
+            history_bits: 12,
+        }
     }
 }
 
@@ -39,8 +42,17 @@ impl Gshare {
     ///
     /// Panics if `entries` is not a power of two.
     pub fn new(cfg: GshareConfig) -> Gshare {
-        assert!(cfg.entries.is_power_of_two(), "gshare entries must be a power of two");
-        Gshare { table: vec![1; cfg.entries], cfg, ghr: 0, predictions: 0, correct: 0 }
+        assert!(
+            cfg.entries.is_power_of_two(),
+            "gshare entries must be a power of two"
+        );
+        Gshare {
+            table: vec![1; cfg.entries],
+            cfg,
+            ghr: 0,
+            predictions: 0,
+            correct: 0,
+        }
     }
 
     #[inline]
@@ -153,7 +165,10 @@ mod tests {
 
     #[test]
     fn history_affects_index() {
-        let cfg = GshareConfig { entries: 16, history_bits: 4 };
+        let cfg = GshareConfig {
+            entries: 16,
+            history_bits: 4,
+        };
         let g = Gshare::new(cfg);
         // Same PC, different history must (for this geometry) hit different
         // counters for at least one history pair.
@@ -185,7 +200,10 @@ mod tests {
 
     #[test]
     fn counter_saturates() {
-        let mut g = Gshare::new(GshareConfig { entries: 4, history_bits: 2 });
+        let mut g = Gshare::new(GshareConfig {
+            entries: 4,
+            history_bits: 2,
+        });
         for _ in 0..10 {
             g.train(0, 0, true, false);
         }
@@ -199,6 +217,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn non_pow2_entries_panics() {
-        Gshare::new(GshareConfig { entries: 3, history_bits: 2 });
+        Gshare::new(GshareConfig {
+            entries: 3,
+            history_bits: 2,
+        });
     }
 }

@@ -29,7 +29,11 @@ pub struct Ras {
 impl Ras {
     /// An empty stack.
     pub fn new() -> Ras {
-        Ras { stack: [0; RAS_ENTRIES], top: 0, depth: 0 }
+        Ras {
+            stack: [0; RAS_ENTRIES],
+            top: 0,
+            depth: 0,
+        }
     }
 
     /// Push a predicted return address (on fetching a `call`).
@@ -57,7 +61,11 @@ impl Ras {
 
     /// Snapshot for squash recovery.
     pub fn snapshot(&self) -> RasSnapshot {
-        RasSnapshot { stack: self.stack, top: self.top, depth: self.depth }
+        RasSnapshot {
+            stack: self.stack,
+            top: self.top,
+            depth: self.depth,
+        }
     }
 
     /// Restore a snapshot taken before the squashed region was fetched.

@@ -22,8 +22,13 @@ impl Bimodal {
     ///
     /// Panics if `entries` is not a power of two.
     pub fn new(entries: usize) -> Bimodal {
-        assert!(entries.is_power_of_two(), "bimodal entries must be a power of two");
-        Bimodal { table: vec![1; entries] }
+        assert!(
+            entries.is_power_of_two(),
+            "bimodal entries must be a power of two"
+        );
+        Bimodal {
+            table: vec![1; entries],
+        }
     }
 
     #[inline]
@@ -90,7 +95,8 @@ impl Tournament {
         let use_gshare = self.chooser[self.choose_idx(pc)] >= 2;
         let taken = if use_gshare { g } else { b };
         // Shift the *final* prediction into the shared history.
-        self.gshare.restore_ghr((self.gshare.ghr() << 1) | taken as u64);
+        self.gshare
+            .restore_ghr((self.gshare.ghr() << 1) | taken as u64);
         taken
     }
 
@@ -209,7 +215,10 @@ mod tests {
 
     #[test]
     fn tournament_chooser_migrates_to_the_better_component() {
-        let mut t = Tournament::new(GshareConfig { entries: 64, history_bits: 4 });
+        let mut t = Tournament::new(GshareConfig {
+            entries: 64,
+            history_bits: 4,
+        });
         // A strongly-biased branch: bimodal handles it perfectly; with a
         // wandering history gshare splits its counters. Train both and the
         // chooser must not end up worse than either alone.
@@ -225,8 +234,18 @@ mod tests {
 
     #[test]
     fn dir_predictor_dispatch_is_uniform() {
-        for kind in [PredictorKind::Gshare, PredictorKind::Bimodal, PredictorKind::Tournament] {
-            let mut p = DirPredictor::new(kind, GshareConfig { entries: 64, history_bits: 6 });
+        for kind in [
+            PredictorKind::Gshare,
+            PredictorKind::Bimodal,
+            PredictorKind::Tournament,
+        ] {
+            let mut p = DirPredictor::new(
+                kind,
+                GshareConfig {
+                    entries: 64,
+                    history_bits: 6,
+                },
+            );
             let ghr = p.ghr();
             let pred = p.predict(0x44);
             p.train(0x44, ghr, true, pred);
@@ -239,7 +258,10 @@ mod tests {
                 p.train(0x44, ghr, true, pred);
                 p.recover(ghr, true);
             }
-            assert!(p.predict(0x44), "{kind:?} failed to learn a constant branch");
+            assert!(
+                p.predict(0x44),
+                "{kind:?} failed to learn a constant branch"
+            );
         }
     }
 

@@ -136,6 +136,18 @@ impl SimStats {
         }
     }
 
+    /// The Fig 9a cycle classes as labelled absolute counts, in the order
+    /// (commit, memory, backend, frontend) — the stall-reason histogram the
+    /// pipeline watchdog embeds in its diagnostics.
+    pub fn stall_histogram(&self) -> [(&'static str, u64); 4] {
+        [
+            ("commit", self.commit_cycles),
+            ("memory-stall", self.memory_stall_cycles),
+            ("backend-stall", self.backend_stall_cycles),
+            ("frontend-stall", self.frontend_stall_cycles),
+        ]
+    }
+
     /// The four Fig 9a classes as fractions of total cycles, in the order
     /// (commit, memory, backend, frontend).
     pub fn cycle_breakdown(&self) -> (f64, f64, f64, f64) {
@@ -155,7 +167,11 @@ mod tests {
 
     #[test]
     fn cpi_and_ipc() {
-        let s = SimStats { cycles: 100, committed_insts: 50, ..SimStats::new() };
+        let s = SimStats {
+            cycles: 100,
+            committed_insts: 50,
+            ..SimStats::new()
+        };
         assert_eq!(s.cpi(), 2.0);
         assert_eq!(s.ipc(), 0.5);
     }
@@ -168,14 +184,22 @@ mod tests {
 
     #[test]
     fn ilp_counts_only_active_cycles() {
-        let s = SimStats { issued_insts: 30, issue_active_cycles: 10, ..SimStats::new() };
+        let s = SimStats {
+            issued_insts: 30,
+            issue_active_cycles: 10,
+            ..SimStats::new()
+        };
         assert_eq!(s.ilp(), 3.0);
         assert_eq!(SimStats::new().ilp(), 0.0);
     }
 
     #[test]
     fn dispatch_to_issue_mean() {
-        let s = SimStats { dispatch_to_issue_total: 90, issued_insts: 30, ..SimStats::new() };
+        let s = SimStats {
+            dispatch_to_issue_total: 90,
+            issued_insts: 30,
+            ..SimStats::new()
+        };
         assert_eq!(s.avg_dispatch_to_issue(), 3.0);
     }
 
@@ -199,5 +223,21 @@ mod tests {
     fn breakdown_of_zero_cycles_is_finite() {
         let (c, m, b, f) = SimStats::new().cycle_breakdown();
         assert_eq!((c, m, b, f), (0.0, 0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn stall_histogram_labels_match_counters() {
+        let s = SimStats {
+            commit_cycles: 1,
+            memory_stall_cycles: 2,
+            backend_stall_cycles: 3,
+            frontend_stall_cycles: 4,
+            ..SimStats::new()
+        };
+        let h = s.stall_histogram();
+        assert_eq!(h[0], ("commit", 1));
+        assert_eq!(h[1], ("memory-stall", 2));
+        assert_eq!(h[2], ("backend-stall", 3));
+        assert_eq!(h[3], ("frontend-stall", 4));
     }
 }

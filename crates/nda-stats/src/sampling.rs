@@ -32,7 +32,11 @@ impl Sample {
     pub fn from_values(values: &[f64]) -> Sample {
         let n = values.len();
         if n == 0 {
-            return Sample { mean: f64::NAN, ci95: 0.0, n: 0 };
+            return Sample {
+                mean: f64::NAN,
+                ci95: 0.0,
+                n: 0,
+            };
         }
         let mean = values.iter().sum::<f64>() / n as f64;
         if n == 1 {
@@ -42,7 +46,11 @@ impl Sample {
         let se = (var / n as f64).sqrt();
         let df = n - 1;
         let t = if df <= 30 { T_975[df - 1] } else { 1.96 };
-        Sample { mean, ci95: t * se, n }
+        Sample {
+            mean,
+            ci95: t * se,
+            n,
+        }
     }
 
     /// `true` if `other`'s mean lies outside this interval (a coarse

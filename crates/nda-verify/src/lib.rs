@@ -1,0 +1,526 @@
+//! Fault-injection differential verification harness.
+//!
+//! The master correctness invariant of the reproduction is that NDA (and
+//! every other evaluated configuration) changes *time*, never
+//! *architecture*. The plain differential tests check that on undisturbed
+//! runs; this crate checks it **under adversity**: seeded random SpecRISC
+//! programs run on every [`Variant`] while a seeded [`FaultPlan`] injects
+//! timing-only disturbances —
+//!
+//! * **spurious squashes** (mis-speculation recoveries that were not
+//!   asked for),
+//! * **extra memory latency** (transient contention),
+//! * **predictor-state corruption** (bogus BTB targets, poisoned
+//!   direction training, RAS push/pop),
+//!
+//! — and the final architectural state (registers, scratch memory,
+//! retired count) must still be bit-exact against the reference
+//! interpreter. The out-of-order runs also enable the cycle-level
+//! invariant checker and forward-progress watchdog, so a disturbance that
+//! wedges the pipeline or breaks a conservation law is caught and
+//! reported, not silently timed out.
+//!
+//! On a mismatch the harness *shrinks*: it retries progressively simpler
+//! generator configurations (shorter programs, no indirection, no fences,
+//! no MSRs) that still reproduce the failure, then dumps a self-contained
+//! repro — disassembly listing plus the binary encoding — to disk.
+
+use nda_core::config::{CoreModel, SimConfig};
+use nda_core::{OooCore, Variant};
+use nda_isa::genprog::{generate, GenConfig, SCRATCH_BASE};
+use nda_isa::{encode_program, Interp, Program};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Interpreter step budget per program.
+const MAX_STEPS: u64 = 2_000_000;
+/// Core cycle budget per program.
+const MAX_CYCLES: u64 = 20_000_000;
+/// Scratch words digested from `SCRATCH_BASE`.
+const SCRATCH_WORDS: u64 = 64;
+
+/// One class of injected disturbance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectKind {
+    /// Spurious squash-and-refetch from a random in-flight entry.
+    Squash,
+    /// Extra data-side memory latency.
+    MemLat,
+    /// Predictor-state corruption (BTB/direction/RAS).
+    Predictor,
+}
+
+impl InjectKind {
+    /// Parse a comma-separated list, e.g. `"squash,memlat,predictor"`.
+    pub fn parse_list(s: &str) -> Result<Vec<InjectKind>, String> {
+        s.split(',')
+            .filter(|p| !p.is_empty())
+            .map(|p| match p.trim() {
+                "squash" => Ok(InjectKind::Squash),
+                "memlat" => Ok(InjectKind::MemLat),
+                "predictor" => Ok(InjectKind::Predictor),
+                other => Err(format!(
+                    "unknown injection kind `{other}` (expected squash, memlat, predictor)"
+                )),
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for InjectKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            InjectKind::Squash => "squash",
+            InjectKind::MemLat => "memlat",
+            InjectKind::Predictor => "predictor",
+        })
+    }
+}
+
+/// Per-cycle injection probabilities. All disturbances are timing-only;
+/// the differential assertion is what proves they stayed that way.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Probability per cycle of a spurious squash. Squashes are
+    /// additionally gated on forward progress (at least one commit since
+    /// the previous injected squash) so the plan cannot livelock the
+    /// pipeline by construction.
+    pub squash_rate: f64,
+    /// Probability per cycle of re-drawing the extra data-side latency
+    /// (0..48 cycles, occasionally reset to nominal).
+    pub memlat_rate: f64,
+    /// Probability per cycle of corrupting one predictor structure.
+    pub predictor_rate: f64,
+}
+
+impl FaultPlan {
+    /// No injection at all (plain differential run).
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            squash_rate: 0.0,
+            memlat_rate: 0.0,
+            predictor_rate: 0.0,
+        }
+    }
+
+    /// Default rates for the selected kinds.
+    pub fn for_kinds(kinds: &[InjectKind]) -> FaultPlan {
+        let mut plan = FaultPlan::none();
+        for k in kinds {
+            match k {
+                InjectKind::Squash => plan.squash_rate = 0.02,
+                InjectKind::MemLat => plan.memlat_rate = 0.05,
+                InjectKind::Predictor => plan.predictor_rate = 0.05,
+            }
+        }
+        plan
+    }
+
+    fn is_none(&self) -> bool {
+        self.squash_rate == 0.0 && self.memlat_rate == 0.0 && self.predictor_rate == 0.0
+    }
+}
+
+/// Harness configuration.
+#[derive(Debug, Clone)]
+pub struct VerifyConfig {
+    /// Base seed: iteration `i` generates its program (and injection
+    /// stream) from `seed + i`.
+    pub seed: u64,
+    /// Programs to run.
+    pub iters: u64,
+    /// Injection plan applied to every out-of-order variant.
+    pub plan: FaultPlan,
+    /// Program-generator shape.
+    pub gen: GenConfig,
+    /// Where to dump shrunk repros (`None` = don't write).
+    pub repro_dir: Option<PathBuf>,
+}
+
+impl VerifyConfig {
+    /// `iters` programs from `seed` with the given injections and the
+    /// default generator shape, dumping repros into `target/nda-repros`.
+    pub fn new(seed: u64, iters: u64, kinds: &[InjectKind]) -> VerifyConfig {
+        VerifyConfig {
+            seed,
+            iters,
+            plan: FaultPlan::for_kinds(kinds),
+            gen: GenConfig::default(),
+            repro_dir: Some(PathBuf::from("target/nda-repros")),
+        }
+    }
+}
+
+/// A confirmed architectural divergence, already shrunk.
+#[derive(Debug, Clone)]
+pub struct Mismatch {
+    /// Program seed that failed.
+    pub seed: u64,
+    /// The diverging variant.
+    pub variant: Variant,
+    /// What diverged (registers, memory, retired count, or a structured
+    /// simulator error).
+    pub detail: String,
+    /// Generator configuration of the *shrunk* reproducer.
+    pub gen: GenConfig,
+    /// The shrunk program.
+    pub program: Program,
+    /// Where the repro listing was written, if anywhere.
+    pub repro_path: Option<PathBuf>,
+}
+
+impl fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "seed {} on {}: {} ({} insts{})",
+            self.seed,
+            self.variant,
+            self.detail,
+            self.program.len(),
+            match &self.repro_path {
+                Some(p) => format!(", repro at {}", p.display()),
+                None => String::new(),
+            }
+        )
+    }
+}
+
+/// Outcome of a whole verification run.
+#[derive(Debug, Clone)]
+pub struct VerifyReport {
+    /// Iterations completed.
+    pub iters: u64,
+    /// Variants exercised per iteration.
+    pub variants: usize,
+    /// Every confirmed (shrunk) divergence.
+    pub mismatches: Vec<Mismatch>,
+}
+
+impl VerifyReport {
+    /// `true` when every run matched the reference interpreter.
+    pub fn ok(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+/// Final architectural state: registers, scratch-memory digest, retired
+/// instruction count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ArchState {
+    regs: [u64; 32],
+    scratch: Vec<u64>,
+    retired: u64,
+}
+
+fn interp_state(program: &Program) -> Result<ArchState, String> {
+    let mut i = Interp::new(program);
+    let exit = i
+        .run(MAX_STEPS)
+        .map_err(|e| format!("reference interpreter: {e}"))?;
+    if !exit.halted {
+        return Err("reference interpreter did not halt".into());
+    }
+    let scratch = (0..SCRATCH_WORDS)
+        .map(|k| i.mem.read(SCRATCH_BASE + 8 * k, 8))
+        .collect();
+    Ok(ArchState {
+        regs: *i.regs(),
+        scratch,
+        retired: exit.retired,
+    })
+}
+
+/// Run `program` on `variant` with `plan` injected (out-of-order cores
+/// only; the in-order core has no speculative state to disturb).
+fn variant_state(
+    variant: Variant,
+    program: &Program,
+    plan: &FaultPlan,
+    inject_seed: u64,
+) -> Result<ArchState, String> {
+    let mut cfg = SimConfig::for_variant(variant);
+    match cfg.model {
+        CoreModel::InOrder => {
+            let mut c = nda_core::InOrderCore::new(cfg, program);
+            let r = c.run(MAX_CYCLES).map_err(|e| e.to_string())?;
+            let scratch = (0..SCRATCH_WORDS)
+                .map(|k| c.mem.read(SCRATCH_BASE + 8 * k, 8))
+                .collect();
+            Ok(ArchState {
+                regs: r.regs,
+                scratch,
+                retired: r.stats.committed_insts,
+            })
+        }
+        CoreModel::OutOfOrder => {
+            // Every hardening layer on: the commit-time oracle and the
+            // conservation-law checker catch divergences at the exact
+            // cycle; the watchdog catches injection-induced wedges.
+            cfg.check_invariants = true;
+            let mut c = OooCore::new(cfg, program);
+            let mut rng = StdRng::seed_from_u64(inject_seed);
+            let mut commits_at_last_squash = 0u64;
+            let plan = *plan;
+            let run = if plan.is_none() {
+                c.run(MAX_CYCLES)
+            } else {
+                c.run_hooked(MAX_CYCLES, |core| {
+                    if plan.squash_rate > 0.0 && rng.gen_bool(plan.squash_rate) {
+                        // Forward-progress gate: never squash twice without
+                        // an intervening commit.
+                        if core.stats.committed_insts > commits_at_last_squash
+                            && core.inject_spurious_squash(rng.next_u64())
+                        {
+                            commits_at_last_squash = core.stats.committed_insts;
+                        }
+                    }
+                    if plan.memlat_rate > 0.0 && rng.gen_bool(plan.memlat_rate) {
+                        let extra = if rng.gen_bool(0.25) {
+                            0
+                        } else {
+                            rng.gen_range(1u64..48)
+                        };
+                        core.hier.set_extra_latency(extra);
+                    }
+                    if plan.predictor_rate > 0.0 && rng.gen_bool(plan.predictor_rate) {
+                        core.inject_predictor_corruption(rng.next_u64(), rng.next_u64());
+                    }
+                })
+            };
+            let r = run.map_err(|e| e.to_string())?;
+            let scratch = (0..SCRATCH_WORDS)
+                .map(|k| c.mem.read(SCRATCH_BASE + 8 * k, 8))
+                .collect();
+            Ok(ArchState {
+                regs: r.regs,
+                scratch,
+                retired: r.stats.committed_insts,
+            })
+        }
+    }
+}
+
+/// Compare one variant against the reference; `Err` holds a divergence
+/// description.
+fn check_variant(
+    variant: Variant,
+    program: &Program,
+    oracle: &ArchState,
+    plan: &FaultPlan,
+    inject_seed: u64,
+) -> Result<(), String> {
+    let got = variant_state(variant, program, plan, inject_seed)?;
+    if got.regs != oracle.regs {
+        let r = (0..32)
+            .find(|&i| got.regs[i] != oracle.regs[i])
+            .expect("some reg differs");
+        return Err(format!(
+            "register x{r} = {:#x}, reference {:#x}",
+            got.regs[r], oracle.regs[r]
+        ));
+    }
+    if got.scratch != oracle.scratch {
+        let k = (0..got.scratch.len())
+            .find(|&i| got.scratch[i] != oracle.scratch[i])
+            .expect("some word differs");
+        return Err(format!(
+            "scratch word {k} = {:#x}, reference {:#x}",
+            got.scratch[k], oracle.scratch[k]
+        ));
+    }
+    if got.retired != oracle.retired {
+        return Err(format!(
+            "retired {} instructions, reference {}",
+            got.retired, oracle.retired
+        ));
+    }
+    Ok(())
+}
+
+/// Verify one program seed across every variant. Returns the (shrunk)
+/// mismatch on failure.
+pub fn verify_one(cfg: &VerifyConfig, prog_seed: u64) -> Result<(), Box<Mismatch>> {
+    verify_seed_with_gen(cfg, prog_seed, cfg.gen)
+        .map_err(|(variant, detail)| Box::new(shrink(cfg, prog_seed, variant, detail)))
+}
+
+fn verify_seed_with_gen(
+    cfg: &VerifyConfig,
+    prog_seed: u64,
+    gen: GenConfig,
+) -> Result<(), (Variant, String)> {
+    let program = generate(prog_seed, gen);
+    let oracle = match interp_state(&program) {
+        Ok(o) => o,
+        // A generated program the reference itself cannot finish is a
+        // generator artefact, not a core bug: skip it.
+        Err(_) => return Ok(()),
+    };
+    for (vi, variant) in Variant::all().into_iter().enumerate() {
+        let inject_seed = prog_seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(cfg.seed)
+            .wrapping_add(vi as u64);
+        check_variant(variant, &program, &oracle, &cfg.plan, inject_seed)
+            .map_err(|detail| (variant, detail))?;
+    }
+    Ok(())
+}
+
+/// Shrink a failing seed to the simplest generator configuration that
+/// still diverges, then dump a repro.
+fn shrink(cfg: &VerifyConfig, prog_seed: u64, variant: Variant, detail: String) -> Mismatch {
+    let mut best_gen = cfg.gen;
+    let mut best_detail = detail;
+    // Candidate simplifications, tried cumulatively: drop instruction
+    // classes first (smaller grammar), then shrink the program.
+    let mut candidates: Vec<GenConfig> = Vec::new();
+    let mut g = cfg.gen;
+    for _ in 0..3 {
+        if g.msrs {
+            g.msrs = false;
+            candidates.push(g);
+        }
+        if g.fences {
+            g.fences = false;
+            candidates.push(g);
+        }
+        if g.indirect {
+            g.indirect = false;
+            candidates.push(g);
+        }
+        if g.max_depth > 1 {
+            g.max_depth -= 1;
+            candidates.push(g);
+        }
+        if g.target_len > 20 {
+            g.target_len /= 2;
+            candidates.push(g);
+        }
+    }
+    for cand in candidates {
+        if let Err((v, d)) = verify_seed_with_gen(cfg, prog_seed, cand) {
+            if v == variant {
+                best_gen = cand;
+                best_detail = d;
+            }
+        }
+    }
+    let program = generate(prog_seed, best_gen);
+    let repro_path = cfg
+        .repro_dir
+        .as_deref()
+        .and_then(|dir| write_repro(dir, prog_seed, variant, &best_detail, best_gen, &program));
+    Mismatch {
+        seed: prog_seed,
+        variant,
+        detail: best_detail,
+        gen: best_gen,
+        program,
+        repro_path,
+    }
+}
+
+/// Dump a self-contained repro: metadata + disassembly listing, plus the
+/// binary encoding next to it. Returns the listing path on success.
+fn write_repro(
+    dir: &Path,
+    seed: u64,
+    variant: Variant,
+    detail: &str,
+    gen: GenConfig,
+    program: &Program,
+) -> Option<PathBuf> {
+    std::fs::create_dir_all(dir).ok()?;
+    let mut listing = String::new();
+    listing.push_str(&format!(
+        "# nda-verify repro\n# seed: {seed}\n# variant: {variant}\n# divergence: {detail}\n\
+         # genconfig: {gen:?}\n# entry: {}\n",
+        program.entry
+    ));
+    if let Some(h) = program.fault_handler {
+        listing.push_str(&format!("# fault handler: {h}\n"));
+    }
+    for (pc, inst) in program.insts.iter().enumerate() {
+        listing.push_str(&format!("{pc:5}: {inst}\n"));
+    }
+    let txt = dir.join(format!("repro-{seed}.txt"));
+    std::fs::write(&txt, listing).ok()?;
+    let bin = dir.join(format!("repro-{seed}.bin"));
+    std::fs::write(&bin, encode_program(program)).ok()?;
+    Some(txt)
+}
+
+/// Run the whole harness: `cfg.iters` programs, every variant each, with
+/// `progress` called after each iteration (for CLI reporting).
+pub fn run_verify(cfg: &VerifyConfig, mut progress: impl FnMut(u64, usize)) -> VerifyReport {
+    let mut mismatches = Vec::new();
+    for i in 0..cfg.iters {
+        if let Err(m) = verify_one(cfg, cfg.seed.wrapping_add(i)) {
+            mismatches.push(*m);
+        }
+        progress(i + 1, mismatches.len());
+    }
+    VerifyReport {
+        iters: cfg.iters,
+        variants: Variant::all().len(),
+        mismatches,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_gen() -> GenConfig {
+        GenConfig {
+            target_len: 120,
+            max_depth: 2,
+            indirect: true,
+            fences: true,
+            msrs: true,
+        }
+    }
+
+    #[test]
+    fn parse_inject_list() {
+        assert_eq!(
+            InjectKind::parse_list("squash,memlat,predictor").unwrap(),
+            vec![
+                InjectKind::Squash,
+                InjectKind::MemLat,
+                InjectKind::Predictor
+            ]
+        );
+        assert_eq!(InjectKind::parse_list("").unwrap(), vec![]);
+        assert!(InjectKind::parse_list("squish").is_err());
+    }
+
+    #[test]
+    fn clean_runs_match_reference() {
+        let mut cfg = VerifyConfig::new(7, 2, &[]);
+        cfg.gen = small_gen();
+        let report = run_verify(&cfg, |_, _| {});
+        assert!(report.ok(), "mismatches: {:?}", report.mismatches);
+        assert_eq!(report.iters, 2);
+    }
+
+    #[test]
+    fn injected_runs_match_reference() {
+        let mut cfg = VerifyConfig::new(
+            11,
+            2,
+            &[
+                InjectKind::Squash,
+                InjectKind::MemLat,
+                InjectKind::Predictor,
+            ],
+        );
+        cfg.gen = small_gen();
+        let report = run_verify(&cfg, |_, _| {});
+        assert!(report.ok(), "mismatches: {:?}", report.mismatches);
+    }
+}

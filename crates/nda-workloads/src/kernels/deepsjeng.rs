@@ -6,8 +6,8 @@
 
 use super::util::{self, ACC, CTR};
 use crate::WorkloadParams;
-use nda_isa::{AluOp, Asm, Program, Reg};
 use nda_isa::reg::RA;
+use nda_isa::{AluOp, Asm, Program, Reg};
 
 /// Recursion depth per outer iteration (matches the RAS capacity).
 const DEPTH: u64 = 16;

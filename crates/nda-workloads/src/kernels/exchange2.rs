@@ -12,7 +12,10 @@ use nda_isa::{AluOp, Asm, Program, Reg};
 pub fn build(p: &WorkloadParams) -> Program {
     let mut asm = Asm::new();
     util::prologue(&mut asm, p.iters * 4, 0);
-    let grid: Vec<u64> = util::random_words(p.seed, 0x6578, 81).iter().map(|w| w % 9 + 1).collect();
+    let grid: Vec<u64> = util::random_words(p.seed, 0x6578, 81)
+        .iter()
+        .map(|w| w % 9 + 1)
+        .collect();
     asm.data_u64s(crate::DATA_BASE, &grid);
 
     let top = asm.here_label();

@@ -15,7 +15,10 @@ const TABLE_WORDS: usize = 1 << 13;
 pub fn build(p: &WorkloadParams) -> Program {
     let mut asm = Asm::new();
     util::prologue(&mut asm, p.iters * 8, 0);
-    asm.data_u64s(crate::DATA_BASE, &util::random_words(p.seed, 0x676_363, TABLE_WORDS));
+    asm.data_u64s(
+        crate::DATA_BASE,
+        &util::random_words(p.seed, 0x676_363, TABLE_WORDS),
+    );
 
     asm.li(Reg::X2, p.seed | 1); // hash state
     asm.li(Reg::X9, 0x9E37_79B9_7F4A_7C15); // mix constant

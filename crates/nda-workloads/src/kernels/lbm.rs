@@ -17,7 +17,10 @@ const MASK: u64 = (WORDS as u64 * 8) - 1;
 pub fn build(p: &WorkloadParams) -> Program {
     let mut asm = Asm::new();
     util::prologue(&mut asm, p.iters, WORDS as u64 * 8);
-    asm.data_u64s(crate::DATA_BASE, &util::random_words(p.seed, 0x6c_626d, WORDS));
+    asm.data_u64s(
+        crate::DATA_BASE,
+        &util::random_words(p.seed, 0x6c_626d, WORDS),
+    );
 
     asm.li(Reg::X2, 0); // byte offset
 

@@ -16,7 +16,10 @@ const EVENTS: u64 = 4096;
 pub fn build(p: &WorkloadParams) -> Program {
     let mut asm = Asm::new();
     util::prologue(&mut asm, p.iters * 4, 0);
-    asm.data_u64s(crate::DATA_BASE, &util::random_words(p.seed, 0x6f6d6e, EVENTS as usize));
+    asm.data_u64s(
+        crate::DATA_BASE,
+        &util::random_words(p.seed, 0x6f6d6e, EVENTS as usize),
+    );
 
     asm.li(Reg::X2, 0); // window base (byte offset)
     asm.li(Reg::X9, 0x2545_F491_4F6C_DD1D); // mix constant

@@ -19,8 +19,10 @@ pub fn build(p: &WorkloadParams) -> Program {
     let mut asm = Asm::new();
     util::prologue(&mut asm, p.iters * 8, CODE_LEN);
     // Opcode stream: one byte per op, 0..8.
-    let code: Vec<u8> =
-        util::random_bytes(p.seed, 0x7065726c, CODE_LEN as usize).iter().map(|b| b % 8).collect();
+    let code: Vec<u8> = util::random_bytes(p.seed, 0x7065726c, CODE_LEN as usize)
+        .iter()
+        .map(|b| b % 8)
+        .collect();
     asm.data(crate::DATA_BASE, &code);
 
     // Handler function-pointer table lives at BASE2; it is filled at

@@ -15,8 +15,14 @@ const FRAME: usize = 4096;
 pub fn build(p: &WorkloadParams) -> Program {
     let mut asm = Asm::new();
     util::prologue(&mut asm, p.iters * 8, FRAME as u64);
-    asm.data(crate::DATA_BASE, &util::random_bytes(p.seed, 0x78323634, FRAME));
-    asm.data(crate::DATA_BASE + FRAME as u64, &util::random_bytes(p.seed, 0x78323635, FRAME));
+    asm.data(
+        crate::DATA_BASE,
+        &util::random_bytes(p.seed, 0x78323634, FRAME),
+    );
+    asm.data(
+        crate::DATA_BASE + FRAME as u64,
+        &util::random_bytes(p.seed, 0x78323635, FRAME),
+    );
 
     asm.li(Reg::X2, 0); // block offset
 

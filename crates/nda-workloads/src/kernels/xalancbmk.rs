@@ -20,7 +20,10 @@ pub fn build(p: &WorkloadParams) -> Program {
     util::prologue(&mut asm, p.iters * 4, NODES as u64 * 8);
     // Keys at BASE (one word per node); children at BASE2 (two words per
     // node: left at 2i, right at 2i+1), both random but in-range.
-    asm.data_u64s(crate::DATA_BASE, &util::random_words(p.seed, 0x78616c, NODES));
+    asm.data_u64s(
+        crate::DATA_BASE,
+        &util::random_words(p.seed, 0x78616c, NODES),
+    );
     let kids: Vec<u64> = util::random_words(p.seed, 0x6b6964, 2 * NODES)
         .into_iter()
         .map(|w| w % NODES as u64)

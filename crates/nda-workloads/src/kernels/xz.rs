@@ -21,8 +21,10 @@ pub fn build(p: &WorkloadParams) -> Program {
     let mut asm = Asm::new();
     util::prologue(&mut asm, p.iters * 8, 0);
     // Only four distinct byte values -> frequent short matches.
-    let stream: Vec<u8> =
-        util::random_bytes(p.seed, 0x787a, STREAM).iter().map(|b| b & 3).collect();
+    let stream: Vec<u8> = util::random_bytes(p.seed, 0x787a, STREAM)
+        .iter()
+        .map(|b| b & 3)
+        .collect();
     asm.data(crate::DATA_BASE, &stream);
 
     asm.li(Reg::X2, 0); // position i

@@ -76,16 +76,56 @@ pub struct Workload {
 /// All ten kernels, in the order reported by the benches.
 pub fn all() -> &'static [Workload] {
     &[
-        Workload { name: "mcf", behaviour: "pointer chasing, high MLP", build: kernels::mcf::build },
-        Workload { name: "lbm", behaviour: "streaming reads/writes", build: kernels::lbm::build },
-        Workload { name: "gcc", behaviour: "branchy integer + hash tables", build: kernels::gcc::build },
-        Workload { name: "xalancbmk", behaviour: "tree walk, data-dependent branches", build: kernels::xalancbmk::build },
-        Workload { name: "deepsjeng", behaviour: "deep recursion, RAS pressure", build: kernels::deepsjeng::build },
-        Workload { name: "exchange2", behaviour: "tight register loops, L1-resident", build: kernels::exchange2::build },
-        Workload { name: "perlbench", behaviour: "indirect dispatch, BTB pressure", build: kernels::perlbench::build },
-        Workload { name: "x264", behaviour: "SAD loops, predictable branches", build: kernels::x264::build },
-        Workload { name: "omnetpp", behaviour: "event-set scan, unpredictable branches", build: kernels::omnetpp::build },
-        Workload { name: "xz", behaviour: "data-dependent match scanning", build: kernels::xz::build },
+        Workload {
+            name: "mcf",
+            behaviour: "pointer chasing, high MLP",
+            build: kernels::mcf::build,
+        },
+        Workload {
+            name: "lbm",
+            behaviour: "streaming reads/writes",
+            build: kernels::lbm::build,
+        },
+        Workload {
+            name: "gcc",
+            behaviour: "branchy integer + hash tables",
+            build: kernels::gcc::build,
+        },
+        Workload {
+            name: "xalancbmk",
+            behaviour: "tree walk, data-dependent branches",
+            build: kernels::xalancbmk::build,
+        },
+        Workload {
+            name: "deepsjeng",
+            behaviour: "deep recursion, RAS pressure",
+            build: kernels::deepsjeng::build,
+        },
+        Workload {
+            name: "exchange2",
+            behaviour: "tight register loops, L1-resident",
+            build: kernels::exchange2::build,
+        },
+        Workload {
+            name: "perlbench",
+            behaviour: "indirect dispatch, BTB pressure",
+            build: kernels::perlbench::build,
+        },
+        Workload {
+            name: "x264",
+            behaviour: "SAD loops, predictable branches",
+            build: kernels::x264::build,
+        },
+        Workload {
+            name: "omnetpp",
+            behaviour: "event-set scan, unpredictable branches",
+            build: kernels::omnetpp::build,
+        },
+        Workload {
+            name: "xz",
+            behaviour: "data-dependent match scanning",
+            build: kernels::xz::build,
+        },
     ]
 }
 
@@ -120,7 +160,11 @@ mod tests {
             assert_eq!(a.insts, b.insts, "{}", w.name);
             let c = (w.build)(&WorkloadParams::test(4));
             // Data (at least) must differ across seeds.
-            assert!(a.insts != c.insts || a.data != c.data, "{}: seed ignored", w.name);
+            assert!(
+                a.insts != c.insts || a.data != c.data,
+                "{}: seed ignored",
+                w.name
+            );
         }
     }
 
@@ -129,9 +173,16 @@ mod tests {
         for w in all() {
             let p = (w.build)(&WorkloadParams::test(1));
             let mut i = Interp::new(&p);
-            let exit = i.run(20_000_000).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let exit = i
+                .run(20_000_000)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
             assert!(exit.halted, "{}", w.name);
-            assert!(exit.retired > 500, "{}: trivially short ({})", w.name, exit.retired);
+            assert!(
+                exit.retired > 500,
+                "{}: trivially short ({})",
+                w.name,
+                exit.retired
+            );
         }
     }
 

@@ -25,7 +25,11 @@ fn mcf_is_dram_bound_with_mlp() {
     );
     let mlp = r.mem_stats.mlp.expect("off-chip misses recorded");
     assert!(mlp > 1.5, "four chains must overlap misses (MLP {mlp:.2})");
-    assert!(r.cpi() > 3.0, "mcf must be memory-bound (CPI {:.2})", r.cpi());
+    assert!(
+        r.cpi() > 3.0,
+        "mcf must be memory-bound (CPI {:.2})",
+        r.cpi()
+    );
 }
 
 #[test]
@@ -63,7 +67,11 @@ fn x264_branches_are_predictable() {
 fn perlbench_exercises_indirect_calls() {
     let w = by_name("perlbench").unwrap();
     let prog = (w.build)(&WorkloadParams { seed: 2, iters: 30 });
-    let indirect = prog.insts.iter().filter(|i| matches!(i, Inst::CallInd { .. })).count();
+    let indirect = prog
+        .insts
+        .iter()
+        .filter(|i| matches!(i, Inst::CallInd { .. }))
+        .count();
     assert!(indirect >= 1, "dispatch loop must use an indirect call");
     let r = run_variant(Variant::Ooo, &prog, MAX).unwrap();
     // Random opcodes from one site: the BTB must miss often.
@@ -81,7 +89,10 @@ fn deepsjeng_uses_calls_and_returns() {
     assert!(prog.insts.iter().any(|i| matches!(i, Inst::Call { .. })));
     assert!(prog.insts.iter().filter(|i| matches!(i, Inst::Ret)).count() >= 2);
     let r = run_variant(Variant::Ooo, &prog, MAX).unwrap();
-    assert!(r.stats.committed_branches > 500, "recursion means many calls/rets");
+    assert!(
+        r.stats.committed_branches > 500,
+        "recursion means many calls/rets"
+    );
 }
 
 #[test]
@@ -115,7 +126,10 @@ fn omnetpp_scatters_memory_accesses() {
     // accesses spread beyond a couple of lines but stay mostly cached.
     assert!(r.stats.committed_loads > 1000);
     let per_branch = r.stats.branch_mispredicts as f64 / r.stats.committed_branches as f64;
-    assert!(per_branch > 0.05, "min-scan comparisons mispredict (rate {per_branch:.3})");
+    assert!(
+        per_branch > 0.05,
+        "min-scan comparisons mispredict (rate {per_branch:.3})"
+    );
 }
 
 #[test]

@@ -27,11 +27,23 @@ fn main() {
         Variant::FullProtection,
         Variant::InOrder,
     ];
-    println!("{:<22}{:>10}{:>16}{:>12}", "variant", "leaked?", "recovered", "separation");
+    println!(
+        "{:<22}{:>10}{:>16}{:>12}",
+        "variant", "leaked?", "recovered", "separation"
+    );
     for v in interesting {
         let o = run_attack(AttackKind::SpectreV1Btb, v, secret);
-        let rec = o.recovered.map(|b| format!("{b:#04x}")).unwrap_or_else(|| "-".into());
-        println!("{:<22}{:>10}{:>16}{:>11}c", v.name(), o.leaked, rec, o.separation);
+        let rec = o
+            .recovered
+            .map(|b| format!("{b:#04x}"))
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{:<22}{:>10}{:>16}{:>11}c",
+            v.name(),
+            o.leaked,
+            rec,
+            o.separation
+        );
     }
 
     println!("\nThe point of the paper in one table: cache-only defenses");

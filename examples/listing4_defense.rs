@@ -19,7 +19,9 @@ use nda::core::{OooCore, Variant};
 fn run(program: &nda::Program, v: Variant) -> (bool, u64) {
     let mut c = OooCore::new(SimConfig::for_variant(v), program);
     c.run(nda::attacks::ATTACK_MAX_CYCLES).expect("halts");
-    let t: Vec<u64> = (0..256).map(|g| c.mem.read(RESULTS_BASE + 8 * g, 8)).collect();
+    let t: Vec<u64> = (0..256)
+        .map(|g| c.mem.read(RESULTS_BASE + 8 * g, 8))
+        .collect();
     let o = analyze(&t, 0x42, AttackKind::SpectreV2Gpr.margin(), &[200]);
     (o.leaked, c.cycle())
 }
@@ -30,8 +32,16 @@ fn main() {
 
     println!("Spectre v2 against a GPR-resident secret (paper §4.2),");
     println!("with and without the Listing-4 no-speculation window:\n");
-    println!("{:<22}{:>16}{:>18}{:>14}", "variant", "plain victim", "hardened victim", "window cost");
-    for v in [Variant::Ooo, Variant::Permissive, Variant::RestrictedLoads, Variant::Strict] {
+    println!(
+        "{:<22}{:>16}{:>18}{:>14}",
+        "variant", "plain victim", "hardened victim", "window cost"
+    );
+    for v in [
+        Variant::Ooo,
+        Variant::Permissive,
+        Variant::RestrictedLoads,
+        Variant::Strict,
+    ] {
         let (leak_p, cyc_p) = run(&plain, v);
         let (leak_h, cyc_h) = run(&hardened, v);
         println!(

@@ -27,7 +27,10 @@ fn main() {
         Variant::InOrder,
     ] {
         let o = run_attack(AttackKind::Meltdown, v, secret);
-        let rec = o.recovered.map(|b| format!("{b:#04x}")).unwrap_or_else(|| "-".into());
+        let rec = o
+            .recovered
+            .map(|b| format!("{b:#04x}"))
+            .unwrap_or_else(|| "-".into());
         println!("{:<22}{:>10}{:>16}", v.name(), o.leaked, rec);
     }
 
@@ -37,8 +40,9 @@ fn main() {
     let program = AttackKind::Meltdown.program(secret);
     let mut c = OooCore::new(fixed, &program);
     c.run(nda::attacks::ATTACK_MAX_CYCLES).expect("halts");
-    let timings: Vec<u64> =
-        (0..256).map(|g| c.mem.read(nda::attacks::RESULTS_BASE + 8 * g, 8)).collect();
+    let timings: Vec<u64> = (0..256)
+        .map(|g| c.mem.read(nda::attacks::RESULTS_BASE + 8 * g, 8))
+        .collect();
     let o = nda::attacks::analyze(&timings, secret, AttackKind::Meltdown.margin(), &[]);
     println!("{:<22}{:>10}{:>16}", "OoO, flaw fixed", o.leaked, "-");
 

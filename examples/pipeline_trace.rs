@@ -53,7 +53,10 @@ fn show(name: &str, policy: NdaPolicy) {
         .find(|e| e.pc == 3)
         .map(|e| e.cycle)
         .unwrap_or(0);
-    print!("{}", render_pipeline(core.trace_events(), Some((first, first + 200)), 24));
+    print!(
+        "{}",
+        render_pipeline(core.trace_events(), Some((first, first + 200)), 24)
+    );
     println!();
 }
 

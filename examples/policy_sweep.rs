@@ -21,7 +21,10 @@ fn main() {
         std::process::exit(1);
     };
 
-    println!("workload: {} ({}), {} iterations\n", workload.name, workload.behaviour, iters);
+    println!(
+        "workload: {} ({}), {} iterations\n",
+        workload.name, workload.behaviour, iters
+    );
     let prog = (workload.build)(&WorkloadParams { seed: 1, iters });
 
     println!(

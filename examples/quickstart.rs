@@ -37,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let program = asm.assemble()?;
 
     println!("running the same program on three machines:\n");
-    println!("{:<22}{:>10}{:>10}{:>14}{:>16}", "variant", "cycles", "CPI", "result (x3)", "vs OoO");
+    println!(
+        "{:<22}{:>10}{:>10}{:>14}{:>16}",
+        "variant", "cycles", "CPI", "result (x3)", "vs OoO"
+    );
     let mut base = None;
     for v in [Variant::Ooo, Variant::FullProtection, Variant::InOrder] {
         let r = run_variant(v, &program, 10_000_000)?;

@@ -11,13 +11,16 @@
 //! nda-sim save <workload> <file> [options] encode a kernel to a binary file
 //! nda-sim exec <file> [options]            run an encoded program file
 //! nda-sim trace <attack> [options]         pipeline-trace an attack window
+//! nda-sim verify [options]                 fault-injection differential harness
 //!
 //! options:
 //!   --variant <name>    core configuration (default OoO; see `variants`)
-//!   --iters <n>         workload iterations (default 200)
-//!   --seed <n>          workload seed (default 1)
+//!   --iters <n>         workload iterations / verify programs (default 200)
+//!   --seed <n>          workload / verify seed (default 1)
 //!   --secret <byte>     attack secret byte (default 42)
 //!   --samples <n>       sweep samples per cell (default 2)
+//!   --inject <kinds>    verify only: comma-separated squash,memlat,predictor
+//!                       (default: all three; `--inject none` disables)
 //! ```
 
 use nda::attacks::{run_attack, AttackKind};
@@ -30,13 +33,20 @@ const MAX_CYCLES: u64 = 2_000_000_000;
 fn parse_variant(name: &str) -> Option<Variant> {
     Variant::all().into_iter().find(|v| {
         v.name().eq_ignore_ascii_case(name)
-            || v.name().replace([' ', '-'], "").eq_ignore_ascii_case(&name.replace(['-', '_'], ""))
+            || v.name()
+                .replace([' ', '-'], "")
+                .eq_ignore_ascii_case(&name.replace(['-', '_'], ""))
     })
 }
 
 fn parse_attack(name: &str) -> Option<AttackKind> {
-    let squash = |s: &str| s.to_ascii_lowercase().replace([' ', '-', '_', '(', ')'], "");
-    AttackKind::all().into_iter().find(|k| squash(k.name()).contains(&squash(name)))
+    let squash = |s: &str| {
+        s.to_ascii_lowercase()
+            .replace([' ', '-', '_', '(', ')'], "")
+    };
+    AttackKind::all()
+        .into_iter()
+        .find(|k| squash(k.name()).contains(&squash(name)))
 }
 
 struct Opts {
@@ -45,28 +55,48 @@ struct Opts {
     seed: u64,
     secret: u8,
     samples: u64,
+    inject: String,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
-    let mut o = Opts { variant: Variant::Ooo, iters: 200, seed: 1, secret: 42, samples: 2 };
+    let mut o = Opts {
+        variant: Variant::Ooo,
+        iters: 200,
+        seed: 1,
+        secret: 42,
+        samples: 2,
+        inject: "squash,memlat,predictor".into(),
+    };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut val = |flag: &str| {
-            it.next().map(String::as_str).ok_or(format!("{flag} needs a value")).map(String::from)
+            it.next()
+                .map(String::as_str)
+                .ok_or(format!("{flag} needs a value"))
+                .map(String::from)
         };
         match a.as_str() {
             "--variant" => {
                 let v = val("--variant")?;
                 o.variant = parse_variant(&v).ok_or(format!("unknown variant {v:?}"))?;
             }
-            "--iters" => o.iters = val("--iters")?.parse().map_err(|e| format!("--iters: {e}"))?,
+            "--iters" => {
+                o.iters = val("--iters")?
+                    .parse()
+                    .map_err(|e| format!("--iters: {e}"))?
+            }
             "--seed" => o.seed = val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--secret" => {
-                o.secret = val("--secret")?.parse().map_err(|e| format!("--secret: {e}"))?
+                o.secret = val("--secret")?
+                    .parse()
+                    .map_err(|e| format!("--secret: {e}"))?
             }
             "--samples" => {
-                o.samples = val("--samples")?.parse().map_err(|e| format!("--samples: {e}"))?
+                o.samples = val("--samples")?
+                    .parse()
+                    .map_err(|e| format!("--samples: {e}"))?
             }
+            "--inject" => o.inject = val("--inject")?,
             other => return Err(format!("unknown option {other:?}")),
         }
     }
@@ -103,7 +133,11 @@ fn cmd_workloads() {
 fn cmd_attacks() {
     println!("{:<20}{:<18}channel", "name", "class");
     for k in AttackKind::all() {
-        let class = if k.is_chosen_code() { "chosen-code" } else { "control-steering" };
+        let class = if k.is_chosen_code() {
+            "chosen-code"
+        } else {
+            "control-steering"
+        };
         let channel = match k {
             AttackKind::SpectreV1Btb => "BTB",
             AttackKind::NetspectreFpu => "FPU power state",
@@ -116,14 +150,26 @@ fn cmd_attacks() {
 
 fn cmd_run(name: &str, o: &Opts) -> Result<(), String> {
     let w = by_name(name).ok_or(format!("unknown workload {name:?} (see `workloads`)"))?;
-    let prog = (w.build)(&WorkloadParams { seed: o.seed, iters: o.iters });
+    let prog = (w.build)(&WorkloadParams {
+        seed: o.seed,
+        iters: o.iters,
+    });
     let r = run_variant(o.variant, &prog, MAX_CYCLES).map_err(|e| e.to_string())?;
     let s = r.stats;
-    println!("workload {} on {} (seed {}, {} iters)", w.name, o.variant.name(), o.seed, o.iters);
+    println!(
+        "workload {} on {} (seed {}, {} iters)",
+        w.name,
+        o.variant.name(),
+        o.seed,
+        o.iters
+    );
     println!("  cycles               {:>12}", s.cycles);
     println!("  instructions         {:>12}", s.committed_insts);
     println!("  CPI                  {:>12.3}", s.cpi());
-    println!("  loads/stores/branches{:>12} / {} / {}", s.committed_loads, s.committed_stores, s.committed_branches);
+    println!(
+        "  loads/stores/branches{:>12} / {} / {}",
+        s.committed_loads, s.committed_stores, s.committed_branches
+    );
     println!("  branch mispredicts   {:>12}", s.branch_mispredicts);
     println!("  squashes             {:>12}", s.squashes);
     println!("  wrong-path executed  {:>12}", s.wrong_path_executed);
@@ -131,7 +177,9 @@ fn cmd_run(name: &str, o: &Opts) -> Result<(), String> {
     println!("  dispatch->issue      {:>12.2}", s.avg_dispatch_to_issue());
     println!("  ILP                  {:>12.3}", s.ilp());
     let (c, m, b, f) = s.cycle_breakdown();
-    println!("  cycle mix            commit {c:.2} / mem {m:.2} / backend {b:.2} / frontend {f:.2}");
+    println!(
+        "  cycle mix            commit {c:.2} / mem {m:.2} / backend {b:.2} / frontend {f:.2}"
+    );
     println!(
         "  L1D {}h/{}m  L2 {}h/{}m  DRAM {}  MLP {}",
         r.mem_stats.l1d.hits,
@@ -139,7 +187,10 @@ fn cmd_run(name: &str, o: &Opts) -> Result<(), String> {
         r.mem_stats.l2.hits,
         r.mem_stats.l2.misses,
         r.mem_stats.dram_accesses,
-        r.mem_stats.mlp.map(|m| format!("{m:.2}")).unwrap_or_else(|| "-".into()),
+        r.mem_stats
+            .mlp
+            .map(|m| format!("{m:.2}"))
+            .unwrap_or_else(|| "-".into()),
     );
     Ok(())
 }
@@ -147,11 +198,26 @@ fn cmd_run(name: &str, o: &Opts) -> Result<(), String> {
 fn cmd_attack(name: &str, o: &Opts) -> Result<(), String> {
     let k = parse_attack(name).ok_or(format!("unknown attack {name:?} (see `attacks`)"))?;
     let out = run_attack(k, o.variant, o.secret);
-    println!("{} on {} (secret {:#04x})", k.name(), o.variant.name(), o.secret);
+    println!(
+        "{} on {} (secret {:#04x})",
+        k.name(),
+        o.variant.name(),
+        o.secret
+    );
     println!("  leaked     {}", out.leaked);
-    println!("  recovered  {:?}", out.recovered.map(|b| format!("{b:#04x}")));
+    println!(
+        "  recovered  {:?}",
+        out.recovered.map(|b| format!("{b:#04x}"))
+    );
     println!("  separation {} cycles", out.separation);
-    println!("  expected   {}", if k.expected_blocked(o.variant) { "blocked" } else { "leak" });
+    println!(
+        "  expected   {}",
+        if k.expected_blocked(o.variant) {
+            "blocked"
+        } else {
+            "leak"
+        }
+    );
     Ok(())
 }
 
@@ -172,7 +238,10 @@ fn cmd_matrix(o: &Opts) {
 }
 
 fn cmd_sweep(o: &Opts) {
-    println!("normalised CPI, {} samples x {} iters per cell", o.samples, o.iters);
+    println!(
+        "normalised CPI, {} samples x {} iters per cell",
+        o.samples, o.iters
+    );
     print!("{:<12}", "workload");
     for v in Variant::all() {
         print!("{:>20}", v.name());
@@ -184,7 +253,10 @@ fn cmd_sweep(o: &Opts) {
         for v in Variant::all() {
             let mut cpis = 0.0;
             for s in 0..o.samples {
-                let prog = (w.build)(&WorkloadParams { seed: o.seed + s, iters: o.iters });
+                let prog = (w.build)(&WorkloadParams {
+                    seed: o.seed + s,
+                    iters: o.iters,
+                });
                 let r = run_variant(v, &prog, MAX_CYCLES).expect("halts");
                 cpis += r.cpi();
             }
@@ -198,10 +270,17 @@ fn cmd_sweep(o: &Opts) {
 
 fn cmd_save(name: &str, path: &str, o: &Opts) -> Result<(), String> {
     let w = by_name(name).ok_or(format!("unknown workload {name:?}"))?;
-    let prog = (w.build)(&WorkloadParams { seed: o.seed, iters: o.iters });
+    let prog = (w.build)(&WorkloadParams {
+        seed: o.seed,
+        iters: o.iters,
+    });
     let bytes = nda::isa::encode_program(&prog);
     std::fs::write(path, &bytes).map_err(|e| format!("write {path}: {e}"))?;
-    println!("wrote {} instructions ({} bytes) to {path}", prog.insts.len(), bytes.len());
+    println!(
+        "wrote {} instructions ({} bytes) to {path}",
+        prog.insts.len(),
+        bytes.len()
+    );
     Ok(())
 }
 
@@ -252,20 +331,66 @@ fn cmd_trace(name: &str, o: &Opts) -> Result<(), String> {
         k.name(),
         o.variant.name()
     );
-    println!("D dispatch, I issue, C complete, B broadcast, R retire, x squash
-");
+    println!(
+        "D dispatch, I issue, C complete, B broadcast, R retire, x squash
+"
+    );
     print!(
         "{}",
-        render_pipeline(core.trace_events(), Some((t.saturating_sub(60), t + 40)), 48)
+        render_pipeline(
+            core.trace_events(),
+            Some((t.saturating_sub(60), t + 40)),
+            48
+        )
     );
     Ok(())
+}
+
+fn cmd_verify(o: &Opts) -> Result<(), String> {
+    use nda::verify::{run_verify, InjectKind, VerifyConfig};
+    let kinds = if o.inject == "none" {
+        Vec::new()
+    } else {
+        InjectKind::parse_list(&o.inject)?
+    };
+    let cfg = VerifyConfig::new(o.seed, o.iters, &kinds);
+    println!(
+        "differential verify: {} programs from seed {}, injecting [{}] across all variants",
+        o.iters,
+        o.seed,
+        kinds
+            .iter()
+            .map(|k| k.to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    let report = run_verify(&cfg, |done, bad| {
+        if done % 25 == 0 || done == o.iters {
+            println!("  {done}/{} programs checked, {bad} mismatch(es)", o.iters);
+        }
+    });
+    for m in &report.mismatches {
+        println!("MISMATCH: {m}");
+    }
+    if report.ok() {
+        println!(
+            "ok: {} programs x {} variants, zero architectural mismatches",
+            report.iters, report.variants
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "{} architectural mismatch(es)",
+            report.mismatches.len()
+        ))
+    }
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first().map(String::as_str) else {
         eprintln!(
-            "usage: nda-sim <variants|workloads|attacks|run|attack|matrix|sweep|save|exec|trace> [options]"
+            "usage: nda-sim <variants|workloads|attacks|run|attack|matrix|sweep|save|exec|trace|verify> [options]"
         );
         eprintln!("(see the module docs at the top of src/bin/nda-sim.rs)");
         return ExitCode::FAILURE;
@@ -292,7 +417,9 @@ fn main() -> ExitCode {
             None => Err("attack needs an attack name".into()),
         },
         "save" => match (args.get(1), args.get(2)) {
-            (Some(name), Some(path)) => parse_opts(&args[3..]).and_then(|o| cmd_save(name, path, &o)),
+            (Some(name), Some(path)) => {
+                parse_opts(&args[3..]).and_then(|o| cmd_save(name, path, &o))
+            }
             _ => Err("save needs a workload name and a file path".into()),
         },
         "exec" => match args.get(1) {
@@ -305,6 +432,7 @@ fn main() -> ExitCode {
         },
         "matrix" => parse_opts(&args[1..]).map(|o| cmd_matrix(&o)),
         "sweep" => parse_opts(&args[1..]).map(|o| cmd_sweep(&o)),
+        "verify" => parse_opts(&args[1..]).and_then(|o| cmd_verify(&o)),
         other => Err(format!("unknown command {other:?}")),
     };
     match result {

@@ -14,6 +14,9 @@
 //!   (`nda-workloads`).
 //! * [`attacks`] — Spectre v1 (cache and BTB channels), SSB, Meltdown and
 //!   LazyFP proof-of-concepts with leak detectors (`nda-attacks`).
+//! * [`verify`] — the fault-injection differential harness: random
+//!   programs under injected squashes/latency/predictor corruption must
+//!   stay bit-exact against the reference interpreter (`nda-verify`).
 //!
 //! The most common entry points are re-exported at the crate root:
 //!
@@ -36,6 +39,7 @@ pub use nda_isa as isa;
 pub use nda_mem as mem;
 pub use nda_predict as predict;
 pub use nda_stats as stats;
+pub use nda_verify as verify;
 pub use nda_workloads as workloads;
 
 pub use nda_core::{run_variant, run_with_config, RunResult, SimConfig, SimError, Variant};

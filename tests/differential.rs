@@ -7,9 +7,9 @@
 //! on the reference interpreter, the in-order core, the insecure
 //! out-of-order core, all six NDA policies and both InvisiSpec variants.
 
+use nda_core::{run_variant, Variant};
 use nda_isa::genprog::{generate, GenConfig, SCRATCH_BASE};
 use nda_isa::{Interp, Program};
-use nda_core::{run_variant, Variant};
 
 const MAX_STEPS: u64 = 2_000_000;
 const MAX_CYCLES: u64 = 20_000_000;
@@ -25,8 +25,14 @@ struct ArchState {
 fn interp_state(program: &Program) -> ArchState {
     let mut i = Interp::new(program);
     let exit = i.run(MAX_STEPS).expect("interpreter run");
-    let scratch = (0..64).map(|k| i.mem.read(SCRATCH_BASE + 8 * k, 8)).collect();
-    ArchState { regs: *i.regs(), scratch, retired: exit.retired }
+    let scratch = (0..64)
+        .map(|k| i.mem.read(SCRATCH_BASE + 8 * k, 8))
+        .collect();
+    ArchState {
+        regs: *i.regs(),
+        scratch,
+        retired: exit.retired,
+    }
 }
 
 fn variant_state(v: Variant, program: &Program) -> ArchState {
@@ -34,7 +40,11 @@ fn variant_state(v: Variant, program: &Program) -> ArchState {
     // them, so the digest is comparable.
     let r = run_variant(v, program, MAX_CYCLES).unwrap_or_else(|e| panic!("{v}: {e}"));
     assert!(r.halted, "{v}: did not halt");
-    ArchState { regs: r.regs, scratch: Vec::new(), retired: r.stats.committed_insts }
+    ArchState {
+        regs: r.regs,
+        scratch: Vec::new(),
+        retired: r.stats.committed_insts,
+    }
 }
 
 /// Memory digest needs access to the core's memory; run again through the
@@ -46,14 +56,26 @@ fn variant_state_with_mem(v: Variant, program: &Program) -> ArchState {
         CoreModel::OutOfOrder => {
             let mut c = nda_core::OooCore::new(cfg, program);
             let r = c.run(MAX_CYCLES).unwrap_or_else(|e| panic!("{v}: {e}"));
-            let scratch = (0..64).map(|k| c.mem.read(SCRATCH_BASE + 8 * k, 8)).collect();
-            ArchState { regs: r.regs, scratch, retired: r.stats.committed_insts }
+            let scratch = (0..64)
+                .map(|k| c.mem.read(SCRATCH_BASE + 8 * k, 8))
+                .collect();
+            ArchState {
+                regs: r.regs,
+                scratch,
+                retired: r.stats.committed_insts,
+            }
         }
         CoreModel::InOrder => {
             let mut c = nda_core::InOrderCore::new(cfg, program);
             let r = c.run(MAX_CYCLES).unwrap_or_else(|e| panic!("{v}: {e}"));
-            let scratch = (0..64).map(|k| c.mem.read(SCRATCH_BASE + 8 * k, 8)).collect();
-            ArchState { regs: r.regs, scratch, retired: r.stats.committed_insts }
+            let scratch = (0..64)
+                .map(|k| c.mem.read(SCRATCH_BASE + 8 * k, 8))
+                .collect();
+            ArchState {
+                regs: r.regs,
+                scratch,
+                retired: r.stats.committed_insts,
+            }
         }
     }
 }
@@ -63,9 +85,18 @@ fn check_seed(seed: u64, cfg: GenConfig) {
     let oracle = interp_state(&program);
     for v in Variant::all() {
         let got = variant_state_with_mem(v, &program);
-        assert_eq!(got.regs, oracle.regs, "seed {seed}, {v}: register divergence");
-        assert_eq!(got.scratch, oracle.scratch, "seed {seed}, {v}: memory divergence");
-        assert_eq!(got.retired, oracle.retired, "seed {seed}, {v}: retired-count divergence");
+        assert_eq!(
+            got.regs, oracle.regs,
+            "seed {seed}, {v}: register divergence"
+        );
+        assert_eq!(
+            got.scratch, oracle.scratch,
+            "seed {seed}, {v}: memory divergence"
+        );
+        assert_eq!(
+            got.retired, oracle.retired,
+            "seed {seed}, {v}: retired-count divergence"
+        );
     }
     // And the lightweight path agrees with itself.
     let a = variant_state(Variant::Ooo, &program);
@@ -75,7 +106,16 @@ fn check_seed(seed: u64, cfg: GenConfig) {
 #[test]
 fn differential_small_programs() {
     for seed in 0..12 {
-        check_seed(seed, GenConfig { target_len: 120, max_depth: 2, indirect: true, fences: true, msrs: true });
+        check_seed(
+            seed,
+            GenConfig {
+                target_len: 120,
+                max_depth: 2,
+                indirect: true,
+                fences: true,
+                msrs: true,
+            },
+        );
     }
 }
 
@@ -91,7 +131,13 @@ fn differential_without_indirection() {
     for seed in 200..206 {
         check_seed(
             seed,
-            GenConfig { target_len: 250, max_depth: 3, indirect: false, fences: false, msrs: true },
+            GenConfig {
+                target_len: 250,
+                max_depth: 3,
+                indirect: false,
+                fences: false,
+                msrs: true,
+            },
         );
     }
 }
@@ -99,6 +145,15 @@ fn differential_without_indirection() {
 #[test]
 fn differential_deeply_nested() {
     for seed in 300..304 {
-        check_seed(seed, GenConfig { target_len: 350, max_depth: 4, indirect: true, fences: true, msrs: true });
+        check_seed(
+            seed,
+            GenConfig {
+                target_len: 350,
+                max_depth: 4,
+                indirect: true,
+                fences: true,
+                msrs: true,
+            },
+        );
     }
 }

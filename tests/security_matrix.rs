@@ -30,7 +30,11 @@ fn check(kind: AttackKind, variant: Variant) {
         outcome.separation,
     );
     if outcome.leaked {
-        assert_eq!(outcome.recovered, Some(SECRET), "{kind} on {variant}: wrong byte");
+        assert_eq!(
+            outcome.recovered,
+            Some(SECRET),
+            "{kind} on {variant}: wrong byte"
+        );
     }
 }
 
@@ -114,9 +118,15 @@ fn listing4_window_blocks_gpr_attack_everywhere() {
     for v in [Variant::Ooo, Variant::Permissive, Variant::RestrictedLoads] {
         let mut c = OooCore::new(SimConfig::for_variant(v), &program);
         c.run(nda_attacks::ATTACK_MAX_CYCLES).unwrap();
-        let t: Vec<u64> = (0..256).map(|g| c.mem.read(RESULTS_BASE + 8 * g, 8)).collect();
+        let t: Vec<u64> = (0..256)
+            .map(|g| c.mem.read(RESULTS_BASE + 8 * g, 8))
+            .collect();
         let o = analyze(&t, SECRET, AttackKind::SpectreV2Gpr.margin(), &[200]);
-        assert!(!o.leaked, "{v}: Listing-4 window failed (recovered {:?})", o.recovered);
+        assert!(
+            !o.leaked,
+            "{v}: Listing-4 window failed (recovered {:?})",
+            o.recovered
+        );
     }
 }
 
@@ -154,8 +164,13 @@ fn meltdown_flaw_knob_closes_the_leak() {
     let program = AttackKind::Meltdown.program(SECRET);
     let mut c = OooCore::new(cfg, &program);
     c.run(nda_attacks::ATTACK_MAX_CYCLES).unwrap();
-    let timings: Vec<u64> =
-        (0..256).map(|g| c.mem.read(nda_attacks::RESULTS_BASE + 8 * g, 8)).collect();
+    let timings: Vec<u64> = (0..256)
+        .map(|g| c.mem.read(nda_attacks::RESULTS_BASE + 8 * g, 8))
+        .collect();
     let o = nda_attacks::analyze(&timings, SECRET, AttackKind::Meltdown.margin(), &[]);
-    assert!(!o.leaked, "fixed hardware must not leak (got {:?})", o.recovered);
+    assert!(
+        !o.leaked,
+        "fixed hardware must not leak (got {:?})",
+        o.recovered
+    );
 }

@@ -11,16 +11,22 @@ const MAX_CYCLES: u64 = 50_000_000;
 
 #[test]
 fn kernels_match_interpreter_on_every_variant() {
-    let params = WorkloadParams { seed: 11, iters: 12 };
+    let params = WorkloadParams {
+        seed: 11,
+        iters: 12,
+    };
     for w in all() {
         let p = (w.build)(&params);
         let mut oracle = Interp::new(&p);
-        let exit = oracle.run(MAX_CYCLES).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let exit = oracle
+            .run(MAX_CYCLES)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
         let want_sum = oracle.mem.read(CHECKSUM_ADDR, 8);
         let want_regs = *oracle.regs();
 
         for v in Variant::all() {
-            let r = run_variant(v, &p, MAX_CYCLES).unwrap_or_else(|e| panic!("{}/{v}: {e}", w.name));
+            let r =
+                run_variant(v, &p, MAX_CYCLES).unwrap_or_else(|e| panic!("{}/{v}: {e}", w.name));
             assert!(r.halted, "{}/{v}", w.name);
             assert_eq!(r.regs, want_regs, "{}/{v}: register divergence", w.name);
             assert_eq!(
@@ -38,7 +44,10 @@ fn protected_variants_are_never_faster_than_insecure_ooo() {
     let params = WorkloadParams { seed: 3, iters: 10 };
     for w in all() {
         let p = (w.build)(&params);
-        let base = run_variant(Variant::Ooo, &p, MAX_CYCLES).unwrap().stats.cycles;
+        let base = run_variant(Variant::Ooo, &p, MAX_CYCLES)
+            .unwrap()
+            .stats
+            .cycles;
         for v in [
             Variant::Permissive,
             Variant::PermissiveBr,
@@ -56,7 +65,14 @@ fn protected_variants_are_never_faster_than_insecure_ooo() {
                 w.name
             );
         }
-        let inorder = run_variant(Variant::InOrder, &p, MAX_CYCLES).unwrap().stats.cycles;
-        assert!(inorder > base, "{}: in-order must be slower than OoO", w.name);
+        let inorder = run_variant(Variant::InOrder, &p, MAX_CYCLES)
+            .unwrap()
+            .stats
+            .cycles;
+        assert!(
+            inorder > base,
+            "{}: in-order must be slower than OoO",
+            w.name
+        );
     }
 }

@@ -1,0 +1,212 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no network access, so the real crates-io
+//! `criterion` cannot be resolved. This vendored replacement implements the
+//! subset of the criterion 0.5 surface the workspace's micro-benchmarks
+//! use — `Criterion`, `benchmark_group`/`bench_with_input`,
+//! `bench_function`, `Bencher::iter`, `BenchmarkId::from_parameter`,
+//! `black_box` and the `criterion_group!`/`criterion_main!` macros — with a
+//! simple mean-of-samples wall-clock measurement instead of criterion's
+//! statistical machinery.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identify a benchmark by its parameter's `Display` form.
+    pub fn from_parameter<P: Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+
+    /// Identify a benchmark by a function name and parameter.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Passed to the benchmark closure; runs and times the workload.
+pub struct Bencher {
+    samples: usize,
+    /// Mean duration of one routine invocation, filled in by [`iter`].
+    ///
+    /// [`iter`]: Bencher::iter
+    mean: Duration,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Bencher {
+        Bencher {
+            samples: samples.max(1),
+            mean: Duration::ZERO,
+        }
+    }
+
+    /// Time `routine`: one warm-up call, then `samples` timed calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.mean = start.elapsed() / self.samples as u32;
+    }
+}
+
+fn report(group: Option<&str>, id: &str, mean: Duration) {
+    match group {
+        Some(g) => println!("bench {g}/{id}: {mean:?}/iter"),
+        None => println!("bench {id}: {mean:?}/iter"),
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmark `routine` with `input` under `id`.
+    pub fn bench_with_input<I, R>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self
+    where
+        R: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.sample_size.min(self.criterion.sample_size));
+        routine(&mut b, input);
+        report(Some(&self.name), &id.id, b.mean);
+        self
+    }
+
+    /// Benchmark `routine` under `id` without an explicit input.
+    pub fn bench_function<R>(&mut self, id: BenchmarkId, mut routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size.min(self.criterion.sample_size));
+        routine(&mut b);
+        report(Some(&self.name), &id.id, b.mean);
+        self
+    }
+
+    /// End the group (accepted for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set the default number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+
+    /// Benchmark a single function.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: &str,
+        mut routine: R,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        routine(&mut b);
+        report(None, id, b.mean);
+        self
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut calls = 0u32;
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("count_calls", |b| b.iter(|| calls += 1));
+        // 1 warm-up + 3 samples.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn group_runs_with_input() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let mut total = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter("seven"), &7u64, |b, &x| {
+            b.iter(|| total += x)
+        });
+        group.finish();
+        assert_eq!(total, 21, "1 warm-up + 2 samples of +7");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(42).id, "42");
+        assert_eq!(BenchmarkId::new("f", "x").id, "f/x");
+    }
+}

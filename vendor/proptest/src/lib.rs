@@ -1,0 +1,456 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no network access, so the real crates-io
+//! `proptest` cannot be resolved. This vendored replacement keeps the same
+//! *testing model* — strategies generate random inputs, `proptest!` runs a
+//! test body over `cases` generated inputs, `prop_assert*` reports
+//! failures — for the subset of the proptest 1.x surface the workspace
+//! uses: `Strategy`/`prop_map`/`boxed`, integer-range and tuple strategies,
+//! `any::<T>()`, `prop_oneof!`, `collection::vec`, `ProptestConfig` and the
+//! assertion macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! - no shrinking — a failure reports the test name and case index, and the
+//!   per-test RNG seed is a pure function of the test name, so failures
+//!   replay deterministically;
+//! - assertions panic (like `assert!`) instead of returning `Err`, which is
+//!   equivalent under `cargo test`.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+    use std::rc::Rc;
+
+    /// A recipe for generating random values of `Self::Value`.
+    ///
+    /// Object-safe: the combinators are gated on `Self: Sized` so that
+    /// `dyn Strategy<Value = V>` works (needed by [`BoxedStrategy`]).
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erase this strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A reference-counted type-erased strategy.
+    pub struct BoxedStrategy<V>(Rc<dyn Strategy<Value = V>>);
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            self.0.generate(rng)
+        }
+    }
+
+    impl<T> Strategy for Range<T>
+    where
+        T: rand::SampleUniform + PartialOrd + Copy + 'static,
+        Range<T>: rand::SampleRange<T> + Clone,
+    {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident/$v:ident),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($v,)+) = self;
+                    ($($v.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A / a);
+    impl_tuple_strategy!(A / a, B / b);
+    impl_tuple_strategy!(A / a, B / b, C / c);
+    impl_tuple_strategy!(A / a, B / b, C / c, D / d);
+    impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e);
+    impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e, F / f);
+
+    /// Weighted choice between type-erased strategies ([`prop_oneof!`]).
+    #[derive(Clone)]
+    pub struct Union<V> {
+        arms: Vec<(u32, BoxedStrategy<V>)>,
+        total: u32,
+    }
+
+    impl<V> Union<V> {
+        /// A union of `(weight, strategy)` arms.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `arms` is empty or all weights are zero.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Union<V> {
+            let total: u32 = arms.iter().map(|(w, _)| *w).sum();
+            assert!(total > 0, "prop_oneof! needs at least one nonzero weight");
+            Union { arms, total }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let mut pick = rng.rng.gen_range(0..self.total);
+            for (w, s) in &self.arms {
+                if pick < *w {
+                    return s.generate(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weights sum to total")
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical [`any`] strategy.
+    pub trait Arbitrary: Sized {
+        /// Sample one unconstrained value.
+        fn arb(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arb(rng: &mut TestRng) -> bool {
+            rng.rng.gen()
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arb(rng: &mut TestRng) -> $t {
+                    rng.rng.gen()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Any(PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arb(rng)
+        }
+    }
+
+    /// A strategy producing unconstrained values of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// The strategy returned by [`vec`].
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.rng.gen_range(self.size.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `Vec`s of `element` values with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(!size.is_empty(), "collection::vec: empty size range");
+        VecStrategy { element, size }
+    }
+}
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Per-test deterministic RNG: the seed is a hash of the test name, so
+    /// every `cargo test` run generates the identical case sequence.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        /// The underlying generator (strategies sample through this).
+        pub rng: StdRng,
+    }
+
+    impl TestRng {
+        /// RNG for the named test.
+        pub fn for_test(name: &str) -> TestRng {
+            // FNV-1a over the test name.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng {
+                rng: StdRng::seed_from_u64(h),
+            }
+        }
+    }
+
+    /// Runner configuration (re-exported as `ProptestConfig`).
+    ///
+    /// All fields are public so `ProptestConfig { cases: N, ..Default }`
+    /// functional-update syntax works outside this crate.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per test.
+        pub cases: u32,
+        /// Accepted for API compatibility; shrinking is not implemented.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config {
+                cases: 256,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+
+    /// Drop guard armed for the duration of one generated case: if the test
+    /// body panics, reports which case failed (the deterministic per-test
+    /// RNG makes the case reproducible by rerunning the test).
+    pub struct CaseGuard {
+        case: u32,
+        name: &'static str,
+    }
+
+    impl CaseGuard {
+        /// Arm a guard for `case` of test `name`.
+        pub fn new(case: u32, name: &'static str) -> CaseGuard {
+            CaseGuard { case, name }
+        }
+    }
+
+    impl Drop for CaseGuard {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                eprintln!(
+                    "proptest: test `{}` failed at generated case {} \
+                     (cases are deterministic per test name; rerun to reproduce)",
+                    self.name, self.case
+                );
+            }
+        }
+    }
+}
+
+/// The glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Weighted (or unweighted) choice between strategies of a common value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Define `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Supports the standard form:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+///
+///     #[test]
+///     fn my_property(x in 0u64..100, flag in any::<bool>()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = (<$crate::test_runner::Config as Default>::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::test_runner::Config = $cfg;
+            let mut __proptest_rng =
+                $crate::test_runner::TestRng::for_test(stringify!($name));
+            for __proptest_case in 0..cfg.cases {
+                let __proptest_guard = $crate::test_runner::CaseGuard::new(
+                    __proptest_case,
+                    stringify!($name),
+                );
+                $(
+                    let $pat = $crate::strategy::Strategy::generate(
+                        &($strat),
+                        &mut __proptest_rng,
+                    );
+                )+
+                { $body }
+                drop(__proptest_guard);
+            }
+        }
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (u64, bool)> {
+        (0u64..100, any::<bool>()).prop_map(|(a, b)| (a * 2, b))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        /// Range strategies respect their bounds.
+        #[test]
+        fn ranges_in_bounds(x in 5u64..50, y in 0usize..4) {
+            prop_assert!((5..50).contains(&x));
+            prop_assert!(y < 4, "y was {}", y);
+        }
+
+        #[test]
+        fn maps_apply(pair in arb_pair()) {
+            prop_assert_eq!(pair.0 % 2, 0);
+        }
+
+        #[test]
+        fn oneof_and_vec(v in crate::collection::vec(prop_oneof![
+            3 => (0u64..10).prop_map(|x| x),
+            1 => (100u64..110).prop_map(|x| x),
+        ], 1..20)) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(v.iter().all(|&x| x < 10 || (100..110).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runners() {
+        let mut a = crate::test_runner::TestRng::for_test("t");
+        let mut b = crate::test_runner::TestRng::for_test("t");
+        let s = (0u64..1000, 0u64..1000);
+        use crate::strategy::Strategy;
+        for _ in 0..10 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+}
