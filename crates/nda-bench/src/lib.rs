@@ -12,6 +12,8 @@
 //! * `NDA_SAMPLES` — seeded samples per (workload, variant) cell
 //!   (default 3).
 //! * `NDA_ITERS` — workload outer iterations (default 400).
+//! * `NDA_JOBS` — sweep worker threads (default: available parallelism;
+//!   `1` is the serial loop; any value yields bit-identical results).
 
 pub mod render;
 pub mod sweep;

@@ -1,4 +1,10 @@
 //! Plain-text renderers shared by the bench targets.
+//!
+//! Allocation audit (perf PR): each helper allocates one `String` per
+//! call, and the bench targets call them once per *rendered cell* — a few
+//! hundred allocations per run, after simulation has finished. This is a
+//! cold reporting path; buffer-reuse APIs here would complicate every
+//! bench for no measurable gain, so the per-call allocations stay.
 
 use nda_stats::Sample;
 

@@ -1,8 +1,19 @@
 //! The workload × variant × sample sweep behind Fig 7 and Fig 9.
+//!
+//! Every (workload, variant, sample) cell is an independent, seeded,
+//! deterministic simulation, so the sweep fans the cells out to a
+//! `std::thread::scope` worker pool fed by a shared atomic job counter
+//! (std only — no runtime dependencies). Each job writes its
+//! [`RunResult`] into a pre-indexed slot, and aggregation walks the slots
+//! in the fixed `workload → variant → sample` order, so the output is
+//! bit-identical to the serial loop regardless of worker scheduling.
+//! `NDA_JOBS=1` takes a dedicated path that *is* the old serial loop.
 
 use nda_core::{run_variant, RunResult, Variant};
 use nda_stats::Sample;
 use nda_workloads::{Workload, WorkloadParams};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Cycle budget per sample (generous: the in-order core is slow).
 pub const SWEEP_MAX_CYCLES: u64 = 2_000_000_000;
@@ -14,21 +25,40 @@ pub struct SweepConfig {
     pub samples: u64,
     /// Workload outer iterations per sample.
     pub iters: u64,
+    /// Worker threads executing sweep cells (`NDA_JOBS`; defaults to the
+    /// host's available parallelism). `1` runs the original serial loop.
+    pub jobs: usize,
+}
+
+/// Parse env var `k` as a `u64`, defaulting to `d` when unset. An unset
+/// variable is the normal case; a *set but unparsable* value is almost
+/// certainly a typo the user wants to know about, so warn on stderr
+/// instead of silently falling back.
+fn env_u64(k: &str, d: u64) -> u64 {
+    match std::env::var(k) {
+        Ok(v) => match v.parse() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("warning: ignoring unparsable {k}={v:?}; using default {d}");
+                d
+            }
+        },
+        Err(_) => d,
+    }
 }
 
 impl SweepConfig {
-    /// Read `NDA_SAMPLES` / `NDA_ITERS` from the environment, with
-    /// defaults suited to `cargo bench` (3 samples, 400 iterations).
+    /// Read `NDA_SAMPLES` / `NDA_ITERS` / `NDA_JOBS` from the environment,
+    /// with defaults suited to `cargo bench` (3 samples, 400 iterations,
+    /// one worker per available host core).
     pub fn from_env() -> SweepConfig {
-        let get = |k: &str, d: u64| {
-            std::env::var(k)
-                .ok()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(d)
-        };
+        let host = std::thread::available_parallelism()
+            .map(|n| n.get() as u64)
+            .unwrap_or(1);
         SweepConfig {
-            samples: get("NDA_SAMPLES", 3),
-            iters: get("NDA_ITERS", 400),
+            samples: env_u64("NDA_SAMPLES", 3),
+            iters: env_u64("NDA_ITERS", 400),
+            jobs: env_u64("NDA_JOBS", host).max(1) as usize,
         }
     }
 }
@@ -45,8 +75,7 @@ pub struct CellStats {
 impl CellStats {
     /// Mean of a derived per-run statistic.
     pub fn mean_of(&self, f: impl Fn(&RunResult) -> f64) -> f64 {
-        let vals: Vec<f64> = self.runs.iter().map(f).collect();
-        vals.iter().sum::<f64>() / vals.len().max(1) as f64
+        self.runs.iter().map(f).sum::<f64>() / self.runs.len().max(1) as f64
     }
 }
 
@@ -85,38 +114,74 @@ impl SweepResults {
     pub fn overhead_pct(&self, v: usize) -> f64 {
         (self.geomean_normalized(v) - 1.0) * 100.0
     }
+
+    /// Total simulated cycles across every sample of variant `v`.
+    pub fn variant_sim_cycles(&self, v: usize) -> u64 {
+        self.cells
+            .iter()
+            .flat_map(|row| &row[v].runs)
+            .map(|r| r.stats.cycles)
+            .sum()
+    }
+
+    /// Total host nanoseconds spent simulating variant `v` (sum of
+    /// per-sample wall clocks — CPU time, not sweep wall time, when the
+    /// sweep ran in parallel).
+    pub fn variant_host_ns(&self, v: usize) -> u64 {
+        self.cells
+            .iter()
+            .flat_map(|row| &row[v].runs)
+            .map(|r| r.host_ns)
+            .sum()
+    }
+
+    /// Simulated cycles per host second for variant `v` across the sweep.
+    /// `None` when host time was not captured.
+    pub fn variant_sim_cycles_per_sec(&self, v: usize) -> Option<f64> {
+        let ns = self.variant_host_ns(v);
+        (ns > 0).then(|| self.variant_sim_cycles(v) as f64 * 1e9 / ns as f64)
+    }
+}
+
+/// Run one sample: build the seeded program and simulate it to completion.
+fn run_sample(w: &Workload, v: Variant, s: u64, iters: u64) -> RunResult {
+    let params = WorkloadParams {
+        seed: 1000 + s,
+        iters,
+    };
+    let prog = (w.build)(&params);
+    run_variant(v, &prog, SWEEP_MAX_CYCLES)
+        .unwrap_or_else(|e| panic!("{}/{v}/sample{s}: {e}", w.name))
+}
+
+/// Aggregate one cell's runs (sample order) into [`CellStats`].
+fn aggregate(runs: Vec<RunResult>) -> CellStats {
+    let cpis: Vec<f64> = runs.iter().map(|r| r.cpi()).collect();
+    CellStats {
+        cpi: Sample::from_values(&cpis),
+        runs,
+    }
 }
 
 /// Run the sweep.
 ///
+/// With `cfg.jobs > 1` the (workload, variant, sample) cells execute on a
+/// scoped worker pool; results land in pre-indexed slots and are
+/// aggregated in serial order, so the output is bit-identical to
+/// `cfg.jobs == 1` (each cell is an isolated, seeded simulation — no
+/// shared state, no ordering effects).
+///
 /// # Panics
 ///
 /// Panics if any sample fails to halt — workloads are self-terminating,
-/// so a failure is a simulator bug.
+/// so a failure is a simulator bug. (A worker panic propagates when the
+/// thread scope joins.)
 pub fn sweep(workloads: &[Workload], variants: &[Variant], cfg: SweepConfig) -> SweepResults {
-    let mut cells = Vec::with_capacity(workloads.len());
-    for w in workloads {
-        let mut row = Vec::with_capacity(variants.len());
-        for &v in variants {
-            let mut runs = Vec::new();
-            for s in 0..cfg.samples {
-                let params = WorkloadParams {
-                    seed: 1000 + s,
-                    iters: cfg.iters,
-                };
-                let prog = (w.build)(&params);
-                let r = run_variant(v, &prog, SWEEP_MAX_CYCLES)
-                    .unwrap_or_else(|e| panic!("{}/{v}/sample{s}: {e}", w.name));
-                runs.push(r);
-            }
-            let cpis: Vec<f64> = runs.iter().map(|r| r.cpi()).collect();
-            row.push(CellStats {
-                cpi: Sample::from_values(&cpis),
-                runs,
-            });
-        }
-        cells.push(row);
-    }
+    let cells = if cfg.jobs <= 1 {
+        sweep_serial(workloads, variants, cfg)
+    } else {
+        sweep_parallel(workloads, variants, cfg)
+    };
     SweepResults {
         workloads: workloads.iter().map(|w| w.name).collect(),
         variants: variants.to_vec(),
@@ -124,22 +189,93 @@ pub fn sweep(workloads: &[Workload], variants: &[Variant], cfg: SweepConfig) -> 
     }
 }
 
+/// The original serial nested loop (`NDA_JOBS=1`).
+fn sweep_serial(
+    workloads: &[Workload],
+    variants: &[Variant],
+    cfg: SweepConfig,
+) -> Vec<Vec<CellStats>> {
+    let mut cells = Vec::with_capacity(workloads.len());
+    for w in workloads {
+        let mut row = Vec::with_capacity(variants.len());
+        for &v in variants {
+            let runs = (0..cfg.samples)
+                .map(|s| run_sample(w, v, s, cfg.iters))
+                .collect();
+            row.push(aggregate(runs));
+        }
+        cells.push(row);
+    }
+    cells
+}
+
+/// Worker-pool execution: a shared atomic counter hands out flat job
+/// indices `i = ((w * nv) + v) * ns + s`; each worker writes its result
+/// into `slots[i]`. Indices are disjoint, so the per-slot mutexes are
+/// uncontended — they exist only to make the writes safe without
+/// `unsafe`.
+fn sweep_parallel(
+    workloads: &[Workload],
+    variants: &[Variant],
+    cfg: SweepConfig,
+) -> Vec<Vec<CellStats>> {
+    let (nv, ns) = (variants.len(), cfg.samples as usize);
+    let total = workloads.len() * nv * ns;
+    let slots: Vec<Mutex<Option<RunResult>>> = (0..total).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..cfg.jobs.min(total.max(1)) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                let (w, v, s) = (i / (nv * ns), (i / ns) % nv, i % ns);
+                let r = run_sample(&workloads[w], variants[v], s as u64, cfg.iters);
+                *slots[i].lock().expect("slot lock") = Some(r);
+            });
+        }
+    });
+    // Aggregation in fixed serial order: scheduling cannot affect output.
+    let mut it = slots.into_iter();
+    workloads
+        .iter()
+        .map(|_| {
+            (0..nv)
+                .map(|_| {
+                    let runs = (0..ns)
+                        .map(|_| {
+                            it.next()
+                                .expect("slot per job")
+                                .into_inner()
+                                .expect("slot lock")
+                                .expect("every job completed")
+                        })
+                        .collect();
+                    aggregate(runs)
+                })
+                .collect()
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn tiny_cfg(jobs: usize) -> SweepConfig {
+        SweepConfig {
+            samples: 2,
+            iters: 6,
+            jobs,
+        }
+    }
 
     #[test]
     fn tiny_sweep_has_sane_shape() {
         let wl = &nda_workloads::all()[..2];
         let variants = [Variant::Ooo, Variant::InOrder];
-        let r = sweep(
-            wl,
-            &variants,
-            SweepConfig {
-                samples: 2,
-                iters: 6,
-            },
-        );
+        let r = sweep(wl, &variants, tiny_cfg(1));
         assert_eq!(r.cells.len(), 2);
         assert_eq!(r.cells[0].len(), 2);
         // In-order is slower than OoO on every workload.
@@ -148,5 +284,17 @@ mod tests {
         }
         assert!(r.overhead_pct(1) > 0.0);
         assert!((r.normalized_cpi(0, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_accessors_cover_all_samples() {
+        let wl = &nda_workloads::all()[..1];
+        let variants = [Variant::Ooo];
+        let r = sweep(wl, &variants, tiny_cfg(2));
+        assert_eq!(r.cells[0][0].runs.len(), 2);
+        assert!(r.variant_sim_cycles(0) > 0);
+        // run_variant captures host time for every sample.
+        assert!(r.variant_host_ns(0) > 0);
+        assert!(r.variant_sim_cycles_per_sec(0).unwrap() > 0.0);
     }
 }

@@ -1,0 +1,50 @@
+//! The parallel sweep executor must be a pure host-side optimisation:
+//! `NDA_JOBS=N` produces bit-identical results to the serial loop for any
+//! N. Each (workload, variant, sample) cell is an isolated, seeded
+//! simulation, and aggregation walks pre-indexed slots in serial order —
+//! this test pins that argument with an end-to-end comparison.
+
+use nda_bench::sweep::{sweep, SweepConfig};
+use nda_core::Variant;
+
+/// Everything in a sweep result except `host_ns` (wall clock is the one
+/// field that legitimately differs between runs).
+fn assert_bit_identical(a: &nda_bench::sweep::SweepResults, b: &nda_bench::sweep::SweepResults) {
+    assert_eq!(a.workloads, b.workloads);
+    assert_eq!(a.variants, b.variants);
+    for (w, (ra, rb)) in a.cells.iter().zip(&b.cells).enumerate() {
+        for (v, (ca, cb)) in ra.iter().zip(rb).enumerate() {
+            let tag = format!("{}/{}", a.workloads[w], a.variants[v]);
+            assert_eq!(ca.cpi, cb.cpi, "{tag}: CPI sample diverged");
+            assert_eq!(ca.runs.len(), cb.runs.len(), "{tag}: run count diverged");
+            for (s, (x, y)) in ca.runs.iter().zip(&cb.runs).enumerate() {
+                assert_eq!(x.stats, y.stats, "{tag}/sample{s}: SimStats diverged");
+                assert_eq!(
+                    x.mem_stats, y.mem_stats,
+                    "{tag}/sample{s}: MemStats diverged"
+                );
+                assert_eq!(x.regs, y.regs, "{tag}/sample{s}: registers diverged");
+                assert_eq!(x.halted, y.halted, "{tag}/sample{s}: halt state diverged");
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_sweep_is_bit_identical_to_serial() {
+    let workloads = &nda_workloads::all()[..3];
+    let variants = [
+        Variant::Ooo,
+        Variant::Strict,
+        Variant::FullProtection,
+        Variant::InvisiSpecSpectre,
+    ];
+    let base = SweepConfig {
+        samples: 2,
+        iters: 10,
+        jobs: 1,
+    };
+    let serial = sweep(workloads, &variants, base);
+    let parallel = sweep(workloads, &variants, SweepConfig { jobs: 4, ..base });
+    assert_bit_identical(&serial, &parallel);
+}

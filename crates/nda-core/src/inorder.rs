@@ -291,6 +291,7 @@ impl InOrderCore {
             mem_stats: self.hier.stats(),
             regs: self.regs,
             halted: self.halted,
+            host_ns: 0,
         }
     }
 

@@ -28,6 +28,8 @@ use nda_isa::{Fault, Inst, Interp, MsrFile, PrivilegeMap, Program, SparseMem};
 use nda_mem::MemHier;
 use nda_predict::{Btb, DirPredictor};
 use nda_stats::{CycleClass, SimStats};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// The out-of-order core. Construct with [`OooCore::new`], drive with
 /// [`OooCore::run`] (or [`OooCore::step_cycle`] for tracing).
@@ -69,8 +71,24 @@ pub struct OooCore {
     /// commit, or a committed result diverging from architecture, is caught
     /// at the exact retiring instruction.
     oracle: Option<Box<Interp>>,
-    /// Oldest pending `Fence` (younger micro-ops may not issue past it).
-    fence_border: Option<u64>,
+    /// Completion event queue: `(done_cycle, seq)` min-heap. Writeback pops
+    /// due events instead of scanning the whole ROB every cycle. Events are
+    /// never cancelled on squash; staleness (a squashed entry, or a re-used
+    /// sequence number) is filtered at pop time by re-checking the entry's
+    /// own `done_cycle` against the event.
+    events: BinaryHeap<Reverse<(u64, u64)>>,
+    /// Pending `Fence` sequence numbers, ascending; the front is the fence
+    /// border (younger micro-ops may not issue past it). Fences issue only
+    /// from the ROB head, so they complete strictly in queue order.
+    pending_fences: VecDeque<u64>,
+    /// Policy pre-computation: every micro-op is safe at dispatch (baseline
+    /// OoO / InvisiSpec / delay-on-miss), so the per-cycle safety walk is
+    /// skipped entirely.
+    policy_all_safe: bool,
+    /// Entries that are completed, have a destination, and have not yet
+    /// broadcast — the two broadcast passes walk the ROB only when this is
+    /// non-zero.
+    pending_bcast: usize,
     /// Inside a Listing-4 no-speculation window (`SpecOff` committed, no
     /// `SpecOn` yet): dispatch admits one instruction at a time.
     spec_window: bool,
@@ -86,6 +104,12 @@ pub struct OooCore {
     div_busy_until: u64,
     /// Pipeline event log (None unless tracing is enabled).
     tracer: Option<Vec<crate::trace::TraceEvent>>,
+    /// Scratch buffers reused across cycles so the hot loop performs no
+    /// heap allocation in steady state.
+    scratch_due: Vec<(u64, u64)>,
+    scratch_seqs: Vec<u64>,
+    scratch_traced: Vec<(u64, usize, Inst)>,
+    scratch_issued_idx: Vec<usize>,
     /// Cycle at the last `reset_stats` (stats.cycles is relative to it).
     stats_base_cycle: u64,
     /// Statistics for the run.
@@ -128,12 +152,21 @@ impl OooCore {
             pending_error: None,
             last_commit_cycle: 0,
             oracle: cfg.check_invariants.then(|| Box::new(Interp::new(program))),
-            fence_border: None,
+            events: BinaryHeap::new(),
+            pending_fences: VecDeque::new(),
+            policy_all_safe: cfg.policy.propagation == Propagation::Off
+                && !cfg.policy.bypass_restriction
+                && !cfg.policy.load_restriction,
+            pending_bcast: 0,
             spec_window: false,
             specoff_pending: 0,
             fpu_busy_until: None,
             div_busy_until: 0,
             tracer: None,
+            scratch_due: Vec::new(),
+            scratch_seqs: Vec::new(),
+            scratch_traced: Vec::new(),
+            scratch_issued_idx: Vec::new(),
             stats_base_cycle: 0,
             stats: SimStats::new(),
             program: program.clone(),
@@ -367,6 +400,7 @@ impl OooCore {
             mem_stats: self.hier.stats(),
             regs: self.regs(),
             halted: self.halted,
+            host_ns: 0,
         }
     }
 
@@ -434,6 +468,7 @@ impl OooCore {
             if let Some(prd) = e.prd {
                 if !e.broadcasted {
                     self.prf.broadcast(prd);
+                    self.pending_bcast -= 1;
                     self.stats.broadcasts += 1;
                     if e.complete_cycle < self.cycle {
                         self.stats.deferred_broadcasts += 1;
@@ -580,19 +615,32 @@ impl OooCore {
 
     fn writeback(&mut self) {
         let now = self.cycle;
-        // Collect completions first to avoid borrowing fights; each entry
+        // Pop due completion events. The heap orders by (cycle, seq), and
+        // every live event fires exactly at its cycle (writeback runs each
+        // cycle), so the processing order equals the old full-ROB scan's
+        // age order. Collected first to avoid borrowing fights; each entry
         // completes exactly once.
-        let mut done: Vec<u64> = Vec::new();
-        for e in self.rob.iter() {
-            if !e.completed && e.done_cycle.map(|d| d <= now) == Some(true) {
-                done.push(e.seq);
+        let mut due = std::mem::take(&mut self.scratch_due);
+        due.clear();
+        while let Some(&Reverse((d, _))) = self.events.peek() {
+            if d > now {
+                break;
             }
+            let Reverse(ev) = self.events.pop().expect("peeked");
+            due.push(ev);
         }
-        for seq in done {
-            // A younger squash within this loop may have removed the entry.
+        for (d, seq) in due.drain(..) {
+            // A squash (younger entry removed mid-loop, or an injected one
+            // in an earlier cycle) may have invalidated the event; a re-used
+            // sequence number may even name a different instruction. The
+            // entry's own `done_cycle` is the ground truth: only complete an
+            // unfinished entry whose completion is due at this event.
             let Some(e) = self.rob.get_mut(seq) else {
                 continue;
             };
+            if e.completed || e.done_cycle != Some(d) {
+                continue;
+            }
             e.completed = true;
             e.complete_cycle = now;
             let (tpc, tinst) = (e.pc, e.inst);
@@ -603,6 +651,7 @@ impl OooCore {
             if let Some(prd) = e.prd {
                 let v = e.result;
                 self.prf.write(prd, v);
+                self.pending_bcast += 1;
             } else {
                 // Nothing to broadcast: the bcast bit is trivially done.
                 e.broadcasted = true;
@@ -639,8 +688,22 @@ impl OooCore {
                 // memory-order violations (speculative store bypass gone
                 // wrong -> replay).
                 self.check_order_violation(seq);
+            } else if matches!(inst, Inst::Fence) {
+                // Fences issue only from the ROB head, so the completing
+                // fence is always the oldest pending one.
+                let popped = self.pending_fences.pop_front();
+                debug_assert_eq!(popped, Some(seq));
             }
         }
+        self.scratch_due = due;
+    }
+
+    /// The oldest pending `Fence` (younger micro-ops may not issue past
+    /// it). Maintained incrementally: pushed at dispatch, popped when the
+    /// fence completes, trimmed on squash.
+    #[inline]
+    fn fence_border(&self) -> Option<u64> {
+        self.pending_fences.front().copied()
     }
 
     /// On store resolution: any younger load that already executed with an
@@ -684,11 +747,16 @@ impl OooCore {
     // ------------------------------------------------------------------
 
     fn update_safety(&mut self) {
+        // Baseline policies mark every micro-op safe at dispatch (see
+        // `dispatch`), so the walk has nothing to recompute. The fence
+        // border is maintained incrementally for every policy.
+        if self.policy_all_safe {
+            return;
+        }
         let policy = self.cfg.policy;
         let now = self.cycle;
         let mut older_unresolved_branch = false;
         let mut older_unresolved_store = false;
-        let mut fence_border = None;
         let mut is_head = true;
         for e in self.rob.iter_mut() {
             let mut safe = match policy.propagation {
@@ -716,12 +784,8 @@ impl OooCore {
             if e.inst.is_store() && !e.completed {
                 older_unresolved_store = true;
             }
-            if matches!(e.inst, Inst::Fence) && !e.completed && fence_border.is_none() {
-                fence_border = Some(e.seq);
-            }
             is_head = false;
         }
-        self.fence_border = fence_border;
     }
 
     // ------------------------------------------------------------------
@@ -729,6 +793,17 @@ impl OooCore {
     // ------------------------------------------------------------------
 
     fn broadcast(&mut self) {
+        debug_assert_eq!(
+            self.pending_bcast,
+            self.rob
+                .iter()
+                .filter(|e| e.completed && !e.broadcasted && e.prd.is_some())
+                .count(),
+            "pending-broadcast counter drifted"
+        );
+        if self.pending_bcast == 0 {
+            return;
+        }
         let now = self.cycle;
         let extra = self.cfg.core.broadcast_extra_delay;
         let mut ports = self.cfg.core.broadcast_ports;
@@ -736,7 +811,9 @@ impl OooCore {
         // paper gives completions priority to avoid pipeline stalls).
         let mut deferred = 0u64;
         let mut done = 0u64;
-        let mut traced: Vec<(u64, usize, Inst)> = Vec::new();
+        let tracing = self.tracer.is_some();
+        let mut traced = std::mem::take(&mut self.scratch_traced);
+        traced.clear();
         for e in self.rob.iter_mut() {
             if ports == 0 {
                 break;
@@ -745,9 +822,12 @@ impl OooCore {
                 if let Some(prd) = e.prd {
                     self.prf.broadcast(prd);
                     e.broadcasted = true;
+                    self.pending_bcast -= 1;
                     ports -= 1;
                     done += 1;
-                    traced.push((e.seq, e.pc, e.inst));
+                    if tracing {
+                        traced.push((e.seq, e.pc, e.inst));
+                    }
                 }
             }
         }
@@ -766,20 +846,24 @@ impl OooCore {
                 if let Some(prd) = e.prd {
                     self.prf.broadcast(prd);
                     e.broadcasted = true;
+                    self.pending_bcast -= 1;
                     ports -= 1;
                     done += 1;
                     deferred += 1;
-                    traced.push((e.seq, e.pc, e.inst));
+                    if tracing {
+                        traced.push((e.seq, e.pc, e.inst));
+                    }
                 }
             }
         }
         self.stats.broadcasts += done;
         self.stats.deferred_broadcasts += deferred;
-        if self.tracer.is_some() {
-            for (seq, pc, inst) in traced {
+        if tracing {
+            for &(seq, pc, inst) in &traced {
                 self.trace_event(seq, pc, inst, crate::trace::TraceStage::Broadcast);
             }
         }
+        self.scratch_traced = traced;
     }
 
     // ------------------------------------------------------------------
@@ -794,7 +878,8 @@ impl OooCore {
         // Determine each probe-load's safe point.
         let mut older_unresolved_branch = false;
         let mut is_head = true;
-        let mut to_expose: Vec<u64> = Vec::new();
+        let mut to_expose = std::mem::take(&mut self.scratch_seqs);
+        to_expose.clear();
         for e in self.rob.iter() {
             let at_safe_point = match variant {
                 IsVariant::Spectre => !older_unresolved_branch,
@@ -808,7 +893,7 @@ impl OooCore {
             }
             is_head = false;
         }
-        for seq in to_expose {
+        for &seq in &to_expose {
             let (addr, needs_validation) = {
                 let e = self.rob.get(seq).expect("probe entry");
                 (
@@ -837,6 +922,7 @@ impl OooCore {
                 }
             }
         }
+        self.scratch_seqs = to_expose;
     }
 
     // ------------------------------------------------------------------
@@ -864,18 +950,25 @@ impl OooCore {
         let mut load_ports = self.cfg.core.load_ports;
         let mut store_ports = self.cfg.core.store_ports;
         let mut branch_units = self.cfg.core.branch_units;
-        let mut issued: Vec<u64> = Vec::new();
         let head_seq = self.rob.head().map(|e| e.seq);
+        let fence_border = self.fence_border();
+        let tracing = self.tracer.is_some();
 
-        let iq_snapshot = self.iq.clone();
-        for seq in iq_snapshot {
+        // Index-based walk: `try_issue` never touches the issue queue, so
+        // no snapshot clone is needed; issued slots are recorded (ascending)
+        // and compacted out in one ordered pass below.
+        let mut issued_idx = std::mem::take(&mut self.scratch_issued_idx);
+        issued_idx.clear();
+        let mut dispatch_to_issue = 0u64;
+        for i in 0..self.iq.len() {
             if total == 0 {
                 break;
             }
+            let seq = self.iq[i];
             let Some(e) = self.rob.get(seq) else { continue };
             debug_assert!(!e.issued);
             // A pending fence serializes: nothing younger may issue.
-            if self.fence_border.map(|f| seq > f) == Some(true) {
+            if fence_border.map(|f| seq > f) == Some(true) {
                 continue;
             }
             // Serializing micro-ops issue only from the head of the ROB.
@@ -886,10 +979,20 @@ impl OooCore {
             {
                 continue;
             }
-            if !self.srcs_visible(e) {
+            let srcs_cached = e.srcs_visible_cached;
+            if !srcs_cached && !self.srcs_visible(e) {
                 continue;
             }
             let class = e.inst.class();
+            let dispatch_cycle = e.dispatch_cycle;
+            if !srcs_cached {
+                // Sticky wake-up bit: skip the per-source re-derivation on
+                // later cycles while the entry waits on ports or fences.
+                self.rob
+                    .get_mut(seq)
+                    .expect("entry exists")
+                    .srcs_visible_cached = true;
+            }
             let port = match class {
                 UopClass::Load | UopClass::LoadLike => &mut load_ports,
                 UopClass::Store => &mut store_ports,
@@ -902,25 +1005,35 @@ impl OooCore {
             if self.try_issue(seq) {
                 *port -= 1;
                 total -= 1;
-                if self.tracer.is_some() {
+                dispatch_to_issue += now - dispatch_cycle;
+                if tracing {
                     if let Some(e) = self.rob.get(seq) {
                         let (pc, inst) = (e.pc, e.inst);
                         self.trace_event(seq, pc, inst, crate::trace::TraceStage::Issue);
                     }
                 }
-                issued.push(seq);
+                issued_idx.push(i);
             }
         }
-        if !issued.is_empty() {
+        if !issued_idx.is_empty() {
             self.stats.issue_active_cycles += 1;
-            self.stats.issued_insts += issued.len() as u64;
-            for seq in &issued {
-                if let Some(e) = self.rob.get(*seq) {
-                    self.stats.dispatch_to_issue_total += now - e.dispatch_cycle;
+            self.stats.issued_insts += issued_idx.len() as u64;
+            self.stats.dispatch_to_issue_total += dispatch_to_issue;
+            // Ordered in-place compaction (O(iq), preserves age order —
+            // swap-removal would reorder the queue and change scheduling).
+            let mut next = 0;
+            let mut w = 0;
+            for r in 0..self.iq.len() {
+                if next < issued_idx.len() && issued_idx[next] == r {
+                    next += 1;
+                    continue;
                 }
+                self.iq[w] = self.iq[r];
+                w += 1;
             }
-            self.iq.retain(|s| !issued.contains(s));
+            self.iq.truncate(w);
         }
+        self.scratch_issued_idx = issued_idx;
     }
 
     /// Attempt to begin execution of `seq`; returns `false` if a structural
@@ -1068,6 +1181,8 @@ impl OooCore {
         e.issue_cycle = now;
         e.done_cycle = Some(done);
         e.result = result;
+        self.events.push(Reverse((done, seq)));
+        let e = self.rob.get_mut(seq).expect("entry");
         if let Some((taken, next)) = extras.actual {
             e.actual_taken = taken;
             e.actual_next = next;
@@ -1229,6 +1344,12 @@ impl OooCore {
             e.pred_taken = uop.pred_taken;
             e.ghr_before = uop.ghr_before;
             e.ras_after = uop.ras_after;
+            if self.policy_all_safe {
+                // The safety walk is skipped for baseline policies; it would
+                // first observe this entry (and mark it safe) next cycle.
+                e.safe = true;
+                e.safe_since = Some(now + 1);
+            }
 
             // Rename sources, then destination.
             let ops = uop.inst.operands();
@@ -1267,6 +1388,7 @@ impl OooCore {
                     e.complete_cycle = now;
                     e.result = (uop.pc + 1) as u64;
                     self.prf.write(e.prd.expect("call writes ra"), e.result);
+                    self.pending_bcast += 1;
                     enqueue = false;
                 }
                 Inst::Nop | Inst::Halt => {
@@ -1276,6 +1398,7 @@ impl OooCore {
                     enqueue = false;
                 }
                 Inst::SpecOff => self.specoff_pending += 1,
+                Inst::Fence => self.pending_fences.push_back(seq),
                 _ => {}
             }
             if needs_lq {
@@ -1312,6 +1435,9 @@ impl OooCore {
             if matches!(e.inst, Inst::SpecOff) {
                 self.specoff_pending -= 1;
             }
+            if e.completed && !e.broadcasted && e.prd.is_some() {
+                self.pending_bcast -= 1;
+            }
             self.trace_event(e.seq, e.pc, e.inst, crate::trace::TraceStage::Squash);
             if let (Some(rd), Some(prd), Some(old)) = (e.arch_rd, e.prd, e.old_prd) {
                 debug_assert_eq!(self.rename.lookup(rd), prd, "LIFO unwind invariant");
@@ -1323,6 +1449,9 @@ impl OooCore {
             self.iq.retain(|&s| s < min_seq);
             self.lq.retain(|&s| s < min_seq);
             self.sq.retain(|&s| s < min_seq);
+            while self.pending_fences.back().is_some_and(|&s| s >= min_seq) {
+                self.pending_fences.pop_back();
+            }
             // Sequence numbers name ROB slots; after a squash the next
             // dispatch reuses the numbering so the ROB stays contiguous.
             self.next_seq = min_seq;

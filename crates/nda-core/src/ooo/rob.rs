@@ -89,6 +89,14 @@ pub struct RobEntry {
     pub is_probe: bool,
     /// InvisiSpec: exposure/validation completes at this cycle.
     pub exposure_done: Option<u64>,
+
+    /// Wake-up cache: all source registers have been observed visible.
+    /// Visibility is monotone while the consumer is in flight (a source
+    /// physical register cannot be recycled before every in-flight reader
+    /// has committed or squashed), so once set the per-cycle
+    /// `srcs_visible` re-derivation is skipped for entries that are only
+    /// waiting on ports, fences or serialisation.
+    pub srcs_visible_cached: bool,
 }
 
 impl RobEntry {
@@ -128,6 +136,7 @@ impl RobEntry {
             fault: None,
             is_probe: false,
             exposure_done: None,
+            srcs_visible_cached: false,
         }
     }
 

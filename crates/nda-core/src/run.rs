@@ -91,12 +91,34 @@ pub struct RunResult {
     pub regs: [u64; 32],
     /// `true` if `Halt` committed.
     pub halted: bool,
+    /// Host wall-clock nanoseconds the simulation took (captured by
+    /// [`run_with_config`]; zero when a core's `result()` is snapshotted
+    /// directly). Host-side instrumentation only — NOT architectural
+    /// state, and never part of determinism comparisons.
+    pub host_ns: u64,
 }
 
 impl RunResult {
     /// Convenience: cycles per committed instruction.
     pub fn cpi(&self) -> f64 {
         self.stats.cpi()
+    }
+
+    /// Host wall-clock seconds (0.0 when not captured).
+    pub fn host_seconds(&self) -> f64 {
+        self.host_ns as f64 / 1e9
+    }
+
+    /// Simulated cycles per host second — the simulator's throughput.
+    /// `None` when host time was not captured.
+    pub fn sim_cycles_per_host_sec(&self) -> Option<f64> {
+        (self.host_ns > 0).then(|| self.stats.cycles as f64 * 1e9 / self.host_ns as f64)
+    }
+
+    /// Committed instructions per host microsecond (simulation MIPS).
+    /// `None` when host time was not captured.
+    pub fn committed_mips(&self) -> Option<f64> {
+        (self.host_ns > 0).then(|| self.stats.committed_insts as f64 * 1e3 / self.host_ns as f64)
     }
 }
 
@@ -110,10 +132,13 @@ pub fn run_with_config(
     program: &Program,
     max_cycles: u64,
 ) -> Result<RunResult, SimError> {
-    match cfg.model {
+    let start = std::time::Instant::now();
+    let mut r = match cfg.model {
         CoreModel::OutOfOrder => OooCore::new(cfg, program).run(max_cycles),
         CoreModel::InOrder => InOrderCore::new(cfg, program).run(max_cycles),
-    }
+    }?;
+    r.host_ns = start.elapsed().as_nanos() as u64;
+    Ok(r)
 }
 
 /// Tuning knobs for [`run_smarts_with`].

@@ -1,0 +1,80 @@
+//! Cycle-exact regression pins for the event-driven writeback path.
+//!
+//! The hot-loop overhaul (completion event queue, incremental wake-up,
+//! scratch buffers) must be a pure host-side optimisation: simulated
+//! timing is bit-identical to the original full-ROB-scan implementation.
+//! These tests pin the exact cycle counts of a mixed load/branch/fence
+//! program, captured on the pre-optimisation implementation, so any
+//! scheduling drift shows up as a hard failure rather than a silent CPI
+//! shift.
+
+use nda_core::{run_with_config, SimConfig, Variant};
+use nda_isa::{Asm, Reg};
+
+/// A program exercising every timing-relevant mechanism at once: cache
+/// misses and hits, store->load forwarding, data-dependent branches the
+/// predictor keeps mispredicting, a serialising fence, and ALU chains.
+fn mixed_program() -> nda_isa::Program {
+    let mut asm = Asm::new();
+    asm.data_u64s(0x8000, &[3, 1, 4, 1, 5, 9, 2, 6]);
+    let done = asm.new_label();
+    asm.li(Reg::X2, 0x8000) // table base
+        .li(Reg::X3, 8) // loop counter
+        .li(Reg::X4, 0) // accumulator
+        .li(Reg::X8, 0x9000); // scratch slot
+    let top = asm.here_label();
+    asm.beq(Reg::X3, Reg::X0, done);
+    asm.ld8(Reg::X5, Reg::X2, 0); // table load (cold first, then warm)
+    asm.add(Reg::X4, Reg::X4, Reg::X5);
+    asm.st8(Reg::X4, Reg::X8, 0); // store ...
+    asm.ld8(Reg::X6, Reg::X8, 0); // ... forwarded load
+                                  // A data-dependent branch on the low bit of the table value: the
+                                  // gshare predictor cannot learn the pattern quickly, so mispredicts
+                                  // (and squashes) stay in the mix.
+    let even = asm.new_label();
+    asm.andi(Reg::X7, Reg::X5, 1);
+    asm.beq(Reg::X7, Reg::X0, even);
+    asm.addi(Reg::X4, Reg::X4, 100);
+    asm.bind(even);
+    asm.fence(); // serialise: drains the pipeline every iteration
+    asm.addi(Reg::X2, Reg::X2, 8);
+    asm.subi(Reg::X3, Reg::X3, 1);
+    asm.jmp(top);
+    asm.bind(done);
+    asm.halt();
+    asm.assemble().unwrap()
+}
+
+/// The (variant, cycles, committed instructions) pins, captured from the
+/// pre-event-queue scan implementation (seed of this PR). Architectural
+/// register results are asserted separately below.
+const PINS: &[(Variant, u64, u64)] = &[
+    (Variant::Ooo, 629, 99),
+    (Variant::Permissive, 629, 99),
+    (Variant::Strict, 629, 99),
+    (Variant::FullProtection, 629, 99),
+    (Variant::InvisiSpecSpectre, 759, 99),
+    (Variant::DelayOnMiss, 630, 99),
+];
+
+#[test]
+fn mixed_load_branch_fence_cycle_counts_are_pinned() {
+    let prog = mixed_program();
+    let mut got = Vec::new();
+    for &(v, ..) in PINS {
+        let mut cfg = SimConfig::for_variant(v);
+        cfg.check_invariants = true;
+        let r = run_with_config(cfg, &prog, 1_000_000).unwrap();
+        println!(
+            "    (Variant::{v:?}, {}, {}),",
+            r.stats.cycles, r.stats.committed_insts
+        );
+        // sum = 31, five odd table entries add 100 each.
+        assert_eq!(r.regs[4], 31 + 500, "{v}: wrong architectural result");
+        got.push((v, r.stats.cycles, r.stats.committed_insts));
+    }
+    assert_eq!(
+        got, PINS,
+        "simulated timing drifted from the pinned baseline"
+    );
+}

@@ -103,7 +103,7 @@ impl MemHierConfig {
 }
 
 /// Aggregate hierarchy statistics.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct MemStats {
     /// L1I hit/miss counts.
     pub l1i: CacheStats,

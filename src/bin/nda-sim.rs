@@ -192,6 +192,11 @@ fn cmd_run(name: &str, o: &Opts) -> Result<(), String> {
             .map(|m| format!("{m:.2}"))
             .unwrap_or_else(|| "-".into()),
     );
+    println!("  host time            {:>12.3}s", r.host_seconds());
+    if let (Some(cps), Some(mips)) = (r.sim_cycles_per_host_sec(), r.committed_mips()) {
+        println!("  sim cycles/host s    {:>12.0}", cps);
+        println!("  committed MIPS       {:>12.3}", mips);
+    }
     Ok(())
 }
 
