@@ -56,6 +56,10 @@ fn main() {
         }
         println!();
     }
+    println!(
+        "worst per-cell relative CI: {:.2}% of mean",
+        results.max_relative_error() * 100.0
+    );
 
     // Shape checks mirroring the paper's ordering claims.
     let idx = |v: Variant| variants.iter().position(|x| *x == v).unwrap();

@@ -14,9 +14,13 @@
 //! * `NDA_ITERS` — workload outer iterations (default 400).
 //! * `NDA_JOBS` — sweep worker threads (default: available parallelism;
 //!   `1` is the serial loop; any value yields bit-identical results).
+//! * `NDA_SAMPLE_EVERY` — switch the sweep to sampled simulation with a
+//!   checkpoint every N instructions (`0` = full detail, the default).
+//! * `NDA_WARM` / `NDA_DETAIL` — per-window warm / measure instruction
+//!   counts in sampled mode (default 2000 each).
 
 pub mod render;
 pub mod sweep;
 
 pub use render::{bar, fmt_ci, header_rule};
-pub use sweep::{sweep, CellStats, SweepConfig, SweepResults};
+pub use sweep::{sweep, CellStats, SweepConfig, SweepMode, SweepResults};

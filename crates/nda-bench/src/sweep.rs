@@ -9,14 +9,30 @@
 //! bit-identical to the serial loop regardless of worker scheduling.
 //! `NDA_JOBS=1` takes a dedicated path that *is* the old serial loop.
 
-use nda_core::{run_variant, RunResult, Variant};
+use nda_core::{
+    collect_checkpoints, run_sampled_with, run_variant, RunResult, SampledParams, SimConfig,
+    Variant,
+};
 use nda_stats::Sample;
 use nda_workloads::{Workload, WorkloadParams};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Cycle budget per sample (generous: the in-order core is slow).
 pub const SWEEP_MAX_CYCLES: u64 = 2_000_000_000;
+
+/// How each sweep cell is simulated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepMode {
+    /// Full-detail timing simulation of every committed instruction.
+    Full,
+    /// Sampled simulation: one functional fast-forward with warming per
+    /// (workload, sample) collects checkpoints that every variant then
+    /// restores for its detailed windows — warm-up is paid once, not once
+    /// per variant.
+    Sampled(SampledParams),
+}
 
 /// Sweep sizing.
 #[derive(Debug, Clone, Copy)]
@@ -28,6 +44,8 @@ pub struct SweepConfig {
     /// Worker threads executing sweep cells (`NDA_JOBS`; defaults to the
     /// host's available parallelism). `1` runs the original serial loop.
     pub jobs: usize,
+    /// Full-detail or sampled simulation (`NDA_SAMPLE_EVERY`).
+    pub mode: SweepMode,
 }
 
 /// Parse env var `k` as a `u64`, defaulting to `d` when unset. An unset
@@ -51,14 +69,29 @@ impl SweepConfig {
     /// Read `NDA_SAMPLES` / `NDA_ITERS` / `NDA_JOBS` from the environment,
     /// with defaults suited to `cargo bench` (3 samples, 400 iterations,
     /// one worker per available host core).
+    ///
+    /// `NDA_SAMPLE_EVERY=N` (instructions, `0` = off, the default)
+    /// switches the sweep to sampled simulation; `NDA_WARM` and
+    /// `NDA_DETAIL` size the per-window warm and measure phases (default
+    /// 2000 instructions each).
     pub fn from_env() -> SweepConfig {
         let host = std::thread::available_parallelism()
             .map(|n| n.get() as u64)
             .unwrap_or(1);
+        let sample_every = env_u64("NDA_SAMPLE_EVERY", 0);
         SweepConfig {
             samples: env_u64("NDA_SAMPLES", 3),
             iters: env_u64("NDA_ITERS", 400),
             jobs: env_u64("NDA_JOBS", host).max(1) as usize,
+            mode: if sample_every == 0 {
+                SweepMode::Full
+            } else {
+                SweepMode::Sampled(SampledParams::new(
+                    sample_every,
+                    env_u64("NDA_WARM", 2_000),
+                    env_u64("NDA_DETAIL", 2_000),
+                ))
+            },
         }
     }
 }
@@ -141,6 +174,19 @@ impl SweepResults {
         let ns = self.variant_host_ns(v);
         (ns > 0).then(|| self.variant_sim_cycles(v) as f64 * 1e9 / ns as f64)
     }
+
+    /// Worst per-cell relative CI half-width
+    /// ([`Sample::relative_error`]) across the sweep — the SMARTS
+    /// convergence figure (how tightly the least-converged cell's CPI is
+    /// known). `0.0` for an all-degenerate sweep.
+    pub fn max_relative_error(&self) -> f64 {
+        self.cells
+            .iter()
+            .flatten()
+            .map(|c| c.cpi.relative_error())
+            .filter(|e| e.is_finite())
+            .fold(0.0, f64::max)
+    }
 }
 
 /// Run one sample: build the seeded program and simulate it to completion.
@@ -154,9 +200,51 @@ fn run_sample(w: &Workload, v: Variant, s: u64, iters: u64) -> RunResult {
         .unwrap_or_else(|e| panic!("{}/{v}/sample{s}: {e}", w.name))
 }
 
+/// Run one sampled-mode sample: collect checkpoints once (with the first
+/// variant's cache/predictor geometry — all variants share it), then
+/// restore them into every variant's detailed windows. Returns results in
+/// `variants` order. Each result's `host_ns` is that variant's *marginal*
+/// cost (its own detailed windows); the shared functional pass is
+/// amortised across the whole variant list.
+fn run_sample_set(
+    w: &Workload,
+    variants: &[Variant],
+    s: u64,
+    iters: u64,
+    sp: SampledParams,
+) -> Vec<RunResult> {
+    let params = WorkloadParams {
+        seed: 1000 + s,
+        iters,
+    };
+    let prog = (w.build)(&params);
+    let set = collect_checkpoints(
+        &SimConfig::for_variant(variants[0]),
+        &prog,
+        sp,
+        SWEEP_MAX_CYCLES,
+    )
+    .unwrap_or_else(|e| panic!("{}/checkpoints/sample{s}: {e}", w.name));
+    variants
+        .iter()
+        .map(|&v| {
+            let t = Instant::now();
+            let mut r = run_sampled_with(SimConfig::for_variant(v), &prog, &set, sp)
+                .unwrap_or_else(|e| panic!("{}/{v}/sample{s}: {e}", w.name));
+            r.host_ns = t.elapsed().as_nanos() as u64;
+            r
+        })
+        .collect()
+}
+
 /// Aggregate one cell's runs (sample order) into [`CellStats`].
 fn aggregate(runs: Vec<RunResult>) -> CellStats {
-    let cpis: Vec<f64> = runs.iter().map(|r| r.cpi()).collect();
+    // Sampled runs carry an exact window-mean CPI; full runs derive it
+    // from the cycle/instruction counters.
+    let cpis: Vec<f64> = runs
+        .iter()
+        .map(|r| r.sampled.map_or_else(|| r.cpi(), |s| s.cpi.mean))
+        .collect();
     CellStats {
         cpi: Sample::from_values(&cpis),
         runs,
@@ -177,10 +265,10 @@ fn aggregate(runs: Vec<RunResult>) -> CellStats {
 /// so a failure is a simulator bug. (A worker panic propagates when the
 /// thread scope joins.)
 pub fn sweep(workloads: &[Workload], variants: &[Variant], cfg: SweepConfig) -> SweepResults {
-    let cells = if cfg.jobs <= 1 {
-        sweep_serial(workloads, variants, cfg)
-    } else {
-        sweep_parallel(workloads, variants, cfg)
+    let cells = match cfg.mode {
+        SweepMode::Sampled(sp) => sweep_sampled(workloads, variants, cfg, sp),
+        SweepMode::Full if cfg.jobs <= 1 => sweep_serial(workloads, variants, cfg),
+        SweepMode::Full => sweep_parallel(workloads, variants, cfg),
     };
     SweepResults {
         workloads: workloads.iter().map(|w| w.name).collect(),
@@ -259,6 +347,52 @@ fn sweep_parallel(
         .collect()
 }
 
+/// Sampled-mode execution. The unit of work is a **(workload, sample)**
+/// pair, not a (workload, variant, sample) cell: one functional
+/// fast-forward collects the warmed checkpoints, and all variants reuse
+/// them. A single worker order is used for any job count — each pair is
+/// an isolated, seeded computation, so scheduling cannot affect output
+/// and the serial/parallel results are bit-identical.
+fn sweep_sampled(
+    workloads: &[Workload],
+    variants: &[Variant],
+    cfg: SweepConfig,
+    sp: SampledParams,
+) -> Vec<Vec<CellStats>> {
+    let (nv, ns) = (variants.len(), cfg.samples as usize);
+    let total = workloads.len() * ns;
+    let slots: Vec<Mutex<Option<Vec<RunResult>>>> = (0..total).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..cfg.jobs.min(total.max(1)) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                let (w, s) = (i / ns, i % ns);
+                let r = run_sample_set(&workloads[w], variants, s as u64, cfg.iters, sp);
+                *slots[i].lock().expect("slot lock") = Some(r);
+            });
+        }
+    });
+    let sets: Vec<Vec<RunResult>> = slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("slot lock")
+                .expect("every job completed")
+        })
+        .collect();
+    (0..workloads.len())
+        .map(|w| {
+            (0..nv)
+                .map(|v| aggregate((0..ns).map(|s| sets[w * ns + s][v]).collect()))
+                .collect()
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,6 +402,7 @@ mod tests {
             samples: 2,
             iters: 6,
             jobs,
+            mode: SweepMode::Full,
         }
     }
 

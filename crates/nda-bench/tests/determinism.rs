@@ -4,8 +4,8 @@
 //! simulation, and aggregation walks pre-indexed slots in serial order —
 //! this test pins that argument with an end-to-end comparison.
 
-use nda_bench::sweep::{sweep, SweepConfig};
-use nda_core::Variant;
+use nda_bench::sweep::{sweep, SweepConfig, SweepMode};
+use nda_core::{SampledParams, Variant};
 
 /// Everything in a sweep result except `host_ns` (wall clock is the one
 /// field that legitimately differs between runs).
@@ -43,8 +43,39 @@ fn parallel_sweep_is_bit_identical_to_serial() {
         samples: 2,
         iters: 10,
         jobs: 1,
+        mode: SweepMode::Full,
     };
     let serial = sweep(workloads, &variants, base);
     let parallel = sweep(workloads, &variants, SweepConfig { jobs: 4, ..base });
     assert_bit_identical(&serial, &parallel);
+}
+
+/// The same scheduling-independence argument holds in sampled mode, where
+/// the unit of work is a (workload, sample) pair whose checkpoints all
+/// variants share.
+#[test]
+fn parallel_sampled_sweep_is_bit_identical_to_serial() {
+    let workloads = &nda_workloads::all()[..2];
+    let variants = [Variant::Ooo, Variant::FullProtection, Variant::InOrder];
+    let base = SweepConfig {
+        samples: 2,
+        iters: 400,
+        jobs: 1,
+        mode: SweepMode::Sampled(SampledParams::new(2_000, 200, 200)),
+    };
+    let serial = sweep(workloads, &variants, base);
+    let parallel = sweep(workloads, &variants, SweepConfig { jobs: 4, ..base });
+    assert_bit_identical(&serial, &parallel);
+    // Sampled runs must actually be sampled (not the short-program
+    // fallback) and carry window statistics.
+    for row in &serial.cells {
+        for cell in row {
+            for r in &cell.runs {
+                let info = r.sampled.expect("sampled info attached");
+                assert!(info.windows >= 1);
+                assert!(info.detailed_insts > 0);
+                assert!(info.fast_forwarded_insts >= info.detailed_insts);
+            }
+        }
+    }
 }

@@ -292,7 +292,30 @@ impl InOrderCore {
             regs: self.regs,
             halted: self.halted,
             host_ns: 0,
+            sampled: None,
         }
+    }
+
+    /// Load architectural state and a warmed cache hierarchy from a
+    /// sampled-simulation checkpoint (see [`crate::sampled`]). The blocking
+    /// core has no predictors, so the checkpoint's predictor state does not
+    /// apply.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the core is freshly constructed (cycle 0).
+    pub fn restore_checkpoint(&mut self, interp: &nda_isa::Interp, hier: &MemHier) {
+        assert!(
+            self.cycle == 0 && self.stats.committed_insts == 0,
+            "checkpoint restore requires a freshly constructed core"
+        );
+        self.regs = *interp.regs();
+        self.pc = interp.pc();
+        self.mem = interp.mem.clone();
+        self.msrs = interp.msrs.clone();
+        self.hier = hier.clone();
+        self.halted = interp.halted();
+        self.last_line = None;
     }
 
     /// Record a cycle-class (used by the shared reporting path; the

@@ -35,6 +35,7 @@ pub mod inorder;
 pub mod ooo;
 pub mod policy;
 pub mod run;
+pub mod sampled;
 pub mod snapshot;
 pub mod trace;
 
@@ -44,8 +45,11 @@ pub use ooo::core::{OooCore, RobCellState, RobView};
 pub use ooo::invariants::{InvariantKind, InvariantViolation};
 pub use policy::{IsVariant, NdaPolicy, Propagation};
 pub use run::{
-    run_smarts, run_smarts_with, run_variant, run_with_config, RunResult, SimError,
+    run_smarts, run_smarts_with, run_variant, run_with_config, RunResult, SampledInfo, SimError,
     SmartsInterrupted, SmartsParams,
+};
+pub use sampled::{
+    collect_checkpoints, run_sampled, run_sampled_with, Checkpoint, CheckpointSet, SampledParams,
 };
 pub use snapshot::{HeadInfo, HeadWait, PipelineSnapshot};
 pub use trace::{render_pipeline, TraceEvent, TraceStage};

@@ -401,6 +401,51 @@ impl OooCore {
             regs: self.regs(),
             halted: self.halted,
             host_ns: 0,
+            sampled: None,
+        }
+    }
+
+    /// Load architectural and warmed micro-architectural state from a
+    /// sampled-simulation checkpoint (see [`crate::sampled`]).
+    ///
+    /// The architectural registers are written through the identity rename
+    /// map, memory/MSRs are cloned from the interpreter, and the warmed
+    /// cache hierarchy, direction predictor, BTB and RAS replace the cold
+    /// ones. When the invariant checker is on, the commit-time oracle is
+    /// re-seeded from the same interpreter so lockstep checking continues
+    /// to work mid-program.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the core is freshly constructed (cycle 0, empty
+    /// pipeline): restoring into a live pipeline would corrupt renaming.
+    pub fn restore_checkpoint(
+        &mut self,
+        interp: &Interp,
+        hier: &MemHier,
+        dir: &DirPredictor,
+        btb: &nda_predict::Btb,
+        ras: &nda_predict::Ras,
+    ) {
+        assert!(
+            self.cycle == 0 && self.rob.is_empty() && self.next_seq == 0,
+            "checkpoint restore requires a freshly constructed core"
+        );
+        // Fresh core ⇒ identity rename map and p0..p31 ready+visible, so
+        // writing through the map sets the committed architectural values.
+        for r in nda_isa::Reg::all() {
+            self.prf.write(self.rename.lookup(r), interp.reg(r));
+        }
+        self.mem = interp.mem.clone();
+        self.msrs = interp.msrs.clone();
+        self.hier = hier.clone();
+        self.fe.fetch_pc = interp.pc();
+        self.fe.dir = dir.clone();
+        self.fe.btb = btb.clone();
+        self.fe.ras = ras.clone();
+        self.halted = interp.halted();
+        if self.oracle.is_some() {
+            self.oracle = Some(Box::new(interp.clone()));
         }
     }
 

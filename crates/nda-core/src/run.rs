@@ -80,6 +80,25 @@ impl fmt::Display for SimError {
 
 impl Error for SimError {}
 
+/// Sampled-simulation summary attached to a [`RunResult`] by
+/// [`run_sampled`](crate::run_sampled): how the run split between the fast
+/// functional path and the detailed windows, and the CPI estimate with its
+/// confidence interval.
+#[derive(Debug, Clone, Copy)]
+pub struct SampledInfo {
+    /// Per-window CPI mean ± 95 % CI (Student-t over measurement windows).
+    pub cpi: nda_stats::Sample,
+    /// Instructions committed through the detailed core across every warm
+    /// and measurement window.
+    pub detailed_insts: u64,
+    /// Instructions executed on the functional fast-forward path (the whole
+    /// program retires functionally; detailed windows run on the side from
+    /// checkpoints).
+    pub fast_forwarded_insts: u64,
+    /// Measurement windows that contributed a CPI.
+    pub windows: usize,
+}
+
 /// The outcome of a completed simulation.
 #[derive(Debug, Clone, Copy)]
 pub struct RunResult {
@@ -96,6 +115,11 @@ pub struct RunResult {
     /// directly). Host-side instrumentation only — NOT architectural
     /// state, and never part of determinism comparisons.
     pub host_ns: u64,
+    /// `Some` when the result came from sampled simulation
+    /// ([`run_sampled`](crate::run_sampled)): `stats.cycles` is then the
+    /// *estimated* whole-run cycle count (`cpi.mean × committed_insts`) and
+    /// `mem_stats` covers only the detailed windows.
+    pub sampled: Option<SampledInfo>,
 }
 
 impl RunResult {

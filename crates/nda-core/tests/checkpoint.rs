@@ -1,0 +1,112 @@
+//! Checkpoint round-trip determinism: the sampled-simulation contract is
+//! that saving state at a sample point and restoring it later is
+//! indistinguishable — bit for bit — from never having stopped.
+
+use nda_core::{
+    collect_checkpoints, run_sampled_with, RunResult, SampledParams, SimConfig, Variant,
+};
+use nda_isa::Program;
+use nda_workloads::{by_name, WorkloadParams};
+
+fn workload(iters: u64) -> Program {
+    let w = by_name("mcf").expect("mcf kernel present");
+    (w.build)(&WorkloadParams { seed: 1234, iters })
+}
+
+fn assert_results_bit_identical(a: &RunResult, b: &RunResult, ctx: &str) {
+    assert_eq!(a.stats, b.stats, "{ctx}: SimStats diverged");
+    assert_eq!(a.mem_stats, b.mem_stats, "{ctx}: MemStats diverged");
+    assert_eq!(a.regs, b.regs, "{ctx}: registers diverged");
+    assert_eq!(a.halted, b.halted, "{ctx}: halt flag diverged");
+    let (sa, sb) = (a.sampled, b.sampled);
+    assert_eq!(sa.is_some(), sb.is_some(), "{ctx}: sampled presence");
+    if let (Some(sa), Some(sb)) = (sa, sb) {
+        assert_eq!(sa.cpi, sb.cpi, "{ctx}: sampled CPI diverged");
+        assert_eq!(sa.detailed_insts, sb.detailed_insts, "{ctx}");
+        assert_eq!(sa.fast_forwarded_insts, sb.fast_forwarded_insts, "{ctx}");
+        assert_eq!(sa.windows, sb.windows, "{ctx}");
+    }
+}
+
+/// A checkpoint taken mid-run carries exactly the state an uninterrupted
+/// fast-forward to the same point would hold: collecting with interval `N`
+/// and with interval `2N` must agree bit-for-bit wherever their sample
+/// points coincide — interpreter, warmed cache tags, predictor tables,
+/// BTB and RAS alike (whole-[`nda_core::Checkpoint`] `PartialEq`).
+#[test]
+fn checkpoint_state_is_independent_of_sampling_interval() {
+    let p = workload(2_000);
+    let cfg = SimConfig::for_variant(Variant::Ooo);
+    let fine = collect_checkpoints(&cfg, &p, SampledParams::new(2_000, 100, 100), u64::MAX)
+        .expect("fine-grained collection");
+    let coarse = collect_checkpoints(&cfg, &p, SampledParams::new(4_000, 100, 100), u64::MAX)
+        .expect("coarse-grained collection");
+    assert!(coarse.checkpoints.len() >= 2, "workload too short");
+    for (k, c) in coarse.checkpoints.iter().enumerate() {
+        let f = &fine.checkpoints[2 * k];
+        assert_eq!(f.ff_insts, c.ff_insts, "sample points must coincide");
+        assert_eq!(f, c, "checkpoint {k}: state depends on interval");
+    }
+    assert_eq!(fine.final_interp, coarse.final_interp);
+    assert_eq!(fine.total_insts, coarse.total_insts);
+}
+
+/// Collecting checkpoints twice from scratch yields identical sets: the
+/// master functional pass is deterministic.
+#[test]
+fn independent_collections_are_bit_identical() {
+    let p = workload(1_000);
+    let cfg = SimConfig::for_variant(Variant::Strict);
+    let params = SampledParams::new(3_000, 200, 200);
+    let a = collect_checkpoints(&cfg, &p, params, u64::MAX).unwrap();
+    let b = collect_checkpoints(&cfg, &p, params, u64::MAX).unwrap();
+    assert_eq!(a, b);
+}
+
+/// Restoring the same checkpoint set into every variant twice produces
+/// bit-identical runs — stats, window CPIs, memory-system counters,
+/// registers. This is the property the sweep's checkpoint reuse rests on.
+#[test]
+fn restore_and_rerun_is_bit_exact_for_every_variant() {
+    let p = workload(600);
+    let mut params = SampledParams::new(3_000, 150, 150);
+    params.max_windows = 2;
+    let set = collect_checkpoints(
+        &SimConfig::for_variant(Variant::all()[0]),
+        &p,
+        params,
+        u64::MAX,
+    )
+    .unwrap();
+    assert!(!set.checkpoints.is_empty(), "workload too short");
+    for v in Variant::all() {
+        let cfg = SimConfig::for_variant(v);
+        let r1 = run_sampled_with(cfg, &p, &set, params).unwrap_or_else(|e| panic!("{v}: {e}"));
+        let r2 = run_sampled_with(cfg, &p, &set, params).unwrap_or_else(|e| panic!("{v}: {e}"));
+        assert_results_bit_identical(&r1, &r2, &format!("variant {v}"));
+        assert!(r1.halted, "{v}: must reach halt architecturally");
+        assert!(
+            r1.sampled.expect("sampled").windows >= 1,
+            "{v}: no detailed windows ran"
+        );
+    }
+}
+
+/// Sampled mode never changes architecture: final registers match a
+/// full-detail run exactly, for a secure and an insecure variant.
+#[test]
+fn sampled_architectural_state_matches_full_detail() {
+    let p = workload(600);
+    let params = SampledParams::new(3_000, 200, 200);
+    let set =
+        collect_checkpoints(&SimConfig::for_variant(Variant::Ooo), &p, params, u64::MAX).unwrap();
+    for v in [Variant::Ooo, Variant::FullProtection, Variant::InOrder] {
+        let full = nda_core::run_variant(v, &p, 2_000_000_000).unwrap();
+        let sampled = run_sampled_with(SimConfig::for_variant(v), &p, &set, params).unwrap();
+        assert_eq!(sampled.regs, full.regs, "{v}");
+        assert_eq!(
+            sampled.stats.committed_insts, full.stats.committed_insts,
+            "{v}"
+        );
+    }
+}

@@ -76,8 +76,29 @@ pub struct ExitInfo {
     pub faults: u64,
 }
 
+/// Per-step architectural effects, reported by [`Interp::step_info`] so a
+/// functional-warming driver (sampled simulation's fast-forward phase) can
+/// touch caches and train predictors without re-decoding the instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepInfo {
+    /// PC of the instruction that executed (instruction index).
+    pub pc: usize,
+    /// The instruction itself.
+    pub inst: Inst,
+    /// Byte address touched by a *non-faulting* load or store.
+    pub data_addr: Option<u64>,
+    /// Byte address evicted by `ClFlush`.
+    pub flush_addr: Option<u64>,
+    /// Resolved direction of a conditional branch.
+    pub taken: Option<bool>,
+    /// PC after the step (the fault handler when `faulted`).
+    pub next_pc: usize,
+    /// `true` if the instruction faulted (and therefore did not retire).
+    pub faulted: bool,
+}
+
 /// The reference interpreter. See the [module documentation](self).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Interp {
     program: Program,
     regs: [u64; NUM_REGS],
@@ -163,13 +184,38 @@ impl Interp {
     /// See [`InterpError`]. A fault with a registered handler is *not* an
     /// error; control transfers to the handler.
     pub fn step(&mut self) -> Result<(), InterpError> {
+        self.step_info().map(|_| ())
+    }
+
+    /// Execute a single instruction and report its architectural effects.
+    ///
+    /// Semantically identical to [`Interp::step`] ([`Interp::step`] *is*
+    /// this call with the report discarded); the [`StepInfo`] exists so the
+    /// sampled-simulation fast-forward driver can warm caches and train
+    /// predictors from the committed stream. Returns `Ok(None)` when the
+    /// interpreter has already halted.
+    ///
+    /// # Errors
+    ///
+    /// See [`InterpError`]. A fault with a registered handler is *not* an
+    /// error; the report has `faulted` set and `next_pc` at the handler.
+    pub fn step_info(&mut self) -> Result<Option<StepInfo>, InterpError> {
         if self.halted {
-            return Ok(());
+            return Ok(None);
         }
         let inst = self
             .program
             .fetch(self.pc)
             .ok_or(InterpError::PcOutOfRange { pc: self.pc })?;
+        let mut info = StepInfo {
+            pc: self.pc,
+            inst,
+            data_addr: None,
+            flush_addr: None,
+            taken: None,
+            next_pc: self.pc + 1,
+            faulted: false,
+        };
         let mut next = self.pc + 1;
         match inst {
             Inst::Li { rd, imm } => self.set_reg(rd, imm),
@@ -189,10 +235,14 @@ impl Interp {
             } => {
                 let addr = self.reg(base).wrapping_add(off as u64);
                 if self.priv_map.is_privileged(addr) {
-                    return self.deliver_fault(Fault::PrivilegedAccess { addr });
+                    self.deliver_fault(Fault::PrivilegedAccess { addr })?;
+                    info.faulted = true;
+                    info.next_pc = self.pc;
+                    return Ok(Some(info));
                 }
                 let v = self.mem.read(addr, size.bytes());
                 self.set_reg(rd, v);
+                info.data_addr = Some(addr);
             }
             Inst::Store {
                 src,
@@ -202,10 +252,14 @@ impl Interp {
             } => {
                 let addr = self.reg(base).wrapping_add(off as u64);
                 if self.priv_map.is_privileged(addr) {
-                    return self.deliver_fault(Fault::PrivilegedAccess { addr });
+                    self.deliver_fault(Fault::PrivilegedAccess { addr })?;
+                    info.faulted = true;
+                    info.next_pc = self.pc;
+                    return Ok(Some(info));
                 }
                 let v = self.reg(src);
                 self.mem.write(addr, v, size.bytes());
+                info.data_addr = Some(addr);
             }
             Inst::Branch {
                 cond,
@@ -213,9 +267,11 @@ impl Interp {
                 rs2,
                 target,
             } => {
-                if cond.eval(self.reg(rs1), self.reg(rs2)) {
+                let taken = cond.eval(self.reg(rs1), self.reg(rs2));
+                if taken {
                     next = target;
                 }
+                info.taken = Some(taken);
             }
             Inst::Jmp { target } => next = target,
             Inst::JmpInd { base } => next = self.reg(base) as usize,
@@ -238,21 +294,31 @@ impl Interp {
             }
             Inst::RdMsr { rd, idx } => {
                 if !self.msrs.user_may_read(idx) {
-                    return self.deliver_fault(Fault::PrivilegedMsr { idx });
+                    self.deliver_fault(Fault::PrivilegedMsr { idx })?;
+                    info.faulted = true;
+                    info.next_pc = self.pc;
+                    return Ok(Some(info));
                 }
                 let v = self.msrs.read(idx);
                 self.set_reg(rd, v);
             }
-            Inst::ClFlush { .. } | Inst::Fence | Inst::SpecOff | Inst::SpecOn | Inst::Nop => {}
+            Inst::ClFlush { base, off } => {
+                // Architecturally a no-op (the interpreter has no caches);
+                // reported so a warming driver can mirror the eviction.
+                info.flush_addr = Some(self.reg(base).wrapping_add(off as u64));
+            }
+            Inst::Fence | Inst::SpecOff | Inst::SpecOn | Inst::Nop => {}
             Inst::Halt => {
                 self.halted = true;
                 self.retired += 1;
-                return Ok(());
+                info.next_pc = self.pc;
+                return Ok(Some(info));
             }
         }
         self.retired += 1;
         self.pc = next;
-        Ok(())
+        info.next_pc = next;
+        Ok(Some(info))
     }
 
     /// Run until `Halt` or until `max_steps` instructions have executed.
@@ -443,6 +509,58 @@ mod tests {
         assert_eq!(i.reg(Reg::X5), 0x43);
         assert_eq!(i.reg(Reg::X6), 0);
         assert_eq!(exit.faults, 1);
+    }
+
+    #[test]
+    fn step_info_reports_effects_and_matches_step() {
+        let mut asm = Asm::new();
+        let done = asm.new_label();
+        asm.li(Reg::X2, 0x1_0000);
+        asm.li(Reg::X3, 0xAB);
+        asm.st1(Reg::X3, Reg::X2, 5);
+        asm.ld1(Reg::X4, Reg::X2, 5);
+        asm.beq(Reg::X4, Reg::X3, done);
+        asm.nop();
+        asm.bind(done);
+        asm.halt();
+        let p = asm.assemble().unwrap();
+
+        let mut a = Interp::new(&p);
+        let mut b = Interp::new(&p);
+        let mut infos = Vec::new();
+        while !a.halted() {
+            infos.push(a.step_info().unwrap().expect("not halted"));
+            b.step().unwrap();
+        }
+        assert_eq!(a, b, "step_info and step must be interchangeable");
+        assert_eq!(a.step_info().unwrap(), None, "halted reports None");
+
+        // st1 / ld1 report the touched address; the branch its direction.
+        assert_eq!(infos[2].data_addr, Some(0x1_0005));
+        assert_eq!(infos[3].data_addr, Some(0x1_0005));
+        assert_eq!(infos[4].taken, Some(true));
+        assert_eq!(infos[4].next_pc, 6);
+        assert!(infos.iter().all(|i| !i.faulted));
+    }
+
+    #[test]
+    fn step_info_flags_faults_without_data_addr() {
+        let mut asm = Asm::new();
+        let h = asm.new_label();
+        asm.fault_handler(h);
+        asm.li(Reg::X2, KERNEL_BASE);
+        asm.load(Reg::X3, Reg::X2, 0, MemSize::B8);
+        asm.halt();
+        asm.bind(h);
+        asm.halt();
+        let p = asm.assemble().unwrap();
+        let mut i = Interp::new(&p);
+        i.step().unwrap();
+        let info = i.step_info().unwrap().unwrap();
+        assert!(info.faulted);
+        assert_eq!(info.data_addr, None, "faulting access must not warm");
+        assert_eq!(info.next_pc, 3, "control transfers to the handler");
+        assert_eq!(i.retired(), 1, "faulting instruction did not retire");
     }
 
     #[test]

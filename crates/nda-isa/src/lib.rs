@@ -43,7 +43,7 @@ pub mod reg;
 pub use asm::{Asm, AsmError, Label};
 pub use encode::{decode_program, encode_program, DecodeError};
 pub use inst::{AluOp, BranchCond, Inst, MemSize};
-pub use interp::{ExitInfo, Fault, Interp, InterpError};
+pub use interp::{ExitInfo, Fault, Interp, InterpError, StepInfo};
 pub use mem::{MsrFile, PrivilegeMap, SparseMem, KERNEL_BASE};
 pub use program::{DataInit, Program};
 pub use reg::Reg;

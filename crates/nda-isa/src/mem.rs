@@ -7,6 +7,7 @@
 //! same bytes the architectural path would.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Start of the privileged (kernel) address range: loads and stores at or
 /// above this address fault in user mode, exactly the Meltdown setting.
@@ -16,13 +17,23 @@ const PAGE_SHIFT: u64 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
 
-/// Sparse byte-addressable memory backed by 4 KiB pages.
+/// Sparse byte-addressable memory backed by 4 KiB copy-on-write pages.
 ///
 /// Reads of untouched memory return zero, which keeps wrong-path execution
 /// total (a mis-steered load can never crash the simulator).
-#[derive(Debug, Clone, Default)]
+/// Equality compares resident pages, so a page explicitly written to all
+/// zeros differs from an untouched one — identical *operation histories*
+/// (the checkpoint round-trip case) always compare equal.
+///
+/// Pages are `Arc`-shared: `clone` bumps refcounts instead of copying the
+/// resident set, and a write clones only the page it lands on
+/// ([`Arc::make_mut`]). Sampled simulation leans on this — every
+/// checkpoint holds a full memory image, and every detailed window clones
+/// one back into a core, so multi-megabyte workloads would otherwise pay
+/// a full-image copy per checkpoint and per window.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SparseMem {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    pages: HashMap<u64, Arc<[u8; PAGE_SIZE]>>,
 }
 
 impl SparseMem {
@@ -40,14 +51,15 @@ impl SparseMem {
         }
     }
 
-    /// Write one byte (allocating the page on demand).
+    /// Write one byte (allocating the page on demand, un-sharing it if a
+    /// checkpoint still references it).
     #[inline]
     pub fn write_u8(&mut self, addr: u64, val: u8) {
         let page = self
             .pages
             .entry(addr >> PAGE_SHIFT)
-            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
-        page[(addr & PAGE_MASK) as usize] = val;
+            .or_insert_with(|| Arc::new([0u8; PAGE_SIZE]));
+        Arc::make_mut(page)[(addr & PAGE_MASK) as usize] = val;
     }
 
     /// Read `size` bytes (1, 2, 4 or 8) little-endian, zero-extended.
@@ -69,9 +81,25 @@ impl SparseMem {
     }
 
     /// Copy a byte slice into memory starting at `addr`.
+    ///
+    /// Chunked at page granularity: one page lookup per 4 KiB, not per
+    /// byte. Data-segment loads are on the constructor path of every core
+    /// and interpreter (and the sampled-simulation windows construct a
+    /// fresh core per checkpoint), so multi-megabyte workload images make
+    /// the per-byte path a real cost.
     pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
-        for (i, b) in bytes.iter().enumerate() {
-            self.write_u8(addr.wrapping_add(i as u64), *b);
+        let mut addr = addr;
+        let mut rest = bytes;
+        while !rest.is_empty() {
+            let off = (addr & PAGE_MASK) as usize;
+            let n = (PAGE_SIZE - off).min(rest.len());
+            let page = self
+                .pages
+                .entry(addr >> PAGE_SHIFT)
+                .or_insert_with(|| Arc::new([0u8; PAGE_SIZE]));
+            Arc::make_mut(page)[off..off + n].copy_from_slice(&rest[..n]);
+            addr = addr.wrapping_add(n as u64);
+            rest = &rest[n..];
         }
     }
 
@@ -101,7 +129,7 @@ impl PrivilegeMap {
 /// `RdMsr` of a register not in the user-permitted set faults — but, like a
 /// Meltdown-style load, the *value* may still propagate speculatively when
 /// the simulated implementation flaw is enabled (LazyFP / Meltdown v3a).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MsrFile {
     values: HashMap<u16, u64>,
     user_ok: HashMap<u16, bool>,

@@ -45,7 +45,7 @@ impl CacheStats {
     }
 }
 
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 struct Line {
     tag: u64,
     valid: bool,
@@ -59,10 +59,15 @@ struct Line {
 /// Speculative (wrong-path) fills are permitted and are *not* reverted on
 /// squash — that is precisely the micro-architectural residue speculative
 /// execution attacks exploit (paper §2).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SetAssocCache {
     cfg: CacheConfig,
-    sets: Vec<Vec<Line>>,
+    /// All lines in one flat allocation; set `s` occupies
+    /// `s*ways .. (s+1)*ways`. Keeps a clone — taken per checkpoint and
+    /// per detailed window in sampled simulation — one `memcpy` instead
+    /// of one heap allocation per set (a 2 MiB L2 has 2048 sets).
+    lines: Vec<Line>,
+    num_sets: usize,
     tick: u64,
     stats: CacheStats,
 }
@@ -82,7 +87,8 @@ impl SetAssocCache {
         );
         assert!(cfg.sets() > 0, "cache must have at least one set");
         SetAssocCache {
-            sets: vec![vec![Line::default(); cfg.ways]; cfg.sets()],
+            lines: vec![Line::default(); cfg.ways * cfg.sets()],
+            num_sets: cfg.sets(),
             cfg,
             tick: 0,
             stats: CacheStats::default(),
@@ -102,28 +108,35 @@ impl SetAssocCache {
     #[inline]
     fn split(&self, addr: u64) -> (usize, u64) {
         let line = addr / self.cfg.line_bytes;
-        let set = (line % self.sets.len() as u64) as usize;
+        let set = (line % self.num_sets as u64) as usize;
         (set, line)
+    }
+
+    /// The lines of set `s`.
+    #[inline]
+    fn set(&self, s: usize) -> &[Line] {
+        &self.lines[s * self.cfg.ways..][..self.cfg.ways]
     }
 
     /// `true` if the line containing `addr` is present. No state change.
     pub fn contains(&self, addr: u64) -> bool {
         let (set, tag) = self.split(addr);
-        self.sets[set].iter().any(|l| l.valid && l.tag == tag)
+        self.set(set).iter().any(|l| l.valid && l.tag == tag)
     }
 
     /// Normal access: returns `true` on hit. Updates LRU and allocates the
     /// line on miss (evicting true-LRU). Counts in [`CacheStats`].
     pub fn access(&mut self, addr: u64) -> bool {
         self.tick += 1;
+        let tick = self.tick;
         let (set, tag) = self.split(addr);
-        let set = &mut self.sets[set];
+        let ways = self.cfg.ways;
+        let set = &mut self.lines[set * ways..][..ways];
         if let Some(l) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
-            l.last_use = self.tick;
+            l.last_use = tick;
             self.stats.hits += 1;
             return true;
         }
-        self.stats.misses += 1;
         let victim = set
             .iter_mut()
             .min_by_key(|l| if l.valid { l.last_use } else { 0 })
@@ -131,8 +144,9 @@ impl SetAssocCache {
         *victim = Line {
             tag,
             valid: true,
-            last_use: self.tick,
+            last_use: tick,
         };
+        self.stats.misses += 1;
         false
     }
 
@@ -141,10 +155,12 @@ impl SetAssocCache {
     /// access in [`CacheStats`] — the originating miss was already counted.
     pub fn install(&mut self, addr: u64) {
         self.tick += 1;
+        let tick = self.tick;
         let (set, tag) = self.split(addr);
-        let set = &mut self.sets[set];
+        let ways = self.cfg.ways;
+        let set = &mut self.lines[set * ways..][..ways];
         if let Some(l) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
-            l.last_use = self.tick;
+            l.last_use = tick;
             return;
         }
         let victim = set
@@ -154,8 +170,17 @@ impl SetAssocCache {
         *victim = Line {
             tag,
             valid: true,
-            last_use: self.tick,
+            last_use: tick,
         };
+    }
+
+    /// Functional-warming touch (sampled simulation's fast-forward phase):
+    /// allocate/LRU-refresh the line containing `addr` exactly as a
+    /// serviced access would, but latency-free and without counting in
+    /// [`CacheStats`] — warming shapes tag/LRU state for the detailed
+    /// windows, it is not itself a measured access.
+    pub fn warm_touch(&mut self, addr: u64) {
+        self.install(addr);
     }
 
     /// Count a miss that was serviced without calling [`Self::access`]
@@ -174,7 +199,8 @@ impl SetAssocCache {
     /// Invalidate the line containing `addr` (used by `clflush`).
     pub fn invalidate(&mut self, addr: u64) {
         let (set, tag) = self.split(addr);
-        for l in &mut self.sets[set] {
+        let ways = self.cfg.ways;
+        for l in &mut self.lines[set * ways..][..ways] {
             if l.valid && l.tag == tag {
                 l.valid = false;
             }
@@ -183,10 +209,8 @@ impl SetAssocCache {
 
     /// Drop every line (used between sampling intervals).
     pub fn invalidate_all(&mut self) {
-        for set in &mut self.sets {
-            for l in set.iter_mut() {
-                l.valid = false;
-            }
+        for l in &mut self.lines {
+            l.valid = false;
         }
     }
 }

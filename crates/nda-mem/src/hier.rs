@@ -122,7 +122,7 @@ pub struct MemStats {
 /// The cache hierarchy + DRAM timing model. See the crate docs for the
 /// separation between timing (here) and architectural bytes
 /// (`nda_isa::SparseMem`).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MemHier {
     cfg: MemHierConfig,
     l1i: SetAssocCache,
@@ -307,6 +307,33 @@ impl MemHier {
         self.l1d.install(addr);
     }
 
+    /// Functional warming of a data access (sampled simulation's
+    /// fast-forward phase): bring the line to the same tag/LRU state a
+    /// serviced [`Self::access_data`] would leave it in — L1 hit refreshes
+    /// L1 LRU; otherwise the line is installed in L2 (LRU-refresh if
+    /// present) and filled into L1 — but immediately, with no latency, no
+    /// MSHR traffic, no pending fill and no stat counts.
+    pub fn warm_touch_data(&mut self, addr: u64) {
+        if self.l1d.probe(addr) {
+            self.l1d.warm_touch(addr);
+        } else {
+            self.l2.warm_touch(addr);
+            self.l1d.warm_touch(addr);
+        }
+    }
+
+    /// Functional warming of an instruction fetch: the i-side analogue of
+    /// [`Self::warm_touch_data`] (L1I + L2 tag/LRU only, latency-free,
+    /// uncounted).
+    pub fn warm_touch_inst(&mut self, addr: u64) {
+        if self.l1i.probe(addr) {
+            self.l1i.warm_touch(addr);
+        } else {
+            self.l2.warm_touch(addr);
+            self.l1i.warm_touch(addr);
+        }
+    }
+
     /// `clflush`: evict the line containing `addr` from every level and
     /// cancel any pending fill of it.
     pub fn flush_line(&mut self, addr: u64) {
@@ -455,6 +482,46 @@ mod tests {
         assert_eq!(h.stats().l1d.accesses(), 0);
         h.access_data(0x5000, 0).unwrap();
         assert_eq!(h.probe_data(0x5000, 200).level, Level::L1);
+    }
+
+    #[test]
+    fn warm_touch_installs_without_stats_or_latency() {
+        let mut h = MemHier::new(MemHierConfig::haswell_like());
+        h.warm_touch_data(0x9000);
+        h.warm_touch_inst(0x40_0000);
+        let s = h.stats();
+        assert_eq!(s.l1d.accesses(), 0, "warming must not count");
+        assert_eq!(s.l1i.accesses(), 0, "warming must not count");
+        assert_eq!(s.l2.accesses(), 0, "warming must not count");
+        assert_eq!(s.dram_accesses, 0, "warming never goes off-chip");
+        // The line is present immediately (no fill delay).
+        assert_eq!(h.access_data(0x9000, 0).unwrap().level, Level::L1);
+        assert_eq!(h.access_inst(0x40_0000).level, Level::L1);
+    }
+
+    #[test]
+    fn warm_touch_matches_access_tag_state() {
+        // Warming the same stream of lines as a (drained) access stream
+        // leaves identical L1D/L2 contents.
+        let addrs = [0u64, 0x1000, 0x2000, 0x1000, 0x4000, 0x0];
+        let mut warmed = MemHier::new(MemHierConfig::tiny());
+        for &a in &addrs {
+            warmed.warm_touch_data(a);
+        }
+        let mut accessed = MemHier::new(MemHierConfig::tiny());
+        // Space the accesses out so every fill lands before the next access,
+        // then drain the final pending fill (warming installs immediately).
+        for (i, &a) in addrs.iter().enumerate() {
+            accessed.access_data(a, i as u64 * 1000).unwrap();
+        }
+        accessed.probe_data(0, 1_000_000);
+        for &a in &addrs {
+            assert_eq!(
+                warmed.data_line_present(a),
+                accessed.data_line_present(a),
+                "presence diverged at {a:#x}"
+            );
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! in non-decreasing start order, which the cycle-driven cores guarantee.
 
 /// Streaming MLP aggregator. See the [module documentation](self).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MlpTracker {
     /// Sum over misses of their duration (cycle-weighted outstanding count).
     miss_cycles: u64,

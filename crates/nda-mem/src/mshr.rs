@@ -7,7 +7,7 @@
 use std::collections::HashMap;
 
 /// A bounded file of outstanding line fills.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MshrFile {
     capacity: usize,
     /// line index -> cycle at which the fill completes.

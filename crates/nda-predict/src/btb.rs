@@ -32,7 +32,7 @@ impl Default for BtbConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Entry {
     tag: u64,
     target: usize,
@@ -40,7 +40,7 @@ struct Entry {
 }
 
 /// A direct-mapped, tagged branch target buffer.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Btb {
     cfg: BtbConfig,
     entries: Vec<Entry>,

@@ -26,7 +26,7 @@ impl Default for GshareConfig {
 /// squash ([`Gshare::restore_ghr`]) — the standard recovery gem5 also
 /// implements. Counters train at branch resolution using the GHR value the
 /// prediction was made with.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Gshare {
     cfg: GshareConfig,
     table: Vec<u8>,
@@ -118,6 +118,19 @@ impl Gshare {
     /// (predictions made, predictions that trained correct).
     pub fn accuracy_counts(&self) -> (u64, u64) {
         (self.predictions, self.correct)
+    }
+
+    /// Functional (non-speculative, commit-order) update for sampled
+    /// simulation's fast-forward warming: predict, train with the known
+    /// outcome, and leave the history as if the branch resolved
+    /// immediately — the predict/train/recover sequence the detailed core
+    /// performs, collapsed to one call because the functional path never
+    /// runs ahead of resolution.
+    pub fn functional_update(&mut self, pc: u64, taken: bool) {
+        let ghr = self.ghr();
+        let predicted = self.predict(pc);
+        self.train(pc, ghr, taken, predicted);
+        self.recover(ghr, taken);
     }
 }
 

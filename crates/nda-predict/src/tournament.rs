@@ -10,7 +10,7 @@
 use crate::gshare::{Gshare, GshareConfig};
 
 /// A per-PC 2-bit bimodal predictor (no global history).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Bimodal {
     table: Vec<u8>,
 }
@@ -54,7 +54,7 @@ impl Bimodal {
 }
 
 /// A tournament predictor: gshare + bimodal with a per-PC chooser.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Tournament {
     gshare: Gshare,
     bimodal: Bimodal,
@@ -119,6 +119,16 @@ impl Tournament {
     pub fn recover(&mut self, ghr_at_predict: u64, taken: bool) {
         self.gshare.recover(ghr_at_predict, taken);
     }
+
+    /// Functional commit-order update (sampled-simulation warming): the
+    /// predict/train/recover sequence collapsed to one call. See
+    /// [`Gshare::functional_update`].
+    pub fn functional_update(&mut self, pc: u64, taken: bool) {
+        let ghr = self.ghr();
+        let predicted = self.predict(pc);
+        self.train(pc, ghr, taken, predicted);
+        self.recover(ghr, taken);
+    }
 }
 
 /// Which direction predictor the front end uses.
@@ -133,7 +143,7 @@ pub enum PredictorKind {
 }
 
 /// Runtime-selected direction predictor.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DirPredictor {
     /// See [`Gshare`].
     Gshare(Gshare),
@@ -195,6 +205,17 @@ impl DirPredictor {
             DirPredictor::Gshare(g) => g.recover(ghr_at_predict, taken),
             DirPredictor::Bimodal(_) => {}
             DirPredictor::Tournament(t) => t.recover(ghr_at_predict, taken),
+        }
+    }
+
+    /// Functional commit-order update (sampled-simulation warming): train
+    /// the predictor with a resolved branch outcome, leaving history as if
+    /// the branch resolved immediately. See [`Gshare::functional_update`].
+    pub fn functional_update(&mut self, pc: u64, taken: bool) {
+        match self {
+            DirPredictor::Gshare(g) => g.functional_update(pc, taken),
+            DirPredictor::Bimodal(b) => b.train(pc, taken),
+            DirPredictor::Tournament(t) => t.functional_update(pc, taken),
         }
     }
 }
@@ -269,5 +290,33 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn bimodal_non_pow2_panics() {
         Bimodal::new(10);
+    }
+
+    #[test]
+    fn functional_update_matches_resolved_sequence() {
+        // The collapsed call must leave the predictor in exactly the state
+        // the explicit snapshot/predict/train/recover dance produces.
+        for kind in [
+            PredictorKind::Gshare,
+            PredictorKind::Bimodal,
+            PredictorKind::Tournament,
+        ] {
+            let cfg = GshareConfig {
+                entries: 64,
+                history_bits: 6,
+            };
+            let mut functional = DirPredictor::new(kind, cfg);
+            let mut explicit = DirPredictor::new(kind, cfg);
+            let outcomes = [true, true, false, true, false, false, true, true];
+            for (i, &taken) in outcomes.iter().enumerate() {
+                let pc = 0x40 + (i as u64 % 3) * 8;
+                functional.functional_update(pc, taken);
+                let ghr = explicit.ghr();
+                let pred = explicit.predict(pc);
+                explicit.train(pc, ghr, taken, pred);
+                explicit.recover(ghr, taken);
+            }
+            assert_eq!(functional, explicit, "{kind:?} state diverged");
+        }
     }
 }

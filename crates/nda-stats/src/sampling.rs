@@ -58,6 +58,17 @@ impl Sample {
     pub fn excludes(&self, value: f64) -> bool {
         (value - self.mean).abs() > self.ci95
     }
+
+    /// Relative half-interval `ci95 / |mean|` — the SMARTS convergence
+    /// metric (`0.05` means the mean is known to ±5 % at 95 % confidence).
+    /// NaN when the mean is zero or no samples were aggregated.
+    pub fn relative_error(&self) -> f64 {
+        if self.mean == 0.0 {
+            f64::NAN
+        } else {
+            self.ci95 / self.mean.abs()
+        }
+    }
 }
 
 /// Geometric mean; empty input yields NaN.
@@ -121,9 +132,45 @@ mod tests {
 
     #[test]
     fn large_n_uses_normal_quantile() {
+        // 100 samples → df = 99 > 30, so the interval must use the normal
+        // quantile 1.96 exactly, not a Student-t entry.
         let vals: Vec<f64> = (0..100).map(|i| (i % 7) as f64).collect();
         let s = Sample::from_values(&vals);
-        assert!(s.ci95 > 0.0);
+        let mean = vals.iter().sum::<f64>() / 100.0;
+        let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / 99.0;
+        let se = (var / 100.0).sqrt();
         assert_eq!(s.n, 100);
+        assert!(
+            (s.ci95 - 1.96 * se).abs() < 1e-12,
+            "{} vs {}",
+            s.ci95,
+            1.96 * se
+        );
+    }
+
+    #[test]
+    fn boundary_df_30_vs_31_quantiles() {
+        // n = 31 (df 30) is the last Student-t row; n = 32 (df 31) is the
+        // first normal-quantile use. Same variance pattern for both so the
+        // ratio of intervals isolates the quantile switch.
+        let v31: Vec<f64> = (0..31).map(|i| (i % 2) as f64).collect();
+        let v32: Vec<f64> = (0..32).map(|i| (i % 2) as f64).collect();
+        let quantile = |vals: &[f64]| {
+            let n = vals.len() as f64;
+            let mean = vals.iter().sum::<f64>() / n;
+            let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1.0);
+            let se = (var / n).sqrt();
+            Sample::from_values(vals).ci95 / se
+        };
+        assert!((quantile(&v31) - 2.042).abs() < 1e-9);
+        assert!((quantile(&v32) - 1.96).abs() < 1e-9);
+    }
+
+    #[test]
+    fn relative_error_is_ci_over_mean() {
+        let s = Sample::from_values(&[10.0, 10.2, 9.8, 10.1, 9.9]);
+        assert!((s.relative_error() - s.ci95 / s.mean).abs() < 1e-15);
+        assert!(Sample::from_values(&[0.0, 0.0]).relative_error().is_nan());
+        assert!(Sample::from_values(&[]).relative_error().is_nan());
     }
 }

@@ -26,7 +26,8 @@
 //! repro — disassembly listing plus the binary encoding — to disk.
 
 use nda_core::config::{CoreModel, SimConfig};
-use nda_core::{OooCore, Variant};
+use nda_core::sampled::Checkpoint;
+use nda_core::{collect_checkpoints, OooCore, SampledParams, Variant};
 use nda_isa::genprog::{generate, GenConfig, SCRATCH_BASE};
 use nda_isa::{encode_program, Interp, Program};
 use rand::rngs::StdRng;
@@ -40,6 +41,10 @@ const MAX_STEPS: u64 = 2_000_000;
 const MAX_CYCLES: u64 = 20_000_000;
 /// Scratch words digested from `SCRATCH_BASE`.
 const SCRATCH_WORDS: u64 = 64;
+/// Fast-forward interval for the sampled-path check — small enough that
+/// typical generated programs (a few hundred retired instructions) yield
+/// at least one warmed checkpoint.
+const SAMPLED_FF_EVERY: u64 = 150;
 
 /// One class of injected disturbance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -261,36 +266,7 @@ fn variant_state(
             // cycle; the watchdog catches injection-induced wedges.
             cfg.check_invariants = true;
             let mut c = OooCore::new(cfg, program);
-            let mut rng = StdRng::seed_from_u64(inject_seed);
-            let mut commits_at_last_squash = 0u64;
-            let plan = *plan;
-            let run = if plan.is_none() {
-                c.run(MAX_CYCLES)
-            } else {
-                c.run_hooked(MAX_CYCLES, |core| {
-                    if plan.squash_rate > 0.0 && rng.gen_bool(plan.squash_rate) {
-                        // Forward-progress gate: never squash twice without
-                        // an intervening commit.
-                        if core.stats.committed_insts > commits_at_last_squash
-                            && core.inject_spurious_squash(rng.next_u64())
-                        {
-                            commits_at_last_squash = core.stats.committed_insts;
-                        }
-                    }
-                    if plan.memlat_rate > 0.0 && rng.gen_bool(plan.memlat_rate) {
-                        let extra = if rng.gen_bool(0.25) {
-                            0
-                        } else {
-                            rng.gen_range(1u64..48)
-                        };
-                        core.hier.set_extra_latency(extra);
-                    }
-                    if plan.predictor_rate > 0.0 && rng.gen_bool(plan.predictor_rate) {
-                        core.inject_predictor_corruption(rng.next_u64(), rng.next_u64());
-                    }
-                })
-            };
-            let r = run.map_err(|e| e.to_string())?;
+            let r = run_ooo_injected(&mut c, *plan, inject_seed)?;
             let scratch = (0..SCRATCH_WORDS)
                 .map(|k| c.mem.read(SCRATCH_BASE + 8 * k, 8))
                 .collect();
@@ -298,6 +274,88 @@ fn variant_state(
                 regs: r.regs,
                 scratch,
                 retired: r.stats.committed_insts,
+            })
+        }
+    }
+}
+
+/// Drive an out-of-order core to completion with `plan` injected every
+/// cycle (shared by the full-detail and the checkpoint-restored sampled
+/// paths).
+fn run_ooo_injected(
+    c: &mut OooCore,
+    plan: FaultPlan,
+    inject_seed: u64,
+) -> Result<nda_core::RunResult, String> {
+    let mut rng = StdRng::seed_from_u64(inject_seed);
+    let mut commits_at_last_squash = 0u64;
+    let run = if plan.is_none() {
+        c.run(MAX_CYCLES)
+    } else {
+        c.run_hooked(MAX_CYCLES, |core| {
+            if plan.squash_rate > 0.0 && rng.gen_bool(plan.squash_rate) {
+                // Forward-progress gate: never squash twice without
+                // an intervening commit.
+                if core.stats.committed_insts > commits_at_last_squash
+                    && core.inject_spurious_squash(rng.next_u64())
+                {
+                    commits_at_last_squash = core.stats.committed_insts;
+                }
+            }
+            if plan.memlat_rate > 0.0 && rng.gen_bool(plan.memlat_rate) {
+                let extra = if rng.gen_bool(0.25) {
+                    0
+                } else {
+                    rng.gen_range(1u64..48)
+                };
+                core.hier.set_extra_latency(extra);
+            }
+            if plan.predictor_rate > 0.0 && rng.gen_bool(plan.predictor_rate) {
+                core.inject_predictor_corruption(rng.next_u64(), rng.next_u64());
+            }
+        })
+    };
+    run.map_err(|e| e.to_string())
+}
+
+/// The sampled path under the same injections: restore `ckpt` (warmed by
+/// the functional fast-forward) into a fresh core and run the detailed
+/// remainder to completion. `retired` folds the fast-forwarded prefix
+/// back in so the result is comparable to the full-program reference.
+fn sampled_variant_state(
+    variant: Variant,
+    program: &Program,
+    plan: &FaultPlan,
+    inject_seed: u64,
+    ckpt: &Checkpoint,
+) -> Result<ArchState, String> {
+    let mut cfg = SimConfig::for_variant(variant);
+    match cfg.model {
+        CoreModel::InOrder => {
+            let mut c = nda_core::InOrderCore::new(cfg, program);
+            c.restore_checkpoint(&ckpt.interp, &ckpt.hier);
+            let r = c.run(MAX_CYCLES).map_err(|e| e.to_string())?;
+            let scratch = (0..SCRATCH_WORDS)
+                .map(|k| c.mem.read(SCRATCH_BASE + 8 * k, 8))
+                .collect();
+            Ok(ArchState {
+                regs: r.regs,
+                scratch,
+                retired: ckpt.ff_insts + r.stats.committed_insts,
+            })
+        }
+        CoreModel::OutOfOrder => {
+            cfg.check_invariants = true;
+            let mut c = OooCore::new(cfg, program);
+            c.restore_checkpoint(&ckpt.interp, &ckpt.hier, &ckpt.dir, &ckpt.btb, &ckpt.ras);
+            let r = run_ooo_injected(&mut c, *plan, inject_seed)?;
+            let scratch = (0..SCRATCH_WORDS)
+                .map(|k| c.mem.read(SCRATCH_BASE + 8 * k, 8))
+                .collect();
+            Ok(ArchState {
+                regs: r.regs,
+                scratch,
+                retired: ckpt.ff_insts + r.stats.committed_insts,
             })
         }
     }
@@ -313,6 +371,10 @@ fn check_variant(
     inject_seed: u64,
 ) -> Result<(), String> {
     let got = variant_state(variant, program, plan, inject_seed)?;
+    compare_states(&got, oracle)
+}
+
+fn compare_states(got: &ArchState, oracle: &ArchState) -> Result<(), String> {
     if got.regs != oracle.regs {
         let r = (0..32)
             .find(|&i| got.regs[i] != oracle.regs[i])
@@ -366,6 +428,34 @@ fn verify_seed_with_gen(
             .wrapping_add(vi as u64);
         check_variant(variant, &program, &oracle, &cfg.plan, inject_seed)
             .map_err(|detail| (variant, detail))?;
+    }
+    // Sampled path: functionally fast-forward past warmed checkpoints,
+    // restore the deepest one into every variant, and run the detailed
+    // remainder to completion under the same injections. Architecture
+    // must still be bit-exact against the full-program reference.
+    let params = SampledParams::new(SAMPLED_FF_EVERY, 0, 0);
+    let set = match collect_checkpoints(
+        &SimConfig::for_variant(Variant::Ooo),
+        &program,
+        params,
+        MAX_STEPS,
+    ) {
+        Ok(s) => s,
+        // The reference already halted above, so a collection failure can
+        // only be the step budget; treat like an unfinishable program.
+        Err(_) => return Ok(()),
+    };
+    if let Some(ckpt) = set.checkpoints.last() {
+        for (vi, variant) in Variant::all().into_iter().enumerate() {
+            let inject_seed = prog_seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(cfg.seed)
+                .wrapping_add(0x5EED)
+                .wrapping_add(vi as u64);
+            sampled_variant_state(variant, &program, &cfg.plan, inject_seed, ckpt)
+                .and_then(|got| compare_states(&got, &oracle))
+                .map_err(|detail| (variant, format!("sampled path: {detail}")))?;
+        }
     }
     Ok(())
 }
@@ -506,6 +596,48 @@ mod tests {
         let report = run_verify(&cfg, |_, _| {});
         assert!(report.ok(), "mismatches: {:?}", report.mismatches);
         assert_eq!(report.iters, 2);
+    }
+
+    /// The sampled path must hold not just end-to-end (covered by
+    /// `verify_seed_with_gen`) but for a directly restored deepest
+    /// checkpoint under full injection, on several generated programs.
+    #[test]
+    fn sampled_path_matches_reference_on_generated_programs() {
+        let gen = small_gen();
+        let plan = FaultPlan::for_kinds(&[
+            InjectKind::Squash,
+            InjectKind::MemLat,
+            InjectKind::Predictor,
+        ]);
+        let mut checked = 0;
+        for seed in 0..40 {
+            let program = generate(seed, gen);
+            let Ok(oracle) = interp_state(&program) else {
+                continue;
+            };
+            let set = collect_checkpoints(
+                &SimConfig::for_variant(Variant::Ooo),
+                &program,
+                SampledParams::new(SAMPLED_FF_EVERY, 0, 0),
+                MAX_STEPS,
+            )
+            .expect("reference halted, so collection must too");
+            let Some(ckpt) = set.checkpoints.last() else {
+                continue; // too short to fast-forward
+            };
+            for variant in [Variant::Ooo, Variant::FullProtection, Variant::InOrder] {
+                let got =
+                    sampled_variant_state(variant, &program, &plan, seed ^ 0xABCD, ckpt).unwrap();
+                if let Err(d) = compare_states(&got, &oracle) {
+                    panic!("seed {seed} on {variant}: {d}");
+                }
+            }
+            checked += 1;
+            if checked >= 3 {
+                break;
+            }
+        }
+        assert!(checked >= 1, "no generated program long enough to sample");
     }
 
     #[test]

@@ -21,6 +21,11 @@
 //!   --samples <n>       sweep samples per cell (default 2)
 //!   --inject <kinds>    verify only: comma-separated squash,memlat,predictor
 //!                       (default: all three; `--inject none` disables)
+//!   --sample-every <n>  run/sweep: sampled simulation — functional
+//!                       fast-forward with warming, one detailed window
+//!                       every n instructions (default 0 = full detail)
+//!   --warm <n>          sampled window warm-up instructions (default 2000)
+//!   --detail <n>        sampled window measured instructions (default 2000)
 //! ```
 
 use nda::attacks::{run_attack, AttackKind};
@@ -56,6 +61,9 @@ struct Opts {
     secret: u8,
     samples: u64,
     inject: String,
+    sample_every: u64,
+    warm: u64,
+    detail: u64,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -66,6 +74,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         secret: 42,
         samples: 2,
         inject: "squash,memlat,predictor".into(),
+        sample_every: 0,
+        warm: 2_000,
+        detail: 2_000,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -97,6 +108,17 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     .map_err(|e| format!("--samples: {e}"))?
             }
             "--inject" => o.inject = val("--inject")?,
+            "--sample-every" => {
+                o.sample_every = val("--sample-every")?
+                    .parse()
+                    .map_err(|e| format!("--sample-every: {e}"))?
+            }
+            "--warm" => o.warm = val("--warm")?.parse().map_err(|e| format!("--warm: {e}"))?,
+            "--detail" => {
+                o.detail = val("--detail")?
+                    .parse()
+                    .map_err(|e| format!("--detail: {e}"))?
+            }
             other => return Err(format!("unknown option {other:?}")),
         }
     }
@@ -148,12 +170,59 @@ fn cmd_attacks() {
     }
 }
 
+fn cmd_run_sampled(
+    w: &nda::workloads::Workload,
+    prog: &nda::Program,
+    o: &Opts,
+) -> Result<(), String> {
+    use nda::{run_sampled, SampledParams, SimConfig};
+    let params = SampledParams::new(o.sample_every, o.warm, o.detail);
+    let r = run_sampled(SimConfig::for_variant(o.variant), prog, params, MAX_CYCLES)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "workload {} on {} (seed {}, {} iters), sampled every {} insts (warm {}, detail {})",
+        w.name,
+        o.variant.name(),
+        o.seed,
+        o.iters,
+        o.sample_every,
+        o.warm,
+        o.detail
+    );
+    let Some(info) = r.sampled else {
+        println!("  program too short to sample; ran full detail");
+        println!("  cycles               {:>12}", r.stats.cycles);
+        println!("  instructions         {:>12}", r.stats.committed_insts);
+        println!("  CPI                  {:>12.3}", r.cpi());
+        return Ok(());
+    };
+    println!("  instructions         {:>12}", r.stats.committed_insts);
+    println!("  detailed windows     {:>12}", info.windows);
+    println!(
+        "  detailed insts       {:>12}   ({:.1}% of stream)",
+        info.detailed_insts,
+        100.0 * info.detailed_insts as f64 / info.fast_forwarded_insts.max(1) as f64
+    );
+    println!(
+        "  sampled CPI          {:>12.3} ± {:.3}   (rel err {:.2}%)",
+        info.cpi.mean,
+        info.cpi.ci95,
+        100.0 * info.cpi.relative_error()
+    );
+    println!("  est. cycles          {:>12}", r.stats.cycles);
+    println!("  host time            {:>12.3}s", r.host_seconds());
+    Ok(())
+}
+
 fn cmd_run(name: &str, o: &Opts) -> Result<(), String> {
     let w = by_name(name).ok_or(format!("unknown workload {name:?} (see `workloads`)"))?;
     let prog = (w.build)(&WorkloadParams {
         seed: o.seed,
         iters: o.iters,
     });
+    if o.sample_every > 0 {
+        return cmd_run_sampled(w, &prog, o);
+    }
     let r = run_variant(o.variant, &prog, MAX_CYCLES).map_err(|e| e.to_string())?;
     let s = r.stats;
     println!(
@@ -243,10 +312,20 @@ fn cmd_matrix(o: &Opts) {
 }
 
 fn cmd_sweep(o: &Opts) {
-    println!(
-        "normalised CPI, {} samples x {} iters per cell",
-        o.samples, o.iters
-    );
+    use nda::core::{collect_checkpoints, run_sampled_with};
+    use nda::{SampledParams, SimConfig};
+    let sampled =
+        (o.sample_every > 0).then(|| SampledParams::new(o.sample_every, o.warm, o.detail));
+    match sampled {
+        Some(_) => println!(
+            "normalised CPI, {} samples x {} iters per cell, sampled every {} insts",
+            o.samples, o.iters, o.sample_every
+        ),
+        None => println!(
+            "normalised CPI, {} samples x {} iters per cell",
+            o.samples, o.iters
+        ),
+    }
     print!("{:<12}", "workload");
     for v in Variant::all() {
         print!("{:>20}", v.name());
@@ -254,16 +333,39 @@ fn cmd_sweep(o: &Opts) {
     println!();
     for w in all() {
         print!("{:<12}", w.name);
+        // In sampled mode the functional fast-forward and warming run once
+        // per sample here; every variant below reuses the checkpoints.
+        let programs: Vec<_> = (0..o.samples)
+            .map(|s| {
+                (w.build)(&WorkloadParams {
+                    seed: o.seed + s,
+                    iters: o.iters,
+                })
+            })
+            .collect();
+        let sets: Vec<_> = match sampled {
+            Some(p) => programs
+                .iter()
+                .map(|prog| {
+                    collect_checkpoints(&SimConfig::for_variant(Variant::Ooo), prog, p, MAX_CYCLES)
+                        .map(Some)
+                        .expect("halts")
+                })
+                .collect(),
+            None => programs.iter().map(|_| None).collect(),
+        };
         let mut base = None;
         for v in Variant::all() {
             let mut cpis = 0.0;
-            for s in 0..o.samples {
-                let prog = (w.build)(&WorkloadParams {
-                    seed: o.seed + s,
-                    iters: o.iters,
-                });
-                let r = run_variant(v, &prog, MAX_CYCLES).expect("halts");
-                cpis += r.cpi();
+            for (prog, set) in programs.iter().zip(&sets) {
+                cpis += match (sampled, set) {
+                    (Some(p), Some(set)) => {
+                        let r = run_sampled_with(SimConfig::for_variant(v), prog, set, p)
+                            .expect("halts");
+                        r.sampled.map_or_else(|| r.cpi(), |i| i.cpi.mean)
+                    }
+                    _ => run_variant(v, prog, MAX_CYCLES).expect("halts").cpi(),
+                };
             }
             let mean = cpis / o.samples as f64;
             let b = *base.get_or_insert(mean);

@@ -42,5 +42,8 @@ pub use nda_stats as stats;
 pub use nda_verify as verify;
 pub use nda_workloads as workloads;
 
-pub use nda_core::{run_variant, run_with_config, RunResult, SimConfig, SimError, Variant};
+pub use nda_core::{
+    run_sampled, run_variant, run_with_config, RunResult, SampledParams, SimConfig, SimError,
+    Variant,
+};
 pub use nda_isa::{Asm, Inst, Interp, Program, Reg};
