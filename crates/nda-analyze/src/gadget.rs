@@ -1,0 +1,251 @@
+//! Speculation-window modeling and per-variant suppression.
+//!
+//! A taint chain is only a *gadget* if it can execute transiently: the
+//! access→transmit chain must fit inside the bounded window opened by a
+//! **trigger** — a mispredictable branch, an indirect call/jump, a return,
+//! a bypassable store (Spectre v4), or an architectural fault
+//! (Meltdown/LazyFP). Each trigger's window is a BFS over speculative
+//! successors, cut at serializing instructions (`fence`, `rdcycle`,
+//! `spec_off`…) and bounded by the ROB size.
+//!
+//! Suppression then follows the paper's Table 2 semantics per trigger: a
+//! variant kills the gadget only if it blocks *every* trigger.
+
+use std::collections::{HashMap, VecDeque};
+
+use nda_core::{config::CoreModel, SimConfig, Variant};
+use nda_isa::inst::UopClass;
+use nda_isa::{Cfg, Program};
+
+use crate::absint::{Analysis, Channel, SourceInfo};
+
+/// How a transient window is opened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TriggerKind {
+    /// Mispredicted conditional branch (either arm may be the wrong path).
+    CondBranch,
+    /// Mispredicted indirect call/jump target (BTB steering).
+    IndirectCall,
+    /// Mispredicted return address (RAS steering).
+    ReturnMispredict,
+    /// Store whose address resolves late: younger loads may bypass it and
+    /// read stale data (Spectre v4 / SSB).
+    SsbStore,
+    /// Architectural fault whose value still propagates transiently
+    /// (Meltdown-style implementation flaw).
+    Fault,
+}
+
+impl TriggerKind {
+    /// Stable JSON identifier.
+    pub fn name(self) -> &'static str {
+        match self {
+            TriggerKind::CondBranch => "cond-branch",
+            TriggerKind::IndirectCall => "indirect-call",
+            TriggerKind::ReturnMispredict => "return",
+            TriggerKind::SsbStore => "ssb-store",
+            TriggerKind::Fault => "fault",
+        }
+    }
+
+    /// `true` for control-flow speculation (the class InvisiSpec-Spectre
+    /// and NDA's propagation policies defend).
+    pub fn is_control(self) -> bool {
+        matches!(
+            self,
+            TriggerKind::CondBranch | TriggerKind::IndirectCall | TriggerKind::ReturnMispredict
+        )
+    }
+}
+
+/// One window-opening instruction with its transient reach.
+#[derive(Debug, Clone)]
+pub struct Trigger {
+    /// Instruction index of the trigger.
+    pub pc: usize,
+    /// Kind of speculation.
+    pub kind: TriggerKind,
+    /// Transiently reachable pcs → distance (instructions into the
+    /// window, 1-based).
+    pub window: HashMap<usize, u32>,
+}
+
+/// A trigger attached to a specific gadget, with the sink's distance.
+#[derive(Debug, Clone)]
+pub struct TriggerInfo {
+    /// Instruction index of the trigger.
+    pub pc: usize,
+    /// Kind of speculation.
+    pub kind: TriggerKind,
+    /// Instructions between window entry and the transmitter.
+    pub distance: u32,
+}
+
+/// BFS over speculative successors from `starts`, bounded by `window`
+/// instructions, not expanding past serializing instructions (which never
+/// execute speculatively and so end the transient window).
+fn window_from(p: &Program, cfg: &Cfg, starts: &[usize], window: usize) -> HashMap<usize, u32> {
+    let mut dist: HashMap<usize, u32> = HashMap::new();
+    let mut queue: VecDeque<(usize, u32)> = VecDeque::new();
+    for &s in starts {
+        if s < p.insts.len() && !dist.contains_key(&s) {
+            dist.insert(s, 1);
+            queue.push_back((s, 1));
+        }
+    }
+    while let Some((pc, d)) = queue.pop_front() {
+        if d as usize >= window {
+            continue;
+        }
+        let inst = p.insts[pc];
+        if inst.class() == UopClass::Serializing {
+            continue;
+        }
+        for t in nda_isa::inst_successors(p, pc, cfg.indirect_targets(), cfg.return_sites()) {
+            if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(t) {
+                e.insert(d + 1);
+                queue.push_back((t, d + 1));
+            }
+        }
+    }
+    // Serializing instructions never execute speculatively: drop them from
+    // the window itself.
+    dist.retain(|&pc, _| p.insts[pc].class() != UopClass::Serializing);
+    dist
+}
+
+/// Enumerate every trigger of `p` with its transient window.
+pub fn find_triggers(
+    p: &Program,
+    cfg: &Cfg,
+    analysis: &Analysis,
+    window: usize,
+    track_ssb: bool,
+) -> Vec<Trigger> {
+    let mut out = Vec::new();
+    for (pc, inst) in p.insts.iter().enumerate() {
+        let (kind, starts): (TriggerKind, Vec<usize>) = match inst {
+            nda_isa::Inst::Branch { .. } => (
+                TriggerKind::CondBranch,
+                nda_isa::inst_successors(p, pc, cfg.indirect_targets(), cfg.return_sites()),
+            ),
+            nda_isa::Inst::JmpInd { .. } | nda_isa::Inst::CallInd { .. } => {
+                (TriggerKind::IndirectCall, cfg.indirect_targets().to_vec())
+            }
+            nda_isa::Inst::Ret => {
+                let mut s = cfg.return_sites().to_vec();
+                s.extend_from_slice(cfg.indirect_targets());
+                (TriggerKind::ReturnMispredict, s)
+            }
+            nda_isa::Inst::Store { .. }
+                if track_ssb && analysis.facts[pc].store_addr_load_derived =>
+            {
+                (TriggerKind::SsbStore, vec![pc + 1])
+            }
+            _ => continue,
+        };
+        out.push(Trigger {
+            pc,
+            kind,
+            window: window_from(p, cfg, &starts, window),
+        });
+    }
+    // Fault triggers: one per faulting source.
+    for src in &analysis.sources {
+        if src.faulting {
+            out.push(Trigger {
+                pc: src.pc,
+                kind: TriggerKind::Fault,
+                window: window_from(p, cfg, &[src.pc + 1], window),
+            });
+        }
+    }
+    out
+}
+
+/// Attach the triggers under which the `(source, sink)` chain executes
+/// transiently.
+pub fn triggers_for(
+    triggers: &[Trigger],
+    source: &SourceInfo,
+    sink_pc: usize,
+) -> Vec<(usize, TriggerInfo)> {
+    let mut out = Vec::new();
+    for (ti, t) in triggers.iter().enumerate() {
+        let Some(&sink_d) = t.window.get(&sink_pc) else {
+            continue;
+        };
+        let applies = match t.kind {
+            // The faulting access *is* the source.
+            TriggerKind::Fault => t.pc == source.pc,
+            // The bypassed (stale-reading) load must sit in the store's
+            // unresolved window.
+            TriggerKind::SsbStore => t.window.contains_key(&source.pc),
+            // Control speculation: either the secret access itself runs on
+            // the wrong path, or the secret is already architecturally
+            // live (a definite labeled access) when the trigger fetches.
+            k if k.is_control() => t.window.contains_key(&source.pc) || source.definite,
+            _ => false,
+        };
+        if applies {
+            out.push((
+                ti,
+                TriggerInfo {
+                    pc: t.pc,
+                    kind: t.kind,
+                    distance: sink_d,
+                },
+            ));
+        }
+    }
+    out
+}
+
+/// Would `variant` suppress a gadget with the given channel, chain and
+/// triggers? `chain_no_sink` is every chain pc except the transmitter.
+pub fn suppressed_by(
+    p: &Program,
+    variant: Variant,
+    channel: Channel,
+    chain_no_sink: &[usize],
+    triggers: &[(usize, TriggerInfo)],
+    windows: &[Trigger],
+) -> bool {
+    let sc = SimConfig::for_variant(variant);
+    if sc.model == CoreModel::InOrder {
+        return true;
+    }
+    // InvisiSpec hides speculative *loads* from the cache hierarchy and
+    // Delay-On-Miss delays them: only the d-cache load channel is covered
+    // — and only during control-flow speculation, except for
+    // InvisiSpec-Future which covers every form of speculation.
+    if let Some(is) = sc.invisispec {
+        return channel == Channel::DCacheLoad
+            && (is == nda_core::IsVariant::Future
+                || triggers.iter().all(|(_, t)| t.kind.is_control()));
+    }
+    if sc.core.delay_on_miss {
+        return channel == Channel::DCacheLoad && triggers.iter().all(|(_, t)| t.kind.is_control());
+    }
+    let policy = sc.policy;
+    let blocked = |(ti, info): &(usize, TriggerInfo)| -> bool {
+        match info.kind {
+            // Load restriction keeps the faulting/stale value from ever
+            // broadcasting; bypass restriction forbids the bypass itself.
+            TriggerKind::Fault => policy.load_restriction,
+            TriggerKind::SsbStore => policy.bypass_restriction || policy.load_restriction,
+            _ => {
+                let win = &windows[*ti].window;
+                let any_in = chain_no_sink.iter().any(|pc| win.contains_key(pc));
+                let any_load_in = chain_no_sink
+                    .iter()
+                    .any(|pc| win.contains_key(pc) && p.insts[*pc].is_load_like());
+                use nda_core::Propagation;
+                (policy.propagation == Propagation::Strict && any_in)
+                    || (policy.propagation == Propagation::Permissive && any_load_in)
+                    || (policy.load_restriction && any_load_in)
+            }
+        }
+    };
+    !triggers.is_empty() && triggers.iter().all(blocked)
+}

@@ -32,6 +32,8 @@
 //! assert!(!protected.leaked, "NDA blocks the leak");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod detect;
 pub mod layout;
 pub mod lazyfp;
@@ -181,6 +183,32 @@ impl AttackKind {
                 &[200]
             }
             _ => &[],
+        }
+    }
+
+    /// The secret-data labeling for the static analyzer
+    /// (`nda-analyze`): which state the victim considers confidential.
+    /// This is the analyzer's only input besides the program — it gets no
+    /// hints about gadget structure.
+    pub fn secret_spec(self) -> nda_isa::SecretSpec {
+        use nda_isa::SecretSpec;
+        match self {
+            // Control-steering attacks on the in-process secret byte.
+            AttackKind::SpectreV1Cache
+            | AttackKind::SpectreV1Btb
+            | AttackKind::NetspectreFpu
+            | AttackKind::Smother => SecretSpec::empty().with_range(SECRET_ADDR, 1),
+            // SSB reads the stale secret cell the victim overwrites.
+            AttackKind::Ssb => SecretSpec::empty().with_range(SSB_DATA_ADDR, 1),
+            // Chosen-code attacks: all privileged state is secret.
+            AttackKind::Meltdown => SecretSpec::empty().with_privileged(),
+            AttackKind::LazyFp => SecretSpec::empty().with_msr(SECRET_MSR),
+            // GPR-resident secrets are loaded once at setup from these
+            // cells.
+            AttackKind::SpectreV2Gpr => {
+                SecretSpec::empty().with_range(spectre_v2_gpr::GPR_SECRETS, 16)
+            }
+            AttackKind::Ret2spec => SecretSpec::empty().with_range(ret2spec::GPR_SECRET_CELL, 8),
         }
     }
 

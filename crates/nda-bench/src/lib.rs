@@ -19,6 +19,8 @@
 //! * `NDA_WARM` / `NDA_DETAIL` — per-window warm / measure instruction
 //!   counts in sampled mode (default 2000 each).
 
+#![forbid(unsafe_code)]
+
 pub mod render;
 pub mod sweep;
 

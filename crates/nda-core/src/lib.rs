@@ -30,6 +30,8 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod inorder;
 pub mod ooo;

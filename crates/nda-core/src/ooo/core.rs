@@ -217,6 +217,17 @@ impl OooCore {
         self.tracer.as_deref().unwrap_or(&[])
     }
 
+    /// Drain the logged pipeline events, leaving the buffer empty but
+    /// tracing enabled. Lets long-running consumers (e.g. `nda-verify`'s
+    /// transient-taint tracker) process events incrementally with bounded
+    /// memory instead of accumulating a whole run's trace.
+    pub fn take_trace_events(&mut self) -> Vec<crate::trace::TraceEvent> {
+        match &mut self.tracer {
+            Some(t) => std::mem::take(t),
+            None => Vec::new(),
+        }
+    }
+
     #[inline]
     fn trace_event(&mut self, seq: u64, pc: usize, inst: Inst, stage: crate::trace::TraceStage) {
         if let Some(t) = &mut self.tracer {

@@ -1,0 +1,377 @@
+//! Control-flow graph over assembled [`Program`]s.
+//!
+//! Basic blocks, branch/jump/call/return edges and entry reachability —
+//! the substrate the `nda-analyze` crate runs its taint fixpoint and
+//! speculation-window search on, exported here so any tool working on
+//! SpecRISC programs can reuse it.
+//!
+//! Two kinds of edges need static approximation:
+//!
+//! * **Indirect jumps/calls** (`JmpInd`, `CallInd`) read an instruction
+//!   index from a register. [`indirect_target_candidates`] recovers the
+//!   function-pointer constants a program stores into memory (the
+//!   `li_label` + `st8` idiom of the attack suite's target tables); an
+//!   indirect transfer is given an edge to every candidate. Pointers that
+//!   only ever enter memory through the data segment are *not* recovered —
+//!   a documented under-approximation (see DESIGN.md §11).
+//! * **Returns** (`Ret`) jump wherever the link register points, and — on
+//!   the speculative side — wherever the return-address stack predicts.
+//!   A `Ret` is given an edge to every [`return_sites`] entry (each
+//!   `call`/`call_ind` site plus one) and to every indirect candidate
+//!   (covering return addresses smashed through memory, the `ret2spec`
+//!   idiom).
+//!
+//! Both approximations are *supersets* of the architectural successors on
+//! the programs this repo analyzes, which is the safe direction for taint
+//! reachability.
+
+use crate::inst::Inst;
+use crate::program::Program;
+
+/// A maximal straight-line run of instructions `[start, end)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// Index of the first instruction.
+    pub start: usize,
+    /// One past the index of the last instruction.
+    pub end: usize,
+    /// Successor *block* ids (deduplicated, sorted).
+    pub succs: Vec<usize>,
+    /// `true` if the block is reachable from the program entry (including
+    /// through indirect/return/fault edges).
+    pub reachable: bool,
+}
+
+/// The control-flow graph of one [`Program`].
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    blocks: Vec<BasicBlock>,
+    block_of: Vec<usize>,
+    indirect_targets: Vec<usize>,
+    return_sites: Vec<usize>,
+}
+
+/// Constant instruction indices the program stores to memory — the static
+/// candidates for indirect jump/call targets.
+///
+/// Recovers the `li rX, <index>` … `st8 rX, …` idiom (including
+/// [`crate::Asm::li_label`]) with a linear scan: a `Li` whose immediate is
+/// a valid instruction index marks its register as holding a potential
+/// code pointer until the register is redefined; an 8-byte store of such
+/// a register yields a candidate.
+pub fn indirect_target_candidates(p: &Program) -> Vec<usize> {
+    let mut last_li: [Option<u64>; crate::reg::NUM_REGS] = [None; crate::reg::NUM_REGS];
+    let mut out = Vec::new();
+    for inst in &p.insts {
+        match *inst {
+            Inst::Li { rd, imm } => last_li[rd.index()] = Some(imm),
+            Inst::Store {
+                src,
+                size: crate::inst::MemSize::B8,
+                ..
+            } => {
+                if let Some(v) = last_li[src.index()] {
+                    if (v as usize) < p.insts.len() {
+                        out.push(v as usize);
+                    }
+                }
+            }
+            _ => {
+                if let Some(rd) = inst.dest() {
+                    last_li[rd.index()] = None;
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Every `call`/`call_ind` continuation (`site + 1`) — the set of
+/// addresses a return-address-stack prediction can resume at.
+pub fn return_sites(p: &Program) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (pc, inst) in p.insts.iter().enumerate() {
+        if matches!(inst, Inst::Call { .. } | Inst::CallInd { .. }) && pc + 1 < p.insts.len() {
+            out.push(pc + 1);
+        }
+    }
+    out
+}
+
+/// Static successors of the instruction at `pc`, using the given indirect
+/// and return approximations. Out-of-range targets (e.g. a branch to the
+/// end of the program, which halts) are dropped. The implicit
+/// fault-handler edge of faulting instructions is *not* included here —
+/// [`Cfg::build`] adds it at block level.
+pub fn inst_successors(
+    p: &Program,
+    pc: usize,
+    indirect_targets: &[usize],
+    return_sites: &[usize],
+) -> Vec<usize> {
+    let Some(inst) = p.fetch(pc) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    if let Some(t) = inst.direct_target() {
+        out.push(t);
+    }
+    match inst {
+        Inst::JmpInd { .. } | Inst::CallInd { .. } => out.extend_from_slice(indirect_targets),
+        Inst::Ret => {
+            out.extend_from_slice(return_sites);
+            out.extend_from_slice(indirect_targets);
+        }
+        _ => {}
+    }
+    if inst.falls_through() {
+        out.push(pc + 1);
+    }
+    out.retain(|&t| t < p.insts.len());
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+impl Cfg {
+    /// Build the CFG of `p`, computing indirect-target candidates and
+    /// return sites from the program itself.
+    pub fn build(p: &Program) -> Cfg {
+        let indirect_targets = indirect_target_candidates(p);
+        let rets = return_sites(p);
+        let n = p.insts.len();
+
+        // Leaders: entry, every successor of a control transfer, the
+        // instruction after any non-fall-through point, and the fault
+        // handler.
+        let mut leader = vec![false; n];
+        if n > 0 {
+            leader[p.entry.min(n - 1)] = true;
+        }
+        if let Some(h) = p.fault_handler {
+            if h < n {
+                leader[h] = true;
+            }
+        }
+        for pc in 0..n {
+            let inst = p.insts[pc];
+            if inst.is_control() || !inst.falls_through() {
+                for t in inst_successors(p, pc, &indirect_targets, &rets) {
+                    leader[t] = true;
+                }
+                if pc + 1 < n {
+                    leader[pc + 1] = true;
+                }
+            }
+        }
+
+        let mut blocks = Vec::new();
+        let mut block_of = vec![0usize; n];
+        let mut start = 0;
+        for (pc, &is_leader) in leader.iter().enumerate() {
+            if pc > start && is_leader {
+                blocks.push(BasicBlock {
+                    start,
+                    end: pc,
+                    succs: Vec::new(),
+                    reachable: false,
+                });
+                start = pc;
+            }
+        }
+        if n > 0 {
+            blocks.push(BasicBlock {
+                start,
+                end: n,
+                succs: Vec::new(),
+                reachable: false,
+            });
+        }
+        for (id, b) in blocks.iter().enumerate() {
+            block_of[b.start..b.end].fill(id);
+        }
+
+        // Block-level edges: the terminator's successors, plus a
+        // fault-handler edge if any instruction in the block may fault.
+        for b in blocks.iter_mut() {
+            let mut succs: Vec<usize> = inst_successors(p, b.end - 1, &indirect_targets, &rets)
+                .into_iter()
+                .map(|t| block_of[t])
+                .collect();
+            if let Some(h) = p.fault_handler {
+                if h < n && (b.start..b.end).any(|pc| p.insts[pc].may_fault()) {
+                    succs.push(block_of[h]);
+                }
+            }
+            succs.sort_unstable();
+            succs.dedup();
+            b.succs = succs;
+        }
+
+        // Entry reachability.
+        if n > 0 {
+            let mut work = vec![block_of[p.entry.min(n - 1)]];
+            while let Some(id) = work.pop() {
+                if blocks[id].reachable {
+                    continue;
+                }
+                blocks[id].reachable = true;
+                work.extend(blocks[id].succs.iter().copied());
+            }
+        }
+
+        Cfg {
+            blocks,
+            block_of,
+            indirect_targets,
+            return_sites: rets,
+        }
+    }
+
+    /// The basic blocks, in program order.
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// Id of the block containing instruction `pc`.
+    pub fn block_of(&self, pc: usize) -> usize {
+        self.block_of[pc]
+    }
+
+    /// The indirect-target candidates used for `JmpInd`/`CallInd`/`Ret`
+    /// edges.
+    pub fn indirect_targets(&self) -> &[usize] {
+        &self.indirect_targets
+    }
+
+    /// The `call`-site continuations used for `Ret` edges.
+    pub fn return_sites(&self) -> &[usize] {
+        &self.return_sites
+    }
+
+    /// `true` if the instruction at `pc` is reachable from the entry.
+    pub fn is_reachable(&self, pc: usize) -> bool {
+        self.blocks[self.block_of[pc]].reachable
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::reg::Reg;
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let mut asm = Asm::new();
+        asm.li(Reg::X2, 1).addi(Reg::X2, Reg::X2, 1).halt();
+        let p = asm.assemble().unwrap();
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.blocks().len(), 1);
+        assert!(cfg.blocks()[0].reachable);
+        assert!(cfg.blocks()[0].succs.is_empty());
+    }
+
+    #[test]
+    fn diamond_has_four_blocks_and_joins() {
+        let mut asm = Asm::new();
+        let else_ = asm.new_label();
+        let join = asm.new_label();
+        asm.beq(Reg::X2, Reg::X0, else_); // block 0
+        asm.li(Reg::X3, 1).jmp(join); // block 1
+        asm.bind(else_);
+        asm.li(Reg::X3, 2); // block 2
+        asm.bind(join);
+        asm.halt(); // block 3
+        let p = asm.assemble().unwrap();
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.blocks().len(), 4);
+        assert_eq!(cfg.blocks()[0].succs, vec![1, 2]);
+        assert_eq!(cfg.blocks()[1].succs, vec![3]);
+        assert_eq!(cfg.blocks()[2].succs, vec![3]);
+        assert!(cfg.blocks().iter().all(|b| b.reachable));
+    }
+
+    #[test]
+    fn code_after_unconditional_jump_is_unreachable() {
+        let mut asm = Asm::new();
+        let end = asm.new_label();
+        asm.jmp(end);
+        asm.li(Reg::X9, 9); // dead
+        asm.bind(end);
+        asm.halt();
+        let p = asm.assemble().unwrap();
+        let cfg = Cfg::build(&p);
+        assert!(!cfg.is_reachable(1));
+        assert!(cfg.is_reachable(0));
+        assert!(cfg.is_reachable(2));
+    }
+
+    #[test]
+    fn stored_li_targets_become_indirect_candidates() {
+        let mut asm = Asm::new();
+        let f = asm.new_label();
+        asm.li_label(Reg::X2, f);
+        asm.li(Reg::X3, 0x1000);
+        asm.st8(Reg::X2, Reg::X3, 0);
+        asm.ld8(Reg::X4, Reg::X3, 0);
+        asm.call_ind(Reg::X4);
+        asm.halt();
+        asm.bind(f);
+        asm.ret();
+        let p = asm.assemble().unwrap();
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.indirect_targets(), &[6]);
+        // The callee and (through the ret edge) the call continuation are
+        // both reachable.
+        assert!(cfg.is_reachable(6));
+        assert!(cfg.is_reachable(5));
+    }
+
+    #[test]
+    fn unstored_loop_bound_li_is_not_a_candidate() {
+        let mut asm = Asm::new();
+        let top = asm.here_label();
+        asm.li(Reg::X2, 3); // small immediate, never stored
+        asm.subi(Reg::X2, Reg::X2, 1);
+        asm.bne(Reg::X2, Reg::X0, top);
+        asm.halt();
+        let p = asm.assemble().unwrap();
+        assert!(indirect_target_candidates(&p).is_empty());
+    }
+
+    #[test]
+    fn branch_to_end_of_program_has_no_edge() {
+        let mut asm = Asm::new();
+        let end = asm.new_label();
+        asm.beq(Reg::X2, Reg::X0, end);
+        asm.nop();
+        asm.bind(end); // bound at index == len
+        let p = asm.assemble().unwrap();
+        assert_eq!(p.insts[0].direct_target(), Some(2));
+        let cfg = Cfg::build(&p);
+        // Only the fall-through edge survives; index 2 is past the end.
+        assert_eq!(inst_successors(&p, 0, &[], &[]), vec![1]);
+        assert_eq!(cfg.blocks().len(), 2);
+    }
+
+    #[test]
+    fn fault_handler_gets_block_edge_from_faulting_blocks() {
+        let mut asm = Asm::new();
+        let h = asm.new_label();
+        asm.fault_handler(h);
+        asm.li(Reg::X2, 0x1000);
+        asm.ld8(Reg::X3, Reg::X2, 0); // may fault -> handler edge
+        asm.halt();
+        asm.bind(h);
+        asm.halt();
+        let p = asm.assemble().unwrap();
+        let cfg = Cfg::build(&p);
+        let b0 = cfg.block_of(0);
+        let hb = cfg.block_of(3);
+        assert!(cfg.blocks()[b0].succs.contains(&hb));
+        assert!(cfg.is_reachable(3));
+    }
+}

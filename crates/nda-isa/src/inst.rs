@@ -158,6 +158,7 @@ pub enum UopClass {
 /// index from a register, which is what lets the paper's Listing-3 BTB
 /// covert channel store "function pointers" in memory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // fields are spelled out in each variant's doc line
 pub enum Inst {
     /// `rd = imm`.
     Li { rd: Reg, imm: u64 },
@@ -354,6 +355,43 @@ impl Inst {
             // memory system.
             _ => 1,
         }
+    }
+
+    /// Statically-known control-flow target (instruction index), if any:
+    /// the `target` of a direct branch, jump or call.
+    pub fn direct_target(self) -> Option<usize> {
+        match self {
+            Inst::Branch { target, .. } | Inst::Jmp { target } | Inst::Call { target } => {
+                Some(target)
+            }
+            _ => None,
+        }
+    }
+
+    /// `true` if execution can continue at `pc + 1` after this instruction:
+    /// everything except unconditional transfers (`Jmp`, `JmpInd`, `Call`,
+    /// `CallInd`, `Ret`) and `Halt`. A conditional branch falls through on
+    /// its not-taken arm.
+    pub fn falls_through(self) -> bool {
+        !matches!(
+            self,
+            Inst::Jmp { .. }
+                | Inst::JmpInd { .. }
+                | Inst::Call { .. }
+                | Inst::CallInd { .. }
+                | Inst::Ret
+                | Inst::Halt
+        )
+    }
+
+    /// `true` if this instruction can raise an architectural fault
+    /// (privileged memory access or non-permitted MSR read) and so has an
+    /// implicit edge to the program's fault handler.
+    pub fn may_fault(self) -> bool {
+        matches!(
+            self,
+            Inst::Load { .. } | Inst::Store { .. } | Inst::RdMsr { .. }
+        )
     }
 }
 

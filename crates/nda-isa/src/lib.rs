@@ -31,7 +31,11 @@
 //! assert_eq!(interp.reg(Reg::X4), 42);
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod asm;
+pub mod cfg;
 pub mod encode;
 pub mod genprog;
 pub mod inst;
@@ -39,14 +43,17 @@ pub mod interp;
 pub mod mem;
 pub mod program;
 pub mod reg;
+pub mod secret;
 
 pub use asm::{Asm, AsmError, Label};
+pub use cfg::{indirect_target_candidates, inst_successors, return_sites, BasicBlock, Cfg};
 pub use encode::{decode_program, encode_program, DecodeError};
 pub use inst::{AluOp, BranchCond, Inst, MemSize};
 pub use interp::{ExitInfo, Fault, Interp, InterpError, StepInfo};
 pub use mem::{MsrFile, PrivilegeMap, SparseMem, KERNEL_BASE};
 pub use program::{DataInit, Program};
 pub use reg::Reg;
+pub use secret::{SecretRange, SecretSpec};
 
 /// Byte size of one encoded instruction; instruction index `i` lives at
 /// i-cache address `text_base + 4 * i`.

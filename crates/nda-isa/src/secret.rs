@@ -1,0 +1,153 @@
+//! Secret labeling for static leakage analysis.
+//!
+//! A [`SecretSpec`] tells an analysis which architectural state holds data
+//! the program must not transmit through a side channel: byte ranges of
+//! the data segment, model-specific registers, and (for Meltdown-style
+//! settings) the entire privileged half of the address space. The spec is
+//! part of the *threat model*, not the program — the same program analyzed
+//! under different specs yields different gadget sets, and an empty spec
+//! means nothing is secret (the benign-workload baseline).
+
+use crate::mem::KERNEL_BASE;
+
+/// A labeled byte range `[start, start + len)` of the address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SecretRange {
+    /// First byte of the range.
+    pub start: u64,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+impl SecretRange {
+    /// `true` if `[start, start + len)` overlaps this range at all.
+    pub fn overlaps(&self, start: u64, len: u64) -> bool {
+        let a_end = self.start.saturating_add(self.len);
+        let b_end = start.saturating_add(len);
+        start < a_end && self.start < b_end
+    }
+
+    /// `true` if `[start, start + len)` lies entirely inside this range.
+    pub fn contains(&self, start: u64, len: u64) -> bool {
+        start >= self.start && start.saturating_add(len) <= self.start.saturating_add(self.len)
+    }
+}
+
+/// What an analysis should treat as secret.
+///
+/// Built with the fluent `with_*` methods:
+///
+/// ```
+/// use nda_isa::SecretSpec;
+///
+/// let spec = SecretSpec::empty()
+///     .with_range(0x52_0000, 1)
+///     .with_msr(0x10)
+///     .with_privileged();
+/// assert!(spec.overlaps(0x52_0000, 1));
+/// assert!(spec.msr_labeled(0x10));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SecretSpec {
+    /// Labeled data ranges.
+    pub ranges: Vec<SecretRange>,
+    /// Labeled model-specific registers.
+    pub msrs: Vec<u16>,
+    /// Treat every privileged (kernel) address and every non-user-readable
+    /// MSR as secret — the Meltdown/LazyFP threat model.
+    pub privileged: bool,
+}
+
+impl SecretSpec {
+    /// A spec labeling nothing: the benign baseline.
+    pub fn empty() -> SecretSpec {
+        SecretSpec::default()
+    }
+
+    /// Label the byte range `[start, start + len)`.
+    pub fn with_range(mut self, start: u64, len: u64) -> SecretSpec {
+        self.ranges.push(SecretRange { start, len });
+        self
+    }
+
+    /// Label MSR `idx`.
+    pub fn with_msr(mut self, idx: u16) -> SecretSpec {
+        self.msrs.push(idx);
+        self
+    }
+
+    /// Label all privileged state (kernel memory, privileged MSRs).
+    pub fn with_privileged(mut self) -> SecretSpec {
+        self.privileged = true;
+        self
+    }
+
+    /// `true` if nothing at all is labeled.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty() && self.msrs.is_empty() && !self.privileged
+    }
+
+    /// `true` if an access to `[start, start + len)` *may* touch a secret:
+    /// it overlaps a labeled range, or reaches kernel space under the
+    /// privileged label.
+    pub fn overlaps(&self, start: u64, len: u64) -> bool {
+        self.ranges.iter().any(|r| r.overlaps(start, len))
+            || (self.privileged && start.saturating_add(len) > KERNEL_BASE)
+    }
+
+    /// `true` if an access to `[start, start + len)` *definitely* touches
+    /// only labeled bytes — it lies entirely within one labeled range or
+    /// entirely in kernel space under the privileged label.
+    pub fn contains(&self, start: u64, len: u64) -> bool {
+        self.ranges.iter().any(|r| r.contains(start, len))
+            || (self.privileged && start >= KERNEL_BASE)
+    }
+
+    /// `true` if MSR `idx` is explicitly labeled secret.
+    pub fn msr_labeled(&self, idx: u16) -> bool {
+        self.msrs.contains(&idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_spec_labels_nothing() {
+        let s = SecretSpec::empty();
+        assert!(s.is_empty());
+        assert!(!s.overlaps(0, u64::MAX));
+        assert!(!s.contains(KERNEL_BASE, 8));
+        assert!(!s.msr_labeled(0));
+    }
+
+    #[test]
+    fn range_overlap_and_containment() {
+        let s = SecretSpec::empty().with_range(0x1000, 16);
+        assert!(s.overlaps(0x100f, 2));
+        assert!(!s.overlaps(0x1010, 4));
+        assert!(s.contains(0x1008, 8));
+        assert!(!s.contains(0x1008, 9));
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn privileged_label_covers_kernel_space() {
+        let s = SecretSpec::empty().with_privileged();
+        assert!(s.overlaps(KERNEL_BASE + 0x1000, 1));
+        assert!(s.contains(KERNEL_BASE + 0x1000, 8));
+        assert!(!s.overlaps(KERNEL_BASE - 0x1000, 8));
+        // An access straddling the boundary may but does not definitely
+        // touch kernel bytes.
+        assert!(s.overlaps(KERNEL_BASE - 4, 8));
+        assert!(!s.contains(KERNEL_BASE - 4, 8));
+    }
+
+    #[test]
+    fn msr_labels() {
+        let s = SecretSpec::empty().with_msr(0x10);
+        assert!(s.msr_labeled(0x10));
+        assert!(!s.msr_labeled(0x11));
+    }
+}

@@ -1,0 +1,102 @@
+//! Assembler edge cases the CFG builder depends on: labels bound at the
+//! very end of the program, duplicate bindings, degenerate self-loops and
+//! unreachable blocks.
+
+use nda_isa::{Asm, AsmError, Cfg, Interp, InterpError, Reg};
+
+#[test]
+fn branch_to_label_bound_at_end_of_program_is_pc_out_of_range() {
+    // The taken target is index == len: the assembler accepts it, and the
+    // interpreter reports the fetch past the end rather than panicking.
+    let mut asm = Asm::new();
+    let end = asm.new_label();
+    asm.li(Reg::X2, 1);
+    asm.beq(Reg::X2, Reg::X2, end); // always taken
+    asm.li(Reg::X3, 99); // skipped
+    asm.bind(end);
+    let p = asm.assemble().unwrap();
+    assert_eq!(p.insts[1].direct_target(), Some(3), "target == len");
+
+    let mut interp = Interp::new(&p);
+    let err = interp.run(100).unwrap_err();
+    assert!(matches!(err, InterpError::PcOutOfRange { pc: 3 }));
+    assert_eq!(interp.regs()[3], 0, "skipped write must not execute");
+
+    // The CFG drops the out-of-range edge instead of panicking.
+    let cfg = Cfg::build(&p);
+    assert!(cfg.is_reachable(0));
+}
+
+#[test]
+fn final_instruction_branch_to_itself_assembles() {
+    // A backward branch bound to the final instruction: `target == pc` on
+    // the last slot, the tightest legal loop.
+    let mut asm = Asm::new();
+    asm.nop();
+    let top = asm.here_label();
+    asm.beq(Reg::X0, Reg::X0, top);
+    let p = asm.assemble().unwrap();
+    assert_eq!(p.insts[1].direct_target(), Some(1), "self-loop target");
+
+    // It spins forever: the step budget runs out without a halt.
+    let mut interp = Interp::new(&p);
+    let err = interp.run(50).unwrap_err();
+    assert!(matches!(err, InterpError::StepLimit));
+    assert!(!interp.halted());
+
+    // The CFG gives the loop block a self-edge and keeps it reachable.
+    let cfg = Cfg::build(&p);
+    let b = cfg.block_of(1);
+    assert!(cfg.blocks()[b].succs.contains(&b));
+    assert!(cfg.is_reachable(1));
+}
+
+#[test]
+fn duplicate_label_binding_is_reported_not_silently_resolved() {
+    let mut asm = Asm::new();
+    let l = asm.new_label();
+    asm.bind(l);
+    asm.li(Reg::X2, 1);
+    asm.bind(l); // rebound
+    asm.beq(Reg::X2, Reg::X2, l);
+    asm.halt();
+    assert!(matches!(asm.assemble(), Err(AsmError::Rebound(_))));
+}
+
+#[test]
+fn rebinding_does_not_leak_a_position_through_label_position() {
+    let mut asm = Asm::new();
+    let l = asm.new_label();
+    assert_eq!(asm.label_position(l), None);
+    asm.nop();
+    asm.bind(l);
+    assert_eq!(asm.label_position(l), Some(1));
+    asm.nop();
+    asm.bind(l);
+    assert_eq!(asm.label_position(l), None, "rebound label has no position");
+}
+
+#[test]
+fn unreachable_block_is_assembled_but_flagged_by_the_cfg() {
+    let mut asm = Asm::new();
+    let live = asm.new_label();
+    asm.jmp(live);
+    // Dead block: valid code, never reached architecturally.
+    asm.li(Reg::X5, 5);
+    asm.halt();
+    asm.bind(live);
+    asm.li(Reg::X6, 6);
+    asm.halt();
+    let p = asm.assemble().unwrap();
+
+    let mut interp = Interp::new(&p);
+    let exit = interp.run(100).unwrap();
+    assert!(exit.halted);
+    assert_eq!(interp.regs()[5], 0);
+    assert_eq!(interp.regs()[6], 6);
+
+    let cfg = Cfg::build(&p);
+    assert!(!cfg.is_reachable(1));
+    assert!(!cfg.is_reachable(2));
+    assert!(cfg.is_reachable(3));
+}

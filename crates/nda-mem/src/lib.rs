@@ -19,6 +19,8 @@
 //! assert!(cold.latency > warm.latency);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod hier;
 pub mod mlp;

@@ -14,6 +14,8 @@
 //! * [`Ras`] — the return address stack, the steering surface of
 //!   ret2spec-style attacks.
 
+#![forbid(unsafe_code)]
+
 pub mod btb;
 pub mod gshare;
 pub mod ras;

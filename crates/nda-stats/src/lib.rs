@@ -9,6 +9,8 @@
 //!   several independently-seeded samples and aggregate with a
 //!   t-distribution interval.
 
+#![forbid(unsafe_code)]
+
 pub mod counters;
 pub mod sampling;
 

@@ -1,0 +1,398 @@
+//! Dynamic confirmation of statically-reported gadgets.
+//!
+//! `nda-analyze` claims a program contains an access→transmit gadget
+//! that leaks *transiently*. This module checks that claim on the
+//! cycle-level simulator: run the program on an [`OooCore`] with pipeline
+//! tracing enabled and track taint through the *dynamic* instruction
+//! stream —
+//!
+//! * a dispatch of the gadget's **source** pc taints its destination
+//!   register binding,
+//! * any dispatch whose source operands are tainted propagates the taint
+//!   to its destination (speculative instances included: dispatch order
+//!   is fetch order, wrong paths and all),
+//! * the gadget is **confirmed** when an instance of the **sink** pc
+//!   *issues* with a tainted operand (the microarchitectural access
+//!   happens) and that instance is later *squashed* — i.e. the secret
+//!   demonstrably reached a transmitter on a transient path that never
+//!   became architectural.
+//!
+//! Squashed instances roll their taint bindings back, so wrong-path
+//! writes cannot contaminate later architectural taint state. Committed
+//! tainted-sink instances are deliberately *not* confirmations: training
+//! rounds of the Spectre PoCs transmit a decoy architecturally, which is
+//! not a speculative leak.
+//!
+//! Taint here flows through registers only; all shipped attack gadgets
+//! carry the secret register-to-register between access and transmit. A
+//! gadget laundering taint through memory between source and sink would
+//! need store-forward tracking to confirm (known limitation, documented
+//! in DESIGN.md §11).
+
+use std::collections::HashMap;
+
+use nda_core::trace::{TraceEvent, TraceStage};
+use nda_core::{OooCore, SimConfig};
+use nda_isa::reg::NUM_REGS;
+use nda_isa::Program;
+
+/// A register's current taint binding and which dynamic instance wrote
+/// it (so squash can roll back precisely).
+#[derive(Debug, Clone, Copy, Default)]
+struct Binding {
+    tainted: bool,
+    /// Unique id of the writing instance; 0 = initial (architectural)
+    /// state.
+    owner: u64,
+}
+
+/// One in-flight dynamic micro-op instance.
+#[derive(Debug)]
+struct Instance {
+    id: u64,
+    pc: usize,
+    /// Operand taint at dispatch (rename time fixes provenance).
+    tainted_operand: bool,
+    /// The sink issued with a tainted operand: transmission happened.
+    transmitted: bool,
+    /// Destination register this instance rebound, with the previous
+    /// binding for rollback.
+    write: Option<(usize, Binding)>,
+}
+
+/// Observes drained [`TraceEvent`]s and decides whether a (source, sink)
+/// pair transmitted tainted data on a squashed (transient) path.
+pub struct TaintObserver<'p> {
+    p: &'p Program,
+    source_pc: usize,
+    sink_pc: usize,
+    regs: Vec<Binding>,
+    live: HashMap<u64, Instance>,
+    next_id: u64,
+    /// Cycle of the first confirmed transient transmission.
+    pub confirmed_at: Option<u64>,
+}
+
+impl<'p> TaintObserver<'p> {
+    /// New observer for one gadget of `p`.
+    pub fn new(p: &'p Program, source_pc: usize, sink_pc: usize) -> TaintObserver<'p> {
+        TaintObserver {
+            p,
+            source_pc,
+            sink_pc,
+            regs: vec![Binding::default(); NUM_REGS],
+            live: HashMap::new(),
+            next_id: 1,
+            confirmed_at: None,
+        }
+    }
+
+    /// Feed a batch of drained trace events (must be in emission order).
+    pub fn process(&mut self, events: &[TraceEvent]) {
+        for e in events {
+            match e.stage {
+                TraceStage::Dispatch => self.on_dispatch(e),
+                TraceStage::Issue => {
+                    if let Some(inst) = self.live.get_mut(&e.seq) {
+                        if inst.pc == self.sink_pc && inst.tainted_operand {
+                            inst.transmitted = true;
+                        }
+                    }
+                }
+                TraceStage::Squash => {
+                    if let Some(inst) = self.live.remove(&e.seq) {
+                        if inst.transmitted && self.confirmed_at.is_none() {
+                            self.confirmed_at = Some(e.cycle);
+                        }
+                        if let Some((r, prev)) = inst.write {
+                            if self.regs[r].owner == inst.id {
+                                self.regs[r] = prev;
+                            }
+                        }
+                    }
+                }
+                TraceStage::Commit => {
+                    // Binding becomes architectural; nothing to roll back.
+                    self.live.remove(&e.seq);
+                }
+                TraceStage::Complete | TraceStage::Broadcast => {}
+            }
+        }
+    }
+
+    fn on_dispatch(&mut self, e: &TraceEvent) {
+        let Some(inst) = self.p.fetch(e.pc) else {
+            return;
+        };
+        let tainted_operand = inst.srcs().any(|r| self.regs[r.index()].tainted);
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut write = None;
+        if let Some(rd) = inst.dest() {
+            let taint = tainted_operand || e.pc == self.source_pc;
+            let prev = self.regs[rd.index()];
+            self.regs[rd.index()] = Binding {
+                tainted: taint,
+                owner: id,
+            };
+            write = Some((rd.index(), prev));
+        }
+        // Sequence numbers are reused after squash/commit; a fresh
+        // dispatch replaces any stale instance.
+        self.live.insert(
+            e.seq,
+            Instance {
+                id,
+                pc: e.pc,
+                tainted_operand,
+                transmitted: false,
+                write,
+            },
+        );
+    }
+}
+
+/// Result of one dynamic gadget run.
+#[derive(Debug, Clone, Copy)]
+pub struct DynamicCheck {
+    /// Cycle of the first confirmed transient transmission, if any.
+    pub confirm_cycle: Option<u64>,
+    /// Cycles simulated.
+    pub cycles_run: u64,
+    /// The program halted within the budget.
+    pub halted: bool,
+}
+
+impl DynamicCheck {
+    /// The gadget transmitted tainted data on a squashed path.
+    pub fn confirmed(self) -> bool {
+        self.confirm_cycle.is_some()
+    }
+}
+
+/// How many cycles to simulate between trace drains (bounds observer
+/// memory without measurable overhead).
+const DRAIN_EVERY: u64 = 4096;
+
+/// Run `p` on an [`OooCore`] built from `cfg` and watch for a transient
+/// transmission of the `(source_pc, sink_pc)` gadget. Stops at the first
+/// confirmation, at halt, or after `max_cycles`.
+pub fn run_gadget(
+    p: &Program,
+    source_pc: usize,
+    sink_pc: usize,
+    cfg: SimConfig,
+    max_cycles: u64,
+) -> DynamicCheck {
+    let mut core = OooCore::new(cfg, p);
+    core.enable_trace();
+    let mut obs = TaintObserver::new(p, source_pc, sink_pc);
+    while !core.halted() && core.cycle() < max_cycles && obs.confirmed_at.is_none() {
+        let until = (core.cycle() + DRAIN_EVERY).min(max_cycles);
+        while !core.halted() && core.cycle() < until {
+            core.step_cycle();
+        }
+        obs.process(&core.take_trace_events());
+    }
+    DynamicCheck {
+        confirm_cycle: obs.confirmed_at,
+        cycles_run: core.cycle(),
+        halted: core.halted(),
+    }
+}
+
+/// Differential verdict for one statically-reported gadget.
+#[derive(Debug, Clone, Copy)]
+pub struct GadgetVerdict {
+    /// Gadget's access pc.
+    pub source_pc: usize,
+    /// Gadget's transmit pc.
+    pub sink_pc: usize,
+    /// Run under the baseline (unprotected) configuration.
+    pub base: DynamicCheck,
+    /// Run under the strict configuration; `None` when the baseline never
+    /// confirmed (nothing to suppress, no budget to calibrate).
+    pub strict: Option<DynamicCheck>,
+}
+
+impl GadgetVerdict {
+    /// Baseline confirmed the transient leak and the strict run did not:
+    /// the static report is dynamically realizable *and* the mitigation
+    /// demonstrably closes it.
+    pub fn differential_holds(self) -> bool {
+        self.base.confirmed() && self.strict.is_some_and(|s| !s.confirmed())
+    }
+}
+
+/// Outcome of [`validate_report`]: one verdict per reported gadget.
+#[derive(Debug, Clone, Default)]
+pub struct ValidationOutcome {
+    /// Per-gadget verdicts, in report order.
+    pub verdicts: Vec<GadgetVerdict>,
+}
+
+impl ValidationOutcome {
+    /// At least one reported gadget transmitted transiently on baseline.
+    pub fn any_confirmed_on_base(&self) -> bool {
+        self.verdicts.iter().any(|v| v.base.confirmed())
+    }
+
+    /// Some gadget still transmitted transiently under the strict
+    /// configuration — the mitigation failed to suppress it.
+    pub fn any_confirmed_under_strict(&self) -> bool {
+        self.verdicts
+            .iter()
+            .any(|v| v.strict.is_some_and(|s| s.confirmed()))
+    }
+}
+
+/// Cross-validate a static [`Report`](nda_analyze::Report) against the
+/// simulator: run every reported gadget under `base_cfg` (expected to
+/// leak) and, when it confirms, re-run under `strict_cfg` with a budget
+/// calibrated from the baseline confirmation cycle (4× plus slack, so
+/// protection overhead cannot masquerade as suppression). The strict
+/// check is only meaningful for NDA-policy variants — InvisiSpec still
+/// *issues* shadowed loads, it hides their side effects, so its runs
+/// would spuriously "confirm" here.
+pub fn validate_report(
+    p: &Program,
+    report: &nda_analyze::Report,
+    base_cfg: &SimConfig,
+    strict_cfg: &SimConfig,
+    max_cycles: u64,
+) -> ValidationOutcome {
+    let mut out = ValidationOutcome::default();
+    for g in &report.gadgets {
+        let base = run_gadget(p, g.source_pc, g.sink_pc, *base_cfg, max_cycles);
+        let strict = base.confirm_cycle.map(|c| {
+            let budget = (c.saturating_mul(4) + 20_000).min(max_cycles);
+            run_gadget(p, g.source_pc, g.sink_pc, *strict_cfg, budget)
+        });
+        out.verdicts.push(GadgetVerdict {
+            source_pc: g.source_pc,
+            sink_pc: g.sink_pc,
+            base,
+            strict,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nda_core::Variant;
+    use nda_isa::{Asm, Reg};
+
+    /// Bounds-check-bypass gadget: OOB load at `src`, dependent probe
+    /// load at `snk`, bounds check trained taken-in-bounds.
+    fn v1_like() -> (Program, usize, usize) {
+        let mut a = Asm::new();
+        let exit = a.new_label();
+        let loop_top = a.new_label();
+        a.li(Reg::X9, 0);
+        a.bind(loop_top);
+        // index = round < 7 ? round & 3 : 64 (out of bounds)
+        a.andi(Reg::X26, Reg::X9, 7);
+        a.alui(nda_isa::AluOp::Sltu, Reg::X27, Reg::X26, 7);
+        a.subi(Reg::X27, Reg::X27, 1); // 0 while training, ~0 on attack
+        a.li(Reg::X25, 64);
+        a.alu(nda_isa::AluOp::Xor, Reg::X24, Reg::X26, Reg::X25);
+        a.alu(nda_isa::AluOp::And, Reg::X24, Reg::X24, Reg::X27);
+        a.alu(nda_isa::AluOp::Xor, Reg::X2, Reg::X26, Reg::X24);
+        // bounds check on a flushed size cell: long window
+        a.li(Reg::X3, 0x9000);
+        a.clflush(Reg::X3, 0);
+        a.ld8(Reg::X4, Reg::X3, 0);
+        a.bgeu(Reg::X2, Reg::X4, exit);
+        a.li(Reg::X5, 0x8000);
+        a.add(Reg::X5, Reg::X5, Reg::X2);
+        let src = a.here_label();
+        a.ld1(Reg::X6, Reg::X5, 0); // source: array[x]
+        a.shli(Reg::X6, Reg::X6, 9);
+        a.li(Reg::X7, 0xA000);
+        a.add(Reg::X7, Reg::X7, Reg::X6);
+        let snk = a.here_label();
+        a.ld1(Reg::X8, Reg::X7, 0); // sink: probe[v*512]
+        a.bind(exit);
+        a.addi(Reg::X9, Reg::X9, 1);
+        a.li(Reg::X26, 16);
+        a.bltu(Reg::X9, Reg::X26, loop_top);
+        a.halt();
+        let src = a.label_position(src).unwrap();
+        let snk = a.label_position(snk).unwrap();
+        let mut p = a.assemble().unwrap();
+        p.data.push(nda_isa::DataInit {
+            addr: 0x9000,
+            bytes: 8u64.to_le_bytes().to_vec(),
+        });
+        (p, src, snk)
+    }
+
+    #[test]
+    fn confirms_transient_transmit_on_base_ooo() {
+        let (p, src, snk) = v1_like();
+        let check = run_gadget(
+            &p,
+            src,
+            snk,
+            SimConfig::for_variant(Variant::Ooo),
+            2_000_000,
+        );
+        assert!(
+            check.confirmed(),
+            "v1-like gadget must confirm on Base: {check:?}"
+        );
+    }
+
+    #[test]
+    fn strict_nda_suppresses_the_same_gadget() {
+        let (p, src, snk) = v1_like();
+        let check = run_gadget(
+            &p,
+            src,
+            snk,
+            SimConfig::for_variant(Variant::FullProtection),
+            2_000_000,
+        );
+        assert!(
+            !check.confirmed(),
+            "FullProtection must not transmit transiently: {check:?}"
+        );
+        assert!(check.halted, "program still runs to completion");
+    }
+
+    #[test]
+    fn committed_transmits_do_not_count() {
+        // In-bounds only: the "sink" load executes architecturally every
+        // round and commits; no transient confirmation.
+        let mut a = Asm::new();
+        let top = a.new_label();
+        a.li(Reg::X9, 0);
+        a.bind(top);
+        let src = a.here_label();
+        a.ld1(Reg::X6, Reg::X9, 0x8000);
+        a.shli(Reg::X6, Reg::X6, 9);
+        let snk = a.here_label();
+        a.ld1(Reg::X8, Reg::X6, 0);
+        a.addi(Reg::X9, Reg::X9, 1);
+        a.li(Reg::X26, 8);
+        a.bltu(Reg::X9, Reg::X26, top);
+        a.halt();
+        let src = a.label_position(src).unwrap();
+        let snk = a.label_position(snk).unwrap();
+        let p = a.assemble().unwrap();
+        let check = run_gadget(
+            &p,
+            src,
+            snk,
+            SimConfig::for_variant(Variant::Ooo),
+            1_000_000,
+        );
+        assert!(check.halted);
+        assert!(
+            !check.confirmed(),
+            "architectural transmits are not transient leaks: {check:?}"
+        );
+    }
+}

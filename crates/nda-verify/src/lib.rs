@@ -25,6 +25,14 @@
 //! no MSRs) that still reproduce the failure, then dumps a self-contained
 //! repro — disassembly listing plus the binary encoding — to disk.
 
+#![forbid(unsafe_code)]
+
+pub mod dynamic;
+
+pub use dynamic::{
+    run_gadget, validate_report, DynamicCheck, GadgetVerdict, TaintObserver, ValidationOutcome,
+};
+
 use nda_core::config::{CoreModel, SimConfig};
 use nda_core::sampled::Checkpoint;
 use nda_core::{collect_checkpoints, OooCore, SampledParams, Variant};

@@ -29,6 +29,8 @@
 //! }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod kernels;
 
 use nda_isa::Program;

@@ -12,8 +12,16 @@
 //! nda-sim exec <file> [options]            run an encoded program file
 //! nda-sim trace <attack> [options]         pipeline-trace an attack window
 //! nda-sim verify [options]                 fault-injection differential harness
+//! nda-sim analyze <target> [options]       static speculative-leakage analysis;
+//!                                          target is an attack name, a workload
+//!                                          name, or an encoded program file
 //!
 //! options:
+//!   --json              analyze: emit the machine-readable report
+//!   --validate          analyze: execute each reported gadget on Base OoO
+//!                       (expect a transient leak) and under Full Protection
+//!                       (expect suppression)
+//!   --window <n>        analyze: speculation-window depth (default: ROB size)
 //!   --variant <name>    core configuration (default OoO; see `variants`)
 //!   --iters <n>         workload iterations / verify programs (default 200)
 //!   --seed <n>          workload / verify seed (default 1)
@@ -64,6 +72,9 @@ struct Opts {
     sample_every: u64,
     warm: u64,
     detail: u64,
+    json: bool,
+    validate: bool,
+    window: Option<usize>,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -77,6 +88,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         sample_every: 0,
         warm: 2_000,
         detail: 2_000,
+        json: false,
+        validate: false,
+        window: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -118,6 +132,15 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 o.detail = val("--detail")?
                     .parse()
                     .map_err(|e| format!("--detail: {e}"))?
+            }
+            "--json" => o.json = true,
+            "--validate" => o.validate = true,
+            "--window" => {
+                o.window = Some(
+                    val("--window")?
+                        .parse()
+                        .map_err(|e| format!("--window: {e}"))?,
+                )
             }
             other => return Err(format!("unknown option {other:?}")),
         }
@@ -453,6 +476,89 @@ fn cmd_trace(name: &str, o: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_analyze(target: &str, o: &Opts) -> Result<(), String> {
+    use nda::analyze::{analyze, AnalyzeConfig};
+
+    // Resolve the target: attack name > workload name > encoded file.
+    // Attacks carry their secret labeling; workloads and files are
+    // analyzed with an empty labeling (any finding would be a false
+    // positive).
+    let (prog, spec, kind, what) = if let Some(k) = parse_attack(target) {
+        (
+            k.program(o.secret),
+            k.secret_spec(),
+            Some(k),
+            k.name().to_string(),
+        )
+    } else if let Some(w) = by_name(target) {
+        let p = (w.build)(&WorkloadParams {
+            seed: o.seed,
+            iters: o.iters,
+        });
+        (p, nda::isa::SecretSpec::empty(), None, w.name.to_string())
+    } else {
+        let bytes = std::fs::read(target)
+            .map_err(|_| format!("{target:?} is not an attack, a workload, or a readable file"))?;
+        let p = nda::isa::decode_program(&bytes).map_err(|e| format!("decode {target}: {e}"))?;
+        (p, nda::isa::SecretSpec::empty(), None, target.to_string())
+    };
+
+    let mut cfg = AnalyzeConfig::default();
+    if let Some(w) = o.window {
+        cfg.window = w;
+    }
+    let report = analyze(&prog, &spec, &cfg);
+
+    if o.json {
+        println!("{}", report.to_json());
+    } else {
+        println!(
+            "static analysis of {what} ({} instructions, window {}):",
+            report.program_len, report.window
+        );
+        print!("{}", report.render_human());
+    }
+
+    if o.validate {
+        let mut base_cfg = nda::SimConfig::for_variant(Variant::Ooo);
+        let mut strict_cfg = nda::SimConfig::for_variant(Variant::FullProtection);
+        if let Some(k) = kind {
+            k.tweak_config(&mut base_cfg);
+            k.tweak_config(&mut strict_cfg);
+        }
+        let outcome =
+            nda::verify::validate_report(&prog, &report, &base_cfg, &strict_cfg, MAX_CYCLES);
+        println!();
+        println!("dynamic validation (Base OoO vs Full Protection):");
+        if outcome.verdicts.is_empty() {
+            println!("  no gadgets reported; nothing to execute");
+        }
+        for v in &outcome.verdicts {
+            match (v.base.confirm_cycle, v.strict) {
+                (Some(c), Some(s)) if !s.confirmed() => println!(
+                    "  pc {} -> pc {}: CONFIRMED transient leak on Base at cycle {c}; \
+                     suppressed under Full Protection ({} cycles run)",
+                    v.source_pc, v.sink_pc, s.cycles_run
+                ),
+                (Some(c), Some(s)) => println!(
+                    "  pc {} -> pc {}: LEAKED UNDER FULL PROTECTION (base cycle {c}, \
+                     strict cycle {:?})",
+                    v.source_pc, v.sink_pc, s.confirm_cycle
+                ),
+                _ => println!(
+                    "  pc {} -> pc {}: no transient transmission observed on Base \
+                     ({} cycles, halted: {})",
+                    v.source_pc, v.sink_pc, v.base.cycles_run, v.base.halted
+                ),
+            }
+        }
+        if outcome.any_confirmed_under_strict() {
+            return Err("a reported gadget leaked under Full Protection".into());
+        }
+    }
+    Ok(())
+}
+
 fn cmd_verify(o: &Opts) -> Result<(), String> {
     use nda::verify::{run_verify, InjectKind, VerifyConfig};
     let kinds = if o.inject == "none" {
@@ -497,7 +603,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first().map(String::as_str) else {
         eprintln!(
-            "usage: nda-sim <variants|workloads|attacks|run|attack|matrix|sweep|save|exec|trace|verify> [options]"
+            "usage: nda-sim <variants|workloads|attacks|run|attack|matrix|sweep|save|exec|trace|verify|analyze> [options]"
         );
         eprintln!("(see the module docs at the top of src/bin/nda-sim.rs)");
         return ExitCode::FAILURE;
@@ -536,6 +642,10 @@ fn main() -> ExitCode {
         "trace" => match args.get(1) {
             Some(name) => parse_opts(&args[2..]).and_then(|o| cmd_trace(name, &o)),
             None => Err("trace needs an attack name".into()),
+        },
+        "analyze" => match args.get(1) {
+            Some(target) => parse_opts(&args[2..]).and_then(|o| cmd_analyze(target, &o)),
+            None => Err("analyze needs an attack, workload, or file target".into()),
         },
         "matrix" => parse_opts(&args[1..]).map(|o| cmd_matrix(&o)),
         "sweep" => parse_opts(&args[1..]).map(|o| cmd_sweep(&o)),

@@ -14,6 +14,9 @@
 //!   (`nda-workloads`).
 //! * [`attacks`] — Spectre v1 (cache and BTB channels), SSB, Meltdown and
 //!   LazyFP proof-of-concepts with leak detectors (`nda-attacks`).
+//! * [`analyze`] — static speculative-leakage analyzer: CFG + abstract
+//!   taint interpretation finds access→transmit gadgets and predicts the
+//!   per-variant suppression verdicts (`nda-analyze`).
 //! * [`verify`] — the fault-injection differential harness: random
 //!   programs under injected squashes/latency/predictor corruption must
 //!   stay bit-exact against the reference interpreter (`nda-verify`).
@@ -33,6 +36,9 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
+pub use nda_analyze as analyze;
 pub use nda_attacks as attacks;
 pub use nda_core as core;
 pub use nda_isa as isa;
