@@ -8,9 +8,9 @@
 //! * 9d — mean dispatch-to-issue latency (NDA adds 4-39 cycles in the
 //!   paper; overall CPI impact stays modest).
 
-use nda_bench::{bar, sweep, SweepConfig};
+use nda_bench::{bar, cpi_stack_table, sweep, SweepConfig};
 use nda_core::Variant;
-use nda_stats::geomean;
+use nda_stats::{geomean, CpiClass, CpiStack};
 use nda_workloads::all;
 
 fn main() {
@@ -55,6 +55,33 @@ fn main() {
             bar(rel, 4.0, 40)
         );
     }
+
+    // ---- 9a': fine-grained stacked CPI ----------------------------------
+    // The top-down refinement of 9a: suite-aggregated cycles charged to
+    // each of the eleven CPI classes. `nda` is the cycle cost of deferred
+    // tag broadcasts specifically, separated from generic backend stalls.
+    println!("\nFig 9a': top-down CPI stack (fraction of each variant's cycles)");
+    let mut stack_rows: Vec<(String, CpiStack)> = Vec::new();
+    for (v, variant) in variants.iter().enumerate() {
+        let mut stack = CpiStack::new();
+        for class in CpiClass::all() {
+            let cycles: f64 = (0..nw)
+                .map(|w| {
+                    results
+                        .cell(w, v)
+                        .mean_of(|r| r.stats.cpi_stack.get(class) as f64)
+                })
+                .sum();
+            stack.add(class, cycles.round() as u64);
+        }
+        stack_rows.push((variant.name().to_string(), stack));
+    }
+    print!("{}", cpi_stack_table(&stack_rows));
+    let nda_ooo = stack_rows
+        .iter()
+        .find(|(n, _)| n == Variant::Ooo.name())
+        .map_or(0, |(_, s)| s.get(CpiClass::NdaDelay));
+    assert_eq!(nda_ooo, 0, "baseline OoO must charge zero nda-delay cycles");
 
     // ---- 9b: MLP ---------------------------------------------------------
     println!("\nFig 9b: memory-level parallelism (geomean over workloads with off-chip misses)");

@@ -24,5 +24,5 @@
 pub mod render;
 pub mod sweep;
 
-pub use render::{bar, fmt_ci, header_rule};
+pub use render::{bar, cpi_class_short, cpi_stack_table, fmt_ci, header_rule};
 pub use sweep::{sweep, CellStats, SweepConfig, SweepMode, SweepResults};

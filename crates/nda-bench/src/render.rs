@@ -6,7 +6,7 @@
 //! cold reporting path; buffer-reuse APIs here would complicate every
 //! bench for no measurable gain, so the per-call allocations stay.
 
-use nda_stats::Sample;
+use nda_stats::{CpiClass, CpiStack, Sample};
 
 /// `mean ± ci` with two decimals.
 pub fn fmt_ci(s: &Sample) -> String {
@@ -25,6 +25,52 @@ pub fn bar(value: f64, full: f64, width: usize) -> String {
 /// A dashed rule as wide as `header`, printed beneath it.
 pub fn header_rule(header: &str) -> String {
     "-".repeat(header.len())
+}
+
+/// Compact column header for a CPI class, short enough that all eleven
+/// classes fit one table row.
+pub fn cpi_class_short(c: CpiClass) -> &'static str {
+    match c {
+        CpiClass::Commit => "commit",
+        CpiClass::FrontendFetch => "fetch",
+        CpiClass::FrontendSquash => "squash",
+        CpiClass::BackendIqFull => "iq",
+        CpiClass::BackendRobFull => "rob",
+        CpiClass::BackendLsqFull => "lsq",
+        CpiClass::BackendExec => "exec",
+        CpiClass::MemL1 => "l1",
+        CpiClass::MemL2 => "l2",
+        CpiClass::MemDram => "dram",
+        CpiClass::NdaDelay => "nda",
+    }
+}
+
+/// The Fig 9-style stacked-CPI table: one row per labelled stack, each
+/// class shown as a fraction of that row's own total, plus the total
+/// normalised to the *first* row (the baseline). Markdown-compatible
+/// pipes so EXPERIMENTS.md can embed the output verbatim.
+pub fn cpi_stack_table(rows: &[(String, CpiStack)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("| {:<20}", "variant"));
+    for class in CpiClass::all() {
+        out.push_str(&format!(" | {:>6}", cpi_class_short(class)));
+    }
+    out.push_str(" | rel.cycles |\n");
+    out.push_str(&format!("|{:-<21}", ""));
+    for _ in CpiClass::all() {
+        out.push_str(&format!("|{:-<8}", ""));
+    }
+    out.push_str(&format!("|{:-<12}|\n", ""));
+    let base = rows.first().map_or(0, |(_, s)| s.total()).max(1) as f64;
+    for (label, stack) in rows {
+        let total = stack.total().max(1) as f64;
+        out.push_str(&format!("| {label:<20}"));
+        for (_, cycles) in stack.entries() {
+            out.push_str(&format!(" | {:>6.3}", cycles as f64 / total));
+        }
+        out.push_str(&format!(" | {:>9.2}x |\n", stack.total() as f64 / base));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -51,5 +97,31 @@ mod tests {
     #[test]
     fn rule_matches_header() {
         assert_eq!(header_rule("abc").len(), 3);
+    }
+
+    #[test]
+    fn cpi_stack_table_partitions_and_normalises() {
+        let mut base = CpiStack::new();
+        base.add(CpiClass::Commit, 50);
+        base.add(CpiClass::MemDram, 50);
+        let mut strict = CpiStack::new();
+        strict.add(CpiClass::Commit, 50);
+        strict.add(CpiClass::MemDram, 100);
+        strict.add(CpiClass::NdaDelay, 50);
+        let rows = vec![("OoO".to_string(), base), ("Strict".to_string(), strict)];
+        let out = cpi_stack_table(&rows);
+        // Every class appears in the header, rel.cycles is vs the first row.
+        for class in CpiClass::all() {
+            assert!(out.contains(cpi_class_short(class)), "{out}");
+        }
+        assert!(out.contains("1.00x"), "{out}");
+        assert!(out.contains("2.00x"), "{out}");
+        // Each row's fractions sum to ~1.
+        let strict_row = out.lines().find(|l| l.contains("Strict")).unwrap();
+        let sum: f64 = strict_row
+            .split('|')
+            .filter_map(|c| c.trim().parse::<f64>().ok())
+            .sum();
+        assert!((sum - 1.0).abs() < 0.01, "{strict_row}");
     }
 }

@@ -11,7 +11,7 @@ use crate::run::{RunResult, SimError};
 use nda_isa::inst::{Src2, UopClass};
 use nda_isa::{Fault, Inst, MsrFile, PrivilegeMap, Program, Reg, SparseMem};
 use nda_mem::MemHier;
-use nda_stats::{CycleClass, SimStats};
+use nda_stats::{CpiClass, SimStats};
 
 /// The in-order core. Construct with [`InOrderCore::new`], drive with
 /// [`InOrderCore::run`].
@@ -104,7 +104,12 @@ impl InOrderCore {
     fn blocking_access(&mut self, addr: u64) -> u64 {
         loop {
             if let Some(acc) = self.hier.access_data(addr, self.cycle) {
-                self.stats.memory_stall_cycles += acc.latency;
+                let class = match acc.level {
+                    nda_mem::Level::L1 => CpiClass::MemL1,
+                    nda_mem::Level::L2 => CpiClass::MemL2,
+                    nda_mem::Level::Mem => CpiClass::MemDram,
+                };
+                self.stats.add_cycles(class, acc.latency);
                 return acc.latency;
             }
             self.cycle += 1;
@@ -128,7 +133,7 @@ impl InOrderCore {
         if self.last_line != Some(line) {
             let acc = self.hier.access_inst(iaddr);
             self.cycle += acc.latency;
-            self.stats.frontend_stall_cycles += acc.latency;
+            self.stats.add_cycles(CpiClass::FrontendFetch, acc.latency);
             self.last_line = Some(line);
         }
 
@@ -239,7 +244,7 @@ impl InOrderCore {
         self.cycle += exec_cycles;
         self.bump_issue(exec_cycles);
         self.stats.committed_insts += 1;
-        self.stats.commit_cycles += 1;
+        self.stats.add_cycles(CpiClass::Commit, 1);
         match inst.class() {
             UopClass::Load | UopClass::LoadLike => self.stats.committed_loads += 1,
             UopClass::Store => self.stats.committed_stores += 1,
@@ -276,11 +281,11 @@ impl InOrderCore {
         }
         self.stats.cycles = self.cycle;
         // The in-order machine issues exactly one instruction per "active"
-        // window; classify every remaining cycle as backend stall.
-        let accounted = self.stats.commit_cycles
-            + self.stats.memory_stall_cycles
-            + self.stats.frontend_stall_cycles;
-        self.stats.backend_stall_cycles = self.cycle.saturating_sub(accounted);
+        // window; classify every remaining cycle (non-unit execution
+        // latencies) as backend execution so the stack partitions exactly.
+        // The blocking model never delays a broadcast: nda-delay stays 0.
+        let rem = self.cycle.saturating_sub(self.stats.cpi_stack.total());
+        self.stats.add_cycles(CpiClass::BackendExec, rem);
         Ok(self.result())
     }
 
@@ -320,7 +325,7 @@ impl InOrderCore {
 
     /// Record a cycle-class (used by the shared reporting path; the
     /// in-order model accounts stalls inline instead).
-    pub fn record_cycle(&mut self, class: CycleClass) {
+    pub fn record_cycle(&mut self, class: CpiClass) {
         self.stats.record_cycle(class);
     }
 

@@ -54,4 +54,4 @@ pub use sampled::{
     collect_checkpoints, run_sampled, run_sampled_with, Checkpoint, CheckpointSet, SampledParams,
 };
 pub use snapshot::{HeadInfo, HeadWait, PipelineSnapshot};
-pub use trace::{render_pipeline, TraceEvent, TraceStage};
+pub use trace::{render_pipeline, EventSink, TraceEvent, TraceStage, VecSink};

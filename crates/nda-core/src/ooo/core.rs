@@ -27,7 +27,7 @@ use nda_isa::inst::{Src2, UopClass};
 use nda_isa::{Fault, Inst, Interp, MsrFile, PrivilegeMap, Program, SparseMem};
 use nda_mem::MemHier;
 use nda_predict::{Btb, DirPredictor};
-use nda_stats::{CycleClass, SimStats};
+use nda_stats::{CpiClass, SimStats};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -104,6 +104,12 @@ pub struct OooCore {
     div_busy_until: u64,
     /// Pipeline event log (None unless tracing is enabled).
     tracer: Option<Vec<crate::trace::TraceEvent>>,
+    /// Cycle of the most recent front-end redirect (mispredict, replay or
+    /// fault): an empty ROB within `fetch_to_dispatch + 1` cycles of it is
+    /// squash refill, not an i-cache miss (CPI-stack attribution).
+    last_redirect_cycle: Option<u64>,
+    /// Why dispatch stopped this cycle, if a back-end structure was full.
+    dispatch_block: Option<DispatchBlock>,
     /// Scratch buffers reused across cycles so the hot loop performs no
     /// heap allocation in steady state.
     scratch_due: Vec<(u64, u64)>,
@@ -163,6 +169,8 @@ impl OooCore {
             fpu_busy_until: None,
             div_busy_until: 0,
             tracer: None,
+            last_redirect_cycle: None,
+            dispatch_block: None,
             scratch_due: Vec::new(),
             scratch_seqs: Vec::new(),
             scratch_traced: Vec::new(),
@@ -323,6 +331,35 @@ impl OooCore {
         Ok(self.result())
     }
 
+    /// [`OooCore::run`] while streaming pipeline events into `sink`
+    /// (enabling tracing if it is off). The sink is a pure observer: the
+    /// committed state and cycle counts are identical with or without it
+    /// (pinned by the `cycle_exact` and exporter golden tests).
+    ///
+    /// # Errors
+    ///
+    /// See [`OooCore::run`]. Events already emitted (including those of the
+    /// failing cycle) are flushed to the sink before the error returns.
+    pub fn run_with_sink(
+        &mut self,
+        max_cycles: u64,
+        sink: &mut dyn crate::trace::EventSink,
+    ) -> Result<RunResult, SimError> {
+        if self.tracer.is_none() {
+            self.enable_trace();
+        }
+        let result = self.run_hooked(max_cycles, |core| {
+            for ev in core.take_trace_events() {
+                sink.event(&ev);
+            }
+        });
+        for ev in self.take_trace_events() {
+            sink.event(&ev);
+        }
+        sink.finish();
+        result
+    }
+
     /// A [`SimError::CycleLimit`] carrying the current pipeline snapshot.
     pub(crate) fn cycle_limit_error(&mut self) -> SimError {
         SimError::CycleLimit {
@@ -462,6 +499,7 @@ impl OooCore {
 
     /// Advance one cycle.
     pub fn step_cycle(&mut self) {
+        self.dispatch_block = None;
         let committed = self.commit();
         if self.halted || self.pending_error.is_some() {
             self.classify_cycle(committed);
@@ -528,6 +566,7 @@ impl OooCore {
                     self.stats.broadcasts += 1;
                     if e.complete_cycle < self.cycle {
                         self.stats.deferred_broadcasts += 1;
+                        self.stats.defer_hist.observe(self.cycle - e.complete_cycle);
                     }
                     self.trace_event(e.seq, e.pc, e.inst, crate::trace::TraceStage::Broadcast);
                 }
@@ -655,6 +694,7 @@ impl OooCore {
     fn deliver_fault(&mut self, fault: Fault) {
         self.stats.faults += 1;
         self.squash_from(0);
+        self.last_redirect_cycle = Some(self.cycle);
         match self.program.fault_handler {
             Some(h) => self.fe.redirect(self.cycle, h),
             None => {
@@ -730,6 +770,7 @@ impl OooCore {
                 }
                 if mispredicted {
                     self.stats.branch_mispredicts += 1;
+                    self.trace_event(seq, tpc, tinst, crate::trace::TraceStage::Mispredict);
                     if matches!(inst, Inst::Branch { .. }) {
                         self.fe.dir.recover(ghr_before, actual_taken);
                     }
@@ -737,6 +778,7 @@ impl OooCore {
                         self.fe.ras.restore(snap);
                     }
                     self.squash_from(seq + 1);
+                    self.last_redirect_cycle = Some(now);
                     self.fe.redirect(now, actual_next);
                 }
             } else if inst.is_store() {
@@ -794,6 +836,7 @@ impl OooCore {
         if let Some((lseq, lpc)) = victim {
             self.stats.mem_order_violations += 1;
             self.squash_from(lseq);
+            self.last_redirect_cycle = Some(self.cycle);
             self.fe.redirect(self.cycle, lpc);
         }
     }
@@ -906,6 +949,7 @@ impl OooCore {
                     ports -= 1;
                     done += 1;
                     deferred += 1;
+                    self.stats.defer_hist.observe(now - e.complete_cycle);
                     if tracing {
                         traced.push((e.seq, e.pc, e.inst));
                     }
@@ -1062,6 +1106,7 @@ impl OooCore {
                 *port -= 1;
                 total -= 1;
                 dispatch_to_issue += now - dispatch_cycle;
+                self.stats.d2i_hist.observe(now - dispatch_cycle);
                 if tracing {
                     if let Some(e) = self.rob.get(seq) {
                         let (pc, inst) = (e.pc, e.inst);
@@ -1263,6 +1308,12 @@ impl OooCore {
         if extras.is_probe {
             e.is_probe = true;
         }
+        if extras.level.is_some() {
+            e.mem_level = extras.level;
+            if extras.level != Some(nda_mem::Level::L1) {
+                self.trace_event(seq, pc, inst, crate::trace::TraceStage::CacheMiss);
+            }
+        }
         true
     }
 
@@ -1282,6 +1333,7 @@ impl OooCore {
             if !self.cfg.core.meltdown_flaw {
                 // A fixed implementation zeroes the forwarded data.
                 let acc = self.hier.access_data(addr, now + 1)?;
+                extras.level = Some(acc.level);
                 return Some((0, now + 1 + acc.latency, extras));
             }
         }
@@ -1319,6 +1371,7 @@ impl OooCore {
 
         if let Some((sseq, val)) = forwarded {
             extras.forwarded_from = Some(sseq);
+            extras.level = Some(nda_mem::Level::L1);
             return Some((val, now + self.cfg.core.store_forward_latency, extras));
         }
 
@@ -1346,9 +1399,13 @@ impl OooCore {
         };
         let latency = if speculative_probe {
             extras.is_probe = true;
-            self.hier.probe_data(addr, now + 1).latency
+            let acc = self.hier.probe_data(addr, now + 1);
+            extras.level = Some(acc.level);
+            acc.latency
         } else {
-            self.hier.access_data(addr, now + 1)?.latency
+            let acc = self.hier.access_data(addr, now + 1)?;
+            extras.level = Some(acc.level);
+            acc.latency
         };
         Some((value, now + 1 + latency, extras))
     }
@@ -1370,7 +1427,12 @@ impl OooCore {
             let Some(uop) = self.fe.peek_ready(now) else {
                 break;
             };
-            if self.rob.is_full() || self.iq.len() >= self.cfg.core.iq_entries {
+            if self.rob.is_full() {
+                self.dispatch_block = Some(DispatchBlock::Rob);
+                break;
+            }
+            if self.iq.len() >= self.cfg.core.iq_entries {
+                self.dispatch_block = Some(DispatchBlock::Iq);
                 break;
             }
             // Listing-4 window: speculation and OoO are disabled — admit
@@ -1384,12 +1446,16 @@ impl OooCore {
             let class = uop.inst.class();
             let needs_lq = matches!(class, UopClass::Load | UopClass::LoadLike);
             if needs_lq && self.lq.len() >= self.cfg.core.lq_entries {
+                self.dispatch_block = Some(DispatchBlock::Lsq);
                 break;
             }
             if class == UopClass::Store && self.sq.len() >= self.cfg.core.sq_entries {
+                self.dispatch_block = Some(DispatchBlock::Lsq);
                 break;
             }
             if uop.inst.dest().is_some() && self.free.available() == 0 {
+                // Register exhaustion binds retirement like a full ROB.
+                self.dispatch_block = Some(DispatchBlock::Rob);
                 break;
             }
             let uop = self.fe.pop_ready(now).expect("peeked");
@@ -1516,25 +1582,135 @@ impl OooCore {
     }
 
     // ------------------------------------------------------------------
-    // Cycle classification (Fig 9a)
+    // Cycle classification (Fig 9a): the top-down CPI stack
     // ------------------------------------------------------------------
 
+    /// Attribute this cycle to exactly one [`CpiClass`]. Every cycle lands
+    /// in one class (the stack partitions `stats.cycles`; property-tested),
+    /// resolved head-first in priority order:
+    ///
+    /// 1. anything retired → commit;
+    /// 2. empty ROB → frontend (squash refill while inside the redirect
+    ///    shadow, fetch miss otherwise);
+    /// 3. the defense is the bottleneck → nda-delay (see
+    ///    [`OooCore::nda_delay_cycle`]);
+    /// 4. otherwise the oldest instruction's own wait: an in-flight memory
+    ///    access charges the level that services it, a completed head
+    ///    charges the backend (or DRAM for an MSHR-blocked store), an
+    ///    un-issued non-memory head charges whichever structure stalled
+    ///    dispatch.
     fn classify_cycle(&mut self, committed: u64) {
+        let now = self.cycle;
         let class = if committed > 0 {
-            CycleClass::Commit
-        } else if let Some(head) = self.rob.head() {
-            let memish = head.inst.is_load_like() || head.inst.is_store();
-            let retirable = head.completed
-                && !(head.is_probe && head.exposure_done.map(|d| d <= self.cycle) != Some(true));
-            if memish && !retirable {
-                CycleClass::MemoryStall
+            CpiClass::Commit
+        } else if self.rob.is_empty() {
+            // The redirect shadow is the fetch-to-dispatch refill after a
+            // squash; an empty ROB outside it is a fetch (i-cache) stall.
+            let refill = self.cfg.core.fetch_to_dispatch + 1;
+            if self.last_redirect_cycle.map(|r| now < r + refill) == Some(true) {
+                CpiClass::FrontendSquash
             } else {
-                CycleClass::BackendStall
+                CpiClass::FrontendFetch
             }
+        } else if self.nda_delay_cycle() {
+            CpiClass::NdaDelay
         } else {
-            CycleClass::FrontendStall
+            let head = self.rob.head().expect("rob checked non-empty");
+            let memish = head.inst.is_load_like() || head.inst.is_store();
+            let exposure_pending = head.is_probe
+                && head.completed
+                && head.exposure_done.map(|d| d <= now) != Some(true);
+            if exposure_pending {
+                // A completed probe whose exposure/validation is still in
+                // flight is waiting on the memory system, not the backend.
+                mem_class(head.mem_level)
+            } else if head.completed {
+                if head.inst.is_store() {
+                    // A completed store head only stalls retirement when
+                    // its commit-time cache fill cannot get an MSHR.
+                    CpiClass::MemDram
+                } else {
+                    CpiClass::BackendExec
+                }
+            } else if head.issued {
+                if memish {
+                    mem_class(head.mem_level)
+                } else {
+                    CpiClass::BackendExec
+                }
+            } else if memish {
+                // An un-issued memory head (LSQ dependence, delay-on-miss,
+                // MSHR retry): level unknown until issue.
+                mem_class(head.mem_level)
+            } else {
+                match self.dispatch_block {
+                    Some(DispatchBlock::Rob) => CpiClass::BackendRobFull,
+                    Some(DispatchBlock::Iq) => CpiClass::BackendIqFull,
+                    Some(DispatchBlock::Lsq) => CpiClass::BackendLsqFull,
+                    None => CpiClass::BackendExec,
+                }
+            }
         };
         self.stats.record_cycle(class);
+    }
+
+    /// `true` when the NDA/InvisiSpec policy itself is the bottleneck this
+    /// cycle: either the ROB head has completed but its broadcast is being
+    /// withheld, or the oldest un-issued micro-op is ready *except* that
+    /// every invisible source it waits on has a completed producer whose
+    /// broadcast the policy is withholding. Port starvation does not count
+    /// (the producer must be policy-withheld, not merely un-broadcast), so
+    /// this is identically false on the unprotected baselines — pinned by
+    /// the `nda_delay`-is-zero property test.
+    fn nda_delay_cycle(&self) -> bool {
+        if self.policy_all_safe && self.cfg.invisispec.is_none() {
+            return false;
+        }
+        let now = self.cycle;
+        let extra = self.cfg.core.broadcast_extra_delay;
+        let withheld =
+            |e: &RobEntry| -> bool { !e.safe || e.safe_since.is_none_or(|s| s + extra > now) };
+        // InvisiSpec: the head cannot retire until its exposure completes —
+        // cycles its miss would also have cost the baseline are charged to
+        // memory by the classifier, but a *hit* probe awaiting exposure is
+        // pure defense overhead.
+        if let Some(h) = self.rob.head() {
+            if h.is_probe
+                && h.completed
+                && h.exposure_done.map(|d| d <= now) != Some(true)
+                && h.mem_level == Some(nda_mem::Level::L1)
+            {
+                return true;
+            }
+            // NDA proper: a completed head whose tag broadcast is withheld.
+            if h.completed && !h.broadcasted && h.prd.is_some() && withheld(h) {
+                return true;
+            }
+        }
+        // The oldest un-issued micro-op: ready except for deferred
+        // broadcasts?
+        let Some(&seq) = self.iq.first() else {
+            return false;
+        };
+        let Some(e) = self.rob.get(seq) else {
+            return false;
+        };
+        let mut any_withheld = false;
+        for &p in e.src_pregs.iter().flatten() {
+            if self.prf.is_visible(p) {
+                continue;
+            }
+            // The producer is in flight (committed producers broadcast at
+            // retirement, so an invisible source always has one).
+            let Some(prod) = self.rob.iter().find(|pe| pe.prd == Some(p)) else {
+                return false;
+            };
+            if !prod.completed || prod.broadcasted || !withheld(prod) {
+                return false;
+            }
+            any_withheld = true;
+        }
+        any_withheld
     }
 }
 
@@ -1602,6 +1778,31 @@ struct IssueExtras {
     forwarded_from: Option<u64>,
     bypassed: bool,
     is_probe: bool,
+    /// Hierarchy level that serviced a load/probe (L1 for store forwards).
+    level: Option<nda_mem::Level>,
+}
+
+/// The back-end structure that stopped dispatch this cycle (CPI stack).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DispatchBlock {
+    /// ROB full (or the physical register file is exhausted, which binds
+    /// the same resource: an ROB entry cannot retire to free its register).
+    Rob,
+    /// Issue queue full.
+    Iq,
+    /// Load or store queue full.
+    Lsq,
+}
+
+/// CPI-stack class for a memory access serviced at `level` (unknown levels
+/// — e.g. a load that has not issued yet — charge the cheapest, so the
+/// expensive classes are never over-stated).
+fn mem_class(level: Option<nda_mem::Level>) -> CpiClass {
+    match level {
+        Some(nda_mem::Level::L2) => CpiClass::MemL2,
+        Some(nda_mem::Level::Mem) => CpiClass::MemDram,
+        Some(nda_mem::Level::L1) | None => CpiClass::MemL1,
+    }
 }
 
 fn overlaps(a_addr: u64, a_size: u64, b_addr: u64, b_size: u64) -> bool {

@@ -90,6 +90,10 @@ pub struct RobEntry {
     /// InvisiSpec: exposure/validation completes at this cycle.
     pub exposure_done: Option<u64>,
 
+    /// Hierarchy level that serviced this entry's data access (set at
+    /// issue for loads/probes; used by the CPI-stack classifier).
+    pub mem_level: Option<nda_mem::Level>,
+
     /// Wake-up cache: all source registers have been observed visible.
     /// Visibility is monotone while the consumer is in flight (a source
     /// physical register cannot be recycled before every in-flight reader
@@ -136,6 +140,7 @@ impl RobEntry {
             fault: None,
             is_probe: false,
             exposure_done: None,
+            mem_level: None,
             srcs_visible_cached: false,
         }
     }

@@ -128,6 +128,16 @@ impl RunResult {
         self.stats.cpi()
     }
 
+    /// Export every counter and histogram of this run into a fresh
+    /// [`nda_stats::MetricsRegistry`] (the `--metrics-out` document).
+    pub fn metrics(&self) -> nda_stats::MetricsRegistry {
+        let mut reg = nda_stats::MetricsRegistry::new();
+        self.stats.export(&mut reg);
+        self.mem_stats.export(&mut reg);
+        reg.counter("run.halted", u64::from(self.halted));
+        reg
+    }
+
     /// Host wall-clock seconds (0.0 when not captured).
     pub fn host_seconds(&self) -> f64 {
         self.host_ns as f64 / 1e9

@@ -30,6 +30,11 @@ pub enum TraceStage {
     Commit,
     /// Squashed (wrong path, replay or fault).
     Squash,
+    /// Instant: the micro-op's data access missed the L1 (annotated on
+    /// the cache track by exporters).
+    CacheMiss,
+    /// Instant: a branch resolved mispredicted (predictor track).
+    Mispredict,
 }
 
 impl TraceStage {
@@ -42,7 +47,54 @@ impl TraceStage {
             TraceStage::Broadcast => 'B',
             TraceStage::Commit => 'R',
             TraceStage::Squash => 'x',
+            TraceStage::CacheMiss => 'M',
+            TraceStage::Mispredict => '!',
         }
+    }
+
+    /// Stable lowercase name (exporter track/category labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceStage::Dispatch => "dispatch",
+            TraceStage::Issue => "issue",
+            TraceStage::Complete => "complete",
+            TraceStage::Broadcast => "broadcast",
+            TraceStage::Commit => "commit",
+            TraceStage::Squash => "squash",
+            TraceStage::CacheMiss => "cache-miss",
+            TraceStage::Mispredict => "mispredict",
+        }
+    }
+}
+
+/// A consumer of pipeline events.
+///
+/// The core itself never holds a sink: tracing appends to an internal
+/// buffer behind one `Option` check (zero cost when off), and a driver
+/// loop drains that buffer into a sink incrementally via
+/// [`crate::OooCore::take_trace_events`] (see
+/// [`crate::OooCore::run_with_sink`]). This keeps sinks strictly
+/// observer-only — they can not perturb simulated state — and keeps
+/// memory bounded on long runs.
+pub trait EventSink {
+    /// Consume one event. Events arrive in emission order; cycles are
+    /// monotonically non-decreasing.
+    fn event(&mut self, ev: &TraceEvent);
+
+    /// Called once after the final event of a run.
+    fn finish(&mut self) {}
+}
+
+/// An [`EventSink`] that buffers every event (tests and tooling).
+#[derive(Debug, Default)]
+pub struct VecSink {
+    /// The collected events.
+    pub events: Vec<TraceEvent>,
+}
+
+impl EventSink for VecSink {
+    fn event(&mut self, ev: &TraceEvent) {
+        self.events.push(ev.clone());
     }
 }
 

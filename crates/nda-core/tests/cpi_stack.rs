@@ -1,0 +1,143 @@
+//! Regression and refinement tests for the top-down CPI stack.
+//!
+//! The headline regression: a completed InvisiSpec probe sitting at the
+//! ROB head waiting out its exposure/validation access used to be charged
+//! to `BackendStall` by the coarse classifier. Those cycles are memory
+//! time (or pure defense overhead, `nda-delay`, when the probe hit in
+//! L1) — never a backend-execution stall.
+
+use nda_core::snapshot::HeadWait;
+use nda_core::{run_variant, OooCore, SimConfig, Variant};
+use nda_isa::{Asm, Program, Reg};
+use nda_stats::CpiClass;
+
+/// A loop whose branch condition reloads a slow (DRAM-missing on first
+/// touch) location while the body issues a fast load feeding dependent
+/// adds. Under the speculative shadow of the slow-resolving branch the
+/// fast load is unsafe: Strict withholds its broadcast (`nda-delay`) and
+/// InvisiSpec turns it into a probe that must await exposure at the head.
+fn shadowed_loads_program() -> Program {
+    let mut asm = Asm::new();
+    asm.data_u64s(0x7000, &[0]);
+    asm.data_u64s(0x8000, &[1, 2, 3, 4, 5, 6, 7, 8]);
+    let out = asm.new_label();
+    let top = asm.new_label();
+    asm.li(Reg::X2, 0x8000)
+        .li(Reg::X7, 0x7000)
+        .li(Reg::X5, 16)
+        .li(Reg::X6, 0);
+    asm.bind(top);
+    asm.ld8(Reg::X9, Reg::X7, 0)
+        .bne(Reg::X9, Reg::X0, out)
+        .ld8(Reg::X3, Reg::X2, 0)
+        .add(Reg::X6, Reg::X6, Reg::X3)
+        .add(Reg::X6, Reg::X6, Reg::X3)
+        .addi(Reg::X5, Reg::X5, u64::MAX) // -1
+        .bne(Reg::X5, Reg::X0, top);
+    asm.bind(out);
+    asm.halt();
+    asm.assemble().unwrap()
+}
+
+/// Cycles whose ROB head is a completed probe awaiting exposure must be
+/// charged to a memory class (miss in flight), to `nda-delay` (an L1-hit
+/// probe: pure defense overhead), or to `commit` (the exposure finished
+/// within the same cycle) — never to a backend class.
+#[test]
+fn exposure_wait_cycles_charge_memory_not_backend() {
+    let prog = shadowed_loads_program();
+    let mut core = OooCore::new(SimConfig::for_variant(Variant::InvisiSpecSpectre), &prog);
+    let mut prev = core.stats.cpi_stack;
+    let mut exposure_cycles = 0u64;
+    for _ in 0..200_000u64 {
+        if core.halted() {
+            break;
+        }
+        let waiting = core
+            .snapshot()
+            .head
+            .is_some_and(|h| h.wait == HeadWait::AwaitingExposure);
+        core.step_cycle();
+        let cur = core.stats.cpi_stack;
+        if waiting {
+            exposure_cycles += 1;
+            let charged = CpiClass::all()
+                .into_iter()
+                .find(|&c| cur.get(c) > prev.get(c))
+                .expect("every cycle is classified");
+            assert!(
+                matches!(
+                    charged,
+                    CpiClass::MemL1
+                        | CpiClass::MemL2
+                        | CpiClass::MemDram
+                        | CpiClass::NdaDelay
+                        | CpiClass::Commit
+                ),
+                "exposure-wait cycle {} charged to {}",
+                core.cycle(),
+                charged.name()
+            );
+        }
+        prev = cur;
+    }
+    assert!(core.halted(), "program must finish");
+    assert!(
+        exposure_cycles > 0,
+        "the workload must actually exercise exposure waits"
+    );
+}
+
+/// The fine stack refines the coarse Fig 9a classes exactly: same commit,
+/// same memory, same frontend, and backend = fine backend + nda-delay.
+#[test]
+fn fine_stack_refines_coarse_classes() {
+    let prog = shadowed_loads_program();
+    for v in [
+        Variant::Ooo,
+        Variant::Strict,
+        Variant::FullProtection,
+        Variant::InvisiSpecSpectre,
+        Variant::DelayOnMiss,
+        Variant::InOrder,
+    ] {
+        let s = run_variant(v, &prog, 10_000_000).expect("halts").stats;
+        assert_eq!(s.cpi_stack.total(), s.cycles, "{v}: partition");
+        assert_eq!(s.cpi_stack.get(CpiClass::Commit), s.commit_cycles, "{v}");
+        assert_eq!(s.cpi_stack.memory_total(), s.memory_stall_cycles, "{v}");
+        assert_eq!(
+            s.cpi_stack.get(CpiClass::FrontendFetch) + s.cpi_stack.get(CpiClass::FrontendSquash),
+            s.frontend_stall_cycles,
+            "{v}"
+        );
+        let fine_backend = s.cpi_stack.get(CpiClass::BackendIqFull)
+            + s.cpi_stack.get(CpiClass::BackendRobFull)
+            + s.cpi_stack.get(CpiClass::BackendLsqFull)
+            + s.cpi_stack.get(CpiClass::BackendExec)
+            + s.cpi_stack.get(CpiClass::NdaDelay);
+        assert_eq!(fine_backend, s.backend_stall_cycles, "{v}");
+    }
+}
+
+/// Strict propagation on a dependency chain behind unresolved branches
+/// must surface nonzero `nda-delay` — the class the whole refactor exists
+/// to expose — while Base OoO stays at zero on the same program.
+#[test]
+fn strict_charges_nda_delay_base_does_not() {
+    let prog = shadowed_loads_program();
+
+    let base = run_variant(Variant::Ooo, &prog, 10_000_000).expect("halts");
+    let strict = run_variant(Variant::Strict, &prog, 10_000_000).expect("halts");
+    assert_eq!(
+        base.stats.cpi_stack.get(CpiClass::NdaDelay),
+        0,
+        "unprotected core can never charge nda-delay"
+    );
+    assert_eq!(base.regs, strict.regs, "policy never changes architecture");
+    assert!(
+        strict.stats.cpi_stack.get(CpiClass::NdaDelay) > 0,
+        "Strict must charge the deferred-broadcast wait to nda-delay \
+         (stack: {:?})",
+        strict.stats.cpi_stack
+    );
+}

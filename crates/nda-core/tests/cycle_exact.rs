@@ -8,7 +8,7 @@
 //! scheduling drift shows up as a hard failure rather than a silent CPI
 //! shift.
 
-use nda_core::{run_with_config, SimConfig, Variant};
+use nda_core::{run_with_config, OooCore, SimConfig, Variant, VecSink};
 use nda_isa::{Asm, Reg};
 
 /// A program exercising every timing-relevant mechanism at once: cache
@@ -77,4 +77,27 @@ fn mixed_load_branch_fence_cycle_counts_are_pinned() {
         got, PINS,
         "simulated timing drifted from the pinned baseline"
     );
+}
+
+/// Attaching an event sink must not perturb timing: the same pins hold
+/// with per-cycle trace draining enabled. (Tracing is observer-only; a
+/// drift here means an exporter hook leaked into the schedule.)
+#[test]
+fn cycle_pins_hold_with_tracing_enabled() {
+    let prog = mixed_program();
+    for &(v, cycles, insts) in PINS {
+        let mut core = OooCore::new(SimConfig::for_variant(v), &prog);
+        let mut sink = VecSink::default();
+        let r = core.run_with_sink(1_000_000, &mut sink).unwrap();
+        assert_eq!(
+            (r.stats.cycles, r.stats.committed_insts),
+            (cycles, insts),
+            "{v}: tracing changed simulated timing"
+        );
+        assert_eq!(r.regs[4], 31 + 500, "{v}: wrong architectural result");
+        assert!(
+            !sink.events.is_empty(),
+            "{v}: the sink must actually have observed the run"
+        );
+    }
 }

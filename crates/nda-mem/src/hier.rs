@@ -119,6 +119,22 @@ pub struct MemStats {
     pub mlp: Option<f64>,
 }
 
+impl MemStats {
+    /// Export every counter into `reg` under stable `mem.*` names. MLP is
+    /// a derived ratio, not a counter, so it is intentionally excluded
+    /// from the registry document (recompute it from the counters).
+    pub fn export(&self, reg: &mut nda_stats::MetricsRegistry) {
+        reg.counter("mem.l1i.hits", self.l1i.hits);
+        reg.counter("mem.l1i.misses", self.l1i.misses);
+        reg.counter("mem.l1d.hits", self.l1d.hits);
+        reg.counter("mem.l1d.misses", self.l1d.misses);
+        reg.counter("mem.l2.hits", self.l2.hits);
+        reg.counter("mem.l2.misses", self.l2.misses);
+        reg.counter("mem.dram_accesses", self.dram_accesses);
+        reg.counter("mem.prefetches", self.prefetches);
+    }
+}
+
 /// The cache hierarchy + DRAM timing model. See the crate docs for the
 /// separation between timing (here) and architectural bytes
 /// (`nda_isa::SparseMem`).

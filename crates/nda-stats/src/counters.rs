@@ -1,13 +1,18 @@
 //! Per-run simulation counters.
 
-/// Classification of one simulated cycle, following the paper's Fig 9a
-/// definitions exactly:
+use crate::registry::{Hist, MetricsRegistry};
+
+/// The coarse Fig 9a classification of one simulated cycle:
 ///
 /// * `Commit` — at least one instruction retired this cycle.
 /// * `MemoryStall` — the ROB head is an incomplete memory operation.
 /// * `BackendStall` — the ROB head is a non-memory operation not yet ready
 ///   to retire.
 /// * `FrontendStall` — the ROB is empty (or the cycle was spent squashing).
+///
+/// Kept as the aggregate view of [`CpiClass`] (see
+/// [`CpiClass::coarse`]): every fine class rolls up into exactly one of
+/// these four, so the legacy four-way partition still sums to `cycles`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum CycleClass {
@@ -15,6 +20,182 @@ pub enum CycleClass {
     MemoryStall,
     BackendStall,
     FrontendStall,
+}
+
+/// Top-down CPI-stack classification of one simulated cycle. Exactly one
+/// class is charged per cycle, so the classes partition `cycles` exactly.
+///
+/// The classes refine the coarse Fig 9a buckets:
+///
+/// * commit — ≥ 1 instruction retired.
+/// * frontend — empty ROB, split into squash-refill (within the
+///   redirect-to-dispatch latency of a squash) vs fetch-miss (everything
+///   else, dominated by i-cache misses and fetch-buffer drain).
+/// * backend — head present but not memory-bound, split by the resource
+///   actually refusing progress: IQ full, ROB full, LSQ full, or plain
+///   execution latency.
+/// * memory — the head is an in-flight memory operation, split by the
+///   level that serviced (or is servicing) its access.
+/// * nda-delay — the cycle was lost *to the defense itself*: the oldest
+///   non-issued micro-op is ready except for tag broadcasts the NDA
+///   policy is deferring (or the head is complete-but-unbroadcast and
+///   withheld). Zero by construction on Base OoO and In-Order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CpiClass {
+    /// ≥ 1 instruction retired this cycle.
+    Commit,
+    /// Empty ROB: fetch-limited (i-cache miss / fetch-buffer drain).
+    FrontendFetch,
+    /// Empty ROB within the redirect-to-dispatch window of a squash.
+    FrontendSquash,
+    /// Dispatch blocked on a full issue queue.
+    BackendIqFull,
+    /// Dispatch blocked on a full ROB (or exhausted physical registers).
+    BackendRobFull,
+    /// Dispatch blocked on a full load or store queue.
+    BackendLsqFull,
+    /// Head executing or waiting on non-memory execution latency.
+    BackendExec,
+    /// Head memory operation serviced by (or pending at) the L1.
+    MemL1,
+    /// Head memory operation serviced by the L2.
+    MemL2,
+    /// Head memory operation serviced by DRAM.
+    MemDram,
+    /// Cycle lost to NDA's deferred tag broadcast.
+    NdaDelay,
+}
+
+impl CpiClass {
+    /// Number of classes (the [`CpiStack`] array size).
+    pub const COUNT: usize = 11;
+
+    /// Every class, in canonical (reporting) order.
+    pub fn all() -> [CpiClass; CpiClass::COUNT] {
+        [
+            CpiClass::Commit,
+            CpiClass::FrontendFetch,
+            CpiClass::FrontendSquash,
+            CpiClass::BackendIqFull,
+            CpiClass::BackendRobFull,
+            CpiClass::BackendLsqFull,
+            CpiClass::BackendExec,
+            CpiClass::MemL1,
+            CpiClass::MemL2,
+            CpiClass::MemDram,
+            CpiClass::NdaDelay,
+        ]
+    }
+
+    /// Stable metric name (used by the registry and every renderer).
+    pub fn name(self) -> &'static str {
+        match self {
+            CpiClass::Commit => "commit",
+            CpiClass::FrontendFetch => "frontend-fetch",
+            CpiClass::FrontendSquash => "frontend-squash",
+            CpiClass::BackendIqFull => "backend-iq-full",
+            CpiClass::BackendRobFull => "backend-rob-full",
+            CpiClass::BackendLsqFull => "backend-lsq-full",
+            CpiClass::BackendExec => "backend-exec",
+            CpiClass::MemL1 => "mem-l1",
+            CpiClass::MemL2 => "mem-l2",
+            CpiClass::MemDram => "mem-dram",
+            CpiClass::NdaDelay => "nda-delay",
+        }
+    }
+
+    /// The coarse Fig 9a bucket this class rolls up into. `NdaDelay`
+    /// aggregates as a backend stall: the back end is what sits idle while
+    /// the defense withholds a broadcast.
+    pub fn coarse(self) -> CycleClass {
+        match self {
+            CpiClass::Commit => CycleClass::Commit,
+            CpiClass::FrontendFetch | CpiClass::FrontendSquash => CycleClass::FrontendStall,
+            CpiClass::BackendIqFull
+            | CpiClass::BackendRobFull
+            | CpiClass::BackendLsqFull
+            | CpiClass::BackendExec
+            | CpiClass::NdaDelay => CycleClass::BackendStall,
+            CpiClass::MemL1 | CpiClass::MemL2 | CpiClass::MemDram => CycleClass::MemoryStall,
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            CpiClass::Commit => 0,
+            CpiClass::FrontendFetch => 1,
+            CpiClass::FrontendSquash => 2,
+            CpiClass::BackendIqFull => 3,
+            CpiClass::BackendRobFull => 4,
+            CpiClass::BackendLsqFull => 5,
+            CpiClass::BackendExec => 6,
+            CpiClass::MemL1 => 7,
+            CpiClass::MemL2 => 8,
+            CpiClass::MemDram => 9,
+            CpiClass::NdaDelay => 10,
+        }
+    }
+}
+
+impl std::fmt::Display for CpiClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-class cycle counts of the top-down CPI stack.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CpiStack {
+    counts: [u64; CpiClass::COUNT],
+}
+
+impl CpiStack {
+    /// A zeroed stack.
+    pub fn new() -> CpiStack {
+        CpiStack::default()
+    }
+
+    /// Charge one cycle to `class`.
+    pub fn record(&mut self, class: CpiClass) {
+        self.counts[class.index()] += 1;
+    }
+
+    /// Charge `n` cycles to `class` (the blocking in-order model accounts
+    /// whole latencies at once).
+    pub fn add(&mut self, class: CpiClass, n: u64) {
+        self.counts[class.index()] += n;
+    }
+
+    /// Overwrite the count for `class` (used for remainder classes
+    /// computed at end of run).
+    pub fn set(&mut self, class: CpiClass, n: u64) {
+        self.counts[class.index()] = n;
+    }
+
+    /// Cycles charged to `class`.
+    pub fn get(&self, class: CpiClass) -> u64 {
+        self.counts[class.index()]
+    }
+
+    /// Sum over all classes. Equals `cycles` on any completed
+    /// full-detail run (the partition invariant).
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Cycles charged to the three memory classes combined.
+    pub fn memory_total(&self) -> u64 {
+        self.get(CpiClass::MemL1) + self.get(CpiClass::MemL2) + self.get(CpiClass::MemDram)
+    }
+
+    /// `(class, count)` pairs in canonical order.
+    pub fn entries(&self) -> [(CpiClass, u64); CpiClass::COUNT] {
+        let mut out = [(CpiClass::Commit, 0); CpiClass::COUNT];
+        for (slot, class) in out.iter_mut().zip(CpiClass::all()) {
+            *slot = (class, self.get(class));
+        }
+        out
+    }
 }
 
 /// Counter block filled by every core model.
@@ -70,6 +251,15 @@ pub struct SimStats {
     pub broadcasts: u64,
     /// Loads that bypassed at least one unresolved-address store.
     pub store_bypasses: u64,
+
+    /// Fine-grained top-down cycle accounting (refines the four `*_cycles`
+    /// aggregates above; both partitions sum to `cycles`).
+    pub cpi_stack: CpiStack,
+    /// Per-instruction dispatch→issue latency distribution (Fig 9d).
+    pub d2i_hist: Hist,
+    /// Per-broadcast complete→broadcast gap distribution for deferred
+    /// broadcasts — NDA's wake-up delay made measurable.
+    pub defer_hist: Hist,
 }
 
 impl SimStats {
@@ -78,13 +268,35 @@ impl SimStats {
         SimStats::default()
     }
 
-    /// Record one cycle of the Fig 9a classification.
-    pub fn record_cycle(&mut self, class: CycleClass) {
+    /// Charge one cycle to a CPI-stack class. The coarse Fig 9a aggregate
+    /// ([`CpiClass::coarse`]) is updated in the same step, so the legacy
+    /// four-way partition stays exact too.
+    pub fn record_cycle(&mut self, class: CpiClass) {
+        self.cpi_stack.record(class);
+        self.record_coarse(class.coarse());
+    }
+
+    /// Charge one cycle to a coarse Fig 9a class only (no CPI-stack
+    /// entry). Internal helper; models that classify cycles must go
+    /// through [`SimStats::record_cycle`] so both partitions agree.
+    fn record_coarse(&mut self, class: CycleClass) {
         match class {
             CycleClass::Commit => self.commit_cycles += 1,
             CycleClass::MemoryStall => self.memory_stall_cycles += 1,
             CycleClass::BackendStall => self.backend_stall_cycles += 1,
             CycleClass::FrontendStall => self.frontend_stall_cycles += 1,
+        }
+    }
+
+    /// Charge `n` cycles at once to a CPI-stack class (blocking in-order
+    /// model), keeping the coarse aggregate in sync.
+    pub fn add_cycles(&mut self, class: CpiClass, n: u64) {
+        self.cpi_stack.add(class, n);
+        match class.coarse() {
+            CycleClass::Commit => self.commit_cycles += n,
+            CycleClass::MemoryStall => self.memory_stall_cycles += n,
+            CycleClass::BackendStall => self.backend_stall_cycles += n,
+            CycleClass::FrontendStall => self.frontend_stall_cycles += n,
         }
     }
 
@@ -159,6 +371,32 @@ impl SimStats {
             self.frontend_stall_cycles as f64 / t,
         )
     }
+
+    /// Export every counter and histogram into `reg` under stable `sim.*`
+    /// and `cpi_stack.*` names.
+    pub fn export(&self, reg: &mut MetricsRegistry) {
+        reg.counter("sim.cycles", self.cycles);
+        reg.counter("sim.committed_insts", self.committed_insts);
+        reg.counter("sim.committed_loads", self.committed_loads);
+        reg.counter("sim.committed_stores", self.committed_stores);
+        reg.counter("sim.committed_branches", self.committed_branches);
+        reg.counter("sim.branch_mispredicts", self.branch_mispredicts);
+        reg.counter("sim.mem_order_violations", self.mem_order_violations);
+        reg.counter("sim.squashes", self.squashes);
+        reg.counter("sim.faults", self.faults);
+        reg.counter("sim.wrong_path_executed", self.wrong_path_executed);
+        reg.counter("sim.issued_insts", self.issued_insts);
+        reg.counter("sim.issue_active_cycles", self.issue_active_cycles);
+        reg.counter("sim.dispatch_to_issue_total", self.dispatch_to_issue_total);
+        reg.counter("sim.deferred_broadcasts", self.deferred_broadcasts);
+        reg.counter("sim.broadcasts", self.broadcasts);
+        reg.counter("sim.store_bypasses", self.store_bypasses);
+        for (class, count) in self.cpi_stack.entries() {
+            reg.counter(&format!("cpi_stack.{}", class.name()), count);
+        }
+        reg.histogram("sim.dispatch_to_issue", self.d2i_hist);
+        reg.histogram("sim.broadcast_defer", self.defer_hist);
+    }
 }
 
 #[cfg(test)]
@@ -206,17 +444,79 @@ mod tests {
     #[test]
     fn record_cycle_classifies() {
         let mut s = SimStats::new();
-        s.record_cycle(CycleClass::Commit);
-        s.record_cycle(CycleClass::MemoryStall);
-        s.record_cycle(CycleClass::MemoryStall);
-        s.record_cycle(CycleClass::BackendStall);
-        s.record_cycle(CycleClass::FrontendStall);
+        s.record_cycle(CpiClass::Commit);
+        s.record_cycle(CpiClass::MemL1);
+        s.record_cycle(CpiClass::MemDram);
+        s.record_cycle(CpiClass::BackendExec);
+        s.record_cycle(CpiClass::FrontendFetch);
         s.cycles = 5;
         let (c, m, b, f) = s.cycle_breakdown();
         assert!((c - 0.2).abs() < 1e-9);
         assert!((m - 0.4).abs() < 1e-9);
         assert!((b - 0.2).abs() < 1e-9);
         assert!((f - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fine_and_coarse_partitions_agree() {
+        let mut s = SimStats::new();
+        for (i, class) in CpiClass::all().into_iter().enumerate() {
+            for _ in 0..=i {
+                s.record_cycle(class);
+            }
+        }
+        let coarse = s.commit_cycles
+            + s.memory_stall_cycles
+            + s.backend_stall_cycles
+            + s.frontend_stall_cycles;
+        assert_eq!(s.cpi_stack.total(), coarse);
+        assert_eq!(s.cpi_stack.get(CpiClass::Commit), 1);
+        assert_eq!(s.cpi_stack.get(CpiClass::NdaDelay), 11);
+        // NdaDelay rolls up as a backend stall.
+        assert_eq!(
+            s.backend_stall_cycles,
+            s.cpi_stack.get(CpiClass::BackendIqFull)
+                + s.cpi_stack.get(CpiClass::BackendRobFull)
+                + s.cpi_stack.get(CpiClass::BackendLsqFull)
+                + s.cpi_stack.get(CpiClass::BackendExec)
+                + s.cpi_stack.get(CpiClass::NdaDelay)
+        );
+    }
+
+    #[test]
+    fn add_cycles_batches() {
+        let mut s = SimStats::new();
+        s.add_cycles(CpiClass::MemDram, 144);
+        s.add_cycles(CpiClass::Commit, 3);
+        assert_eq!(s.memory_stall_cycles, 144);
+        assert_eq!(s.commit_cycles, 3);
+        assert_eq!(s.cpi_stack.total(), 147);
+    }
+
+    #[test]
+    fn cpi_class_names_are_unique_and_stable() {
+        let names: Vec<&str> = CpiClass::all().iter().map(|c| c.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), CpiClass::COUNT);
+        assert_eq!(names[0], "commit");
+        assert_eq!(names[CpiClass::COUNT - 1], "nda-delay");
+    }
+
+    #[test]
+    fn export_registers_stack_and_histograms() {
+        let mut s = SimStats::new();
+        s.cycles = 10;
+        s.record_cycle(CpiClass::NdaDelay);
+        s.d2i_hist.observe(3);
+        s.defer_hist.observe(7);
+        let mut reg = MetricsRegistry::new();
+        s.export(&mut reg);
+        assert_eq!(reg.get_counter("sim.cycles"), Some(10));
+        assert_eq!(reg.get_counter("cpi_stack.nda-delay"), Some(1));
+        assert_eq!(reg.get_histogram("sim.dispatch_to_issue").unwrap().sum, 3);
+        assert_eq!(reg.get_histogram("sim.broadcast_defer").unwrap().sum, 7);
     }
 
     #[test]

@@ -1,0 +1,353 @@
+//! Typed metrics registry: named counters and fixed-log2-bucket
+//! histograms with stable names and hand-rolled JSON serialization.
+//!
+//! The registry is the export surface of the observability layer: every
+//! counter block ([`crate::SimStats`], `nda_mem::MemStats`) knows how to
+//! dump itself into a [`MetricsRegistry`], and `nda-sim sweep
+//! --metrics-out` emits one registry document per (workload, variant)
+//! cell. Names are dotted paths (`sim.cycles`, `cpi_stack.nda-delay`,
+//! `mem.l1d.misses`) and iteration order is always lexicographic, so two
+//! documents from the same simulator version diff cleanly.
+
+use std::collections::BTreeMap;
+
+/// Number of histogram buckets: bucket 0 holds the value `0`, bucket `i`
+/// (1..=15) holds values in `[2^(i-1), 2^i)`, bucket 16 is the overflow
+/// bucket for values `>= 2^15`.
+pub const HIST_BUCKETS: usize = 17;
+
+/// A fixed-size log2-bucket histogram.
+///
+/// The bucket array is a fixed-size `[u64; 17]` so the type stays `Copy`
+/// and can be embedded directly in per-run counter blocks (which are
+/// snapshotted wholesale by the pipeline watchdog and the sampled-run
+/// machinery).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Hist {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Log2 buckets (see [`HIST_BUCKETS`]).
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+impl Hist {
+    /// A fresh, empty histogram.
+    pub fn new() -> Hist {
+        Hist::default()
+    }
+
+    /// The bucket index a value lands in.
+    pub fn bucket_index(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            ((64 - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+        }
+    }
+
+    /// The half-open value range `[lo, hi)` covered by bucket `i`
+    /// (`hi = u64::MAX` for the overflow bucket).
+    pub fn bucket_range(i: usize) -> (u64, u64) {
+        match i {
+            0 => (0, 1),
+            _ if i < HIST_BUCKETS - 1 => (1 << (i - 1), 1 << i),
+            _ => (1 << (HIST_BUCKETS - 2), u64::MAX),
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, v: u64) {
+        self.count += 1;
+        self.sum += v;
+        self.buckets[Hist::bucket_index(v)] += 1;
+    }
+
+    /// Mean of all observations (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// `true` when nothing has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Accumulate another histogram into this one.
+    pub fn merge(&mut self, other: &Hist) {
+        self.count += other.count;
+        self.sum += other.sum;
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+}
+
+/// One registered metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Metric {
+    /// A monotonically accumulated count.
+    Counter(u64),
+    /// A log2-bucket histogram.
+    Histogram(Hist),
+}
+
+/// A named collection of metrics with stable (lexicographic) iteration
+/// order and JSON export.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    metrics: BTreeMap<String, Metric>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Set (or overwrite) a counter.
+    pub fn counter(&mut self, name: &str, value: u64) {
+        self.metrics
+            .insert(name.to_string(), Metric::Counter(value));
+    }
+
+    /// Add to a counter, creating it at zero first if absent.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        match self.metrics.get_mut(name) {
+            Some(Metric::Counter(v)) => *v += delta,
+            _ => {
+                self.metrics
+                    .insert(name.to_string(), Metric::Counter(delta));
+            }
+        }
+    }
+
+    /// Set (or overwrite) a histogram.
+    pub fn histogram(&mut self, name: &str, h: Hist) {
+        self.metrics.insert(name.to_string(), Metric::Histogram(h));
+    }
+
+    /// Look up a counter by name.
+    pub fn get_counter(&self, name: &str) -> Option<u64> {
+        match self.metrics.get(name) {
+            Some(Metric::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Look up a histogram by name.
+    pub fn get_histogram(&self, name: &str) -> Option<&Hist> {
+        match self.metrics.get(name) {
+            Some(Metric::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// `true` when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Iterate metrics in stable lexicographic name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Metric)> {
+        self.metrics.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Merge another registry into this one: counters add, histograms
+    /// accumulate, names only in `other` are copied over.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, m) in other.iter() {
+            match (self.metrics.get_mut(name), m) {
+                (Some(Metric::Counter(a)), Metric::Counter(b)) => *a += b,
+                (Some(Metric::Histogram(a)), Metric::Histogram(b)) => a.merge(b),
+                _ => {
+                    self.metrics.insert(name.to_string(), *m);
+                }
+            }
+        }
+    }
+
+    /// Serialize to a JSON object:
+    /// `{"counters":{...},"histograms":{"name":{"count":..,"sum":..,"buckets":[..]}}}`.
+    /// Key order is lexicographic and therefore stable across runs.
+    pub fn to_json(&self) -> String {
+        let mut counters = String::new();
+        let mut hists = String::new();
+        for (name, m) in self.iter() {
+            match m {
+                Metric::Counter(v) => {
+                    if !counters.is_empty() {
+                        counters.push(',');
+                    }
+                    counters.push_str(&format!("{}:{v}", escape_json(name)));
+                }
+                Metric::Histogram(h) => {
+                    if !hists.is_empty() {
+                        hists.push(',');
+                    }
+                    let buckets: Vec<String> = h.buckets.iter().map(|b| b.to_string()).collect();
+                    hists.push_str(&format!(
+                        "{}:{{\"count\":{},\"sum\":{},\"buckets\":[{}]}}",
+                        escape_json(name),
+                        h.count,
+                        h.sum,
+                        buckets.join(",")
+                    ));
+                }
+            }
+        }
+        format!("{{\"counters\":{{{counters}}},\"histograms\":{{{hists}}}}}")
+    }
+}
+
+/// JSON-escape a string (quotes included in the output).
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hist_buckets_are_log2() {
+        assert_eq!(Hist::bucket_index(0), 0);
+        assert_eq!(Hist::bucket_index(1), 1);
+        assert_eq!(Hist::bucket_index(2), 2);
+        assert_eq!(Hist::bucket_index(3), 2);
+        assert_eq!(Hist::bucket_index(4), 3);
+        assert_eq!(Hist::bucket_index(1 << 14), 15);
+        assert_eq!(Hist::bucket_index(1 << 15), 16);
+        assert_eq!(Hist::bucket_index(u64::MAX), 16);
+    }
+
+    #[test]
+    fn hist_observe_and_mean() {
+        let mut h = Hist::new();
+        assert!(h.is_empty());
+        h.observe(0);
+        h.observe(3);
+        h.observe(9);
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 12);
+        assert_eq!(h.mean(), 4.0);
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[2], 1); // 3 lands in [2,4)
+        assert_eq!(h.buckets[4], 1); // 9 lands in [8,16)
+    }
+
+    #[test]
+    fn hist_bucket_ranges_cover_indices() {
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1000, 1 << 15, u64::MAX / 2] {
+            let i = Hist::bucket_index(v);
+            let (lo, hi) = Hist::bucket_range(i);
+            assert!(lo <= v && v < hi.max(lo + 1), "v={v} i={i} [{lo},{hi})");
+        }
+    }
+
+    #[test]
+    fn hist_merge_adds() {
+        let mut a = Hist::new();
+        let mut b = Hist::new();
+        a.observe(1);
+        b.observe(2);
+        b.observe(100);
+        a.merge(&b);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.sum, 103);
+    }
+
+    #[test]
+    fn registry_counters_and_lookup() {
+        let mut r = MetricsRegistry::new();
+        r.counter("sim.cycles", 100);
+        r.add("sim.cycles", 5);
+        r.add("sim.squashes", 2);
+        assert_eq!(r.get_counter("sim.cycles"), Some(105));
+        assert_eq!(r.get_counter("sim.squashes"), Some(2));
+        assert_eq!(r.get_counter("missing"), None);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn registry_iterates_in_stable_order() {
+        let mut r = MetricsRegistry::new();
+        r.counter("z.last", 1);
+        r.counter("a.first", 2);
+        r.counter("m.middle", 3);
+        let names: Vec<&str> = r.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a.first", "m.middle", "z.last"]);
+    }
+
+    #[test]
+    fn registry_merge_sums_counters_and_hists() {
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        a.counter("c", 1);
+        b.counter("c", 2);
+        b.counter("only_b", 7);
+        let mut h = Hist::new();
+        h.observe(4);
+        a.histogram("h", h);
+        b.histogram("h", h);
+        a.merge(&b);
+        assert_eq!(a.get_counter("c"), Some(3));
+        assert_eq!(a.get_counter("only_b"), Some(7));
+        assert_eq!(a.get_histogram("h").unwrap().count, 2);
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let mut r = MetricsRegistry::new();
+        r.counter("b", 2);
+        r.counter("a", 1);
+        let mut h = Hist::new();
+        h.observe(1);
+        r.histogram("lat", h);
+        let j = r.to_json();
+        assert!(j.starts_with("{\"counters\":{\"a\":1,\"b\":2}"), "{j}");
+        assert!(
+            j.contains("\"lat\":{\"count\":1,\"sum\":1,\"buckets\":[0,1,0"),
+            "{j}"
+        );
+    }
+
+    #[test]
+    fn escape_json_handles_specials() {
+        assert_eq!(escape_json("a\"b"), "\"a\\\"b\"");
+        assert_eq!(escape_json("a\\b"), "\"a\\\\b\"");
+        assert_eq!(escape_json("a\nb"), "\"a\\nb\"");
+        assert_eq!(escape_json("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn empty_registry_serializes() {
+        let r = MetricsRegistry::new();
+        assert_eq!(r.to_json(), "{\"counters\":{},\"histograms\":{}}");
+        assert!(r.is_empty());
+    }
+}

@@ -1,0 +1,199 @@
+//! Konata (`Kanata 0004`) O3 pipeview exporter.
+//!
+//! The format gem5's O3PipeView traces convert into; Konata renders one
+//! lane per micro-op with colored stage segments. Mapping:
+//!
+//! | stage | meaning here                                        |
+//! |-------|-----------------------------------------------------|
+//! | `Ds`  | dispatched, waiting to issue                         |
+//! | `Ex`  | executing                                           |
+//! | `Wb`  | completed, awaiting tag broadcast — the NDA deferral |
+//! | `Cm`  | broadcast done, awaiting retirement                 |
+//!
+//! A long `Wb` segment under `strict-*` policies *is* the paper's deferred
+//! broadcast. Cache misses and mispredicts attach as lane annotations.
+//!
+//! File grammar (tab-separated): `C=`/`C` advance the clock, `I` opens a
+//! micro-op (`uid`, `insn-id`, `tid`), `L` adds a label (type 0 = lane
+//! text, type 1 = hover detail), `S`/`E` start/end a stage, `R` retires
+//! (`type` 0) or flushes (`type` 1).
+
+use nda_core::trace::{EventSink, TraceEvent, TraceStage};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Per-uop lane state.
+#[derive(Debug, Clone, Copy)]
+struct Lane {
+    uid: u64,
+    stage: &'static str,
+}
+
+/// An [`EventSink`] producing a Konata pipeview log.
+#[derive(Debug, Default)]
+pub struct KonataSink {
+    body: String,
+    /// In-flight lanes keyed by sequence number.
+    open: BTreeMap<u64, Lane>,
+    /// Monotonic micro-op id (never re-used, unlike sequence numbers).
+    next_uid: u64,
+    /// Clock state: `None` until the first event fixes the start cycle.
+    clock: Option<u64>,
+}
+
+impl KonataSink {
+    /// An empty sink.
+    pub fn new() -> KonataSink {
+        KonataSink::default()
+    }
+
+    /// Advance the log clock to `cycle`.
+    fn sync_clock(&mut self, cycle: u64) {
+        match self.clock {
+            None => {
+                let _ = writeln!(self.body, "C=\t{cycle}");
+                self.clock = Some(cycle);
+            }
+            Some(prev) if cycle > prev => {
+                let _ = writeln!(self.body, "C\t{}", cycle - prev);
+                self.clock = Some(cycle);
+            }
+            _ => {}
+        }
+    }
+
+    fn start_stage(&mut self, seq: u64, stage: &'static str) {
+        let Some(lane) = self.open.get_mut(&seq) else {
+            return;
+        };
+        let uid = lane.uid;
+        let prev = lane.stage;
+        lane.stage = stage;
+        let _ = writeln!(self.body, "E\t{uid}\t0\t{prev}");
+        let _ = writeln!(self.body, "S\t{uid}\t0\t{stage}");
+    }
+
+    fn retire(&mut self, seq: u64, flushed: bool) {
+        let Some(lane) = self.open.remove(&seq) else {
+            return;
+        };
+        let uid = lane.uid;
+        let _ = writeln!(self.body, "E\t{uid}\t0\t{}", lane.stage);
+        let _ = writeln!(self.body, "R\t{uid}\t{seq}\t{}", u8::from(flushed));
+    }
+
+    /// Serialize the collected log (header + body).
+    pub fn into_log(self) -> String {
+        let mut out = String::with_capacity(self.body.len() + 16);
+        out.push_str("Kanata\t0004\n");
+        out.push_str(&self.body);
+        out
+    }
+}
+
+impl EventSink for KonataSink {
+    fn event(&mut self, ev: &TraceEvent) {
+        self.sync_clock(ev.cycle);
+        match ev.stage {
+            TraceStage::Dispatch => {
+                // A lane still open under this seq was squash-recycled.
+                self.retire(ev.seq, true);
+                let uid = self.next_uid;
+                self.next_uid += 1;
+                self.open.insert(ev.seq, Lane { uid, stage: "Ds" });
+                let _ = writeln!(self.body, "I\t{uid}\t{}\t0", ev.seq);
+                let _ = writeln!(self.body, "L\t{uid}\t0\t{}: {}", ev.pc, ev.disasm);
+                let _ = writeln!(self.body, "S\t{uid}\t0\tDs");
+            }
+            TraceStage::Issue => self.start_stage(ev.seq, "Ex"),
+            TraceStage::Complete => self.start_stage(ev.seq, "Wb"),
+            TraceStage::Broadcast => self.start_stage(ev.seq, "Cm"),
+            TraceStage::Commit => self.retire(ev.seq, false),
+            TraceStage::Squash => self.retire(ev.seq, true),
+            TraceStage::CacheMiss => {
+                if let Some(lane) = self.open.get(&ev.seq) {
+                    let _ = writeln!(self.body, "L\t{}\t1\tL1 data miss", lane.uid);
+                }
+            }
+            TraceStage::Mispredict => {
+                if let Some(lane) = self.open.get(&ev.seq) {
+                    let _ = writeln!(self.body, "L\t{}\t1\tmispredicted", lane.uid);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64, seq: u64, stage: TraceStage) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            seq,
+            pc: 3,
+            disasm: "add x1, x2, x3".to_string(),
+            stage,
+        }
+    }
+
+    #[test]
+    fn lifecycle_produces_stage_lines() {
+        let mut sink = KonataSink::new();
+        sink.event(&ev(5, 0, TraceStage::Dispatch));
+        sink.event(&ev(6, 0, TraceStage::Issue));
+        sink.event(&ev(8, 0, TraceStage::Complete));
+        sink.event(&ev(12, 0, TraceStage::Broadcast));
+        sink.event(&ev(13, 0, TraceStage::Commit));
+        sink.finish();
+        let log = sink.into_log();
+        assert!(log.starts_with("Kanata\t0004\n"), "{log}");
+        assert!(log.contains("C=\t5"), "{log}");
+        assert!(log.contains("I\t0\t0\t0"), "{log}");
+        assert!(log.contains("S\t0\t0\tWb"), "{log}");
+        assert!(log.contains("S\t0\t0\tCm"), "{log}");
+        assert!(log.contains("R\t0\t0\t0"), "{log}");
+    }
+
+    #[test]
+    fn clock_advances_by_delta() {
+        let mut sink = KonataSink::new();
+        sink.event(&ev(5, 0, TraceStage::Dispatch));
+        sink.event(&ev(9, 0, TraceStage::Issue));
+        let log = sink.into_log();
+        assert!(log.contains("\nC\t4\n"), "{log}");
+    }
+
+    #[test]
+    fn squash_flushes_lane() {
+        let mut sink = KonataSink::new();
+        sink.event(&ev(1, 4, TraceStage::Dispatch));
+        sink.event(&ev(2, 4, TraceStage::Squash));
+        let log = sink.into_log();
+        assert!(log.contains("R\t0\t4\t1"), "{log}");
+    }
+
+    #[test]
+    fn seq_reuse_allocates_fresh_uid() {
+        let mut sink = KonataSink::new();
+        sink.event(&ev(1, 4, TraceStage::Dispatch));
+        sink.event(&ev(2, 4, TraceStage::Squash));
+        sink.event(&ev(5, 4, TraceStage::Dispatch));
+        sink.event(&ev(6, 4, TraceStage::Commit));
+        let log = sink.into_log();
+        assert!(log.contains("I\t1\t4\t0"), "{log}");
+        assert!(log.contains("R\t1\t4\t0"), "{log}");
+    }
+
+    #[test]
+    fn annotations_attach_to_open_lane() {
+        let mut sink = KonataSink::new();
+        sink.event(&ev(1, 0, TraceStage::Dispatch));
+        sink.event(&ev(2, 0, TraceStage::CacheMiss));
+        sink.event(&ev(3, 0, TraceStage::Mispredict));
+        let log = sink.into_log();
+        assert!(log.contains("L\t0\t1\tL1 data miss"), "{log}");
+        assert!(log.contains("L\t0\t1\tmispredicted"), "{log}");
+    }
+}

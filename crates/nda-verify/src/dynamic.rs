@@ -115,7 +115,10 @@ impl<'p> TaintObserver<'p> {
                     // Binding becomes architectural; nothing to roll back.
                     self.live.remove(&e.seq);
                 }
-                TraceStage::Complete | TraceStage::Broadcast => {}
+                TraceStage::Complete
+                | TraceStage::Broadcast
+                | TraceStage::CacheMiss
+                | TraceStage::Mispredict => {}
             }
         }
     }

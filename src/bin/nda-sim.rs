@@ -34,6 +34,9 @@
 //!                       every n instructions (default 0 = full detail)
 //!   --warm <n>          sampled window warm-up instructions (default 2000)
 //!   --detail <n>        sampled window measured instructions (default 2000)
+//!   --trace-out <file>  run/trace: write the full pipeline event trace
+//!   --trace-format <f>  trace file format: perfetto (default) or konata
+//!   --metrics-out <file> run/sweep: write the metrics-registry JSON document
 //! ```
 
 use nda::attacks::{run_attack, AttackKind};
@@ -75,6 +78,9 @@ struct Opts {
     json: bool,
     validate: bool,
     window: Option<usize>,
+    trace_out: Option<String>,
+    trace_format: nda::trace::TraceFormat,
+    metrics_out: Option<String>,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -91,6 +97,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         json: false,
         validate: false,
         window: None,
+        trace_out: None,
+        trace_format: nda::trace::TraceFormat::Perfetto,
+        metrics_out: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -135,6 +144,13 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             }
             "--json" => o.json = true,
             "--validate" => o.validate = true,
+            "--trace-out" => o.trace_out = Some(val("--trace-out")?),
+            "--trace-format" => {
+                let f = val("--trace-format")?;
+                o.trace_format = nda::trace::TraceFormat::parse(&f)
+                    .ok_or(format!("--trace-format: {f:?} (use perfetto or konata)"))?;
+            }
+            "--metrics-out" => o.metrics_out = Some(val("--metrics-out")?),
             "--window" => {
                 o.window = Some(
                     val("--window")?
@@ -237,6 +253,38 @@ fn cmd_run_sampled(
     Ok(())
 }
 
+/// Run a program on an OoO variant while streaming pipeline events into
+/// the selected exporter; the trace file is written even when the run
+/// itself errors out (the partial trace is exactly what one wants then).
+fn run_traced(
+    cfg: nda::SimConfig,
+    prog: &nda::Program,
+    path: &str,
+    format: nda::trace::TraceFormat,
+) -> Result<nda::core::RunResult, String> {
+    use nda::core::OooCore;
+    use nda::trace::{KonataSink, PerfettoSink, TraceFormat};
+    let mut core = OooCore::new(cfg, prog);
+    let (run, payload) = match format {
+        TraceFormat::Perfetto => {
+            let mut sink = PerfettoSink::new();
+            let run = core.run_with_sink(MAX_CYCLES, &mut sink);
+            (run, sink.into_json())
+        }
+        TraceFormat::Konata => {
+            let mut sink = KonataSink::new();
+            let run = core.run_with_sink(MAX_CYCLES, &mut sink);
+            (run, sink.into_log())
+        }
+    };
+    std::fs::write(path, &payload).map_err(|e| format!("write {path}: {e}"))?;
+    eprintln!(
+        "wrote {} bytes of {format:?} trace to {path}",
+        payload.len()
+    );
+    run.map_err(|e| e.to_string())
+}
+
 fn cmd_run(name: &str, o: &Opts) -> Result<(), String> {
     let w = by_name(name).ok_or(format!("unknown workload {name:?} (see `workloads`)"))?;
     let prog = (w.build)(&WorkloadParams {
@@ -244,9 +292,32 @@ fn cmd_run(name: &str, o: &Opts) -> Result<(), String> {
         iters: o.iters,
     });
     if o.sample_every > 0 {
+        if o.trace_out.is_some() || o.metrics_out.is_some() {
+            return Err(
+                "--trace-out/--metrics-out need a full-detail run (drop --sample-every)".into(),
+            );
+        }
         return cmd_run_sampled(w, &prog, o);
     }
-    let r = run_variant(o.variant, &prog, MAX_CYCLES).map_err(|e| e.to_string())?;
+    let r = match &o.trace_out {
+        Some(path) => {
+            if o.variant == Variant::InOrder {
+                return Err("tracing needs an out-of-order variant".into());
+            }
+            run_traced(
+                nda::SimConfig::for_variant(o.variant),
+                &prog,
+                path,
+                o.trace_format,
+            )?
+        }
+        None => run_variant(o.variant, &prog, MAX_CYCLES).map_err(|e| e.to_string())?,
+    };
+    if let Some(path) = &o.metrics_out {
+        let json = r.metrics().to_json();
+        std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("wrote metrics document to {path}");
+    }
     let s = r.stats;
     println!(
         "workload {} on {} (seed {}, {} iters)",
@@ -272,6 +343,18 @@ fn cmd_run(name: &str, o: &Opts) -> Result<(), String> {
     println!(
         "  cycle mix            commit {c:.2} / mem {m:.2} / backend {b:.2} / frontend {f:.2}"
     );
+    println!("  CPI stack (cycles, share of total):");
+    for (class, cycles) in s.cpi_stack.entries() {
+        if cycles == 0 {
+            continue;
+        }
+        println!(
+            "    {:<18}{:>12}   {:>6.2}%",
+            class.name(),
+            cycles,
+            100.0 * cycles as f64 / s.cycles.max(1) as f64
+        );
+    }
     println!(
         "  L1D {}h/{}m  L2 {}h/{}m  DRAM {}  MLP {}",
         r.mem_stats.l1d.hits,
@@ -334,8 +417,9 @@ fn cmd_matrix(o: &Opts) {
     }
 }
 
-fn cmd_sweep(o: &Opts) {
+fn cmd_sweep(o: &Opts) -> Result<(), String> {
     use nda::core::{collect_checkpoints, run_sampled_with};
+    use nda::stats::MetricsRegistry;
     use nda::{SampledParams, SimConfig};
     let sampled =
         (o.sample_every > 0).then(|| SampledParams::new(o.sample_every, o.warm, o.detail));
@@ -354,6 +438,9 @@ fn cmd_sweep(o: &Opts) {
         print!("{:>20}", v.name());
     }
     println!();
+    // Per-workload, per-variant metric registries (merged across samples),
+    // emitted as one JSON document when --metrics-out is given.
+    let mut metrics_doc: Vec<(String, Vec<(String, MetricsRegistry)>)> = Vec::new();
     for w in all() {
         print!("{:<12}", w.name);
         // In sampled mode the functional fast-forward and warming run once
@@ -378,24 +465,63 @@ fn cmd_sweep(o: &Opts) {
             None => programs.iter().map(|_| None).collect(),
         };
         let mut base = None;
+        let mut per_variant: Vec<(String, MetricsRegistry)> = Vec::new();
         for v in Variant::all() {
             let mut cpis = 0.0;
+            let mut merged = MetricsRegistry::new();
             for (prog, set) in programs.iter().zip(&sets) {
-                cpis += match (sampled, set) {
+                let r = match (sampled, set) {
                     (Some(p), Some(set)) => {
-                        let r = run_sampled_with(SimConfig::for_variant(v), prog, set, p)
-                            .expect("halts");
-                        r.sampled.map_or_else(|| r.cpi(), |i| i.cpi.mean)
+                        run_sampled_with(SimConfig::for_variant(v), prog, set, p).expect("halts")
                     }
-                    _ => run_variant(v, prog, MAX_CYCLES).expect("halts").cpi(),
+                    _ => run_variant(v, prog, MAX_CYCLES).expect("halts"),
                 };
+                cpis += r.sampled.map_or_else(|| r.cpi(), |i| i.cpi.mean);
+                if o.metrics_out.is_some() {
+                    merged.merge(&r.metrics());
+                }
             }
             let mean = cpis / o.samples as f64;
             let b = *base.get_or_insert(mean);
             print!("{:>20.3}", mean / b);
+            if o.metrics_out.is_some() {
+                per_variant.push((v.name().to_string(), merged));
+            }
         }
         println!();
+        if o.metrics_out.is_some() {
+            metrics_doc.push((w.name.to_string(), per_variant));
+        }
     }
+    if let Some(path) = &o.metrics_out {
+        let mut out = String::new();
+        out.push_str("{\"schema\":\"nda-metrics-v1\",");
+        out.push_str(&format!(
+            "\"samples\":{},\"iters\":{},\"seed\":{},\"sample_every\":{},",
+            o.samples, o.iters, o.seed, o.sample_every
+        ));
+        out.push_str("\"workloads\":[\n");
+        for (wi, (workload, variants)) in metrics_doc.iter().enumerate() {
+            if wi > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(&format!("{{\"workload\":\"{workload}\",\"variants\":[\n"));
+            for (vi, (variant, reg)) in variants.iter().enumerate() {
+                if vi > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&format!(
+                    "{{\"variant\":\"{variant}\",\"metrics\":{}}}",
+                    reg.to_json()
+                ));
+            }
+            out.push_str("\n]}");
+        }
+        out.push_str("\n]}\n");
+        std::fs::write(path, &out).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("wrote per-variant metrics document to {path}");
+    }
+    Ok(())
 }
 
 fn cmd_save(name: &str, path: &str, o: &Opts) -> Result<(), String> {
@@ -437,7 +563,9 @@ fn cmd_trace(name: &str, o: &Opts) -> Result<(), String> {
     let mut core = OooCore::new(cfg, &program);
     core.enable_trace();
     // Run until the first squash (the first speculation window collapsing),
-    // then a little further so the recovery is visible.
+    // then a little further so the recovery is visible. With --trace-out
+    // the run continues to completion so the exported file covers the
+    // whole attack, not just the window rendered below.
     let mut first_squash = None;
     for _ in 0..500_000 {
         core.step_cycle();
@@ -448,7 +576,7 @@ fn cmd_trace(name: &str, o: &Opts) -> Result<(), String> {
             first_squash = Some(core.cycle());
         }
         if let Some(t) = first_squash {
-            if core.cycle() > t + 60 {
+            if o.trace_out.is_none() && core.cycle() > t + 60 {
                 break;
             }
         }
@@ -473,6 +601,34 @@ fn cmd_trace(name: &str, o: &Opts) -> Result<(), String> {
             48
         )
     );
+    if let Some(path) = &o.trace_out {
+        use nda::core::EventSink;
+        use nda::trace::{KonataSink, PerfettoSink, TraceFormat};
+        let payload = match o.trace_format {
+            TraceFormat::Perfetto => {
+                let mut sink = PerfettoSink::new();
+                for ev in core.trace_events() {
+                    sink.event(ev);
+                }
+                sink.finish();
+                sink.into_json()
+            }
+            TraceFormat::Konata => {
+                let mut sink = KonataSink::new();
+                for ev in core.trace_events() {
+                    sink.event(ev);
+                }
+                sink.finish();
+                sink.into_log()
+            }
+        };
+        std::fs::write(path, &payload).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!(
+            "wrote {} bytes of {:?} trace to {path}",
+            payload.len(),
+            o.trace_format
+        );
+    }
     Ok(())
 }
 
@@ -648,7 +804,7 @@ fn main() -> ExitCode {
             None => Err("analyze needs an attack, workload, or file target".into()),
         },
         "matrix" => parse_opts(&args[1..]).map(|o| cmd_matrix(&o)),
-        "sweep" => parse_opts(&args[1..]).map(|o| cmd_sweep(&o)),
+        "sweep" => parse_opts(&args[1..]).and_then(|o| cmd_sweep(&o)),
         "verify" => parse_opts(&args[1..]).and_then(|o| cmd_verify(&o)),
         other => Err(format!("unknown command {other:?}")),
     };

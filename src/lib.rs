@@ -45,6 +45,7 @@ pub use nda_isa as isa;
 pub use nda_mem as mem;
 pub use nda_predict as predict;
 pub use nda_stats as stats;
+pub use nda_trace as trace;
 pub use nda_verify as verify;
 pub use nda_workloads as workloads;
 

@@ -1,0 +1,70 @@
+//! Differential ordering of the `nda-delay` CPI class across policy
+//! strengths.
+//!
+//! Each NDA policy in the Permissive → Strict+BR → Full Protection chain
+//! marks a superset of instructions unsafe, so the cycles the classifier
+//! attributes to withheld tag broadcasts can only grow along the chain.
+//! The check runs on the Fig 7 workload suite with a few seeded samples
+//! per cell and compares means with the 95 % confidence machinery from
+//! `nda-stats` — a deterministic simulator has zero within-seed variance,
+//! but across seeds the ordering must survive the interval, not just the
+//! point estimate.
+
+use nda::core::{run_variant, Variant};
+use nda::stats::{CpiClass, Sample};
+use nda::workloads::{all, WorkloadParams};
+
+const SAMPLES: u64 = 3;
+const ITERS: u64 = 30;
+
+/// Mean ± CI of nda-delay cycles for one (workload, variant) cell.
+fn nda_delay_sample(w: &nda::workloads::Workload, v: Variant) -> Sample {
+    let values: Vec<f64> = (0..SAMPLES)
+        .map(|s| {
+            let prog = (w.build)(&WorkloadParams {
+                seed: 1 + s,
+                iters: ITERS,
+            });
+            let r = run_variant(v, &prog, 2_000_000_000).expect("halts");
+            r.stats.cpi_stack.get(CpiClass::NdaDelay) as f64
+        })
+        .collect();
+    Sample::from_values(&values)
+}
+
+#[test]
+fn nda_delay_grows_with_policy_strength() {
+    let chain = [
+        Variant::Permissive,
+        Variant::StrictBr,
+        Variant::FullProtection,
+    ];
+    let mut any_nonzero = false;
+    for w in all() {
+        let samples: Vec<Sample> = chain.iter().map(|&v| nda_delay_sample(w, v)).collect();
+        for (weak, strong) in samples.iter().zip(&samples[1..]) {
+            // Non-decreasing up to the combined confidence slack: the
+            // weaker policy's mean must not exceed the stronger one's by
+            // more than their summed interval half-widths.
+            let slack = weak.ci95 + strong.ci95 + 1e-9;
+            assert!(
+                weak.mean <= strong.mean + slack,
+                "{}: nda-delay decreased with a stronger policy \
+                 (weak {:.1} ± {:.1} vs strong {:.1} ± {:.1})",
+                w.name,
+                weak.mean,
+                weak.ci95,
+                strong.mean,
+                strong.ci95
+            );
+        }
+        if samples.last().unwrap().mean > 0.0 {
+            any_nonzero = true;
+        }
+    }
+    assert!(
+        any_nonzero,
+        "at least one workload must charge nda-delay under Full Protection \
+         (otherwise the ordering is vacuous)"
+    );
+}

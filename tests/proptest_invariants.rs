@@ -85,6 +85,33 @@ proptest! {
         prop_assert!(s.broadcasts >= s.deferred_broadcasts || s.deferred_broadcasts == 0);
     }
 
+    /// The fine-grained CPI stack partitions total cycles exactly on every
+    /// variant — including the in-order baseline and the InvisiSpec
+    /// models — and the `nda-delay` class is charged only by cores that
+    /// can actually withhold results (zero on Base OoO and In-Order).
+    #[test]
+    fn cpi_stack_partitions_cycles_on_every_variant(seed in 0u64..5_000) {
+        let program = generate(seed, GenConfig { target_len: 100, max_depth: 2, indirect: true, fences: false, msrs: true });
+        for v in Variant::all() {
+            let r = nda_core::run_variant(v, &program, 50_000_000).expect("halts");
+            let s = &r.stats;
+            prop_assert_eq!(
+                s.cpi_stack.total(), s.cycles,
+                "{}: CPI classes must partition total cycles", v.name()
+            );
+            // The fine stack refines the coarse one class-for-class.
+            prop_assert_eq!(s.cpi_stack.get(nda_stats::CpiClass::Commit), s.commit_cycles);
+            let coarse_mem = s.cpi_stack.memory_total();
+            prop_assert_eq!(coarse_mem, s.memory_stall_cycles);
+            if matches!(v, Variant::Ooo | Variant::InOrder) {
+                prop_assert_eq!(
+                    s.cpi_stack.get(nda_stats::CpiClass::NdaDelay), 0,
+                    "{}: an unprotected core never defers a broadcast", v.name()
+                );
+            }
+        }
+    }
+
     /// The broadcast-delay knob (Fig 9e) slows execution on aggregate —
     /// individual short programs can invert (delayed resolution perturbs
     /// wrong-path pollution and predictor state), but a batch cannot —
