@@ -1,0 +1,374 @@
+//! Fault isolation for sweep jobs: the [`JobError`] taxonomy, bounded
+//! retries with deterministic backoff, and the seeded [`Chaos`] injection
+//! plan the chaos harness (`nda-verify`) drives.
+//!
+//! The contract of the fault-tolerant executor (`super::sweep`) is that a
+//! failing (workload, variant, sample) cell — a panic, a simulator error,
+//! a blown deadline — degrades *that cell* and nothing else: sibling jobs
+//! keep running, the sweep terminates, and the failure is recorded in the
+//! results (and the journal) instead of aborting the process.
+//!
+//! Everything here is host-side machinery: retries, backoff sleeps and
+//! chaos decisions never touch simulated state, so an all-Ok sweep remains
+//! bit-identical to one run without this layer (pinned by
+//! `tests/determinism.rs`).
+
+use nda_core::SimError;
+use std::error::Error;
+use std::fmt;
+
+/// Why one sweep job (a single attempt at one cell) failed.
+///
+/// Non-exhaustive: the executor may grow new failure modes; callers must
+/// keep a wildcard arm.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum JobError {
+    /// The job's worker panicked; the panic was contained by
+    /// `catch_unwind` and the payload (when it was a string) captured.
+    Panicked {
+        /// The panic payload, or a placeholder for non-string payloads.
+        message: String,
+    },
+    /// The simulation itself failed (unhandled fault, invariant
+    /// violation, PC out of range, ...).
+    Sim(SimError),
+    /// The job blew its per-job deadline: either the cycle budget ran out
+    /// ([`SimError::CycleLimit`]) or the forward-progress watchdog fired
+    /// ([`SimError::Stalled`]). The underlying error is kept as the
+    /// [`source`](Error::source) so diagnostics (pipeline snapshots)
+    /// survive.
+    DeadlineExceeded {
+        /// The configured per-job cycle deadline.
+        limit: u64,
+        /// The watchdog/cycle-budget error that tripped it.
+        cause: SimError,
+    },
+    /// A host I/O operation attributable to this job failed (journal
+    /// record unreadable, record write failed, ...).
+    Io {
+        /// What was being done (e.g. `"write journal record c0-1-0"`).
+        context: String,
+        /// The underlying I/O error text.
+        message: String,
+    },
+}
+
+impl JobError {
+    /// Classify a [`SimError`] from a deadline-bounded run: budget
+    /// exhaustion and watchdog stalls become [`JobError::DeadlineExceeded`]
+    /// (the job was *slow or hung*), everything else stays a simulation
+    /// error (the job was *wrong*).
+    pub fn from_sim(e: SimError, limit: u64) -> JobError {
+        match e {
+            SimError::CycleLimit { .. } | SimError::Stalled { .. } => {
+                JobError::DeadlineExceeded { limit, cause: e }
+            }
+            other => JobError::Sim(other),
+        }
+    }
+
+    /// Short stable label for table cells and journal records:
+    /// `panic`, `sim-error`, `deadline`, or `io`.
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            JobError::Panicked { .. } => "panic",
+            JobError::Sim(_) => "sim-error",
+            JobError::DeadlineExceeded { .. } => "deadline",
+            JobError::Io { .. } => "io",
+        }
+    }
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::Panicked { message } => write!(f, "job panicked: {message}"),
+            JobError::Sim(e) => write!(f, "simulation failed: {e}"),
+            JobError::DeadlineExceeded { limit, cause } => {
+                write!(f, "job exceeded its {limit}-cycle deadline: {cause}")
+            }
+            JobError::Io { context, message } => write!(f, "i/o failure ({context}): {message}"),
+        }
+    }
+}
+
+impl Error for JobError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            JobError::Sim(e) => Some(e),
+            JobError::DeadlineExceeded { cause, .. } => Some(cause),
+            _ => None,
+        }
+    }
+}
+
+/// Install (once, process-wide) a panic hook that suppresses the default
+/// "thread '...' panicked" banner for panics the sweep executor contains:
+/// chaos-injected panics (payload prefixed `chaos:`) and panics raised on
+/// named `nda-sweep-worker-*` threads. Containment records them as
+/// [`JobError::Panicked`] with the full message, so the banner is pure
+/// noise there. Panics anywhere else print as usual.
+pub fn silence_contained_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<&str>()
+                .copied()
+                .or_else(|| info.payload().downcast_ref::<String>().map(String::as_str));
+            let contained = msg.is_some_and(|m| m.starts_with("chaos:"))
+                || std::thread::current()
+                    .name()
+                    .is_some_and(|n| n.starts_with("nda-sweep-worker"));
+            if !contained {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Extract a human-readable message from a `catch_unwind` payload.
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// SplitMix64: the deterministic host-side hash behind backoff jitter and
+/// chaos decisions. No wall-clock, no global state.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Bounded-retry policy with deterministic, seeded backoff.
+///
+/// Backoff is exponential in the attempt number with seeded jitter; the
+/// jitter is a pure function of `(seed, job, attempt)`, so two runs of the
+/// same sweep sleep identically — no wall-clock randomness anywhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per job (first try + retries); at least 1.
+    pub max_attempts: u32,
+    /// Base backoff in milliseconds; `0` disables sleeping entirely
+    /// (useful in tests).
+    pub backoff_base_ms: u64,
+    /// Jitter seed.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// Milliseconds to sleep before retry number `attempt` (1-based — the
+    /// first attempt never sleeps) of flat job index `job`.
+    pub fn backoff_ms(&self, job: usize, attempt: u32) -> u64 {
+        if self.backoff_base_ms == 0 || attempt == 0 {
+            return 0;
+        }
+        // Exponential base, capped so a misconfigured retry count cannot
+        // sleep for minutes, plus deterministic jitter in [0, base).
+        let exp = self.backoff_base_ms << (attempt - 1).min(6);
+        let jitter =
+            splitmix64(self.seed ^ (job as u64).rotate_left(17) ^ u64::from(attempt) << 48)
+                % self.backoff_base_ms;
+        exp + jitter
+    }
+}
+
+/// Deadline the chaos harness imposes on a job it decided to make "slow".
+/// Below even a single cold DRAM fetch, so no real workload — however
+/// tiny — can complete inside it: the attempt reliably degrades to
+/// [`JobError::DeadlineExceeded`].
+pub const CHAOS_SLOW_DEADLINE: u64 = 20;
+
+/// What the chaos plan does to one job attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// Leave the attempt alone.
+    None,
+    /// Panic inside the worker before the simulation starts.
+    Panic,
+    /// Run with an artificially tiny cycle deadline, so the attempt
+    /// degrades to [`JobError::DeadlineExceeded`] — the simulated analogue
+    /// of a wedged-slow host.
+    Slow,
+}
+
+/// Seeded host-level fault-injection plan for sweep jobs.
+///
+/// Decisions are a pure function of `(seed, cell, attempt)`: the same plan
+/// over the same sweep makes identical choices on every run, and a retry
+/// of a probabilistically-failed attempt rolls fresh dice (so retries can
+/// heal transient chaos, which is exactly what the retry budget is for).
+/// The `target` cell, by contrast, fails on *every* attempt — a persistent
+/// fault for acceptance tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Chaos {
+    /// Decision seed.
+    pub seed: u64,
+    /// Percent of job attempts that panic (0-100).
+    pub panic_pct: u8,
+    /// Percent of job attempts that run artificially slow (0-100),
+    /// evaluated after the panic roll.
+    pub slow_pct: u8,
+    /// A single (workload, variant, sample) cell that panics
+    /// unconditionally, on every attempt. For sampled-mode checkpoint
+    /// collection the variant index is [`Chaos::COLLECT_STAGE`].
+    pub target: Option<(u16, u16, u16)>,
+}
+
+impl Chaos {
+    /// Sentinel variant index identifying the sampled-mode checkpoint
+    /// collection stage of a (workload, sample) set in [`Chaos::target`].
+    pub const COLLECT_STAGE: u16 = u16::MAX;
+
+    /// Decide what happens to `attempt` of the job for `cell`
+    /// (workload index, variant index, sample index).
+    pub fn decide(&self, cell: (usize, usize, usize), attempt: u32) -> ChaosAction {
+        let (w, v, s) = cell;
+        if self.target == Some((w as u16, v as u16, s as u16)) {
+            return ChaosAction::Panic;
+        }
+        if self.panic_pct == 0 && self.slow_pct == 0 {
+            return ChaosAction::None;
+        }
+        let h = splitmix64(
+            self.seed ^ (w as u64) << 40 ^ (v as u64) << 20 ^ (s as u64) ^ u64::from(attempt) << 56,
+        );
+        let roll = (h % 100) as u8;
+        if roll < self.panic_pct {
+            ChaosAction::Panic
+        } else if roll < self.panic_pct.saturating_add(self.slow_pct) {
+            ChaosAction::Slow
+        } else {
+            ChaosAction::None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_sim_classifies_deadlines() {
+        let e = JobError::from_sim(
+            SimError::CycleLimit {
+                cycles: 7,
+                snapshot: None,
+            },
+            100,
+        );
+        assert!(matches!(e, JobError::DeadlineExceeded { limit: 100, .. }));
+        assert_eq!(e.kind_label(), "deadline");
+        let e = JobError::from_sim(SimError::PcOutOfRange { pc: 3 }, 100);
+        assert!(matches!(e, JobError::Sim(_)));
+        assert_eq!(e.kind_label(), "sim-error");
+    }
+
+    #[test]
+    fn deadline_error_chains_to_sim_error() {
+        let e = JobError::from_sim(
+            SimError::CycleLimit {
+                cycles: 7,
+                snapshot: None,
+            },
+            100,
+        );
+        let src = e.source().expect("deadline chains its cause");
+        assert!(src.to_string().contains("cycle budget"));
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let p = RetryPolicy {
+            max_attempts: 4,
+            backoff_base_ms: 8,
+            seed: 42,
+        };
+        assert_eq!(p.backoff_ms(3, 0), 0, "first attempt never sleeps");
+        let a = p.backoff_ms(3, 1);
+        assert_eq!(a, p.backoff_ms(3, 1), "same inputs, same backoff");
+        assert!((8..16).contains(&a), "base + jitter in [base, 2*base): {a}");
+        // Exponential growth, capped exponent.
+        assert!(p.backoff_ms(3, 2) >= 16);
+        assert!(p.backoff_ms(3, 40) < 8 << 7);
+        // Zero base disables sleeping.
+        let z = RetryPolicy {
+            backoff_base_ms: 0,
+            ..p
+        };
+        assert_eq!(z.backoff_ms(3, 2), 0);
+    }
+
+    #[test]
+    fn chaos_decisions_are_deterministic_and_respect_rates() {
+        let c = Chaos {
+            seed: 7,
+            panic_pct: 30,
+            slow_pct: 20,
+            target: None,
+        };
+        let mut panics = 0;
+        let mut slows = 0;
+        for w in 0..10 {
+            for v in 0..11 {
+                for s in 0..3 {
+                    let d = c.decide((w, v, s), 0);
+                    assert_eq!(d, c.decide((w, v, s), 0), "deterministic");
+                    match d {
+                        ChaosAction::Panic => panics += 1,
+                        ChaosAction::Slow => slows += 1,
+                        ChaosAction::None => {}
+                    }
+                }
+            }
+        }
+        let total = 10 * 11 * 3;
+        assert!(panics > total / 6 && panics < total / 2, "panics={panics}");
+        assert!(slows > total / 20 && slows < total / 2, "slows={slows}");
+    }
+
+    #[test]
+    fn chaos_target_panics_every_attempt_others_roll_per_attempt() {
+        let c = Chaos {
+            seed: 1,
+            panic_pct: 50,
+            slow_pct: 0,
+            target: Some((2, 3, 0)),
+        };
+        for attempt in 0..5 {
+            assert_eq!(c.decide((2, 3, 0), attempt), ChaosAction::Panic);
+        }
+        // Probabilistic cells re-roll per attempt: over many attempts some
+        // must differ (50% rate makes all-equal astronomically unlikely).
+        let rolls: Vec<ChaosAction> = (0..64).map(|a| c.decide((0, 0, 0), a)).collect();
+        assert!(rolls.iter().any(|&r| r != rolls[0]));
+    }
+
+    #[test]
+    fn zeroed_chaos_is_inert() {
+        let c = Chaos::default();
+        for w in 0..5 {
+            assert_eq!(c.decide((w, 0, 0), 0), ChaosAction::None);
+        }
+    }
+
+    #[test]
+    fn panic_message_extracts_strings() {
+        assert_eq!(panic_message(Box::new("boom")), "boom");
+        assert_eq!(
+            panic_message(Box::new(String::from("heap boom"))),
+            "heap boom"
+        );
+        assert_eq!(panic_message(Box::new(17u32)), "<non-string panic payload>");
+    }
+}

@@ -1,0 +1,630 @@
+//! Crash-safe sweep journal: one checksummed record file per completed
+//! (workload, variant, sample) cell, written atomically, so a killed
+//! sweep resumes by re-running only the missing or failed cells.
+//!
+//! Layout of a journal directory:
+//!
+//! ```text
+//! <dir>/meta.rec          sweep shape pin (workloads/variants/samples/...)
+//! <dir>/c<w>-<v>-<s>.rec  one record per finished cell
+//! <dir>/quarantine/       corrupt records moved aside on load
+//! ```
+//!
+//! Record format (text, line-oriented):
+//!
+//! ```text
+//! nda-journal-v1 <fnv1a64-hex>
+//! status=ok            (or status=failed)
+//! <key>=<value>        bit-exact payload: u64s in decimal,
+//! ...                  f64s as IEEE-754 bit patterns in hex
+//! ```
+//!
+//! The checksum on the header line is FNV-1a 64 over every byte after
+//! that line. Writes go to `<name>.tmp`, are fsynced, then renamed into
+//! place — a kill mid-write leaves at worst a stale `.tmp`, never a
+//! half-written record. A record that fails its checksum (truncated,
+//! bit-flipped) is *quarantined*: moved into `quarantine/` and treated as
+//! missing, so resume re-runs that cell instead of trusting or deleting
+//! the evidence.
+//!
+//! Floats are serialized as `to_bits()` hex so a journaled result is
+//! bit-identical to the in-memory one — the resume-equals-clean-run
+//! property is exact equality, not approximate.
+
+use crate::fault::JobError;
+use nda_core::{RunResult, SampledInfo};
+use nda_mem::{CacheStats, MemStats};
+use nda_stats::{CpiClass, Hist, Sample, SimStats};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Magic prefix of every record's header line.
+const MAGIC: &str = "nda-journal-v1";
+
+/// A cell key: (workload index, variant index, sample index).
+pub type CellKey = (usize, usize, usize);
+
+/// Journal-level failure (as opposed to per-job I/O failures, which are
+/// recorded as [`JobError::Io`] on the affected cell).
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum JournalError {
+    /// An I/O operation on the journal directory itself failed.
+    Io {
+        /// The path involved.
+        path: PathBuf,
+        /// The underlying error text.
+        message: String,
+    },
+    /// The journal on disk was written by a sweep of a different shape
+    /// (different workloads, variants, samples, iters, seed or mode) —
+    /// resuming would silently mix incompatible results.
+    ConfigMismatch {
+        /// What differed.
+        detail: String,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io { path, message } => {
+                write!(f, "journal i/o failure at {}: {message}", path.display())
+            }
+            JournalError::ConfigMismatch { detail } => {
+                write!(
+                    f,
+                    "journal belongs to a different sweep configuration: {detail}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for JournalError {}
+
+/// What a journal directory said on load.
+#[derive(Debug, Default)]
+pub struct JournalState {
+    /// Cells with a valid Ok record; resume skips these.
+    pub ok: HashMap<CellKey, RunResult>,
+    /// Cells whose last attempt was recorded as failed. Resume re-runs
+    /// them (they count as missing), but the set lets callers report how
+    /// much of the journal was degraded.
+    pub failed: HashSet<CellKey>,
+    /// Record files that failed their checksum and were moved into
+    /// `quarantine/`.
+    pub quarantined: Vec<PathBuf>,
+}
+
+/// Handle on a journal directory.
+#[derive(Debug, Clone)]
+pub struct Journal {
+    dir: PathBuf,
+}
+
+/// FNV-1a 64-bit over `data` — small, dependency-free, and plenty to
+/// detect truncation and bit flips (this is corruption detection, not
+/// authentication).
+pub fn fnv1a64(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn io_err(path: &Path, e: impl fmt::Display) -> JournalError {
+    JournalError::Io {
+        path: path.to_path_buf(),
+        message: e.to_string(),
+    }
+}
+
+/// Write `body` to `path` atomically: tmp file in the same directory,
+/// fsync, rename.
+fn write_atomic(path: &Path, body: &str) -> Result<(), JournalError> {
+    let tmp = path.with_extension("tmp");
+    let mut f = fs::File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
+    f.write_all(body.as_bytes()).map_err(|e| io_err(&tmp, e))?;
+    f.sync_all().map_err(|e| io_err(&tmp, e))?;
+    drop(f);
+    fs::rename(&tmp, path).map_err(|e| io_err(path, e))?;
+    Ok(())
+}
+
+/// Frame `payload` with the checksummed header line.
+fn frame(payload: &str) -> String {
+    format!("{MAGIC} {:016x}\n{payload}", fnv1a64(payload.as_bytes()))
+}
+
+/// Validate a record's frame; `None` when the magic or checksum is wrong.
+fn unframe(text: &str) -> Option<&str> {
+    let (header, payload) = text.split_once('\n')?;
+    let (magic, sum_hex) = header.split_once(' ')?;
+    if magic != MAGIC {
+        return None;
+    }
+    let sum = u64::from_str_radix(sum_hex, 16).ok()?;
+    (sum == fnv1a64(payload.as_bytes())).then_some(payload)
+}
+
+impl Journal {
+    /// Open (creating if needed) the journal at `dir` for a sweep
+    /// described by `meta` — a stable string naming the sweep shape.
+    /// An existing journal with a *different* meta is refused
+    /// ([`JournalError::ConfigMismatch`]) rather than silently mixed.
+    /// Returns the handle plus whatever valid progress was on disk.
+    pub fn open(dir: &Path, meta: &str) -> Result<(Journal, JournalState), JournalError> {
+        fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
+        let j = Journal {
+            dir: dir.to_path_buf(),
+        };
+        let meta_path = j.dir.join("meta.rec");
+        match fs::read_to_string(&meta_path) {
+            Ok(text) => match unframe(&text) {
+                Some(existing) if existing == meta => {}
+                Some(existing) => {
+                    return Err(JournalError::ConfigMismatch {
+                        detail: format!("on disk: {existing:?}; this sweep: {meta:?}"),
+                    });
+                }
+                // A corrupt meta record means nothing on disk can be
+                // trusted to belong to this sweep shape.
+                None => {
+                    return Err(JournalError::ConfigMismatch {
+                        detail: format!(
+                            "meta record {} is corrupt; delete the journal to start over",
+                            meta_path.display()
+                        ),
+                    });
+                }
+            },
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                write_atomic(&meta_path, &frame(meta))?;
+            }
+            Err(e) => return Err(io_err(&meta_path, e)),
+        }
+        let state = j.load()?;
+        Ok((j, state))
+    }
+
+    /// The journal directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn record_path(&self, (w, v, s): CellKey) -> PathBuf {
+        self.dir.join(format!("c{w}-{v}-{s}.rec"))
+    }
+
+    /// Journal a successful cell.
+    pub fn record_ok(&self, cell: CellKey, r: &RunResult) -> Result<(), JournalError> {
+        let mut p = String::from("status=ok\n");
+        serialize_run(&mut p, r);
+        write_atomic(&self.record_path(cell), &frame(&p))
+    }
+
+    /// Journal a failed cell (after retries were exhausted). Failed
+    /// records are evidence, not results: resume re-runs the cell.
+    pub fn record_failed(&self, cell: CellKey, e: &JobError) -> Result<(), JournalError> {
+        let p = format!("status=failed\nkind={}\nerror={}\n", e.kind_label(), {
+            // Keep the record line-oriented: the error text is collapsed
+            // onto one line (snapshots are multi-line).
+            e.to_string().replace('\n', " | ")
+        });
+        write_atomic(&self.record_path(cell), &frame(&p))
+    }
+
+    /// Scan the directory, returning every valid record and quarantining
+    /// corrupt ones.
+    fn load(&self) -> Result<JournalState, JournalError> {
+        let mut state = JournalState::default();
+        let entries = fs::read_dir(&self.dir).map_err(|e| io_err(&self.dir, e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err(&self.dir, e))?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            let Some(cell) = parse_record_name(&name) else {
+                continue; // meta.rec, quarantine/, stale .tmp files
+            };
+            let text = fs::read_to_string(&path).map_err(|e| io_err(&path, e))?;
+            match unframe(&text).and_then(parse_record) {
+                Some(Record::Ok(r)) => {
+                    state.ok.insert(cell, r);
+                }
+                Some(Record::Failed) => {
+                    state.failed.insert(cell);
+                }
+                None => {
+                    let qdir = self.dir.join("quarantine");
+                    fs::create_dir_all(&qdir).map_err(|e| io_err(&qdir, e))?;
+                    let qpath = qdir.join(name.as_ref());
+                    fs::rename(&path, &qpath).map_err(|e| io_err(&path, e))?;
+                    state.quarantined.push(qpath);
+                }
+            }
+        }
+        Ok(state)
+    }
+}
+
+/// `c<w>-<v>-<s>.rec` → cell key.
+fn parse_record_name(name: &str) -> Option<CellKey> {
+    let body = name.strip_prefix('c')?.strip_suffix(".rec")?;
+    let mut it = body.splitn(3, '-');
+    let w = it.next()?.parse().ok()?;
+    let v = it.next()?.parse().ok()?;
+    let s = it.next()?.parse().ok()?;
+    Some((w, v, s))
+}
+
+// One short-lived value per record file during load; boxing the
+// (Copy, ~1 KiB) RunResult would buy nothing.
+#[allow(clippy::large_enum_variant)]
+enum Record {
+    Ok(RunResult),
+    Failed,
+}
+
+fn parse_record(payload: &str) -> Option<Record> {
+    let mut kv = BTreeMap::new();
+    for line in payload.lines() {
+        let (k, v) = line.split_once('=')?;
+        kv.insert(k, v);
+    }
+    match kv.get("status").copied() {
+        Some("ok") => deserialize_run(&kv).map(Record::Ok),
+        Some("failed") => Some(Record::Failed),
+        _ => None,
+    }
+}
+
+// --- bit-exact RunResult (de)serialization -------------------------------
+
+fn push_u64(out: &mut String, k: &str, v: u64) {
+    out.push_str(k);
+    out.push('=');
+    out.push_str(&v.to_string());
+    out.push('\n');
+}
+
+fn push_f64(out: &mut String, k: &str, v: f64) {
+    out.push_str(k);
+    out.push('=');
+    out.push_str(&format!("{:016x}", v.to_bits()));
+    out.push('\n');
+}
+
+fn push_list(out: &mut String, k: &str, vs: &[u64]) {
+    out.push_str(k);
+    out.push('=');
+    for (i, v) in vs.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(&v.to_string());
+    }
+    out.push('\n');
+}
+
+fn push_hist(out: &mut String, prefix: &str, h: &Hist) {
+    push_u64(out, &format!("{prefix}.count"), h.count);
+    push_u64(out, &format!("{prefix}.sum"), h.sum);
+    push_list(out, &format!("{prefix}.buckets"), &h.buckets);
+}
+
+/// A canonical, bit-exact text fingerprint of a [`RunResult`]: the journal
+/// record payload, which covers every deterministic field (floats by their
+/// IEEE bits) and excludes host wall-time. Two results fingerprint equal
+/// iff the simulation produced identical numbers — the chaos and
+/// determinism tests compare sweeps through this.
+pub fn fingerprint(r: &RunResult) -> String {
+    let mut out = String::new();
+    serialize_run(&mut out, r);
+    out
+}
+
+fn serialize_run(out: &mut String, r: &RunResult) {
+    let s = &r.stats;
+    push_u64(out, "cycles", s.cycles);
+    push_u64(out, "committed_insts", s.committed_insts);
+    push_u64(out, "committed_loads", s.committed_loads);
+    push_u64(out, "committed_stores", s.committed_stores);
+    push_u64(out, "committed_branches", s.committed_branches);
+    push_u64(out, "branch_mispredicts", s.branch_mispredicts);
+    push_u64(out, "mem_order_violations", s.mem_order_violations);
+    push_u64(out, "squashes", s.squashes);
+    push_u64(out, "faults", s.faults);
+    push_u64(out, "wrong_path_executed", s.wrong_path_executed);
+    push_u64(out, "commit_cycles", s.commit_cycles);
+    push_u64(out, "memory_stall_cycles", s.memory_stall_cycles);
+    push_u64(out, "backend_stall_cycles", s.backend_stall_cycles);
+    push_u64(out, "frontend_stall_cycles", s.frontend_stall_cycles);
+    push_u64(out, "dispatch_to_issue_total", s.dispatch_to_issue_total);
+    push_u64(out, "issued_insts", s.issued_insts);
+    push_u64(out, "issue_active_cycles", s.issue_active_cycles);
+    push_u64(out, "deferred_broadcasts", s.deferred_broadcasts);
+    push_u64(out, "broadcasts", s.broadcasts);
+    push_u64(out, "store_bypasses", s.store_bypasses);
+    for class in CpiClass::all() {
+        push_u64(
+            out,
+            &format!("cpi.{}", class.name()),
+            s.cpi_stack.get(class),
+        );
+    }
+    push_hist(out, "d2i", &s.d2i_hist);
+    push_hist(out, "defer", &s.defer_hist);
+
+    let m = &r.mem_stats;
+    push_u64(out, "mem.l1i.hits", m.l1i.hits);
+    push_u64(out, "mem.l1i.misses", m.l1i.misses);
+    push_u64(out, "mem.l1d.hits", m.l1d.hits);
+    push_u64(out, "mem.l1d.misses", m.l1d.misses);
+    push_u64(out, "mem.l2.hits", m.l2.hits);
+    push_u64(out, "mem.l2.misses", m.l2.misses);
+    push_u64(out, "mem.dram_accesses", m.dram_accesses);
+    push_u64(out, "mem.prefetches", m.prefetches);
+    if let Some(mlp) = m.mlp {
+        push_f64(out, "mem.mlp", mlp);
+    }
+
+    push_list(out, "regs", &r.regs);
+    push_u64(out, "halted", u64::from(r.halted));
+    // host_ns is wall-clock instrumentation, never part of determinism
+    // comparisons; a journaled record stores 0.
+    if let Some(sp) = &r.sampled {
+        push_f64(out, "sampled.cpi.mean", sp.cpi.mean);
+        push_f64(out, "sampled.cpi.ci95", sp.cpi.ci95);
+        push_u64(out, "sampled.cpi.n", sp.cpi.n as u64);
+        push_u64(out, "sampled.detailed_insts", sp.detailed_insts);
+        push_u64(out, "sampled.fast_forwarded_insts", sp.fast_forwarded_insts);
+        push_u64(out, "sampled.windows", sp.windows as u64);
+    }
+}
+
+fn get_u64(kv: &BTreeMap<&str, &str>, k: &str) -> Option<u64> {
+    kv.get(k)?.parse().ok()
+}
+
+fn get_f64_bits(kv: &BTreeMap<&str, &str>, k: &str) -> Option<f64> {
+    Some(f64::from_bits(u64::from_str_radix(kv.get(k)?, 16).ok()?))
+}
+
+fn get_list<const N: usize>(kv: &BTreeMap<&str, &str>, k: &str) -> Option<[u64; N]> {
+    let mut out = [0u64; N];
+    let mut it = kv.get(k)?.split(' ');
+    for slot in &mut out {
+        *slot = it.next()?.parse().ok()?;
+    }
+    it.next().is_none().then_some(out)
+}
+
+fn get_hist(kv: &BTreeMap<&str, &str>, prefix: &str) -> Option<Hist> {
+    Some(Hist {
+        count: get_u64(kv, &format!("{prefix}.count"))?,
+        sum: get_u64(kv, &format!("{prefix}.sum"))?,
+        buckets: get_list(kv, &format!("{prefix}.buckets"))?,
+    })
+}
+
+fn get_cache(kv: &BTreeMap<&str, &str>, prefix: &str) -> Option<CacheStats> {
+    Some(CacheStats {
+        hits: get_u64(kv, &format!("{prefix}.hits"))?,
+        misses: get_u64(kv, &format!("{prefix}.misses"))?,
+    })
+}
+
+fn deserialize_run(kv: &BTreeMap<&str, &str>) -> Option<RunResult> {
+    let mut stats = SimStats::new();
+    stats.cycles = get_u64(kv, "cycles")?;
+    stats.committed_insts = get_u64(kv, "committed_insts")?;
+    stats.committed_loads = get_u64(kv, "committed_loads")?;
+    stats.committed_stores = get_u64(kv, "committed_stores")?;
+    stats.committed_branches = get_u64(kv, "committed_branches")?;
+    stats.branch_mispredicts = get_u64(kv, "branch_mispredicts")?;
+    stats.mem_order_violations = get_u64(kv, "mem_order_violations")?;
+    stats.squashes = get_u64(kv, "squashes")?;
+    stats.faults = get_u64(kv, "faults")?;
+    stats.wrong_path_executed = get_u64(kv, "wrong_path_executed")?;
+    stats.commit_cycles = get_u64(kv, "commit_cycles")?;
+    stats.memory_stall_cycles = get_u64(kv, "memory_stall_cycles")?;
+    stats.backend_stall_cycles = get_u64(kv, "backend_stall_cycles")?;
+    stats.frontend_stall_cycles = get_u64(kv, "frontend_stall_cycles")?;
+    stats.dispatch_to_issue_total = get_u64(kv, "dispatch_to_issue_total")?;
+    stats.issued_insts = get_u64(kv, "issued_insts")?;
+    stats.issue_active_cycles = get_u64(kv, "issue_active_cycles")?;
+    stats.deferred_broadcasts = get_u64(kv, "deferred_broadcasts")?;
+    stats.broadcasts = get_u64(kv, "broadcasts")?;
+    stats.store_bypasses = get_u64(kv, "store_bypasses")?;
+    for class in CpiClass::all() {
+        stats
+            .cpi_stack
+            .set(class, get_u64(kv, &format!("cpi.{}", class.name()))?);
+    }
+    stats.d2i_hist = get_hist(kv, "d2i")?;
+    stats.defer_hist = get_hist(kv, "defer")?;
+
+    let mem_stats = MemStats {
+        l1i: get_cache(kv, "mem.l1i")?,
+        l1d: get_cache(kv, "mem.l1d")?,
+        l2: get_cache(kv, "mem.l2")?,
+        dram_accesses: get_u64(kv, "mem.dram_accesses")?,
+        prefetches: get_u64(kv, "mem.prefetches")?,
+        mlp: if kv.contains_key("mem.mlp") {
+            Some(get_f64_bits(kv, "mem.mlp")?)
+        } else {
+            None
+        },
+    };
+
+    let sampled = if kv.contains_key("sampled.cpi.mean") {
+        Some(SampledInfo {
+            cpi: Sample {
+                mean: get_f64_bits(kv, "sampled.cpi.mean")?,
+                ci95: get_f64_bits(kv, "sampled.cpi.ci95")?,
+                n: get_u64(kv, "sampled.cpi.n")? as usize,
+            },
+            detailed_insts: get_u64(kv, "sampled.detailed_insts")?,
+            fast_forwarded_insts: get_u64(kv, "sampled.fast_forwarded_insts")?,
+            windows: get_u64(kv, "sampled.windows")? as usize,
+        })
+    } else {
+        None
+    };
+
+    Some(RunResult {
+        stats,
+        mem_stats,
+        regs: get_list(kv, "regs")?,
+        halted: get_u64(kv, "halted")? != 0,
+        host_ns: 0,
+        sampled,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nda_core::{run_variant, Variant};
+    use nda_isa::{AluOp, Asm, Reg};
+
+    fn sample_result() -> RunResult {
+        let mut asm = Asm::new();
+        asm.li(Reg::X2, 3)
+            .li(Reg::X3, 4)
+            .alu(AluOp::Mul, Reg::X4, Reg::X2, Reg::X3);
+        asm.halt();
+        let p = asm.assemble().unwrap();
+        run_variant(Variant::StrictBr, &p, 1_000_000).unwrap()
+    }
+
+    fn assert_bit_identical(a: &RunResult, b: &RunResult) {
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.mem_stats, b.mem_stats);
+        assert_eq!(a.regs, b.regs);
+        assert_eq!(a.halted, b.halted);
+        match (a.sampled, b.sampled) {
+            (None, None) => {}
+            (Some(x), Some(y)) => {
+                assert_eq!(x.cpi.mean.to_bits(), y.cpi.mean.to_bits());
+                assert_eq!(x.cpi.ci95.to_bits(), y.cpi.ci95.to_bits());
+                assert_eq!(x.cpi.n, y.cpi.n);
+                assert_eq!(x.detailed_insts, y.detailed_insts);
+                assert_eq!(x.fast_forwarded_insts, y.fast_forwarded_insts);
+                assert_eq!(x.windows, y.windows);
+            }
+            _ => panic!("sampled presence differs"),
+        }
+    }
+
+    #[test]
+    fn run_result_roundtrips_bit_exactly() {
+        let mut r = sample_result();
+        r.sampled = Some(SampledInfo {
+            cpi: Sample {
+                mean: 1.375,
+                ci95: f64::NAN, // NaN bit patterns must survive too
+                n: 3,
+            },
+            detailed_insts: 123,
+            fast_forwarded_insts: 456,
+            windows: 3,
+        });
+        let mut payload = String::from("status=ok\n");
+        serialize_run(&mut payload, &r);
+        let parsed = match parse_record(&payload) {
+            Some(Record::Ok(p)) => p,
+            _ => panic!("roundtrip parse failed"),
+        };
+        assert_bit_identical(&r, &parsed);
+        assert_eq!(
+            parsed.sampled.unwrap().cpi.ci95.to_bits(),
+            f64::NAN.to_bits()
+        );
+    }
+
+    #[test]
+    fn journal_persists_and_reloads() {
+        let dir = std::env::temp_dir().join("nda-journal-test-reload");
+        let _ = fs::remove_dir_all(&dir);
+        let r = sample_result();
+        let (j, state) = Journal::open(&dir, "meta-a").unwrap();
+        assert!(state.ok.is_empty());
+        j.record_ok((0, 1, 2), &r).unwrap();
+        j.record_failed(
+            (0, 2, 2),
+            &JobError::Panicked {
+                message: "boom".into(),
+            },
+        )
+        .unwrap();
+        let (_, state) = Journal::open(&dir, "meta-a").unwrap();
+        assert_eq!(state.ok.len(), 1);
+        assert_bit_identical(&state.ok[&(0, 1, 2)], &r);
+        assert!(state.failed.contains(&(0, 2, 2)));
+        assert!(state.quarantined.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mismatched_meta_is_refused() {
+        let dir = std::env::temp_dir().join("nda-journal-test-meta");
+        let _ = fs::remove_dir_all(&dir);
+        Journal::open(&dir, "meta-a").unwrap();
+        let err = Journal::open(&dir, "meta-b").unwrap_err();
+        assert!(matches!(err, JournalError::ConfigMismatch { .. }));
+        assert!(err.to_string().contains("meta-b"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_records_are_quarantined_not_trusted() {
+        let dir = std::env::temp_dir().join("nda-journal-test-corrupt");
+        let _ = fs::remove_dir_all(&dir);
+        let r = sample_result();
+        let (j, _) = Journal::open(&dir, "m").unwrap();
+        j.record_ok((0, 0, 0), &r).unwrap();
+        j.record_ok((0, 1, 0), &r).unwrap();
+        // Truncate one record, bit-flip another.
+        let p0 = dir.join("c0-0-0.rec");
+        let text = fs::read_to_string(&p0).unwrap();
+        fs::write(&p0, &text[..text.len() / 2]).unwrap();
+        let p1 = dir.join("c0-1-0.rec");
+        let mut bytes = fs::read(&p1).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        fs::write(&p1, &bytes).unwrap();
+        let (_, state) = Journal::open(&dir, "m").unwrap();
+        assert!(state.ok.is_empty());
+        assert_eq!(state.quarantined.len(), 2);
+        for q in &state.quarantined {
+            assert!(q.exists(), "quarantined file kept: {}", q.display());
+        }
+        // The records are gone from the journal proper.
+        assert!(!p0.exists() && !p1.exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn record_names_roundtrip() {
+        assert_eq!(parse_record_name("c3-10-2.rec"), Some((3, 10, 2)));
+        assert_eq!(parse_record_name("meta.rec"), None);
+        assert_eq!(parse_record_name("c3-10-2.tmp"), None);
+        assert_eq!(parse_record_name("quarantine"), None);
+    }
+
+    #[test]
+    fn fnv_vectors() {
+        // Known FNV-1a 64 vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

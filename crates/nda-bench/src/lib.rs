@@ -8,6 +8,12 @@
 //! * [`render`] — plain-text table/series renderers shared by the bench
 //!   targets so `cargo bench` output is directly comparable to the paper.
 //!
+//! * [`mod@fault`] — job isolation: the [`fault::JobError`] taxonomy,
+//!   bounded retries with deterministic backoff, and seeded chaos
+//!   injection ([`fault::Chaos`]).
+//! * [`mod@journal`] — crash-safe resume: checksummed per-cell records
+//!   written atomically, corrupt records quarantined on load.
+//!
 //! Environment knobs (all optional):
 //! * `NDA_SAMPLES` — seeded samples per (workload, variant) cell
 //!   (default 3).
@@ -18,11 +24,21 @@
 //!   checkpoint every N instructions (`0` = full detail, the default).
 //! * `NDA_WARM` / `NDA_DETAIL` — per-window warm / measure instruction
 //!   counts in sampled mode (default 2000 each).
+//! * `NDA_RETRIES` — extra attempts per failed sweep job (default 1).
+//! * `NDA_DEADLINE_CYCLES` — per-job cycle deadline (default 2e9).
 
 #![forbid(unsafe_code)]
 
+pub mod fault;
+pub mod journal;
 pub mod render;
 pub mod sweep;
 
-pub use render::{bar, cpi_class_short, cpi_stack_table, fmt_ci, header_rule};
-pub use sweep::{sweep, CellStats, SweepConfig, SweepMode, SweepResults};
+pub use fault::{silence_contained_panics, Chaos, ChaosAction, JobError, RetryPolicy};
+pub use journal::{fingerprint, CellKey, Journal, JournalError, JournalState};
+pub use render::{
+    bar, cpi_class_short, cpi_stack_table, fmt_ci, header_rule, metrics_document, sweep_table,
+};
+pub use sweep::{
+    sweep, sweep_journaled, sweep_meta, CellStats, CellStatus, SweepConfig, SweepMode, SweepResults,
+};

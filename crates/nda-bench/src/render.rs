@@ -6,7 +6,8 @@
 //! cold reporting path; buffer-reuse APIs here would complicate every
 //! bench for no measurable gain, so the per-call allocations stay.
 
-use nda_stats::{CpiClass, CpiStack, Sample};
+use crate::sweep::{CellStatus, SweepResults};
+use nda_stats::{escape_json, CpiClass, CpiStack, MetricsRegistry, Sample};
 
 /// `mean ± ci` with two decimals.
 pub fn fmt_ci(s: &Sample) -> String {
@@ -70,6 +71,121 @@ pub fn cpi_stack_table(rows: &[(String, CpiStack)]) -> String {
         }
         out.push_str(&format!(" | {:>9.2}x |\n", stack.total() as f64 / base));
     }
+    out
+}
+
+/// The normalised-CPI sweep table (the CLI's mini Fig 7): one row per
+/// workload, one column per variant, each cell the variant's mean CPI
+/// normalised to the first variant. Degraded cells are never silently
+/// omitted: a cell with a failed sample renders `FAILED`, a never-run
+/// cell `SKIPPED`, and each degraded cell gets a trailing `#` detail line
+/// naming the samples and errors involved. An Ok cell whose baseline
+/// (first-variant) cell is degraded has no denominator and renders its
+/// **absolute** CPI as `=N.NNN` instead of a normalised ratio.
+pub fn sweep_table(r: &SweepResults) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<12}", "workload"));
+    for v in &r.variants {
+        out.push_str(&format!("{:>20}", v.name()));
+    }
+    out.push('\n');
+    for (w, name) in r.workloads.iter().enumerate() {
+        out.push_str(&format!("{name:<12}"));
+        let base_ok = r.status(w, 0) == CellStatus::Ok;
+        for v in 0..r.variants.len() {
+            match r.status(w, v) {
+                CellStatus::Ok if base_ok => {
+                    out.push_str(&format!("{:>20.3}", r.normalized_cpi(w, v)))
+                }
+                CellStatus::Ok => {
+                    let abs = format!("={:.3}", r.cell(w, v).cpi.mean);
+                    out.push_str(&format!("{abs:>20}"))
+                }
+                st => out.push_str(&format!("{:>20}", st.label().to_uppercase())),
+            }
+        }
+        out.push('\n');
+    }
+    for (w, v, st) in r.degraded() {
+        let cell = r.cell(w, v);
+        out.push_str(&format!(
+            "# {}/{} {}:",
+            r.workloads[w],
+            r.variants[v].name(),
+            st.label()
+        ));
+        for (s, err) in &cell.failed {
+            let first_line = err.to_string();
+            let first_line = first_line.lines().next().unwrap_or("").to_string();
+            out.push_str(&format!(
+                " sample {s}: {} ({first_line});",
+                err.kind_label()
+            ));
+        }
+        for (s, reason) in &cell.skipped {
+            let first_line = reason.lines().next().unwrap_or("");
+            out.push_str(&format!(" sample {s}: skipped ({first_line});"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// The `nda-metrics-v1` JSON document for a sweep: per (workload, variant)
+/// the registries of every completed sample merged, plus the cell's
+/// degradation status — `"status":"ok|failed|skipped"` and, for degraded
+/// cells, an `"error"` string. Consumers that predate degradation see the
+/// same shape for all-Ok sweeps (the new keys are additive).
+pub fn metrics_document(
+    r: &SweepResults,
+    samples: u64,
+    iters: u64,
+    seed: u64,
+    sample_every: u64,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\"schema\":\"nda-metrics-v1\",");
+    out.push_str(&format!(
+        "\"samples\":{samples},\"iters\":{iters},\"seed\":{seed},\"sample_every\":{sample_every},"
+    ));
+    out.push_str("\"workloads\":[\n");
+    for (w, workload) in r.workloads.iter().enumerate() {
+        if w > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!("{{\"workload\":\"{workload}\",\"variants\":[\n"));
+        for (v, variant) in r.variants.iter().enumerate() {
+            if v > 0 {
+                out.push_str(",\n");
+            }
+            let cell = r.cell(w, v);
+            let mut merged = MetricsRegistry::new();
+            for run in &cell.runs {
+                merged.merge(&run.metrics());
+            }
+            out.push_str(&format!(
+                "{{\"variant\":\"{}\",\"status\":\"{}\",",
+                variant.name(),
+                cell.status().label()
+            ));
+            if cell.status() != CellStatus::Ok {
+                let mut detail = String::new();
+                for (s, err) in &cell.failed {
+                    let first = err.to_string();
+                    let first = first.lines().next().unwrap_or("").to_string();
+                    detail.push_str(&format!("sample {s}: {first}; "));
+                }
+                for (s, reason) in &cell.skipped {
+                    let first = reason.lines().next().unwrap_or("");
+                    detail.push_str(&format!("sample {s}: skipped: {first}; "));
+                }
+                out.push_str(&format!("\"error\":{},", escape_json(detail.trim_end())));
+            }
+            out.push_str(&format!("\"metrics\":{}}}", merged.to_json()));
+        }
+        out.push_str("\n]}");
+    }
+    out.push_str("\n]}\n");
     out
 }
 

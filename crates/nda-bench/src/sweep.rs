@@ -3,21 +3,38 @@
 //! Every (workload, variant, sample) cell is an independent, seeded,
 //! deterministic simulation, so the sweep fans the cells out to a
 //! `std::thread::scope` worker pool fed by a shared atomic job counter
-//! (std only — no runtime dependencies). Each job writes its
-//! [`RunResult`] into a pre-indexed slot, and aggregation walks the slots
-//! in the fixed `workload → variant → sample` order, so the output is
-//! bit-identical to the serial loop regardless of worker scheduling.
-//! `NDA_JOBS=1` takes a dedicated path that *is* the old serial loop.
+//! (std only — no runtime dependencies). Each job writes its outcome into
+//! a pre-indexed slot, and aggregation walks the slots in the fixed
+//! `workload → variant → sample` order, so the output is bit-identical to
+//! the serial loop regardless of worker scheduling. `NDA_JOBS=1` runs the
+//! same jobs inline on the calling thread.
+//!
+//! # Fault isolation
+//!
+//! Jobs are *fault-isolated*: each attempt runs under
+//! [`std::panic::catch_unwind`], failures are classified into the typed
+//! [`JobError`] taxonomy, retried within a bounded budget (deterministic,
+//! seeded backoff — no wall-clock randomness), and bounded by a per-job
+//! cycle deadline built on the forward-progress watchdog. A cell whose
+//! budget is exhausted degrades to [`CellStatus::Failed`] in the results;
+//! it never takes down sibling jobs or the sweep. With an optional
+//! [`Journal`], every finished cell is persisted crash-safely so a killed
+//! sweep resumes by re-running only the missing or failed cells
+//! ([`sweep_journaled`]). Host-side fault injection for testing all of
+//! this lives in [`Chaos`].
 
+use crate::fault::{panic_message, Chaos, ChaosAction, JobError, RetryPolicy, CHAOS_SLOW_DEADLINE};
+use crate::journal::{CellKey, Journal, JournalState};
 use nda_core::{
     collect_checkpoints, run_sampled_with, run_variant, RunResult, SampledParams, SimConfig,
     Variant,
 };
 use nda_stats::Sample;
 use nda_workloads::{Workload, WorkloadParams};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::Instant;
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
 /// Cycle budget per sample (generous: the in-order core is slow).
 pub const SWEEP_MAX_CYCLES: u64 = 2_000_000_000;
@@ -34,7 +51,7 @@ pub enum SweepMode {
     Sampled(SampledParams),
 }
 
-/// Sweep sizing.
+/// Sweep sizing and fault-tolerance budgets.
 #[derive(Debug, Clone, Copy)]
 pub struct SweepConfig {
     /// Seeded samples per cell (SMARTS-style independent measurements).
@@ -42,26 +59,62 @@ pub struct SweepConfig {
     /// Workload outer iterations per sample.
     pub iters: u64,
     /// Worker threads executing sweep cells (`NDA_JOBS`; defaults to the
-    /// host's available parallelism). `1` runs the original serial loop.
+    /// host's available parallelism in [`SweepConfig::from_env`]). `1`
+    /// runs the jobs inline on the calling thread.
     pub jobs: usize,
     /// Full-detail or sampled simulation (`NDA_SAMPLE_EVERY`).
     pub mode: SweepMode,
+    /// Workload seed base: sample `s` builds its program with
+    /// `seed + s`. The historical hard-coded base was 1000.
+    pub seed: u64,
+    /// Extra attempts after a job's first failure (`NDA_RETRIES`).
+    pub retries: u32,
+    /// Base backoff between retry attempts in milliseconds; the actual
+    /// sleep is exponential with deterministic seeded jitter
+    /// ([`RetryPolicy::backoff_ms`]). `0` disables sleeping.
+    pub backoff_ms: u64,
+    /// Per-job cycle deadline (`NDA_DEADLINE_CYCLES`): the simulation
+    /// budget of one full-detail run or one functional checkpoint pass. A
+    /// job that exhausts it (or trips the forward-progress watchdog)
+    /// degrades to [`JobError::DeadlineExceeded`].
+    pub deadline_cycles: u64,
+    /// Host-level fault injection plan; `None` (the default) injects
+    /// nothing.
+    pub chaos: Option<Chaos>,
 }
 
-/// Parse env var `k` as a `u64`, defaulting to `d` when unset. An unset
-/// variable is the normal case; a *set but unparsable* value is almost
-/// certainly a typo the user wants to know about, so warn on stderr
-/// instead of silently falling back.
-fn env_u64(k: &str, d: u64) -> u64 {
-    match std::env::var(k) {
-        Ok(v) => match v.parse() {
+impl Default for SweepConfig {
+    /// Bench-suite sizing with fault tolerance on (one retry), serial
+    /// execution, and no chaos.
+    fn default() -> SweepConfig {
+        SweepConfig {
+            samples: 3,
+            iters: 400,
+            jobs: 1,
+            mode: SweepMode::Full,
+            seed: 1000,
+            retries: 1,
+            backoff_ms: 10,
+            deadline_cycles: SWEEP_MAX_CYCLES,
+            chaos: None,
+        }
+    }
+}
+
+/// Parse environment value `v` (from variable `k`) as a `u64`, defaulting
+/// to `d` when absent. An unset variable is the normal case; a *set but
+/// unparsable* value is almost certainly a typo the user wants to know
+/// about, so warn on stderr instead of silently falling back.
+fn env_u64_with(get: &dyn Fn(&str) -> Option<String>, k: &str, d: u64) -> u64 {
+    match get(k) {
+        Some(v) => match v.parse() {
             Ok(n) => n,
             Err(_) => {
                 eprintln!("warning: ignoring unparsable {k}={v:?}; using default {d}");
                 d
             }
         },
-        Err(_) => d,
+        None => d,
     }
 }
 
@@ -73,25 +126,64 @@ impl SweepConfig {
     /// `NDA_SAMPLE_EVERY=N` (instructions, `0` = off, the default)
     /// switches the sweep to sampled simulation; `NDA_WARM` and
     /// `NDA_DETAIL` size the per-window warm and measure phases (default
-    /// 2000 instructions each).
+    /// 2000 instructions each). `NDA_RETRIES` and `NDA_DEADLINE_CYCLES`
+    /// set the fault-tolerance budgets.
+    ///
+    /// Every variable gets the same warn-and-default treatment: unset is
+    /// silent, unparsable warns on stderr and keeps the default.
     pub fn from_env() -> SweepConfig {
+        SweepConfig::from_env_with(&|k| std::env::var(k).ok())
+    }
+
+    /// [`SweepConfig::from_env`] against an explicit variable source —
+    /// the testable core (process-global `set_var` in tests races across
+    /// threads; injecting the lookup does not).
+    pub fn from_env_with(get: &dyn Fn(&str) -> Option<String>) -> SweepConfig {
         let host = std::thread::available_parallelism()
             .map(|n| n.get() as u64)
             .unwrap_or(1);
-        let sample_every = env_u64("NDA_SAMPLE_EVERY", 0);
+        let d = SweepConfig::default();
+        let sample_every = env_u64_with(get, "NDA_SAMPLE_EVERY", 0);
         SweepConfig {
-            samples: env_u64("NDA_SAMPLES", 3),
-            iters: env_u64("NDA_ITERS", 400),
-            jobs: env_u64("NDA_JOBS", host).max(1) as usize,
+            samples: env_u64_with(get, "NDA_SAMPLES", d.samples),
+            iters: env_u64_with(get, "NDA_ITERS", d.iters),
+            jobs: env_u64_with(get, "NDA_JOBS", host).max(1) as usize,
             mode: if sample_every == 0 {
                 SweepMode::Full
             } else {
                 SweepMode::Sampled(SampledParams::new(
                     sample_every,
-                    env_u64("NDA_WARM", 2_000),
-                    env_u64("NDA_DETAIL", 2_000),
+                    env_u64_with(get, "NDA_WARM", 2_000),
+                    env_u64_with(get, "NDA_DETAIL", 2_000),
                 ))
             },
+            retries: env_u64_with(get, "NDA_RETRIES", u64::from(d.retries)) as u32,
+            deadline_cycles: env_u64_with(get, "NDA_DEADLINE_CYCLES", d.deadline_cycles),
+            ..d
+        }
+    }
+}
+
+/// Health of one (workload, variant) results cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellStatus {
+    /// Every sample completed.
+    Ok,
+    /// At least one sample exhausted its retry budget.
+    Failed,
+    /// At least one sample was never attempted (its shared checkpoint
+    /// collection failed, or its worker died), and none failed outright.
+    Skipped,
+}
+
+impl CellStatus {
+    /// Stable lower-case label (`ok` / `failed` / `skipped`) used by the
+    /// renderer and the `nda-metrics-v1` document.
+    pub fn label(self) -> &'static str {
+        match self {
+            CellStatus::Ok => "ok",
+            CellStatus::Failed => "failed",
+            CellStatus::Skipped => "skipped",
         }
     }
 }
@@ -99,16 +191,35 @@ impl SweepConfig {
 /// Aggregated statistics for one (workload, variant) cell.
 #[derive(Debug, Clone)]
 pub struct CellStats {
-    /// Mean CPI with 95 % CI across samples.
+    /// Mean CPI with 95 % CI across the samples that completed
+    /// (`NaN` mean when none did).
     pub cpi: Sample,
-    /// Raw per-sample results (for the Fig 9 derived statistics).
+    /// Per-sample results of the samples that completed, in sample order
+    /// (for the Fig 9 derived statistics).
     pub runs: Vec<RunResult>,
+    /// Samples whose retry budget was exhausted: (sample index, final
+    /// error).
+    pub failed: Vec<(u64, JobError)>,
+    /// Samples never attempted: (sample index, reason).
+    pub skipped: Vec<(u64, String)>,
 }
 
 impl CellStats {
-    /// Mean of a derived per-run statistic.
+    /// Mean of a derived per-run statistic over the completed samples.
     pub fn mean_of(&self, f: impl Fn(&RunResult) -> f64) -> f64 {
         self.runs.iter().map(f).sum::<f64>() / self.runs.len().max(1) as f64
+    }
+
+    /// The cell's degradation status: any failed sample ⇒ `Failed`, else
+    /// any skipped sample ⇒ `Skipped`, else `Ok`.
+    pub fn status(&self) -> CellStatus {
+        if !self.failed.is_empty() {
+            CellStatus::Failed
+        } else if !self.skipped.is_empty() {
+            CellStatus::Skipped
+        } else {
+            CellStatus::Ok
+        }
     }
 }
 
@@ -129,8 +240,37 @@ impl SweepResults {
         &self.cells[w][v]
     }
 
+    /// Degradation status of cell (w, v).
+    pub fn status(&self, w: usize, v: usize) -> CellStatus {
+        self.cells[w][v].status()
+    }
+
+    /// `true` when every cell completed every sample.
+    pub fn all_ok(&self) -> bool {
+        self.cells
+            .iter()
+            .flatten()
+            .all(|c| c.status() == CellStatus::Ok)
+    }
+
+    /// Every degraded cell as (workload index, variant index, status), in
+    /// sweep order.
+    pub fn degraded(&self) -> Vec<(usize, usize, CellStatus)> {
+        let mut out = Vec::new();
+        for (w, row) in self.cells.iter().enumerate() {
+            for (v, cell) in row.iter().enumerate() {
+                let st = cell.status();
+                if st != CellStatus::Ok {
+                    out.push((w, v, st));
+                }
+            }
+        }
+        out
+    }
+
     /// Mean CPI of `variant` on workload `w`, normalised to the first
-    /// variant (the insecure OoO baseline in every bench).
+    /// variant (the insecure OoO baseline in every bench). `NaN` when
+    /// either cell is degraded to emptiness.
     pub fn normalized_cpi(&self, w: usize, v: usize) -> f64 {
         self.cells[w][v].cpi.mean / self.cells[w][0].cpi.mean
     }
@@ -148,7 +288,7 @@ impl SweepResults {
         (self.geomean_normalized(v) - 1.0) * 100.0
     }
 
-    /// Total simulated cycles across every sample of variant `v`.
+    /// Total simulated cycles across every completed sample of variant `v`.
     pub fn variant_sim_cycles(&self, v: usize) -> u64 {
         self.cells
             .iter()
@@ -189,86 +329,81 @@ impl SweepResults {
     }
 }
 
-/// Run one sample: build the seeded program and simulate it to completion.
-fn run_sample(w: &Workload, v: Variant, s: u64, iters: u64) -> RunResult {
-    let params = WorkloadParams {
-        seed: 1000 + s,
-        iters,
-    };
-    let prog = (w.build)(&params);
-    run_variant(v, &prog, SWEEP_MAX_CYCLES)
-        .unwrap_or_else(|e| panic!("{}/{v}/sample{s}: {e}", w.name))
+/// The outcome of one (workload, variant, sample) cell.
+// One value per cell, immediately unpacked by `aggregate`; boxing the
+// (Copy, ~1 KiB) RunResult would buy nothing.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+enum SampleOutcome {
+    Ok(RunResult),
+    Failed(JobError),
+    Skipped(String),
 }
 
-/// Run one sampled-mode sample: collect checkpoints once (with the first
-/// variant's cache/predictor geometry — all variants share it), then
-/// restore them into every variant's detailed windows. Returns results in
-/// `variants` order. Each result's `host_ns` is that variant's *marginal*
-/// cost (its own detailed windows); the shared functional pass is
-/// amortised across the whole variant list.
-fn run_sample_set(
-    w: &Workload,
-    variants: &[Variant],
-    s: u64,
-    iters: u64,
-    sp: SampledParams,
-) -> Vec<RunResult> {
-    let params = WorkloadParams {
-        seed: 1000 + s,
-        iters,
+/// The stable description of a sweep's identity, pinned into a journal's
+/// `meta.rec` so a journal directory cannot be resumed by a sweep of a
+/// different shape. Budgets (`jobs`, `retries`, `chaos`, backoff) are
+/// deliberately excluded: they change how cells are *executed*, never
+/// what a completed cell's bits are — which is exactly what lets a
+/// chaos-degraded journal be resumed with chaos off.
+pub fn sweep_meta(workloads: &[Workload], variants: &[Variant], cfg: &SweepConfig) -> String {
+    let wl: Vec<&str> = workloads.iter().map(|w| w.name).collect();
+    let vs: Vec<String> = variants.iter().map(|v| v.to_string()).collect();
+    let mode = match cfg.mode {
+        SweepMode::Full => "full".to_string(),
+        SweepMode::Sampled(sp) => format!(
+            "sampled({},{},{},{},{})",
+            sp.sample_every, sp.warm_insts, sp.detail_insts, sp.max_windows, sp.budget_per_phase
+        ),
     };
-    let prog = (w.build)(&params);
-    let set = collect_checkpoints(
-        &SimConfig::for_variant(variants[0]),
-        &prog,
-        sp,
-        SWEEP_MAX_CYCLES,
+    format!(
+        "workloads=[{}] variants=[{}] samples={} iters={} seed={} deadline={} mode={}",
+        wl.join(","),
+        vs.join(","),
+        cfg.samples,
+        cfg.iters,
+        cfg.seed,
+        cfg.deadline_cycles,
+        mode
     )
-    .unwrap_or_else(|e| panic!("{}/checkpoints/sample{s}: {e}", w.name));
-    variants
-        .iter()
-        .map(|&v| {
-            let t = Instant::now();
-            let mut r = run_sampled_with(SimConfig::for_variant(v), &prog, &set, sp)
-                .unwrap_or_else(|e| panic!("{}/{v}/sample{s}: {e}", w.name));
-            r.host_ns = t.elapsed().as_nanos() as u64;
-            r
-        })
-        .collect()
 }
 
-/// Aggregate one cell's runs (sample order) into [`CellStats`].
-fn aggregate(runs: Vec<RunResult>) -> CellStats {
-    // Sampled runs carry an exact window-mean CPI; full runs derive it
-    // from the cycle/instruction counters.
-    let cpis: Vec<f64> = runs
-        .iter()
-        .map(|r| r.sampled.map_or_else(|| r.cpi(), |s| s.cpi.mean))
-        .collect();
-    CellStats {
-        cpi: Sample::from_values(&cpis),
-        runs,
-    }
-}
-
-/// Run the sweep.
-///
-/// With `cfg.jobs > 1` the (workload, variant, sample) cells execute on a
-/// scoped worker pool; results land in pre-indexed slots and are
-/// aggregated in serial order, so the output is bit-identical to
-/// `cfg.jobs == 1` (each cell is an isolated, seeded simulation — no
-/// shared state, no ordering effects).
-///
-/// # Panics
-///
-/// Panics if any sample fails to halt — workloads are self-terminating,
-/// so a failure is a simulator bug. (A worker panic propagates when the
-/// thread scope joins.)
+/// Run the sweep without a journal. See [`sweep_journaled`].
 pub fn sweep(workloads: &[Workload], variants: &[Variant], cfg: SweepConfig) -> SweepResults {
+    sweep_journaled(workloads, variants, cfg, None)
+}
+
+/// Run the sweep, optionally against a resume journal.
+///
+/// With `cfg.jobs > 1` the jobs execute on a scoped worker pool; results
+/// land in pre-indexed slots and are aggregated in serial order, so the
+/// output is bit-identical to `cfg.jobs == 1` (each cell is an isolated,
+/// seeded simulation — no shared state, no ordering effects).
+///
+/// With a journal (open it via [`Journal::open`] with the
+/// [`sweep_meta`] string), cells already Ok on disk are *not* re-run —
+/// their journaled results are used verbatim (journaled `host_ns` is 0) —
+/// and every newly finished cell is recorded crash-safely, so killing the
+/// sweep at any point loses at most the in-flight cells.
+///
+/// This function does not panic and does not abort on job failure: a cell
+/// that exhausts its retry budget is reported as
+/// [`CellStatus::Failed`]/[`CellStatus::Skipped`] in the results while
+/// every other cell completes normally.
+pub fn sweep_journaled(
+    workloads: &[Workload],
+    variants: &[Variant],
+    cfg: SweepConfig,
+    journal: Option<(&Journal, &JournalState)>,
+) -> SweepResults {
+    let empty = JournalState::default();
+    let (journal, state) = match journal {
+        Some((j, s)) => (Some(j), s),
+        None => (None, &empty),
+    };
     let cells = match cfg.mode {
-        SweepMode::Sampled(sp) => sweep_sampled(workloads, variants, cfg, sp),
-        SweepMode::Full if cfg.jobs <= 1 => sweep_serial(workloads, variants, cfg),
-        SweepMode::Full => sweep_parallel(workloads, variants, cfg),
+        SweepMode::Sampled(sp) => sweep_sampled(workloads, variants, &cfg, sp, journal, state),
+        SweepMode::Full => sweep_full(workloads, variants, &cfg, journal, state),
     };
     SweepResults {
         workloads: workloads.iter().map(|w| w.name).collect(),
@@ -277,120 +412,348 @@ pub fn sweep(workloads: &[Workload], variants: &[Variant], cfg: SweepConfig) -> 
     }
 }
 
-/// The original serial nested loop (`NDA_JOBS=1`).
-fn sweep_serial(
-    workloads: &[Workload],
-    variants: &[Variant],
-    cfg: SweepConfig,
-) -> Vec<Vec<CellStats>> {
-    let mut cells = Vec::with_capacity(workloads.len());
-    for w in workloads {
-        let mut row = Vec::with_capacity(variants.len());
-        for &v in variants {
-            let runs = (0..cfg.samples)
-                .map(|s| run_sample(w, v, s, cfg.iters))
-                .collect();
-            row.push(aggregate(runs));
-        }
-        cells.push(row);
+/// Run `total` jobs on `jobs` workers (inline when `jobs <= 1`), writing
+/// each job's value into its pre-indexed slot. Workers are named
+/// `nda-sweep-worker-<n>`; the calling thread participates as worker 0,
+/// so the sweep completes even if every spawn fails. A slot left `None`
+/// means its worker died outside panic containment (an executor bug, not
+/// a job failure) — callers degrade it, they do not panic.
+fn execute<T: Send>(
+    total: usize,
+    jobs: usize,
+    run_one: impl Fn(usize) -> T + Sync,
+) -> Vec<Option<T>> {
+    if jobs <= 1 || total <= 1 {
+        return (0..total).map(|i| Some(run_one(i))).collect();
     }
-    cells
+    let slots: Vec<Mutex<Option<T>>> = (0..total).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let work = || loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= total {
+            break;
+        }
+        let r = run_one(i);
+        *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(r);
+    };
+    std::thread::scope(|scope| {
+        for n in 1..jobs.min(total) {
+            let spawned = std::thread::Builder::new()
+                .name(format!("nda-sweep-worker-{n}"))
+                .spawn_scoped(scope, work);
+            if spawned.is_err() {
+                eprintln!("warning: could not spawn sweep worker {n}; running with fewer workers");
+            }
+        }
+        work();
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().unwrap_or_else(PoisonError::into_inner))
+        .collect()
 }
 
-/// Worker-pool execution: a shared atomic counter hands out flat job
-/// indices `i = ((w * nv) + v) * ns + s`; each worker writes its result
-/// into `slots[i]`. Indices are disjoint, so the per-slot mutexes are
-/// uncontended — they exist only to make the writes safe without
-/// `unsafe`.
-fn sweep_parallel(
+/// Run one job attempt loop: bounded retries, deterministic backoff,
+/// chaos decisions, and panic containment. `attempt_fn` receives the
+/// chaos action for the attempt; any panic it raises (chaos-injected or
+/// real) is contained and classified as [`JobError::Panicked`].
+fn run_with_retries<T>(
+    cfg: &SweepConfig,
+    cell: CellKey,
+    job: usize,
+    mut attempt_fn: impl FnMut(ChaosAction) -> Result<T, JobError>,
+) -> Result<T, JobError> {
+    let policy = RetryPolicy {
+        max_attempts: cfg.retries.saturating_add(1),
+        backoff_base_ms: cfg.backoff_ms,
+        seed: cfg.seed,
+    };
+    let mut last: Option<JobError> = None;
+    for attempt in 0..policy.max_attempts {
+        if attempt > 0 {
+            let ms = policy.backoff_ms(job, attempt);
+            if ms > 0 {
+                std::thread::sleep(Duration::from_millis(ms));
+            }
+        }
+        let action = cfg
+            .chaos
+            .map_or(ChaosAction::None, |c| c.decide(cell, attempt));
+        match catch_unwind(AssertUnwindSafe(|| attempt_fn(action))) {
+            Ok(Ok(t)) => return Ok(t),
+            Ok(Err(e)) => last = Some(e),
+            Err(payload) => {
+                last = Some(JobError::Panicked {
+                    message: panic_message(payload),
+                })
+            }
+        }
+    }
+    Err(last.unwrap_or(JobError::Panicked {
+        message: "retry budget allowed zero attempts".to_string(),
+    }))
+}
+
+fn journal_record_ok(journal: Option<&Journal>, cell: CellKey, r: &RunResult) {
+    if let Some(j) = journal {
+        if let Err(e) = j.record_ok(cell, r) {
+            // The in-memory result is still good; losing the journal
+            // record only costs a re-run on resume. Warn, don't degrade.
+            eprintln!("warning: {e}");
+        }
+    }
+}
+
+fn journal_record_failed(journal: Option<&Journal>, cell: CellKey, err: &JobError) {
+    if let Some(j) = journal {
+        if let Err(e) = j.record_failed(cell, err) {
+            eprintln!("warning: {e}");
+        }
+    }
+}
+
+/// One full-detail cell under the fault budget.
+fn run_cell_full(
+    w: &Workload,
+    v: Variant,
+    cell: CellKey,
+    job: usize,
+    cfg: &SweepConfig,
+) -> Result<RunResult, JobError> {
+    run_with_retries(cfg, cell, job, |action| {
+        if action == ChaosAction::Panic {
+            panic!("chaos: injected panic in {}/{v}/sample{}", w.name, cell.2);
+        }
+        let deadline = if action == ChaosAction::Slow {
+            CHAOS_SLOW_DEADLINE
+        } else {
+            cfg.deadline_cycles
+        };
+        let params = WorkloadParams {
+            seed: cfg.seed + cell.2 as u64,
+            iters: cfg.iters,
+        };
+        let prog = (w.build)(&params);
+        run_variant(v, &prog, deadline).map_err(|e| JobError::from_sim(e, deadline))
+    })
+}
+
+/// Full-detail execution: the unit of work is one (workload, variant,
+/// sample) cell, flat index `i = ((w * nv) + v) * ns + s`.
+fn sweep_full(
     workloads: &[Workload],
     variants: &[Variant],
-    cfg: SweepConfig,
+    cfg: &SweepConfig,
+    journal: Option<&Journal>,
+    state: &JournalState,
 ) -> Vec<Vec<CellStats>> {
-    let (nv, ns) = (variants.len(), cfg.samples as usize);
-    let total = workloads.len() * nv * ns;
-    let slots: Vec<Mutex<Option<RunResult>>> = (0..total).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..cfg.jobs.min(total.max(1)) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= total {
-                    break;
-                }
-                let (w, v, s) = (i / (nv * ns), (i / ns) % nv, i % ns);
-                let r = run_sample(&workloads[w], variants[v], s as u64, cfg.iters);
-                *slots[i].lock().expect("slot lock") = Some(r);
-            });
+    let (nw, nv, ns) = (workloads.len(), variants.len(), cfg.samples as usize);
+    let total = nw * nv * ns;
+    let mut outcomes = execute(total, cfg.jobs, |i| {
+        let cell = (i / (nv * ns), (i / ns) % nv, i % ns);
+        if let Some(r) = state.ok.get(&cell) {
+            return SampleOutcome::Ok(*r);
+        }
+        match run_cell_full(&workloads[cell.0], variants[cell.1], cell, i, cfg) {
+            Ok(r) => {
+                journal_record_ok(journal, cell, &r);
+                SampleOutcome::Ok(r)
+            }
+            Err(e) => {
+                journal_record_failed(journal, cell, &e);
+                SampleOutcome::Failed(e)
+            }
         }
     });
     // Aggregation in fixed serial order: scheduling cannot affect output.
-    let mut it = slots.into_iter();
-    workloads
-        .iter()
-        .map(|_| {
+    (0..nw)
+        .map(|w| {
             (0..nv)
-                .map(|_| {
-                    let runs = (0..ns)
-                        .map(|_| {
-                            it.next()
-                                .expect("slot per job")
-                                .into_inner()
-                                .expect("slot lock")
-                                .expect("every job completed")
-                        })
-                        .collect();
-                    aggregate(runs)
+                .map(|v| {
+                    aggregate(
+                        (0..ns)
+                            .map(|s| take_outcome(&mut outcomes, ((w * nv) + v) * ns + s))
+                            .collect(),
+                    )
                 })
                 .collect()
         })
         .collect()
 }
 
+fn take_outcome(outcomes: &mut [Option<SampleOutcome>], i: usize) -> SampleOutcome {
+    outcomes[i].take().unwrap_or_else(|| {
+        SampleOutcome::Failed(JobError::Panicked {
+            message: "worker thread died outside panic containment".to_string(),
+        })
+    })
+}
+
 /// Sampled-mode execution. The unit of work is a **(workload, sample)**
-/// pair, not a (workload, variant, sample) cell: one functional
+/// set, not a (workload, variant, sample) cell: one functional
 /// fast-forward collects the warmed checkpoints, and all variants reuse
-/// them. A single worker order is used for any job count — each pair is
-/// an isolated, seeded computation, so scheduling cannot affect output
-/// and the serial/parallel results are bit-identical.
+/// them. A single worker order is used for any job count — each set is an
+/// isolated, seeded computation, so scheduling cannot affect output and
+/// the serial/parallel results are bit-identical.
 fn sweep_sampled(
     workloads: &[Workload],
     variants: &[Variant],
-    cfg: SweepConfig,
+    cfg: &SweepConfig,
     sp: SampledParams,
+    journal: Option<&Journal>,
+    state: &JournalState,
 ) -> Vec<Vec<CellStats>> {
-    let (nv, ns) = (variants.len(), cfg.samples as usize);
-    let total = workloads.len() * ns;
-    let slots: Vec<Mutex<Option<Vec<RunResult>>>> = (0..total).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..cfg.jobs.min(total.max(1)) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= total {
-                    break;
-                }
-                let (w, s) = (i / ns, i % ns);
-                let r = run_sample_set(&workloads[w], variants, s as u64, cfg.iters, sp);
-                *slots[i].lock().expect("slot lock") = Some(r);
-            });
-        }
+    let (nw, nv, ns) = (workloads.len(), variants.len(), cfg.samples as usize);
+    let total = nw * ns;
+    let sets = execute(total, cfg.jobs, |i| {
+        let (w, s) = (i / ns, i % ns);
+        run_set_sampled(&workloads[w], w, variants, s, i, cfg, sp, journal, state)
     });
-    let sets: Vec<Vec<RunResult>> = slots
+    let sets: Vec<Vec<SampleOutcome>> = sets
         .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("slot lock")
-                .expect("every job completed")
+        .map(|o| {
+            o.unwrap_or_else(|| {
+                vec![
+                    SampleOutcome::Skipped(
+                        "worker thread died outside panic containment".to_string()
+                    );
+                    nv
+                ]
+            })
         })
         .collect();
-    (0..workloads.len())
+    (0..nw)
         .map(|w| {
             (0..nv)
-                .map(|v| aggregate((0..ns).map(|s| sets[w * ns + s][v]).collect()))
+                .map(|v| aggregate((0..ns).map(|s| sets[w * ns + s][v].clone()).collect()))
                 .collect()
         })
         .collect()
+}
+
+/// One sampled-mode (workload, sample) set: shared checkpoint collection,
+/// then one detailed pass per variant. Failure containment is staged: a
+/// collection failure skips every still-missing variant of the set (there
+/// is nothing to restore), while a per-variant failure degrades that
+/// variant alone. Variants already Ok in the journal are never re-run —
+/// if *all* of them are, the collection pass is skipped entirely.
+#[allow(clippy::too_many_arguments)]
+fn run_set_sampled(
+    w: &Workload,
+    w_idx: usize,
+    variants: &[Variant],
+    s: usize,
+    job: usize,
+    cfg: &SweepConfig,
+    sp: SampledParams,
+    journal: Option<&Journal>,
+    state: &JournalState,
+) -> Vec<SampleOutcome> {
+    let mut out: Vec<Option<SampleOutcome>> = (0..variants.len())
+        .map(|v_idx| {
+            state
+                .ok
+                .get(&(w_idx, v_idx, s))
+                .map(|r| SampleOutcome::Ok(*r))
+        })
+        .collect();
+    if out.iter().all(Option::is_some) {
+        return out.into_iter().flatten().collect();
+    }
+    let collect_cell = (w_idx, Chaos::COLLECT_STAGE as usize, s);
+    let collected = run_with_retries(cfg, collect_cell, job, |action| {
+        if action == ChaosAction::Panic {
+            panic!("chaos: injected panic in {}/checkpoints/sample{s}", w.name);
+        }
+        let max_insts = if action == ChaosAction::Slow {
+            CHAOS_SLOW_DEADLINE
+        } else {
+            cfg.deadline_cycles
+        };
+        let params = WorkloadParams {
+            seed: cfg.seed + s as u64,
+            iters: cfg.iters,
+        };
+        let prog = (w.build)(&params);
+        collect_checkpoints(&SimConfig::for_variant(variants[0]), &prog, sp, max_insts)
+            .map(|set| (prog, set))
+            .map_err(|e| JobError::from_sim(e, max_insts))
+    });
+    let (prog, set) = match collected {
+        Ok(ps) => ps,
+        Err(e) => {
+            let reason = format!("checkpoint collection failed: {e}");
+            for slot in out.iter_mut().filter(|s| s.is_none()) {
+                *slot = Some(SampleOutcome::Skipped(reason.clone()));
+            }
+            return out.into_iter().flatten().collect();
+        }
+    };
+    for (v_idx, &v) in variants.iter().enumerate() {
+        if out[v_idx].is_some() {
+            continue;
+        }
+        let cell = (w_idx, v_idx, s);
+        let r = run_with_retries(cfg, cell, job, |action| {
+            if action == ChaosAction::Panic {
+                panic!("chaos: injected panic in {}/{v}/sample{s}", w.name);
+            }
+            let sp_run = if action == ChaosAction::Slow {
+                SampledParams {
+                    budget_per_phase: CHAOS_SLOW_DEADLINE,
+                    ..sp
+                }
+            } else {
+                sp
+            };
+            let t = Instant::now();
+            run_sampled_with(SimConfig::for_variant(v), &prog, &set, sp_run)
+                .map(|mut r| {
+                    // Marginal cost of this variant's windows only; the
+                    // shared functional pass is amortised across the set.
+                    r.host_ns = t.elapsed().as_nanos() as u64;
+                    r
+                })
+                .map_err(|e| JobError::from_sim(e, sp_run.budget_per_phase))
+        });
+        out[v_idx] = Some(match r {
+            Ok(r) => {
+                journal_record_ok(journal, cell, &r);
+                SampleOutcome::Ok(r)
+            }
+            Err(e) => {
+                journal_record_failed(journal, cell, &e);
+                SampleOutcome::Failed(e)
+            }
+        });
+    }
+    out.into_iter().flatten().collect()
+}
+
+/// Aggregate one cell's sample outcomes (sample order) into [`CellStats`].
+fn aggregate(outcomes: Vec<SampleOutcome>) -> CellStats {
+    let mut runs = Vec::new();
+    let mut failed = Vec::new();
+    let mut skipped = Vec::new();
+    for (s, o) in outcomes.into_iter().enumerate() {
+        match o {
+            SampleOutcome::Ok(r) => runs.push(r),
+            SampleOutcome::Failed(e) => failed.push((s as u64, e)),
+            SampleOutcome::Skipped(reason) => skipped.push((s as u64, reason)),
+        }
+    }
+    // Sampled runs carry an exact window-mean CPI; full runs derive it
+    // from the cycle/instruction counters.
+    let cpis: Vec<f64> = runs
+        .iter()
+        .map(|r| r.sampled.map_or_else(|| r.cpi(), |sp| sp.cpi.mean))
+        .collect();
+    CellStats {
+        cpi: Sample::from_values(&cpis),
+        runs,
+        failed,
+        skipped,
+    }
 }
 
 #[cfg(test)]
@@ -402,7 +765,8 @@ mod tests {
             samples: 2,
             iters: 6,
             jobs,
-            mode: SweepMode::Full,
+            backoff_ms: 0,
+            ..SweepConfig::default()
         }
     }
 
@@ -413,6 +777,8 @@ mod tests {
         let r = sweep(wl, &variants, tiny_cfg(1));
         assert_eq!(r.cells.len(), 2);
         assert_eq!(r.cells[0].len(), 2);
+        assert!(r.all_ok());
+        assert!(r.degraded().is_empty());
         // In-order is slower than OoO on every workload.
         for w in 0..2 {
             assert!(r.normalized_cpi(w, 1) > 1.0, "{}", r.workloads[w]);
@@ -431,5 +797,142 @@ mod tests {
         // run_variant captures host time for every sample.
         assert!(r.variant_host_ns(0) > 0);
         assert!(r.variant_sim_cycles_per_sec(0).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn targeted_chaos_degrades_one_cell_and_nothing_else() {
+        crate::fault::silence_contained_panics();
+        let wl = &nda_workloads::all()[..2];
+        let variants = [Variant::Ooo, Variant::InOrder];
+        let mut cfg = tiny_cfg(2);
+        cfg.chaos = Some(Chaos {
+            target: Some((1, 0, 1)),
+            ..Chaos::default()
+        });
+        let r = sweep(wl, &variants, cfg);
+        assert_eq!(r.status(1, 0), CellStatus::Failed);
+        assert_eq!(r.degraded(), vec![(1, 0, CellStatus::Failed)]);
+        let cell = r.cell(1, 0);
+        assert_eq!(cell.runs.len(), 1, "the other sample completed");
+        assert_eq!(cell.failed.len(), 1);
+        let (s, err) = &cell.failed[0];
+        assert_eq!(*s, 1);
+        assert!(matches!(err, JobError::Panicked { .. }), "{err}");
+        assert!(err.to_string().contains("chaos"), "{err}");
+        // Siblings are untouched.
+        assert_eq!(r.status(0, 0), CellStatus::Ok);
+        assert_eq!(r.status(0, 1), CellStatus::Ok);
+        assert_eq!(r.status(1, 1), CellStatus::Ok);
+    }
+
+    #[test]
+    fn chaos_slow_jobs_degrade_to_deadline_exceeded() {
+        let wl = &nda_workloads::all()[..1];
+        let variants = [Variant::Ooo];
+        let mut cfg = tiny_cfg(1);
+        cfg.retries = 0;
+        // 100% slow: every attempt runs with the tiny chaos deadline.
+        cfg.chaos = Some(Chaos {
+            seed: 3,
+            slow_pct: 100,
+            ..Chaos::default()
+        });
+        let r = sweep(wl, &variants, cfg);
+        assert_eq!(r.status(0, 0), CellStatus::Failed);
+        for (_, err) in &r.cell(0, 0).failed {
+            assert!(
+                matches!(
+                    err,
+                    JobError::DeadlineExceeded {
+                        limit: CHAOS_SLOW_DEADLINE,
+                        ..
+                    }
+                ),
+                "{err}"
+            );
+        }
+    }
+
+    #[test]
+    fn from_env_with_defaults_and_overrides() {
+        let none = |_k: &str| None;
+        let d = SweepConfig::from_env_with(&none);
+        assert_eq!(d.samples, 3);
+        assert_eq!(d.iters, 400);
+        assert_eq!(d.mode, SweepMode::Full);
+        assert_eq!(d.retries, 1);
+        assert_eq!(d.deadline_cycles, SWEEP_MAX_CYCLES);
+        assert!(d.chaos.is_none());
+
+        let set = |k: &str| {
+            Some(
+                match k {
+                    "NDA_SAMPLES" => "5",
+                    "NDA_ITERS" => "77",
+                    "NDA_JOBS" => "2",
+                    "NDA_SAMPLE_EVERY" => "10000",
+                    "NDA_WARM" => "111",
+                    "NDA_DETAIL" => "222",
+                    "NDA_RETRIES" => "4",
+                    "NDA_DEADLINE_CYCLES" => "123456",
+                    _ => return None,
+                }
+                .to_string(),
+            )
+        };
+        let c = SweepConfig::from_env_with(&set);
+        assert_eq!(c.samples, 5);
+        assert_eq!(c.iters, 77);
+        assert_eq!(c.jobs, 2);
+        assert_eq!(c.retries, 4);
+        assert_eq!(c.deadline_cycles, 123_456);
+        match c.mode {
+            SweepMode::Sampled(sp) => {
+                assert_eq!(sp.sample_every, 10_000);
+                assert_eq!(sp.warm_insts, 111);
+                assert_eq!(sp.detail_insts, 222);
+            }
+            SweepMode::Full => panic!("NDA_SAMPLE_EVERY must switch to sampled mode"),
+        }
+    }
+
+    #[test]
+    fn from_env_with_warns_and_defaults_on_unparsable_values() {
+        // Every variable individually bogus must fall back to its default
+        // rather than abort or poison the others.
+        for var in [
+            "NDA_SAMPLES",
+            "NDA_ITERS",
+            "NDA_JOBS",
+            "NDA_SAMPLE_EVERY",
+            "NDA_WARM",
+            "NDA_DETAIL",
+            "NDA_RETRIES",
+            "NDA_DEADLINE_CYCLES",
+        ] {
+            let get = |k: &str| (k == var).then(|| "not-a-number".to_string());
+            let c = SweepConfig::from_env_with(&get);
+            let d = SweepConfig::from_env_with(&|_| None);
+            assert_eq!(c.samples, d.samples, "{var}");
+            assert_eq!(c.iters, d.iters, "{var}");
+            assert_eq!(c.jobs, d.jobs, "{var}");
+            assert_eq!(c.mode, d.mode, "{var}");
+            assert_eq!(c.retries, d.retries, "{var}");
+            assert_eq!(c.deadline_cycles, d.deadline_cycles, "{var}");
+        }
+        // A bogus NDA_WARM with sampling on keeps the warm default but
+        // honours the sample interval.
+        let get = |k: &str| match k {
+            "NDA_SAMPLE_EVERY" => Some("5000".to_string()),
+            "NDA_WARM" => Some("bogus".to_string()),
+            _ => None,
+        };
+        match SweepConfig::from_env_with(&get).mode {
+            SweepMode::Sampled(sp) => {
+                assert_eq!(sp.sample_every, 5_000);
+                assert_eq!(sp.warm_insts, 2_000);
+            }
+            SweepMode::Full => panic!("sampled mode expected"),
+        }
     }
 }

@@ -44,6 +44,7 @@ fn parallel_sweep_is_bit_identical_to_serial() {
         iters: 10,
         jobs: 1,
         mode: SweepMode::Full,
+        ..SweepConfig::default()
     };
     let serial = sweep(workloads, &variants, base);
     let parallel = sweep(workloads, &variants, SweepConfig { jobs: 4, ..base });
@@ -62,6 +63,7 @@ fn parallel_sampled_sweep_is_bit_identical_to_serial() {
         iters: 400,
         jobs: 1,
         mode: SweepMode::Sampled(SampledParams::new(2_000, 200, 200)),
+        ..SweepConfig::default()
     };
     let serial = sweep(workloads, &variants, base);
     let parallel = sweep(workloads, &variants, SweepConfig { jobs: 4, ..base });
@@ -78,4 +80,41 @@ fn parallel_sampled_sweep_is_bit_identical_to_serial() {
             }
         }
     }
+}
+
+/// The journal is a pure persistence layer: writing one during a sweep,
+/// and resuming a completed one, both produce results bit-identical to a
+/// journal-free sweep — at any job count.
+#[test]
+fn journaled_sweep_is_bit_identical_to_plain_sweep() {
+    use nda_bench::{sweep_journaled, sweep_meta, Journal};
+    let workloads = &nda_workloads::all()[..2];
+    let variants = [Variant::Ooo, Variant::StrictBr, Variant::InOrder];
+    let base = SweepConfig {
+        samples: 2,
+        iters: 10,
+        jobs: 1,
+        mode: SweepMode::Full,
+        ..SweepConfig::default()
+    };
+    let plain = sweep(workloads, &variants, base);
+
+    let dir = std::env::temp_dir().join("nda-bench-journal-determinism");
+    let _ = std::fs::remove_dir_all(&dir);
+    let meta = sweep_meta(workloads, &variants, &base);
+    // Cold journal, parallel jobs: every cell runs and is recorded.
+    let (j, state) = Journal::open(&dir, &meta).unwrap();
+    let cold = sweep_journaled(
+        workloads,
+        &variants,
+        SweepConfig { jobs: 4, ..base },
+        Some((&j, &state)),
+    );
+    assert_bit_identical(&plain, &cold);
+    // Warm journal: every cell restores from disk, nothing re-runs —
+    // the deserialized results must still be bit-identical.
+    let (j, state) = Journal::open(&dir, &meta).unwrap();
+    assert_eq!(state.ok.len(), workloads.len() * variants.len() * 2);
+    let warm = sweep_journaled(workloads, &variants, base, Some((&j, &state)));
+    assert_bit_identical(&plain, &warm);
 }

@@ -1,0 +1,83 @@
+//! The ISSUE-level acceptance contract for fault isolation: a sweep with
+//! one injected panic completes, reports exactly that cell as FAILED in
+//! both the table and the metrics document, and every other cell is
+//! bit-identical to an uninjected run.
+
+use nda_bench::render::{metrics_document, sweep_table};
+use nda_bench::{
+    journal::fingerprint, silence_contained_panics, sweep, CellStatus, Chaos, SweepConfig,
+};
+use nda_core::Variant;
+
+#[test]
+fn injected_panic_degrades_one_cell_and_nothing_else() {
+    silence_contained_panics();
+    let workloads = &nda_workloads::all()[..2];
+    let variants = [Variant::Ooo, Variant::StrictBr, Variant::InOrder];
+    let base = SweepConfig {
+        samples: 2,
+        iters: 6,
+        jobs: 2,
+        backoff_ms: 0,
+        ..SweepConfig::default()
+    };
+    let clean = sweep(workloads, &variants, base);
+    assert!(clean.all_ok());
+
+    // Panic deterministically in cell (workload 1, variant 1, sample 0).
+    let target = (1u16, 1u16, 0u16);
+    let injected = sweep(
+        workloads,
+        &variants,
+        SweepConfig {
+            chaos: Some(Chaos {
+                seed: 0,
+                panic_pct: 0,
+                slow_pct: 0,
+                target: Some(target),
+            }),
+            ..base
+        },
+    );
+
+    // Exactly the targeted cell is degraded...
+    assert_eq!(
+        injected.degraded(),
+        vec![(1, 1, CellStatus::Failed)],
+        "only the targeted cell may degrade"
+    );
+    // ...and every other cell is bit-identical to the clean sweep.
+    for w in 0..workloads.len() {
+        for v in 0..variants.len() {
+            if (w, v) == (1, 1) {
+                continue;
+            }
+            let a: Vec<_> = clean.cell(w, v).runs.iter().map(fingerprint).collect();
+            let b: Vec<_> = injected.cell(w, v).runs.iter().map(fingerprint).collect();
+            assert_eq!(a, b, "cell ({w},{v}) perturbed by the injected panic");
+        }
+    }
+
+    // The table marks the failure explicitly, with a detail line.
+    let table = sweep_table(&injected);
+    assert_eq!(table.matches("FAILED").count(), 1, "{table}");
+    let detail = format!(
+        "# {}/{} failed:",
+        injected.workloads[1],
+        injected.variants[1].name()
+    );
+    assert!(table.contains(&detail), "{table}");
+    assert!(table.contains("injected panic"), "{table}");
+    assert!(!sweep_table(&clean).contains("FAILED"));
+
+    // The metrics document carries the same status per variant object.
+    let doc = metrics_document(&injected, base.samples, base.iters, base.seed, 0);
+    assert_eq!(doc.matches("\"status\":\"failed\"").count(), 1, "{doc}");
+    assert_eq!(
+        doc.matches("\"status\":\"ok\"").count(),
+        workloads.len() * variants.len() - 1
+    );
+    assert!(doc.contains("\"error\":"), "{doc}");
+    let clean_doc = metrics_document(&clean, base.samples, base.iters, base.seed, 0);
+    assert!(!clean_doc.contains("\"status\":\"failed\""));
+}

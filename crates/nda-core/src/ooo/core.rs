@@ -318,14 +318,8 @@ impl OooCore {
                     return Err(SimError::InvariantViolation(v));
                 }
             }
-            if let Some(window) = self.cfg.watchdog_window {
-                if !self.halted && self.cycle.saturating_sub(self.last_commit_cycle) >= window {
-                    return Err(SimError::Stalled {
-                        cycles: self.cycle,
-                        window,
-                        snapshot: Box::new(self.snapshot()),
-                    });
-                }
+            if let Some(err) = self.watchdog_error() {
+                return Err(err);
             }
         }
         Ok(self.result())
@@ -366,6 +360,24 @@ impl OooCore {
             cycles: self.cycle,
             snapshot: Some(Box::new(self.snapshot())),
         }
+    }
+
+    /// The forward-progress watchdog check: `Some(SimError::Stalled)` when
+    /// a watchdog window is configured and no instruction has committed
+    /// for a whole window. Every detailed-execution loop — whole-run
+    /// ([`OooCore::run_hooked`]) and sampled windows
+    /// (`sampled::run_window`) — must consult this each cycle, so a
+    /// wedged pipeline is reported identically everywhere.
+    pub(crate) fn watchdog_error(&mut self) -> Option<SimError> {
+        let window = self.cfg.watchdog_window?;
+        if !self.halted && self.cycle.saturating_sub(self.last_commit_cycle) >= window {
+            return Some(SimError::Stalled {
+                cycles: self.cycle,
+                window,
+                snapshot: Box::new(self.snapshot()),
+            });
+        }
+        None
     }
 
     /// Capture the diagnostic pipeline state (attached to watchdog, cycle

@@ -78,7 +78,14 @@ impl fmt::Display for SimError {
     }
 }
 
-impl Error for SimError {}
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::InvariantViolation(v) => Some(v.as_ref()),
+            _ => None,
+        }
+    }
+}
 
 /// Sampled-simulation summary attached to a [`RunResult`] by
 /// [`run_sampled`](crate::run_sampled): how the run split between the fast
@@ -226,7 +233,11 @@ impl fmt::Display for SmartsInterrupted {
     }
 }
 
-impl Error for SmartsInterrupted {}
+impl Error for SmartsInterrupted {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        Some(&self.error)
+    }
+}
 
 /// SMARTS-style sampled measurement (paper §6.1 / Wunderlich et al.):
 /// within ONE run, alternate functional warming and measurement windows,

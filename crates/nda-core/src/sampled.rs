@@ -287,6 +287,9 @@ fn run_window(
                     return Err(core.cycle_limit_error());
                 }
                 core.step_cycle();
+                if let Some(err) = core.watchdog_error() {
+                    return Err(err);
+                }
             }
             let warmed = core.stats.committed_insts;
             // D: measure.
@@ -297,6 +300,9 @@ fn run_window(
                     return Err(core.cycle_limit_error());
                 }
                 core.step_cycle();
+                if let Some(err) = core.watchdog_error() {
+                    return Err(err);
+                }
             }
             let measured = core.stats.committed_insts;
             if measured == 0 {
@@ -453,6 +459,26 @@ mod tests {
         resumed.run(u64::MAX / 2).unwrap();
         assert_eq!(resumed.regs(), set.final_interp.regs());
         assert_eq!(resumed.retired(), set.total_insts);
+    }
+
+    #[test]
+    fn watchdog_surfaces_stall_through_sampled_windows() {
+        // A wedged detailed window must abort with `Stalled` after one
+        // watchdog window instead of burning the whole per-phase cycle
+        // budget: with every cold DRAM fetch taking 50M cycles, waiting
+        // out `budget_per_phase` (200M) would dwarf the 500-cycle window.
+        let p = looped_program(2_000);
+        let mut cfg = SimConfig::ooo();
+        cfg.mem.dram_latency = 50_000_000;
+        cfg.watchdog_window = Some(500);
+        let err = run_sampled(cfg, &p, SampledParams::new(500, 100, 100), u64::MAX).unwrap_err();
+        match err {
+            SimError::Stalled { cycles, window, .. } => {
+                assert_eq!(window, 500);
+                assert!(cycles < 1_000_000, "watchdog fired late: cycle {cycles}");
+            }
+            other => panic!("expected SimError::Stalled, got: {other}"),
+        }
     }
 
     #[test]

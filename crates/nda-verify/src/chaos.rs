@@ -1,0 +1,101 @@
+//! Host-level fault injection for the sweep chaos harness.
+//!
+//! The job-level faults (seeded panics, starved deadlines) live in
+//! `nda-bench::fault` next to the machinery they exercise; this module
+//! holds the *storage*-level faults — deterministic corruption of
+//! on-disk journal records — so the property tests in `tests/chaos.rs`
+//! can simulate torn writes and media rot and assert that the journal
+//! quarantines the damage and a resumed sweep still converges to the
+//! clean-run results.
+//!
+//! Both corruptions are pure functions of their arguments (no
+//! wall-clock, no global RNG), keeping every chaos test replayable from
+//! its seed.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// SplitMix64: the same tiny seeded mixer the job-level chaos uses.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Truncate the file at `path` to its first `keep` bytes, simulating a
+/// torn write (e.g. power loss mid-append). `keep` larger than the file
+/// leaves it unchanged.
+pub fn corrupt_truncate(path: &Path, keep: u64) -> io::Result<()> {
+    let f = fs::OpenOptions::new().write(true).open(path)?;
+    let len = f.metadata()?.len();
+    if keep < len {
+        f.set_len(keep)?;
+        f.sync_all()?;
+    }
+    Ok(())
+}
+
+/// Flip one bit of the file at `path`, chosen deterministically from
+/// `seed`, simulating silent media corruption. Returns the byte offset
+/// that was flipped. Errors with [`io::ErrorKind::InvalidInput`] on an
+/// empty file (there is nothing to flip).
+pub fn corrupt_bitflip(path: &Path, seed: u64) -> io::Result<u64> {
+    let mut bytes = fs::read(path)?;
+    if bytes.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "cannot bit-flip an empty file",
+        ));
+    }
+    let h = splitmix64(seed);
+    let idx = h % bytes.len() as u64;
+    let bit = (h >> 32) % 8;
+    bytes[idx as usize] ^= 1 << bit;
+    fs::write(path, &bytes)?;
+    Ok(idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("nda-verify-chaos-tests");
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn truncate_keeps_prefix_and_is_idempotent_past_len() {
+        let p = tmp("trunc.bin");
+        fs::write(&p, b"hello world").unwrap();
+        corrupt_truncate(&p, 5).unwrap();
+        assert_eq!(fs::read(&p).unwrap(), b"hello");
+        corrupt_truncate(&p, 100).unwrap();
+        assert_eq!(fs::read(&p).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn bitflip_is_deterministic_and_self_inverse() {
+        let p = tmp("flip.bin");
+        let original = b"the quick brown fox".to_vec();
+        fs::write(&p, &original).unwrap();
+        let i1 = corrupt_bitflip(&p, 42).unwrap();
+        assert_ne!(fs::read(&p).unwrap(), original);
+        // Same seed flips the same bit back.
+        let i2 = corrupt_bitflip(&p, 42).unwrap();
+        assert_eq!(i1, i2);
+        assert_eq!(fs::read(&p).unwrap(), original);
+    }
+
+    #[test]
+    fn bitflip_refuses_empty_file() {
+        let p = tmp("empty.bin");
+        fs::write(&p, b"").unwrap();
+        let err = corrupt_bitflip(&p, 1).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+}

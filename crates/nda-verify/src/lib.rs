@@ -24,9 +24,14 @@
 //! generator configurations (shorter programs, no indirection, no fences,
 //! no MSRs) that still reproduce the failure, then dumps a self-contained
 //! repro — disassembly listing plus the binary encoding — to disk.
+//!
+//! The [`chaos`] module holds the host-level fault injectors (torn
+//! writes, bit rot) behind the sweep fault-tolerance property tests in
+//! `tests/chaos.rs`.
 
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod dynamic;
 
 pub use dynamic::{

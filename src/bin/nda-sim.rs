@@ -37,6 +37,17 @@
 //!   --trace-out <file>  run/trace: write the full pipeline event trace
 //!   --trace-format <f>  trace file format: perfetto (default) or konata
 //!   --metrics-out <file> run/sweep: write the metrics-registry JSON document
+//!   --jobs <n>          sweep: worker threads (default: host parallelism;
+//!                       any value yields bit-identical results)
+//!   --retries <n>       sweep: extra attempts per failed cell (default 1)
+//!   --deadline-cycles <n> sweep: per-job cycle deadline; a cell that
+//!                       exceeds it degrades to FAILED (default 2e9)
+//!   --journal <dir>     sweep: crash-safe resume journal — completed cells
+//!                       are recorded as they finish and skipped on rerun
+//!   --chaos-panic <pct> sweep: chaos harness, panic in pct% of jobs
+//!   --chaos-slow <pct>  sweep: chaos harness, starve pct% of jobs so they
+//!                       degrade to a deadline error
+//!   --chaos-seed <n>    sweep: chaos decision seed (default 0)
 //! ```
 
 use nda::attacks::{run_attack, AttackKind};
@@ -81,6 +92,13 @@ struct Opts {
     trace_out: Option<String>,
     trace_format: nda::trace::TraceFormat,
     metrics_out: Option<String>,
+    jobs: Option<usize>,
+    retries: u32,
+    deadline_cycles: u64,
+    journal: Option<String>,
+    chaos_panic: u8,
+    chaos_slow: u8,
+    chaos_seed: u64,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -100,6 +118,13 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         trace_out: None,
         trace_format: nda::trace::TraceFormat::Perfetto,
         metrics_out: None,
+        jobs: None,
+        retries: 1,
+        deadline_cycles: MAX_CYCLES,
+        journal: None,
+        chaos_panic: 0,
+        chaos_slow: 0,
+        chaos_seed: 0,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -151,6 +176,33 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     .ok_or(format!("--trace-format: {f:?} (use perfetto or konata)"))?;
             }
             "--metrics-out" => o.metrics_out = Some(val("--metrics-out")?),
+            "--jobs" => o.jobs = Some(val("--jobs")?.parse().map_err(|e| format!("--jobs: {e}"))?),
+            "--retries" => {
+                o.retries = val("--retries")?
+                    .parse()
+                    .map_err(|e| format!("--retries: {e}"))?
+            }
+            "--deadline-cycles" => {
+                o.deadline_cycles = val("--deadline-cycles")?
+                    .parse()
+                    .map_err(|e| format!("--deadline-cycles: {e}"))?
+            }
+            "--journal" => o.journal = Some(val("--journal")?),
+            "--chaos-panic" => {
+                o.chaos_panic = val("--chaos-panic")?
+                    .parse()
+                    .map_err(|e| format!("--chaos-panic: {e}"))?
+            }
+            "--chaos-slow" => {
+                o.chaos_slow = val("--chaos-slow")?
+                    .parse()
+                    .map_err(|e| format!("--chaos-slow: {e}"))?
+            }
+            "--chaos-seed" => {
+                o.chaos_seed = val("--chaos-seed")?
+                    .parse()
+                    .map_err(|e| format!("--chaos-seed: {e}"))?
+            }
             "--window" => {
                 o.window = Some(
                     val("--window")?
@@ -418,107 +470,93 @@ fn cmd_matrix(o: &Opts) {
 }
 
 fn cmd_sweep(o: &Opts) -> Result<(), String> {
-    use nda::core::{collect_checkpoints, run_sampled_with};
-    use nda::stats::MetricsRegistry;
-    use nda::{SampledParams, SimConfig};
-    let sampled =
-        (o.sample_every > 0).then(|| SampledParams::new(o.sample_every, o.warm, o.detail));
-    match sampled {
-        Some(_) => println!(
+    use nda::bench::{
+        metrics_document, silence_contained_panics, sweep_journaled, sweep_meta, sweep_table,
+        Chaos, Journal, SweepConfig, SweepMode,
+    };
+    use nda::SampledParams;
+    // Contained panics (injected or real) are reported as FAILED cells;
+    // keep the default panic banner from spamming the table.
+    silence_contained_panics();
+    let cfg = SweepConfig {
+        samples: o.samples,
+        iters: o.iters,
+        jobs: o.jobs.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        }),
+        mode: if o.sample_every > 0 {
+            SweepMode::Sampled(SampledParams::new(o.sample_every, o.warm, o.detail))
+        } else {
+            SweepMode::Full
+        },
+        seed: o.seed,
+        retries: o.retries,
+        backoff_ms: 10,
+        deadline_cycles: o.deadline_cycles,
+        chaos: (o.chaos_panic > 0 || o.chaos_slow > 0).then_some(Chaos {
+            seed: o.chaos_seed,
+            panic_pct: o.chaos_panic,
+            slow_pct: o.chaos_slow,
+            target: None,
+        }),
+    };
+    let workloads = all();
+    let variants = Variant::all();
+    let journal = match &o.journal {
+        Some(dir) => {
+            let meta = sweep_meta(workloads, &variants, &cfg);
+            let (j, state) = Journal::open(std::path::Path::new(dir), &meta)
+                .map_err(|e| format!("journal {dir}: {e}"))?;
+            for q in &state.quarantined {
+                eprintln!("journal: quarantined corrupt record {}", q.display());
+            }
+            if !state.ok.is_empty() || !state.failed.is_empty() {
+                eprintln!(
+                    "journal: resuming — {} cell sample(s) done, {} failed (will re-run)",
+                    state.ok.len(),
+                    state.failed.len()
+                );
+            }
+            Some((j, state))
+        }
+        None => None,
+    };
+    if o.sample_every > 0 {
+        println!(
             "normalised CPI, {} samples x {} iters per cell, sampled every {} insts",
             o.samples, o.iters, o.sample_every
-        ),
-        None => println!(
+        );
+    } else {
+        println!(
             "normalised CPI, {} samples x {} iters per cell",
             o.samples, o.iters
-        ),
+        );
     }
-    print!("{:<12}", "workload");
-    for v in Variant::all() {
-        print!("{:>20}", v.name());
-    }
-    println!();
-    // Per-workload, per-variant metric registries (merged across samples),
-    // emitted as one JSON document when --metrics-out is given.
-    let mut metrics_doc: Vec<(String, Vec<(String, MetricsRegistry)>)> = Vec::new();
-    for w in all() {
-        print!("{:<12}", w.name);
-        // In sampled mode the functional fast-forward and warming run once
-        // per sample here; every variant below reuses the checkpoints.
-        let programs: Vec<_> = (0..o.samples)
-            .map(|s| {
-                (w.build)(&WorkloadParams {
-                    seed: o.seed + s,
-                    iters: o.iters,
-                })
-            })
-            .collect();
-        let sets: Vec<_> = match sampled {
-            Some(p) => programs
-                .iter()
-                .map(|prog| {
-                    collect_checkpoints(&SimConfig::for_variant(Variant::Ooo), prog, p, MAX_CYCLES)
-                        .map(Some)
-                        .expect("halts")
-                })
-                .collect(),
-            None => programs.iter().map(|_| None).collect(),
-        };
-        let mut base = None;
-        let mut per_variant: Vec<(String, MetricsRegistry)> = Vec::new();
-        for v in Variant::all() {
-            let mut cpis = 0.0;
-            let mut merged = MetricsRegistry::new();
-            for (prog, set) in programs.iter().zip(&sets) {
-                let r = match (sampled, set) {
-                    (Some(p), Some(set)) => {
-                        run_sampled_with(SimConfig::for_variant(v), prog, set, p).expect("halts")
-                    }
-                    _ => run_variant(v, prog, MAX_CYCLES).expect("halts"),
-                };
-                cpis += r.sampled.map_or_else(|| r.cpi(), |i| i.cpi.mean);
-                if o.metrics_out.is_some() {
-                    merged.merge(&r.metrics());
-                }
+    let r = sweep_journaled(
+        workloads,
+        &variants,
+        cfg,
+        journal.as_ref().map(|(j, s)| (j, s)),
+    );
+    print!("{}", sweep_table(&r));
+    let degraded = r.degraded();
+    if !degraded.is_empty() {
+        eprintln!(
+            "warning: {} of {} cells degraded (marked in the table above){}",
+            degraded.len(),
+            workloads.len() * variants.len(),
+            if o.journal.is_some() {
+                "; re-run with the same --journal to retry them"
+            } else {
+                ""
             }
-            let mean = cpis / o.samples as f64;
-            let b = *base.get_or_insert(mean);
-            print!("{:>20.3}", mean / b);
-            if o.metrics_out.is_some() {
-                per_variant.push((v.name().to_string(), merged));
-            }
-        }
-        println!();
-        if o.metrics_out.is_some() {
-            metrics_doc.push((w.name.to_string(), per_variant));
-        }
+        );
     }
     if let Some(path) = &o.metrics_out {
-        let mut out = String::new();
-        out.push_str("{\"schema\":\"nda-metrics-v1\",");
-        out.push_str(&format!(
-            "\"samples\":{},\"iters\":{},\"seed\":{},\"sample_every\":{},",
-            o.samples, o.iters, o.seed, o.sample_every
-        ));
-        out.push_str("\"workloads\":[\n");
-        for (wi, (workload, variants)) in metrics_doc.iter().enumerate() {
-            if wi > 0 {
-                out.push_str(",\n");
-            }
-            out.push_str(&format!("{{\"workload\":\"{workload}\",\"variants\":[\n"));
-            for (vi, (variant, reg)) in variants.iter().enumerate() {
-                if vi > 0 {
-                    out.push_str(",\n");
-                }
-                out.push_str(&format!(
-                    "{{\"variant\":\"{variant}\",\"metrics\":{}}}",
-                    reg.to_json()
-                ));
-            }
-            out.push_str("\n]}");
-        }
-        out.push_str("\n]}\n");
-        std::fs::write(path, &out).map_err(|e| format!("write {path}: {e}"))?;
+        let doc = metrics_document(&r, o.samples, o.iters, o.seed, o.sample_every);
+        std::fs::write(path, &doc).map_err(|e| format!("write {path}: {e}"))?;
         eprintln!("wrote per-variant metrics document to {path}");
     }
     Ok(())

@@ -20,6 +20,9 @@
 //! * [`verify`] — the fault-injection differential harness: random
 //!   programs under injected squashes/latency/predictor corruption must
 //!   stay bit-exact against the reference interpreter (`nda-verify`).
+//! * [`bench`] — the fault-isolated sweep harness: panic containment,
+//!   retry/deadline budgets, a crash-safe resume journal and seeded
+//!   chaos injection (`nda-bench`).
 //!
 //! The most common entry points are re-exported at the crate root:
 //!
@@ -40,6 +43,7 @@
 
 pub use nda_analyze as analyze;
 pub use nda_attacks as attacks;
+pub use nda_bench as bench;
 pub use nda_core as core;
 pub use nda_isa as isa;
 pub use nda_mem as mem;
