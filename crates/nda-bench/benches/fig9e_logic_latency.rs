@@ -16,7 +16,7 @@ fn main() {
     );
 
     // Baseline normalisation: insecure OoO.
-    let base = sweep(all(), &[Variant::Ooo], cfg);
+    let base = sweep(all(), &[Variant::Ooo], cfg.clone());
 
     println!(
         "{:<28}{:>14}{:>16}",

@@ -9,15 +9,27 @@
 //! simulated-cycles-per-host-second and the end-to-end wall times, so the
 //! perf trajectory is tracked in-repo.
 //!
-//! The serial-vs-parallel `speedup` field is `null` when either the sweep
-//! ran with one job or the host has a single core — a "speedup" measured
-//! without real parallelism is noise, not signal.
+//! The serial-vs-parallel `speedup` field always carries the measured
+//! ratio; when the sweep ran with one job or the host has a single core
+//! the accompanying `speedup_caveat` field flags it as a degenerate
+//! measurement (same-work-twice, not parallel scaling) instead of
+//! suppressing the number — `host_parallelism` in `params` lets readers
+//! judge for themselves.
+//!
+//! A `checkpoint_store` section probes the persistent checkpoint store:
+//! one cold sampled run populates it, a warm run hits it (asserted — the
+//! warm path must do zero fast-forward instructions) and must be
+//! bit-identical to the cold one; the cold/warm wall clocks quantify what
+//! the store saves.
 //!
 //! Knobs: `NDA_SAMPLES` / `NDA_ITERS` / `NDA_JOBS` as usual, plus
 //! `NDA_THROUGHPUT_OUT` to redirect the JSON.
 
 use nda_bench::{sweep, SweepConfig, SweepResults};
-use nda_core::{run_sampled, SampledParams, SimConfig, Variant};
+use nda_core::{
+    collect_checkpoints_cached, run_sampled, run_sampled_with, CheckpointStore, SampledParams,
+    SimConfig, Variant,
+};
 use std::time::Instant;
 
 /// Single-thread throughput measured at the seed of the perf PR
@@ -59,6 +71,10 @@ struct SampledProbe {
     full_wall_s: f64,
     full_cpi: f64,
     sampled_wall_s: f64,
+    /// Wall clock of the master functional pass (fast-forward + warming).
+    ff_wall_s: f64,
+    /// Wall clock of the detailed warm+measure windows.
+    detail_wall_s: f64,
     /// Full-detail wall clock over sampled wall clock.
     speedup: f64,
     cpi_mean: f64,
@@ -104,6 +120,8 @@ fn sampled_probe(workload: &'static str, params: SampledParams) -> SampledProbe 
         full_wall_s,
         full_cpi,
         sampled_wall_s,
+        ff_wall_s: info.ff_wall_ns as f64 / 1e9,
+        detail_wall_s: info.detail_wall_ns as f64 / 1e9,
         speedup: full_wall_s / sampled_wall_s.max(1e-12),
         cpi_mean: info.cpi.mean,
         cpi_ci95: info.cpi.ci95,
@@ -111,6 +129,74 @@ fn sampled_probe(workload: &'static str, params: SampledParams) -> SampledProbe 
         detailed_insts: info.detailed_insts,
         total_insts: info.fast_forwarded_insts,
         within_ci: (info.cpi.mean - full_cpi).abs() <= info.cpi.ci95,
+    }
+}
+
+/// Cold-vs-warm wall clock of one sampled run through the persistent
+/// checkpoint store.
+struct StoreProbe {
+    workload: &'static str,
+    /// Sampled run that populated the store (fast-forward + windows).
+    cold_wall_s: f64,
+    /// Sampled run that hit the store (load + windows, zero fast-forward).
+    warm_wall_s: f64,
+    /// Cold wall clock over warm wall clock.
+    speedup: f64,
+}
+
+/// Run one pinned workload sampled twice through a fresh store: the first
+/// pass is a miss and populates it, the second must be a warm hit,
+/// skipping the master functional pass, with bit-identical checkpoints and
+/// CPI. Both properties are asserted — the CI smoke relies on this.
+fn store_probe(workload: &'static str, params: SampledParams) -> StoreProbe {
+    let w = nda_workloads::by_name(workload).expect("pinned workload exists");
+    let prog = (w.build)(&nda_workloads::WorkloadParams {
+        seed: 1,
+        iters: PROBE_ITERS,
+    });
+    let dir = std::env::temp_dir().join(format!("nda-ckpt-throughput-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = CheckpointStore::open(&dir).expect("checkpoint store opens");
+    let cfg = SimConfig::for_variant(Variant::Ooo);
+
+    let t = Instant::now();
+    let (cold_set, cold_hit) =
+        collect_checkpoints_cached(Some(&store), &cfg, &prog, params, 2_000_000_000)
+            .expect("cold collection halts");
+    let cold_r = run_sampled_with(cfg, &prog, &cold_set, params).expect("cold windows run");
+    let cold_wall_s = t.elapsed().as_secs_f64();
+    assert!(!cold_hit, "{workload}: fresh store reported a warm hit");
+
+    let t = Instant::now();
+    let (warm_set, warm_hit) =
+        collect_checkpoints_cached(Some(&store), &cfg, &prog, params, 2_000_000_000)
+            .expect("warm collection loads");
+    let warm_r = run_sampled_with(cfg, &prog, &warm_set, params).expect("warm windows run");
+    let warm_wall_s = t.elapsed().as_secs_f64();
+    assert!(
+        warm_hit,
+        "{workload}: store missed on identical inputs — warm path must \
+         do zero fast-forward instructions"
+    );
+    assert_eq!(
+        cold_set, warm_set,
+        "{workload}: store round-trip changed the checkpoints"
+    );
+    let (ci, wi) = (
+        cold_r.sampled.expect("cold sampled info"),
+        warm_r.sampled.expect("warm sampled info"),
+    );
+    assert_eq!(
+        ci.cpi.mean.to_bits(),
+        wi.cpi.mean.to_bits(),
+        "{workload}: warm-store CPI diverged from cold"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    StoreProbe {
+        workload,
+        cold_wall_s,
+        warm_wall_s,
+        speedup: cold_wall_s / warm_wall_s.max(1e-12),
     }
 }
 
@@ -153,11 +239,18 @@ fn main() {
     );
 
     let t0 = Instant::now();
-    let serial = sweep(workloads, &variants, SweepConfig { jobs: 1, ..cfg });
+    let serial = sweep(
+        workloads,
+        &variants,
+        SweepConfig {
+            jobs: 1,
+            ..cfg.clone()
+        },
+    );
     let serial_wall = t0.elapsed().as_secs_f64();
 
     let t1 = Instant::now();
-    let parallel = sweep(workloads, &variants, cfg);
+    let parallel = sweep(workloads, &variants, cfg.clone());
     let parallel_wall = t1.elapsed().as_secs_f64();
 
     assert_bit_identical(&serial, &parallel);
@@ -166,21 +259,27 @@ fn main() {
         cfg.jobs
     );
 
-    // A serial-vs-parallel speedup only means something when the parallel
-    // sweep actually had parallelism to use.
-    let speedup = if cfg.jobs > 1 && host > 1 {
-        Some(serial_wall / parallel_wall.max(1e-12))
+    // Always report the measured ratio; when the parallel sweep had no
+    // real parallelism (one job, or a single-core host) flag it with a
+    // caveat instead of suppressing the number — a reader armed with
+    // `host_parallelism` can weigh it.
+    let speedup = serial_wall / parallel_wall.max(1e-12);
+    let speedup_caveat = if cfg.jobs <= 1 {
+        Some("single job: both sweeps ran serially")
+    } else if host <= 1 {
+        Some("no host parallelism: jobs time-shared one core")
     } else {
         None
     };
-    match speedup {
-        Some(s) => println!(
-            "sweep wall time: serial {serial_wall:.3}s, {} jobs {parallel_wall:.3}s ({s:.2}x)",
-            cfg.jobs
-        ),
+    match speedup_caveat {
         None => println!(
             "sweep wall time: serial {serial_wall:.3}s, {} jobs {parallel_wall:.3}s \
-             (speedup: n/a, no host parallelism)",
+             ({speedup:.2}x)",
+            cfg.jobs
+        ),
+        Some(caveat) => println!(
+            "sweep wall time: serial {serial_wall:.3}s, {} jobs {parallel_wall:.3}s \
+             ({speedup:.2}x — {caveat})",
             cfg.jobs
         ),
     }
@@ -229,13 +328,16 @@ fn main() {
     for (i, name) in ["mcf", "gcc"].iter().enumerate() {
         let p = sampled_probe(name, sp);
         println!(
-            "sampled probe: {} full {:.2}s (CPI {:.3}), sampled {:.2}s ({:.1}x), \
-             CPI {:.3} ± {:.3} over {} windows ({} of {} insts detailed) — within CI: {}",
+            "sampled probe: {} full {:.2}s (CPI {:.3}), sampled {:.2}s ({:.1}x; \
+             ff {:.3}s + detail {:.3}s), CPI {:.3} ± {:.3} over {} windows \
+             ({} of {} insts detailed) — within CI: {}",
             p.workload,
             p.full_wall_s,
             p.full_cpi,
             p.sampled_wall_s,
             p.speedup,
+            p.ff_wall_s,
+            p.detail_wall_s,
             p.cpi_mean,
             p.cpi_ci95,
             p.windows,
@@ -253,13 +355,16 @@ fn main() {
         }
         probe_lines.push_str(&format!(
             "      {{\"workload\": \"{}\", \"full_wall_s\": {:.3}, \"full_cpi\": {:.4}, \
-             \"sampled_wall_s\": {:.3}, \"speedup\": {:.2}, \"cpi_mean\": {:.4}, \
+             \"sampled_wall_s\": {:.3}, \"ff_wall_s\": {:.3}, \"detail_wall_s\": {:.3}, \
+             \"speedup\": {:.2}, \"cpi_mean\": {:.4}, \
              \"cpi_ci95\": {:.4}, \"windows\": {}, \"detailed_insts\": {}, \
              \"total_insts\": {}, \"within_ci\": {}}}",
             p.workload,
             p.full_wall_s,
             p.full_cpi,
             p.sampled_wall_s,
+            p.ff_wall_s,
+            p.detail_wall_s,
             p.speedup,
             p.cpi_mean,
             p.cpi_ci95,
@@ -270,23 +375,43 @@ fn main() {
         ));
     }
 
+    // Cold-vs-warm checkpoint store: the warm run must hit (zero
+    // fast-forward) and be bit-identical; wall clocks quantify the win.
+    let mut store_lines = String::new();
+    for (i, name) in ["mcf", "gcc"].iter().enumerate() {
+        let p = store_probe(name, sp);
+        println!(
+            "store probe: {} cold {:.3}s, warm {:.3}s ({:.1}x) — warm hit, bit-identical",
+            p.workload, p.cold_wall_s, p.warm_wall_s, p.speedup
+        );
+        if i > 0 {
+            store_lines.push_str(",\n");
+        }
+        store_lines.push_str(&format!(
+            "      {{\"workload\": \"{}\", \"cold_wall_s\": {:.3}, \"warm_wall_s\": {:.3}, \
+             \"speedup\": {:.2}, \"warm_hit\": true, \"bit_identical\": true}}",
+            p.workload, p.cold_wall_s, p.warm_wall_s, p.speedup
+        ));
+    }
+
     let mut baseline = String::new();
     for &(k, x) in BASELINE_PRE_PR {
         baseline.push_str(&format!(",\n    \"{k}\": {x:.1}"));
     }
-    let speedup_json = speedup.map_or_else(|| "null".to_string(), |s| format!("{s:.3}"));
+    let caveat_json = speedup_caveat.map_or_else(|| "null".to_string(), |c| format!("\"{c}\""));
     let json = format!(
         "{{\n\
-         \x20 \"schema\": \"nda-bench-throughput-v2\",\n\
+         \x20 \"schema\": \"nda-bench-throughput-v3\",\n\
          \x20 \"params\": {{\"samples\": {}, \"iters\": {}, \"jobs\": {}, \
          \"host_parallelism\": {host}}},\n\
          \x20 \"sweep_wall_s\": {{\"serial\": {serial_wall:.3}, \"parallel\": {parallel_wall:.3}, \
-         \"speedup\": {speedup_json}}},\n\
+         \"speedup\": {speedup:.3}, \"speedup_caveat\": {caveat_json}}},\n\
          \x20 \"single_thread\": {{\"workload\": \"mcf\", \"variant\": \"OoO\", \
          \"iters\": {PROBE_ITERS}, \"sim_cycles\": {probe_cycles}, \
          \"sim_cycles_per_sec\": {probe_cps:.1}}},\n\
          \x20 \"sampled\": {{\n    \"params\": {{\"sample_every\": {}, \"warm_insts\": {}, \
          \"detail_insts\": {}}},\n    \"probes\": [\n{probe_lines}\n    ]\n  }},\n\
+         \x20 \"checkpoint_store\": {{\n    \"probes\": [\n{store_lines}\n    ]\n  }},\n\
          \x20 \"variants\": [\n{variant_lines}\n  ],\n\
          \x20 \"baseline_pre_pr\": {{\n    \"commit\": \"{BASELINE_COMMIT}\"{baseline}\n  }}\n\
          }}\n",

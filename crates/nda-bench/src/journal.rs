@@ -475,6 +475,10 @@ fn deserialize_run(kv: &BTreeMap<&str, &str>) -> Option<RunResult> {
             detailed_insts: get_u64(kv, "sampled.detailed_insts")?,
             fast_forwarded_insts: get_u64(kv, "sampled.fast_forwarded_insts")?,
             windows: get_u64(kv, "sampled.windows")? as usize,
+            // Wall-clock instrumentation, like host_ns: never serialized,
+            // never part of the fingerprint.
+            ff_wall_ns: 0,
+            detail_wall_ns: 0,
         })
     } else {
         None
@@ -537,6 +541,8 @@ mod tests {
             detailed_insts: 123,
             fast_forwarded_insts: 456,
             windows: 3,
+            ff_wall_ns: 7,
+            detail_wall_ns: 8,
         });
         let mut payload = String::from("status=ok\n");
         serialize_run(&mut payload, &r);

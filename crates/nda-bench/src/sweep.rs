@@ -26,12 +26,13 @@
 use crate::fault::{panic_message, Chaos, ChaosAction, JobError, RetryPolicy, CHAOS_SLOW_DEADLINE};
 use crate::journal::{CellKey, Journal, JournalState};
 use nda_core::{
-    collect_checkpoints, run_sampled_with, run_variant, RunResult, SampledParams, SimConfig,
-    Variant,
+    collect_checkpoints_cached, run_sampled_with, run_variant, CheckpointStore, RunResult,
+    SampledParams, SimConfig, Variant,
 };
 use nda_stats::Sample;
 use nda_workloads::{Workload, WorkloadParams};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
@@ -52,7 +53,7 @@ pub enum SweepMode {
 }
 
 /// Sweep sizing and fault-tolerance budgets.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SweepConfig {
     /// Seeded samples per cell (SMARTS-style independent measurements).
     pub samples: u64,
@@ -81,6 +82,15 @@ pub struct SweepConfig {
     /// Host-level fault injection plan; `None` (the default) injects
     /// nothing.
     pub chaos: Option<Chaos>,
+    /// Persistent checkpoint-store directory (`NDA_CKPT_DIR` /
+    /// `--checkpoint-dir`). In sampled mode, checkpoint collections are
+    /// looked up here by content key before fast-forwarding, and misses
+    /// populate the store — so repeated sweeps skip the master functional
+    /// pass entirely. `None` (the default) disables caching. Like the
+    /// other execution knobs, this never changes what a completed cell's
+    /// bits are (store hits are bit-identical to fresh collections), so it
+    /// is not part of [`sweep_meta`].
+    pub ckpt_dir: Option<PathBuf>,
 }
 
 impl Default for SweepConfig {
@@ -97,6 +107,7 @@ impl Default for SweepConfig {
             backoff_ms: 10,
             deadline_cycles: SWEEP_MAX_CYCLES,
             chaos: None,
+            ckpt_dir: None,
         }
     }
 }
@@ -127,7 +138,8 @@ impl SweepConfig {
     /// switches the sweep to sampled simulation; `NDA_WARM` and
     /// `NDA_DETAIL` size the per-window warm and measure phases (default
     /// 2000 instructions each). `NDA_RETRIES` and `NDA_DEADLINE_CYCLES`
-    /// set the fault-tolerance budgets.
+    /// set the fault-tolerance budgets. `NDA_CKPT_DIR=<dir>` enables the
+    /// persistent checkpoint store for sampled mode.
     ///
     /// Every variable gets the same warn-and-default treatment: unset is
     /// silent, unparsable warns on stderr and keeps the default.
@@ -159,6 +171,7 @@ impl SweepConfig {
             },
             retries: env_u64_with(get, "NDA_RETRIES", u64::from(d.retries)) as u32,
             deadline_cycles: env_u64_with(get, "NDA_DEADLINE_CYCLES", d.deadline_cycles),
+            ckpt_dir: get("NDA_CKPT_DIR").map(PathBuf::from),
             ..d
         }
     }
@@ -605,9 +618,33 @@ fn sweep_sampled(
 ) -> Vec<Vec<CellStats>> {
     let (nw, nv, ns) = (workloads.len(), variants.len(), cfg.samples as usize);
     let total = nw * ns;
+    // One store handle shared by every worker: entries are written
+    // atomically (tmp + rename), so concurrent sets — even of the same
+    // key — race benignly.
+    let store = cfg.ckpt_dir.as_ref().and_then(|dir| {
+        CheckpointStore::open(dir)
+            .map_err(|e| {
+                eprintln!(
+                    "warning: checkpoint store at {} disabled: {e}",
+                    dir.display()
+                );
+            })
+            .ok()
+    });
     let sets = execute(total, cfg.jobs, |i| {
         let (w, s) = (i / ns, i % ns);
-        run_set_sampled(&workloads[w], w, variants, s, i, cfg, sp, journal, state)
+        run_set_sampled(
+            &workloads[w],
+            w,
+            variants,
+            s,
+            i,
+            cfg,
+            sp,
+            store.as_ref(),
+            journal,
+            state,
+        )
     });
     let sets: Vec<Vec<SampleOutcome>> = sets
         .into_iter()
@@ -646,6 +683,7 @@ fn run_set_sampled(
     job: usize,
     cfg: &SweepConfig,
     sp: SampledParams,
+    store: Option<&CheckpointStore>,
     journal: Option<&Journal>,
     state: &JournalState,
 ) -> Vec<SampleOutcome> {
@@ -675,9 +713,19 @@ fn run_set_sampled(
             iters: cfg.iters,
         };
         let prog = (w.build)(&params);
-        collect_checkpoints(&SimConfig::for_variant(variants[0]), &prog, sp, max_insts)
-            .map(|set| (prog, set))
-            .map_err(|e| JobError::from_sim(e, max_insts))
+        // A warm store hit skips the fast-forward entirely; it is
+        // bit-identical to a fresh collection (the store round-trips
+        // exactly and its key covers workload, schedule and geometry), so
+        // caching cannot perturb sweep output.
+        collect_checkpoints_cached(
+            store,
+            &SimConfig::for_variant(variants[0]),
+            &prog,
+            sp,
+            max_insts,
+        )
+        .map(|(set, _warm)| (prog, set))
+        .map_err(|e| JobError::from_sim(e, max_insts))
     });
     let (prog, set) = match collected {
         Ok(ps) => ps,

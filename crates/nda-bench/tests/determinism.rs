@@ -46,7 +46,7 @@ fn parallel_sweep_is_bit_identical_to_serial() {
         mode: SweepMode::Full,
         ..SweepConfig::default()
     };
-    let serial = sweep(workloads, &variants, base);
+    let serial = sweep(workloads, &variants, base.clone());
     let parallel = sweep(workloads, &variants, SweepConfig { jobs: 4, ..base });
     assert_bit_identical(&serial, &parallel);
 }
@@ -65,7 +65,7 @@ fn parallel_sampled_sweep_is_bit_identical_to_serial() {
         mode: SweepMode::Sampled(SampledParams::new(2_000, 200, 200)),
         ..SweepConfig::default()
     };
-    let serial = sweep(workloads, &variants, base);
+    let serial = sweep(workloads, &variants, base.clone());
     let parallel = sweep(workloads, &variants, SweepConfig { jobs: 4, ..base });
     assert_bit_identical(&serial, &parallel);
     // Sampled runs must actually be sampled (not the short-program
@@ -97,7 +97,7 @@ fn journaled_sweep_is_bit_identical_to_plain_sweep() {
         mode: SweepMode::Full,
         ..SweepConfig::default()
     };
-    let plain = sweep(workloads, &variants, base);
+    let plain = sweep(workloads, &variants, base.clone());
 
     let dir = std::env::temp_dir().join("nda-bench-journal-determinism");
     let _ = std::fs::remove_dir_all(&dir);
@@ -107,7 +107,10 @@ fn journaled_sweep_is_bit_identical_to_plain_sweep() {
     let cold = sweep_journaled(
         workloads,
         &variants,
-        SweepConfig { jobs: 4, ..base },
+        SweepConfig {
+            jobs: 4,
+            ..base.clone()
+        },
         Some((&j, &state)),
     );
     assert_bit_identical(&plain, &cold);

@@ -21,7 +21,7 @@ fn injected_panic_degrades_one_cell_and_nothing_else() {
         backoff_ms: 0,
         ..SweepConfig::default()
     };
-    let clean = sweep(workloads, &variants, base);
+    let clean = sweep(workloads, &variants, base.clone());
     assert!(clean.all_ok());
 
     // Panic deterministically in cell (workload 1, variant 1, sample 0).
@@ -36,7 +36,7 @@ fn injected_panic_degrades_one_cell_and_nothing_else() {
                 slow_pct: 0,
                 target: Some(target),
             }),
-            ..base
+            ..base.clone()
         },
     );
 

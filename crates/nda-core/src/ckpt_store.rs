@@ -1,0 +1,821 @@
+//! Persistent, content-addressed checkpoint store.
+//!
+//! Collecting a [`CheckpointSet`](crate::CheckpointSet) is the dominant
+//! cost of a repeated sampled sweep: the master functional pass executes
+//! the whole workload even though the detailed windows touch a few percent
+//! of it. The checkpoints themselves are pure functions of (program bytes,
+//! sampling schedule, memory-hierarchy geometry, predictor configuration)
+//! — nothing host-dependent enters them — so they can be cached across
+//! processes. This module stores each [`CheckpointSet`]
+//! **exactly** (bit-for-bit, via the `*State` snapshot structs of
+//! `nda-isa`/`nda-mem`/`nda-predict`) in a file keyed by an FNV-1a hash of
+//! that input tuple.
+//!
+//! ## On-disk format
+//!
+//! One entry per file, `<key:016x>.ckpt` under the store directory:
+//!
+//! ```text
+//! nda-ckpt-v1 <checksum:016x>\n       ASCII header line
+//! <key material, length-prefixed>     the exact bytes that were hashed
+//! <page pool>                         each distinct 4 KiB page, once
+//! <CheckpointSet encoding>            fixed little-endian layout
+//! ```
+//!
+//! The checksum is FNV-1a over everything after the header line. The key
+//! material is stored *and verified byte-for-byte* on load, so a hash
+//! collision degrades to a cache miss instead of resurrecting the wrong
+//! workload's checkpoints. Geometry mismatches cannot hit either — the
+//! geometry is part of the key — and as defence in depth every `from_state`
+//! reconstruction validates shapes against the live configuration.
+//!
+//! Consecutive checkpoints share almost all of their memory image (the
+//! interpreter's pages are `Arc` copy-on-write; an interval dirties a
+//! handful), so pages are stored through a content-deduplicated pool:
+//! each distinct page appears once, and every interpreter snapshot
+//! references pool slots. This keeps the entry close to the size of one
+//! memory image rather than one per checkpoint, and the decoder hands all
+//! snapshots `Arc`s into a shared pool, restoring the in-memory sharing
+//! too.
+//!
+//! ## Durability
+//!
+//! Writes are atomic: encode to `.tmp.<pid>.<key>`, `sync_all`, then
+//! `rename` over the final name. Concurrent writers of the same key race
+//! benignly (both produce identical bytes; the last rename wins), and
+//! readers never observe a torn file. A corrupt or truncated entry —
+//! failed checksum, bad header, short body, shape mismatch — is moved into
+//! a `quarantine/` subdirectory and treated as a miss, so one bad file
+//! costs one regeneration, never a crash or a wrong result. Pinned by
+//! `crates/nda-core/tests/ckpt_store.rs`.
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use crate::config::SimConfig;
+use crate::run::SimError;
+use crate::sampled::{collect_checkpoints, Checkpoint, CheckpointSet, SampledParams};
+use nda_isa::{encode_program, Interp, InterpState, MsrFile, Program, SparseMem, PAGE_SIZE};
+use nda_mem::{CacheState, LineState, MemHier, MemHierState, MlpState, MshrState};
+use nda_predict::ras::RAS_ENTRIES;
+use nda_predict::{
+    Btb, BtbEntryState, BtbState, DirPredictor, DirPredictorState, GshareState, PredictorKind, Ras,
+    RasState, TournamentState,
+};
+
+const MAGIC: &str = "nda-ckpt-v1";
+const NUM_REGS: usize = nda_isa::reg::NUM_REGS;
+
+/// FNV-1a, 64 bit. (Same constants as the sweep journal's checksum; the
+/// two crates cannot share it without a dependency cycle.)
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------
+// Byte encoding
+// ---------------------------------------------------------------------
+
+#[derive(Default)]
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+    fn bytes(&mut self, b: &[u8]) {
+        self.usize(b.len());
+        self.buf.extend_from_slice(b);
+    }
+}
+
+/// Cursor over an entry body; every accessor returns `None` on underrun,
+/// which the loader maps to quarantine.
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(buf: &'a [u8]) -> Dec<'a> {
+        Dec { buf, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.buf.len() {
+            return None;
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Some(s)
+    }
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+    fn usize(&mut self) -> Option<usize> {
+        usize::try_from(self.u64()?).ok()
+    }
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+    fn bool(&mut self) -> Option<bool> {
+        match self.u8()? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+    /// A length-prefixed byte string; the length is sanity-capped by the
+    /// remaining buffer so a corrupt prefix cannot trigger a huge
+    /// allocation.
+    fn bytes(&mut self) -> Option<&'a [u8]> {
+        let n = self.usize()?;
+        self.take(n)
+    }
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+/// A content-deduplicated pool of memory pages shared by every
+/// interpreter snapshot in one entry. Keys borrow the page bytes (the
+/// dumps stay alive for the whole encode), so equal-content pages unify
+/// regardless of their `Arc` sharing structure — the encoding is a pure
+/// function of the set's contents.
+#[derive(Default)]
+struct PagePool<'a> {
+    pages: Vec<&'a [u8; PAGE_SIZE]>,
+    index: HashMap<&'a [u8; PAGE_SIZE], u64>,
+}
+
+impl<'a> PagePool<'a> {
+    fn intern(&mut self, page: &'a [u8; PAGE_SIZE]) -> u64 {
+        *self.index.entry(page).or_insert_with(|| {
+            self.pages.push(page);
+            self.pages.len() as u64 - 1
+        })
+    }
+}
+
+type PageDump = Vec<(u64, Arc<[u8; PAGE_SIZE]>)>;
+
+fn enc_interp(e: &mut Enc, s: &InterpState, pages: &[(u64, u64)]) {
+    for r in s.regs {
+        e.u64(r);
+    }
+    e.usize(s.pc);
+    e.u64(s.retired);
+    e.u64(s.faults);
+    e.bool(s.halted);
+    e.usize(pages.len());
+    for &(idx, slot) in pages {
+        e.u64(idx);
+        e.u64(slot);
+    }
+    let (values, user_ok) = s.msrs.dump();
+    e.usize(values.len());
+    for (idx, v) in values {
+        e.u64(idx as u64);
+        e.u64(v);
+    }
+    e.usize(user_ok.len());
+    for idx in user_ok {
+        e.u64(idx as u64);
+    }
+}
+
+fn dec_interp(d: &mut Dec, pool: &[Arc<[u8; PAGE_SIZE]>]) -> Option<InterpState> {
+    let mut regs = [0u64; NUM_REGS];
+    for r in &mut regs {
+        *r = d.u64()?;
+    }
+    let pc = d.usize()?;
+    let retired = d.u64()?;
+    let faults = d.u64()?;
+    let halted = d.bool()?;
+    let n_pages = d.usize()?;
+    let mut pages = Vec::with_capacity(n_pages.min(1 << 20));
+    for _ in 0..n_pages {
+        let idx = d.u64()?;
+        let slot = usize::try_from(d.u64()?).ok()?;
+        pages.push((idx, Arc::clone(pool.get(slot)?)));
+    }
+    let n_vals = d.usize()?;
+    let mut values = Vec::with_capacity(n_vals.min(1 << 16));
+    for _ in 0..n_vals {
+        let idx = u16::try_from(d.u64()?).ok()?;
+        values.push((idx, d.u64()?));
+    }
+    let n_ok = d.usize()?;
+    let mut user_ok = Vec::with_capacity(n_ok.min(1 << 16));
+    for _ in 0..n_ok {
+        user_ok.push(u16::try_from(d.u64()?).ok()?);
+    }
+    Some(InterpState {
+        regs,
+        pc,
+        retired,
+        faults,
+        halted,
+        mem: SparseMem::from_pages(pages),
+        msrs: MsrFile::from_parts(&values, &user_ok),
+    })
+}
+
+fn enc_cache(e: &mut Enc, s: &CacheState) {
+    e.usize(s.lines.len());
+    for line in &s.lines {
+        e.u64(line.tag);
+        e.bool(line.valid);
+        e.u64(line.last_use);
+    }
+    e.u64(s.tick);
+    e.u64(s.stats.hits);
+    e.u64(s.stats.misses);
+}
+
+fn dec_cache(d: &mut Dec) -> Option<CacheState> {
+    let n = d.usize()?;
+    let mut lines = Vec::with_capacity(n.min(1 << 24));
+    for _ in 0..n {
+        lines.push(LineState {
+            tag: d.u64()?,
+            valid: d.bool()?,
+            last_use: d.u64()?,
+        });
+    }
+    let tick = d.u64()?;
+    let stats = nda_mem::CacheStats {
+        hits: d.u64()?,
+        misses: d.u64()?,
+    };
+    Some(CacheState { lines, tick, stats })
+}
+
+fn enc_pairs(e: &mut Enc, pairs: &[(u64, u64)]) {
+    e.usize(pairs.len());
+    for &(a, b) in pairs {
+        e.u64(a);
+        e.u64(b);
+    }
+}
+
+fn dec_pairs(d: &mut Dec) -> Option<Vec<(u64, u64)>> {
+    let n = d.usize()?;
+    let mut pairs = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        pairs.push((d.u64()?, d.u64()?));
+    }
+    Some(pairs)
+}
+
+fn enc_hier(e: &mut Enc, s: &MemHierState) {
+    enc_cache(e, &s.l1i);
+    enc_cache(e, &s.l1d);
+    enc_cache(e, &s.l2);
+    enc_pairs(e, &s.mshr.in_flight);
+    e.usize(s.mshr.peak);
+    e.u64(s.mshr.allocations);
+    e.u64(s.mshr.merges);
+    e.u64(s.mlp.miss_cycles);
+    e.u64(s.mlp.busy_cycles);
+    e.u64(s.mlp.frontier);
+    e.u64(s.mlp.misses);
+    e.u64(s.dram_accesses);
+    e.u64(s.prefetches);
+    enc_pairs(e, &s.pending_fills);
+    e.u64(s.extra_latency);
+}
+
+fn dec_hier(d: &mut Dec) -> Option<MemHierState> {
+    Some(MemHierState {
+        l1i: dec_cache(d)?,
+        l1d: dec_cache(d)?,
+        l2: dec_cache(d)?,
+        mshr: MshrState {
+            in_flight: dec_pairs(d)?,
+            peak: d.usize()?,
+            allocations: d.u64()?,
+            merges: d.u64()?,
+        },
+        mlp: MlpState {
+            miss_cycles: d.u64()?,
+            busy_cycles: d.u64()?,
+            frontier: d.u64()?,
+            misses: d.u64()?,
+        },
+        dram_accesses: d.u64()?,
+        prefetches: d.u64()?,
+        pending_fills: dec_pairs(d)?,
+        extra_latency: d.u64()?,
+    })
+}
+
+fn enc_gshare(e: &mut Enc, s: &GshareState) {
+    e.bytes(&s.table);
+    e.u64(s.ghr);
+    e.u64(s.predictions);
+    e.u64(s.correct);
+}
+
+fn dec_gshare(d: &mut Dec) -> Option<GshareState> {
+    Some(GshareState {
+        table: d.bytes()?.to_vec(),
+        ghr: d.u64()?,
+        predictions: d.u64()?,
+        correct: d.u64()?,
+    })
+}
+
+fn enc_dir(e: &mut Enc, s: &DirPredictorState) {
+    match s {
+        DirPredictorState::Gshare(g) => {
+            e.u8(0);
+            enc_gshare(e, g);
+        }
+        DirPredictorState::Bimodal(table) => {
+            e.u8(1);
+            e.bytes(table);
+        }
+        DirPredictorState::Tournament(t) => {
+            e.u8(2);
+            enc_gshare(e, &t.gshare);
+            e.bytes(&t.bimodal);
+            e.bytes(&t.chooser);
+        }
+    }
+}
+
+fn dec_dir(d: &mut Dec) -> Option<DirPredictorState> {
+    match d.u8()? {
+        0 => Some(DirPredictorState::Gshare(dec_gshare(d)?)),
+        1 => Some(DirPredictorState::Bimodal(d.bytes()?.to_vec())),
+        2 => Some(DirPredictorState::Tournament(TournamentState {
+            gshare: dec_gshare(d)?,
+            bimodal: d.bytes()?.to_vec(),
+            chooser: d.bytes()?.to_vec(),
+        })),
+        _ => None,
+    }
+}
+
+fn enc_btb(e: &mut Enc, s: &BtbState) {
+    e.usize(s.entries.len());
+    for entry in &s.entries {
+        e.u64(entry.tag);
+        e.usize(entry.target);
+        e.bool(entry.valid);
+    }
+    e.u64(s.lookups);
+    e.u64(s.hits);
+}
+
+fn dec_btb(d: &mut Dec) -> Option<BtbState> {
+    let n = d.usize()?;
+    let mut entries = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        entries.push(BtbEntryState {
+            tag: d.u64()?,
+            target: d.usize()?,
+            valid: d.bool()?,
+        });
+    }
+    Some(BtbState {
+        entries,
+        lookups: d.u64()?,
+        hits: d.u64()?,
+    })
+}
+
+fn enc_ras(e: &mut Enc, s: &RasState) {
+    for v in s.stack {
+        e.usize(v);
+    }
+    e.usize(s.top);
+    e.usize(s.depth);
+}
+
+fn dec_ras(d: &mut Dec) -> Option<RasState> {
+    let mut stack = [0usize; RAS_ENTRIES];
+    for v in &mut stack {
+        *v = d.usize()?;
+    }
+    Some(RasState {
+        stack,
+        top: d.usize()?,
+        depth: d.usize()?,
+    })
+}
+
+fn encode_set(set: &CheckpointSet) -> Vec<u8> {
+    // Snapshot every interpreter once, then intern all pages into the
+    // pool before emitting anything — the pool is written first.
+    let states: Vec<InterpState> = set
+        .checkpoints
+        .iter()
+        .map(|c| c.interp.dump_state())
+        .chain(std::iter::once(set.final_interp.dump_state()))
+        .collect();
+    let dumps: Vec<PageDump> = states.iter().map(|s| s.mem.dump_pages()).collect();
+    let mut pool = PagePool::default();
+    let refs: Vec<Vec<(u64, u64)>> = dumps
+        .iter()
+        .map(|dump| {
+            dump.iter()
+                .map(|(idx, page)| (*idx, pool.intern(page)))
+                .collect()
+        })
+        .collect();
+
+    let mut e = Enc::default();
+    e.usize(pool.pages.len());
+    for page in &pool.pages {
+        e.buf.extend_from_slice(&page[..]);
+    }
+    e.usize(set.checkpoints.len());
+    for (k, ckpt) in set.checkpoints.iter().enumerate() {
+        enc_interp(&mut e, &states[k], &refs[k]);
+        enc_hier(&mut e, &ckpt.hier.dump_state());
+        enc_dir(&mut e, &ckpt.dir.dump_state());
+        enc_btb(&mut e, &ckpt.btb.dump_state());
+        enc_ras(&mut e, &ckpt.ras.dump_state());
+        e.u64(ckpt.ff_insts);
+    }
+    let last = states.len() - 1;
+    enc_interp(&mut e, &states[last], &refs[last]);
+    e.u64(set.total_insts);
+    e.buf
+}
+
+/// Decode an entry body. `None` on any truncation, shape mismatch against
+/// the live configuration, or trailing garbage — all quarantine cases.
+fn decode_set(d: &mut Dec, cfg: &SimConfig, program: &Program) -> Option<CheckpointSet> {
+    let n_pool = d.usize()?;
+    let mut pool: Vec<Arc<[u8; PAGE_SIZE]>> = Vec::with_capacity(n_pool.min(1 << 20));
+    for _ in 0..n_pool {
+        let bytes: [u8; PAGE_SIZE] = d.take(PAGE_SIZE)?.try_into().ok()?;
+        pool.push(Arc::new(bytes));
+    }
+    let n = d.usize()?;
+    let mut checkpoints = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        let interp = Interp::from_state(program, dec_interp(d, &pool)?);
+        let hier = MemHier::from_state(cfg.mem, &dec_hier(d)?)?;
+        let dir = DirPredictor::from_state(cfg.core.predictor_kind, cfg.core.gshare, &dec_dir(d)?)?;
+        let btb = Btb::from_state(cfg.core.btb, &dec_btb(d)?)?;
+        let ras = Ras::from_state(&dec_ras(d)?)?;
+        let ff_insts = d.u64()?;
+        checkpoints.push(Checkpoint {
+            interp,
+            hier,
+            dir,
+            btb,
+            ras,
+            ff_insts,
+        });
+    }
+    let final_interp = Interp::from_state(program, dec_interp(d, &pool)?);
+    let total_insts = d.u64()?;
+    if !d.done() {
+        return None;
+    }
+    Some(CheckpointSet {
+        checkpoints,
+        final_interp,
+        total_insts,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Keys
+// ---------------------------------------------------------------------
+
+/// The content-addressed identity of one checkpoint collection: the exact
+/// bytes of everything that determines the resulting [`CheckpointSet`],
+/// plus their FNV-1a hash (the filename). Two runs that would collect
+/// identical checkpoints produce equal keys; any change to the workload,
+/// the sampling schedule, the cache geometry or the predictor
+/// configuration changes the key and misses cleanly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreKey {
+    hash: u64,
+    material: Vec<u8>,
+}
+
+impl StoreKey {
+    /// Build the key for a (config, program, schedule) triple.
+    pub fn new(cfg: &SimConfig, program: &Program, params: SampledParams) -> StoreKey {
+        let mut e = Enc::default();
+        e.bytes(MAGIC.as_bytes());
+        e.bytes(&encode_program(program));
+        // Sampling schedule — every field shifts the checkpoint positions
+        // or count.
+        e.u64(params.sample_every);
+        e.u64(params.warm_insts);
+        e.u64(params.detail_insts);
+        e.usize(params.max_windows);
+        e.u64(params.budget_per_phase);
+        // Memory-hierarchy geometry: warming writes tags/LRU into this
+        // shape. Latencies are included too — cheaper than proving the
+        // warming stream never observes them.
+        for c in [cfg.mem.l1i, cfg.mem.l1d, cfg.mem.l2] {
+            e.u64(c.size_bytes);
+            e.u64(c.line_bytes);
+            e.usize(c.ways);
+            e.u64(c.latency);
+        }
+        e.u64(cfg.mem.dram_latency);
+        e.usize(cfg.mem.mshrs);
+        e.bool(cfg.mem.next_line_prefetch);
+        // Predictor configuration: trained state lives in these tables.
+        e.u8(match cfg.core.predictor_kind {
+            PredictorKind::Gshare => 0,
+            PredictorKind::Bimodal => 1,
+            PredictorKind::Tournament => 2,
+        });
+        e.usize(cfg.core.gshare.entries);
+        e.u64(cfg.core.gshare.history_bits as u64);
+        e.usize(cfg.core.btb.entries);
+        e.bool(cfg.core.btb.speculative_update);
+        let hash = fnv1a64(&e.buf);
+        StoreKey {
+            hash,
+            material: e.buf,
+        }
+    }
+
+    /// The 64-bit content hash.
+    pub fn hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// The entry filename, `<hash:016x>.ckpt`.
+    pub fn filename(&self) -> String {
+        format!("{:016x}.ckpt", self.hash)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The store
+// ---------------------------------------------------------------------
+
+/// A directory of cached [`CheckpointSet`]s. See the
+/// [module documentation](self).
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+}
+
+impl CheckpointStore {
+    /// Open (creating if necessary) a store rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the filesystem error if the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<CheckpointStore> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(CheckpointStore { dir })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the entry for `key` (whether or not it exists).
+    pub fn entry_path(&self, key: &StoreKey) -> PathBuf {
+        self.dir.join(key.filename())
+    }
+
+    /// Move a bad entry into `quarantine/` (best-effort: if even that
+    /// fails, fall back to removing it so it cannot poison every
+    /// subsequent run).
+    fn quarantine(&self, path: &Path) {
+        let qdir = self.dir.join("quarantine");
+        let moved = fs::create_dir_all(&qdir).is_ok()
+            && path
+                .file_name()
+                .is_some_and(|name| fs::rename(path, qdir.join(name)).is_ok());
+        if !moved {
+            let _ = fs::remove_file(path);
+        }
+    }
+
+    /// Load the entry for `key`, reconstructing against `cfg`/`program`
+    /// (which must be the ones the key was built from). Returns `None` on
+    /// a clean miss; corrupt entries are quarantined and also report a
+    /// miss.
+    pub fn load(
+        &self,
+        key: &StoreKey,
+        cfg: &SimConfig,
+        program: &Program,
+    ) -> Option<CheckpointSet> {
+        let path = self.entry_path(key);
+        let data = match fs::read(&path) {
+            Ok(data) => data,
+            Err(_) => return None, // clean miss (or unreadable — nothing to quarantine)
+        };
+        match Self::parse(&data, key, cfg, program) {
+            Ok(set) => set,
+            Err(()) => {
+                self.quarantine(&path);
+                None
+            }
+        }
+    }
+
+    /// `Ok(Some)` = valid entry for this key; `Ok(None)` = valid entry for
+    /// a *different* key (hash collision — a miss, but not corruption);
+    /// `Err(())` = corrupt, quarantine.
+    fn parse(
+        data: &[u8],
+        key: &StoreKey,
+        cfg: &SimConfig,
+        program: &Program,
+    ) -> Result<Option<CheckpointSet>, ()> {
+        // Header line: "nda-ckpt-v1 <checksum:016x>\n".
+        let nl = data.iter().position(|&b| b == b'\n').ok_or(())?;
+        let header = std::str::from_utf8(&data[..nl]).map_err(|_| ())?;
+        let checksum_hex = header.strip_prefix(MAGIC).ok_or(())?.trim();
+        let checksum = u64::from_str_radix(checksum_hex, 16).map_err(|_| ())?;
+        let body = &data[nl + 1..];
+        if fnv1a64(body) != checksum {
+            return Err(());
+        }
+        let mut d = Dec::new(body);
+        let material = d.bytes().ok_or(())?;
+        if material != key.material.as_slice() {
+            // Checksummed OK but keyed differently: an FNV collision, not
+            // corruption. Leave the other key's entry alone.
+            return Ok(None);
+        }
+        let set = decode_set(&mut d, cfg, program).ok_or(())?;
+        Ok(Some(set))
+    }
+
+    /// Write the entry for `key` atomically (tmp + fsync + rename).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; callers on the hot path treat a
+    /// failed save as "cache disabled", never as a simulation failure.
+    pub fn save(&self, key: &StoreKey, set: &CheckpointSet) -> std::io::Result<PathBuf> {
+        let mut e = Enc::default();
+        e.bytes(&key.material);
+        e.buf.extend_from_slice(&encode_set(set));
+        let body = e.buf;
+        let mut data = format!("{MAGIC} {:016x}\n", fnv1a64(&body)).into_bytes();
+        data.extend_from_slice(&body);
+
+        let final_path = self.entry_path(key);
+        let tmp = self
+            .dir
+            .join(format!(".tmp.{}.{}", std::process::id(), key.filename()));
+        fs::write(&tmp, &data)?;
+        let f = fs::File::open(&tmp)?;
+        f.sync_all()?;
+        drop(f);
+        match fs::rename(&tmp, &final_path) {
+            Ok(()) => Ok(final_path),
+            Err(err) => {
+                let _ = fs::remove_file(&tmp);
+                Err(err)
+            }
+        }
+    }
+}
+
+/// [`collect_checkpoints`] through an optional store: a warm hit skips the
+/// master functional pass entirely; a miss collects and populates the
+/// store (best-effort — an unwritable store degrades to uncached
+/// collection, never to an error).
+///
+/// Returns the set and whether it was a warm hit. A stored set is only
+/// valid when its functional pass fits the caller's budget — the set
+/// records a *completed* run, so it is reusable for any
+/// `max_insts >= retired + faults`; smaller budgets fall through to a
+/// fresh collection, which reports [`SimError::CycleLimit`] exactly as the
+/// uncached path would.
+///
+/// # Errors
+///
+/// See [`collect_checkpoints`].
+pub fn collect_checkpoints_cached(
+    store: Option<&CheckpointStore>,
+    cfg: &SimConfig,
+    program: &Program,
+    params: SampledParams,
+    max_insts: u64,
+) -> Result<(CheckpointSet, bool), SimError> {
+    let Some(store) = store else {
+        return Ok((collect_checkpoints(cfg, program, params, max_insts)?, false));
+    };
+    let key = StoreKey::new(cfg, program, params);
+    if let Some(set) = store.load(&key, cfg, program) {
+        let executed = set.final_interp.retired() + set.final_interp.faults();
+        if executed <= max_insts {
+            return Ok((set, true));
+        }
+    }
+    let set = collect_checkpoints(cfg, program, params, max_insts)?;
+    let _ = store.save(&key, &set);
+    Ok((set, false))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nda_isa::{Asm, Reg};
+
+    fn store_program() -> Program {
+        let mut asm = Asm::new();
+        let done = asm.new_label();
+        asm.li(Reg::X2, 300).li(Reg::X5, 0x2_0000);
+        let top = asm.here_label();
+        asm.beq(Reg::X2, Reg::X0, done);
+        asm.st8(Reg::X2, Reg::X5, 0);
+        asm.ld8(Reg::X4, Reg::X5, 0);
+        asm.subi(Reg::X2, Reg::X2, 1);
+        asm.jmp(top);
+        asm.bind(done);
+        asm.halt();
+        asm.assemble().unwrap()
+    }
+
+    #[test]
+    fn encode_decode_round_trips_bit_exactly() {
+        let p = store_program();
+        let cfg = SimConfig::ooo();
+        let params = SampledParams::new(100, 20, 20);
+        let set = collect_checkpoints(&cfg, &p, params, u64::MAX).unwrap();
+        assert!(!set.checkpoints.is_empty());
+        let bytes = encode_set(&set);
+        let mut d = Dec::new(&bytes);
+        let back = decode_set(&mut d, &cfg, &p).expect("decodes");
+        assert_eq!(set, back);
+    }
+
+    #[test]
+    fn store_round_trip_hits_warm() {
+        let dir = std::env::temp_dir().join(format!("nda-ckpt-unit-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = CheckpointStore::open(&dir).unwrap();
+        let p = store_program();
+        let cfg = SimConfig::ooo();
+        let params = SampledParams::new(100, 20, 20);
+
+        let (cold, hit) =
+            collect_checkpoints_cached(Some(&store), &cfg, &p, params, u64::MAX).unwrap();
+        assert!(!hit);
+        let (warm, hit) =
+            collect_checkpoints_cached(Some(&store), &cfg, &p, params, u64::MAX).unwrap();
+        assert!(hit);
+        assert_eq!(cold, warm);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn key_separates_workload_schedule_and_geometry() {
+        let p = store_program();
+        let cfg = SimConfig::ooo();
+        let params = SampledParams::new(100, 20, 20);
+        let base = StoreKey::new(&cfg, &p, params);
+
+        let mut asm = Asm::new();
+        asm.li(Reg::X2, 1).halt();
+        let other = asm.assemble().unwrap();
+        assert_ne!(base, StoreKey::new(&cfg, &other, params));
+
+        let mut p2 = params;
+        p2.sample_every = 200;
+        assert_ne!(base, StoreKey::new(&cfg, &p, p2));
+
+        let mut cfg2 = cfg;
+        cfg2.mem.l1d.size_bytes *= 2;
+        assert_ne!(base, StoreKey::new(&cfg2, &p, params));
+
+        let mut cfg3 = cfg;
+        cfg3.core.gshare.entries *= 2;
+        assert_ne!(base, StoreKey::new(&cfg3, &p, params));
+    }
+}

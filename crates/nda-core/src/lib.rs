@@ -32,6 +32,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod ckpt_store;
 pub mod config;
 pub mod inorder;
 pub mod ooo;
@@ -41,6 +42,7 @@ pub mod sampled;
 pub mod snapshot;
 pub mod trace;
 
+pub use ckpt_store::{collect_checkpoints_cached, CheckpointStore, StoreKey};
 pub use config::{CoreConfig, SimConfig, Variant};
 pub use inorder::InOrderCore;
 pub use ooo::core::{OooCore, RobCellState, RobView};
@@ -51,7 +53,8 @@ pub use run::{
     SmartsInterrupted, SmartsParams,
 };
 pub use sampled::{
-    collect_checkpoints, run_sampled, run_sampled_with, Checkpoint, CheckpointSet, SampledParams,
+    collect_checkpoints, collect_checkpoints_with, run_sampled, run_sampled_with, Checkpoint,
+    CheckpointSet, FfEngine, SampledParams,
 };
 pub use snapshot::{HeadInfo, HeadWait, PipelineSnapshot};
 pub use trace::{render_pipeline, EventSink, TraceEvent, TraceStage, VecSink};

@@ -104,6 +104,17 @@ pub struct SampledInfo {
     pub fast_forwarded_insts: u64,
     /// Measurement windows that contributed a CPI.
     pub windows: usize,
+    /// Host wall-clock nanoseconds spent collecting checkpoints (the
+    /// functional fast-forward + warming pass). Zero when the checkpoints
+    /// came from the persistent store (a warm hit skips fast-forward) or
+    /// when timing was not captured. Host-side instrumentation only — like
+    /// [`RunResult::host_ns`], never part of determinism comparisons and
+    /// never serialized into the sweep journal.
+    pub ff_wall_ns: u64,
+    /// Host wall-clock nanoseconds spent in the detailed warm+measure
+    /// windows. Same instrumentation-only caveats as
+    /// [`SampledInfo::ff_wall_ns`].
+    pub detail_wall_ns: u64,
 }
 
 /// The outcome of a completed simulation.
@@ -142,6 +153,10 @@ impl RunResult {
         self.stats.export(&mut reg);
         self.mem_stats.export(&mut reg);
         reg.counter("run.halted", u64::from(self.halted));
+        if let Some(s) = &self.sampled {
+            reg.counter("sim.ff_wall_ns", s.ff_wall_ns);
+            reg.counter("sim.detail_wall_ns", s.detail_wall_ns);
+        }
         reg
     }
 

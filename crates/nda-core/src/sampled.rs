@@ -42,7 +42,7 @@ use crate::config::{CoreModel, SimConfig};
 use crate::inorder::InOrderCore;
 use crate::ooo::core::OooCore;
 use crate::run::{RunResult, SampledInfo, SimError};
-use nda_isa::{Inst, Interp, InterpError, Program, StepInfo};
+use nda_isa::{ExecHooks, Inst, Interp, InterpError, Program, StepInfo, TranslatedProgram};
 use nda_mem::MemHier;
 use nda_predict::{Btb, DirPredictor, Ras};
 use nda_stats::{Sample, SimStats};
@@ -184,6 +184,71 @@ impl Warmer {
     }
 }
 
+/// The pre-decoded fast path reports warming events through
+/// [`ExecHooks`]; each callback is one arm of [`Warmer::observe`], so the
+/// two engines produce identical warming state by construction (pinned by
+/// `tests/translated.rs` down to the predictor accuracy counters, which
+/// participate in checkpoint equality).
+impl ExecHooks for Warmer {
+    #[inline]
+    fn inst(&mut self, iaddr: u64, iline: u64) {
+        if self.last_line != Some(iline) {
+            self.hier.warm_touch_inst(iaddr);
+            self.last_line = Some(iline);
+        }
+    }
+
+    #[inline]
+    fn branch(&mut self, iaddr: u64, taken: bool) {
+        self.dir.functional_update(iaddr, taken);
+    }
+
+    #[inline]
+    fn call(&mut self, ret_pc: usize) {
+        self.ras.push(ret_pc);
+    }
+
+    #[inline]
+    fn call_ind(&mut self, iaddr: u64, ret_pc: usize, next_pc: usize) {
+        self.ras.push(ret_pc);
+        self.btb.update(iaddr, next_pc);
+    }
+
+    #[inline]
+    fn jmp_ind(&mut self, iaddr: u64, next_pc: usize) {
+        self.btb.update(iaddr, next_pc);
+    }
+
+    #[inline]
+    fn ret(&mut self) {
+        self.ras.pop();
+    }
+
+    #[inline]
+    fn data(&mut self, addr: u64) {
+        self.hier.warm_touch_data(addr);
+    }
+
+    #[inline]
+    fn flush(&mut self, addr: u64) {
+        self.hier.flush_line(addr);
+    }
+}
+
+/// Which engine drives the master functional pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FfEngine {
+    /// The pre-decoded threaded-code path
+    /// ([`nda_isa::Interp::run_translated`]): decode once, dispatch on a
+    /// flat op array. The default — several times faster, bit-exact.
+    #[default]
+    Translated,
+    /// The reference path: [`nda_isa::Interp::step_info`] per instruction.
+    /// Kept callable so the differential suite can pin the translated
+    /// engine against it; not used in production paths.
+    Reference,
+}
+
 fn interp_err(e: InterpError) -> SimError {
     match e {
         InterpError::PcOutOfRange { pc } => SimError::PcOutOfRange { pc },
@@ -219,8 +284,30 @@ pub fn collect_checkpoints(
     params: SampledParams,
     max_insts: u64,
 ) -> Result<CheckpointSet, SimError> {
+    collect_checkpoints_with(cfg, program, params, max_insts, FfEngine::Translated)
+}
+
+/// [`collect_checkpoints`] with an explicit [`FfEngine`] choice. Both
+/// engines produce bit-identical [`CheckpointSet`]s (pinned by
+/// `tests/translated.rs`); production callers use the default
+/// [`FfEngine::Translated`].
+///
+/// # Errors
+///
+/// See [`collect_checkpoints`].
+pub fn collect_checkpoints_with(
+    cfg: &SimConfig,
+    program: &Program,
+    params: SampledParams,
+    max_insts: u64,
+    engine: FfEngine,
+) -> Result<CheckpointSet, SimError> {
     let mut interp = Interp::new(program);
     let mut warmer = Warmer::new(cfg);
+    let tp = match engine {
+        FfEngine::Translated => Some(TranslatedProgram::new(program)),
+        FfEngine::Reference => None,
+    };
     let mut checkpoints = Vec::new();
     let mut executed: u64 = 0;
     while !interp.halted() {
@@ -242,20 +329,39 @@ pub fn collect_checkpoints(
         // U phase: fast-forward one sampling interval. Faulting steps do
         // not retire but do make progress (PC moves to the handler), so the
         // interval counts *executed* steps.
-        let mut n = 0;
-        while n < params.sample_every && !interp.halted() {
-            if executed >= max_insts {
+        if let Some(tp) = &tp {
+            // Pre-decoded batch: run up to a whole interval in one call,
+            // capped by the remaining functional budget. The budget error
+            // fires at the same executed count as the per-step path: a
+            // short cap means the budget boundary falls inside this
+            // interval, so finishing the cap without halting exhausts it.
+            let cap = params.sample_every.min(max_insts - executed);
+            let n = interp
+                .run_translated(tp, cap, &mut warmer)
+                .map_err(interp_err)?;
+            executed += n;
+            if !interp.halted() && n == cap && cap < params.sample_every {
                 return Err(SimError::CycleLimit {
                     cycles: executed,
                     snapshot: None,
                 });
             }
-            let Some(info) = interp.step_info().map_err(interp_err)? else {
-                break;
-            };
-            warmer.observe(program, &info);
-            executed += 1;
-            n += 1;
+        } else {
+            let mut n = 0;
+            while n < params.sample_every && !interp.halted() {
+                if executed >= max_insts {
+                    return Err(SimError::CycleLimit {
+                        cycles: executed,
+                        snapshot: None,
+                    });
+                }
+                let Some(info) = interp.step_info().map_err(interp_err)? else {
+                    break;
+                };
+                warmer.observe(program, &info);
+                executed += 1;
+                n += 1;
+            }
         }
     }
     let total_insts = interp.retired();
@@ -396,6 +502,8 @@ pub fn run_sampled_with(
             detailed_insts,
             fast_forwarded_insts: set.total_insts,
             windows: cpis.len(),
+            ff_wall_ns: 0,
+            detail_wall_ns: 0,
         }),
     })
 }
@@ -415,7 +523,14 @@ pub fn run_sampled(
 ) -> Result<RunResult, SimError> {
     let start = std::time::Instant::now();
     let set = collect_checkpoints(&cfg, program, params, max_insts)?;
+    let ff_wall_ns = start.elapsed().as_nanos() as u64;
+    let detail_start = std::time::Instant::now();
     let mut r = run_sampled_with(cfg, program, &set, params)?;
+    let detail_wall_ns = detail_start.elapsed().as_nanos() as u64;
+    if let Some(s) = &mut r.sampled {
+        s.ff_wall_ns = ff_wall_ns;
+        s.detail_wall_ns = detail_wall_ns;
+    }
     r.host_ns = start.elapsed().as_nanos() as u64;
     Ok(r)
 }

@@ -1,0 +1,197 @@
+//! Robustness contract of the persistent checkpoint store: corruption is
+//! quarantined and regenerated, stale geometry never matches, concurrent
+//! writers cannot tear an entry, and a warm hit is indistinguishable —
+//! bit for bit — from collecting from scratch.
+
+use nda_core::{
+    collect_checkpoints, collect_checkpoints_cached, run_sampled_with, CheckpointStore,
+    SampledParams, SimConfig, StoreKey, Variant,
+};
+use nda_isa::Program;
+use nda_workloads::{by_name, WorkloadParams};
+use std::path::PathBuf;
+
+fn workload() -> Program {
+    let w = by_name("mcf").expect("mcf kernel present");
+    (w.build)(&WorkloadParams {
+        seed: 1234,
+        iters: 300,
+    })
+}
+
+fn params() -> SampledParams {
+    SampledParams::new(5_000, 200, 200)
+}
+
+/// Fresh per-test store directory (pid-scoped so parallel test binaries
+/// cannot collide).
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nda-ckpt-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn corrupt_entry_is_quarantined_and_regenerated() {
+    let dir = fresh_dir("corrupt");
+    let store = CheckpointStore::open(&dir).unwrap();
+    let cfg = SimConfig::for_variant(Variant::Ooo);
+    let prog = workload();
+    let key = StoreKey::new(&cfg, &prog, params());
+
+    let (cold, hit) =
+        collect_checkpoints_cached(Some(&store), &cfg, &prog, params(), u64::MAX).unwrap();
+    assert!(!hit, "empty store must miss");
+    let entry = store.entry_path(&key);
+    assert!(entry.exists(), "miss must populate the store");
+
+    // Flip a byte in the middle of the body: checksum mismatch.
+    let mut data = std::fs::read(&entry).unwrap();
+    let mid = data.len() / 2;
+    data[mid] ^= 0xff;
+    std::fs::write(&entry, &data).unwrap();
+
+    let (after, hit) =
+        collect_checkpoints_cached(Some(&store), &cfg, &prog, params(), u64::MAX).unwrap();
+    assert!(!hit, "corrupt entry must read as a miss, never as data");
+    assert_eq!(after, cold, "regenerated set must equal the original");
+    assert!(
+        dir.join("quarantine").join(key.filename()).exists(),
+        "corrupt entry must be preserved under quarantine/ for forensics"
+    );
+    assert!(entry.exists(), "the miss must have re-saved a good entry");
+
+    // Truncation (e.g. a crashed writer that bypassed the atomic rename)
+    // is also quarantined, then the next pass heals the store and hits.
+    let data = std::fs::read(&entry).unwrap();
+    std::fs::write(&entry, &data[..data.len() / 3]).unwrap();
+    let (_, hit) =
+        collect_checkpoints_cached(Some(&store), &cfg, &prog, params(), u64::MAX).unwrap();
+    assert!(!hit, "truncated entry must miss");
+    let (_, hit) =
+        collect_checkpoints_cached(Some(&store), &cfg, &prog, params(), u64::MAX).unwrap();
+    assert!(hit, "healed store must hit");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn changed_geometry_or_schedule_never_matches_a_stale_entry() {
+    let dir = fresh_dir("geometry");
+    let store = CheckpointStore::open(&dir).unwrap();
+    let cfg = SimConfig::for_variant(Variant::Ooo);
+    let prog = workload();
+    let (_, hit) =
+        collect_checkpoints_cached(Some(&store), &cfg, &prog, params(), u64::MAX).unwrap();
+    assert!(!hit);
+
+    // Same workload, halved L1D: warming writes different tags, so the
+    // key must differ and the stale entry must not be consulted.
+    let mut small = cfg;
+    small.mem.l1d.size_bytes /= 2;
+    assert_ne!(
+        StoreKey::new(&cfg, &prog, params()).hash(),
+        StoreKey::new(&small, &prog, params()).hash()
+    );
+    let (set, hit) =
+        collect_checkpoints_cached(Some(&store), &small, &prog, params(), u64::MAX).unwrap();
+    assert!(!hit, "changed cache geometry must miss");
+    assert_eq!(
+        set,
+        collect_checkpoints(&small, &prog, params(), u64::MAX).unwrap()
+    );
+
+    // A different sampling schedule shifts every checkpoint: also a miss.
+    let other = SampledParams::new(7_000, 200, 200);
+    let (_, hit) = collect_checkpoints_cached(Some(&store), &cfg, &prog, other, u64::MAX).unwrap();
+    assert!(!hit, "changed schedule must miss");
+
+    // The original key still hits — nothing above disturbed it.
+    let (_, hit) =
+        collect_checkpoints_cached(Some(&store), &cfg, &prog, params(), u64::MAX).unwrap();
+    assert!(hit);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_writers_do_not_tear_the_store() {
+    let dir = fresh_dir("concurrent");
+    let cfg = SimConfig::for_variant(Variant::Ooo);
+    let prog = workload();
+    let expected = collect_checkpoints(&cfg, &prog, params(), u64::MAX).unwrap();
+
+    // Eight threads race cold collection + save of the same key against
+    // the same directory; atomic tmp+rename means the store always holds
+    // a complete entry, whichever writer renamed last.
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            let (dir, cfg, prog) = (&dir, &cfg, &prog);
+            s.spawn(move || {
+                let store = CheckpointStore::open(dir).unwrap();
+                let (set, _) =
+                    collect_checkpoints_cached(Some(&store), cfg, prog, params(), u64::MAX)
+                        .unwrap();
+                set
+            });
+        }
+    });
+
+    let store = CheckpointStore::open(&dir).unwrap();
+    let key = StoreKey::new(&cfg, &prog, params());
+    let set = store
+        .load(&key, &cfg, &prog)
+        .expect("racing writers must leave a loadable entry");
+    assert_eq!(set, expected, "stored entry torn by concurrent writers");
+    assert!(
+        !dir.join("quarantine").exists(),
+        "no writer may have observed (and quarantined) a partial entry"
+    );
+    // No abandoned temporaries either: every writer renamed or cleaned up.
+    let leftovers: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().starts_with(".tmp."))
+        .collect();
+    assert!(leftovers.is_empty(), "abandoned temp files: {leftovers:?}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn warm_hit_resume_equals_cold_run_exactly() {
+    let dir = fresh_dir("warm");
+    let store = CheckpointStore::open(&dir).unwrap();
+    let cfg = SimConfig::for_variant(Variant::FullProtection);
+    let prog = workload();
+
+    let (cold_set, hit) =
+        collect_checkpoints_cached(Some(&store), &cfg, &prog, params(), u64::MAX).unwrap();
+    assert!(!hit);
+    let (warm_set, hit) =
+        collect_checkpoints_cached(Some(&store), &cfg, &prog, params(), u64::MAX).unwrap();
+    assert!(hit, "second pass over identical inputs must hit");
+    assert_eq!(warm_set, cold_set, "deserialized set must be bit-exact");
+
+    // And the detailed simulation driven from the deserialized set is
+    // bit-identical to one driven from the freshly collected set.
+    let cold = run_sampled_with(cfg, &prog, &cold_set, params()).unwrap();
+    let warm = run_sampled_with(cfg, &prog, &warm_set, params()).unwrap();
+    assert_eq!(cold.stats, warm.stats);
+    assert_eq!(cold.mem_stats, warm.mem_stats);
+    assert_eq!(cold.regs, warm.regs);
+    assert_eq!(cold.halted, warm.halted);
+    let (sc, sw) = (cold.sampled.unwrap(), warm.sampled.unwrap());
+    assert_eq!(sc.cpi.mean.to_bits(), sw.cpi.mean.to_bits());
+    assert_eq!(sc.cpi.ci95.to_bits(), sw.cpi.ci95.to_bits());
+    assert_eq!(sc.windows, sw.windows);
+
+    // A budget smaller than the recorded run must not reuse the entry:
+    // the cached set describes a *completed* pass, and a tiny budget has
+    // to fail exactly as the uncached path would.
+    let tiny = collect_checkpoints_cached(Some(&store), &cfg, &prog, params(), 10);
+    let uncached = collect_checkpoints(&cfg, &prog, params(), 10);
+    assert_eq!(tiny.is_err(), uncached.is_err());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -98,19 +98,48 @@ pub struct StepInfo {
 }
 
 /// The reference interpreter. See the [module documentation](self).
+///
+/// Fields are crate-visible so the pre-decoded fast path
+/// ([`Interp::run_translated`](crate::translate)) can drive the *same*
+/// architectural state without per-field accessor overhead — the two
+/// engines share one state representation, which is what makes their
+/// bit-exactness a structural property rather than a copy discipline.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Interp {
-    program: Program,
-    regs: [u64; NUM_REGS],
-    pc: usize,
+    pub(crate) program: Program,
+    pub(crate) regs: [u64; NUM_REGS],
+    pub(crate) pc: usize,
     /// Architectural memory; shared semantics with the timing cores.
     pub mem: SparseMem,
     /// The MSR file.
     pub msrs: MsrFile,
-    priv_map: PrivilegeMap,
-    retired: u64,
-    faults: u64,
-    halted: bool,
+    pub(crate) priv_map: PrivilegeMap,
+    pub(crate) retired: u64,
+    pub(crate) faults: u64,
+    pub(crate) halted: bool,
+}
+
+/// Exact architectural snapshot of an [`Interp`], detached from the
+/// program text. Produced by [`Interp::dump_state`] and consumed by
+/// [`Interp::from_state`]; the persistent checkpoint store serializes this
+/// (the program itself is part of the store key, so only the mutable state
+/// travels with each entry).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterpState {
+    /// The architectural register file.
+    pub regs: [u64; NUM_REGS],
+    /// Program counter (instruction index).
+    pub pc: usize,
+    /// Retired-instruction count.
+    pub retired: u64,
+    /// Faults delivered so far.
+    pub faults: u64,
+    /// Whether `Halt` has executed.
+    pub halted: bool,
+    /// Architectural memory image.
+    pub mem: SparseMem,
+    /// MSR file contents.
+    pub msrs: MsrFile,
 }
 
 impl Interp {
@@ -166,7 +195,44 @@ impl Interp {
         self.halted
     }
 
-    fn deliver_fault(&mut self, fault: Fault) -> Result<(), InterpError> {
+    /// Faults delivered so far.
+    pub fn faults(&self) -> u64 {
+        self.faults
+    }
+
+    /// Snapshot the complete architectural state (registers, PC, memory,
+    /// MSRs, retirement/fault counters, halt flag). See [`InterpState`].
+    pub fn dump_state(&self) -> InterpState {
+        InterpState {
+            regs: self.regs,
+            pc: self.pc,
+            retired: self.retired,
+            faults: self.faults,
+            halted: self.halted,
+            mem: self.mem.clone(),
+            msrs: self.msrs.clone(),
+        }
+    }
+
+    /// Rebuild an interpreter from a [`Interp::dump_state`] snapshot and
+    /// the program it was taken from. The result compares equal to the
+    /// original interpreter (`Interp` derives `PartialEq`), which is the
+    /// bit-exactness contract of the persistent checkpoint store.
+    pub fn from_state(program: &Program, state: InterpState) -> Interp {
+        Interp {
+            program: program.clone(),
+            regs: state.regs,
+            pc: state.pc,
+            mem: state.mem,
+            msrs: state.msrs,
+            priv_map: PrivilegeMap,
+            retired: state.retired,
+            faults: state.faults,
+            halted: state.halted,
+        }
+    }
+
+    pub(crate) fn deliver_fault(&mut self, fault: Fault) -> Result<(), InterpError> {
         self.faults += 1;
         match self.program.fault_handler {
             Some(h) => {

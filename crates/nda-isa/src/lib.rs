@@ -44,16 +44,18 @@ pub mod mem;
 pub mod program;
 pub mod reg;
 pub mod secret;
+pub mod translate;
 
 pub use asm::{Asm, AsmError, Label};
 pub use cfg::{indirect_target_candidates, inst_successors, return_sites, BasicBlock, Cfg};
 pub use encode::{decode_program, encode_program, DecodeError};
 pub use inst::{AluOp, BranchCond, Inst, MemSize};
-pub use interp::{ExitInfo, Fault, Interp, InterpError, StepInfo};
-pub use mem::{MsrFile, PrivilegeMap, SparseMem, KERNEL_BASE};
+pub use interp::{ExitInfo, Fault, Interp, InterpError, InterpState, StepInfo};
+pub use mem::{MsrFile, PrivilegeMap, SparseMem, KERNEL_BASE, PAGE_SHIFT, PAGE_SIZE};
 pub use program::{DataInit, Program};
 pub use reg::Reg;
 pub use secret::{SecretRange, SecretSpec};
+pub use translate::{ExecHooks, NoHooks, TranslatedProgram};
 
 /// Byte size of one encoded instruction; instruction index `i` lives at
 /// i-cache address `text_base + 4 * i`.

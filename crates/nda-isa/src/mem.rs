@@ -13,8 +13,10 @@ use std::sync::Arc;
 /// above this address fault in user mode, exactly the Meltdown setting.
 pub const KERNEL_BASE: u64 = 0xffff_8000_0000_0000;
 
-const PAGE_SHIFT: u64 = 12;
-const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+/// log2 of the page size.
+pub const PAGE_SHIFT: u64 = 12;
+/// Byte size of one [`SparseMem`] page.
+pub const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
 
 /// Sparse byte-addressable memory backed by 4 KiB copy-on-write pages.
@@ -63,8 +65,24 @@ impl SparseMem {
     }
 
     /// Read `size` bytes (1, 2, 4 or 8) little-endian, zero-extended.
+    ///
+    /// Accesses contained in one page (the overwhelmingly common case) do a
+    /// single page lookup and one slice copy; only page-straddling accesses
+    /// fall back to the per-byte path. This is the hot read of the
+    /// fast-forward engine ([`crate::TranslatedProgram`]).
     pub fn read(&self, addr: u64, size: u64) -> u64 {
         debug_assert!(matches!(size, 1 | 2 | 4 | 8));
+        let off = (addr & PAGE_MASK) as usize;
+        if off + size as usize <= PAGE_SIZE {
+            return match self.pages.get(&(addr >> PAGE_SHIFT)) {
+                Some(p) => {
+                    let mut buf = [0u8; 8];
+                    buf[..size as usize].copy_from_slice(&p[off..off + size as usize]);
+                    u64::from_le_bytes(buf)
+                }
+                None => 0,
+            };
+        }
         let mut v: u64 = 0;
         for i in 0..size {
             v |= (self.read_u8(addr.wrapping_add(i)) as u64) << (8 * i);
@@ -73,8 +91,21 @@ impl SparseMem {
     }
 
     /// Write the low `size` bytes of `val` (1, 2, 4 or 8) little-endian.
+    ///
+    /// Page-contained accesses (the common case) do one page lookup and one
+    /// slice copy; page-straddling accesses fall back to per-byte writes.
     pub fn write(&mut self, addr: u64, val: u64, size: u64) {
         debug_assert!(matches!(size, 1 | 2 | 4 | 8));
+        let off = (addr & PAGE_MASK) as usize;
+        if off + size as usize <= PAGE_SIZE {
+            let page = self
+                .pages
+                .entry(addr >> PAGE_SHIFT)
+                .or_insert_with(|| Arc::new([0u8; PAGE_SIZE]));
+            Arc::make_mut(page)[off..off + size as usize]
+                .copy_from_slice(&val.to_le_bytes()[..size as usize]);
+            return;
+        }
         for i in 0..size {
             self.write_u8(addr.wrapping_add(i), (val >> (8 * i)) as u8);
         }
@@ -106,6 +137,27 @@ impl SparseMem {
     /// Number of resident pages (for tests and capacity sanity checks).
     pub fn resident_pages(&self) -> usize {
         self.pages.len()
+    }
+
+    /// Resident pages sorted by page index — a deterministic iteration
+    /// order for serialization (the internal `HashMap` order is not).
+    /// Round-tripping through [`SparseMem::from_pages`] reproduces a memory
+    /// that compares equal, including the exact resident-page set.
+    pub fn dump_pages(&self) -> Vec<(u64, Arc<[u8; PAGE_SIZE]>)> {
+        let mut pages: Vec<_> = self
+            .pages
+            .iter()
+            .map(|(&idx, p)| (idx, Arc::clone(p)))
+            .collect();
+        pages.sort_unstable_by_key(|&(idx, _)| idx);
+        pages
+    }
+
+    /// Rebuild a memory from pages produced by [`SparseMem::dump_pages`].
+    pub fn from_pages(pages: impl IntoIterator<Item = (u64, Arc<[u8; PAGE_SIZE]>)>) -> SparseMem {
+        SparseMem {
+            pages: pages.into_iter().collect(),
+        }
     }
 }
 
@@ -171,6 +223,34 @@ impl MsrFile {
     /// `true` if user code may read `idx` without faulting.
     pub fn user_may_read(&self, idx: u16) -> bool {
         self.user_ok.get(&idx).copied().unwrap_or(false)
+    }
+
+    /// Deterministic snapshot: `(values sorted by index, user-readable
+    /// indices sorted)`. Round-trips exactly through
+    /// [`MsrFile::from_parts`].
+    pub fn dump(&self) -> (Vec<(u16, u64)>, Vec<u16>) {
+        let mut values: Vec<_> = self.values.iter().map(|(&i, &v)| (i, v)).collect();
+        values.sort_unstable_by_key(|&(i, _)| i);
+        let mut user_ok: Vec<u16> = self
+            .user_ok
+            .iter()
+            .filter(|&(_, &ok)| ok)
+            .map(|(&i, _)| i)
+            .collect();
+        user_ok.sort_unstable();
+        (values, user_ok)
+    }
+
+    /// Rebuild an MSR file from a [`MsrFile::dump`] snapshot.
+    pub fn from_parts(values: &[(u16, u64)], user_ok: &[u16]) -> MsrFile {
+        let mut f = MsrFile::new();
+        for &(idx, v) in values {
+            f.set(idx, v);
+        }
+        for &idx in user_ok {
+            f.permit_user(idx);
+        }
+        f
     }
 }
 

@@ -53,6 +53,33 @@ struct Line {
     last_use: u64,
 }
 
+/// Exact snapshot of one cache line, with public fields so the persistent
+/// checkpoint store (in `nda-core`) can encode it without this crate
+/// depending on any serialization machinery.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LineState {
+    /// Line tag (line index; the set mapping is re-derived from geometry).
+    pub tag: u64,
+    /// Whether the line is valid.
+    pub valid: bool,
+    /// LRU use stamp.
+    pub last_use: u64,
+}
+
+/// Exact snapshot of a [`SetAssocCache`] (tags, LRU stamps, tick, stats).
+/// Produced by [`SetAssocCache::dump_state`]; restoring through
+/// [`SetAssocCache::from_state`] with the same geometry yields a cache that
+/// compares equal to the original.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheState {
+    /// All lines in set-major order (`set * ways + way`).
+    pub lines: Vec<LineState>,
+    /// Monotonic LRU tick.
+    pub tick: u64,
+    /// Accumulated hit/miss counters.
+    pub stats: CacheStats,
+}
+
 /// A set-associative, true-LRU tag store.
 ///
 /// The store tracks presence and recency only; data bytes never enter it.
@@ -212,6 +239,44 @@ impl SetAssocCache {
         for l in &mut self.lines {
             l.valid = false;
         }
+    }
+
+    /// Snapshot the full replacement state. See [`CacheState`].
+    pub fn dump_state(&self) -> CacheState {
+        CacheState {
+            lines: self
+                .lines
+                .iter()
+                .map(|l| LineState {
+                    tag: l.tag,
+                    valid: l.valid,
+                    last_use: l.last_use,
+                })
+                .collect(),
+            tick: self.tick,
+            stats: self.stats,
+        }
+    }
+
+    /// Rebuild a cache from a [`SetAssocCache::dump_state`] snapshot.
+    /// Returns `None` when the snapshot's line count does not match the
+    /// geometry of `cfg` — the checkpoint store uses this to refuse entries
+    /// taken under a different hierarchy configuration.
+    pub fn from_state(cfg: CacheConfig, state: &CacheState) -> Option<SetAssocCache> {
+        let mut cache = SetAssocCache::new(cfg);
+        if state.lines.len() != cache.lines.len() {
+            return None;
+        }
+        for (l, s) in cache.lines.iter_mut().zip(&state.lines) {
+            *l = Line {
+                tag: s.tag,
+                valid: s.valid,
+                last_use: s.last_use,
+            };
+        }
+        cache.tick = state.tick;
+        cache.stats = state.stats;
+        Some(cache)
     }
 }
 

@@ -1,8 +1,8 @@
 //! The two-level cache hierarchy plus DRAM.
 
-use crate::cache::{CacheConfig, CacheStats, SetAssocCache};
-use crate::mlp::MlpTracker;
-use crate::mshr::MshrFile;
+use crate::cache::{CacheConfig, CacheState, CacheStats, SetAssocCache};
+use crate::mlp::{MlpState, MlpTracker};
+use crate::mshr::{MshrFile, MshrState};
 
 /// Which level serviced an access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -376,6 +376,72 @@ impl MemHier {
             mlp: self.mlp.mlp(),
         }
     }
+
+    /// Snapshot the entire hierarchy state (tag/LRU stores, MSHRs, MLP
+    /// accumulators, counters and pending fills). Pending fills are sorted
+    /// for a deterministic encoding; `apply_fills` is order-insensitive, so
+    /// restoring the sorted list is behaviourally identical. See
+    /// [`MemHierState`].
+    pub fn dump_state(&self) -> MemHierState {
+        let mut pending_fills = self.pending_fills.clone();
+        pending_fills.sort_unstable();
+        MemHierState {
+            l1i: self.l1i.dump_state(),
+            l1d: self.l1d.dump_state(),
+            l2: self.l2.dump_state(),
+            mshr: self.mshr.dump_state(),
+            mlp: self.mlp.dump_state(),
+            dram_accesses: self.dram_accesses,
+            prefetches: self.prefetches,
+            pending_fills,
+            extra_latency: self.extra_latency,
+        }
+    }
+
+    /// Rebuild a hierarchy from a [`MemHier::dump_state`] snapshot taken
+    /// under the same configuration. Returns `None` when any component's
+    /// snapshot does not fit `cfg`'s geometry — the checkpoint store uses
+    /// this as a second line of defence behind its configuration key.
+    pub fn from_state(cfg: MemHierConfig, state: &MemHierState) -> Option<MemHier> {
+        Some(MemHier {
+            l1i: SetAssocCache::from_state(cfg.l1i, &state.l1i)?,
+            l1d: SetAssocCache::from_state(cfg.l1d, &state.l1d)?,
+            l2: SetAssocCache::from_state(cfg.l2, &state.l2)?,
+            mshr: MshrFile::from_state(cfg.mshrs, &state.mshr)?,
+            mlp: MlpTracker::from_state(&state.mlp),
+            dram_accesses: state.dram_accesses,
+            prefetches: state.prefetches,
+            pending_fills: state.pending_fills.clone(),
+            extra_latency: state.extra_latency,
+            cfg,
+        })
+    }
+}
+
+/// Exact snapshot of a [`MemHier`], detached from its configuration (the
+/// configuration is part of the checkpoint-store key, so only mutable state
+/// travels with each entry). All fields are integers — no float rounding
+/// can occur on a round trip.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemHierState {
+    /// L1I tag/LRU state.
+    pub l1i: CacheState,
+    /// L1D tag/LRU state.
+    pub l1d: CacheState,
+    /// L2 tag/LRU state.
+    pub l2: CacheState,
+    /// MSHR file state.
+    pub mshr: MshrState,
+    /// MLP accumulator state.
+    pub mlp: MlpState,
+    /// Off-chip accesses performed.
+    pub dram_accesses: u64,
+    /// Prefetches issued.
+    pub prefetches: u64,
+    /// Requested-but-unfilled lines as `(line base, completion)`, sorted.
+    pub pending_fills: Vec<(u64, u64)>,
+    /// Fault-injection latency knob (normally zero).
+    pub extra_latency: u64,
 }
 
 #[cfg(test)]

@@ -26,7 +26,7 @@ pub mod hier;
 pub mod mlp;
 pub mod mshr;
 
-pub use cache::{CacheConfig, CacheStats, SetAssocCache};
-pub use hier::{DataAccess, Level, MemHier, MemHierConfig, MemStats};
-pub use mlp::MlpTracker;
-pub use mshr::MshrFile;
+pub use cache::{CacheConfig, CacheState, CacheStats, LineState, SetAssocCache};
+pub use hier::{DataAccess, Level, MemHier, MemHierConfig, MemHierState, MemStats};
+pub use mlp::{MlpState, MlpTracker};
+pub use mshr::{MshrFile, MshrState};

@@ -66,6 +66,40 @@ impl MlpTracker {
             Some(self.miss_cycles as f64 / self.busy_cycles as f64)
         }
     }
+
+    /// Snapshot the accumulator state. See [`MlpState`].
+    pub fn dump_state(&self) -> MlpState {
+        MlpState {
+            miss_cycles: self.miss_cycles,
+            busy_cycles: self.busy_cycles,
+            frontier: self.frontier,
+            misses: self.misses,
+        }
+    }
+
+    /// Rebuild a tracker from a [`MlpTracker::dump_state`] snapshot.
+    pub fn from_state(state: &MlpState) -> MlpTracker {
+        MlpTracker {
+            miss_cycles: state.miss_cycles,
+            busy_cycles: state.busy_cycles,
+            frontier: state.frontier,
+            misses: state.misses,
+        }
+    }
+}
+
+/// Exact snapshot of an [`MlpTracker`] — all four accumulators are exact
+/// integers, so a round trip is trivially bit-exact.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MlpState {
+    /// Sum over misses of their duration.
+    pub miss_cycles: u64,
+    /// Union of miss intervals in cycles.
+    pub busy_cycles: u64,
+    /// End of the interval union being extended.
+    pub frontier: u64,
+    /// Misses recorded.
+    pub misses: u64,
 }
 
 #[cfg(test)]

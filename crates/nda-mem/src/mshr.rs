@@ -83,6 +83,50 @@ impl MshrFile {
     pub fn merges(&self) -> u64 {
         self.merges
     }
+
+    /// Snapshot the file, with in-flight entries sorted by line index for a
+    /// deterministic order (the internal `HashMap` order is not). See
+    /// [`MshrState`].
+    pub fn dump_state(&self) -> MshrState {
+        let mut in_flight: Vec<(u64, u64)> = self.in_flight.iter().map(|(&l, &d)| (l, d)).collect();
+        in_flight.sort_unstable();
+        MshrState {
+            in_flight,
+            peak: self.peak,
+            allocations: self.allocations,
+            merges: self.merges,
+        }
+    }
+
+    /// Rebuild a file from a [`MshrFile::dump_state`] snapshot. Returns
+    /// `None` when the snapshot holds more in-flight entries than
+    /// `capacity` permits (a capacity-config mismatch).
+    pub fn from_state(capacity: usize, state: &MshrState) -> Option<MshrFile> {
+        if capacity == 0 || state.in_flight.len() > capacity {
+            return None;
+        }
+        Some(MshrFile {
+            capacity,
+            in_flight: state.in_flight.iter().copied().collect(),
+            peak: state.peak,
+            allocations: state.allocations,
+            merges: state.merges,
+        })
+    }
+}
+
+/// Exact snapshot of an [`MshrFile`] (capacity excluded — it is part of the
+/// hierarchy configuration, which the checkpoint store keys on).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MshrState {
+    /// Outstanding fills as `(line, completion_cycle)`, sorted by line.
+    pub in_flight: Vec<(u64, u64)>,
+    /// Peak simultaneous occupancy.
+    pub peak: usize,
+    /// Total fresh allocations.
+    pub allocations: u64,
+    /// Accesses merged into in-flight entries.
+    pub merges: u64,
 }
 
 #[cfg(test)]

@@ -119,6 +119,68 @@ impl Btb {
     pub fn stats(&self) -> (u64, u64) {
         (self.lookups, self.hits)
     }
+
+    /// Snapshot the full BTB state, including the lookup/hit counters
+    /// (they participate in equality). See [`BtbState`].
+    pub fn dump_state(&self) -> BtbState {
+        BtbState {
+            entries: self
+                .entries
+                .iter()
+                .map(|e| BtbEntryState {
+                    tag: e.tag,
+                    target: e.target,
+                    valid: e.valid,
+                })
+                .collect(),
+            lookups: self.lookups,
+            hits: self.hits,
+        }
+    }
+
+    /// Rebuild a BTB from a [`Btb::dump_state`] snapshot. Returns `None`
+    /// when the snapshot's entry count does not match `cfg`.
+    pub fn from_state(cfg: BtbConfig, state: &BtbState) -> Option<Btb> {
+        if !cfg.entries.is_power_of_two() || state.entries.len() != cfg.entries {
+            return None;
+        }
+        Some(Btb {
+            cfg,
+            entries: state
+                .entries
+                .iter()
+                .map(|e| Entry {
+                    tag: e.tag,
+                    target: e.target,
+                    valid: e.valid,
+                })
+                .collect(),
+            lookups: state.lookups,
+            hits: state.hits,
+        })
+    }
+}
+
+/// Exact snapshot of one [`Btb`] entry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BtbEntryState {
+    /// Entry tag (upper PC bits).
+    pub tag: u64,
+    /// Cached target (instruction index).
+    pub target: usize,
+    /// Whether the entry is populated.
+    pub valid: bool,
+}
+
+/// Exact snapshot of a [`Btb`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BtbState {
+    /// All entries in index order.
+    pub entries: Vec<BtbEntryState>,
+    /// Lookups performed.
+    pub lookups: u64,
+    /// Lookups that hit.
+    pub hits: u64,
 }
 
 impl Default for Btb {

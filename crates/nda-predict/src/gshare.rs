@@ -132,6 +132,47 @@ impl Gshare {
         self.train(pc, ghr, taken, predicted);
         self.recover(ghr, taken);
     }
+
+    /// Snapshot the full predictor state — counters, history *and* the
+    /// accuracy counters, which participate in equality (warm-restored
+    /// predictors must compare equal to their cold-run twins). See
+    /// [`GshareState`].
+    pub fn dump_state(&self) -> GshareState {
+        GshareState {
+            table: self.table.clone(),
+            ghr: self.ghr,
+            predictions: self.predictions,
+            correct: self.correct,
+        }
+    }
+
+    /// Rebuild a predictor from a [`Gshare::dump_state`] snapshot. Returns
+    /// `None` when the snapshot's table size does not match `cfg`.
+    pub fn from_state(cfg: GshareConfig, state: &GshareState) -> Option<Gshare> {
+        if !cfg.entries.is_power_of_two() || state.table.len() != cfg.entries {
+            return None;
+        }
+        Some(Gshare {
+            cfg,
+            table: state.table.clone(),
+            ghr: state.ghr,
+            predictions: state.predictions,
+            correct: state.correct,
+        })
+    }
+}
+
+/// Exact snapshot of a [`Gshare`] predictor.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GshareState {
+    /// The 2-bit saturating counters.
+    pub table: Vec<u8>,
+    /// Global history register.
+    pub ghr: u64,
+    /// Predictions made.
+    pub predictions: u64,
+    /// Predictions that trained correct.
+    pub correct: u64,
 }
 
 impl Default for Gshare {

@@ -21,7 +21,9 @@ pub mod gshare;
 pub mod ras;
 pub mod tournament;
 
-pub use btb::{Btb, BtbConfig};
-pub use gshare::{Gshare, GshareConfig};
-pub use ras::{Ras, RasSnapshot};
-pub use tournament::{Bimodal, DirPredictor, PredictorKind, Tournament};
+pub use btb::{Btb, BtbConfig, BtbEntryState, BtbState};
+pub use gshare::{Gshare, GshareConfig, GshareState};
+pub use ras::{Ras, RasSnapshot, RasState};
+pub use tournament::{
+    Bimodal, DirPredictor, DirPredictorState, PredictorKind, Tournament, TournamentState,
+};

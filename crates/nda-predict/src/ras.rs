@@ -74,6 +74,43 @@ impl Ras {
         self.top = snap.top;
         self.depth = snap.depth;
     }
+
+    /// Snapshot with public fields for external serialization (the
+    /// persistent checkpoint store); [`RasSnapshot`] keeps its fields
+    /// private because it is a squash-recovery token, not an interchange
+    /// format. See [`RasState`].
+    pub fn dump_state(&self) -> RasState {
+        RasState {
+            stack: self.stack,
+            top: self.top,
+            depth: self.depth,
+        }
+    }
+
+    /// Rebuild a stack from a [`Ras::dump_state`] snapshot. Returns `None`
+    /// when the snapshot's indices are out of range for [`RAS_ENTRIES`]
+    /// (a corrupt or foreign encoding).
+    pub fn from_state(state: &RasState) -> Option<Ras> {
+        if state.top >= RAS_ENTRIES || state.depth > RAS_ENTRIES {
+            return None;
+        }
+        Some(Ras {
+            stack: state.stack,
+            top: state.top,
+            depth: state.depth,
+        })
+    }
+}
+
+/// Exact snapshot of a [`Ras`] with public fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RasState {
+    /// The circular buffer contents.
+    pub stack: [usize; RAS_ENTRIES],
+    /// Index one past the most recent push.
+    pub top: usize,
+    /// Live entries.
+    pub depth: usize,
 }
 
 impl Default for Ras {

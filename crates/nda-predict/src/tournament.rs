@@ -7,7 +7,7 @@
 //! overhead is a function of how long branches stay unresolved *and* how
 //! often they mispredict, so predictor quality shifts the Table 2 numbers.
 
-use crate::gshare::{Gshare, GshareConfig};
+use crate::gshare::{Gshare, GshareConfig, GshareState};
 
 /// A per-PC 2-bit bimodal predictor (no global history).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,6 +50,21 @@ impl Bimodal {
         } else {
             *c = c.saturating_sub(1);
         }
+    }
+
+    /// Snapshot the counter table.
+    pub fn dump_state(&self) -> Vec<u8> {
+        self.table.clone()
+    }
+
+    /// Rebuild from a [`Bimodal::dump_state`] snapshot of `entries` size.
+    pub fn from_state(entries: usize, table: &[u8]) -> Option<Bimodal> {
+        if !entries.is_power_of_two() || table.len() != entries {
+            return None;
+        }
+        Some(Bimodal {
+            table: table.to_vec(),
+        })
     }
 }
 
@@ -129,6 +144,39 @@ impl Tournament {
         self.train(pc, ghr, taken, predicted);
         self.recover(ghr, taken);
     }
+
+    /// Snapshot all three component states. See [`TournamentState`].
+    pub fn dump_state(&self) -> TournamentState {
+        TournamentState {
+            gshare: self.gshare.dump_state(),
+            bimodal: self.bimodal.dump_state(),
+            chooser: self.chooser.clone(),
+        }
+    }
+
+    /// Rebuild from a [`Tournament::dump_state`] snapshot. Returns `None`
+    /// when any component's table size does not match `cfg`.
+    pub fn from_state(cfg: GshareConfig, state: &TournamentState) -> Option<Tournament> {
+        if state.chooser.len() != cfg.entries {
+            return None;
+        }
+        Some(Tournament {
+            gshare: Gshare::from_state(cfg, &state.gshare)?,
+            bimodal: Bimodal::from_state(cfg.entries, &state.bimodal)?,
+            chooser: state.chooser.clone(),
+        })
+    }
+}
+
+/// Exact snapshot of a [`Tournament`] predictor.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TournamentState {
+    /// The gshare component.
+    pub gshare: GshareState,
+    /// The bimodal component's counter table.
+    pub bimodal: Vec<u8>,
+    /// The chooser table.
+    pub chooser: Vec<u8>,
 }
 
 /// Which direction predictor the front end uses.
@@ -218,6 +266,58 @@ impl DirPredictor {
             DirPredictor::Tournament(t) => t.functional_update(pc, taken),
         }
     }
+
+    /// The [`PredictorKind`] of this predictor.
+    pub fn kind(&self) -> PredictorKind {
+        match self {
+            DirPredictor::Gshare(_) => PredictorKind::Gshare,
+            DirPredictor::Bimodal(_) => PredictorKind::Bimodal,
+            DirPredictor::Tournament(_) => PredictorKind::Tournament,
+        }
+    }
+
+    /// Snapshot the active predictor's state. See [`DirPredictorState`].
+    pub fn dump_state(&self) -> DirPredictorState {
+        match self {
+            DirPredictor::Gshare(g) => DirPredictorState::Gshare(g.dump_state()),
+            DirPredictor::Bimodal(b) => DirPredictorState::Bimodal(b.dump_state()),
+            DirPredictor::Tournament(t) => DirPredictorState::Tournament(t.dump_state()),
+        }
+    }
+
+    /// Rebuild from a [`DirPredictor::dump_state`] snapshot. Returns `None`
+    /// when the snapshot's variant does not match `kind` or its table
+    /// sizes do not match `cfg` — the checkpoint store refuses such
+    /// entries rather than restoring a predictor of the wrong shape.
+    pub fn from_state(
+        kind: PredictorKind,
+        cfg: GshareConfig,
+        state: &DirPredictorState,
+    ) -> Option<DirPredictor> {
+        match (kind, state) {
+            (PredictorKind::Gshare, DirPredictorState::Gshare(s)) => {
+                Some(DirPredictor::Gshare(Gshare::from_state(cfg, s)?))
+            }
+            (PredictorKind::Bimodal, DirPredictorState::Bimodal(s)) => {
+                Some(DirPredictor::Bimodal(Bimodal::from_state(cfg.entries, s)?))
+            }
+            (PredictorKind::Tournament, DirPredictorState::Tournament(s)) => {
+                Some(DirPredictor::Tournament(Tournament::from_state(cfg, s)?))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Exact snapshot of a [`DirPredictor`], tagged by kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DirPredictorState {
+    /// Snapshot of a [`Gshare`] predictor.
+    Gshare(GshareState),
+    /// Snapshot of a [`Bimodal`] predictor (its counter table).
+    Bimodal(Vec<u8>),
+    /// Snapshot of a [`Tournament`] predictor.
+    Tournament(TournamentState),
 }
 
 #[cfg(test)]

@@ -44,6 +44,10 @@
 //!                       exceeds it degrades to FAILED (default 2e9)
 //!   --journal <dir>     sweep: crash-safe resume journal — completed cells
 //!                       are recorded as they finish and skipped on rerun
+//!   --checkpoint-dir <dir> run/sweep: persistent checkpoint store — sampled
+//!                       fast-forward results are content-addressed by
+//!                       workload + schedule + machine geometry and reused
+//!                       across runs (env fallback: NDA_CKPT_DIR)
 //!   --chaos-panic <pct> sweep: chaos harness, panic in pct% of jobs
 //!   --chaos-slow <pct>  sweep: chaos harness, starve pct% of jobs so they
 //!                       degrade to a deadline error
@@ -96,6 +100,7 @@ struct Opts {
     retries: u32,
     deadline_cycles: u64,
     journal: Option<String>,
+    ckpt_dir: Option<String>,
     chaos_panic: u8,
     chaos_slow: u8,
     chaos_seed: u64,
@@ -122,6 +127,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         retries: 1,
         deadline_cycles: MAX_CYCLES,
         journal: None,
+        ckpt_dir: std::env::var("NDA_CKPT_DIR").ok(),
         chaos_panic: 0,
         chaos_slow: 0,
         chaos_seed: 0,
@@ -188,6 +194,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     .map_err(|e| format!("--deadline-cycles: {e}"))?
             }
             "--journal" => o.journal = Some(val("--journal")?),
+            "--checkpoint-dir" => o.ckpt_dir = Some(val("--checkpoint-dir")?),
             "--chaos-panic" => {
                 o.chaos_panic = val("--chaos-panic")?
                     .parse()
@@ -266,10 +273,39 @@ fn cmd_run_sampled(
     prog: &nda::Program,
     o: &Opts,
 ) -> Result<(), String> {
-    use nda::{run_sampled, SampledParams, SimConfig};
+    use nda::{
+        collect_checkpoints_cached, run_sampled, run_sampled_with, CheckpointStore, SampledParams,
+        SimConfig,
+    };
     let params = SampledParams::new(o.sample_every, o.warm, o.detail);
-    let r = run_sampled(SimConfig::for_variant(o.variant), prog, params, MAX_CYCLES)
-        .map_err(|e| e.to_string())?;
+    let store = o.ckpt_dir.as_ref().and_then(|dir| {
+        CheckpointStore::open(std::path::Path::new(dir))
+            .map_err(|e| eprintln!("warning: checkpoint store at {dir} disabled: {e}"))
+            .ok()
+    });
+    let cfg = SimConfig::for_variant(o.variant);
+    let (r, warm_hit) = match &store {
+        Some(store) => {
+            let start = std::time::Instant::now();
+            let (set, warm) =
+                collect_checkpoints_cached(Some(store), &cfg, prog, params, MAX_CYCLES)
+                    .map_err(|e| e.to_string())?;
+            let ff_wall_ns = start.elapsed().as_nanos() as u64;
+            let detail_start = std::time::Instant::now();
+            let mut r = run_sampled_with(cfg, prog, &set, params).map_err(|e| e.to_string())?;
+            let detail_wall_ns = detail_start.elapsed().as_nanos() as u64;
+            if let Some(s) = &mut r.sampled {
+                s.ff_wall_ns = ff_wall_ns;
+                s.detail_wall_ns = detail_wall_ns;
+            }
+            r.host_ns = start.elapsed().as_nanos() as u64;
+            (r, warm)
+        }
+        None => (
+            run_sampled(cfg, prog, params, MAX_CYCLES).map_err(|e| e.to_string())?,
+            false,
+        ),
+    };
     println!(
         "workload {} on {} (seed {}, {} iters), sampled every {} insts (warm {}, detail {})",
         w.name,
@@ -302,6 +338,14 @@ fn cmd_run_sampled(
     );
     println!("  est. cycles          {:>12}", r.stats.cycles);
     println!("  host time            {:>12.3}s", r.host_seconds());
+    if store.is_some() {
+        println!(
+            "  checkpoint store     {:>12}   (fast-forward {:.3}s, detail {:.3}s)",
+            if warm_hit { "warm hit" } else { "cold miss" },
+            info.ff_wall_ns as f64 / 1e9,
+            info.detail_wall_ns as f64 / 1e9,
+        );
+    }
     Ok(())
 }
 
@@ -501,6 +545,7 @@ fn cmd_sweep(o: &Opts) -> Result<(), String> {
             slow_pct: o.chaos_slow,
             target: None,
         }),
+        ckpt_dir: o.ckpt_dir.as_ref().map(std::path::PathBuf::from),
     };
     let workloads = all();
     let variants = Variant::all();

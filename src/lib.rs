@@ -54,7 +54,7 @@ pub use nda_verify as verify;
 pub use nda_workloads as workloads;
 
 pub use nda_core::{
-    run_sampled, run_variant, run_with_config, RunResult, SampledParams, SimConfig, SimError,
-    Variant,
+    collect_checkpoints_cached, run_sampled, run_sampled_with, run_variant, run_with_config,
+    CheckpointStore, RunResult, SampledParams, SimConfig, SimError, Variant,
 };
 pub use nda_isa::{Asm, Inst, Interp, Program, Reg};
