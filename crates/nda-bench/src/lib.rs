@@ -34,11 +34,14 @@ pub mod journal;
 pub mod render;
 pub mod sweep;
 
-pub use fault::{silence_contained_panics, Chaos, ChaosAction, JobError, RetryPolicy};
+pub use fault::{
+    panic_message, silence_contained_panics, Chaos, ChaosAction, JobError, RetryPolicy,
+};
 pub use journal::{fingerprint, CellKey, Journal, JournalError, JournalState};
 pub use render::{
     bar, cpi_class_short, cpi_stack_table, fmt_ci, header_rule, metrics_document, sweep_table,
 };
 pub use sweep::{
-    sweep, sweep_journaled, sweep_meta, CellStats, CellStatus, SweepConfig, SweepMode, SweepResults,
+    execute_jobs, sweep, sweep_journaled, sweep_meta, CellStats, CellStatus, SweepConfig,
+    SweepMode, SweepResults,
 };

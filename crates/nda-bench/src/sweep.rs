@@ -91,6 +91,11 @@ pub struct SweepConfig {
     /// bits are (store hits are bit-identical to fresh collections), so it
     /// is not part of [`sweep_meta`].
     pub ckpt_dir: Option<PathBuf>,
+    /// Size cap in bytes for the persistent checkpoint store
+    /// (`NDA_CKPT_MAX_BYTES` / `--checkpoint-gc`). A capped store evicts
+    /// oldest-mtime entries after each save; `None` (the default) grows
+    /// without bound. Pure cache policy — never part of [`sweep_meta`].
+    pub ckpt_max_bytes: Option<u64>,
 }
 
 impl Default for SweepConfig {
@@ -108,6 +113,7 @@ impl Default for SweepConfig {
             deadline_cycles: SWEEP_MAX_CYCLES,
             chaos: None,
             ckpt_dir: None,
+            ckpt_max_bytes: None,
         }
     }
 }
@@ -172,6 +178,10 @@ impl SweepConfig {
             retries: env_u64_with(get, "NDA_RETRIES", u64::from(d.retries)) as u32,
             deadline_cycles: env_u64_with(get, "NDA_DEADLINE_CYCLES", d.deadline_cycles),
             ckpt_dir: get("NDA_CKPT_DIR").map(PathBuf::from),
+            ckpt_max_bytes: match env_u64_with(get, "NDA_CKPT_MAX_BYTES", 0) {
+                0 => None,
+                n => Some(n),
+            },
             ..d
         }
     }
@@ -431,6 +441,19 @@ pub fn sweep_journaled(
 /// so the sweep completes even if every spawn fails. A slot left `None`
 /// means its worker died outside panic containment (an executor bug, not
 /// a job failure) — callers degrade it, they do not panic.
+///
+/// This is the parallel substrate under every sweep, and it is public so
+/// other layers (the `nda-serve` shard workers fanning one request's
+/// variants out, the load-generator bench driving concurrent clients) run
+/// on the same executor instead of growing their own.
+pub fn execute_jobs<T: Send>(
+    total: usize,
+    jobs: usize,
+    run_one: impl Fn(usize) -> T + Sync,
+) -> Vec<Option<T>> {
+    execute(total, jobs, run_one)
+}
+
 fn execute<T: Send>(
     total: usize,
     jobs: usize,
@@ -623,6 +646,7 @@ fn sweep_sampled(
     // key — race benignly.
     let store = cfg.ckpt_dir.as_ref().and_then(|dir| {
         CheckpointStore::open(dir)
+            .map(|s| s.with_max_bytes(cfg.ckpt_max_bytes))
             .map_err(|e| {
                 eprintln!(
                     "warning: checkpoint store at {} disabled: {e}",

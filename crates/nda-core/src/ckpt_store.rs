@@ -48,12 +48,23 @@
 //! a `quarantine/` subdirectory and treated as a miss, so one bad file
 //! costs one regeneration, never a crash or a wrong result. Pinned by
 //! `crates/nda-core/tests/ckpt_store.rs`.
+//!
+//! ## Size cap
+//!
+//! Checkpoint entries are large (one memory image each) and previously
+//! accumulated without bound across sweeps. A store opened with
+//! [`CheckpointStore::with_max_bytes`] (the CLI wires `NDA_CKPT_MAX_BYTES`
+//! / `--checkpoint-gc` through to it) garbage-collects after every save:
+//! oldest-mtime entries are evicted until the total size of `*.ckpt`
+//! files is back under the cap. Eviction only ever deletes cache entries
+//! — a future run regenerates them — and never touches `quarantine/`.
 
 use std::collections::HashMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
+use crate::codec::{fnv1a64, gc_dir, Dec, Enc, GcStats};
 use crate::config::SimConfig;
 use crate::run::SimError;
 use crate::sampled::{collect_checkpoints, Checkpoint, CheckpointSet, SampledParams};
@@ -67,93 +78,6 @@ use nda_predict::{
 
 const MAGIC: &str = "nda-ckpt-v1";
 const NUM_REGS: usize = nda_isa::reg::NUM_REGS;
-
-/// FNV-1a, 64 bit. (Same constants as the sweep journal's checksum; the
-/// two crates cannot share it without a dependency cycle.)
-fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
-// ---------------------------------------------------------------------
-// Byte encoding
-// ---------------------------------------------------------------------
-
-#[derive(Default)]
-struct Enc {
-    buf: Vec<u8>,
-}
-
-impl Enc {
-    fn u64(&mut self, v: u64) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-    fn usize(&mut self, v: usize) {
-        self.u64(v as u64);
-    }
-    fn u8(&mut self, v: u8) {
-        self.buf.push(v);
-    }
-    fn bool(&mut self, v: bool) {
-        self.u8(v as u8);
-    }
-    fn bytes(&mut self, b: &[u8]) {
-        self.usize(b.len());
-        self.buf.extend_from_slice(b);
-    }
-}
-
-/// Cursor over an entry body; every accessor returns `None` on underrun,
-/// which the loader maps to quarantine.
-struct Dec<'a> {
-    buf: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Dec<'a> {
-    fn new(buf: &'a [u8]) -> Dec<'a> {
-        Dec { buf, pos: 0 }
-    }
-    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
-        let end = self.pos.checked_add(n)?;
-        if end > self.buf.len() {
-            return None;
-        }
-        let s = &self.buf[self.pos..end];
-        self.pos = end;
-        Some(s)
-    }
-    fn u64(&mut self) -> Option<u64> {
-        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
-    }
-    fn usize(&mut self) -> Option<usize> {
-        usize::try_from(self.u64()?).ok()
-    }
-    fn u8(&mut self) -> Option<u8> {
-        Some(self.take(1)?[0])
-    }
-    fn bool(&mut self) -> Option<bool> {
-        match self.u8()? {
-            0 => Some(false),
-            1 => Some(true),
-            _ => None,
-        }
-    }
-    /// A length-prefixed byte string; the length is sanity-capped by the
-    /// remaining buffer so a corrupt prefix cannot trigger a huge
-    /// allocation.
-    fn bytes(&mut self) -> Option<&'a [u8]> {
-        let n = self.usize()?;
-        self.take(n)
-    }
-    fn done(&self) -> bool {
-        self.pos == self.buf.len()
-    }
-}
 
 /// A content-deduplicated pool of memory pages shared by every
 /// interpreter snapshot in one entry. Keys borrow the page bytes (the
@@ -582,10 +506,11 @@ impl StoreKey {
 #[derive(Debug, Clone)]
 pub struct CheckpointStore {
     dir: PathBuf,
+    max_bytes: Option<u64>,
 }
 
 impl CheckpointStore {
-    /// Open (creating if necessary) a store rooted at `dir`.
+    /// Open (creating if necessary) a store rooted at `dir`, uncapped.
     ///
     /// # Errors
     ///
@@ -593,7 +518,35 @@ impl CheckpointStore {
     pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<CheckpointStore> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
-        Ok(CheckpointStore { dir })
+        Ok(CheckpointStore {
+            dir,
+            max_bytes: None,
+        })
+    }
+
+    /// Set (or clear) the size cap. A capped store garbage-collects after
+    /// every save; see [module docs](self).
+    #[must_use]
+    pub fn with_max_bytes(mut self, max_bytes: Option<u64>) -> CheckpointStore {
+        self.max_bytes = max_bytes;
+        self
+    }
+
+    /// The configured size cap, if any.
+    pub fn max_bytes(&self) -> Option<u64> {
+        self.max_bytes
+    }
+
+    /// Evict oldest-mtime entries until the store's `*.ckpt` bytes are at
+    /// or under `max_bytes`. Callable explicitly (`--checkpoint-gc`);
+    /// capped stores also run it after every save.
+    ///
+    /// # Errors
+    ///
+    /// Propagates a directory-scan failure; individual file races are
+    /// skipped.
+    pub fn gc(&self, max_bytes: u64) -> std::io::Result<GcStats> {
+        gc_dir(&self.dir, "ckpt", max_bytes)
     }
 
     /// The store's root directory.
@@ -696,7 +649,13 @@ impl CheckpointStore {
         f.sync_all()?;
         drop(f);
         match fs::rename(&tmp, &final_path) {
-            Ok(()) => Ok(final_path),
+            Ok(()) => {
+                if let Some(cap) = self.max_bytes {
+                    // Best-effort: a failed GC pass never fails the save.
+                    let _ = self.gc(cap);
+                }
+                Ok(final_path)
+            }
             Err(err) => {
                 let _ = fs::remove_file(&tmp);
                 Err(err)

@@ -1,0 +1,160 @@
+//! Byte-level plumbing shared by the persistent stores
+//! ([`ckpt_store`](crate::ckpt_store) and
+//! [`result_store`](crate::result_store)): the little-endian
+//! encoder/decoder pair, the FNV-1a content hash, and the size-capped
+//! garbage collector both stores run after a save.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::SystemTime;
+
+/// FNV-1a, 64 bit. (Same constants as the sweep journal's checksum; the
+/// two crates cannot share it without a dependency cycle.)
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Little-endian append-only encoder.
+#[derive(Default)]
+pub(crate) struct Enc {
+    pub(crate) buf: Vec<u8>,
+}
+
+impl Enc {
+    pub(crate) fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    pub(crate) fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+    pub(crate) fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    pub(crate) fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+    pub(crate) fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    pub(crate) fn bytes(&mut self, b: &[u8]) {
+        self.usize(b.len());
+        self.buf.extend_from_slice(b);
+    }
+}
+
+/// Cursor over an entry body; every accessor returns `None` on underrun,
+/// which the loaders map to quarantine.
+pub(crate) struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Dec<'a> {
+        Dec { buf, pos: 0 }
+    }
+    pub(crate) fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.buf.len() {
+            return None;
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Some(s)
+    }
+    pub(crate) fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+    pub(crate) fn usize(&mut self) -> Option<usize> {
+        usize::try_from(self.u64()?).ok()
+    }
+    pub(crate) fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+    pub(crate) fn bool(&mut self) -> Option<bool> {
+        match self.u8()? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+    pub(crate) fn f64(&mut self) -> Option<f64> {
+        Some(f64::from_bits(self.u64()?))
+    }
+    /// A length-prefixed byte string; the length is sanity-capped by the
+    /// remaining buffer so a corrupt prefix cannot trigger a huge
+    /// allocation.
+    pub(crate) fn bytes(&mut self) -> Option<&'a [u8]> {
+        let n = self.usize()?;
+        self.take(n)
+    }
+    pub(crate) fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+/// What one garbage-collection pass over a store directory did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcStats {
+    /// Entry files examined.
+    pub scanned: usize,
+    /// Entry files evicted (oldest modification time first).
+    pub evicted: usize,
+    /// Bytes reclaimed by the evictions.
+    pub evicted_bytes: u64,
+    /// Bytes of entries left on disk after the pass.
+    pub live_bytes: u64,
+}
+
+/// Evict oldest-mtime `*.{ext}` files under `dir` (non-recursive — the
+/// `quarantine/` subdirectory is never touched) until their total size is
+/// at or under `max_bytes`. LRU-ish rather than LRU: plain reads do not
+/// bump mtime, so the policy is eviction by age of *write*, which is what
+/// a content-addressed store can promise without rewriting entries on
+/// every hit. Ties on mtime break by filename so the pass is
+/// deterministic.
+///
+/// # Errors
+///
+/// Propagates the `read_dir` failure; per-file metadata or remove errors
+/// are skipped (another process may be racing the same pass).
+pub(crate) fn gc_dir(dir: &Path, ext: &str, max_bytes: u64) -> io::Result<GcStats> {
+    let mut entries: Vec<(SystemTime, PathBuf, u64)> = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let Ok(entry) = entry else { continue };
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some(ext) {
+            continue;
+        }
+        let Ok(meta) = entry.metadata() else { continue };
+        if !meta.is_file() {
+            continue;
+        }
+        let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+        entries.push((mtime, path, meta.len()));
+    }
+    let mut stats = GcStats {
+        scanned: entries.len(),
+        live_bytes: entries.iter().map(|e| e.2).sum(),
+        ..GcStats::default()
+    };
+    entries.sort();
+    let mut it = entries.into_iter();
+    while stats.live_bytes > max_bytes {
+        let Some((_, path, size)) = it.next() else {
+            break;
+        };
+        if fs::remove_file(&path).is_ok() {
+            stats.evicted += 1;
+            stats.evicted_bytes += size;
+            stats.live_bytes -= size;
+        }
+    }
+    Ok(stats)
+}

@@ -33,21 +33,25 @@
 #![forbid(unsafe_code)]
 
 pub mod ckpt_store;
+mod codec;
 pub mod config;
 pub mod inorder;
 pub mod ooo;
 pub mod policy;
+pub mod result_store;
 pub mod run;
 pub mod sampled;
 pub mod snapshot;
 pub mod trace;
 
 pub use ckpt_store::{collect_checkpoints_cached, CheckpointStore, StoreKey};
+pub use codec::GcStats;
 pub use config::{CoreConfig, SimConfig, Variant};
 pub use inorder::InOrderCore;
 pub use ooo::core::{OooCore, RobCellState, RobView};
 pub use ooo::invariants::{InvariantKind, InvariantViolation};
 pub use policy::{IsVariant, NdaPolicy, Propagation};
+pub use result_store::{sanitize_result, ResultKey, ResultStore};
 pub use run::{
     run_smarts, run_smarts_with, run_variant, run_with_config, RunResult, SampledInfo, SimError,
     SmartsInterrupted, SmartsParams,

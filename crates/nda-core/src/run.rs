@@ -91,7 +91,7 @@ impl Error for SimError {
 /// [`run_sampled`](crate::run_sampled): how the run split between the fast
 /// functional path and the detailed windows, and the CPI estimate with its
 /// confidence interval.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SampledInfo {
     /// Per-window CPI mean ± 95 % CI (Student-t over measurement windows).
     pub cpi: nda_stats::Sample,
@@ -118,7 +118,7 @@ pub struct SampledInfo {
 }
 
 /// The outcome of a completed simulation.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunResult {
     /// Core counters (cycles, CPI, stalls, ILP, broadcasts, ...).
     pub stats: SimStats,

@@ -195,3 +195,74 @@ fn warm_hit_resume_equals_cold_run_exactly() {
 
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn capped_store_stays_under_limit_and_survivors_hit_bit_identically() {
+    let dir = fresh_dir("gc");
+    let prog = workload();
+
+    // Distinct schedules give distinct keys; measure one entry first.
+    let schedule = |n: u64| SampledParams::new(4_000 + 100 * n, 200, 200);
+    let cfg = SimConfig::for_variant(Variant::Ooo);
+    let entry_size = {
+        let probe = CheckpointStore::open(&dir).unwrap();
+        let (_, hit) =
+            collect_checkpoints_cached(Some(&probe), &cfg, &prog, schedule(0), u64::MAX).unwrap();
+        assert!(!hit);
+        let path = probe.entry_path(&StoreKey::new(&cfg, &prog, schedule(0)));
+        let n = std::fs::metadata(&path).unwrap().len();
+        std::fs::remove_file(&path).unwrap();
+        n
+    };
+
+    // Cap at roughly two entries, then write five.
+    let cap = entry_size * 2 + entry_size / 2;
+    let store = CheckpointStore::open(&dir)
+        .unwrap()
+        .with_max_bytes(Some(cap));
+    assert_eq!(store.max_bytes(), Some(cap));
+    let mut cold = Vec::new();
+    for n in 0..5 {
+        let (set, hit) =
+            collect_checkpoints_cached(Some(&store), &cfg, &prog, schedule(n), u64::MAX).unwrap();
+        assert!(!hit);
+        cold.push(set);
+        // mtime granularity on some filesystems is coarse; keep eviction
+        // order (oldest first) unambiguous.
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+
+    let ckpt_bytes = || -> u64 {
+        std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "ckpt"))
+            .map(|e| e.metadata().unwrap().len())
+            .sum()
+    };
+    assert!(
+        ckpt_bytes() <= cap,
+        "capped store holds {} bytes, cap {cap}",
+        ckpt_bytes()
+    );
+
+    // The newest entries survived; warm hits on them are bit-identical
+    // to the cold collections. The oldest were evicted and re-collect.
+    let (warm, hit) =
+        collect_checkpoints_cached(Some(&store), &cfg, &prog, schedule(4), u64::MAX).unwrap();
+    assert!(hit, "newest entry must survive GC");
+    assert_eq!(warm, cold[4], "survivor hit must be bit-exact");
+    let (refetch, hit) =
+        collect_checkpoints_cached(Some(&store), &cfg, &prog, schedule(0), u64::MAX).unwrap();
+    assert!(!hit, "oldest entry must have been evicted");
+    assert_eq!(refetch, cold[0]);
+    assert!(ckpt_bytes() <= cap, "GC must also run after the re-save");
+
+    // An explicit pass with a zero cap empties the store (quarantine and
+    // non-entry files are untouched).
+    let stats = store.gc(0).unwrap();
+    assert_eq!(stats.live_bytes, 0);
+    assert_eq!(ckpt_bytes(), 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

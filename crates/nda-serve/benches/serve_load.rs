@@ -1,0 +1,206 @@
+//! Load generator for the request engine: a ≥1000-request mixed load
+//! (repeated and unique `run`/`analyze` specs, submitted from several
+//! client threads) driven straight into an [`nda_serve::Engine`], with
+//! the service-level numbers written to `BENCH_serve.json` at the
+//! workspace root:
+//!
+//! * request latency p50 / p99 (exact order statistics over every
+//!   request's submit→response time),
+//! * cold and warm jobs/sec — the warm phase replays the same request
+//!   pool once the memo and result store are populated and must clear
+//!   **5× the cold rate** (asserted; this is the headline the
+//!   content-addressed caches buy),
+//! * cache hit rate, dedup collapse factor (requests answered per
+//!   executed job) and per-shard occupancy from the `serve.*` counters.
+//!
+//! Knobs: `NDA_SERVE_REQUESTS` (total requests, default 1000, floored
+//! at twice the pool size), `NDA_SERVE_CLIENTS` (client threads,
+//! default 4), `NDA_SERVE_OUT` (redirect the JSON).
+
+use nda_serve::{Engine, Request, ServeConfig};
+use nda_stats::serve_names as names;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+/// The request pool: every distinct payload the load is drawn from.
+/// Small simulations keep the cold phase bounded; the mix covers
+/// single-variant runs, a multi-variant run and analyzer requests.
+fn request_pool() -> Vec<String> {
+    let mut pool = Vec::new();
+    for w in ["mcf", "gcc", "xalancbmk"] {
+        for v in [
+            "InOrder",
+            "OoO",
+            "Strict",
+            "RestrictedLoads",
+            "FullProtection",
+        ] {
+            for iters in [30u64, 45] {
+                pool.push(format!(
+                    r#"{{"id":1,"op":"run","workload":{w:?},"variant":{v:?},"iters":{iters}}}"#
+                ));
+            }
+        }
+        pool.push(format!(
+            r#"{{"id":1,"op":"run","workload":{w:?},"variants":["OoO","Strict"],"iters":30}}"#
+        ));
+    }
+    for target in ["spectre v1 (cache)", "meltdown"] {
+        pool.push(format!(
+            r#"{{"id":1,"op":"analyze","target":{target:?},"iters":100}}"#
+        ));
+    }
+    pool
+}
+
+/// Drive `total` requests from `clients` threads, round-robin over the
+/// pool with per-thread offsets (so identical payloads overlap across
+/// threads while jobs are in flight — that is what exercises dedup).
+/// Returns (wall seconds, per-request latencies in ns).
+fn drive(engine: &Engine, pool: &[String], total: usize, clients: usize) -> (f64, Vec<u64>) {
+    let next = AtomicUsize::new(0);
+    let latencies = Mutex::new(Vec::with_capacity(total));
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let next = &next;
+            let latencies = &latencies;
+            scope.spawn(move || {
+                let mut local = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    // Stagger thread start points so duplicates of one
+                    // payload arrive close together from different
+                    // clients rather than strictly serially.
+                    let line = &pool[(i + c * 3) % pool.len()];
+                    let op = Request::parse(line).expect("pool line parses").op;
+                    let t = Instant::now();
+                    let o = engine.submit(op).wait();
+                    assert!(o.ok, "load request failed: {:?}", o.error);
+                    local.push(t.elapsed().as_nanos() as u64);
+                }
+                latencies.lock().unwrap().extend(local);
+            });
+        }
+    });
+    (t0.elapsed().as_secs_f64(), latencies.into_inner().unwrap())
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let pool = request_pool();
+    let total = env_usize("NDA_SERVE_REQUESTS", 1000).max(2 * pool.len());
+    let clients = env_usize("NDA_SERVE_CLIENTS", 4);
+    let store_dir = std::env::temp_dir().join(format!("nda-serve-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let engine = Engine::new(ServeConfig {
+        result_dir: Some(store_dir.clone()),
+        ..ServeConfig::default()
+    })
+    .expect("engine starts");
+    let shards = engine.config().shards;
+    println!(
+        "serve load: {total} requests over a {}-entry pool, {clients} clients, {shards} shard(s)",
+        pool.len()
+    );
+
+    // Cold phase: the first wave sees an empty memo and result store, so
+    // every distinct payload costs one real job; duplicates in flight
+    // collapse onto it. Sized at two rounds of the pool so every payload
+    // is requested at least twice.
+    let cold_total = 2 * pool.len();
+    let (cold_wall, cold_lat) = drive(&engine, &pool, cold_total, clients);
+    let cold_rate = cold_total as f64 / cold_wall.max(1e-12);
+
+    // Warm phase: same pool, caches populated — the rest of the budget.
+    let warm_total = total.saturating_sub(cold_total).max(pool.len());
+    let (warm_wall, warm_lat) = drive(&engine, &pool, warm_total, clients);
+    let warm_rate = warm_total as f64 / warm_wall.max(1e-12);
+
+    let mut all: Vec<u64> = cold_lat.iter().chain(&warm_lat).copied().collect();
+    all.sort_unstable();
+    let (p50, p99) = (percentile(&all, 0.50), percentile(&all, 0.99));
+    let mut warm_sorted = warm_lat.clone();
+    warm_sorted.sort_unstable();
+
+    let requests = engine.counter(names::REQUESTS);
+    let cache_hits = engine.counter(names::CACHE_HITS);
+    let dedup_attached = engine.counter(names::DEDUP_ATTACHED);
+    let jobs_executed = engine.counter(names::JOBS_EXECUTED);
+    let hit_rate = cache_hits as f64 / (requests as f64).max(1.0);
+    // Requests answered per executed job: memo hits and attached
+    // waiters never reach a worker, so this is the collapse the caches
+    // and dedup bought under this load.
+    let collapse = requests as f64 / (jobs_executed as f64).max(1.0);
+    let occupancy: Vec<u64> = (0..shards)
+        .map(|s| engine.counter(&names::shard_jobs(s)))
+        .collect();
+
+    println!(
+        "cold: {cold_total} requests in {cold_wall:.3}s ({cold_rate:.1}/s) — \
+         warm: {warm_total} in {warm_wall:.3}s ({warm_rate:.1}/s, {:.1}x)",
+        warm_rate / cold_rate.max(1e-12)
+    );
+    println!(
+        "latency: p50 {:.3}ms p99 {:.3}ms (warm p50 {:.3}ms); cache hit rate {:.3}, \
+         dedup attached {dedup_attached}, collapse {collapse:.1} req/job, shard jobs {occupancy:?}",
+        p50 as f64 / 1e6,
+        p99 as f64 / 1e6,
+        percentile(&warm_sorted, 0.50) as f64 / 1e6,
+        hit_rate
+    );
+    assert!(
+        warm_rate >= 5.0 * cold_rate,
+        "warm throughput {warm_rate:.1}/s must be at least 5x cold {cold_rate:.1}/s"
+    );
+
+    let occupancy_json = occupancy
+        .iter()
+        .map(u64::to_string)
+        .collect::<Vec<_>>()
+        .join(", ");
+    let json = format!(
+        "{{\n\
+         \x20 \"schema\": \"nda-bench-serve-v1\",\n\
+         \x20 \"params\": {{\"requests\": {}, \"pool\": {}, \"clients\": {clients}, \
+         \"shards\": {shards}}},\n\
+         \x20 \"latency_ns\": {{\"p50\": {p50}, \"p99\": {p99}, \"warm_p50\": {}, \
+         \"warm_p99\": {}}},\n\
+         \x20 \"throughput\": {{\"cold_jobs_per_sec\": {cold_rate:.1}, \
+         \"warm_jobs_per_sec\": {warm_rate:.1}, \"warm_over_cold\": {:.2}}},\n\
+         \x20 \"caching\": {{\"requests\": {requests}, \"cache_hits\": {cache_hits}, \
+         \"hit_rate\": {hit_rate:.4}, \"store_hits\": {}, \"dedup_attached\": {dedup_attached}, \
+         \"jobs_executed\": {jobs_executed}, \"sims_executed\": {}, \
+         \"collapse_requests_per_job\": {collapse:.2}}},\n\
+         \x20 \"shard_jobs\": [{occupancy_json}]\n\
+         }}\n",
+        cold_total + warm_total,
+        pool.len(),
+        percentile(&warm_sorted, 0.50),
+        percentile(&warm_sorted, 0.99),
+        warm_rate / cold_rate.max(1e-12),
+        engine.counter(names::STORE_HITS),
+        engine.counter(names::SIMS_EXECUTED),
+    );
+    let out = std::env::var("NDA_SERVE_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_serve.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&out, json).expect("write BENCH_serve.json");
+    let _ = std::fs::remove_dir_all(&store_dir);
+    println!("wrote {out}");
+}

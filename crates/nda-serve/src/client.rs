@@ -1,0 +1,44 @@
+//! A small batch client: pipeline a set of request lines to a server
+//! and stream the response lines back, in order.
+//!
+//! This is what `nda-sim client` wraps and what the CI smoke drives:
+//! write the whole batch, then read exactly one response line per
+//! request. Blank lines and `#` comments in the batch are skipped (and
+//! not counted), so request files can be annotated.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// Send `lines` (raw request lines; blanks and `#` comments ignored)
+/// to the server at `addr` and write each response line to `out`.
+/// Returns the number of responses received.
+pub fn run_batch(addr: &str, lines: &[String], out: &mut impl Write) -> std::io::Result<usize> {
+    let requests: Vec<&str> = lines
+        .iter()
+        .map(|l| l.trim())
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .collect();
+    let stream = TcpStream::connect(addr)?;
+    let mut w = stream.try_clone()?;
+    for line in &requests {
+        writeln!(w, "{line}")?;
+    }
+    w.flush()?;
+    let reader = BufReader::new(&stream);
+    let mut got = 0;
+    for line in reader.lines() {
+        let line = line?;
+        writeln!(out, "{line}")?;
+        got += 1;
+        if got == requests.len() {
+            break;
+        }
+    }
+    if got < requests.len() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            format!("server closed after {got} of {} responses", requests.len()),
+        ));
+    }
+    Ok(got)
+}

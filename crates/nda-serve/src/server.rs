@@ -1,0 +1,193 @@
+//! Transports: pipelined line-delimited JSON over TCP and
+//! stdin/stdout.
+//!
+//! Each connection runs a reader thread and a writer loop. The reader
+//! parses and submits requests as fast as the client sends them — so a
+//! batch of identical requests deduplicates onto one in-flight job and
+//! independent requests spread across the shards — while the writer
+//! waits on the pending outcomes *in request order* and streams the
+//! response lines back. Ordering is therefore per-connection FIFO even
+//! though execution is out of order across shards.
+//!
+//! `stats` is resolved when the writer reaches it, i.e. after every
+//! earlier response on the connection has been written — a trailing
+//! `{"op":"stats"}` in a batch observes the whole batch. `shutdown`
+//! acknowledges, stops the reader, and (on TCP) stops the accept loop
+//! once the connection drains.
+
+use crate::engine::{render_response, Engine, Pending};
+use crate::protocol::{Op, Request};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Instant;
+
+/// A running engine plus the transport plumbing.
+pub struct Server {
+    engine: Arc<Engine>,
+}
+
+/// One unit the writer loop must emit, in request order.
+enum Slot {
+    /// A malformed line: respond with an error, echoing the id when one
+    /// could be parsed.
+    Bad { id: u64, error: String },
+    /// A submitted job (or an immediately-ready outcome).
+    Job {
+        id: u64,
+        op: &'static str,
+        pending: Pending,
+        start: Instant,
+    },
+    /// `stats`: resolved at write time so it observes all earlier
+    /// responses on this connection.
+    Stats { id: u64 },
+    /// `shutdown`: acknowledge, then stop the server after this
+    /// connection drains.
+    Shutdown { id: u64 },
+}
+
+impl Server {
+    /// Start the engine with the given configuration.
+    pub fn new(cfg: crate::engine::ServeConfig) -> std::io::Result<Server> {
+        Ok(Server {
+            engine: Arc::new(Engine::new(cfg)?),
+        })
+    }
+
+    /// The underlying engine (for stats, tests and embedding).
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Serve one request stream: read lines from `input`, write one
+    /// response line per request to `output` in request order. Returns
+    /// when the input ends or a `shutdown` request is processed;
+    /// `true` means shutdown was requested.
+    pub fn serve_stream(
+        &self,
+        input: impl BufRead + Send,
+        mut output: impl Write,
+    ) -> std::io::Result<bool> {
+        let engine = &self.engine;
+        std::thread::scope(|scope| {
+            let (tx, rx) = mpsc::sync_channel::<Slot>(1024);
+            scope.spawn(move || {
+                for line in input.lines() {
+                    let Ok(line) = line else { break };
+                    let trimmed = line.trim();
+                    if trimmed.is_empty() || trimmed.starts_with('#') {
+                        continue;
+                    }
+                    let slot = match Request::parse(trimmed) {
+                        Err(error) => Slot::Bad {
+                            id: recovered_id(trimmed),
+                            error,
+                        },
+                        Ok(Request { id, op: Op::Stats }) => Slot::Stats { id },
+                        Ok(Request {
+                            id,
+                            op: Op::Shutdown,
+                        }) => Slot::Shutdown { id },
+                        Ok(Request { id, op }) => {
+                            let name = op.name();
+                            let start = Instant::now();
+                            Slot::Job {
+                                id,
+                                op: name,
+                                pending: engine.submit(op),
+                                start,
+                            }
+                        }
+                    };
+                    let stop = matches!(slot, Slot::Shutdown { .. });
+                    if tx.send(slot).is_err() || stop {
+                        break;
+                    }
+                }
+            });
+            let mut shutdown = false;
+            for slot in rx {
+                match slot {
+                    Slot::Bad { id, error } => {
+                        writeln!(
+                            output,
+                            "{{\"id\":{id},\"ok\":false,\"cached\":false,\"error\":{}}}",
+                            nda_stats::escape_json(&error)
+                        )?;
+                    }
+                    Slot::Job {
+                        id,
+                        op,
+                        pending,
+                        start,
+                    } => {
+                        let outcome = pending.wait();
+                        engine.record_latency_us(start.elapsed().as_micros() as u64);
+                        writeln!(output, "{}", render_response(id, op, &outcome))?;
+                    }
+                    Slot::Stats { id } => {
+                        writeln!(
+                            output,
+                            "{{\"id\":{id},\"op\":\"stats\",\"ok\":true,\"cached\":false,\
+                             \"document\":{}}}",
+                            nda_stats::escape_json(&self.engine.stats_document())
+                        )?;
+                    }
+                    Slot::Shutdown { id } => {
+                        writeln!(
+                            output,
+                            "{{\"id\":{id},\"op\":\"shutdown\",\"ok\":true,\"cached\":false}}"
+                        )?;
+                        shutdown = true;
+                        break;
+                    }
+                }
+                output.flush()?;
+            }
+            output.flush()?;
+            Ok(shutdown)
+        })
+    }
+
+    /// Serve connections on an already-bound listener until a client
+    /// sends `shutdown`. Connections are handled on their own threads
+    /// and all share the engine (and its caches).
+    pub fn serve_tcp(&self, listener: TcpListener) -> std::io::Result<()> {
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|scope| {
+            for stream in listener.incoming() {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let stop = stop.clone();
+                scope.spawn(move || {
+                    let reader = BufReader::new(match stream.try_clone() {
+                        Ok(s) => s,
+                        Err(_) => return,
+                    });
+                    if let Ok(true) = self.serve_stream(reader, &stream) {
+                        stop.store(true, Ordering::SeqCst);
+                        // Unblock the accept loop so it can observe the
+                        // stop flag and exit.
+                        let _ = TcpStream::connect(addr);
+                    }
+                    let _ = stream.shutdown(std::net::Shutdown::Both);
+                });
+            }
+        });
+        Ok(())
+    }
+}
+
+/// Best-effort id recovery from a line that failed full parsing, so
+/// even the error response can be correlated by the client.
+fn recovered_id(line: &str) -> u64 {
+    crate::json::Json::parse(line)
+        .ok()
+        .and_then(|v| v.get("id").and_then(crate::json::Json::as_u64))
+        .unwrap_or(0)
+}

@@ -1,0 +1,130 @@
+//! In-flight deduplication: N clients submitting the identical request
+//! concurrently must yield byte-identical responses from exactly one
+//! detailed simulation, and a waiter disconnecting mid-flight must not
+//! cost anyone else their response.
+//!
+//! Determinism: the engine is built with a single shard, and a *decoy*
+//! job is submitted first to occupy that shard's worker. The test then
+//! spins until the worker has dequeued the decoy
+//! (`serve.jobs_executed == 1`) before submitting the duplicates —
+//! every duplicate therefore arrives while the only worker is
+//! provably busy, so the first becomes the owner and the rest attach
+//! as waiters; none can slip through to a memo hit. The decoy runs for
+//! orders of magnitude longer than the submissions take.
+
+use nda_serve::{render_response, Engine, Op, Request, ServeConfig};
+use nda_stats::serve_names as names;
+use proptest::prelude::*;
+
+fn one_shard_engine() -> Engine {
+    Engine::new(ServeConfig {
+        shards: 1,
+        jobs: 1,
+        ..ServeConfig::default()
+    })
+    .expect("engine starts")
+}
+
+fn run_op(workload: &str, variant: &str, iters: u64) -> Op {
+    Request::parse(&format!(
+        r#"{{"id":1,"op":"run","workload":{workload:?},"variant":{variant:?},"iters":{iters}}}"#
+    ))
+    .expect("request parses")
+    .op
+}
+
+/// Occupy the single shard worker and return once it has provably
+/// dequeued the decoy (so everything submitted after this attaches
+/// behind or onto in-flight work, never onto an idle engine).
+fn submit_decoy(engine: &Engine) -> nda_serve::Pending {
+    let pending = engine.submit(run_op("mcf", "InOrder", 1_500));
+    while engine.counter(names::JOBS_EXECUTED) < 1 {
+        std::thread::yield_now();
+    }
+    pending
+}
+
+#[test]
+fn concurrent_identical_requests_execute_exactly_one_simulation() {
+    let engine = one_shard_engine();
+    let decoy = submit_decoy(&engine);
+    let op = run_op("mcf", "Strict", 40);
+
+    // N "clients": concurrent submit+wait threads, plus one waiter
+    // submitted from here and dropped mid-flight (disconnect).
+    const N: usize = 6;
+    let dropped = engine.submit(op.clone());
+    let outcomes = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..N)
+            .map(|_| scope.spawn(|| engine.submit(op.clone()).wait()))
+            .collect();
+        drop(dropped); // disconnect one waiter while the job is pending
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect::<Vec<_>>()
+    });
+    assert!(decoy.wait().ok, "decoy run failed");
+
+    // Exactly one detailed simulation for the N+1 duplicates (the
+    // other simulation is the decoy), N attached as dedup waiters, and
+    // nothing was answered from the memo.
+    assert_eq!(
+        engine.counter(names::SIMS_EXECUTED),
+        2,
+        "duplicate simulated twice"
+    );
+    assert_eq!(engine.counter(names::DEDUP_ATTACHED), N as u64);
+    assert_eq!(engine.counter(names::CACHE_HITS), 0);
+    assert_eq!(engine.counter(names::JOBS_EXECUTED), 2);
+
+    // Byte-identical responses for every surviving waiter.
+    let first = &outcomes[0];
+    assert!(first.ok && !first.cached && !first.document.is_empty());
+    for o in &outcomes {
+        assert_eq!(
+            render_response(7, "run", o),
+            render_response(7, "run", first),
+            "dedup waiters diverged"
+        );
+    }
+
+    // The next identical submission is a memo hit: cached flag set,
+    // same document, still no new simulation.
+    let memo = engine.submit(op).wait();
+    assert!(memo.cached, "repeat after completion must hit the memo");
+    assert_eq!(memo.document, first.document);
+    assert_eq!(engine.counter(names::SIMS_EXECUTED), 2);
+    assert_eq!(engine.counter(names::CACHE_HITS), 1);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 3, ..ProptestConfig::default() })]
+
+    /// The dedup contract holds across request shapes: for arbitrary
+    /// (workload, variant, iters, fan-out) the duplicates collapse to
+    /// one simulation and identical bytes.
+    #[test]
+    fn duplicate_submissions_collapse(
+        wi in 0usize..3,
+        vi in 0usize..3,
+        iters in 20u64..60,
+        n in 2usize..6,
+    ) {
+        let workloads = ["mcf", "gcc", "xalancbmk"];
+        let variants = ["OoO", "Strict", "FullProtection"];
+        let engine = one_shard_engine();
+        let decoy = submit_decoy(&engine);
+        let op = run_op(workloads[wi], variants[vi], iters);
+        let pendings: Vec<_> = (0..n).map(|_| engine.submit(op.clone())).collect();
+        let outcomes: Vec<_> = pendings.into_iter().map(|p| p.wait()).collect();
+        drop(decoy);
+        prop_assert_eq!(engine.counter(names::SIMS_EXECUTED), 2);
+        prop_assert_eq!(engine.counter(names::DEDUP_ATTACHED), n as u64 - 1);
+        for o in &outcomes {
+            prop_assert!(o.ok);
+            prop_assert_eq!(&o.document, &outcomes[0].document);
+            prop_assert_eq!(o.cached, outcomes[0].cached);
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Differential tests: server responses must be byte-identical to the
+//! documents the `nda-sim` CLI produces for equivalent invocations —
+//! both paths call the same library entry points, and the server
+//! sanitizes host-dependent wall-clock counters, so any divergence is
+//! a protocol bug, not noise.
+
+use nda_bench::{metrics_document, sweep, SweepConfig, SweepMode};
+use nda_core::{run_variant, sanitize_result, Variant};
+use nda_serve::{Engine, Request, ServeConfig, DEFAULT_BUDGET};
+use nda_workloads::{by_name, WorkloadParams};
+
+fn new_engine() -> Engine {
+    Engine::new(ServeConfig {
+        shards: 1,
+        ..ServeConfig::default()
+    })
+    .expect("engine starts")
+}
+
+fn submit_line(engine: &Engine, line: &str) -> std::sync::Arc<nda_serve::Outcome> {
+    let req = Request::parse(line).expect("request parses");
+    engine.submit(req.op).wait()
+}
+
+/// `run` responses carry byte-for-byte what
+/// `nda-sim run -w <w> -v <v> --metrics-out` writes.
+#[test]
+fn run_document_matches_cli_metrics_json() {
+    let engine = new_engine();
+    let o = submit_line(
+        &engine,
+        r#"{"id":1,"op":"run","workload":"mcf","variant":"Strict","iters":60}"#,
+    );
+    assert!(o.ok, "run failed: {:?}", o.error);
+
+    // The CLI path: build the workload, run the variant in full detail,
+    // serialize the metrics registry. The server additionally zeroes
+    // host wall-clock counters; full-detail runs never set them.
+    let w = by_name("mcf").unwrap();
+    let prog = (w.build)(&WorkloadParams { seed: 1, iters: 60 });
+    let r = run_variant(Variant::Strict, &prog, DEFAULT_BUDGET).unwrap();
+    let expected = sanitize_result(r).metrics().to_json();
+    assert_eq!(o.document, expected, "server run doc diverged from CLI");
+}
+
+/// `sweep` responses carry byte-for-byte what
+/// `nda-sim sweep --metrics-out` writes for the same knobs.
+#[test]
+fn sweep_document_matches_cli_metrics_document() {
+    let engine = new_engine();
+    let o = submit_line(&engine, r#"{"id":1,"op":"sweep","samples":1,"iters":5}"#);
+    assert!(o.ok, "sweep failed: {:?}", o.error);
+
+    // Mirror of the CLI sweep configuration for those knobs (the
+    // server pins jobs to its own pool width, which never changes the
+    // result bytes — sweeps are bit-identical at any parallelism).
+    let cfg = SweepConfig {
+        samples: 1,
+        iters: 5,
+        jobs: 1,
+        mode: SweepMode::Full,
+        seed: 1,
+        retries: 1,
+        backoff_ms: 10,
+        deadline_cycles: DEFAULT_BUDGET,
+        chaos: None,
+        ckpt_dir: None,
+        ckpt_max_bytes: None,
+    };
+    let mut r = sweep(nda_workloads::all(), &Variant::all(), cfg);
+    for row in &mut r.cells {
+        for cell in row {
+            for run in &mut cell.runs {
+                *run = sanitize_result(*run);
+            }
+        }
+    }
+    let expected = metrics_document(&r, 1, 5, 1, 0);
+    assert_eq!(o.document, expected, "server sweep doc diverged from CLI");
+}
+
+/// Chaos-injected panics degrade individual sweep cells to
+/// `"status":"failed"` entries — the response still arrives, and the
+/// server keeps answering afterwards.
+#[test]
+fn chaos_sweep_degrades_cells_but_not_the_server() {
+    let engine = new_engine();
+    let o = submit_line(
+        &engine,
+        r#"{"id":1,"op":"sweep","samples":1,"iters":5,"chaos_panic":100,"retries":0,"chaos_seed":7}"#,
+    );
+    assert!(o.ok, "chaos sweep must degrade, not fail: {:?}", o.error);
+    assert!(
+        o.document.contains("\"status\":\"failed\""),
+        "100% chaos panics must surface failed cells"
+    );
+
+    // The worker that absorbed every panic still answers the next
+    // request correctly — and byte-identically to an unchaosed engine.
+    let after = submit_line(
+        &engine,
+        r#"{"id":2,"op":"run","workload":"mcf","variant":"OoO","iters":40}"#,
+    );
+    assert!(
+        after.ok,
+        "server wedged after chaos sweep: {:?}",
+        after.error
+    );
+    let fresh = submit_line(
+        &new_engine(),
+        r#"{"id":9,"op":"run","workload":"mcf","variant":"OoO","iters":40}"#,
+    );
+    assert_eq!(after.document, fresh.document);
+}
+
+/// Deterministic across engines: same request, different engine
+/// instance (and different shard count) → identical bytes.
+#[test]
+fn responses_are_engine_instance_independent() {
+    let line = r#"{"id":3,"op":"analyze","target":"spectre v1 (cache)","iters":120}"#;
+    let a = submit_line(&new_engine(), line);
+    let b = submit_line(
+        &Engine::new(ServeConfig {
+            shards: 3,
+            ..ServeConfig::default()
+        })
+        .unwrap(),
+        line,
+    );
+    assert!(a.ok && b.ok);
+    assert_eq!(a.document, b.document);
+}

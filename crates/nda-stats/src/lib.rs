@@ -12,13 +12,16 @@
 //!   confidence intervals over sampled execution; we run each workload as
 //!   several independently-seeded samples and aggregate with a
 //!   t-distribution interval.
+//! * [`serve_names`] — the canonical `serve.*` metric names the
+//!   `nda-serve` request engine registers its health counters under.
 
 #![forbid(unsafe_code)]
 
 pub mod counters;
 pub mod registry;
 pub mod sampling;
+pub mod serve_names;
 
 pub use counters::{CpiClass, CpiStack, CycleClass, SimStats};
-pub use registry::{escape_json, Hist, Metric, MetricsRegistry};
+pub use registry::{escape_json, Hist, Metric, MetricsRegistry, HIST_BUCKETS};
 pub use sampling::{geomean, Sample};

@@ -1,0 +1,82 @@
+//! Canonical metric names exported by the `nda-serve` request engine.
+//!
+//! The server's own health counters live in the same dotted-path
+//! namespace as the simulator metrics (`sim.*`, `mem.*`, ...) under the
+//! `serve.` prefix, so a `stats` request returns one ordinary
+//! [`MetricsRegistry`](crate::MetricsRegistry) document that diffs
+//! cleanly across runs. The constants here are the single source of
+//! truth: the engine registers under them and the tests/bench assert on
+//! them — a typo on either side fails to compile or fails the name test
+//! below instead of silently reading a missing counter as zero.
+
+/// Requests accepted (all ops, including `stats`; malformed lines that
+/// never parsed into a request are *not* counted).
+pub const REQUESTS: &str = "serve.requests";
+
+/// Requests answered from the in-memory outcome memo — no job was
+/// enqueued, no simulation ran.
+pub const CACHE_HITS: &str = "serve.cache_hits";
+
+/// Run cells answered from the persistent on-disk result store (a job
+/// ran, but the simulation itself was skipped).
+pub const STORE_HITS: &str = "serve.store_hits";
+
+/// Requests that arrived while an identical request was in flight and
+/// were attached as waiters to the owner's job instead of enqueueing a
+/// duplicate. N concurrent identical requests count N−1 here.
+pub const DEDUP_ATTACHED: &str = "serve.dedup_attached";
+
+/// Jobs dequeued and executed by shard workers (one per owned request,
+/// regardless of outcome).
+pub const JOBS_EXECUTED: &str = "serve.jobs_executed";
+
+/// Detailed simulations actually executed by run cells — the number the
+/// dedup/caching machinery exists to minimise. Store hits and memo hits
+/// do not count; a run request over V variants counts up to V.
+pub const SIMS_EXECUTED: &str = "serve.sims_executed";
+
+/// Jobs whose outcome was an error response (`"ok":false`).
+pub const JOBS_FAILED: &str = "serve.jobs_failed";
+
+/// Jobs (or run cells) whose worker panicked; the panic was contained
+/// and degraded to an error on that response only.
+pub const JOBS_PANICKED: &str = "serve.jobs_panicked";
+
+/// End-to-end request latency in microseconds (submit → response
+/// written), recorded by the transports as a log2-bucket histogram.
+pub const LATENCY_US: &str = "serve.latency_us";
+
+/// Jobs executed by shard `n`: `serve.shard<n>.jobs`. Together with
+/// [`JOBS_EXECUTED`] this gives the shard-occupancy distribution (cache
+/// affinity means a skewed distribution is expected under repeated
+/// keys, not a bug).
+pub fn shard_jobs(shard: usize) -> String {
+    format!("serve.shard{shard}.jobs")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_distinct_and_prefixed() {
+        let names = [
+            REQUESTS,
+            CACHE_HITS,
+            STORE_HITS,
+            DEDUP_ATTACHED,
+            JOBS_EXECUTED,
+            SIMS_EXECUTED,
+            JOBS_FAILED,
+            JOBS_PANICKED,
+            LATENCY_US,
+        ];
+        for (i, a) in names.iter().enumerate() {
+            assert!(a.starts_with("serve."), "{a} missing serve. prefix");
+            for b in &names[i + 1..] {
+                assert_ne!(a, b, "duplicate metric name");
+            }
+        }
+        assert_eq!(shard_jobs(3), "serve.shard3.jobs");
+    }
+}

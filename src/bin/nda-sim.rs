@@ -15,6 +15,12 @@
 //! nda-sim analyze <target> [options]       static speculative-leakage analysis;
 //!                                          target is an attack name, a workload
 //!                                          name, or an encoded program file
+//! nda-sim serve [options]                  long-running simulation server
+//!                                          (line-delimited JSON over TCP, or
+//!                                          stdin/stdout with --stdio)
+//! nda-sim client [options]                 pipeline a batch of request lines
+//!                                          (--input file, default stdin) to a
+//!                                          server and print the responses
 //!
 //! options:
 //!   --json              analyze: emit the machine-readable report
@@ -44,10 +50,29 @@
 //!                       exceeds it degrades to FAILED (default 2e9)
 //!   --journal <dir>     sweep: crash-safe resume journal — completed cells
 //!                       are recorded as they finish and skipped on rerun
-//!   --checkpoint-dir <dir> run/sweep: persistent checkpoint store — sampled
-//!                       fast-forward results are content-addressed by
+//!   --checkpoint-dir <dir> run/sweep/serve: persistent checkpoint store —
+//!                       sampled fast-forward results are content-addressed by
 //!                       workload + schedule + machine geometry and reused
 //!                       across runs (env fallback: NDA_CKPT_DIR)
+//!   --ckpt-max-bytes <n> size cap for the checkpoint store: after each save
+//!                       (and with --checkpoint-gc, eagerly) oldest entries
+//!                       are evicted until the store fits (env fallback:
+//!                       NDA_CKPT_MAX_BYTES; 0 = uncapped)
+//!   --checkpoint-gc     run/sweep: garbage-collect the checkpoint store to
+//!                       --ckpt-max-bytes before the command runs
+//!   --addr <host:port>  serve/client: server address
+//!                       (default 127.0.0.1:4209; serve accepts :0)
+//!   --stdio             serve: speak the protocol on stdin/stdout instead
+//!                       of TCP
+//!   --shards <n>        serve: shard worker threads (default: host
+//!                       parallelism); jobs land on request-key hash % n
+//!   --result-dir <dir>  serve: persistent result store — finished run cells
+//!                       are content-addressed and reused across restarts
+//!                       (env fallback: NDA_RESULT_DIR)
+//!   --result-max-bytes <n> serve: size cap for the result store (env
+//!                       fallback: NDA_RESULT_MAX_BYTES; 0 = uncapped)
+//!   --input <file>      client: request batch file (default: stdin); blank
+//!                       lines and # comments are skipped
 //!   --chaos-panic <pct> sweep: chaos harness, panic in pct% of jobs
 //!   --chaos-slow <pct>  sweep: chaos harness, starve pct% of jobs so they
 //!                       degrade to a deadline error
@@ -101,9 +126,25 @@ struct Opts {
     deadline_cycles: u64,
     journal: Option<String>,
     ckpt_dir: Option<String>,
+    ckpt_max_bytes: Option<u64>,
+    checkpoint_gc: bool,
     chaos_panic: u8,
     chaos_slow: u8,
     chaos_seed: u64,
+    addr: String,
+    stdio: bool,
+    shards: Option<usize>,
+    result_dir: Option<String>,
+    result_max_bytes: Option<u64>,
+    input: Option<String>,
+}
+
+/// Parse a "positive u64 or absent" environment knob; `0` disables.
+fn env_cap(name: &str) -> Option<u64> {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .filter(|&n| n > 0)
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -128,9 +169,17 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         deadline_cycles: MAX_CYCLES,
         journal: None,
         ckpt_dir: std::env::var("NDA_CKPT_DIR").ok(),
+        ckpt_max_bytes: env_cap("NDA_CKPT_MAX_BYTES"),
+        checkpoint_gc: false,
         chaos_panic: 0,
         chaos_slow: 0,
         chaos_seed: 0,
+        addr: "127.0.0.1:4209".into(),
+        stdio: false,
+        shards: None,
+        result_dir: std::env::var("NDA_RESULT_DIR").ok(),
+        result_max_bytes: env_cap("NDA_RESULT_MAX_BYTES"),
+        input: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -195,6 +244,34 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             }
             "--journal" => o.journal = Some(val("--journal")?),
             "--checkpoint-dir" => o.ckpt_dir = Some(val("--checkpoint-dir")?),
+            "--ckpt-max-bytes" => {
+                o.ckpt_max_bytes = Some(
+                    val("--ckpt-max-bytes")?
+                        .parse()
+                        .map_err(|e| format!("--ckpt-max-bytes: {e}"))?,
+                )
+                .filter(|&n| n > 0)
+            }
+            "--checkpoint-gc" => o.checkpoint_gc = true,
+            "--addr" => o.addr = val("--addr")?,
+            "--stdio" => o.stdio = true,
+            "--shards" => {
+                o.shards = Some(
+                    val("--shards")?
+                        .parse()
+                        .map_err(|e| format!("--shards: {e}"))?,
+                )
+            }
+            "--result-dir" => o.result_dir = Some(val("--result-dir")?),
+            "--result-max-bytes" => {
+                o.result_max_bytes = Some(
+                    val("--result-max-bytes")?
+                        .parse()
+                        .map_err(|e| format!("--result-max-bytes: {e}"))?,
+                )
+                .filter(|&n| n > 0)
+            }
+            "--input" => o.input = Some(val("--input")?),
             "--chaos-panic" => {
                 o.chaos_panic = val("--chaos-panic")?
                     .parse()
@@ -268,6 +345,31 @@ fn cmd_attacks() {
     }
 }
 
+/// Eager checkpoint-store GC (`--checkpoint-gc`): trim the store to
+/// `--ckpt-max-bytes` before the command runs, so a shrunken cap takes
+/// effect immediately instead of at the next save.
+fn run_checkpoint_gc(o: &Opts) -> Result<(), String> {
+    let dir = o
+        .ckpt_dir
+        .as_ref()
+        .ok_or("--checkpoint-gc needs --checkpoint-dir (or NDA_CKPT_DIR)")?;
+    let cap = o
+        .ckpt_max_bytes
+        .ok_or("--checkpoint-gc needs --ckpt-max-bytes (or NDA_CKPT_MAX_BYTES)")?;
+    let store = nda::CheckpointStore::open(std::path::Path::new(dir))
+        .map_err(|e| format!("checkpoint store {dir}: {e}"))?;
+    let gc = store.gc(cap).map_err(|e| format!("checkpoint gc: {e}"))?;
+    eprintln!(
+        "checkpoint gc: scanned {} entr{}, evicted {} ({} bytes), {} bytes live",
+        gc.scanned,
+        if gc.scanned == 1 { "y" } else { "ies" },
+        gc.evicted,
+        gc.evicted_bytes,
+        gc.live_bytes
+    );
+    Ok(())
+}
+
 fn cmd_run_sampled(
     w: &nda::workloads::Workload,
     prog: &nda::Program,
@@ -282,6 +384,7 @@ fn cmd_run_sampled(
         CheckpointStore::open(std::path::Path::new(dir))
             .map_err(|e| eprintln!("warning: checkpoint store at {dir} disabled: {e}"))
             .ok()
+            .map(|s| s.with_max_bytes(o.ckpt_max_bytes))
     });
     let cfg = SimConfig::for_variant(o.variant);
     let (r, warm_hit) = match &store {
@@ -382,6 +485,9 @@ fn run_traced(
 }
 
 fn cmd_run(name: &str, o: &Opts) -> Result<(), String> {
+    if o.checkpoint_gc {
+        run_checkpoint_gc(o)?;
+    }
     let w = by_name(name).ok_or(format!("unknown workload {name:?} (see `workloads`)"))?;
     let prog = (w.build)(&WorkloadParams {
         seed: o.seed,
@@ -519,6 +625,9 @@ fn cmd_sweep(o: &Opts) -> Result<(), String> {
         Chaos, Journal, SweepConfig, SweepMode,
     };
     use nda::SampledParams;
+    if o.checkpoint_gc {
+        run_checkpoint_gc(o)?;
+    }
     // Contained panics (injected or real) are reported as FAILED cells;
     // keep the default panic banner from spamming the table.
     silence_contained_panics();
@@ -546,6 +655,7 @@ fn cmd_sweep(o: &Opts) -> Result<(), String> {
             target: None,
         }),
         ckpt_dir: o.ckpt_dir.as_ref().map(std::path::PathBuf::from),
+        ckpt_max_bytes: o.ckpt_max_bytes,
     };
     let workloads = all();
     let variants = Variant::all();
@@ -798,6 +908,55 @@ fn cmd_analyze(target: &str, o: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve(o: &Opts) -> Result<(), String> {
+    use nda::serve::{ServeConfig, Server};
+    let defaults = ServeConfig::default();
+    let cfg = ServeConfig {
+        shards: o.shards.unwrap_or(defaults.shards),
+        jobs: o.jobs.unwrap_or(defaults.jobs),
+        deadline_cycles: o.deadline_cycles,
+        result_dir: o.result_dir.as_ref().map(std::path::PathBuf::from),
+        result_max_bytes: o.result_max_bytes,
+        ckpt_dir: o.ckpt_dir.as_ref().map(std::path::PathBuf::from),
+        ckpt_max_bytes: o.ckpt_max_bytes,
+        ..defaults
+    };
+    let server = Server::new(cfg).map_err(|e| format!("start server: {e}"))?;
+    if o.stdio {
+        server
+            .serve_stream(
+                std::io::BufReader::new(std::io::stdin()),
+                std::io::stdout().lock(),
+            )
+            .map_err(|e| format!("serve stdio: {e}"))?;
+        return Ok(());
+    }
+    let listener =
+        std::net::TcpListener::bind(&o.addr).map_err(|e| format!("bind {}: {e}", o.addr))?;
+    // Stderr so response-free stdout piping stays clean; the actual
+    // port matters when binding :0.
+    match listener.local_addr() {
+        Ok(a) => eprintln!("nda-serve listening on {a}"),
+        Err(_) => eprintln!("nda-serve listening on {}", o.addr),
+    }
+    server
+        .serve_tcp(listener)
+        .map_err(|e| format!("serve tcp: {e}"))
+}
+
+fn cmd_client(o: &Opts) -> Result<(), String> {
+    let text = match &o.input {
+        Some(path) => std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?,
+        None => std::io::read_to_string(std::io::stdin()).map_err(|e| format!("stdin: {e}"))?,
+    };
+    let lines: Vec<String> = text.lines().map(String::from).collect();
+    let mut out = std::io::stdout().lock();
+    let n = nda::serve::client::run_batch(&o.addr, &lines, &mut out)
+        .map_err(|e| format!("client {}: {e}", o.addr))?;
+    eprintln!("{n} response(s) from {}", o.addr);
+    Ok(())
+}
+
 fn cmd_verify(o: &Opts) -> Result<(), String> {
     use nda::verify::{run_verify, InjectKind, VerifyConfig};
     let kinds = if o.inject == "none" {
@@ -842,7 +1001,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first().map(String::as_str) else {
         eprintln!(
-            "usage: nda-sim <variants|workloads|attacks|run|attack|matrix|sweep|save|exec|trace|verify|analyze> [options]"
+            "usage: nda-sim <variants|workloads|attacks|run|attack|matrix|sweep|save|exec|trace|verify|analyze|serve|client> [options]"
         );
         eprintln!("(see the module docs at the top of src/bin/nda-sim.rs)");
         return ExitCode::FAILURE;
@@ -888,6 +1047,8 @@ fn main() -> ExitCode {
         },
         "matrix" => parse_opts(&args[1..]).map(|o| cmd_matrix(&o)),
         "sweep" => parse_opts(&args[1..]).and_then(|o| cmd_sweep(&o)),
+        "serve" => parse_opts(&args[1..]).and_then(|o| cmd_serve(&o)),
+        "client" => parse_opts(&args[1..]).and_then(|o| cmd_client(&o)),
         "verify" => parse_opts(&args[1..]).and_then(|o| cmd_verify(&o)),
         other => Err(format!("unknown command {other:?}")),
     };

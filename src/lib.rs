@@ -23,6 +23,9 @@
 //! * [`bench`] — the fault-isolated sweep harness: panic containment,
 //!   retry/deadline budgets, a crash-safe resume journal and seeded
 //!   chaos injection (`nda-bench`).
+//! * [`serve`] — the long-running simulation server: sharded worker
+//!   pools, in-flight request dedup and content-addressed result
+//!   caching over a line-delimited JSON protocol (`nda-serve`).
 //!
 //! The most common entry points are re-exported at the crate root:
 //!
@@ -48,6 +51,7 @@ pub use nda_core as core;
 pub use nda_isa as isa;
 pub use nda_mem as mem;
 pub use nda_predict as predict;
+pub use nda_serve as serve;
 pub use nda_stats as stats;
 pub use nda_trace as trace;
 pub use nda_verify as verify;
