@@ -81,6 +81,69 @@ pub struct TriggerInfo {
     pub distance: u32,
 }
 
+/// Per-pc in-state of the speculation-control dataflow: which modes
+/// execution can be in when the instruction *dispatches*.
+const SPEC_ON: u8 = 0b01;
+const SPEC_OFF: u8 = 0b10;
+
+/// Forward dataflow over the static CFG edges computing, per pc, whether
+/// execution can only arrive there inside a Listing-4 no-speculation
+/// window (`SpecOff` committed, no matching `SpecOn` yet).
+///
+/// `out[pc]` is `true` iff every architectural path reaching `pc` has
+/// executed `spec_off` more recently than any `spec_on`. On such a pc the
+/// out-of-order core dispatches one instruction at a time with no
+/// wrong-path dispatch, so an otherwise mispredictable instruction there
+/// cannot open a transient window: [`find_triggers`] skips it. `SpecOff`
+/// takes effect at *commit*, which is exactly the in-state here — with
+/// dispatch serialized, the instruction after a committed `spec_off`
+/// enters the ROB alone.
+///
+/// Architecturally unreachable pcs (in-state bottom) are *not* treated as
+/// disabled: the static edge set is an over-approximation, and keeping
+/// them conservative leaves programs without `spec_off` entirely
+/// unaffected. The fault-handler edge propagates the faulting pc's state:
+/// the window survives a committed fault (only a committed `spec_on` ends
+/// it).
+pub fn spec_disabled(p: &Program, cfg: &Cfg) -> Vec<bool> {
+    let n = p.insts.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut state = vec![0u8; n];
+    let entry = p.entry.min(n - 1);
+    state[entry] = SPEC_ON;
+    let mut work: VecDeque<usize> = VecDeque::from([entry]);
+    let mut queued = vec![false; n];
+    queued[entry] = true;
+    while let Some(pc) = work.pop_front() {
+        queued[pc] = false;
+        let out = match p.insts[pc] {
+            nda_isa::Inst::SpecOff => SPEC_OFF,
+            nda_isa::Inst::SpecOn => SPEC_ON,
+            _ => state[pc],
+        };
+        let mut push = |t: usize, state: &mut Vec<u8>, work: &mut VecDeque<usize>| {
+            if state[t] | out != state[t] {
+                state[t] |= out;
+                if !queued[t] {
+                    queued[t] = true;
+                    work.push_back(t);
+                }
+            }
+        };
+        for t in nda_isa::inst_successors(p, pc, cfg.indirect_targets(), cfg.return_sites()) {
+            push(t, &mut state, &mut work);
+        }
+        if p.insts[pc].may_fault() {
+            if let Some(h) = p.fault_handler.filter(|&h| h < n) {
+                push(h, &mut state, &mut work);
+            }
+        }
+    }
+    state.iter().map(|&s| s == SPEC_OFF).collect()
+}
+
 /// BFS over speculative successors from `starts`, bounded by `window`
 /// instructions, not expanding past serializing instructions (which never
 /// execute speculatively and so end the transient window).
@@ -122,8 +185,17 @@ pub fn find_triggers(
     window: usize,
     track_ssb: bool,
 ) -> Vec<Trigger> {
+    let disabled = spec_disabled(p, cfg);
     let mut out = Vec::new();
     for (pc, inst) in p.insts.iter().enumerate() {
+        // Inside a definite no-speculation window nothing dispatches past
+        // an unresolved instruction: the would-be trigger cannot open a
+        // transient window (branches resolve before successors enter the
+        // ROB, stores cannot be bypassed, a faulting access commits
+        // before any dependent issues).
+        if disabled[pc] {
+            continue;
+        }
         let (kind, starts): (TriggerKind, Vec<usize>) = match inst {
             nda_isa::Inst::Branch { .. } => (
                 TriggerKind::CondBranch,
@@ -152,7 +224,7 @@ pub fn find_triggers(
     }
     // Fault triggers: one per faulting source.
     for src in &analysis.sources {
-        if src.faulting {
+        if src.faulting && !disabled[src.pc] {
             out.push(Trigger {
                 pc: src.pc,
                 kind: TriggerKind::Fault,

@@ -53,10 +53,12 @@ use nda_isa::{Cfg, Program, SecretSpec};
 
 pub mod absint;
 pub mod gadget;
+pub mod mitigate;
 pub mod report;
 
 pub use absint::{Analysis, Channel, SinkInfo, SourceInfo, SourceKind};
 pub use gadget::{Trigger, TriggerInfo, TriggerKind};
+pub use mitigate::{harden, Fix, HardenConfig, HardenOutcome, Pass, PassSet, PatchPoint, Residual};
 pub use report::{Gadget, Report};
 
 /// Analyzer knobs.
@@ -168,7 +170,7 @@ pub fn analyze(p: &Program, spec: &SecretSpec, cfg: &AnalyzeConfig) -> Report {
                     gadget::suppressed_by(p, v, sink.channel, &chain_no_sink, &trigs, &triggers)
                 })
                 .collect();
-            gadgets.push(Gadget {
+            let mut gadget = Gadget {
                 source_pc: src.pc,
                 source_kind: src.kind,
                 source_disasm: report::disasm(p, src.pc),
@@ -177,8 +179,11 @@ pub fn analyze(p: &Program, spec: &SecretSpec, cfg: &AnalyzeConfig) -> Report {
                 sink_disasm: report::disasm(p, sink_pc),
                 chain,
                 triggers: trigs.into_iter().map(|(_, t)| t).collect(),
+                patch: None,
                 suppressed_by,
-            });
+            };
+            gadget.patch = mitigate::suggest(p, spec, &graph, &gadget);
+            gadgets.push(gadget);
         }
     }
 

@@ -1,0 +1,875 @@
+//! Analysis-guided software mitigation synthesis.
+//!
+//! Takes the gadget report of [`analyze`](crate::analyze) and *repairs*
+//! the program with per-gadget rewrite passes, iterating rewrite →
+//! re-analysis until the report is clean or no enabled pass applies:
+//!
+//! * **Fence insertion** ([`Pass::Fence`]): a serializing `fence` ahead
+//!   of the transmitting sink. Every path into the sink — fall-through or
+//!   relocated transfer — now runs through the fence, so no speculation
+//!   window can contain the sink (the window BFS cannot expand past a
+//!   serializing instruction) and dynamically the sink can never issue
+//!   while an older trigger is unresolved. This is the universal
+//!   fallback: it applies to every gadget and provably converges.
+//! * **Index masking** ([`Pass::Mask`]): for a wild-load source whose
+//!   address is `constant base + attacker index`, clamp the index with an
+//!   `and` so the access provably stays inside a power-of-two region
+//!   disjoint from every labeled secret range (and from kernel space).
+//!   The re-analysis then resolves the load's address interval and stops
+//!   classifying it as a source at all — the gadget is removed at its
+//!   root, like the `array_index_mask_nospec` idiom in Linux. Applied
+//!   only to [`SourceKind::WildLoad`] sources: clamping a *definite* or
+//!   *faulting* access would change architectural behavior.
+//! * **Speculation thunking** ([`Pass::Thunk`]): for gadgets whose every
+//!   trigger is an indirect transfer or return, bracket the transfer in
+//!   the paper's §8 `stop_speculative_exec()` / `resume_speculative_exec()`
+//!   window (`spec_off` immediately before the trigger, `spec_on` at its
+//!   continuations). The transfer then resolves before anything younger
+//!   dispatches — the BTB/RAS-steered wrong path never executes — and the
+//!   analyzer's speculation-control dataflow
+//!   ([`gadget::spec_disabled`](crate::gadget::spec_disabled)) proves the
+//!   trigger dead.
+//!
+//! Each fix is chosen per gadget (mask at the source when it applies,
+//! else thunk at the triggers, else fence at the sink); gadgets no
+//! enabled pass can repair are returned as [`Residual`]s with the reason
+//! per pass. The composed [`PcMap`] lets callers relate every original
+//! instruction to its hardened position — `nda-verify` uses it to pin
+//! architectural equivalence and to re-target the dynamic taint probe at
+//! the relocated source/sink pair.
+
+use nda_isa::inst::Src2;
+use nda_isa::{
+    apply_patches, AluOp, Cfg, Inst, Patch, PcMap, Program, Reg, SecretSpec, KERNEL_BASE,
+};
+
+use crate::absint::SourceKind;
+use crate::gadget::TriggerKind;
+use crate::report::{Gadget, Report};
+use crate::{analyze, AnalyzeConfig};
+
+/// One mitigation pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pass {
+    /// Serializing fence ahead of the transmitting sink.
+    Fence,
+    /// Clamp a wild load's index into a secret-free power-of-two region.
+    Mask,
+    /// `spec_off`/`spec_on` bracket around an indirect-transfer trigger.
+    Thunk,
+}
+
+impl Pass {
+    /// Stable JSON/CLI identifier.
+    pub fn name(self) -> &'static str {
+        match self {
+            Pass::Fence => "fence",
+            Pass::Mask => "mask",
+            Pass::Thunk => "thunk",
+        }
+    }
+}
+
+/// Which passes the synthesizer may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PassSet {
+    /// Allow fence insertion.
+    pub fence: bool,
+    /// Allow index masking.
+    pub mask: bool,
+    /// Allow speculation thunking.
+    pub thunk: bool,
+}
+
+impl PassSet {
+    /// Every pass enabled (the default).
+    pub fn all() -> PassSet {
+        PassSet {
+            fence: true,
+            mask: true,
+            thunk: true,
+        }
+    }
+
+    /// Parse a comma-separated pass list (`"fence,mask,thunk"`, any
+    /// subset, or `"all"`).
+    pub fn parse(s: &str) -> Result<PassSet, String> {
+        let mut set = PassSet {
+            fence: false,
+            mask: false,
+            thunk: false,
+        };
+        for part in s.split(',') {
+            match part.trim() {
+                "fence" => set.fence = true,
+                "mask" => set.mask = true,
+                "thunk" => set.thunk = true,
+                "all" => set = PassSet::all(),
+                "" => return Err("empty pass name".to_string()),
+                other => {
+                    return Err(format!(
+                        "unknown pass '{other}' (expected fence, mask, thunk or all)"
+                    ))
+                }
+            }
+        }
+        Ok(set)
+    }
+
+    /// Comma-separated names of the enabled passes.
+    pub fn names(&self) -> String {
+        let mut out = Vec::new();
+        if self.fence {
+            out.push("fence");
+        }
+        if self.mask {
+            out.push("mask");
+        }
+        if self.thunk {
+            out.push("thunk");
+        }
+        out.join(",")
+    }
+}
+
+impl Default for PassSet {
+    fn default() -> PassSet {
+        PassSet::all()
+    }
+}
+
+/// Patch-point metadata attached to a reported gadget: where the
+/// synthesizer would repair it with every pass enabled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatchPoint {
+    /// Instruction index the fix anchors to (the masked address
+    /// computation, the first thunked trigger, or the fenced sink).
+    pub pc: usize,
+    /// Kind of the gadget's first trigger (what the fix defends against).
+    pub trigger: TriggerKind,
+    /// The selected pass.
+    pub pass: Pass,
+}
+
+/// Relative ordering of instructions inserted at the same anchor:
+/// `spec_on` (ending an enclosing thunk window) first, then `fence`,
+/// then `spec_off` (so a co-located trigger still sees a definitely-off
+/// in-state), then masking ALU ops (immediately before the computation
+/// they feed).
+const ORD_SPEC_ON: u8 = 0;
+const ORD_FENCE: u8 = 1;
+const ORD_SPEC_OFF: u8 = 2;
+const ORD_MASK: u8 = 3;
+
+/// One planned primitive edit, deduplicated across gadgets.
+#[derive(Debug, Clone, PartialEq)]
+enum Edit {
+    Insert { at: usize, order: u8, inst: Inst },
+    Replace { at: usize, inst: Inst },
+}
+
+/// Plan the masking fix for a wild-load source: find the in-block
+/// `li base_const` + `add addr, base_const, idx` (either operand order,
+/// or an immediate base) feeding the load, and clamp `idx` through the
+/// load's own destination register as scratch.
+fn mask_plan(
+    p: &Program,
+    spec: &SecretSpec,
+    graph: &Cfg,
+    source_pc: usize,
+) -> Option<(usize, Vec<Edit>)> {
+    let Inst::Load {
+        rd: scratch,
+        base,
+        off,
+        size,
+    } = p.insts[source_pc]
+    else {
+        return None;
+    };
+    if scratch.is_zero() {
+        return None;
+    }
+    let block = &graph.blocks()[graph.block_of(source_pc)];
+
+    // Most recent in-block writer of the load's base register.
+    let add_pc = (block.start..source_pc)
+        .rev()
+        .find(|&pc| p.insts[pc].dest() == Some(base))?;
+    let Inst::Alu {
+        op: AluOp::Add,
+        rd: _,
+        rs1,
+        src2,
+    } = p.insts[add_pc]
+    else {
+        return None;
+    };
+
+    // Most recent in-block definition of `r` before `add_pc`, if it is a
+    // plain (non-code-pointer) `li`.
+    let const_of = |r: Reg| -> Option<u64> {
+        let def = (block.start..add_pc)
+            .rev()
+            .find(|&pc| p.insts[pc].dest() == Some(r))?;
+        match p.insts[def] {
+            Inst::Li { imm, .. } if !p.code_ptr_lis.contains(&def) => Some(imm),
+            _ => None,
+        }
+    };
+
+    // Which operand is the constant region base, which the wild index?
+    let (lo, idx, replacement) = match src2 {
+        Src2::Imm(k) => (
+            k,
+            rs1,
+            Inst::Alu {
+                op: AluOp::Add,
+                rd: base,
+                rs1: scratch,
+                src2: Src2::Imm(k),
+            },
+        ),
+        Src2::Reg(r2) => {
+            if let Some(lo) = const_of(rs1) {
+                if rs1 == scratch {
+                    return None; // the retained constant operand would be clobbered
+                }
+                (
+                    lo,
+                    r2,
+                    Inst::Alu {
+                        op: AluOp::Add,
+                        rd: base,
+                        rs1,
+                        src2: Src2::Reg(scratch),
+                    },
+                )
+            } else if let Some(lo) = const_of(r2) {
+                if r2 == scratch {
+                    return None;
+                }
+                (
+                    lo,
+                    rs1,
+                    Inst::Alu {
+                        op: AluOp::Add,
+                        rd: base,
+                        rs1: scratch,
+                        src2: Src2::Reg(r2),
+                    },
+                )
+            } else {
+                return None;
+            }
+        }
+    };
+
+    // The scratch register must be dead between the address computation
+    // and the load that (re)defines it: nothing there may read its old
+    // value or clobber the masked index.
+    for pc in add_pc + 1..source_pc {
+        let inst = p.insts[pc];
+        if inst.srcs().any(|r| r == scratch) || inst.dest() == Some(scratch) {
+            return None;
+        }
+    }
+
+    // Largest power-of-two window at `lo + off` that stays below kernel
+    // space and clear of every labeled range. The re-analysis then
+    // resolves the clamped address to exactly this interval.
+    let start = (lo as i128) + (off as i128);
+    if start < 0 {
+        return None;
+    }
+    let mask = (1..=63u32).rev().map(|k| (1u64 << k) - 1).find(|&m| {
+        let span = m + size.bytes();
+        (start + span as i128) <= KERNEL_BASE as i128 && !spec.overlaps(start as u64, span)
+    })?;
+
+    let edits = vec![
+        Edit::Insert {
+            at: add_pc,
+            order: ORD_MASK,
+            inst: Inst::Alu {
+                op: AluOp::And,
+                rd: scratch,
+                rs1: idx,
+                src2: Src2::Imm(mask),
+            },
+        },
+        Edit::Replace {
+            at: add_pc,
+            inst: replacement,
+        },
+    ];
+    Some((add_pc, edits))
+}
+
+/// Plan the thunking fix: every trigger must be an indirect transfer or
+/// return; each gets `spec_off` immediately ahead (its only predecessor
+/// after relocation) and `spec_on` at its architectural continuations.
+fn thunk_plan(p: &Program, graph: &Cfg, g: &Gadget) -> Option<(usize, Vec<Edit>)> {
+    if g.triggers.is_empty()
+        || !g.triggers.iter().all(|t| {
+            matches!(
+                t.kind,
+                TriggerKind::IndirectCall | TriggerKind::ReturnMispredict
+            )
+        })
+    {
+        return None;
+    }
+    let mut edits = Vec::new();
+    let spec_on_at = |edits: &mut Vec<Edit>, at: usize| {
+        if at < p.insts.len() {
+            edits.push(Edit::Insert {
+                at,
+                order: ORD_SPEC_ON,
+                inst: Inst::SpecOn,
+            });
+        }
+    };
+    for t in &g.triggers {
+        edits.push(Edit::Insert {
+            at: t.pc,
+            order: ORD_SPEC_OFF,
+            inst: Inst::SpecOff,
+        });
+        match p.insts[t.pc] {
+            Inst::CallInd { .. } => spec_on_at(&mut edits, t.pc + 1),
+            Inst::JmpInd { .. } => {
+                for &tgt in graph.indirect_targets() {
+                    spec_on_at(&mut edits, tgt);
+                }
+            }
+            Inst::Ret => {
+                for &site in graph.return_sites() {
+                    spec_on_at(&mut edits, site);
+                }
+            }
+            _ => return None,
+        }
+    }
+    Some((g.triggers[0].pc, edits))
+}
+
+/// Select a pass for `g` and plan its edits, or explain why every
+/// enabled pass is inapplicable.
+fn plan(
+    p: &Program,
+    spec: &SecretSpec,
+    graph: &Cfg,
+    g: &Gadget,
+    passes: &PassSet,
+) -> Result<(PatchPoint, Vec<Edit>), String> {
+    let trigger = g
+        .triggers
+        .first()
+        .map(|t| t.kind)
+        .unwrap_or(TriggerKind::CondBranch);
+    let mut reasons = Vec::new();
+    if passes.mask {
+        if g.source_kind != SourceKind::WildLoad {
+            reasons.push(format!(
+                "mask: source is {} (clamping a definite or faulting access would change architectural behavior)",
+                g.source_kind.name()
+            ));
+        } else if let Some((pc, edits)) = mask_plan(p, spec, graph, g.source_pc) {
+            return Ok((
+                PatchPoint {
+                    pc,
+                    trigger,
+                    pass: Pass::Mask,
+                },
+                edits,
+            ));
+        } else {
+            reasons.push(
+                "mask: no in-block `li base` + `add` address computation feeds the wild load, \
+                 or no secret-free power-of-two window exists"
+                    .to_string(),
+            );
+        }
+    } else {
+        reasons.push("mask: disabled".to_string());
+    }
+    if passes.thunk {
+        if let Some((pc, edits)) = thunk_plan(p, graph, g) {
+            return Ok((
+                PatchPoint {
+                    pc,
+                    trigger,
+                    pass: Pass::Thunk,
+                },
+                edits,
+            ));
+        }
+        reasons.push("thunk: not every trigger is an indirect transfer or return".to_string());
+    } else {
+        reasons.push("thunk: disabled".to_string());
+    }
+    if passes.fence {
+        return Ok((
+            PatchPoint {
+                pc: g.sink_pc,
+                trigger,
+                pass: Pass::Fence,
+            },
+            vec![Edit::Insert {
+                at: g.sink_pc,
+                order: ORD_FENCE,
+                inst: Inst::Fence,
+            }],
+        ));
+    }
+    reasons.push("fence: disabled".to_string());
+    Err(reasons.join("; "))
+}
+
+/// The patch point the synthesizer would use for `g` with every pass
+/// enabled — attached to gadget reports as machine-readable metadata.
+pub fn suggest(p: &Program, spec: &SecretSpec, graph: &Cfg, g: &Gadget) -> Option<PatchPoint> {
+    plan(p, spec, graph, g, &PassSet::all())
+        .ok()
+        .map(|(pp, _)| pp)
+}
+
+/// Knobs for [`harden`].
+#[derive(Debug, Clone)]
+pub struct HardenConfig {
+    /// Which passes may be used.
+    pub passes: PassSet,
+    /// Maximum rewrite → re-analysis rounds. Each round repairs every
+    /// reported gadget; multiple rounds are needed when fixing one layer
+    /// reveals sources previously hidden behind the analyzer's 63-bit
+    /// taint-id cap, or when a thunk leaves a secondary trigger to fence.
+    pub max_rounds: usize,
+    /// Analyzer configuration used for every (re-)analysis.
+    pub analyze: AnalyzeConfig,
+}
+
+impl Default for HardenConfig {
+    fn default() -> HardenConfig {
+        HardenConfig {
+            passes: PassSet::all(),
+            max_rounds: 32,
+            analyze: AnalyzeConfig::default(),
+        }
+    }
+}
+
+/// One applied fix, in *final hardened-program* coordinates.
+#[derive(Debug, Clone)]
+pub struct Fix {
+    /// The pass used.
+    pub pass: Pass,
+    /// Final index of the instruction the fix anchors to.
+    pub at: usize,
+    /// Final index of the repaired gadget's source.
+    pub source_pc: usize,
+    /// Final index of the repaired gadget's sink.
+    pub sink_pc: usize,
+    /// Rewrite round (0-based) the fix was applied in.
+    pub round: usize,
+}
+
+/// A gadget no enabled pass could repair, with the per-pass reasons.
+#[derive(Debug, Clone)]
+pub struct Residual {
+    /// The surviving gadget (final-program coordinates).
+    pub gadget: Gadget,
+    /// Why each enabled pass was inapplicable.
+    pub reason: String,
+}
+
+/// Result of [`harden`].
+#[derive(Debug)]
+pub struct HardenOutcome {
+    /// The hardened program. When the input already analyzed clean this
+    /// is an exact copy of the input — byte-identical under
+    /// [`encode_program`](nda_isa::encode_program).
+    pub program: Program,
+    /// Composed relocation map from input to hardened coordinates.
+    pub map: PcMap,
+    /// Rewrite rounds performed.
+    pub rounds: usize,
+    /// Every applied fix (final coordinates).
+    pub fixes: Vec<Fix>,
+    /// Gadgets that could not be repaired with the enabled passes.
+    pub residual: Vec<Residual>,
+    /// The final re-analysis report of [`HardenOutcome::program`]. Empty
+    /// `gadgets` is the static proof that hardening succeeded.
+    pub report: Report,
+}
+
+impl HardenOutcome {
+    /// `true` if the final report is gadget-free.
+    pub fn clean(&self) -> bool {
+        self.report.gadgets.is_empty()
+    }
+}
+
+/// Repair every gadget `analyze` finds in `p` under `spec`, iterating
+/// rewrite → re-analysis until the report is clean, no enabled pass
+/// applies, or the round budget is exhausted.
+///
+/// A program that already analyzes clean is returned unchanged (same
+/// instruction sequence, identity map, zero rounds).
+pub fn harden(p: &Program, spec: &SecretSpec, cfg: &HardenConfig) -> HardenOutcome {
+    let mut prog = p.clone();
+    let mut map = PcMap::identity(p.insts.len());
+    let mut fixes: Vec<Fix> = Vec::new();
+    let mut rounds = 0;
+    loop {
+        let report = analyze(&prog, spec, &cfg.analyze);
+        if report.gadgets.is_empty() {
+            return HardenOutcome {
+                program: prog,
+                map,
+                rounds,
+                fixes,
+                residual: Vec::new(),
+                report,
+            };
+        }
+        if rounds >= cfg.max_rounds {
+            let residual = report
+                .gadgets
+                .iter()
+                .map(|g| Residual {
+                    gadget: g.clone(),
+                    reason: format!("round budget ({}) exhausted", cfg.max_rounds),
+                })
+                .collect();
+            return HardenOutcome {
+                program: prog,
+                map,
+                rounds,
+                fixes,
+                residual,
+                report,
+            };
+        }
+
+        let graph = Cfg::build(&prog);
+        let mut edits: Vec<Edit> = Vec::new();
+        let mut planned: Vec<(PatchPoint, usize, usize)> = Vec::new();
+        let mut residual: Vec<Residual> = Vec::new();
+        for g in &report.gadgets {
+            match plan(&prog, spec, &graph, g, &cfg.passes) {
+                Ok((pp, es)) => {
+                    for e in es {
+                        // Dedup identical edits across gadgets; on a
+                        // replace conflict keep the first plan (the loser
+                        // is re-planned against the rewritten program
+                        // next round).
+                        let conflict = matches!(&e, Edit::Replace { at, .. } if edits.iter().any(
+                            |x| matches!(x, Edit::Replace { at: a, .. } if a == at)));
+                        if !conflict && !edits.contains(&e) {
+                            edits.push(e);
+                        }
+                    }
+                    planned.push((pp, g.source_pc, g.sink_pc));
+                }
+                Err(reason) => residual.push(Residual {
+                    gadget: g.clone(),
+                    reason,
+                }),
+            }
+        }
+        if edits.is_empty() {
+            return HardenOutcome {
+                program: prog,
+                map,
+                rounds,
+                fixes,
+                residual,
+                report,
+            };
+        }
+
+        // Deterministic patch order: anchor, then the fixed insert
+        // ordering, preserving plan order among equals.
+        let mut inserts = edits.clone();
+        inserts.retain(|e| matches!(e, Edit::Insert { .. }));
+        inserts.sort_by_key(|e| match e {
+            Edit::Insert { at, order, .. } => (*at, *order),
+            Edit::Replace { .. } => unreachable!(),
+        });
+        let mut patches: Vec<Patch> = inserts
+            .iter()
+            .map(|e| match e {
+                Edit::Insert { at, inst, .. } => Patch::insert_before(*at, vec![*inst]),
+                Edit::Replace { .. } => unreachable!(),
+            })
+            .collect();
+        patches.extend(edits.iter().filter_map(|e| match e {
+            Edit::Replace { at, inst } => Some(Patch::replace(*at, *inst)),
+            Edit::Insert { .. } => None,
+        }));
+
+        let (new_prog, m) = apply_patches(&prog, &patches).expect(
+            "mitigation edits anchor to analyzed pcs and insert position-independent instructions",
+        );
+        for f in &mut fixes {
+            f.at = m.inst(f.at);
+            f.source_pc = m.inst(f.source_pc);
+            f.sink_pc = m.inst(f.sink_pc);
+        }
+        for (pp, src, sink) in planned {
+            fixes.push(Fix {
+                pass: pp.pass,
+                at: m.inst(pp.pc),
+                source_pc: m.inst(src),
+                sink_pc: m.inst(sink),
+                round: rounds,
+            });
+        }
+        map = map.compose(&m);
+        prog = new_prog;
+        rounds += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nda_isa::{Asm, Interp};
+
+    /// The classic bounds-check-bypass shape from the crate docs: base
+    /// address built by a load (not an `li`+`add`), so masking cannot
+    /// apply and fencing must.
+    fn loaded_base_gadget() -> (Program, SecretSpec) {
+        let mut a = Asm::new();
+        let done = a.new_label();
+        a.li(Reg::X7, 0x1000);
+        a.ld8(Reg::X2, Reg::X7, 0);
+        a.li(Reg::X3, 8);
+        a.bge(Reg::X2, Reg::X3, done);
+        a.ld1(Reg::X4, Reg::X2, 0x2000);
+        a.shli(Reg::X5, Reg::X4, 9);
+        a.ld1(Reg::X6, Reg::X5, 0);
+        a.bind(done);
+        a.halt();
+        (
+            a.assemble().unwrap(),
+            SecretSpec::empty().with_range(0x2000, 64),
+        )
+    }
+
+    /// Spectre-v1 victim shape: `li base` + `add` feeds the wild load, so
+    /// the mask pass applies and kills the source itself.
+    fn masked_base_gadget() -> (Program, SecretSpec) {
+        let mut a = Asm::new();
+        let done = a.new_label();
+        a.li(Reg::X7, 0x1000);
+        a.ld8(Reg::X2, Reg::X7, 0); // attacker index
+        a.li(Reg::X3, 8);
+        a.bge(Reg::X2, Reg::X3, done); // bounds check
+        a.li(Reg::X5, 0x4000); // array base
+        a.add(Reg::X5, Reg::X5, Reg::X2);
+        a.ld1(Reg::X4, Reg::X5, 0); // wild load
+        a.shli(Reg::X4, Reg::X4, 9);
+        a.li(Reg::X6, 0x0020_0000);
+        a.add(Reg::X6, Reg::X6, Reg::X4);
+        a.ld1(Reg::X8, Reg::X6, 0); // transmit
+        a.bind(done);
+        a.halt();
+        // Secret well above the array: the largest clean window below it
+        // still covers the in-bounds indices.
+        (
+            a.assemble().unwrap(),
+            SecretSpec::empty().with_range(0x8000, 64),
+        )
+    }
+
+    #[test]
+    fn fence_pass_converges_to_zero_gadgets() {
+        let (p, spec) = loaded_base_gadget();
+        let cfg = HardenConfig {
+            passes: PassSet::parse("fence").unwrap(),
+            ..HardenConfig::default()
+        };
+        let out = harden(&p, &spec, &cfg);
+        assert!(out.clean(), "residual: {:?}", out.residual);
+        assert_eq!(out.fixes.len(), 1);
+        assert_eq!(out.fixes[0].pass, Pass::Fence);
+        // The fence sits immediately ahead of the relocated sink.
+        assert_eq!(out.program.insts[out.fixes[0].sink_pc - 1], Inst::Fence);
+    }
+
+    #[test]
+    fn mask_pass_kills_the_source_not_the_sink() {
+        let (p, spec) = masked_base_gadget();
+        let cfg = HardenConfig {
+            passes: PassSet::parse("mask").unwrap(),
+            ..HardenConfig::default()
+        };
+        let out = harden(&p, &spec, &cfg);
+        assert!(out.clean(), "residual: {:?}", out.residual);
+        assert_eq!(out.fixes.len(), 1);
+        assert_eq!(out.fixes[0].pass, Pass::Mask);
+        assert_eq!(out.program.insts.len(), p.insts.len() + 1);
+        // The clamp: and X4, X2, mask directly ahead of the replaced add.
+        let and_pc = out.fixes[0].at - 1;
+        let Inst::Alu {
+            op: AluOp::And,
+            rd: Reg::X4,
+            rs1: Reg::X2,
+            src2: Src2::Imm(mask),
+        } = out.program.insts[and_pc]
+        else {
+            panic!("expected clamp, got {}", out.program.insts[and_pc]);
+        };
+        // Largest power-of-two window below the 0x8000 secret from 0x4000.
+        assert_eq!(mask, 0x3fff);
+        assert_eq!(
+            out.program.insts[out.fixes[0].at],
+            Inst::Alu {
+                op: AluOp::Add,
+                rd: Reg::X5,
+                rs1: Reg::X5,
+                src2: Src2::Reg(Reg::X4),
+            }
+        );
+    }
+
+    #[test]
+    fn mask_is_architecturally_invisible_for_in_bounds_indices() {
+        let (mut p, spec) = masked_base_gadget();
+        // In-bounds index 5 at the attacker slot.
+        p.data.push(nda_isa::DataInit {
+            addr: 0x1000,
+            bytes: 5u64.to_le_bytes().to_vec(),
+        });
+        let cfg = HardenConfig {
+            passes: PassSet::parse("mask,fence").unwrap(),
+            ..HardenConfig::default()
+        };
+        let out = harden(&p, &spec, &cfg);
+        let mut a = Interp::new(&p);
+        let mut b = Interp::new(&out.program);
+        a.run(10_000).unwrap();
+        b.run(10_000).unwrap();
+        assert!(a.halted() && b.halted());
+        assert_eq!(a.regs(), b.regs(), "in-bounds run must be untouched");
+    }
+
+    #[test]
+    fn thunk_pass_suppresses_indirect_trigger() {
+        // Secret architecturally live in a register across an indirect
+        // call whose alternate target transmits it (the v2-gpr shape).
+        let mut a = Asm::new();
+        let main = a.new_label();
+        let benign = a.new_label();
+        let gadget = a.new_label();
+        a.jmp(main);
+        a.bind(benign);
+        a.nop();
+        a.ret();
+        a.bind(gadget);
+        a.shli(Reg::X8, Reg::X15, 9);
+        a.li(Reg::X9, 0x0020_0000);
+        a.add(Reg::X8, Reg::X9, Reg::X8);
+        a.ld1(Reg::X10, Reg::X8, 0); // transmit
+        a.ret();
+        a.bind(main);
+        a.li(Reg::X3, 0x1000);
+        a.li_label(Reg::X2, benign);
+        a.st8(Reg::X2, Reg::X3, 0);
+        a.li_label(Reg::X2, gadget);
+        a.st8(Reg::X2, Reg::X3, 8);
+        a.li(Reg::X4, 0x3000);
+        a.ld8(Reg::X15, Reg::X4, 0); // the (labeled) secret, architectural
+        a.ld8(Reg::X5, Reg::X3, 0);
+        a.call_ind(Reg::X5); // resolves to benign; BTB may steer to gadget
+        a.li(Reg::X15, 0);
+        a.halt();
+        let mut p = a.assemble().unwrap();
+        p.data.push(nda_isa::DataInit {
+            addr: 0x3000,
+            bytes: 42u64.to_le_bytes().to_vec(),
+        });
+        let spec = SecretSpec::empty().with_range(0x3000, 8);
+
+        let base = analyze(&p, &spec, &AnalyzeConfig::default());
+        assert!(!base.gadgets.is_empty());
+        assert!(base
+            .gadgets
+            .iter()
+            .all(|g| g.triggers.iter().all(|t| matches!(
+                t.kind,
+                TriggerKind::IndirectCall | TriggerKind::ReturnMispredict
+            ))));
+
+        let cfg = HardenConfig {
+            passes: PassSet::parse("thunk").unwrap(),
+            ..HardenConfig::default()
+        };
+        let out = harden(&p, &spec, &cfg);
+        assert!(out.clean(), "residual: {:?}", out.residual);
+        assert!(out.fixes.iter().all(|f| f.pass == Pass::Thunk));
+        // The thunk brackets the transfer: spec_off directly ahead.
+        assert!(out
+            .fixes
+            .iter()
+            .any(|f| out.program.insts[f.at - 1] == Inst::SpecOff));
+        // Architectural equivalence through the relocation.
+        let mut x = Interp::new(&p);
+        let mut y = Interp::new(&out.program);
+        x.run(10_000).unwrap();
+        y.run(10_000).unwrap();
+        assert!(x.halted() && y.halted());
+        assert_eq!(x.reg(Reg::X15), y.reg(Reg::X15));
+        assert_eq!(x.reg(Reg::X10), y.reg(Reg::X10));
+    }
+
+    #[test]
+    fn disabled_passes_leave_residual_with_reasons() {
+        let (p, spec) = loaded_base_gadget();
+        let cfg = HardenConfig {
+            passes: PassSet::parse("mask").unwrap(),
+            ..HardenConfig::default()
+        };
+        let out = harden(&p, &spec, &cfg);
+        assert!(!out.clean());
+        assert_eq!(out.rounds, 0);
+        assert!(!out.residual.is_empty());
+        assert!(out.residual[0].reason.contains("mask:"));
+        assert!(out.residual[0].reason.contains("fence: disabled"));
+        // The program is untouched when nothing applies.
+        assert_eq!(out.program, p);
+    }
+
+    #[test]
+    fn clean_program_is_returned_unchanged() {
+        let mut a = Asm::new();
+        a.li(Reg::X2, 20);
+        a.li(Reg::X3, 22);
+        a.add(Reg::X4, Reg::X2, Reg::X3);
+        a.halt();
+        let p = a.assemble().unwrap();
+        let spec = SecretSpec::empty().with_range(0x9000, 8);
+        let out = harden(&p, &spec, &HardenConfig::default());
+        assert_eq!(out.rounds, 0);
+        assert!(out.fixes.is_empty());
+        assert!(out.map.is_identity());
+        assert_eq!(out.program, p);
+        assert_eq!(
+            nda_isa::encode_program(&out.program),
+            nda_isa::encode_program(&p),
+            "no-op hardening must be byte-identical"
+        );
+    }
+
+    #[test]
+    fn pass_set_parsing() {
+        assert_eq!(PassSet::parse("all").unwrap(), PassSet::all());
+        let s = PassSet::parse("fence,thunk").unwrap();
+        assert!(s.fence && s.thunk && !s.mask);
+        assert_eq!(s.names(), "fence,thunk");
+        assert!(PassSet::parse("fenc").is_err());
+        assert!(PassSet::parse("").is_err());
+    }
+}

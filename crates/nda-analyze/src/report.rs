@@ -8,6 +8,7 @@ use nda_isa::Program;
 
 use crate::absint::{Channel, SourceKind};
 use crate::gadget::TriggerInfo;
+use crate::mitigate::PatchPoint;
 
 /// One access→transmit gadget.
 #[derive(Debug, Clone)]
@@ -29,6 +30,9 @@ pub struct Gadget {
     pub chain: Vec<usize>,
     /// Triggers under which the chain executes transiently.
     pub triggers: Vec<TriggerInfo>,
+    /// Where the mitigation synthesizer would repair this gadget with
+    /// every pass enabled (`None` if no pass applies).
+    pub patch: Option<PatchPoint>,
     /// Variants that kill every trigger of this gadget.
     pub suppressed_by: Vec<Variant>,
 }
@@ -90,6 +94,15 @@ impl Report {
                     t.distance
                 );
             }
+            if let Some(pp) = &g.patch {
+                let _ = writeln!(
+                    out,
+                    "  suggested fix: {} @{} (against {})",
+                    pp.pass.name(),
+                    pp.pc,
+                    pp.trigger.name()
+                );
+            }
             let names = g
                 .suppressed_by
                 .iter()
@@ -149,6 +162,15 @@ impl Report {
                 ));
             }
             out.push_str("],\n");
+            match &g.patch {
+                Some(pp) => out.push_str(&format!(
+                    "      \"patch\": {{\"pc\": {}, \"trigger\": \"{}\", \"pass\": \"{}\"}},\n",
+                    pp.pc,
+                    pp.trigger.name(),
+                    pp.pass.name()
+                )),
+                None => out.push_str("      \"patch\": null,\n"),
+            }
             let sup = g
                 .suppressed_by
                 .iter()

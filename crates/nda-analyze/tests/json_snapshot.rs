@@ -18,6 +18,7 @@ const SNAPSHOT: &str = r#"{
       "sink": {"pc": 10, "inst": "ld1 x8, 0(x7)", "channel": "dcache-load"},
       "chain": [6, 7, 9, 10],
       "triggers": [{"pc": 3, "kind": "cond-branch", "distance": 7}],
+      "patch": {"pc": 5, "trigger": "cond-branch", "pass": "mask"},
       "suppressed_by": ["Permissive", "Permissive+BR", "Strict", "Strict+BR", "Restricted Loads", "Full Protection", "In-Order", "InvisiSpec-Spectre", "InvisiSpec-Future", "Delay-On-Miss"]
     }
   ]

@@ -7,6 +7,9 @@
 //!   CPI and the Fig 9 statistics with 95 % confidence intervals.
 //! * [`render`] — plain-text table/series renderers shared by the bench
 //!   targets so `cargo bench` output is directly comparable to the paper.
+//! * [`mod@mitigation`] — the software-mitigation axis: harden every
+//!   workload under blanket secret labeling and price hardware-NDA vs
+//!   software rewriting vs both, Fig-7 style.
 //!
 //! * [`mod@fault`] — job isolation: the [`fault::JobError`] taxonomy,
 //!   bounded retries with deterministic backoff, and seeded chaos
@@ -31,6 +34,7 @@
 
 pub mod fault;
 pub mod journal;
+pub mod mitigation;
 pub mod render;
 pub mod sweep;
 
@@ -38,6 +42,10 @@ pub use fault::{
     panic_message, silence_contained_panics, Chaos, ChaosAction, JobError, RetryPolicy,
 };
 pub use journal::{fingerprint, CellKey, Journal, JournalError, JournalState};
+pub use mitigation::{
+    blanket_spec, mitigation_sweep, mitigation_table, HardeningStats, MitigationConfig,
+    MitigationResults,
+};
 pub use render::{
     bar, cpi_class_short, cpi_stack_table, fmt_ci, header_rule, metrics_document, sweep_table,
 };

@@ -1,0 +1,356 @@
+//! Mitigation-axis sweeps: hardware NDA vs software hardening vs both.
+//!
+//! The paper's Fig. 7 prices the *hardware* defenses: normalised CPI of
+//! each NDA policy over the unprotected out-of-order baseline. The
+//! mitigation synthesizer (`nda-analyze::mitigate`) opens a second axis
+//! — repair the *program* instead of the pipeline — and the natural
+//! question is what each point in the plane costs:
+//!
+//! * **hw(v)**   = original program on variant `v` / original on Base OoO
+//! * **sw**      = hardened program on Base OoO  / original on Base OoO
+//! * **both(v)** = hardened program on variant `v` / original on Base OoO
+//!
+//! Workloads carry no secret labeling of their own (nothing in them *is*
+//! secret), so hardening them against the empty spec would be a no-op.
+//! To measure what blanket software mitigation costs, the sweep hardens
+//! under [`blanket_spec`] — every byte of memory labeled secret — which
+//! forces the synthesizer to treat every load as an access and fence (or
+//! thunk) every transmissible chain, the software analogue of NDA's
+//! "trust nothing" hardware stance. Mask never applies under the blanket
+//! label (there is no secret-free window to clamp into), which is the
+//! honest comparison: index clamping is a *targeted* repair and needs a
+//! real labeling.
+//!
+//! Grid: `{original, hardened} × variants × workloads × samples`, run on
+//! the shared [`execute_jobs`] pool. Ratios are per-workload with a
+//! geometric mean across workloads, mirroring [`SweepResults`]'s
+//! normalised-CPI convention.
+//!
+//! [`SweepResults`]: crate::sweep::SweepResults
+
+use nda_analyze::{harden, HardenConfig, PassSet};
+use nda_core::{run_variant, Variant};
+use nda_isa::{Program, SecretSpec};
+use nda_workloads::{Workload, WorkloadParams};
+
+use crate::sweep::execute_jobs;
+
+/// Every byte of memory labeled secret (kernel space included via the
+/// range itself). The strongest labeling the analyzer accepts: under it
+/// any load is a potential secret access.
+pub fn blanket_spec() -> SecretSpec {
+    SecretSpec::empty().with_range(0, u64::MAX)
+}
+
+/// Knobs for [`mitigation_sweep`].
+#[derive(Debug, Clone)]
+pub struct MitigationConfig {
+    /// Passes the synthesizer may use (mask is inert under the blanket
+    /// labeling; see module docs).
+    pub passes: PassSet,
+    /// Independent samples per cell (seed `base + s` each).
+    pub samples: u64,
+    /// Workload outer iterations.
+    pub iters: u64,
+    /// Base seed.
+    pub seed: u64,
+    /// Worker threads for the run grid.
+    pub jobs: usize,
+    /// Per-run cycle budget.
+    pub max_cycles: u64,
+}
+
+impl Default for MitigationConfig {
+    fn default() -> MitigationConfig {
+        MitigationConfig {
+            passes: PassSet::all(),
+            samples: 2,
+            iters: 200,
+            seed: 1,
+            jobs: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            max_cycles: 2_000_000_000,
+        }
+    }
+}
+
+/// What hardening did to one workload (sample 0's program).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HardeningStats {
+    /// Instructions before.
+    pub orig_len: usize,
+    /// Instructions after.
+    pub hardened_len: usize,
+    /// Fixes applied.
+    pub fixes: usize,
+    /// Gadgets no enabled pass could repair.
+    pub residual: usize,
+    /// Rewrite rounds used.
+    pub rounds: usize,
+}
+
+/// Results of one mitigation sweep.
+#[derive(Debug)]
+pub struct MitigationResults {
+    /// Workload names, in grid order.
+    pub workloads: Vec<&'static str>,
+    /// Variants, in grid order.
+    pub variants: Vec<Variant>,
+    /// Per-workload hardening statistics.
+    pub hardening: Vec<HardeningStats>,
+    /// Index into `variants` used as the normalisation baseline
+    /// (`Variant::Ooo` when present, otherwise 0).
+    pub baseline: usize,
+    /// Mean cycles per `[workload][variant][{orig, hardened}]` cell;
+    /// `NaN` marks a cell whose every sample failed.
+    cycles: Vec<f64>,
+}
+
+impl MitigationResults {
+    fn idx(&self, w: usize, v: usize, hardened: bool) -> usize {
+        (w * self.variants.len() + v) * 2 + usize::from(hardened)
+    }
+
+    /// Mean cycles of one cell (`NaN` if it failed).
+    pub fn cycles(&self, w: usize, v: usize, hardened: bool) -> f64 {
+        self.cycles[self.idx(w, v, hardened)]
+    }
+
+    /// Original program on `v`, normalised to the baseline. (Fig. 7's
+    /// hardware axis.)
+    pub fn hw(&self, w: usize, v: usize) -> f64 {
+        self.cycles(w, v, false) / self.cycles(w, self.baseline, false)
+    }
+
+    /// Hardened program on the unprotected baseline, normalised to the
+    /// original there. (The pure software axis.)
+    pub fn sw(&self, w: usize) -> f64 {
+        self.cycles(w, self.baseline, true) / self.cycles(w, self.baseline, false)
+    }
+
+    /// Hardened program on `v`, normalised to the original on the
+    /// baseline. (Defense in depth: both axes at once.)
+    pub fn both(&self, w: usize, v: usize) -> f64 {
+        self.cycles(w, v, true) / self.cycles(w, self.baseline, false)
+    }
+
+    fn geomean(&self, f: impl Fn(usize) -> f64) -> f64 {
+        let vals: Vec<f64> = (0..self.workloads.len())
+            .map(f)
+            .filter(|x| x.is_finite())
+            .collect();
+        if vals.is_empty() {
+            return f64::NAN;
+        }
+        (vals.iter().map(|x| x.ln()).sum::<f64>() / vals.len() as f64).exp()
+    }
+
+    /// Geometric mean of [`MitigationResults::hw`] over workloads.
+    pub fn geomean_hw(&self, v: usize) -> f64 {
+        self.geomean(|w| self.hw(w, v))
+    }
+
+    /// Geometric mean of [`MitigationResults::sw`] over workloads.
+    pub fn geomean_sw(&self) -> f64 {
+        self.geomean(|w| self.sw(w))
+    }
+
+    /// Geometric mean of [`MitigationResults::both`] over workloads.
+    pub fn geomean_both(&self, v: usize) -> f64 {
+        self.geomean(|w| self.both(w, v))
+    }
+}
+
+/// Run the full mitigation grid: harden every workload under
+/// [`blanket_spec`] with `cfg.passes`, then time `{original, hardened}`
+/// on every variant, `cfg.samples` seeds each, on the shared worker
+/// pool. Failed runs degrade their cell to `NaN`; nothing panics the
+/// sweep.
+pub fn mitigation_sweep(
+    workloads: &[Workload],
+    variants: &[Variant],
+    cfg: &MitigationConfig,
+) -> MitigationResults {
+    let spec = blanket_spec();
+    let nw = workloads.len();
+    let nv = variants.len();
+    let ns = cfg.samples.max(1) as usize;
+    let hcfg = HardenConfig {
+        passes: cfg.passes,
+        ..HardenConfig::default()
+    };
+
+    // Stage 1: build + harden each (workload, sample) once.
+    let pairs: Vec<Option<(Program, Program, HardeningStats)>> =
+        execute_jobs(nw * ns, cfg.jobs, |i| {
+            let (w, s) = (i / ns, i % ns);
+            let params = WorkloadParams {
+                seed: cfg.seed + s as u64,
+                iters: cfg.iters,
+            };
+            let orig = (workloads[w].build)(&params);
+            let out = harden(&orig, &spec, &hcfg);
+            let stats = HardeningStats {
+                orig_len: orig.insts.len(),
+                hardened_len: out.program.insts.len(),
+                fixes: out.fixes.len(),
+                residual: out.residual.len(),
+                rounds: out.rounds,
+            };
+            (orig, out.program, stats)
+        });
+
+    let hardening: Vec<HardeningStats> = (0..nw)
+        .map(|w| {
+            pairs[w * ns]
+                .as_ref()
+                .map(|(_, _, s)| *s)
+                .unwrap_or_default()
+        })
+        .collect();
+
+    // Stage 2: the run grid — (workload, sample, variant, {orig, hard}).
+    let total = nw * ns * nv * 2;
+    let runs: Vec<Option<f64>> = execute_jobs(total, cfg.jobs, |i| {
+        let h = i % 2;
+        let v = (i / 2) % nv;
+        let s = (i / 2 / nv) % ns;
+        let w = i / 2 / nv / ns;
+        let Some((orig, hard, _)) = pairs[w * ns + s].as_ref() else {
+            return f64::NAN;
+        };
+        let prog = if h == 1 { hard } else { orig };
+        match run_variant(variants[v], prog, cfg.max_cycles) {
+            Ok(r) => r.stats.cycles as f64,
+            Err(_) => f64::NAN,
+        }
+    });
+
+    // Aggregate sample means per cell.
+    let mut cycles = vec![f64::NAN; nw * nv * 2];
+    for w in 0..nw {
+        for v in 0..nv {
+            for h in 0..2 {
+                let samples: Vec<f64> = (0..ns)
+                    .filter_map(|s| runs[((w * ns + s) * nv + v) * 2 + h].filter(|x| x.is_finite()))
+                    .collect();
+                if !samples.is_empty() {
+                    cycles[(w * nv + v) * 2 + h] =
+                        samples.iter().sum::<f64>() / samples.len() as f64;
+                }
+            }
+        }
+    }
+
+    let baseline = variants
+        .iter()
+        .position(|&v| v == Variant::Ooo)
+        .unwrap_or(0);
+    MitigationResults {
+        workloads: workloads.iter().map(|w| w.name).collect(),
+        variants: variants.to_vec(),
+        hardening,
+        baseline,
+        cycles,
+    }
+}
+
+fn fmt_ratio(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.3}")
+    } else {
+        "-".into()
+    }
+}
+
+/// Render the two Fig-7-style tables: per-workload software overhead,
+/// then per-variant hardware vs software vs combined geomeans.
+pub fn mitigation_table(r: &MitigationResults, passes: &PassSet) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "software hardening under blanket secret labeling (passes: {})",
+        passes.names()
+    );
+    let _ = writeln!(
+        out,
+        "{:<12}{:>7}{:>7}{:>7}{:>7}{:>8}{:>12}",
+        "workload", "insts", "+ins", "fixes", "resid", "rounds", "sw ratio"
+    );
+    for (w, name) in r.workloads.iter().enumerate() {
+        let h = &r.hardening[w];
+        let _ = writeln!(
+            out,
+            "{:<12}{:>7}{:>7}{:>7}{:>7}{:>8}{:>12}",
+            name,
+            h.orig_len,
+            h.hardened_len.saturating_sub(h.orig_len),
+            h.fixes,
+            h.residual,
+            h.rounds,
+            fmt_ratio(r.sw(w)),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "geomean software-only overhead on {}: {}",
+        r.variants[r.baseline].name(),
+        fmt_ratio(r.geomean_sw())
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "normalised cycles vs original program on {} (geomean over workloads)",
+        r.variants[r.baseline].name()
+    );
+    let _ = writeln!(out, "{:<22}{:>10}{:>10}", "variant", "hw only", "hw + sw");
+    for (v, variant) in r.variants.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{:<22}{:>10}{:>10}",
+            variant.name(),
+            fmt_ratio(r.geomean_hw(v)),
+            fmt_ratio(r.geomean_both(v)),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_grid_produces_finite_ratios() {
+        let workloads = &nda_workloads::all()[..2];
+        let variants = [Variant::Ooo, Variant::FullProtection];
+        let cfg = MitigationConfig {
+            samples: 1,
+            iters: 8,
+            seed: 3,
+            jobs: 2,
+            ..MitigationConfig::default()
+        };
+        let r = mitigation_sweep(workloads, &variants, &cfg);
+        assert_eq!(r.baseline, 0);
+        for w in 0..2 {
+            // Blanket labeling must force real work onto every kernel.
+            assert!(
+                r.hardening[w].fixes > 0,
+                "{}: no fixes under blanket labeling",
+                r.workloads[w]
+            );
+            assert!(r.hardening[w].hardened_len > r.hardening[w].orig_len);
+            assert!((r.hw(w, 0) - 1.0).abs() < 1e-12, "baseline normalises to 1");
+            assert!(r.sw(w) >= 1.0, "hardening cannot speed a program up");
+            for v in 0..2 {
+                assert!(r.both(w, v).is_finite());
+            }
+        }
+        let table = mitigation_table(&r, &cfg.passes);
+        assert!(table.contains("hw only"));
+        assert!(table.contains("geomean software-only overhead"));
+    }
+}

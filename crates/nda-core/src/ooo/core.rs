@@ -238,6 +238,18 @@ impl OooCore {
 
     #[inline]
     fn trace_event(&mut self, seq: u64, pc: usize, inst: Inst, stage: crate::trace::TraceStage) {
+        self.trace_event_mem(seq, pc, inst, stage, None);
+    }
+
+    #[inline]
+    fn trace_event_mem(
+        &mut self,
+        seq: u64,
+        pc: usize,
+        inst: Inst,
+        stage: crate::trace::TraceStage,
+        mem: Option<(u64, u64)>,
+    ) {
         if let Some(t) = &mut self.tracer {
             t.push(crate::trace::TraceEvent {
                 cycle: self.cycle,
@@ -245,6 +257,7 @@ impl OooCore {
                 pc,
                 disasm: inst.to_string(),
                 stage,
+                mem,
             });
         }
     }
@@ -1122,7 +1135,8 @@ impl OooCore {
                 if tracing {
                     if let Some(e) = self.rob.get(seq) {
                         let (pc, inst) = (e.pc, e.inst);
-                        self.trace_event(seq, pc, inst, crate::trace::TraceStage::Issue);
+                        let mem = e.mem_addr.map(|a| (a, e.mem_size));
+                        self.trace_event_mem(seq, pc, inst, crate::trace::TraceStage::Issue, mem);
                     }
                 }
                 issued_idx.push(i);

@@ -112,6 +112,12 @@ pub struct TraceEvent {
     pub disasm: String,
     /// Lifecycle point.
     pub stage: TraceStage,
+    /// Effective `(address, bytes)` of a memory micro-op, known from
+    /// [`TraceStage::Issue`] onward (`None` for non-memory micro-ops and
+    /// for stages before the address resolves). Wrong-path instances
+    /// carry their transient address — which is exactly what leak
+    /// observers need.
+    pub mem: Option<(u64, u64)>,
 }
 
 /// Render events as one row per dynamic micro-op instance.
@@ -220,6 +226,7 @@ mod tests {
             pc,
             disasm: format!("i{pc}"),
             stage,
+            mem: None,
         }
     }
 

@@ -418,16 +418,24 @@ impl Asm {
             }
         };
         let mut insts = self.insts.clone();
+        let mut code_ptr_lis = Vec::new();
         for &(idx, label) in &self.fixups {
             let pos = resolve(label)?;
             match &mut insts[idx] {
                 Inst::Branch { target, .. } | Inst::Jmp { target } | Inst::Call { target } => {
                     *target = pos
                 }
-                Inst::Li { imm, .. } => *imm = pos as u64,
+                Inst::Li { imm, .. } => {
+                    *imm = pos as u64;
+                    // Record code-pointer provenance so rewrite passes can
+                    // relocate the materialized instruction index.
+                    code_ptr_lis.push(idx);
+                }
                 other => unreachable!("fixup on non-target instruction {other:?}"),
             }
         }
+        code_ptr_lis.sort_unstable();
+        code_ptr_lis.dedup();
         let fault_handler = match self.fault_handler {
             Some(l) => Some(resolve(l)?),
             None => None,
@@ -440,6 +448,8 @@ impl Asm {
             msr_values: self.msr_values.clone(),
             msr_user_ok: self.msr_user_ok.clone(),
             text_base: self.text_base,
+            code_ptr_lis,
+            code_ptr_words: Vec::new(),
         })
     }
 }

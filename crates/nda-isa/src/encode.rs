@@ -437,6 +437,24 @@ pub fn encode_program(p: &Program) -> Vec<u8> {
     for &idx in &p.msr_user_ok {
         put_varint(&mut out, idx as u64);
     }
+    // Code-pointer provenance section (delta-encoded, strictly
+    // increasing): which `Li` immediates are instruction indices.
+    put_varint(&mut out, p.code_ptr_lis.len() as u64);
+    let mut prev = 0u64;
+    for &pc in &p.code_ptr_lis {
+        put_varint(&mut out, pc as u64 - prev);
+        prev = pc as u64;
+    }
+    // Data-segment code-pointer provenance (delta-encoded, strictly
+    // increasing byte addresses): which 8-byte data words hold
+    // instruction indices. Trailing section — absent in files written by
+    // older encoders, which the decoder treats as empty.
+    put_varint(&mut out, p.code_ptr_words.len() as u64);
+    let mut prev = 0u64;
+    for &addr in &p.code_ptr_words {
+        put_varint(&mut out, addr - prev);
+        prev = addr;
+    }
     out
 }
 
@@ -488,6 +506,25 @@ pub fn decode_program(buf: &[u8]) -> Result<Program, DecodeError> {
     for _ in 0..no {
         msr_user_ok.push(get_varint(buf, &mut pos)? as u16);
     }
+    let nc = get_varint(buf, &mut pos)? as usize;
+    let mut code_ptr_lis = Vec::with_capacity(nc.min(1 << 16));
+    let mut prev = 0u64;
+    for _ in 0..nc {
+        prev += get_varint(buf, &mut pos)?;
+        code_ptr_lis.push(prev as usize);
+    }
+    // Trailing section added after the first format revision: files
+    // written by older encoders simply end here.
+    let mut code_ptr_words = Vec::new();
+    if pos < buf.len() {
+        let nw = get_varint(buf, &mut pos)? as usize;
+        code_ptr_words.reserve(nw.min(1 << 16));
+        let mut prev = 0u64;
+        for _ in 0..nw {
+            prev += get_varint(buf, &mut pos)?;
+            code_ptr_words.push(prev);
+        }
+    }
     Ok(Program {
         insts,
         entry,
@@ -496,6 +533,8 @@ pub fn decode_program(buf: &[u8]) -> Result<Program, DecodeError> {
         msr_values,
         msr_user_ok,
         text_base,
+        code_ptr_lis,
+        code_ptr_words,
     })
 }
 

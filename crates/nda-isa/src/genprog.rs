@@ -302,8 +302,11 @@ pub fn generate(seed: u64, cfg: GenConfig) -> Program {
     let mut table_addr = SCRATCH_BASE + SCRATCH_SIZE;
     for table in table_entries {
         let mut bytes = Vec::new();
-        for idx in table {
+        for (k, idx) in table.into_iter().enumerate() {
             bytes.extend_from_slice(&(idx as u64).to_le_bytes());
+            // Code-pointer provenance: rewrite passes relocate these
+            // table slots when instructions are inserted.
+            program.code_ptr_words.push(table_addr + 8 * k as u64);
         }
         program.data.push(crate::program::DataInit {
             addr: table_addr,

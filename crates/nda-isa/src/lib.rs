@@ -43,6 +43,7 @@ pub mod interp;
 pub mod mem;
 pub mod program;
 pub mod reg;
+pub mod rewrite;
 pub mod secret;
 pub mod translate;
 
@@ -54,6 +55,7 @@ pub use interp::{ExitInfo, Fault, Interp, InterpError, InterpState, StepInfo};
 pub use mem::{MsrFile, PrivilegeMap, SparseMem, KERNEL_BASE, PAGE_SHIFT, PAGE_SIZE};
 pub use program::{DataInit, Program};
 pub use reg::Reg;
+pub use rewrite::{apply as apply_patches, neutralize_rdcycle, Patch, PcMap, RewriteError};
 pub use secret::{SecretRange, SecretSpec};
 pub use translate::{ExecHooks, NoHooks, TranslatedProgram};
 

@@ -34,6 +34,21 @@ pub struct Program {
     pub msr_user_ok: Vec<u16>,
     /// Base address of the text segment (for i-cache addressing).
     pub text_base: u64,
+    /// Instruction indices of `Li` instructions whose immediate is a *code
+    /// pointer* (an instruction index), recorded by
+    /// [`Asm::li_label`](crate::Asm::li_label). Rewrite passes
+    /// ([`crate::rewrite`]) use this provenance to relocate materialized
+    /// function-pointer constants when instructions are inserted; a plain
+    /// data constant that merely collides with a valid pc is never
+    /// misclassified because only `li_label` records an entry.
+    pub code_ptr_lis: Vec<usize>,
+    /// Byte addresses of 8-byte little-endian words in the data segment
+    /// whose initial value is a *code pointer* (an instruction index) —
+    /// jump-table slots, for example. The data-segment counterpart of
+    /// `code_ptr_lis`: rewrite passes relocate the stored index when
+    /// instructions are inserted. Each address must lie fully inside one
+    /// [`DataInit`] region.
+    pub code_ptr_words: Vec<u64>,
 }
 
 impl Program {
@@ -47,6 +62,8 @@ impl Program {
             msr_values: Vec::new(),
             msr_user_ok: Vec::new(),
             text_base: TEXT_BASE,
+            code_ptr_lis: Vec::new(),
+            code_ptr_words: Vec::new(),
         }
     }
 

@@ -1,0 +1,597 @@
+//! Static rewrite infrastructure: insert-before patches with sound pc
+//! relocation.
+//!
+//! Mitigation passes (`nda-analyze::mitigate`) repair gadgets by inserting
+//! instructions — a serializing fence ahead of a transmitter, an
+//! address-clamping `and` ahead of a wild load, a `spec_off`/`spec_on`
+//! bracket around an indirect transfer. Inserting into a SpecRISC program
+//! shifts every later instruction index, and instruction indices are the
+//! *only* form of code address the ISA has: branch/jump/call targets, the
+//! entry point, the fault handler, `ra` values materialized by calls,
+//! function-pointer constants built by
+//! [`Asm::li_label`](crate::Asm::li_label), and jump-table words in the
+//! data segment named by `Program::code_ptr_words`. [`apply`] performs a batch of
+//! [`Patch`]es and relocates all of them in one pass, returning the
+//! rewritten program plus a [`PcMap`] describing where everything went.
+//!
+//! Two relocation rules matter:
+//!
+//! * **Control transfers land on the inserted prefix.** A transfer to old
+//!   pc `i` is redirected to the *first* instruction inserted before `i`
+//!   ([`PcMap::target`]), so every path into a patched instruction — fall
+//!   through or jump — executes the inserted guard first. This is what
+//!   makes a fence in front of a transmitter a sound barrier rather than a
+//!   barrier on one incoming edge.
+//! * **Instruction identity is tracked separately.** [`PcMap::inst`] gives
+//!   the new index of the original instruction itself, so analyses and
+//!   differential harnesses can follow a specific source/sink across the
+//!   rewrite.
+//!
+//! Because insertions never break the contiguity of the original
+//! instruction sequence (`inst(i) + 1 == target(i + 1)` for every `i`),
+//! relocated `ra` values stay consistent: a `call` at its new position
+//! writes exactly `target(old_ra)` when the return site's prefix is empty
+//! and the prefix start otherwise — either way the value equals what
+//! relocating the old `ra` through [`PcMap::target`] yields.
+//!
+//! Inserted instructions must be position-independent (no
+//! branch/jump/call targets, no code-pointer immediates): they are emitted
+//! verbatim and never relocated. Every instruction the mitigation passes
+//! insert (`fence`, `spec_off`, `spec_on`, ALU ops) satisfies this.
+
+use crate::inst::Inst;
+use crate::program::Program;
+use std::error::Error;
+use std::fmt;
+
+/// One edit: instructions to insert *before* the instruction at `at`, and
+/// optionally a replacement for the instruction itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Patch {
+    /// Old instruction index the patch anchors to.
+    pub at: usize,
+    /// Instructions emitted ahead of (old) `at`; control transfers to `at`
+    /// land on the first of them.
+    pub insert_before: Vec<Inst>,
+    /// Replacement for the instruction at `at` (`None` keeps it).
+    pub replace: Option<Inst>,
+}
+
+impl Patch {
+    /// Insert `insts` before old pc `at`.
+    pub fn insert_before(at: usize, insts: Vec<Inst>) -> Patch {
+        Patch {
+            at,
+            insert_before: insts,
+            replace: None,
+        }
+    }
+
+    /// Replace the instruction at old pc `at`.
+    pub fn replace(at: usize, inst: Inst) -> Patch {
+        Patch {
+            at,
+            insert_before: Vec::new(),
+            replace: Some(inst),
+        }
+    }
+}
+
+/// Errors from [`apply`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RewriteError {
+    /// A patch anchors past the end of the text segment.
+    OutOfRange {
+        /// The offending anchor.
+        at: usize,
+        /// Program length.
+        len: usize,
+    },
+    /// Two patches replace the same instruction.
+    ConflictingReplace {
+        /// The contested pc.
+        at: usize,
+    },
+    /// A control-transfer target or code-pointer immediate points past the
+    /// end of the text segment and cannot be relocated.
+    DanglingTarget {
+        /// Pc of the instruction holding the reference.
+        pc: usize,
+        /// The unrelocatable target.
+        target: usize,
+    },
+    /// `code_ptr_lis` names a pc that does not hold an `Li`.
+    BadProvenance {
+        /// The offending provenance entry.
+        pc: usize,
+    },
+    /// `code_ptr_words` names a byte address that is not an 8-byte word
+    /// fully contained in one data initializer.
+    BadWordProvenance {
+        /// The offending address.
+        addr: u64,
+    },
+}
+
+impl fmt::Display for RewriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RewriteError::OutOfRange { at, len } => {
+                write!(f, "patch at pc {at} out of range (program length {len})")
+            }
+            RewriteError::ConflictingReplace { at } => {
+                write!(f, "conflicting replacements at pc {at}")
+            }
+            RewriteError::DanglingTarget { pc, target } => {
+                write!(
+                    f,
+                    "instruction at pc {pc} references unmappable target {target}"
+                )
+            }
+            RewriteError::BadProvenance { pc } => {
+                write!(
+                    f,
+                    "code-pointer provenance names non-li instruction at pc {pc}"
+                )
+            }
+            RewriteError::BadWordProvenance { addr } => {
+                write!(
+                    f,
+                    "code-pointer word provenance names address {addr:#x} outside the data segment"
+                )
+            }
+        }
+    }
+}
+
+impl Error for RewriteError {}
+
+/// Relocation map from old instruction indices to new ones. See the
+/// [module documentation](self) for the `target`/`inst` distinction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PcMap {
+    /// `prefix_start[i]`: new index of the first instruction inserted
+    /// before old `i` (== `inst_pos[i]` when nothing was inserted). Has
+    /// `old_len + 1` entries; the last maps the one-past-end index.
+    prefix_start: Vec<usize>,
+    /// `inst_pos[i]`: new index of original instruction `i`. Also
+    /// `old_len + 1` entries.
+    inst_pos: Vec<usize>,
+}
+
+impl PcMap {
+    /// The identity map over a program of `len` instructions.
+    pub fn identity(len: usize) -> PcMap {
+        let ids: Vec<usize> = (0..=len).collect();
+        PcMap {
+            prefix_start: ids.clone(),
+            inst_pos: ids,
+        }
+    }
+
+    /// Number of instructions in the old program.
+    pub fn old_len(&self) -> usize {
+        self.inst_pos.len() - 1
+    }
+
+    /// Number of instructions in the new program.
+    pub fn new_len(&self) -> usize {
+        *self.inst_pos.last().expect("non-empty by construction")
+    }
+
+    /// Where control transfers to old pc `old` now land (prefix start).
+    /// `old == old_len` (one-past-end, e.g. a return address past the last
+    /// instruction) maps to `new_len`.
+    pub fn target(&self, old: usize) -> usize {
+        self.prefix_start[old]
+    }
+
+    /// New index of the original instruction at old pc `old`.
+    pub fn inst(&self, old: usize) -> usize {
+        self.inst_pos[old]
+    }
+
+    /// `true` if the map moved nothing.
+    pub fn is_identity(&self) -> bool {
+        self.prefix_start.iter().enumerate().all(|(i, &v)| i == v)
+            && self.inst_pos.iter().enumerate().all(|(i, &v)| i == v)
+    }
+
+    /// Compose with a `later` rewrite of this map's output program:
+    /// the result maps old pcs of `self` to new pcs of `later`.
+    pub fn compose(&self, later: &PcMap) -> PcMap {
+        PcMap {
+            prefix_start: self
+                .prefix_start
+                .iter()
+                .map(|&mid| later.target(mid))
+                .collect(),
+            inst_pos: self.inst_pos.iter().map(|&mid| later.inst(mid)).collect(),
+        }
+    }
+}
+
+/// Apply `patches` to `p`, relocating every code reference. Patches may
+/// share an anchor pc: their `insert_before` sequences concatenate in
+/// slice order (at most one may carry a replacement).
+///
+/// # Errors
+///
+/// See [`RewriteError`]. On error the program is unchanged (nothing is
+/// returned).
+pub fn apply(p: &Program, patches: &[Patch]) -> Result<(Program, PcMap), RewriteError> {
+    let len = p.insts.len();
+    let mut inserts: Vec<Vec<Inst>> = vec![Vec::new(); len];
+    let mut replaces: Vec<Option<Inst>> = vec![None; len];
+    for patch in patches {
+        if patch.at >= len {
+            return Err(RewriteError::OutOfRange { at: patch.at, len });
+        }
+        inserts[patch.at].extend_from_slice(&patch.insert_before);
+        if let Some(r) = patch.replace {
+            if replaces[patch.at].is_some() {
+                return Err(RewriteError::ConflictingReplace { at: patch.at });
+            }
+            replaces[patch.at] = Some(r);
+        }
+    }
+
+    // Lay out the new text segment and record both mappings.
+    let mut insts =
+        Vec::with_capacity(len + patches.iter().map(|p| p.insert_before.len()).sum::<usize>());
+    let mut prefix_start = Vec::with_capacity(len + 1);
+    let mut inst_pos = Vec::with_capacity(len + 1);
+    for pc in 0..len {
+        prefix_start.push(insts.len());
+        insts.extend_from_slice(&inserts[pc]);
+        inst_pos.push(insts.len());
+        insts.push(replaces[pc].unwrap_or(p.insts[pc]));
+    }
+    prefix_start.push(insts.len());
+    inst_pos.push(insts.len());
+    let map = PcMap {
+        prefix_start,
+        inst_pos,
+    };
+
+    // Relocate control transfers. Only original (possibly replaced)
+    // instructions are remapped; inserted instructions are emitted
+    // verbatim (they must be position-independent).
+    let remap = |pc: usize, t: usize| -> Result<usize, RewriteError> {
+        if t > len {
+            return Err(RewriteError::DanglingTarget { pc, target: t });
+        }
+        Ok(map.target(t))
+    };
+    for old_pc in 0..len {
+        let slot = map.inst(old_pc);
+        match &mut insts[slot] {
+            Inst::Branch { target, .. } | Inst::Jmp { target } | Inst::Call { target } => {
+                *target = remap(old_pc, *target)?;
+            }
+            _ => {}
+        }
+    }
+
+    // Relocate materialized code pointers (their immediates are old
+    // instruction indices) and move the provenance entries themselves.
+    let mut code_ptr_lis = Vec::with_capacity(p.code_ptr_lis.len());
+    for &li_pc in &p.code_ptr_lis {
+        if li_pc >= len {
+            return Err(RewriteError::BadProvenance { pc: li_pc });
+        }
+        let slot = map.inst(li_pc);
+        match &mut insts[slot] {
+            Inst::Li { imm, .. } => {
+                let t = *imm as usize;
+                *imm = remap(li_pc, t)? as u64;
+            }
+            _ => return Err(RewriteError::BadProvenance { pc: li_pc }),
+        }
+        code_ptr_lis.push(slot);
+    }
+
+    // Relocate code pointers stored in the data segment (jump-table
+    // slots named by `code_ptr_words`): each is an 8-byte little-endian
+    // instruction index rewritten through the same target mapping as
+    // every other control transfer.
+    let mut data = p.data.clone();
+    for &addr in &p.code_ptr_words {
+        let mut found = false;
+        for init in &mut data {
+            let Some(off) = addr.checked_sub(init.addr) else {
+                continue;
+            };
+            let off = off as usize;
+            if off + 8 > init.bytes.len() {
+                continue;
+            }
+            let word = &mut init.bytes[off..off + 8];
+            let t = u64::from_le_bytes(word.try_into().expect("8-byte slice")) as usize;
+            if t > len {
+                return Err(RewriteError::DanglingTarget { pc: 0, target: t });
+            }
+            word.copy_from_slice(&(map.target(t) as u64).to_le_bytes());
+            found = true;
+            break;
+        }
+        if !found {
+            return Err(RewriteError::BadWordProvenance { addr });
+        }
+    }
+
+    let entry = map.target(p.entry.min(len));
+    let fault_handler = match p.fault_handler {
+        Some(h) => Some(remap(h.min(len), h.min(len))?),
+        None => None,
+    };
+    Ok((
+        Program {
+            insts,
+            entry,
+            data,
+            fault_handler,
+            msr_values: p.msr_values.clone(),
+            msr_user_ok: p.msr_user_ok.clone(),
+            text_base: p.text_base,
+            code_ptr_lis,
+            code_ptr_words: p.code_ptr_words.clone(),
+        },
+        map,
+    ))
+}
+
+/// Replace every `rdcycle rd` with `li rd, 0`.
+///
+/// The reference interpreter returns the retired-instruction count for
+/// `rdcycle`, so inserting *any* instruction perturbs every later timing
+/// read — architecturally equivalent programs would diverge in
+/// timing-derived state. Differential equivalence checks therefore compare
+/// programs with the clock virtualized away: apply this to *both* sides
+/// and any remaining divergence is a genuine semantic change. The
+/// replacement is positionally 1:1 (no pc shifts).
+pub fn neutralize_rdcycle(p: &Program) -> Program {
+    let mut out = p.clone();
+    for inst in &mut out.insts {
+        if let Inst::RdCycle { rd } = *inst {
+            *inst = Inst::Li { rd, imm: 0 };
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::interp::Interp;
+    use crate::reg::Reg;
+
+    /// li x2,len; loop: branch/call layout exercising every reference kind.
+    fn program_with_all_reference_kinds() -> Program {
+        let mut a = Asm::new();
+        let f = a.new_label();
+        let h = a.new_label();
+        a.fault_handler(h);
+        a.li_label(Reg::X2, f); // 0: code pointer
+        a.call(f); // 1
+        a.call_ind(Reg::X2); // 2
+        a.halt(); // 3
+        a.bind(f);
+        a.li(Reg::X5, 7); // 4
+        a.ret(); // 5
+        a.bind(h);
+        a.halt(); // 6
+        a.assemble().unwrap()
+    }
+
+    #[test]
+    fn empty_patch_list_is_identity() {
+        let p = program_with_all_reference_kinds();
+        let (q, map) = apply(&p, &[]).unwrap();
+        assert_eq!(p, q);
+        assert!(map.is_identity());
+        assert_eq!(map.old_len(), p.insts.len());
+        assert_eq!(map.new_len(), p.insts.len());
+    }
+
+    #[test]
+    fn insertion_redirects_transfers_to_prefix() {
+        let p = program_with_all_reference_kinds();
+        // Two fences before the function body at old pc 4.
+        let (q, map) = apply(
+            &p,
+            &[Patch::insert_before(4, vec![Inst::Fence, Inst::Fence])],
+        )
+        .unwrap();
+        assert_eq!(q.insts.len(), p.insts.len() + 2);
+        assert_eq!(map.target(4), 4, "transfers land on the first fence");
+        assert_eq!(map.inst(4), 6, "the original li moved past the prefix");
+        // call f now targets the prefix start.
+        assert_eq!(q.insts[map.inst(1)], Inst::Call { target: 4 });
+        // The code-pointer li was rewritten to the prefix start too.
+        assert_eq!(
+            q.insts[map.inst(0)],
+            Inst::Li {
+                rd: Reg::X2,
+                imm: 4
+            }
+        );
+        assert_eq!(q.code_ptr_lis, vec![map.inst(0)]);
+        // Fault handler past the insertion shifted with it.
+        assert_eq!(q.fault_handler, Some(8));
+        // Contiguity invariant: inst(i) + 1 == target(i + 1).
+        for i in 0..map.old_len() {
+            assert_eq!(map.inst(i) + 1, map.target(i + 1));
+        }
+    }
+
+    #[test]
+    fn rewritten_program_still_runs_through_both_call_paths() {
+        let p = program_with_all_reference_kinds();
+        let (q, _) = apply(
+            &p,
+            &[
+                Patch::insert_before(1, vec![Inst::Nop]),
+                Patch::insert_before(4, vec![Inst::Fence]),
+                Patch::insert_before(5, vec![Inst::Nop, Inst::Nop]),
+            ],
+        )
+        .unwrap();
+        let mut a = Interp::new(&p);
+        let mut b = Interp::new(&q);
+        a.run(1000).unwrap();
+        b.run(1000).unwrap();
+        assert!(a.halted() && b.halted());
+        assert_eq!(a.reg(Reg::X5), 7);
+        assert_eq!(b.reg(Reg::X5), 7, "direct and indirect calls both reach f");
+    }
+
+    #[test]
+    fn replace_swaps_the_anchored_instruction() {
+        let p = program_with_all_reference_kinds();
+        let (q, map) = apply(
+            &p,
+            &[Patch::replace(
+                4,
+                Inst::Li {
+                    rd: Reg::X5,
+                    imm: 9,
+                },
+            )],
+        )
+        .unwrap();
+        assert_eq!(
+            q.insts[map.inst(4)],
+            Inst::Li {
+                rd: Reg::X5,
+                imm: 9
+            }
+        );
+        let mut i = Interp::new(&q);
+        i.run(1000).unwrap();
+        assert_eq!(i.reg(Reg::X5), 9);
+    }
+
+    #[test]
+    fn conflicting_replacements_rejected() {
+        let p = program_with_all_reference_kinds();
+        let err = apply(
+            &p,
+            &[Patch::replace(4, Inst::Nop), Patch::replace(4, Inst::Halt)],
+        )
+        .unwrap_err();
+        assert_eq!(err, RewriteError::ConflictingReplace { at: 4 });
+    }
+
+    #[test]
+    fn out_of_range_patch_rejected() {
+        let p = program_with_all_reference_kinds();
+        let err = apply(&p, &[Patch::insert_before(99, vec![Inst::Nop])]).unwrap_err();
+        assert!(matches!(err, RewriteError::OutOfRange { at: 99, .. }));
+    }
+
+    #[test]
+    fn shared_anchor_concatenates_in_patch_order() {
+        let p = program_with_all_reference_kinds();
+        let (q, map) = apply(
+            &p,
+            &[
+                Patch::insert_before(3, vec![Inst::Fence]),
+                Patch::insert_before(3, vec![Inst::Nop]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(q.insts[map.target(3)], Inst::Fence);
+        assert_eq!(q.insts[map.target(3) + 1], Inst::Nop);
+        assert_eq!(q.insts[map.inst(3)], Inst::Halt);
+    }
+
+    #[test]
+    fn data_segment_jump_table_words_are_relocated() {
+        // x2 = load table[0]; jmp_ind x2; target: li x5,7; halt.
+        let mut a = Asm::new();
+        let t = a.new_label();
+        a.li(Reg::X2, 0x2000);
+        a.ld8(Reg::X2, Reg::X2, 0); // 1: x2 = mem[0x2000] (a code pointer)
+        a.jmp_ind(Reg::X2); // 2
+        a.halt(); // 3 (skipped)
+        a.bind(t);
+        a.li(Reg::X5, 7); // 4
+        a.halt(); // 5
+        let mut p = a.assemble().unwrap();
+        p.data.push(crate::program::DataInit {
+            addr: 0x2000,
+            bytes: 4u64.to_le_bytes().to_vec(),
+        });
+        p.code_ptr_words.push(0x2000);
+
+        let (q, map) = apply(&p, &[Patch::insert_before(4, vec![Inst::Fence])]).unwrap();
+        let slot = q.data.iter().find(|d| d.addr == 0x2000).unwrap();
+        assert_eq!(
+            u64::from_le_bytes(slot.bytes[..8].try_into().unwrap()),
+            map.target(4) as u64,
+            "table word must follow the jump target through the rewrite"
+        );
+        let mut i = Interp::new(&q);
+        i.run(1000).unwrap();
+        assert_eq!(
+            i.reg(Reg::X5),
+            7,
+            "indirect jump through the table still lands"
+        );
+
+        // A provenance address outside any data region is rejected.
+        let mut bad = p.clone();
+        bad.code_ptr_words.push(0x9999);
+        let err = apply(&bad, &[Patch::insert_before(4, vec![Inst::Fence])]).unwrap_err();
+        assert_eq!(err, RewriteError::BadWordProvenance { addr: 0x9999 });
+    }
+
+    #[test]
+    fn compose_chains_two_rewrites() {
+        let p = program_with_all_reference_kinds();
+        let (q, m1) = apply(&p, &[Patch::insert_before(4, vec![Inst::Fence])]).unwrap();
+        let (r, m2) = apply(&q, &[Patch::insert_before(0, vec![Inst::Nop])]).unwrap();
+        let m = m1.compose(&m2);
+        assert_eq!(m.old_len(), p.insts.len());
+        assert_eq!(m.new_len(), r.insts.len());
+        // Old pc 4: fence prefix from round 1, shifted by round 2's nop.
+        assert_eq!(m.target(4), m2.target(m1.target(4)));
+        assert_eq!(m.inst(4), m2.inst(m1.inst(4)));
+        assert_eq!(
+            r.insts[m.inst(4)],
+            Inst::Li {
+                rd: Reg::X5,
+                imm: 7
+            }
+        );
+    }
+
+    #[test]
+    fn neutralize_rdcycle_is_positionally_stable() {
+        let mut a = Asm::new();
+        a.rdcycle(Reg::X9);
+        a.li(Reg::X2, 1);
+        a.rdcycle(Reg::X10);
+        a.halt();
+        let p = a.assemble().unwrap();
+        let q = neutralize_rdcycle(&p);
+        assert_eq!(q.insts.len(), p.insts.len());
+        assert_eq!(
+            q.insts[0],
+            Inst::Li {
+                rd: Reg::X9,
+                imm: 0
+            }
+        );
+        assert_eq!(
+            q.insts[2],
+            Inst::Li {
+                rd: Reg::X10,
+                imm: 0
+            }
+        );
+        assert_eq!(q.insts[1], p.insts[1]);
+    }
+}

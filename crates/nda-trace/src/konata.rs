@@ -135,6 +135,7 @@ mod tests {
             pc: 3,
             disasm: "add x1, x2, x3".to_string(),
             stage,
+            mem: None,
         }
     }
 

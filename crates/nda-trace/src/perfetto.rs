@@ -191,6 +191,7 @@ mod tests {
             pc: 7,
             disasm: "ld x3, 0(x2)".to_string(),
             stage,
+            mem: None,
         }
     }
 

@@ -1,0 +1,275 @@
+//! Verification of software-hardened programs.
+//!
+//! `nda-analyze::harden` rewrites a program to close its speculative
+//! leaks. A rewrite that merely *moves* the leak, or that changes what
+//! the program computes, is worse than no rewrite at all — so every
+//! hardened program has to clear two bars beyond re-analysis:
+//!
+//! 1. **Architectural equivalence modulo relocation**
+//!    ([`equivalent_modulo_reloc`]): on the reference interpreter the
+//!    hardened program must halt the same way, fault the same number of
+//!    times, and leave the same registers and memory as the original.
+//!    The one permitted difference is *code-pointer relocation*:
+//!    instruction indices are the ISA's only form of code address, and
+//!    inserting instructions shifts them, so a value is also accepted
+//!    when the original holds an old pc and the rewrite holds exactly
+//!    where [`PcMap::target`] relocated it. Both sides run with
+//!    [`neutralize_rdcycle`] applied — inserted instructions perturb the
+//!    retired-instruction clock, and timing is precisely what hardening
+//!    is allowed to change.
+//! 2. **Dynamic gadget death** ([`gadgets_dead_on`]): every gadget the
+//!    analyzer reported against the *original* program is re-checked on
+//!    an unprotected Base OoO core, with the check matched to how the
+//!    gadget was repaired. Fence and thunk fixes kill the *transient
+//!    execution* of the chain, so the taint observer re-runs at the
+//!    relocated `(source, sink)` pcs under a budget calibrated from the
+//!    original confirmation cycle and must stay silent. A mask fix kills
+//!    the *secret access itself* — the clamped load still executes (that
+//!    is the point: no serialization cost) and pc-level taint would
+//!    spuriously re-confirm — so the proof watched instead is the
+//!    source's effective address stream: no issue of the relocated
+//!    source, wrong-path instances included, may overlap the
+//!    [`SecretSpec`].
+//!
+//! Together with the static re-analysis (`HardenOutcome::clean`) these
+//! close the loop the same way `validate_report` does for the hardware
+//! variants: the software mitigation's claims are executable.
+
+use nda_analyze::{HardenOutcome, Pass};
+use nda_core::trace::TraceStage;
+use nda_core::{OooCore, SimConfig};
+use nda_isa::{neutralize_rdcycle, Interp, PcMap, Program, SecretSpec, PAGE_SIZE};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::dynamic::run_gadget;
+
+/// `got` matches `orig` under relocation: bit-equal, or `orig` is a
+/// plausible old code pointer (instruction index, one-past-end allowed
+/// for return addresses) that `map` sends exactly to `got`.
+fn reloc_ok(orig: u64, got: u64, map: &PcMap) -> bool {
+    got == orig || (orig <= map.old_len() as u64 && got == map.target(orig as usize) as u64)
+}
+
+/// Run `p` (rdcycle-neutralized) on the reference interpreter.
+fn interp_run(p: &Program, max_steps: u64) -> Result<Interp, String> {
+    let mut i = Interp::new(p);
+    let exit = i.run(max_steps).map_err(|e| format!("interpreter: {e}"))?;
+    if !exit.halted {
+        return Err(format!("did not halt within {max_steps} steps"));
+    }
+    Ok(i)
+}
+
+/// Check that `hardened` is architecturally equivalent to `orig` modulo
+/// the relocation described by `map`: same halt, same fault count, and
+/// registers/memory equal under [`reloc_ok`]. Memory is compared 64-bit
+/// word by word over the union of resident pages (code pointers are
+/// stored as 8-byte words; everything else must be bit-equal, which
+/// word-wise comparison subsumes).
+///
+/// # Errors
+///
+/// A human-readable description of the first divergence.
+pub fn equivalent_modulo_reloc(
+    orig: &Program,
+    hardened: &Program,
+    map: &PcMap,
+    max_steps: u64,
+) -> Result<(), String> {
+    let a =
+        interp_run(&neutralize_rdcycle(orig), max_steps).map_err(|e| format!("original: {e}"))?;
+    let b = interp_run(&neutralize_rdcycle(hardened), max_steps)
+        .map_err(|e| format!("hardened: {e}"))?;
+    if a.faults() != b.faults() {
+        return Err(format!(
+            "fault count diverged: original {}, hardened {}",
+            a.faults(),
+            b.faults()
+        ));
+    }
+    for r in 0..a.regs().len() {
+        let (o, g) = (a.regs()[r], b.regs()[r]);
+        if !reloc_ok(o, g, map) {
+            return Err(format!(
+                "register x{r} diverged: original {o:#x}, hardened {g:#x}"
+            ));
+        }
+    }
+    let pa: BTreeMap<u64, Arc<[u8; PAGE_SIZE]>> = a.mem.dump_pages().into_iter().collect();
+    let pb: BTreeMap<u64, Arc<[u8; PAGE_SIZE]>> = b.mem.dump_pages().into_iter().collect();
+    let zero = Arc::new([0u8; PAGE_SIZE]);
+    let mut addrs: Vec<u64> = pa.keys().chain(pb.keys()).copied().collect();
+    addrs.dedup();
+    for base in addrs {
+        let wa = pa.get(&base).unwrap_or(&zero);
+        let wb = pb.get(&base).unwrap_or(&zero);
+        for off in (0..PAGE_SIZE).step_by(8) {
+            let o = u64::from_le_bytes(wa[off..off + 8].try_into().expect("8-byte slice"));
+            let g = u64::from_le_bytes(wb[off..off + 8].try_into().expect("8-byte slice"));
+            if !reloc_ok(o, g, map) {
+                return Err(format!(
+                    "memory word at {:#x} diverged: original {o:#x}, hardened {g:#x}",
+                    base + off as u64
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Which dynamic proof applied to one repaired gadget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeadCheck {
+    /// Taint-observer re-run at the relocated `(source, sink)` pcs — the
+    /// fix (fence or thunk) prevents the chain from executing
+    /// transiently, so the observer must never confirm.
+    TransientTransmit,
+    /// Effective-address watch on the relocated source — the fix (mask)
+    /// clamps the access, so no issued instance of the source, squashed
+    /// or not, may touch the secret.
+    SecretAccess,
+}
+
+/// One original gadget's fate after hardening.
+#[derive(Debug, Clone, Copy)]
+pub struct DeadGadgetVerdict {
+    /// Gadget coordinates in the *original* program.
+    pub source_pc: usize,
+    /// Original sink pc.
+    pub sink_pc: usize,
+    /// Cycle at which the gadget confirmed on the original program, if it
+    /// did (a gadget that never fired dynamically has nothing to kill).
+    pub original_confirm: Option<u64>,
+    /// Which proof obligation the hardened program was held to.
+    pub check: DeadCheck,
+    /// Cycle at which the *hardened* program still failed its check.
+    /// `None` is the desired outcome.
+    pub hardened_confirm: Option<u64>,
+}
+
+/// First cycle at which an issued instance of `source_pc` (wrong-path
+/// instances included) carried an effective address overlapping `spec`,
+/// or `None` if the program halted (or exhausted `max_cycles`) without
+/// one.
+fn first_secret_access(
+    p: &Program,
+    source_pc: usize,
+    spec: &SecretSpec,
+    cfg: &SimConfig,
+    max_cycles: u64,
+) -> Option<u64> {
+    const DRAIN_EVERY: u64 = 4096;
+    let mut core = OooCore::new(*cfg, p);
+    core.enable_trace();
+    while !core.halted() && core.cycle() < max_cycles {
+        let until = (core.cycle() + DRAIN_EVERY).min(max_cycles);
+        while !core.halted() && core.cycle() < until {
+            core.step_cycle();
+        }
+        for e in core.take_trace_events() {
+            if e.stage == TraceStage::Issue && e.pc == source_pc {
+                if let Some((addr, len)) = e.mem {
+                    if spec.overlaps(addr, len) {
+                        return Some(e.cycle);
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Re-check every `(source, sink)` gadget of the original program's
+/// report against the hardened program on the given (typically
+/// unprotected Base OoO) configuration. Each gadget first runs on the
+/// original under `max_cycles` with the taint observer; if it confirms,
+/// the hardened program is held to the proof matching its repair (see
+/// [`DeadCheck`]): gadgets whose relocated source was clamped by a mask
+/// fix get the address watch over the whole hardened run, everything
+/// else re-runs the taint observer at the relocated pcs with a budget of
+/// 4× the original confirmation cycle plus slack (so mitigation overhead
+/// cannot masquerade as suppression). The hardening holds iff no verdict
+/// has `hardened_confirm`.
+pub fn gadgets_dead_on(
+    orig: &Program,
+    out: &HardenOutcome,
+    report: &nda_analyze::Report,
+    spec: &SecretSpec,
+    cfg: &SimConfig,
+    max_cycles: u64,
+) -> Vec<DeadGadgetVerdict> {
+    report
+        .gadgets
+        .iter()
+        .map(|g| {
+            let new_src = out.map.inst(g.source_pc);
+            let new_sink = out.map.inst(g.sink_pc);
+            // A mask fix anywhere on this source kills every gadget
+            // flowing from it, including ones the re-analysis never saw
+            // again (shared-source dedup re-plans only surviving
+            // gadgets).
+            let masked = out
+                .fixes
+                .iter()
+                .any(|f| f.pass == Pass::Mask && f.source_pc == new_src);
+            let check = if masked {
+                DeadCheck::SecretAccess
+            } else {
+                DeadCheck::TransientTransmit
+            };
+            let base = run_gadget(orig, g.source_pc, g.sink_pc, *cfg, max_cycles);
+            let hardened_confirm = base.confirm_cycle.and_then(|c| match check {
+                DeadCheck::SecretAccess => {
+                    first_secret_access(&out.program, new_src, spec, cfg, max_cycles)
+                }
+                DeadCheck::TransientTransmit => {
+                    let budget = (c.saturating_mul(4) + 100_000).min(max_cycles);
+                    run_gadget(&out.program, new_src, new_sink, *cfg, budget).confirm_cycle
+                }
+            });
+            DeadGadgetVerdict {
+                source_pc: g.source_pc,
+                sink_pc: g.sink_pc,
+                original_confirm: base.confirm_cycle,
+                check,
+                hardened_confirm,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nda_isa::{apply_patches, Asm, Inst, Patch, Reg};
+
+    /// A fence inserted mid-program relocates the `ra`-like code pointer
+    /// a call materializes; the checker must accept exactly that shift
+    /// and nothing else.
+    #[test]
+    fn accepts_relocation_rejects_semantic_change() {
+        let mut a = Asm::new();
+        let f = a.new_label();
+        a.li_label(Reg::X2, f); // 0: code pointer into x2
+        a.li(Reg::X3, 7); // 1
+        a.jmp(f); // 2
+        a.bind(f);
+        a.halt(); // 3
+        let p = a.assemble().unwrap();
+
+        let (fenced, map) =
+            apply_patches(&p, &[Patch::insert_before(3, vec![Inst::Fence])]).unwrap();
+        equivalent_modulo_reloc(&p, &fenced, &map, 10_000).expect("pure relocation is equivalent");
+
+        // Same shape but a different architectural value: must be caught.
+        let (mut broken, map2) =
+            apply_patches(&p, &[Patch::insert_before(3, vec![Inst::Fence])]).unwrap();
+        broken.insts[map2.inst(1)] = Inst::Li {
+            rd: Reg::X3,
+            imm: 8,
+        };
+        let err = equivalent_modulo_reloc(&p, &broken, &map2, 10_000).unwrap_err();
+        assert!(err.contains("x3"), "wrong divergence report: {err}");
+    }
+}

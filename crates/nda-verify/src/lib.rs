@@ -33,10 +33,12 @@
 
 pub mod chaos;
 pub mod dynamic;
+pub mod harden;
 
 pub use dynamic::{
     run_gadget, validate_report, DynamicCheck, GadgetVerdict, TaintObserver, ValidationOutcome,
 };
+pub use harden::{equivalent_modulo_reloc, gadgets_dead_on, DeadCheck, DeadGadgetVerdict};
 
 use nda_core::config::{CoreModel, SimConfig};
 use nda_core::sampled::Checkpoint;

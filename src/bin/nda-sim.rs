@@ -15,6 +15,11 @@
 //! nda-sim analyze <target> [options]       static speculative-leakage analysis;
 //!                                          target is an attack name, a workload
 //!                                          name, or an encoded program file
+//! nda-sim harden <target> [options]        analysis-guided software mitigation:
+//!                                          rewrite the target until it carries
+//!                                          zero static gadgets (same target
+//!                                          resolution as analyze); exits
+//!                                          nonzero if residual gadgets remain
 //! nda-sim serve [options]                  long-running simulation server
 //!                                          (line-delimited JSON over TCP, or
 //!                                          stdin/stdout with --stdio)
@@ -23,11 +28,25 @@
 //!                                          server and print the responses
 //!
 //! options:
-//!   --json              analyze: emit the machine-readable report
+//!   --json              analyze/harden: emit the machine-readable report
+//!                       (for harden: the hardened program's re-analysis)
 //!   --validate          analyze: execute each reported gadget on Base OoO
 //!                       (expect a transient leak) and under Full Protection
 //!                       (expect suppression)
-//!   --window <n>        analyze: speculation-window depth (default: ROB size)
+//!                       harden: prove the rewrite — architectural
+//!                       equivalence modulo relocation on the reference
+//!                       interpreter, plus every original gadget dynamically
+//!                       dead on Base OoO
+//!   --window <n>        analyze/harden: speculation-window depth
+//!                       (default: ROB size)
+//!   --passes <list>     harden/sweep --mitigate: comma-separated subset of
+//!                       fence,mask,thunk (default: all)
+//!   --out <file>        harden: write the hardened program, encoded
+//!   --mitigate <list>   sweep: price the software-mitigation axis instead —
+//!                       harden every workload under blanket secret labeling
+//!                       with the given passes (or `all`) and print
+//!                       hardware-NDA vs software vs both overhead, Fig-7
+//!                       style
 //!   --variant <name>    core configuration (default OoO; see `variants`)
 //!   --iters <n>         workload iterations / verify programs (default 200)
 //!   --seed <n>          workload / verify seed (default 1)
@@ -118,6 +137,9 @@ struct Opts {
     json: bool,
     validate: bool,
     window: Option<usize>,
+    passes: String,
+    out: Option<String>,
+    mitigate: Option<String>,
     trace_out: Option<String>,
     trace_format: nda::trace::TraceFormat,
     metrics_out: Option<String>,
@@ -161,6 +183,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         json: false,
         validate: false,
         window: None,
+        passes: "all".into(),
+        out: None,
+        mitigate: None,
         trace_out: None,
         trace_format: nda::trace::TraceFormat::Perfetto,
         metrics_out: None,
@@ -224,6 +249,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             }
             "--json" => o.json = true,
             "--validate" => o.validate = true,
+            "--passes" => o.passes = val("--passes")?,
+            "--out" => o.out = Some(val("--out")?),
+            "--mitigate" => o.mitigate = Some(val("--mitigate")?),
             "--trace-out" => o.trace_out = Some(val("--trace-out")?),
             "--trace-format" => {
                 let f = val("--trace-format")?;
@@ -628,6 +656,9 @@ fn cmd_sweep(o: &Opts) -> Result<(), String> {
     if o.checkpoint_gc {
         run_checkpoint_gc(o)?;
     }
+    if let Some(passes) = &o.mitigate {
+        return cmd_sweep_mitigate(passes, o);
+    }
     // Contained panics (injected or real) are reported as FAILED cells;
     // keep the default panic banner from spamming the table.
     silence_contained_panics();
@@ -714,6 +745,34 @@ fn cmd_sweep(o: &Opts) -> Result<(), String> {
         std::fs::write(path, &doc).map_err(|e| format!("write {path}: {e}"))?;
         eprintln!("wrote per-variant metrics document to {path}");
     }
+    Ok(())
+}
+
+/// `sweep --mitigate <passes>`: the software-mitigation axis. Harden
+/// every workload under blanket secret labeling, then price hardware NDA
+/// vs software rewriting vs both across all variants, Fig-7 style.
+fn cmd_sweep_mitigate(passes: &str, o: &Opts) -> Result<(), String> {
+    use nda::analyze::PassSet;
+    use nda::bench::{mitigation_sweep, mitigation_table, MitigationConfig};
+    let passes = PassSet::parse(passes).map_err(|e| format!("--mitigate: {e}"))?;
+    let cfg = MitigationConfig {
+        passes,
+        samples: o.samples,
+        iters: o.iters,
+        seed: o.seed,
+        jobs: o.jobs.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        }),
+        max_cycles: o.deadline_cycles,
+    };
+    println!(
+        "mitigation sweep, {} samples x {} iters per cell",
+        o.samples, o.iters
+    );
+    let r = mitigation_sweep(all(), &Variant::all(), &cfg);
+    print!("{}", mitigation_table(&r, &passes));
     Ok(())
 }
 
@@ -825,32 +884,46 @@ fn cmd_trace(name: &str, o: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_analyze(target: &str, o: &Opts) -> Result<(), String> {
-    use nda::analyze::{analyze, AnalyzeConfig};
-
-    // Resolve the target: attack name > workload name > encoded file.
-    // Attacks carry their secret labeling; workloads and files are
-    // analyzed with an empty labeling (any finding would be a false
-    // positive).
-    let (prog, spec, kind, what) = if let Some(k) = parse_attack(target) {
-        (
+/// Resolve an analysis/hardening target: attack name > workload name >
+/// encoded file. Attacks carry their secret labeling; workloads and
+/// files get an empty labeling (any finding would be a false positive).
+fn resolve_target(
+    target: &str,
+    o: &Opts,
+) -> Result<
+    (
+        nda::Program,
+        nda::isa::SecretSpec,
+        Option<AttackKind>,
+        String,
+    ),
+    String,
+> {
+    if let Some(k) = parse_attack(target) {
+        return Ok((
             k.program(o.secret),
             k.secret_spec(),
             Some(k),
             k.name().to_string(),
-        )
-    } else if let Some(w) = by_name(target) {
+        ));
+    }
+    if let Some(w) = by_name(target) {
         let p = (w.build)(&WorkloadParams {
             seed: o.seed,
             iters: o.iters,
         });
-        (p, nda::isa::SecretSpec::empty(), None, w.name.to_string())
-    } else {
-        let bytes = std::fs::read(target)
-            .map_err(|_| format!("{target:?} is not an attack, a workload, or a readable file"))?;
-        let p = nda::isa::decode_program(&bytes).map_err(|e| format!("decode {target}: {e}"))?;
-        (p, nda::isa::SecretSpec::empty(), None, target.to_string())
-    };
+        return Ok((p, nda::isa::SecretSpec::empty(), None, w.name.to_string()));
+    }
+    let bytes = std::fs::read(target)
+        .map_err(|_| format!("{target:?} is not an attack, a workload, or a readable file"))?;
+    let p = nda::isa::decode_program(&bytes).map_err(|e| format!("decode {target}: {e}"))?;
+    Ok((p, nda::isa::SecretSpec::empty(), None, target.to_string()))
+}
+
+fn cmd_analyze(target: &str, o: &Opts) -> Result<(), String> {
+    use nda::analyze::{analyze, AnalyzeConfig};
+
+    let (prog, spec, kind, what) = resolve_target(target, o)?;
 
     let mut cfg = AnalyzeConfig::default();
     if let Some(w) = o.window {
@@ -904,6 +977,117 @@ fn cmd_analyze(target: &str, o: &Opts) -> Result<(), String> {
         if outcome.any_confirmed_under_strict() {
             return Err("a reported gadget leaked under Full Protection".into());
         }
+    }
+    Ok(())
+}
+
+fn cmd_harden(target: &str, o: &Opts) -> Result<(), String> {
+    use nda::analyze::{harden, AnalyzeConfig, HardenConfig, PassSet};
+
+    let (prog, spec, kind, what) = resolve_target(target, o)?;
+    let passes = PassSet::parse(&o.passes).map_err(|e| format!("--passes: {e}"))?;
+    let mut acfg = AnalyzeConfig::default();
+    if let Some(w) = o.window {
+        acfg.window = w;
+    }
+    let hcfg = HardenConfig {
+        passes,
+        analyze: acfg,
+        ..HardenConfig::default()
+    };
+    let out = harden(&prog, &spec, &hcfg);
+
+    if o.json {
+        println!("{}", out.report.to_json());
+    } else {
+        println!(
+            "hardening {what} (passes: {}): {} -> {} instructions, {} fix(es) in {} round(s)",
+            passes.names(),
+            prog.insts.len(),
+            out.program.insts.len(),
+            out.fixes.len(),
+            out.rounds
+        );
+        for f in &out.fixes {
+            println!(
+                "  round {}: {} at pc {} (gadget pc {} -> pc {})",
+                f.round,
+                f.pass.name(),
+                f.at,
+                f.source_pc,
+                f.sink_pc
+            );
+        }
+        for r in &out.residual {
+            println!(
+                "  RESIDUAL: gadget pc {} -> pc {}: {}",
+                r.gadget.source_pc, r.gadget.sink_pc, r.reason
+            );
+        }
+        println!(
+            "  re-analysis: {} gadget(s) remain",
+            out.report.gadgets.len()
+        );
+    }
+
+    if let Some(path) = &o.out {
+        let bytes = nda::isa::encode_program(&out.program);
+        std::fs::write(path, &bytes).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!(
+            "wrote {} instructions ({} bytes) to {path}",
+            out.program.insts.len(),
+            bytes.len()
+        );
+    }
+
+    if o.validate {
+        use nda::verify::{equivalent_modulo_reloc, gadgets_dead_on};
+        const MAX_STEPS: u64 = 50_000_000;
+        let report = nda::analyze::analyze(&prog, &spec, &hcfg.analyze);
+        equivalent_modulo_reloc(&prog, &out.program, &out.map, MAX_STEPS)
+            .map_err(|e| format!("hardened program is NOT equivalent: {e}"))?;
+        println!();
+        println!("architectural equivalence modulo relocation: ok");
+        let mut cfg = nda::SimConfig::for_variant(Variant::Ooo);
+        if let Some(k) = kind {
+            k.tweak_config(&mut cfg);
+        }
+        let verdicts = gadgets_dead_on(&prog, &out, &report, &spec, &cfg, MAX_CYCLES);
+        println!("dynamic gadget death on Base OoO:");
+        if verdicts.is_empty() {
+            println!("  no gadgets reported against the original; nothing to kill");
+        }
+        let mut alive = 0;
+        for v in &verdicts {
+            match (v.original_confirm, v.hardened_confirm) {
+                (Some(c), None) => println!(
+                    "  pc {} -> pc {}: dead ({:?} check; original confirmed at cycle {c})",
+                    v.source_pc, v.sink_pc, v.check
+                ),
+                (Some(c), Some(h)) => {
+                    alive += 1;
+                    println!(
+                        "  pc {} -> pc {}: STILL ALIVE at cycle {h} ({:?} check; \
+                         original cycle {c})",
+                        v.source_pc, v.sink_pc, v.check
+                    );
+                }
+                (None, _) => println!(
+                    "  pc {} -> pc {}: original never confirmed dynamically; skipped",
+                    v.source_pc, v.sink_pc
+                ),
+            }
+        }
+        if alive > 0 {
+            return Err(format!("{alive} gadget(s) survived hardening"));
+        }
+    }
+
+    if !out.clean() {
+        return Err(format!(
+            "{} residual gadget(s) — see report above (try more passes?)",
+            out.residual.len()
+        ));
     }
     Ok(())
 }
@@ -1001,7 +1185,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first().map(String::as_str) else {
         eprintln!(
-            "usage: nda-sim <variants|workloads|attacks|run|attack|matrix|sweep|save|exec|trace|verify|analyze|serve|client> [options]"
+            "usage: nda-sim <variants|workloads|attacks|run|attack|matrix|sweep|save|exec|trace|verify|analyze|harden|serve|client> [options]"
         );
         eprintln!("(see the module docs at the top of src/bin/nda-sim.rs)");
         return ExitCode::FAILURE;
@@ -1044,6 +1228,10 @@ fn main() -> ExitCode {
         "analyze" => match args.get(1) {
             Some(target) => parse_opts(&args[2..]).and_then(|o| cmd_analyze(target, &o)),
             None => Err("analyze needs an attack, workload, or file target".into()),
+        },
+        "harden" => match args.get(1) {
+            Some(target) => parse_opts(&args[2..]).and_then(|o| cmd_harden(target, &o)),
+            None => Err("harden needs an attack, workload, or file target".into()),
         },
         "matrix" => parse_opts(&args[1..]).map(|o| cmd_matrix(&o)),
         "sweep" => parse_opts(&args[1..]).and_then(|o| cmd_sweep(&o)),
