@@ -299,6 +299,33 @@ pub fn suppressed_by(
     if sc.core.delay_on_miss {
         return channel == Channel::DCacheLoad && triggers.iter().all(|(_, t)| t.kind.is_control());
     }
+    // STT / ShadowBinding gate *transmitting* uses of tainted data: the
+    // explicit channels (tainted load/store address, tainted indirect
+    // target) are covered, the conditional-branch implicit channel is
+    // deliberately not. Taint originates at speculative loads only, so a
+    // control-triggered gadget is dead iff a load of the chain sits inside
+    // the transient window; chosen-code and memory-order triggers taint
+    // only under the futuristic threat model. Untaint timing (propagated /
+    // eager / lazy) affects cost, never coverage.
+    if let Some(tp) = sc.taint {
+        if channel == Channel::CtrlBranch {
+            return false;
+        }
+        let blocked = |(ti, info): &(usize, TriggerInfo)| -> bool {
+            match info.kind {
+                TriggerKind::Fault | TriggerKind::SsbStore => {
+                    tp.threat == nda_core::TaintThreat::Futuristic
+                }
+                _ => {
+                    let win = &windows[*ti].window;
+                    chain_no_sink
+                        .iter()
+                        .any(|pc| win.contains_key(pc) && p.insts[*pc].is_load_like())
+                }
+            }
+        };
+        return !triggers.is_empty() && triggers.iter().all(blocked);
+    }
     let policy = sc.policy;
     let blocked = |(ti, info): &(usize, TriggerInfo)| -> bool {
         match info.kind {

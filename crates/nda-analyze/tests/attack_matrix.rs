@@ -42,6 +42,109 @@ fn suppression_verdicts_match_the_paper_matrix() {
     }
 }
 
+/// The full 9 attacks × 15 variants verdict matrix, pinned as a literal
+/// table (`true` = blocked). `suppression_verdicts_match_the_paper_matrix`
+/// checks the analyzer against `expected_blocked`; this test pins
+/// `expected_blocked` *itself*, so a silent edit to the ground truth (or
+/// a new variant slotted into the wrong row) is a hard diff here, not a
+/// mutually-consistent drift.
+///
+/// Column order is `Variant::all()`:
+/// Ooo, Permissive, PermissiveBr, Strict, StrictBr, RestrictedLoads,
+/// FullProtection, InOrder, InvisiSpecSpectre, InvisiSpecFuture,
+/// DelayOnMiss, SttSpectre, SttFuturistic, ShadowBindingEager,
+/// ShadowBindingLazy.
+#[test]
+fn verdict_matrix_is_pinned_9_attacks_by_15_variants() {
+    use AttackKind::*;
+    #[rustfmt::skip]
+    const MATRIX: [(AttackKind, [bool; 15]); 9] = [
+        //                   Ooo    Perm   PermBr Strict StrBr  RLoads Full   InOrd  ISpecS ISpecF DoM    SttS   SttF   SBEag  SBLaz
+        (SpectreV1Cache, [false, true,  true,  true,  true,  true,  true,  true,  true,  true,  true,  true,  true,  true,  true ]),
+        (SpectreV1Btb,   [false, true,  true,  true,  true,  true,  true,  true,  false, false, false, true,  true,  true,  true ]),
+        (Ssb,            [false, false, true,  false, true,  true,  true,  true,  false, true,  false, false, true,  false, false]),
+        (Meltdown,       [false, false, false, false, false, true,  true,  true,  false, true,  false, false, true,  false, false]),
+        (LazyFp,         [false, false, false, false, false, true,  true,  true,  false, true,  false, false, true,  false, false]),
+        (SpectreV2Gpr,   [false, false, false, true,  true,  false, true,  true,  true,  true,  true,  false, false, false, false]),
+        (Ret2spec,       [false, false, false, true,  true,  false, true,  true,  true,  true,  true,  false, false, false, false]),
+        (NetspectreFpu,  [false, true,  true,  true,  true,  true,  true,  true,  false, false, false, false, false, false, false]),
+        (Smother,        [false, true,  true,  true,  true,  true,  true,  true,  false, false, false, false, false, false, false]),
+    ];
+    assert_eq!(MATRIX.map(|(k, _)| k), AttackKind::all(), "row order");
+    for (kind, row) in MATRIX {
+        for (v, &blocked) in Variant::all().into_iter().zip(&row) {
+            assert_eq!(
+                kind.expected_blocked(v),
+                blocked,
+                "{kind} under {}: pinned verdict diverged",
+                v.name()
+            );
+        }
+    }
+}
+
+/// What the taint-tracking family deliberately does NOT block, spelled
+/// out as sets rather than left implicit in the matrix:
+///
+/// * GPR-resident secrets (`SpectreV2Gpr`, `Ret2spec`) were loaded and
+///   committed architecturally long before the transient gadget runs —
+///   they are never tainted, so no taint variant can gate their
+///   transmits;
+/// * the contention channels (`NetspectreFpu`, `Smother`) steer through
+///   a *conditional branch on tainted data*, and the explicit-channel
+///   gate leaves branch conditions unchecked — STT's documented
+///   implicit-channel gap.
+///
+/// Conversely every taint-reachable attack — a speculatively-loaded
+/// secret reaching a load/store/BTB transmit — must be dead under the
+/// matching threat model: zero false negatives.
+#[test]
+fn stt_gap_is_exactly_untainted_secrets_plus_implicit_channels() {
+    use AttackKind::*;
+    let taint_variants = [
+        Variant::SttSpectre,
+        Variant::SttFuturistic,
+        Variant::ShadowBindingEager,
+        Variant::ShadowBindingLazy,
+    ];
+    let gap = [SpectreV2Gpr, Ret2spec, NetspectreFpu, Smother];
+    for kind in gap {
+        for v in taint_variants {
+            assert!(
+                !kind.expected_blocked(v),
+                "{kind} is outside the taint threat model, {} must not claim it",
+                v.name()
+            );
+        }
+    }
+    // Taint-reachable under control speculation: every taint variant.
+    for kind in [SpectreV1Cache, SpectreV1Btb] {
+        for v in taint_variants {
+            assert!(
+                kind.expected_blocked(v),
+                "{kind}: false negative on {}",
+                v.name()
+            );
+        }
+    }
+    // Taint-reachable only under the futuristic threat model (fault,
+    // MSR, and memory-order speculation sources).
+    for kind in [Ssb, Meltdown, LazyFp] {
+        assert!(kind.expected_blocked(Variant::SttFuturistic));
+        for v in [
+            Variant::SttSpectre,
+            Variant::ShadowBindingEager,
+            Variant::ShadowBindingLazy,
+        ] {
+            assert!(
+                !kind.expected_blocked(v),
+                "{kind} needs the futuristic threat model, not {}",
+                v.name()
+            );
+        }
+    }
+}
+
 #[test]
 fn gadget_reports_carry_a_connected_taint_path() {
     for kind in AttackKind::all() {

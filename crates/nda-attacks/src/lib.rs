@@ -272,6 +272,26 @@ impl AttackKind {
             // Delay-on-miss holds speculative L1-missing loads: blocks
             // cache-miss transmits under control speculation, nothing else.
             DelayOnMiss => matches!(self, SpectreV1Cache | SpectreV2Gpr | Ret2spec),
+            // Taint tracking gates *transmitting* uses of speculatively
+            // loaded data: the memory-secret control-steering attacks die
+            // (their tainted address reaches a load/store/BTB transmit).
+            // GPR-resident secrets were architecturally committed long
+            // before the gadget runs — never tainted, never gated. The
+            // contention channels (FPU wake-up, divider occupancy) steer
+            // through a *conditional branch on tainted data*, and STT's
+            // explicit-channel gate deliberately leaves branch conditions
+            // unchecked — the documented implicit-channel gap.
+            SttSpectre | ShadowBindingEager | ShadowBindingLazy => {
+                matches!(self, SpectreV1Cache | SpectreV1Btb)
+            }
+            // The futuristic threat model additionally taints chosen-code
+            // (faulting / MSR) and memory-order speculation sources.
+            SttFuturistic => {
+                matches!(
+                    self,
+                    SpectreV1Cache | SpectreV1Btb | Ssb | Meltdown | LazyFp
+                )
+            }
         }
     }
 }

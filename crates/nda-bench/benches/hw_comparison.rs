@@ -1,0 +1,49 @@
+//! Fig 7-style hardware-defense comparison: NDA vs InvisiSpec vs STT vs
+//! ShadowBinding, normalised to the insecure OoO baseline and grouped by
+//! mechanism family.
+//!
+//! Expected shape: the taint-tracking family (STT, ShadowBinding) prices
+//! below strict-propagation NDA — it delays only *transmitting* uses of
+//! tainted data where strict NDA delays every wakeup behind a branch —
+//! with the futuristic threat model and the lazy (commit-time) untaint
+//! paying a surcharge over their Spectre/eager siblings. Coverage is the
+//! other half of the trade (see table1_attack_matrix): the taint variants
+//! leave the conditional-branch implicit channel open.
+
+use nda_bench::{hw_comparison_table, hw_comparison_variants, sweep, SweepConfig};
+use nda_core::Variant;
+use nda_workloads::all;
+
+fn main() {
+    let cfg = SweepConfig::from_env();
+    println!(
+        "hardware-defense comparison ({} samples x {} iterations per cell)",
+        cfg.samples, cfg.iters
+    );
+    let variants = hw_comparison_variants();
+    let results = sweep(all(), &variants, cfg);
+    print!("{}", hw_comparison_table(&results));
+
+    let idx = |v: Variant| variants.iter().position(|x| *x == v).unwrap();
+    let g = |v: Variant| results.geomean_normalized(idx(v));
+    for v in [
+        Variant::SttSpectre,
+        Variant::SttFuturistic,
+        Variant::ShadowBindingEager,
+        Variant::ShadowBindingLazy,
+    ] {
+        assert!(
+            g(v) < g(Variant::Strict),
+            "{}: taint tracking must price below strict-propagation NDA \
+             ({:.3} vs {:.3})",
+            v.name(),
+            g(v),
+            g(Variant::Strict)
+        );
+    }
+    assert!(
+        g(Variant::SttSpectre) <= g(Variant::SttFuturistic),
+        "the futuristic threat model cannot be cheaper than Spectre-only"
+    );
+    println!("shape check passed: STT/ShadowBinding < strict NDA; spectre <= futuristic");
+}

@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 
 pub mod fault;
+pub mod hw_compare;
 pub mod journal;
 pub mod mitigation;
 pub mod render;
@@ -41,6 +42,7 @@ pub mod sweep;
 pub use fault::{
     panic_message, silence_contained_panics, Chaos, ChaosAction, JobError, RetryPolicy,
 };
+pub use hw_compare::{family, family_geomean, hw_comparison_table, hw_comparison_variants};
 pub use journal::{fingerprint, CellKey, Journal, JournalError, JournalState};
 pub use mitigation::{
     blanket_spec, mitigation_sweep, mitigation_table, HardeningStats, MitigationConfig,

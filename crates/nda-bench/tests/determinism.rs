@@ -38,6 +38,8 @@ fn parallel_sweep_is_bit_identical_to_serial() {
         Variant::Strict,
         Variant::FullProtection,
         Variant::InvisiSpecSpectre,
+        Variant::SttSpectre,
+        Variant::ShadowBindingLazy,
     ];
     let base = SweepConfig {
         samples: 2,
@@ -57,7 +59,12 @@ fn parallel_sweep_is_bit_identical_to_serial() {
 #[test]
 fn parallel_sampled_sweep_is_bit_identical_to_serial() {
     let workloads = &nda_workloads::all()[..2];
-    let variants = [Variant::Ooo, Variant::FullProtection, Variant::InOrder];
+    let variants = [
+        Variant::Ooo,
+        Variant::FullProtection,
+        Variant::InOrder,
+        Variant::SttFuturistic,
+    ];
     let base = SweepConfig {
         samples: 2,
         iters: 400,
@@ -89,7 +96,7 @@ fn parallel_sampled_sweep_is_bit_identical_to_serial() {
 fn journaled_sweep_is_bit_identical_to_plain_sweep() {
     use nda_bench::{sweep_journaled, sweep_meta, Journal};
     let workloads = &nda_workloads::all()[..2];
-    let variants = [Variant::Ooo, Variant::StrictBr, Variant::InOrder];
+    let variants = [Variant::Ooo, Variant::StrictBr, Variant::ShadowBindingEager];
     let base = SweepConfig {
         samples: 2,
         iters: 10,

@@ -1,6 +1,6 @@
 //! Simulator configuration (paper Table 3) and the ten evaluated variants.
 
-use crate::policy::{IsVariant, NdaPolicy};
+use crate::policy::{IsVariant, NdaPolicy, TaintPolicy};
 use nda_mem::MemHierConfig;
 use nda_predict::{BtbConfig, GshareConfig, PredictorKind};
 use std::fmt;
@@ -150,6 +150,9 @@ pub struct SimConfig {
     pub policy: NdaPolicy,
     /// InvisiSpec mode (mutually exclusive with a restrictive NDA policy).
     pub invisispec: Option<IsVariant>,
+    /// STT/ShadowBinding taint-tracking mode (mutually exclusive with a
+    /// restrictive NDA policy and with InvisiSpec).
+    pub taint: Option<TaintPolicy>,
     /// Timing model.
     pub model: CoreModel,
     /// Validate micro-architectural conservation laws (physical-register
@@ -174,6 +177,7 @@ impl SimConfig {
             mem: MemHierConfig::haswell_like(),
             policy: NdaPolicy::ooo(),
             invisispec: None,
+            taint: None,
             model: CoreModel::OutOfOrder,
             check_invariants: false,
             watchdog_window: Some(50_000),
@@ -195,6 +199,10 @@ impl SimConfig {
             Variant::InvisiSpecSpectre => cfg.invisispec = Some(IsVariant::Spectre),
             Variant::InvisiSpecFuture => cfg.invisispec = Some(IsVariant::Future),
             Variant::DelayOnMiss => cfg.core.delay_on_miss = true,
+            Variant::SttSpectre => cfg.taint = Some(TaintPolicy::stt_spectre()),
+            Variant::SttFuturistic => cfg.taint = Some(TaintPolicy::stt_futuristic()),
+            Variant::ShadowBindingEager => cfg.taint = Some(TaintPolicy::shadow_binding_eager()),
+            Variant::ShadowBindingLazy => cfg.taint = Some(TaintPolicy::shadow_binding_lazy()),
         }
         cfg
     }
@@ -223,12 +231,24 @@ pub enum Variant {
     /// Delay-on-miss (Sakalis et al.): related-work comparison point that
     /// holds speculative L1-missing loads.
     DelayOnMiss,
+    /// STT under the Spectre threat model: per-preg taint on speculative
+    /// load results, only *transmitting* uses delayed, untaint propagated
+    /// through the wakeup network.
+    SttSpectre,
+    /// STT under the futuristic threat model: loads stay tainted until
+    /// they reach the ROB head (covers chosen-code attacks too).
+    SttFuturistic,
+    /// ShadowBinding with eager (same-cycle flash) untaint.
+    ShadowBindingEager,
+    /// ShadowBinding with lazy (branch-commit) untaint.
+    ShadowBindingLazy,
 }
 
 impl Variant {
     /// Every variant: the paper's Fig 7 legend order, plus the
-    /// delay-on-miss related-work baseline.
-    pub fn all() -> [Variant; 11] {
+    /// delay-on-miss related-work baseline and the STT/ShadowBinding
+    /// taint-tracking family.
+    pub fn all() -> [Variant; 15] {
         [
             Variant::Ooo,
             Variant::Permissive,
@@ -241,6 +261,20 @@ impl Variant {
             Variant::InvisiSpecSpectre,
             Variant::InvisiSpecFuture,
             Variant::DelayOnMiss,
+            Variant::SttSpectre,
+            Variant::SttFuturistic,
+            Variant::ShadowBindingEager,
+            Variant::ShadowBindingLazy,
+        ]
+    }
+
+    /// The taint-tracking (STT/ShadowBinding) family.
+    pub fn taint_family() -> [Variant; 4] {
+        [
+            Variant::SttSpectre,
+            Variant::SttFuturistic,
+            Variant::ShadowBindingEager,
+            Variant::ShadowBindingLazy,
         ]
     }
 
@@ -272,6 +306,10 @@ impl Variant {
             Variant::InvisiSpecSpectre => "InvisiSpec-Spectre",
             Variant::InvisiSpecFuture => "InvisiSpec-Future",
             Variant::DelayOnMiss => "Delay-On-Miss",
+            Variant::SttSpectre => "STT-Spectre",
+            Variant::SttFuturistic => "STT-Futuristic",
+            Variant::ShadowBindingEager => "ShadowBinding-Eager",
+            Variant::ShadowBindingLazy => "ShadowBinding-Lazy",
         }
     }
 }
@@ -319,12 +357,47 @@ mod tests {
     }
 
     #[test]
-    fn all_lists_eleven_unique() {
+    fn all_lists_fifteen_unique() {
         let all = Variant::all();
-        assert_eq!(all.len(), 11);
+        assert_eq!(all.len(), 15);
         for (i, a) in all.iter().enumerate() {
             for b in &all[i + 1..] {
                 assert_ne!(a, b);
+            }
+        }
+        for v in Variant::taint_family() {
+            assert!(all.contains(&v));
+        }
+    }
+
+    #[test]
+    fn taint_variants_map_to_taint_policies_and_nothing_else() {
+        use crate::policy::{TaintThreat, UntaintTiming};
+        for v in Variant::taint_family() {
+            let cfg = SimConfig::for_variant(v);
+            let tp = cfg.taint.expect("taint family sets a taint policy");
+            // Mutually exclusive with NDA restriction and InvisiSpec.
+            assert!(!cfg.policy.is_restrictive(), "{v}");
+            assert_eq!(cfg.invisispec, None, "{v}");
+            assert_eq!(cfg.model, CoreModel::OutOfOrder, "{v}");
+            match v {
+                Variant::SttSpectre => {
+                    assert_eq!(tp.threat, TaintThreat::Spectre);
+                    assert_eq!(tp.untaint, UntaintTiming::Propagated);
+                }
+                Variant::SttFuturistic => {
+                    assert_eq!(tp.threat, TaintThreat::Futuristic);
+                    assert_eq!(tp.untaint, UntaintTiming::Propagated);
+                }
+                Variant::ShadowBindingEager => assert_eq!(tp.untaint, UntaintTiming::Eager),
+                Variant::ShadowBindingLazy => assert_eq!(tp.untaint, UntaintTiming::Lazy),
+                _ => unreachable!(),
+            }
+        }
+        // And no non-taint variant sets one.
+        for v in Variant::all() {
+            if !Variant::taint_family().contains(&v) {
+                assert_eq!(SimConfig::for_variant(v).taint, None, "{v}");
             }
         }
     }

@@ -50,7 +50,7 @@ pub use config::{CoreConfig, SimConfig, Variant};
 pub use inorder::InOrderCore;
 pub use ooo::core::{OooCore, RobCellState, RobView};
 pub use ooo::invariants::{InvariantKind, InvariantViolation};
-pub use policy::{IsVariant, NdaPolicy, Propagation};
+pub use policy::{IsVariant, NdaPolicy, Propagation, TaintPolicy, TaintThreat, UntaintTiming};
 pub use result_store::{sanitize_result, ResultKey, ResultStore};
 pub use run::{
     run_smarts, run_smarts_with, run_variant, run_with_config, RunResult, SampledInfo, SimError,

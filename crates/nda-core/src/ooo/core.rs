@@ -20,7 +20,7 @@ use super::invariants::{InvariantKind, InvariantViolation};
 use super::rename::{FreeList, PReg, PhysRegFile, RenameTable};
 use super::rob::{Rob, RobEntry};
 use crate::config::SimConfig;
-use crate::policy::{IsVariant, Propagation};
+use crate::policy::{IsVariant, Propagation, TaintThreat, UntaintTiming};
 use crate::run::{RunResult, SimError};
 use crate::snapshot::{HeadInfo, HeadWait, PipelineSnapshot};
 use nda_isa::inst::{Src2, UopClass};
@@ -85,6 +85,16 @@ pub struct OooCore {
     /// OoO / InvisiSpec / delay-on-miss), so the per-cycle safety walk is
     /// skipped entirely.
     policy_all_safe: bool,
+    /// Policy pre-computation: a [`crate::policy::TaintPolicy`] is active —
+    /// run the per-cycle taint walk and the transmit-side issue gate.
+    /// Orthogonal to `policy_all_safe` (taint variants keep every wakeup
+    /// unrestricted; only *transmitting* issues are withheld).
+    taint_on: bool,
+    /// `Propagated`-untaint scratch (empty otherwise): last cycle's PRF
+    /// taint image. Taint *set* is immediate, but an untaint ripples one
+    /// dependency level per cycle by OR-ing this image into each
+    /// consumer's recomputed bit (STT reuses wakeup bandwidth to untaint).
+    taint_prev: Vec<bool>,
     /// Entries that are completed, have a destination, and have not yet
     /// broadcast — the two broadcast passes walk the ROB only when this is
     /// non-zero.
@@ -163,6 +173,12 @@ impl OooCore {
             policy_all_safe: cfg.policy.propagation == Propagation::Off
                 && !cfg.policy.bypass_restriction
                 && !cfg.policy.load_restriction,
+            taint_on: cfg.taint.is_some(),
+            taint_prev: if cfg.taint.map(|t| t.untaint) == Some(UntaintTiming::Propagated) {
+                vec![false; cfg.core.num_pregs]
+            } else {
+                Vec::new()
+            },
             pending_bcast: 0,
             spec_window: false,
             specoff_pending: 0,
@@ -201,6 +217,12 @@ impl OooCore {
     /// In-flight ROB entries.
     pub fn rob_occupancy(&self) -> usize {
         self.rob.len()
+    }
+
+    /// `true` if any physical register currently carries an STT taint bit
+    /// (for the untaint-drain property: an empty ROB implies no taint).
+    pub fn any_preg_tainted(&self) -> bool {
+        self.prf.any_tainted()
     }
 
     /// Reset the statistics counters mid-run (SMARTS-style sampling:
@@ -534,6 +556,7 @@ impl OooCore {
         }
         self.writeback();
         self.update_safety();
+        self.update_taint();
         self.broadcast();
         self.expose_invisispec();
         self.issue();
@@ -582,6 +605,14 @@ impl OooCore {
             }
             let e = self.rob.pop_head().expect("head exists");
             self.oracle_retire(&e);
+            // A committed value is architectural, hence untainted by
+            // definition — this is the only untaint path for a register
+            // that retires tainted in the same cycle its guard resolves.
+            if self.taint_on {
+                if let Some(prd) = e.prd {
+                    self.prf.set_taint(prd, false);
+                }
+            }
             // Tag broadcast at retirement is always permitted: the head of
             // the ROB is non-speculative by definition (paper §4.3).
             if let Some(prd) = e.prd {
@@ -913,6 +944,98 @@ impl OooCore {
     }
 
     // ------------------------------------------------------------------
+    // Stage 3b: the STT taint walk (STT / ShadowBinding variants)
+    // ------------------------------------------------------------------
+
+    /// Recompute every in-flight entry's taint bit and mirror it into the
+    /// PRF. A load's destination is tainted while the load is *speculative*
+    /// under the configured threat model (Spectre: an older branch is
+    /// unresolved; Futuristic: the load is not the ROB head); taint then
+    /// flows from sources to destinations through the dataflow graph.
+    ///
+    /// Producers are strictly older than their consumers, so one
+    /// oldest→youngest pass over fresh PRF bits *is* the transitive
+    /// closure — exactly ShadowBinding's eager flash untaint: the cycle
+    /// the guarding branch resolves, the whole dependence tree reads
+    /// untainted. The `Propagated` timing additionally ORs in last
+    /// cycle's taint image, so taint *set* stays immediate while an
+    /// untaint ripples one dependency level per cycle (STT's untaint
+    /// reuses the existing wakeup bandwidth). The `Lazy` timing keys the
+    /// guard on branch *commit* (the branch leaving the ROB) instead of
+    /// resolution.
+    fn update_taint(&mut self) {
+        let Some(tp) = self.cfg.taint else { return };
+        let mut older_unresolved_branch = false;
+        let mut older_branch = false;
+        let mut is_head = true;
+        let prf = &mut self.prf;
+        let prev = &self.taint_prev;
+        for e in self.rob.iter_mut() {
+            let guard = match (tp.threat, tp.untaint) {
+                (TaintThreat::Spectre, UntaintTiming::Lazy) => older_branch,
+                (TaintThreat::Spectre, _) => older_unresolved_branch,
+                (TaintThreat::Futuristic, _) => !is_head,
+            };
+            let mut t = e.inst.is_load_like() && guard;
+            if !t {
+                for &p in e.src_pregs.iter().flatten() {
+                    if prf.is_tainted(p) || (!prev.is_empty() && prev[p as usize]) {
+                        t = true;
+                        break;
+                    }
+                }
+            }
+            e.tainted = t;
+            if let Some(prd) = e.prd {
+                prf.set_taint(prd, t);
+            }
+            if e.is_unresolved_branch() {
+                older_unresolved_branch = true;
+            }
+            if e.inst.is_branch() {
+                older_branch = true;
+            }
+            is_head = false;
+        }
+        if !self.taint_prev.is_empty() {
+            for (i, prev) in self.taint_prev.iter_mut().enumerate() {
+                *prev = prf.is_tainted(i as PReg);
+            }
+        }
+    }
+
+    /// Which operand slot of `inst` feeds a *transmit* channel — an
+    /// address or indirect control-flow target whose value modulates a
+    /// micro-architectural side effect (cache set, BTB entry). Conditional
+    /// branch conditions are deliberately absent: STT gates explicit
+    /// channels only, leaving the branch-direction implicit channel (and
+    /// the execution-unit contention it steers) open — see the
+    /// NetSpectre/SMoTherSpectre rows of the verdict matrix.
+    pub(crate) fn transmit_slot(inst: &Inst) -> Option<usize> {
+        match inst {
+            Inst::Load { .. }
+            | Inst::Store { .. }
+            | Inst::ClFlush { .. }
+            | Inst::JmpInd { .. }
+            | Inst::CallInd { .. }
+            | Inst::Ret => Some(0),
+            _ => None,
+        }
+    }
+
+    /// `true` while the taint policy must withhold issue of `e`: it is a
+    /// transmitting micro-op and the operand feeding its transmit channel
+    /// is currently tainted. Not monotone (taint clears at resolution), so
+    /// the gate re-checks every cycle and never touches the sticky
+    /// visibility cache.
+    fn taint_gated(&self, e: &RobEntry) -> bool {
+        let Some(slot) = Self::transmit_slot(&e.inst) else {
+            return false;
+        };
+        e.src_pregs[slot].is_some_and(|p| self.prf.is_tainted(p))
+    }
+
+    // ------------------------------------------------------------------
     // Stage 4: tag broadcast (paper Fig 2 step 4)
     // ------------------------------------------------------------------
 
@@ -1117,6 +1240,22 @@ impl OooCore {
                     .get_mut(seq)
                     .expect("entry exists")
                     .srcs_visible_cached = true;
+            }
+            // STT transmit-side gate: a transmitting micro-op may not
+            // issue while the operand feeding its transmit channel is
+            // tainted. Checked after wakeup (the entry is otherwise ready)
+            // so gated cycles are pure defense delay.
+            if self.taint_on {
+                let e = self.rob.get(seq).expect("entry exists");
+                if self.taint_gated(e) {
+                    if tracing && !e.taint_gate_traced {
+                        let (pc, inst) = (e.pc, e.inst);
+                        let e = self.rob.get_mut(seq).expect("entry exists");
+                        e.taint_gate_traced = true;
+                        self.trace_event(seq, pc, inst, crate::trace::TraceStage::TaintGated);
+                    }
+                    continue;
+                }
             }
             let port = match class {
                 UopClass::Load | UopClass::LoadLike => &mut load_ports,
@@ -1509,6 +1648,11 @@ impl OooCore {
             if let Some(rd) = uop.inst.dest() {
                 let prd = self.free.alloc().expect("checked available");
                 self.prf.reset(prd);
+                if !self.taint_prev.is_empty() {
+                    // A recycled register must not inherit the previous
+                    // owner's rippling taint image.
+                    self.taint_prev[prd as usize] = false;
+                }
                 e.arch_rd = Some(rd);
                 e.prd = Some(prd);
                 e.old_prd = Some(self.rename.rename(rd, prd));
@@ -1591,6 +1735,14 @@ impl OooCore {
                 debug_assert_eq!(self.rename.lookup(rd), prd, "LIFO unwind invariant");
                 self.rename.restore(rd, old);
                 self.free.release(prd);
+                // Squashed values vanish; leave no taint behind on the
+                // freed register (the drain property checks the whole PRF).
+                if self.taint_on {
+                    self.prf.set_taint(prd, false);
+                    if !self.taint_prev.is_empty() {
+                        self.taint_prev[prd as usize] = false;
+                    }
+                }
             }
         }
         if any {
@@ -1689,8 +1841,21 @@ impl OooCore {
     /// this is identically false on the unprotected baselines — pinned by
     /// the `nda_delay`-is-zero property test.
     fn nda_delay_cycle(&self) -> bool {
-        if self.policy_all_safe && self.cfg.invisispec.is_none() {
+        if self.policy_all_safe && self.cfg.invisispec.is_none() && !self.taint_on {
             return false;
+        }
+        // STT/ShadowBinding (mutually exclusive with restrictive NDA and
+        // InvisiSpec): the defense is the bottleneck when the oldest
+        // un-issued micro-op is woken up but its transmit operand is
+        // tainted.
+        if self.taint_on {
+            let Some(&seq) = self.iq.first() else {
+                return false;
+            };
+            let Some(e) = self.rob.get(seq) else {
+                return false;
+            };
+            return (e.srcs_visible_cached || self.srcs_visible(e)) && self.taint_gated(e);
         }
         let now = self.cycle;
         let extra = self.cfg.core.broadcast_extra_delay;

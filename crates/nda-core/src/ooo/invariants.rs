@@ -49,6 +49,10 @@ pub enum InvariantKind {
     /// The commit stream diverged from the reference interpreter
     /// (wrong-path instruction retired, or a committed value is wrong).
     CommitDivergence,
+    /// The STT/ShadowBinding taint discipline was violated: a transmitting
+    /// micro-op issued while its transmit operand was tainted, taint
+    /// survived an empty ROB, or taint state exists with no taint policy.
+    TaintGate,
 }
 
 impl fmt::Display for InvariantKind {
@@ -60,6 +64,7 @@ impl fmt::Display for InvariantKind {
             InvariantKind::IqConsistency => "issue-queue consistency",
             InvariantKind::NdaSafety => "nda safety",
             InvariantKind::CommitDivergence => "commit divergence",
+            InvariantKind::TaintGate => "taint gate",
         };
         f.write_str(s)
     }
@@ -114,6 +119,7 @@ fn find_violation(core: &OooCore) -> Option<(InvariantKind, String)> {
         .or_else(|| check_lsq_order(core))
         .or_else(|| check_iq_consistency(core))
         .or_else(|| check_nda_safety(core))
+        .or_else(|| check_taint_gate(core))
 }
 
 /// Free list ∪ committed architectural map ∪ in-flight ROB destinations
@@ -299,6 +305,62 @@ fn check_nda_safety(core: &OooCore) -> Option<(InvariantKind, String)> {
                 InvariantKind::NdaSafety,
                 format!("p{p} visible but never written back"),
             ));
+        }
+    }
+    None
+}
+
+/// The STT/ShadowBinding guarantee: transmitting micro-ops never issue on
+/// tainted transmit operands (taint is monotone non-increasing for a live
+/// register, so an issued in-flight transmitter with a *currently* tainted
+/// transmit source can only mean the gate was bypassed); taint drains with
+/// the ROB; and no taint state exists unless a taint policy is active.
+fn check_taint_gate(core: &OooCore) -> Option<(InvariantKind, String)> {
+    let pregs = 0..core.prf.len() as super::rename::PReg;
+    if core.cfg.taint.is_none() {
+        if let Some(p) = pregs.clone().find(|&p| core.prf.is_tainted(p)) {
+            return Some((
+                InvariantKind::TaintGate,
+                format!("p{p} tainted with no taint policy active"),
+            ));
+        }
+        if let Some(e) = core.rob.iter().find(|e| e.tainted) {
+            return Some((
+                InvariantKind::TaintGate,
+                format!(
+                    "seq {} pc {} `{}` marked tainted with no taint policy active",
+                    e.seq, e.pc, e.inst
+                ),
+            ));
+        }
+        return None;
+    }
+    if core.rob.is_empty() {
+        if let Some(p) = pregs.clone().find(|&p| core.prf.is_tainted(p)) {
+            return Some((
+                InvariantKind::TaintGate,
+                format!("p{p} still tainted with an empty rob (untaint failed to drain)"),
+            ));
+        }
+        return None;
+    }
+    for e in core.rob.iter() {
+        if !e.issued {
+            continue;
+        }
+        let Some(slot) = OooCore::transmit_slot(&e.inst) else {
+            continue;
+        };
+        if let Some(p) = e.src_pregs[slot] {
+            if core.prf.is_tainted(p) {
+                return Some((
+                    InvariantKind::TaintGate,
+                    format!(
+                        "seq {} pc {} `{}` issued with tainted transmit operand p{p}",
+                        e.seq, e.pc, e.inst
+                    ),
+                ));
+            }
         }
     }
     None

@@ -94,6 +94,15 @@ pub struct RobEntry {
     /// issue for loads/probes; used by the CPI-stack classifier).
     pub mem_level: Option<nda_mem::Level>,
 
+    /// STT taint bit of this entry's destination: the value is (derived
+    /// from) a speculatively-loaded datum. Mirrors the PRF taint bit of
+    /// `prd`; recomputed every cycle by the taint walk while a
+    /// [`TaintPolicy`](crate::policy::TaintPolicy) is active.
+    pub tainted: bool,
+    /// Trace bookkeeping: a `TaintGated` event has been emitted for this
+    /// entry (emit once per instance, on the first withheld issue).
+    pub taint_gate_traced: bool,
+
     /// Wake-up cache: all source registers have been observed visible.
     /// Visibility is monotone while the consumer is in flight (a source
     /// physical register cannot be recycled before every in-flight reader
@@ -141,6 +150,8 @@ impl RobEntry {
             is_probe: false,
             exposure_done: None,
             mem_level: None,
+            tainted: false,
+            taint_gate_traced: false,
             srcs_visible_cached: false,
         }
     }

@@ -119,6 +119,95 @@ impl Default for NdaPolicy {
     }
 }
 
+/// STT-style threat model: which loads produce *tainted* (speculatively
+/// accessed, possibly secret) data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaintThreat {
+    /// Spectre model: a load's result is tainted while an older branch is
+    /// unresolved (control speculation only).
+    Spectre,
+    /// Futuristic model: a load's result is tainted until the load becomes
+    /// non-speculative for *any* reason — it reaches the head of the ROB.
+    /// Covers chosen-code (Meltdown/MDS) and memory-order speculation too.
+    Futuristic,
+}
+
+/// When taint bits are cleared once the guarding speculation resolves —
+/// the eager/lazy *shadow-binding* realizations of STT's untaint logic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UntaintTiming {
+    /// STT's wakeup-integrated untaint: taint *set* is immediate, but an
+    /// untaint ripples through dependents one wakeup level per cycle,
+    /// reusing the existing broadcast/wakeup bandwidth.
+    Propagated,
+    /// ShadowBinding-eager: the full dependence tree untaints in the same
+    /// cycle its youngest guarding branch resolves (flash recompute;
+    /// models the dedicated shadow-tracking matrix).
+    Eager,
+    /// ShadowBinding-lazy: taint is only reconsidered when the guarding
+    /// branch *commits*, trading untaint latency for cheaper hardware.
+    Lazy,
+}
+
+/// A complete taint-tracking (STT / ShadowBinding) policy: delay only
+/// *transmitting* uses of tainted data instead of delaying all wakeups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TaintPolicy {
+    /// Which loads produce tainted data.
+    pub threat: TaintThreat,
+    /// When resolved speculation clears taint.
+    pub untaint: UntaintTiming,
+}
+
+impl TaintPolicy {
+    /// STT under the Spectre threat model.
+    pub fn stt_spectre() -> TaintPolicy {
+        TaintPolicy {
+            threat: TaintThreat::Spectre,
+            untaint: UntaintTiming::Propagated,
+        }
+    }
+
+    /// STT under the futuristic (all-speculation) threat model.
+    pub fn stt_futuristic() -> TaintPolicy {
+        TaintPolicy {
+            threat: TaintThreat::Futuristic,
+            untaint: UntaintTiming::Propagated,
+        }
+    }
+
+    /// ShadowBinding's eager untaint realization (Spectre model).
+    pub fn shadow_binding_eager() -> TaintPolicy {
+        TaintPolicy {
+            threat: TaintThreat::Spectre,
+            untaint: UntaintTiming::Eager,
+        }
+    }
+
+    /// ShadowBinding's lazy untaint realization (Spectre model).
+    pub fn shadow_binding_lazy() -> TaintPolicy {
+        TaintPolicy {
+            threat: TaintThreat::Spectre,
+            untaint: UntaintTiming::Lazy,
+        }
+    }
+}
+
+impl fmt::Display for TaintPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let threat = match self.threat {
+            TaintThreat::Spectre => "spectre",
+            TaintThreat::Futuristic => "futuristic",
+        };
+        let untaint = match self.untaint {
+            UntaintTiming::Propagated => "propagated",
+            UntaintTiming::Eager => "eager",
+            UntaintTiming::Lazy => "lazy",
+        };
+        write!(f, "taint:{threat}+{untaint}")
+    }
+}
+
 impl fmt::Display for NdaPolicy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let base = match self.propagation {
@@ -162,6 +251,36 @@ mod tests {
         assert_eq!(
             NdaPolicy::full_protection().to_string(),
             "strict+br+loadrestrict"
+        );
+    }
+
+    #[test]
+    fn taint_presets_match_their_papers() {
+        assert_eq!(TaintPolicy::stt_spectre().threat, TaintThreat::Spectre);
+        assert_eq!(
+            TaintPolicy::stt_spectre().untaint,
+            UntaintTiming::Propagated
+        );
+        assert_eq!(
+            TaintPolicy::stt_futuristic().threat,
+            TaintThreat::Futuristic
+        );
+        assert_eq!(
+            TaintPolicy::shadow_binding_eager().untaint,
+            UntaintTiming::Eager
+        );
+        assert_eq!(
+            TaintPolicy::shadow_binding_lazy().untaint,
+            UntaintTiming::Lazy
+        );
+        // Both ShadowBinding realizations keep STT's Spectre threat model.
+        assert_eq!(
+            TaintPolicy::shadow_binding_lazy().threat,
+            TaintThreat::Spectre
+        );
+        assert_eq!(
+            TaintPolicy::stt_futuristic().to_string(),
+            "taint:futuristic+propagated"
         );
     }
 }

@@ -35,6 +35,10 @@ pub enum TraceStage {
     CacheMiss,
     /// Instant: a branch resolved mispredicted (predictor track).
     Mispredict,
+    /// Instant: the STT/ShadowBinding transmit gate withheld an otherwise
+    /// ready transmitting micro-op because a transmit operand was tainted
+    /// (emitted once per dynamic instance, on the first withheld cycle).
+    TaintGated,
 }
 
 impl TraceStage {
@@ -49,6 +53,7 @@ impl TraceStage {
             TraceStage::Squash => 'x',
             TraceStage::CacheMiss => 'M',
             TraceStage::Mispredict => '!',
+            TraceStage::TaintGated => 'T',
         }
     }
 
@@ -63,6 +68,7 @@ impl TraceStage {
             TraceStage::Squash => "squash",
             TraceStage::CacheMiss => "cache-miss",
             TraceStage::Mispredict => "mispredict",
+            TraceStage::TaintGated => "taint-gated",
         }
     }
 }

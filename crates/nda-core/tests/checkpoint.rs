@@ -100,7 +100,13 @@ fn sampled_architectural_state_matches_full_detail() {
     let params = SampledParams::new(3_000, 200, 200);
     let set =
         collect_checkpoints(&SimConfig::for_variant(Variant::Ooo), &p, params, u64::MAX).unwrap();
-    for v in [Variant::Ooo, Variant::FullProtection, Variant::InOrder] {
+    for v in [
+        Variant::Ooo,
+        Variant::FullProtection,
+        Variant::InOrder,
+        Variant::SttFuturistic,
+        Variant::ShadowBindingLazy,
+    ] {
         let full = nda_core::run_variant(v, &p, 2_000_000_000).unwrap();
         let sampled = run_sampled_with(SimConfig::for_variant(v), &p, &set, params).unwrap();
         assert_eq!(sampled.regs, full.regs, "{v}");

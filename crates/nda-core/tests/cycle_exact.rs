@@ -55,7 +55,92 @@ const PINS: &[(Variant, u64, u64)] = &[
     (Variant::FullProtection, 629, 99),
     (Variant::InvisiSpecSpectre, 759, 99),
     (Variant::DelayOnMiss, 630, 99),
+    // The taint variants pin *equal to Ooo* on this program: nothing here
+    // feeds a speculatively-loaded value into a transmit address slot, so
+    // the gate never fires and the taint walk must not perturb timing.
+    (Variant::SttSpectre, 629, 99),
+    (Variant::SttFuturistic, 629, 99),
+    (Variant::ShadowBindingEager, 629, 99),
+    (Variant::ShadowBindingLazy, 629, 99),
 ];
+
+/// A pointer chase whose second load's *address* comes from a load issued
+/// under a mispredicting data-dependent branch — the canonical
+/// taint-gated transmit. Unlike [`mixed_program`], the taint variants
+/// must price *above* the insecure baseline here, with the futuristic
+/// threat model and the lazy commit-time untaint each paying more.
+fn taint_gadget_program() -> nda_isa::Program {
+    let mut asm = Asm::new();
+    // A table of pointers into a second table of values.
+    asm.data_u64s(
+        0x8000,
+        &[
+            0x8100, 0x8108, 0x8110, 0x8118, 0x8120, 0x8128, 0x8130, 0x8138,
+        ],
+    );
+    asm.data_u64s(0x8100, &[3, 1, 4, 1, 5, 9, 2, 6]);
+    let done = asm.new_label();
+    asm.li(Reg::X2, 0x8000) // pointer-table cursor
+        .li(Reg::X3, 8) // loop counter
+        .li(Reg::X4, 0); // accumulator
+    let top = asm.here_label();
+    asm.beq(Reg::X3, Reg::X0, done);
+    asm.ld8(Reg::X5, Reg::X2, 0); // pointer load — tainted while a branch is in flight
+    asm.ld8(Reg::X6, Reg::X5, 0); // dependent load: tainted address, gate fires
+    asm.add(Reg::X4, Reg::X4, Reg::X6);
+    // Data-dependent branch the predictor keeps mispredicting, so later
+    // iterations always sit behind an unresolved branch.
+    let even = asm.new_label();
+    asm.andi(Reg::X7, Reg::X6, 1);
+    asm.beq(Reg::X7, Reg::X0, even);
+    asm.addi(Reg::X4, Reg::X4, 10);
+    asm.bind(even);
+    asm.addi(Reg::X2, Reg::X2, 8);
+    asm.subi(Reg::X3, Reg::X3, 1);
+    asm.jmp(top);
+    asm.bind(done);
+    asm.halt();
+    asm.assemble().unwrap()
+}
+
+/// Pins for [`taint_gadget_program`]: the insecure baseline, the four
+/// taint variants, and FullProtection as the cost ceiling.
+const TAINT_PINS: &[(Variant, u64, u64)] = &[
+    (Variant::Ooo, 507, 82),
+    (Variant::SttSpectre, 535, 82),
+    (Variant::SttFuturistic, 540, 82),
+    (Variant::ShadowBindingEager, 535, 82),
+    (Variant::ShadowBindingLazy, 540, 82),
+    (Variant::FullProtection, 560, 82),
+];
+
+#[test]
+fn taint_gated_pointer_chase_cycle_counts_are_pinned() {
+    let prog = taint_gadget_program();
+    let mut got = Vec::new();
+    for &(v, ..) in TAINT_PINS {
+        let mut cfg = SimConfig::for_variant(v);
+        cfg.check_invariants = true;
+        let r = run_with_config(cfg, &prog, 1_000_000).unwrap();
+        println!(
+            "    (Variant::{v:?}, {}, {}),",
+            r.stats.cycles, r.stats.committed_insts
+        );
+        // sum = 31, five odd values add 10 each.
+        assert_eq!(r.regs[4], 31 + 50, "{v}: wrong architectural result");
+        got.push((v, r.stats.cycles, r.stats.committed_insts));
+    }
+    assert_eq!(
+        got, TAINT_PINS,
+        "taint-gated timing drifted from the pinned baseline"
+    );
+    let cycles = |v: Variant| got.iter().find(|(x, ..)| *x == v).unwrap().1;
+    // Shape, independent of the exact numbers: gating costs cycles, and
+    // the stricter guard/untaint choices cost at least as much.
+    assert!(cycles(Variant::SttSpectre) > cycles(Variant::Ooo));
+    assert!(cycles(Variant::SttFuturistic) >= cycles(Variant::SttSpectre));
+    assert!(cycles(Variant::ShadowBindingLazy) >= cycles(Variant::ShadowBindingEager));
+}
 
 #[test]
 fn mixed_load_branch_fence_cycle_counts_are_pinned() {

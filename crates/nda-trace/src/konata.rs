@@ -120,6 +120,11 @@ impl EventSink for KonataSink {
                     let _ = writeln!(self.body, "L\t{}\t1\tmispredicted", lane.uid);
                 }
             }
+            TraceStage::TaintGated => {
+                if let Some(lane) = self.open.get(&ev.seq) {
+                    let _ = writeln!(self.body, "L\t{}\t1\ttaint-gated", lane.uid);
+                }
+            }
         }
     }
 }

@@ -176,6 +176,10 @@ impl EventSink for PerfettoSink {
                 let args = format!(r#""seq":{},"pc":{}"#, ev.seq, ev.pc);
                 self.push_instant(4, &ev.disasm, "mispredict", ev.cycle, &args);
             }
+            TraceStage::TaintGated => {
+                let args = format!(r#""seq":{},"pc":{}"#, ev.seq, ev.pc);
+                self.push_instant(2, &ev.disasm, "taint-gated", ev.cycle, &args);
+            }
         }
     }
 }

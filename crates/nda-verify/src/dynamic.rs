@@ -71,6 +71,10 @@ pub struct TaintObserver<'p> {
     next_id: u64,
     /// Cycle of the first confirmed transient transmission.
     pub confirmed_at: Option<u64>,
+    /// Every pc the pipeline reported withheld at issue through its
+    /// in-core taint gate (`TaintGated` events) — for cross-validating
+    /// the observer's view against the STT/ShadowBinding hardware model.
+    pub gated_pcs: std::collections::BTreeSet<usize>,
 }
 
 impl<'p> TaintObserver<'p> {
@@ -84,6 +88,7 @@ impl<'p> TaintObserver<'p> {
             live: HashMap::new(),
             next_id: 1,
             confirmed_at: None,
+            gated_pcs: std::collections::BTreeSet::new(),
         }
     }
 
@@ -114,6 +119,9 @@ impl<'p> TaintObserver<'p> {
                 TraceStage::Commit => {
                     // Binding becomes architectural; nothing to roll back.
                     self.live.remove(&e.seq);
+                }
+                TraceStage::TaintGated => {
+                    self.gated_pcs.insert(e.pc);
                 }
                 TraceStage::Complete
                 | TraceStage::Broadcast

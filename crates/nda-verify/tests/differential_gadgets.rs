@@ -43,3 +43,50 @@ fn reported_gadgets_confirm_on_base_and_die_under_full_protection() {
         );
     }
 }
+
+/// The same confirm-on-Base / die-under-protection loop, with the
+/// "strict" side played by each taint variant that claims the attack:
+/// for every taint-reachable (attack, variant) pair the analyzer's
+/// gadgets must confirm on Base OoO and never transmit transiently under
+/// the taint variant — zero false negatives, dynamically. The pairs the
+/// taint family deliberately does *not* claim (GPR-resident secrets,
+/// contention channels) are exercised the other way round in
+/// `taint_differential.rs`.
+#[test]
+fn taint_reachable_gadgets_confirm_on_base_and_die_under_their_taint_variant() {
+    let taint_variants = [
+        Variant::SttSpectre,
+        Variant::SttFuturistic,
+        Variant::ShadowBindingEager,
+        Variant::ShadowBindingLazy,
+    ];
+    for kind in AttackKind::all() {
+        let claimed: Vec<Variant> = taint_variants
+            .into_iter()
+            .filter(|&v| kind.expected_blocked(v))
+            .collect();
+        if claimed.is_empty() {
+            continue;
+        }
+        let p = kind.program(42);
+        let report = analyze(&p, &kind.secret_spec(), &AnalyzeConfig::default());
+        let mut base_cfg = SimConfig::for_variant(Variant::Ooo);
+        kind.tweak_config(&mut base_cfg);
+        for v in claimed {
+            let mut cfg = SimConfig::for_variant(v);
+            kind.tweak_config(&mut cfg);
+            let outcome = validate_report(&p, &report, &base_cfg, &cfg, MAX_CYCLES);
+            assert!(
+                outcome.any_confirmed_on_base(),
+                "{kind}: no gadget confirmed on Base OoO\n{:#?}",
+                outcome.verdicts
+            );
+            assert!(
+                !outcome.any_confirmed_under_strict(),
+                "{kind}: a gadget still transmitted under {} — false negative\n{:#?}",
+                v.name(),
+                outcome.verdicts
+            );
+        }
+    }
+}

@@ -343,6 +343,10 @@ fn cmd_variants() {
             Variant::InvisiSpecSpectre => "InvisiSpec, control-speculation model",
             Variant::InvisiSpecFuture => "InvisiSpec, futuristic model",
             Variant::DelayOnMiss => "delay-on-miss (related work)",
+            Variant::SttSpectre => "STT taint tracking, Spectre threat model",
+            Variant::SttFuturistic => "STT taint tracking, futuristic threat model",
+            Variant::ShadowBindingEager => "ShadowBinding, eager (flash) untaint",
+            Variant::ShadowBindingLazy => "ShadowBinding, lazy (commit-time) untaint",
         };
         println!("{:<22}{desc}", v.name());
     }
